@@ -1,0 +1,56 @@
+// Shared helpers for the experiment harnesses (one binary per table or
+// figure in DESIGN.md's experiment index).
+#ifndef PAFS_BENCH_BENCH_COMMON_H_
+#define PAFS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/selection.h"
+#include "data/hypertension_gen.h"
+#include "data/warfarin_gen.h"
+#include "util/random.h"
+
+namespace pafs::bench {
+
+inline Dataset WarfarinCohort(size_t n = 5000, uint64_t seed = 2016) {
+  Rng rng(seed);
+  return GenerateWarfarinCohort(n, rng);
+}
+
+inline Dataset HypertensionCohort(size_t n = 4000, uint64_t seed = 2016) {
+  Rng rng(seed);
+  return GenerateHypertensionCohort(n, rng);
+}
+
+inline void Banner(const char* experiment, const char* title) {
+  std::printf("==============================================================="
+              "=\n%s: %s\n"
+              "==============================================================="
+              "=\n",
+              experiment, title);
+}
+
+inline std::string FeatureNames(const Dataset& data,
+                                const std::vector<int>& features) {
+  if (features.empty()) return "(none)";
+  std::string out;
+  for (int f : features) {
+    if (!out.empty()) out += ",";
+    out += data.features()[f].name;
+  }
+  return out;
+}
+
+inline const std::vector<ClassifierKind>& AllClassifiers() {
+  static const std::vector<ClassifierKind> kAll = {
+      ClassifierKind::kDecisionTree, ClassifierKind::kNaiveBayes,
+      ClassifierKind::kLinear};
+  return kAll;
+}
+
+}  // namespace pafs::bench
+
+#endif  // PAFS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,185 @@
+// F11 [reconstructed]: microbenchmarks of every substrate layer (google-
+// benchmark). These are the constants the analytic cost model is built
+// from: bignum arithmetic, Paillier, symmetric crypto, garbling
+// throughput, risk evaluation, and Chow-Liu inference.
+#include <benchmark/benchmark.h>
+
+#include "bignum/modmath.h"
+#include "bignum/prime.h"
+#include "circuit/builder.h"
+#include "crypto/paillier.h"
+#include "crypto/prg.h"
+#include "crypto/sha256.h"
+#include "data/warfarin_gen.h"
+#include "gc/garble.h"
+#include "privacy/chow_liu.h"
+#include "privacy/risk.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+void BM_BigIntMul(benchmark::State& state) {
+  Rng rng(1);
+  BigInt a = BigInt::RandomBits(rng, state.range(0));
+  BigInt b = BigInt::RandomBits(rng, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ModExp(benchmark::State& state) {
+  Rng rng(2);
+  BigInt m = RandomPrime(rng, state.range(0));
+  BigInt base = BigInt::RandomBelow(rng, m);
+  BigInt e = BigInt::RandomBits(rng, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModExp(base, e, m));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Rng rng(3);
+  PaillierKeyPair keys = GeneratePaillierKey(rng, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.public_key.Encrypt(BigInt(1234), rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  Rng rng(4);
+  PaillierKeyPair keys = GeneratePaillierKey(rng, state.range(0));
+  BigInt ct = keys.public_key.Encrypt(BigInt(1234), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.private_key.Decrypt(ct));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_PaillierScalarMul(benchmark::State& state) {
+  Rng rng(5);
+  PaillierKeyPair keys = GeneratePaillierKey(rng, 512);
+  BigInt ct = keys.public_key.Encrypt(BigInt(7), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.public_key.MulPlain(ct, BigInt(12345)));
+  }
+}
+BENCHMARK(BM_PaillierScalarMul);
+
+void BM_Aes128(benchmark::State& state) {
+  Aes128 aes(Block(1, 2));
+  Block x(3, 4);
+  for (auto _ : state) {
+    x = aes.Encrypt(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Aes128);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<uint8_t> data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HashBlock(benchmark::State& state) {
+  Block x(9, 9);
+  uint64_t tweak = 0;
+  for (auto _ : state) {
+    x = HashBlock(x, tweak++);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_HashBlock);
+
+Circuit BuildAdder(uint32_t width) {
+  CircuitBuilder b(width, width);
+  b.AddOutputWord(b.AddW(b.GarblerWord(0, width), b.EvaluatorWord(0, width)));
+  return b.Build();
+}
+
+void BM_Garble(benchmark::State& state) {
+  Circuit c = BuildAdder(static_cast<uint32_t>(state.range(0)));
+  size_t and_gates = c.Stats().and_gates;
+  Prg prg(Block(1, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Garble(c, prg));
+  }
+  state.counters["AND_gates_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * and_gates),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Garble)->Arg(64)->Arg(512);
+
+void BM_GarbledEval(benchmark::State& state) {
+  Circuit c = BuildAdder(static_cast<uint32_t>(state.range(0)));
+  size_t and_gates = c.Stats().and_gates;
+  Prg prg(Block(1, 1));
+  GarbledCircuit gc = Garble(c, prg);
+  std::vector<Block> inputs;
+  for (uint32_t i = 0; i < c.garbler_inputs() + c.evaluator_inputs(); ++i) {
+    inputs.push_back(gc.input_labels[i][i % 2]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateGarbled(c, gc.and_tables, inputs));
+  }
+  state.counters["AND_gates_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * and_gates),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GarbledEval)->Arg(64)->Arg(512);
+
+void BM_RiskEvaluateScratch(benchmark::State& state) {
+  Rng rng(6);
+  Dataset data = GenerateWarfarinCohort(state.range(0), rng);
+  DisclosureRisk risk(data);
+  std::vector<int> disclosure = {WarfarinSchema::kRace, WarfarinSchema::kAge,
+                                 WarfarinSchema::kWeight,
+                                 WarfarinSchema::kGender};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(risk.Evaluate(disclosure));
+  }
+}
+BENCHMARK(BM_RiskEvaluateScratch)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_RiskIncrementalProbe(benchmark::State& state) {
+  Rng rng(7);
+  Dataset data = GenerateWarfarinCohort(state.range(0), rng);
+  DisclosureRisk risk(data);
+  DisclosureRisk::Incremental inc(risk);
+  inc.Push(WarfarinSchema::kRace);
+  inc.Push(WarfarinSchema::kAge);
+  inc.Push(WarfarinSchema::kWeight);
+  for (auto _ : state) {
+    inc.Push(WarfarinSchema::kGender);
+    benchmark::DoNotOptimize(inc.Current());
+    inc.Pop();
+  }
+}
+BENCHMARK(BM_RiskIncrementalProbe)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_ChowLiuPosterior(benchmark::State& state) {
+  Rng rng(8);
+  Dataset data = GenerateWarfarinCohort(4000, rng);
+  ChowLiuTree model;
+  model.Train(data);
+  std::map<int, int> evidence = {{WarfarinSchema::kRace, 1},
+                                 {WarfarinSchema::kAge, 5},
+                                 {WarfarinSchema::kWeight, 2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.Posterior(WarfarinSchema::kVkorc1, evidence));
+  }
+}
+BENCHMARK(BM_ChowLiuPosterior);
+
+}  // namespace
+}  // namespace pafs
+
+BENCHMARK_MAIN();

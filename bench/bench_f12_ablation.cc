@@ -1,0 +1,126 @@
+// F12 [reconstructed]: ablations of the three design choices DESIGN.md
+// calls out.
+//   (a) model specialization on/off: with specialization off, disclosed
+//       features still cross the secure protocol, so the circuit does not
+//       shrink — isolating where the orders of magnitude come from;
+//   (b) half-gates vs classic 4-row garbling: wire bytes and time;
+//   (c) incremental vs from-scratch risk evaluation inside greedy search.
+#include "bench_common.h"
+#include "gc/garble.h"
+#include "ml/decision_tree.h"
+#include "smc/secure_nb.h"
+#include "smc/secure_tree.h"
+#include "util/timer.h"
+
+using namespace pafs;
+using namespace pafs::bench;
+
+int main() {
+  Banner("F12", "ablations: specialization, half-gates, incremental risk");
+  Dataset cohort = WarfarinCohort(3000);
+  DecisionTree tree;
+  tree.Train(cohort);
+  Rng rng(3);
+
+  // (a) Specialization on/off for the decision tree at a moderate
+  // disclosure (race + age + weight of a sample patient).
+  {
+    const std::vector<int>& row = cohort.row(42);
+    std::map<int, int> disclosed = {
+        {WarfarinSchema::kRace, row[WarfarinSchema::kRace]},
+        {WarfarinSchema::kAge, row[WarfarinSchema::kAge]},
+        {WarfarinSchema::kWeight, row[WarfarinSchema::kWeight]}};
+
+    SecureTreeCircuit full(tree, cohort.features(), cohort.num_classes(), {});
+    DecisionTree specialized = tree.Specialize(disclosed);
+    SecureTreeCircuit pruned(specialized, cohort.features(),
+                             cohort.num_classes(), disclosed);
+    std::printf("\n(a) tree specialization (3 features disclosed)\n");
+    std::printf("    %-22s %-10s %-10s %s\n", "variant", "leaves", "ANDgates",
+                "OT transfers");
+    std::printf("    %-22s %-10zu %-10zu %u\n", "specialization OFF",
+                full.num_leaves(), full.circuit().Stats().and_gates,
+                full.circuit().evaluator_inputs());
+    std::printf("    %-22s %-10zu %-10zu %u\n", "specialization ON",
+                pruned.num_leaves(), pruned.circuit().Stats().and_gates,
+                pruned.circuit().evaluator_inputs());
+    std::printf("    gate reduction: %.1fx\n",
+                full.circuit().Stats().and_gates /
+                    std::max<double>(pruned.circuit().Stats().and_gates, 1));
+  }
+
+  // (b) Half-gates vs classic garbling on the full NB circuit.
+  {
+    SecureNbCircuit spec(cohort.features(), cohort.num_classes(), {});
+    NaiveBayes nb;
+    nb.Train(cohort);
+    std::printf("\n(b) garbling scheme (full naive Bayes circuit, %zu ANDs)\n",
+                spec.circuit().Stats().and_gates);
+    std::printf("    %-12s %-12s %-12s %s\n", "scheme", "garble(ms)",
+                "eval(ms)", "table KiB");
+    for (bool classic : {false, true}) {
+      Prg prg(Block(7, 7));
+      Timer timer;
+      double garble_ms, eval_ms, table_kib;
+      if (!classic) {
+        GarbledCircuit gc = Garble(spec.circuit(), prg);
+        garble_ms = timer.ElapsedMillis();
+        std::vector<Block> inputs;
+        BitVec gb = spec.EncodeModel(nb, {});
+        BitVec eb = spec.EncodeRow(cohort.row(1));
+        for (uint32_t i = 0; i < spec.circuit().garbler_inputs(); ++i) {
+          inputs.push_back(gc.input_labels[i][gb.Get(i)]);
+        }
+        for (uint32_t i = 0; i < spec.circuit().evaluator_inputs(); ++i) {
+          inputs.push_back(
+              gc.input_labels[spec.circuit().garbler_inputs() + i][eb.Get(i)]);
+        }
+        timer.Reset();
+        EvaluateGarbled(spec.circuit(), gc.and_tables, inputs);
+        eval_ms = timer.ElapsedMillis();
+        table_kib = gc.and_tables.size() * 32 / 1024.0;
+      } else {
+        ClassicGarbledCircuit gc = GarbleClassic(spec.circuit(), prg);
+        garble_ms = timer.ElapsedMillis();
+        std::vector<Block> inputs;
+        BitVec gb = spec.EncodeModel(nb, {});
+        BitVec eb = spec.EncodeRow(cohort.row(1));
+        for (uint32_t i = 0; i < spec.circuit().garbler_inputs(); ++i) {
+          inputs.push_back(gc.input_labels[i][gb.Get(i)]);
+        }
+        for (uint32_t i = 0; i < spec.circuit().evaluator_inputs(); ++i) {
+          inputs.push_back(
+              gc.input_labels[spec.circuit().garbler_inputs() + i][eb.Get(i)]);
+        }
+        timer.Reset();
+        EvaluateClassic(spec.circuit(), gc.and_tables, inputs);
+        eval_ms = timer.ElapsedMillis();
+        table_kib = gc.and_tables.size() * 64 / 1024.0;
+      }
+      std::printf("    %-12s %-12.2f %-12.2f %.1f\n",
+                  classic ? "classic" : "half-gates", garble_ms, eval_ms,
+                  table_kib);
+    }
+  }
+
+  // (c) Incremental vs from-scratch risk probing inside greedy selection.
+  {
+    CostCalibration calibration;
+    SmcCostModel cost_model(cohort.features(), cohort.num_classes(),
+                            calibration);
+    DisclosureSelector selector(cohort, cost_model,
+                                ClassifierKind::kNaiveBayes);
+    std::printf("\n(c) risk evaluation inside greedy selection (budget 0.1)\n");
+    std::printf("    %-14s %-12s %s\n", "variant", "time(ms)", "plan");
+    for (bool incremental : {true, false}) {
+      Timer timer;
+      DisclosurePlan plan = selector.SelectGreedy(
+          0.1, GreedyObjective::kMaxCostGain, incremental);
+      std::printf("    %-14s %-12.1f %s\n",
+                  incremental ? "incremental" : "from-scratch",
+                  timer.ElapsedMillis(),
+                  FeatureNames(cohort, plan.features).c_str());
+    }
+  }
+  return 0;
+}

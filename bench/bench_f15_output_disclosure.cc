@@ -1,0 +1,86 @@
+// F15 [reconstructed, extension]: the motivating attack. The abstract
+// cites "a recent attack [that] shows that disclosing personalized drug
+// dosage recommendations, combined with several pieces of demographic
+// knowledge, can be leveraged to infer single nucleotide polymorphism
+// variants" (Fredrikson et al., USENIX Security 2014). This bench
+// reproduces that setting: the adversary observes (a) demographics only,
+// (b) demographics + the dose recommendation, and (c) dose only — and we
+// quantify how much the *output* itself leaks, which is exactly why the
+// paper keeps the recommendation inside the SMC by default.
+#include "bench_common.h"
+#include "privacy/inference_attack.h"
+#include "privacy/risk.h"
+
+using namespace pafs;
+using namespace pafs::bench;
+
+int main() {
+  Banner("F15", "output (dose) disclosure: the Fredrikson-style attack");
+  Rng rng(23);
+  Dataset cohort = GenerateWarfarinCohort(8000, rng);
+  DisclosureRisk risk(cohort);
+
+  const std::vector<int> demographics = {
+      WarfarinSchema::kAge, WarfarinSchema::kRace, WarfarinSchema::kWeight,
+      WarfarinSchema::kHeight, WarfarinSchema::kGender};
+
+  struct Scenario {
+    const char* label;
+    std::vector<int> features;
+    bool with_label;
+  };
+  std::vector<Scenario> scenarios = {
+      {"nothing", {}, false},
+      {"dose only", {}, true},
+      {"demographics", demographics, false},
+      {"demographics + dose", demographics, true},
+  };
+
+  std::printf("%-22s %-14s %-14s %-10s\n", "adversary observes",
+              "vkorc1 MAP", "cyp2c9 MAP", "max lift");
+  for (const Scenario& s : scenarios) {
+    RiskReport report = s.with_label ? risk.EvaluateWithLabel(s.features)
+                                     : risk.Evaluate(s.features);
+    double vkorc1 = 0, cyp2c9 = 0;
+    for (const SensitiveRisk& r : report.per_sensitive) {
+      if (r.feature == WarfarinSchema::kVkorc1) vkorc1 = r.attack_success;
+      if (r.feature == WarfarinSchema::kCyp2c9) cyp2c9 = r.attack_success;
+    }
+    std::printf("%-22s %-14.3f %-14.3f %-10.4f\n", s.label, vkorc1, cyp2c9,
+                report.max_lift);
+  }
+
+  // The same comparison with a learned (Chow-Liu) adversary against held-
+  // out victims, dose observed via the appended label feature.
+  std::printf("\nLearned-adversary validation (Chow-Liu, disjoint halves):\n");
+  Dataset with_dose = AppendLabelAsFeature(cohort, "dose_class");
+  auto [public_half, victims] = with_dose.Split(0.5, rng);
+  ChowLiuTree adversary;
+  adversary.Train(public_half);
+  int dose_feature = with_dose.num_features() - 1;
+
+  std::vector<int> demo_plus_dose = demographics;
+  demo_plus_dose.push_back(dose_feature);
+  std::printf("%-22s %-14s %-14s\n", "adversary observes", "vkorc1 acc",
+              "cyp2c9 acc");
+  for (const auto& [label, set] :
+       std::vector<std::pair<const char*, std::vector<int>>>{
+           {"demographics", demographics},
+           {"demographics + dose", demo_plus_dose}}) {
+    auto results = RunInferenceAttack(adversary, victims, set);
+    double vkorc1 = 0, cyp2c9 = 0;
+    for (const AttackResult& r : results) {
+      if (r.sensitive_feature == WarfarinSchema::kVkorc1) {
+        vkorc1 = r.attack_accuracy;
+      }
+      if (r.sensitive_feature == WarfarinSchema::kCyp2c9) {
+        cyp2c9 = r.attack_accuracy;
+      }
+    }
+    std::printf("%-22s %-14.3f %-14.3f\n", label, vkorc1, cyp2c9);
+  }
+  std::printf("\nThe dose adds genotype inference power on top of "
+              "demographics — which is why the recommendation itself stays "
+              "inside the SMC unless explicitly budgeted for release.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// F4 [abstract-anchored]: SMC cost as a function of how many features are
+// disclosed, per classifier. Disclosure order follows the unconstrained
+// cost-greedy path; at each step we report the modeled cost and a measured
+// end-to-end run. The curves should fall monotonically, steeply for the
+// decision tree (specialization prunes subtrees), linearly for NB/linear.
+#include "bench_common.h"
+
+using namespace pafs;
+using namespace pafs::bench;
+
+int main() {
+  Banner("F4", "SMC cost vs number of disclosed features");
+  Dataset cohort = WarfarinCohort(3000);
+  DecisionTree tree;
+  tree.Train(cohort);
+  Rng rng(3);
+  CostCalibration calibration = CostCalibration::Measure(512, rng);
+  SmcCostModel cost_model(cohort.features(), cohort.num_classes(),
+                          calibration);
+
+  for (ClassifierKind kind : AllClassifiers()) {
+    DisclosureSelector selector(
+        cohort, cost_model, kind,
+        kind == ClassifierKind::kDecisionTree ? &tree : nullptr);
+    std::vector<DisclosurePlan> path = selector.GreedyPath();
+
+    PipelineConfig config;
+    config.classifier = kind;
+    config.risk_budget = 0.0;
+    SecureClassificationPipeline pipeline(cohort, config);
+    pipeline.Classify(cohort.row(0));  // Amortize OT setup.
+
+    std::printf("\n%s\n", ClassifierName(kind));
+    std::printf("  %-3s %-10s %-10s %-11s %-10s %s\n", "k", "model(ms)",
+                "gates", "meas(ms)", "meas KiB", "newly disclosed");
+    for (size_t k = 0; k < path.size(); ++k) {
+      SmcRunStats measured =
+          pipeline.ClassifyWithDisclosure(cohort.row(42), path[k].features);
+      const char* newly =
+          k == 0 ? "-"
+                 : cohort.features()[path[k].features.back()].name.c_str();
+      std::printf("  %-3zu %-10.3f %-10zu %-11.2f %-10.1f %s\n", k,
+                  path[k].compute_seconds * 1e3, path[k].cost.and_gates,
+                  measured.wall_seconds * 1e3, measured.bytes / 1024.0,
+                  newly);
+    }
+  }
+  return 0;
+}

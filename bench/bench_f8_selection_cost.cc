@@ -1,0 +1,87 @@
+// F8 [reconstructed]: cost of the selection machinery itself — the paper's
+// "quickly compute the loss in privacy" mechanism. Scales the number of
+// candidate features d and compares:
+//   * greedy with incremental risk (partition refinement, O(n) per probe)
+//   * greedy with from-scratch risk  (O(n*|S|) per probe)
+//   * exhaustive search               (2^d subsets; small d only)
+#include "bench_common.h"
+#include "util/timer.h"
+
+using namespace pafs;
+using namespace pafs::bench;
+
+namespace {
+
+// Synthetic schema with d public binary features correlated with one
+// ternary sensitive attribute.
+Dataset SyntheticSchema(int d, size_t n, Rng& rng) {
+  std::vector<FeatureSpec> features;
+  for (int f = 0; f < d; ++f) {
+    features.push_back({"p" + std::to_string(f), 2, false});
+  }
+  features.push_back({"snp", 3, true});
+  Dataset data(features, 2);
+  for (size_t i = 0; i < n; ++i) {
+    int snp = rng.NextInt(0, 2);
+    std::vector<int> row(d + 1);
+    for (int f = 0; f < d; ++f) {
+      // Each public feature weakly reflects the sensitive one.
+      row[f] = rng.NextBool(0.3 + 0.2 * snp / 2.0) ? 1 : 0;
+    }
+    row[d] = snp;
+    data.AddRow(std::move(row), rng.NextInt(0, 1));
+  }
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  Banner("F8", "selection algorithm cost vs candidate count d");
+  std::printf("%-4s %-14s %-14s %-14s %-12s %s\n", "d", "greedy-inc(ms)",
+              "greedy-scr(ms)", "exhaustive(ms)", "risk evals",
+              "(inc/scr/exh)");
+
+  CostCalibration calibration;
+  for (int d : {4, 6, 8, 10, 12, 14, 16}) {
+    Rng rng(d);
+    Dataset data = SyntheticSchema(d, 4000, rng);
+    SmcCostModel cost_model(data.features(), data.num_classes(), calibration);
+    DisclosureSelector selector(data, cost_model,
+                                ClassifierKind::kNaiveBayes);
+    const double kBudget = 0.15;
+
+    Timer timer;
+    DisclosurePlan inc = selector.SelectGreedy(
+        kBudget, GreedyObjective::kMaxCostGain, /*incremental=*/true);
+    double inc_ms = timer.ElapsedMillis();
+
+    timer.Reset();
+    DisclosurePlan scratch = selector.SelectGreedy(
+        kBudget, GreedyObjective::kMaxCostGain, /*incremental=*/false);
+    double scratch_ms = timer.ElapsedMillis();
+
+    double exhaustive_ms = -1;
+    size_t exhaustive_evals = 0;
+    if (d <= 12) {
+      timer.Reset();
+      DisclosurePlan exhaustive = selector.SelectExhaustive(kBudget);
+      exhaustive_ms = timer.ElapsedMillis();
+      exhaustive_evals = exhaustive.risk_evaluations;
+    }
+
+    if (exhaustive_ms >= 0) {
+      std::printf("%-4d %-14.1f %-14.1f %-14.1f %zu/%zu/%zu\n", d, inc_ms,
+                  scratch_ms, exhaustive_ms, inc.risk_evaluations,
+                  scratch.risk_evaluations, exhaustive_evals);
+    } else {
+      std::printf("%-4d %-14.1f %-14.1f %-14s %zu/%zu/-\n", d, inc_ms,
+                  scratch_ms, "(skipped)", inc.risk_evaluations,
+                  scratch.risk_evaluations);
+    }
+  }
+  std::printf("\nGreedy scales quadratically in d (and linearly in n); "
+              "exhaustive explodes as 2^d. Incremental risk keeps each\n"
+              "probe at one O(n) refinement pass regardless of |S|.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// T1 [reconstructed]: dataset statistics — cohort sizes, attribute
+// schema/cardinalities, sensitive attributes, and label balance.
+#include "bench_common.h"
+
+using namespace pafs;
+using namespace pafs::bench;
+
+namespace {
+
+void Describe(const char* name, const Dataset& data,
+              const char* const* class_names) {
+  std::printf("\n%s: n=%zu, %d features, %d classes\n", name, data.size(),
+              data.num_features(), data.num_classes());
+  std::printf("  %-16s %-6s %s\n", "feature", "card", "role");
+  for (const FeatureSpec& f : data.features()) {
+    std::printf("  %-16s %-6d %s\n", f.name.c_str(), f.cardinality,
+                f.sensitive ? "SENSITIVE (genomic)" : "public candidate");
+  }
+  std::vector<double> priors = data.ClassPriors();
+  std::printf("  label balance:");
+  for (int c = 0; c < data.num_classes(); ++c) {
+    std::printf("  %s=%.1f%%", class_names[c], priors[c] * 100);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("T1", "evaluation datasets");
+  static const char* kDose[] = {"low", "medium", "high"};
+  Describe("warfarin (synthetic IWPC-style)", WarfarinCohort(), kDose);
+  static const char* kTherapy[] = {"ACEi", "CCB", "BB"};
+  Describe("hypertension (synthetic)", HypertensionCohort(), kTherapy);
+  return 0;
+}

@@ -1,0 +1,185 @@
+// pafs_cli — command-line driver for the whole library:
+//
+//   pafs_cli generate <warfarin|hypertension> <n> <out.csv>
+//   pafs_cli train <nb|tree|linear|forest> <in.csv> <out.model>
+//   pafs_cli select <nb|tree|linear|forest> <in.csv> <budget>
+//   pafs_cli classify <nb|tree|linear|forest> <in.csv> <budget> <row-index>
+//
+// The CSV schema is fixed per dataset family (see `generate`); `classify`
+// runs the full pipeline including the secure protocol for one patient.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/csv.h"
+#include "data/hypertension_gen.h"
+#include "data/warfarin_gen.h"
+#include "ml/model_io.h"
+#include "util/random.h"
+
+using namespace pafs;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pafs_cli generate <warfarin|hypertension> <n> <out.csv>\n"
+               "  pafs_cli train <nb|tree|linear|forest> <in.csv> <out.model>\n"
+               "  pafs_cli select <nb|tree|linear|forest> <in.csv> <budget>\n"
+               "  pafs_cli classify <nb|tree|linear|forest> <in.csv> <budget> <row>\n");
+  return 2;
+}
+
+// The CLI works with the two bundled schemas; rows identify which one a
+// CSV follows by its header, so we just try both.
+StatusOr<Dataset> LoadAnyCohort(const std::string& path) {
+  Rng rng(1);
+  Dataset warfarin_schema = GenerateWarfarinCohort(1, rng);
+  StatusOr<Dataset> as_warfarin =
+      LoadCsv(path, warfarin_schema.features(), kWarfarinNumClasses);
+  if (as_warfarin.ok()) return as_warfarin;
+  Dataset hypertension_schema = GenerateHypertensionCohort(1, rng);
+  return LoadCsv(path, hypertension_schema.features(),
+                 kHypertensionNumClasses);
+}
+
+bool ParseClassifier(const char* name, ClassifierKind* kind) {
+  if (std::strcmp(name, "nb") == 0) {
+    *kind = ClassifierKind::kNaiveBayes;
+  } else if (std::strcmp(name, "tree") == 0) {
+    *kind = ClassifierKind::kDecisionTree;
+  } else if (std::strcmp(name, "linear") == 0) {
+    *kind = ClassifierKind::kLinear;
+  } else if (std::strcmp(name, "forest") == 0) {
+    *kind = ClassifierKind::kForest;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  size_t n = std::strtoull(argv[3], nullptr, 10);
+  if (n == 0) return Usage();
+  Rng rng(2016);
+  Dataset data = std::strcmp(argv[2], "warfarin") == 0
+                     ? GenerateWarfarinCohort(n, rng)
+                     : GenerateHypertensionCohort(n, rng);
+  Status status = SaveCsv(data, argv[4]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu rows to %s\n", data.size(), argv[4]);
+  return 0;
+}
+
+int CmdTrain(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  StatusOr<Dataset> data = LoadAnyCohort(argv[3]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().message().c_str());
+    return 1;
+  }
+  Status status = Status::Ok();
+  if (std::strcmp(argv[2], "nb") == 0) {
+    NaiveBayes model;
+    model.Train(data.value());
+    status = SaveNaiveBayes(model, argv[4]);
+  } else if (std::strcmp(argv[2], "tree") == 0) {
+    DecisionTree model;
+    model.Train(data.value());
+    status = SaveDecisionTree(model, argv[4]);
+  } else if (std::strcmp(argv[2], "linear") == 0) {
+    LinearModel model;
+    model.Train(data.value(), LinearTrainParams());
+    status = SaveLinearModel(model, argv[4]);
+  } else if (std::strcmp(argv[2], "forest") == 0) {
+    Rng rng(7);
+    RandomForest model;
+    model.Train(data.value(), ForestParams(), rng);
+    status = SaveRandomForest(model, argv[4]);
+  } else {
+    return Usage();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("model written to %s\n", argv[4]);
+  return 0;
+}
+
+int CmdSelect(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  ClassifierKind kind;
+  if (!ParseClassifier(argv[2], &kind)) return Usage();
+  StatusOr<Dataset> data = LoadAnyCohort(argv[3]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().message().c_str());
+    return 1;
+  }
+  double budget = std::atof(argv[4]);
+
+  PipelineConfig config;
+  config.classifier = kind;
+  config.risk_budget = budget;
+  SecureClassificationPipeline pipeline(data.value(), config);
+  const DisclosurePlan& plan = pipeline.plan();
+  std::printf("disclosure plan (budget %.4f):\n", budget);
+  for (int f : plan.features) {
+    std::printf("  %s\n", data.value().features()[f].name.c_str());
+  }
+  std::printf("risk lift        : %.4f\n", plan.risk_lift);
+  std::printf("modeled cost     : %.3f ms/query\n",
+              plan.compute_seconds * 1e3);
+  std::printf("speedup vs pure  : %.1fx\n", plan.speedup_vs_pure);
+  return 0;
+}
+
+int CmdClassify(int argc, char** argv) {
+  if (argc != 6) return Usage();
+  ClassifierKind kind;
+  if (!ParseClassifier(argv[2], &kind)) return Usage();
+  StatusOr<Dataset> data = LoadAnyCohort(argv[3]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().message().c_str());
+    return 1;
+  }
+  double budget = std::atof(argv[4]);
+  size_t row_index = std::strtoull(argv[5], nullptr, 10);
+  if (row_index >= data.value().size()) {
+    std::fprintf(stderr, "error: row %zu out of range (n=%zu)\n", row_index,
+                 data.value().size());
+    return 1;
+  }
+
+  PipelineConfig config;
+  config.classifier = kind;
+  config.risk_budget = budget;
+  SecureClassificationPipeline pipeline(data.value(), config);
+  const std::vector<int>& row = data.value().row(row_index);
+  SmcRunStats stats = pipeline.Classify(row);
+  std::printf("row %zu -> class %d (plaintext model says %d)\n", row_index,
+              stats.predicted_class, pipeline.PlaintextPredict(row));
+  std::printf("traffic: %llu bytes, %llu rounds; wall %.1f ms\n",
+              static_cast<unsigned long long>(stats.bytes),
+              static_cast<unsigned long long>(stats.rounds),
+              stats.wall_seconds * 1e3);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(argc, argv);
+  if (std::strcmp(argv[1], "train") == 0) return CmdTrain(argc, argv);
+  if (std::strcmp(argv[1], "select") == 0) return CmdSelect(argc, argv);
+  if (std::strcmp(argv[1], "classify") == 0) return CmdClassify(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,55 @@
+// Quickstart: train a dosing model, pick a privacy-aware disclosure plan,
+// and securely classify a patient — the whole pipeline in ~60 lines.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/warfarin_gen.h"
+#include "util/random.h"
+
+using namespace pafs;
+
+int main() {
+  // 1. The hospital's cohort (synthetic IWPC-style warfarin data).
+  Rng rng(2016);
+  Dataset cohort = GenerateWarfarinCohort(3000, rng);
+  std::printf("Cohort: %zu patients, %d features, %d dose classes\n",
+              cohort.size(), cohort.num_features(), cohort.num_classes());
+
+  // 2. Configure the pipeline: naive Bayes dosing model, and a privacy
+  //    budget that caps the adversary's posterior lift on any genotype at
+  //    5 percentage points.
+  PipelineConfig config;
+  config.classifier = ClassifierKind::kNaiveBayes;
+  config.risk_budget = 0.05;
+  SecureClassificationPipeline pipeline(cohort, config);
+
+  const DisclosurePlan& plan = pipeline.plan();
+  std::printf("\nDisclosure plan (risk budget %.2f):\n", config.risk_budget);
+  for (int f : plan.features) {
+    std::printf("  disclose %-14s\n", cohort.features()[f].name.c_str());
+  }
+  std::printf("  risk lift   : %.4f\n", plan.risk_lift);
+  std::printf("  est. speedup: %.1fx over pure SMC\n", plan.speedup_vs_pure);
+
+  // 3. A patient arrives. Disclosed features go in plaintext; genotypes
+  //    and everything else stay inside the secure protocol.
+  const std::vector<int>& patient = cohort.row(7);
+  SmcRunStats stats = pipeline.Classify(patient);
+
+  static const char* kDoseNames[] = {"low (<21 mg/wk)", "medium (21-49)",
+                                     "high (>49 mg/wk)"};
+  std::printf("\nSecure classification result: %s\n",
+              kDoseNames[stats.predicted_class]);
+  std::printf("  matches plaintext model: %s\n",
+              stats.predicted_class == pipeline.PlaintextPredict(patient)
+                  ? "yes"
+                  : "NO (bug!)");
+  std::printf("  protocol traffic: %llu bytes, %llu rounds\n",
+              static_cast<unsigned long long>(stats.bytes),
+              static_cast<unsigned long long>(stats.rounds));
+  std::printf("  wall time (both parties, in-process): %.1f ms\n",
+              stats.wall_seconds * 1e3);
+  return 0;
+}

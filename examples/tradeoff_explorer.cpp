@@ -1,0 +1,62 @@
+// Interactive-style exploration of the performance/privacy tradeoff: walks
+// the whole budget axis and prints the Pareto frontier as a table, for any
+// of the three classifiers.
+//
+//   ./tradeoff_explorer [naive_bayes|decision_tree|linear]
+#include <cstdio>
+#include <cstring>
+
+#include "core/selection.h"
+#include "data/warfarin_gen.h"
+#include "ml/decision_tree.h"
+#include "util/random.h"
+
+using namespace pafs;
+
+int main(int argc, char** argv) {
+  ClassifierKind kind = ClassifierKind::kNaiveBayes;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "decision_tree") == 0) {
+      kind = ClassifierKind::kDecisionTree;
+    } else if (std::strcmp(argv[1], "linear") == 0) {
+      kind = ClassifierKind::kLinear;
+    } else if (std::strcmp(argv[1], "naive_bayes") != 0) {
+      std::fprintf(stderr,
+                   "usage: %s [naive_bayes|decision_tree|linear]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  Rng rng(11);
+  Dataset cohort = GenerateWarfarinCohort(3000, rng);
+  DecisionTree tree;
+  tree.Train(cohort);
+
+  CostCalibration calibration = CostCalibration::Measure(512, rng);
+  SmcCostModel cost_model(cohort.features(), cohort.num_classes(),
+                          calibration);
+  DisclosureSelector selector(cohort, cost_model, kind,
+                              kind == ClassifierKind::kDecisionTree ? &tree
+                                                                    : nullptr);
+
+  double pure_seconds =
+      selector.PureSmcCost().ComputeSeconds(calibration);
+  std::printf("classifier: %s\n", ClassifierName(kind));
+  std::printf("pure SMC modeled cost: %.2f ms/query\n\n", pure_seconds * 1e3);
+
+  std::printf("%-8s %-10s %-10s %-9s  %s\n", "budget", "risk", "cost(ms)",
+              "speedup", "disclosure set");
+  std::vector<double> budgets = {0.0,  0.005, 0.01, 0.02, 0.05,
+                                 0.1,  0.15,  0.25, 0.5,  1.0};
+  std::vector<DisclosurePlan> frontier = selector.ParetoFrontier(budgets);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const DisclosurePlan& plan = frontier[i];
+    std::printf("%-8.3f %-10.4f %-10.3f %-9.1f ", budgets[i], plan.risk_lift,
+                plan.compute_seconds * 1e3, plan.speedup_vs_pure);
+    for (int f : plan.features) {
+      std::printf(" %s", cohort.features()[f].name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

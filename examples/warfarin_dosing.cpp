@@ -1,0 +1,86 @@
+// The paper's motivating scenario in full: cloud-hosted pharmacogenomic
+// warfarin dosing. Compares pure SMC against privacy-aware disclosure for
+// all three classifier families, and shows what the inference adversary
+// gains from the disclosure.
+//
+//   ./warfarin_dosing
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/warfarin_gen.h"
+#include "privacy/inference_attack.h"
+#include "util/random.h"
+
+using namespace pafs;
+
+namespace {
+
+void RunClassifier(const Dataset& cohort, ClassifierKind kind,
+                   double risk_budget) {
+  PipelineConfig config;
+  config.classifier = kind;
+  config.risk_budget = risk_budget;
+  config.paillier_bits = 512;
+  SecureClassificationPipeline pipeline(cohort, config);
+  const DisclosurePlan& plan = pipeline.plan();
+
+  std::printf("\n=== %s ===\n", ClassifierName(kind));
+  std::printf("  disclosure set:");
+  if (plan.features.empty()) std::printf(" (none)");
+  for (int f : plan.features) {
+    std::printf(" %s", cohort.features()[f].name.c_str());
+  }
+  std::printf("\n  risk lift %.4f (budget %.2f)\n", plan.risk_lift,
+              risk_budget);
+
+  const std::vector<int>& patient = cohort.row(42);
+  SmcRunStats pure = pipeline.ClassifyWithDisclosure(patient, {});
+  SmcRunStats planned = pipeline.Classify(patient);
+  std::printf("  pure SMC   : %8.1f ms, %9llu bytes (class %d)\n",
+              pure.wall_seconds * 1e3,
+              static_cast<unsigned long long>(pure.bytes),
+              pure.predicted_class);
+  std::printf("  with plan  : %8.1f ms, %9llu bytes (class %d)\n",
+              planned.wall_seconds * 1e3,
+              static_cast<unsigned long long>(planned.bytes),
+              planned.predicted_class);
+  std::printf("  measured   : %.1fx less traffic, modeled speedup %.1fx\n",
+              pure.bytes / static_cast<double>(planned.bytes),
+              plan.speedup_vs_pure);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  Dataset cohort = GenerateWarfarinCohort(4000, rng);
+  std::printf("Warfarin cohort: %zu patients\n", cohort.size());
+  std::printf("Sensitive attributes: vkorc1, cyp2c9 (never disclosed)\n");
+
+  const double kBudget = 0.05;
+  RunClassifier(cohort, ClassifierKind::kDecisionTree, kBudget);
+  RunClassifier(cohort, ClassifierKind::kNaiveBayes, kBudget);
+  RunClassifier(cohort, ClassifierKind::kLinear, kBudget);
+
+  // What does the adversary actually gain? Simulate the SNP-inference
+  // attack (Fredrikson et al. style) against the plan's disclosure.
+  std::printf("\n=== inference attack on the disclosure ===\n");
+  auto [public_data, victims] = cohort.Split(0.5, rng);
+  ChowLiuTree adversary;
+  adversary.Train(public_data);
+  PipelineConfig config;
+  config.classifier = ClassifierKind::kNaiveBayes;
+  config.risk_budget = kBudget;
+  SecureClassificationPipeline pipeline(cohort, config);
+  auto results =
+      RunInferenceAttack(adversary, victims, pipeline.plan().features);
+  for (const auto& r : results) {
+    std::printf("  %-8s: baseline %.3f -> with disclosure %.3f (+%.3f)\n",
+                cohort.features()[r.sensitive_feature].name.c_str(),
+                r.baseline_accuracy, r.attack_accuracy,
+                r.attack_accuracy - r.baseline_accuracy);
+  }
+  std::printf("\nBudgeted disclosure keeps the genotype inference gain "
+              "small while cutting SMC cost.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local verification: configure, build, test, and run every bench.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done

@@ -1,0 +1,463 @@
+#include "bignum/bigint.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+// Karatsuba pays off once schoolbook's quadratic constant dominates.
+constexpr size_t kKaratsubaThresholdLimbs = 24;
+
+void TrimZeros(std::vector<uint32_t>& limbs) {
+  while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+}
+
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  negative_ = value < 0;
+  // Avoid overflow on INT64_MIN by widening before negation.
+  uint64_t magnitude =
+      negative_ ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  if (magnitude != 0) limbs_.push_back(static_cast<uint32_t>(magnitude));
+  if (magnitude >> 32) limbs_.push_back(static_cast<uint32_t>(magnitude >> 32));
+  Normalize();
+}
+
+BigInt::BigInt(uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<uint32_t>(value >> 32));
+}
+
+BigInt BigInt::FromLimbs(std::vector<uint32_t> limbs, bool negative) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.negative_ = negative;
+  out.Normalize();
+  return out;
+}
+
+void BigInt::Normalize() {
+  TrimZeros(limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  int bits = 32 * static_cast<int>(limbs_.size() - 1);
+  uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::GetBit(int i) const {
+  PAFS_CHECK_GE(i, 0);
+  size_t limb = static_cast<size_t>(i) / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+int64_t BigInt::ToI64() const {
+  PAFS_CHECK_LE(limbs_.size(), 2u);
+  uint64_t magnitude = 0;
+  if (limbs_.size() >= 1) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    PAFS_CHECK_LE(magnitude, static_cast<uint64_t>(INT64_MAX) + 1);
+    return -static_cast<int64_t>(magnitude - 1) - 1;
+  }
+  PAFS_CHECK_LE(magnitude, static_cast<uint64_t>(INT64_MAX));
+  return static_cast<int64_t>(magnitude);
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) return a.negative_ ? -1 : 1;
+  int mag = CompareMagnitude(a, b);
+  return a.negative_ ? -mag : mag;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> out(longer.size() + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
+    out[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out[longer.size()] = static_cast<uint32_t>(carry);
+  TrimZeros(out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out(a.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0) - borrow;
+    if (diff < 0) {
+      diff += 1ll << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<uint32_t>(diff);
+  }
+  PAFS_CHECK_EQ(borrow, 0);
+  TrimZeros(out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulSchoolbook(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out[i + b.size()] += static_cast<uint32_t>(carry);
+  }
+  TrimZeros(out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulKaratsuba(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (std::min(a.size(), b.size()) < kKaratsubaThresholdLimbs) {
+    return MulSchoolbook(a, b);
+  }
+  size_t half = std::max(a.size(), b.size()) / 2;
+  auto split = [half](const std::vector<uint32_t>& v)
+      -> std::pair<std::vector<uint32_t>, std::vector<uint32_t>> {
+    std::vector<uint32_t> lo(v.begin(),
+                             v.begin() + std::min(half, v.size()));
+    std::vector<uint32_t> hi(v.size() > half ? v.begin() + half : v.end(),
+                             v.end());
+    TrimZeros(lo);
+    TrimZeros(hi);
+    return {lo, hi};
+  };
+  auto [a_lo, a_hi] = split(a);
+  auto [b_lo, b_hi] = split(b);
+
+  std::vector<uint32_t> z0 = MulKaratsuba(a_lo, b_lo);
+  std::vector<uint32_t> z2 = MulKaratsuba(a_hi, b_hi);
+  std::vector<uint32_t> a_sum = AddMagnitude(a_lo, a_hi);
+  std::vector<uint32_t> b_sum = AddMagnitude(b_lo, b_hi);
+  std::vector<uint32_t> z1 = MulKaratsuba(a_sum, b_sum);
+  z1 = SubMagnitude(z1, z0);
+  z1 = SubMagnitude(z1, z2);
+
+  std::vector<uint32_t> out(a.size() + b.size() + 1, 0);
+  auto add_at = [&out](const std::vector<uint32_t>& v, size_t shift) {
+    uint64_t carry = 0;
+    size_t i = 0;
+    for (; i < v.size(); ++i) {
+      uint64_t sum = carry + out[shift + i] + v[i];
+      out[shift + i] = static_cast<uint32_t>(sum);
+      carry = sum >> 32;
+    }
+    while (carry) {
+      uint64_t sum = carry + out[shift + i];
+      out[shift + i] = static_cast<uint32_t>(sum);
+      carry = sum >> 32;
+      ++i;
+    }
+  };
+  add_at(z0, 0);
+  add_at(z1, half);
+  add_at(z2, 2 * half);
+  TrimZeros(out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  return MulKaratsuba(a, b);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  if (negative_ == other.negative_) {
+    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int mag = CompareMagnitude(*this, other);
+    if (mag == 0) return BigInt();
+    const BigInt& big = mag > 0 ? *this : other;
+    const BigInt& small = mag > 0 ? other : *this;
+    out.limbs_ = SubMagnitude(big.limbs_, small.limbs_);
+    out.negative_ = big.negative_;
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt out;
+  out.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  out.negative_ = negative_ != other.negative_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator<<(int bits) const {
+  PAFS_CHECK_GE(bits, 0);
+  if (is_zero() || bits == 0) return *this;
+  int limb_shift = bits / 32;
+  int bit_shift = bits % 32;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(int bits) const {
+  PAFS_CHECK_GE(bits, 0);
+  if (is_zero() || bits == 0) return *this;
+  int limb_shift = bits / 32;
+  int bit_shift = bits % 32;
+  if (limb_shift >= static_cast<int>(limbs_.size())) return BigInt();
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Normalize();
+  return out;
+}
+
+void BigInt::DivModMagnitude(const BigInt& a, const BigInt& b, BigInt* q,
+                             BigInt* r) {
+  PAFS_CHECK(!b.is_zero());
+  if (CompareMagnitude(a, b) < 0) {
+    *q = BigInt();
+    *r = a;
+    r->negative_ = false;
+    return;
+  }
+  // Shift-subtract long division over the magnitude bits, MSB first.
+  BigInt dividend = a;
+  dividend.negative_ = false;
+  BigInt divisor = b;
+  divisor.negative_ = false;
+
+  int shift = dividend.BitLength() - divisor.BitLength();
+  BigInt shifted = divisor << shift;
+  BigInt quotient;
+  quotient.limbs_.assign((shift + 32) / 32, 0);
+  BigInt remainder = dividend;
+  for (int i = shift; i >= 0; --i) {
+    if (CompareMagnitude(remainder, shifted) >= 0) {
+      remainder.limbs_ = SubMagnitude(remainder.limbs_, shifted.limbs_);
+      remainder.Normalize();
+      quotient.limbs_[i / 32] |= 1u << (i % 32);
+    }
+    shifted = shifted >> 1;
+  }
+  quotient.Normalize();
+  *q = quotient;
+  *r = remainder;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                    BigInt* remainder) {
+  BigInt q, r;
+  DivModMagnitude(a, b, &q, &r);
+  // C++ semantics: quotient truncates toward zero, remainder follows a.
+  q.negative_ = !q.is_zero() && (a.negative_ != b.negative_);
+  r.negative_ = !r.is_zero() && a.negative_;
+  if (quotient != nullptr) *quotient = q;
+  if (remainder != nullptr) *remainder = r;
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q;
+  DivMod(*this, other, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt r;
+  DivMod(*this, other, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::FromDecimal(const std::string& s) {
+  PAFS_CHECK(!s.empty());
+  size_t start = 0;
+  bool negative = false;
+  if (s[0] == '-') {
+    negative = true;
+    start = 1;
+    PAFS_CHECK_GT(s.size(), 1u);
+  }
+  BigInt out;
+  for (size_t i = start; i < s.size(); ++i) {
+    PAFS_CHECK(s[i] >= '0' && s[i] <= '9');
+    out = out * BigInt(10) + BigInt(static_cast<int64_t>(s[i] - '0'));
+  }
+  if (negative && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+BigInt BigInt::FromHex(const std::string& s) {
+  PAFS_CHECK(!s.empty());
+  BigInt out;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      PAFS_CHECK_MSG(false, "bad hex digit");
+      return out;
+    }
+    out = (out << 4) + BigInt(static_cast<int64_t>(digit));
+  }
+  return out;
+}
+
+std::string BigInt::ToDecimal() const {
+  if (is_zero()) return "0";
+  // Repeated division by 1e9 peels nine digits per pass.
+  std::vector<uint32_t> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<uint32_t>(cur / 1000000000ull);
+      rem = cur % 1000000000ull;
+    }
+    TrimZeros(work);
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigInt::ToHex() const {
+  if (is_zero()) return "0";
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  if (negative_) out.push_back('-');
+  bool leading = true;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int nibble = 7; nibble >= 0; --nibble) {
+      int digit = (limbs_[i] >> (nibble * 4)) & 0xF;
+      if (leading && digit == 0) continue;
+      leading = false;
+      out.push_back(kHex[digit]);
+    }
+  }
+  return out;
+}
+
+BigInt BigInt::RandomBits(Rng& rng, int bits) {
+  PAFS_CHECK_GE(bits, 1);
+  BigInt out;
+  out.limbs_.assign((bits + 31) / 32, 0);
+  for (auto& limb : out.limbs_) limb = static_cast<uint32_t>(rng.NextU64());
+  int top_bits = bits % 32 == 0 ? 32 : bits % 32;
+  uint32_t mask = top_bits == 32 ? ~0u : (1u << top_bits) - 1;
+  out.limbs_.back() &= mask;
+  out.limbs_.back() |= 1u << (top_bits - 1);  // Force exact bit length.
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::RandomBelow(Rng& rng, const BigInt& bound) {
+  PAFS_CHECK(bound > BigInt(0));
+  int bits = bound.BitLength();
+  // Rejection sampling keeps the distribution exactly uniform.
+  while (true) {
+    BigInt candidate;
+    candidate.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& limb : candidate.limbs_) {
+      limb = static_cast<uint32_t>(rng.NextU64());
+    }
+    int top_bits = bits % 32 == 0 ? 32 : bits % 32;
+    uint32_t mask = top_bits == 32 ? ~0u : (1u << top_bits) - 1;
+    candidate.limbs_.back() &= mask;
+    candidate.Normalize();
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::FromBytes(const std::vector<uint8_t>& bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    out.limbs_[i / 4] |= static_cast<uint32_t>(bytes[i]) << (8 * (i % 4));
+  }
+  out.Normalize();
+  return out;
+}
+
+std::vector<uint8_t> BigInt::ToBytes() const {
+  std::vector<uint8_t> out(limbs_.size() * 4, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    for (int b = 0; b < 4; ++b) {
+      out[i * 4 + b] = static_cast<uint8_t>(limbs_[i] >> (8 * b));
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+}  // namespace pafs

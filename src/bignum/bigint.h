@@ -1,0 +1,122 @@
+// Arbitrary-precision signed integers. This is the arithmetic substrate for
+// the Paillier cryptosystem and the discrete-log base oblivious transfer.
+//
+// Representation: sign-magnitude with base-2^32 limbs, least significant
+// limb first. Multiplication switches to Karatsuba above a size threshold;
+// modular exponentiation (modmath.h) uses Montgomery reduction for odd
+// moduli, so general division here favors simplicity (shift-subtract) over
+// peak speed.
+#ifndef PAFS_BIGNUM_BIGINT_H_
+#define PAFS_BIGNUM_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pafs {
+
+class Rng;
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(int64_t value);   // NOLINT: implicit by design, mirrors built-ins
+  BigInt(uint64_t value);  // NOLINT
+  BigInt(int value) : BigInt(static_cast<int64_t>(value)) {}  // NOLINT
+
+  // Parses decimal, with optional leading '-'. Dies on malformed input.
+  static BigInt FromDecimal(const std::string& s);
+  // Parses lowercase/uppercase hex without 0x prefix.
+  static BigInt FromHex(const std::string& s);
+  // Uniform value with exactly `bits` bits (top bit set). bits >= 1.
+  static BigInt RandomBits(Rng& rng, int bits);
+  // Uniform value in [0, bound). bound > 0.
+  static BigInt RandomBelow(Rng& rng, const BigInt& bound);
+  // Little-endian byte import/export of the magnitude.
+  static BigInt FromBytes(const std::vector<uint8_t>& bytes);
+  std::vector<uint8_t> ToBytes() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  // Number of significant bits of the magnitude; 0 for zero.
+  int BitLength() const;
+  bool GetBit(int i) const;
+
+  // Value as int64 (checked: must fit).
+  int64_t ToI64() const;
+
+  std::string ToDecimal() const;
+  std::string ToHex() const;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  // Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& other) const;
+  BigInt operator%(const BigInt& other) const;
+  BigInt operator<<(int bits) const;
+  BigInt operator>>(int bits) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  // Combined quotient and remainder (both sign-following-C++).
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                     BigInt* remainder);
+
+  // -1 / 0 / +1 signed comparison.
+  static int Compare(const BigInt& a, const BigInt& b);
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  // Internal accessors used by modmath's Montgomery machinery.
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+  static BigInt FromLimbs(std::vector<uint32_t> limbs, bool negative = false);
+
+ private:
+  void Normalize();
+
+  // Magnitude helpers (ignore sign).
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulSchoolbook(const std::vector<uint32_t>& a,
+                                             const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulKaratsuba(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Unsigned divide: |a| = q*|b| + r with 0 <= r < |b|.
+  static void DivModMagnitude(const BigInt& a, const BigInt& b, BigInt* q,
+                              BigInt* r);
+
+  bool negative_ = false;        // Zero is always non-negative.
+  std::vector<uint32_t> limbs_;  // No trailing zero limbs.
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_BIGNUM_BIGINT_H_

@@ -1,0 +1,207 @@
+#include "bignum/modmath.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace pafs {
+
+BigInt Mod(const BigInt& a, const BigInt& m) {
+  PAFS_CHECK(m > BigInt(0));
+  BigInt r = a % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(a + b, m);
+}
+
+BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(a * b, m);
+}
+
+BigInt Gcd(BigInt a, BigInt b) {
+  if (a.is_negative()) a = -a;
+  if (b.is_negative()) b = -b;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt Lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt(0);
+  return (a * b) / Gcd(a, b);
+}
+
+bool TryModInverse(const BigInt& a, const BigInt& m, BigInt* out) {
+  PAFS_CHECK(m > BigInt(1));
+  // Extended Euclid tracking only the coefficient of a.
+  BigInt r0 = m, r1 = Mod(a, m);
+  BigInt t0(0), t1(1);
+  while (!r1.is_zero()) {
+    BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    BigInt t2 = t0 - q * t1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (r0 != BigInt(1)) return false;
+  *out = Mod(t0, m);
+  return true;
+}
+
+BigInt ModInverse(const BigInt& a, const BigInt& m) {
+  BigInt out;
+  PAFS_CHECK_MSG(TryModInverse(a, m, &out), "modular inverse does not exist");
+  return out;
+}
+
+BigInt CrtCombine(const BigInt& r_p, const BigInt& p, const BigInt& r_q,
+                  const BigInt& q) {
+  // x = r_p + p * ((r_q - r_p) * p^{-1} mod q)
+  BigInt p_inv_q = ModInverse(p, q);
+  BigInt diff = Mod(r_q - r_p, q);
+  return r_p + p * ModMul(diff, p_inv_q, q);
+}
+
+namespace {
+
+// -m^{-1} mod 2^32 for odd m, via Newton iteration on 32-bit words.
+uint32_t NegInverseU32(uint32_t m) {
+  uint32_t inv = m;  // Correct to 3 bits.
+  for (int i = 0; i < 5; ++i) inv *= 2u - m * inv;
+  return ~inv + 1;  // == -inv mod 2^32
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : modulus_(modulus) {
+  PAFS_CHECK(modulus > BigInt(1));
+  PAFS_CHECK_MSG(modulus.is_odd(), "Montgomery requires an odd modulus");
+  m_limbs_ = modulus.limbs();
+  k_ = m_limbs_.size();
+  n0_inv_ = NegInverseU32(m_limbs_[0]);
+  // R = 2^(32k); R mod m computed once via plain division.
+  BigInt r = BigInt(1) << static_cast<int>(32 * k_);
+  r_mod_m_ = r % modulus_;
+}
+
+std::vector<uint32_t> MontgomeryCtx::ToMont(const BigInt& x) const {
+  BigInt shifted = Mod(x, modulus_) << static_cast<int>(32 * k_);
+  BigInt reduced = shifted % modulus_;
+  std::vector<uint32_t> out = reduced.limbs();
+  out.resize(k_, 0);
+  return out;
+}
+
+BigInt MontgomeryCtx::FromMont(const std::vector<uint32_t>& x_mont) const {
+  // Multiplying by Montgomery-1 strips the R factor.
+  std::vector<uint32_t> one(k_, 0);
+  one[0] = 1;
+  std::vector<uint32_t> stripped = MontMul(x_mont, one);
+  return BigInt::FromLimbs(std::move(stripped));
+}
+
+std::vector<uint32_t> MontgomeryCtx::MontMul(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) const {
+  PAFS_CHECK_EQ(a.size(), k_);
+  PAFS_CHECK_EQ(b.size(), k_);
+  // CIOS (coarsely integrated operand scanning), Koç et al. 1996.
+  std::vector<uint32_t> t(k_ + 2, 0);
+  for (size_t i = 0; i < k_; ++i) {
+    uint64_t carry = 0;
+    uint64_t a_i = a[i];
+    for (size_t j = 0; j < k_; ++j) {
+      uint64_t cur = t[j] + a_i * b[j] + carry;
+      t[j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    uint64_t cur = t[k_] + carry;
+    t[k_] = static_cast<uint32_t>(cur);
+    t[k_ + 1] = static_cast<uint32_t>(cur >> 32);
+
+    uint32_t mu = static_cast<uint32_t>(t[0] * n0_inv_);
+    cur = t[0] + static_cast<uint64_t>(mu) * m_limbs_[0];
+    carry = cur >> 32;
+    for (size_t j = 1; j < k_; ++j) {
+      cur = t[j] + static_cast<uint64_t>(mu) * m_limbs_[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[k_] + carry;
+    t[k_ - 1] = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+    t[k_] = t[k_ + 1] + static_cast<uint32_t>(carry);
+    t[k_ + 1] = 0;
+  }
+  // Conditional final subtraction brings the result below m.
+  std::vector<uint32_t> result(t.begin(), t.begin() + k_);
+  bool needs_sub = t[k_] != 0;
+  if (!needs_sub) {
+    needs_sub = true;
+    for (size_t i = k_; i-- > 0;) {
+      if (result[i] != m_limbs_[i]) {
+        needs_sub = result[i] > m_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (needs_sub) {
+    // CIOS guarantees t < 2m, so one subtraction suffices; a borrow out of
+    // the low k limbs cancels against the t[k_] overflow word.
+    int64_t borrow = 0;
+    for (size_t i = 0; i < k_; ++i) {
+      int64_t diff = static_cast<int64_t>(result[i]) -
+                     static_cast<int64_t>(m_limbs_[i]) - borrow;
+      if (diff < 0) {
+        diff += 1ll << 32;
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      result[i] = static_cast<uint32_t>(diff);
+    }
+    // Any remaining borrow cancels against the t[k_] overflow word.
+  }
+  return result;
+}
+
+BigInt MontgomeryCtx::Exp(const BigInt& a, const BigInt& e) const {
+  PAFS_CHECK(!e.is_negative());
+  if (e.is_zero()) return Mod(BigInt(1), modulus_);
+  std::vector<uint32_t> base = ToMont(a);
+  std::vector<uint32_t> acc = r_mod_m_.limbs();
+  acc.resize(k_, 0);  // Montgomery form of 1.
+  for (int i = e.BitLength() - 1; i >= 0; --i) {
+    acc = MontMul(acc, acc);
+    if (e.GetBit(i)) acc = MontMul(acc, base);
+  }
+  return FromMont(acc);
+}
+
+BigInt ModExp(const BigInt& a, const BigInt& e, const BigInt& m) {
+  PAFS_CHECK(m > BigInt(0));
+  PAFS_CHECK(!e.is_negative());
+  if (m == BigInt(1)) return BigInt(0);
+  if (m.is_odd()) {
+    MontgomeryCtx ctx(m);
+    return ctx.Exp(a, e);
+  }
+  // Even modulus: plain square-and-multiply with trial division. Rare path;
+  // all protocol moduli (Paillier n^2, OT primes) are odd.
+  BigInt base = Mod(a, m);
+  BigInt acc(1);
+  for (int i = e.BitLength() - 1; i >= 0; --i) {
+    acc = ModMul(acc, acc, m);
+    if (e.GetBit(i)) acc = ModMul(acc, base, m);
+  }
+  return acc;
+}
+
+}  // namespace pafs

@@ -1,0 +1,63 @@
+// Modular arithmetic over BigInt: GCD/inverse, CRT recombination, and a
+// Montgomery-reduction context that makes modular exponentiation fast enough
+// for Paillier keys in the 512-2048 bit range.
+#ifndef PAFS_BIGNUM_MODMATH_H_
+#define PAFS_BIGNUM_MODMATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace pafs {
+
+// Non-negative remainder of a mod m (m > 0).
+BigInt Mod(const BigInt& a, const BigInt& m);
+BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m);
+BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
+
+BigInt Gcd(BigInt a, BigInt b);
+BigInt Lcm(const BigInt& a, const BigInt& b);
+
+// Inverse of a mod m; dies if gcd(a, m) != 1.
+BigInt ModInverse(const BigInt& a, const BigInt& m);
+// Like ModInverse but reports failure instead of dying.
+bool TryModInverse(const BigInt& a, const BigInt& m, BigInt* out);
+
+// a^e mod m for e >= 0. Uses Montgomery reduction when m is odd.
+BigInt ModExp(const BigInt& a, const BigInt& e, const BigInt& m);
+
+// Solves x = r_p (mod p), x = r_q (mod q) for coprime p, q.
+BigInt CrtCombine(const BigInt& r_p, const BigInt& p, const BigInt& r_q,
+                  const BigInt& q);
+
+// Reusable Montgomery state for a fixed odd modulus. Exposing this lets
+// Paillier amortize the per-modulus setup across thousands of operations.
+class MontgomeryCtx {
+ public:
+  explicit MontgomeryCtx(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+
+  // x -> x*R mod m, with x already reduced mod m.
+  std::vector<uint32_t> ToMont(const BigInt& x) const;
+  BigInt FromMont(const std::vector<uint32_t>& x_mont) const;
+
+  // Montgomery product: a*b*R^{-1} mod m, operands in Montgomery form.
+  std::vector<uint32_t> MontMul(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) const;
+
+  // a^e mod m (a any sign/size; result in normal form).
+  BigInt Exp(const BigInt& a, const BigInt& e) const;
+
+ private:
+  BigInt modulus_;
+  std::vector<uint32_t> m_limbs_;  // Padded to k_ limbs.
+  size_t k_;                       // Limb count of the modulus.
+  uint32_t n0_inv_;                // -m^{-1} mod 2^32.
+  BigInt r_mod_m_;                 // R mod m (Montgomery form of 1).
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_BIGNUM_MODMATH_H_

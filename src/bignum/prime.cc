@@ -1,0 +1,81 @@
+#include "bignum/prime.h"
+
+#include "bignum/modmath.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+// Small-prime trial division screens out most composites cheaply.
+constexpr int kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29,
+                                31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+                                73, 79, 83, 89, 97, 101, 103, 107, 109, 113};
+
+bool MillerRabinRound(const BigInt& n, const BigInt& d, int r,
+                      const BigInt& a) {
+  BigInt x = ModExp(a, d, n);
+  BigInt n_minus_1 = n - BigInt(1);
+  if (x == BigInt(1) || x == n_minus_1) return true;
+  for (int i = 0; i < r - 1; ++i) {
+    x = ModMul(x, x, n);
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (int p : kSmallPrimes) {
+    BigInt bp(static_cast<int64_t>(p));
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  BigInt d = n - BigInt(1);
+  int r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  BigInt n_minus_3 = n - BigInt(3);
+  for (int i = 0; i < rounds; ++i) {
+    BigInt a = BigInt::RandomBelow(rng, n_minus_3) + BigInt(2);  // [2, n-2]
+    if (!MillerRabinRound(n, d, r, a)) return false;
+  }
+  return true;
+}
+
+BigInt RandomPrime(Rng& rng, int bits) {
+  PAFS_CHECK_GE(bits, 3);
+  while (true) {
+    BigInt candidate = BigInt::RandomBits(rng, bits);
+    if (!candidate.is_odd()) candidate += BigInt(1);
+    if (candidate.BitLength() != bits) continue;
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+BigInt RandomSafePrime(Rng& rng, int bits) {
+  PAFS_CHECK_GE(bits, 4);
+  while (true) {
+    BigInt q = RandomPrime(rng, bits - 1);
+    BigInt p = (q << 1) + BigInt(1);
+    if (p.BitLength() == bits && IsProbablePrime(p, rng)) return p;
+  }
+}
+
+const BigInt& Rfc3526Prime1024() {
+  // Oakley Group 2 (RFC 2409 section 6.2): a 1024-bit safe prime.
+  static const BigInt* const kPrime = new BigInt(BigInt::FromHex(
+      "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+      "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+      "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+      "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF"));
+  return *kPrime;
+}
+
+}  // namespace pafs

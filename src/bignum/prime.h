@@ -1,0 +1,29 @@
+// Probabilistic primality testing and random prime generation for Paillier
+// key material and the base-OT group.
+#ifndef PAFS_BIGNUM_PRIME_H_
+#define PAFS_BIGNUM_PRIME_H_
+
+#include "bignum/bigint.h"
+
+namespace pafs {
+
+class Rng;
+
+// Miller-Rabin with `rounds` random bases (error < 4^-rounds).
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds = 24);
+
+// Uniform-ish random prime with exactly `bits` bits.
+BigInt RandomPrime(Rng& rng, int bits);
+
+// Random safe prime p = 2q + 1 with both p, q prime; `bits` is the size of
+// p. Slow for large sizes; used only for small OT group setup in tests.
+BigInt RandomSafePrime(Rng& rng, int bits);
+
+// A fixed 1024-bit safe prime (RFC 5114-style) so protocol setup does not
+// pay safe-prime generation at runtime. Generator 2 has order q = (p-1)/2...
+// see base_ot.cc for how it is used.
+const BigInt& Rfc3526Prime1024();
+
+}  // namespace pafs
+
+#endif  // PAFS_BIGNUM_PRIME_H_

@@ -1,0 +1,281 @@
+#include "circuit/builder.h"
+
+#include "util/check.h"
+
+namespace pafs {
+
+CircuitBuilder::CircuitBuilder(uint32_t garbler_inputs,
+                               uint32_t evaluator_inputs) {
+  PAFS_CHECK_MSG(garbler_inputs + evaluator_inputs > 0,
+                 "circuit needs at least one input wire");
+  circuit_.garbler_inputs_ = garbler_inputs;
+  circuit_.evaluator_inputs_ = evaluator_inputs;
+  circuit_.num_wires_ = garbler_inputs + evaluator_inputs;
+}
+
+CircuitBuilder::Wire CircuitBuilder::NewWire() { return circuit_.num_wires_++; }
+
+CircuitBuilder::Wire CircuitBuilder::GarblerInput(uint32_t i) const {
+  PAFS_CHECK_LT(i, circuit_.garbler_inputs_);
+  return i;
+}
+
+CircuitBuilder::Wire CircuitBuilder::EvaluatorInput(uint32_t i) const {
+  PAFS_CHECK_LT(i, circuit_.evaluator_inputs_);
+  return circuit_.garbler_inputs_ + i;
+}
+
+CircuitBuilder::Word CircuitBuilder::GarblerWord(uint32_t offset,
+                                                 uint32_t width) const {
+  Word w(width);
+  for (uint32_t i = 0; i < width; ++i) w[i] = GarblerInput(offset + i);
+  return w;
+}
+
+CircuitBuilder::Word CircuitBuilder::EvaluatorWord(uint32_t offset,
+                                                   uint32_t width) const {
+  Word w(width);
+  for (uint32_t i = 0; i < width; ++i) w[i] = EvaluatorInput(offset + i);
+  return w;
+}
+
+CircuitBuilder::Wire CircuitBuilder::Xor(Wire a, Wire b) {
+  Wire out = NewWire();
+  circuit_.gates_.push_back(Gate{GateType::kXor, a, b, out});
+  return out;
+}
+
+CircuitBuilder::Wire CircuitBuilder::And(Wire a, Wire b) {
+  Wire out = NewWire();
+  circuit_.gates_.push_back(Gate{GateType::kAnd, a, b, out});
+  return out;
+}
+
+CircuitBuilder::Wire CircuitBuilder::Not(Wire a) {
+  Wire out = NewWire();
+  circuit_.gates_.push_back(Gate{GateType::kNot, a, a, out});
+  return out;
+}
+
+CircuitBuilder::Wire CircuitBuilder::Or(Wire a, Wire b) {
+  // a | b = (a ^ b) ^ (a & b): one AND.
+  return Xor(Xor(a, b), And(a, b));
+}
+
+CircuitBuilder::Wire CircuitBuilder::ConstZero() {
+  if (!has_const_zero_) {
+    // w XOR w is identically false and garbles for free.
+    const_zero_ = Xor(0, 0);
+    has_const_zero_ = true;
+  }
+  return const_zero_;
+}
+
+CircuitBuilder::Wire CircuitBuilder::ConstOne() {
+  if (!has_const_one_) {
+    const_one_ = Not(ConstZero());
+    has_const_one_ = true;
+  }
+  return const_one_;
+}
+
+CircuitBuilder::Word CircuitBuilder::ConstantWord(uint64_t value,
+                                                  uint32_t width) {
+  PAFS_CHECK_LE(width, 64u);
+  Word w(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    w[i] = ((value >> i) & 1ull) ? ConstOne() : ConstZero();
+  }
+  return w;
+}
+
+CircuitBuilder::Word CircuitBuilder::XorW(const Word& a, const Word& b) {
+  PAFS_CHECK_EQ(a.size(), b.size());
+  Word out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = Xor(a[i], b[i]);
+  return out;
+}
+
+CircuitBuilder::Word CircuitBuilder::AndW(const Word& a, const Word& b) {
+  PAFS_CHECK_EQ(a.size(), b.size());
+  Word out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = And(a[i], b[i]);
+  return out;
+}
+
+CircuitBuilder::Word CircuitBuilder::NotW(const Word& a) {
+  Word out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = Not(a[i]);
+  return out;
+}
+
+CircuitBuilder::Word CircuitBuilder::AddW(const Word& a, const Word& b) {
+  PAFS_CHECK_EQ(a.size(), b.size());
+  PAFS_CHECK(!a.empty());
+  Word sum(a.size());
+  Wire carry = ConstZero();
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Full adder with one AND: s = a^b^c, c' = c ^ ((a^c) & (b^c)).
+    Wire a_xor_c = Xor(a[i], carry);
+    Wire b_xor_c = Xor(b[i], carry);
+    sum[i] = Xor(a_xor_c, b[i]);
+    if (i + 1 < a.size()) {
+      carry = Xor(carry, And(a_xor_c, b_xor_c));
+    }
+  }
+  return sum;
+}
+
+CircuitBuilder::Word CircuitBuilder::SubW(const Word& a, const Word& b) {
+  PAFS_CHECK_EQ(a.size(), b.size());
+  PAFS_CHECK(!a.empty());
+  // a - b = a + ~b + 1: seed the ripple with carry = 1.
+  Word not_b = NotW(b);
+  Word diff(a.size());
+  Wire carry = ConstOne();
+  for (size_t i = 0; i < a.size(); ++i) {
+    Wire a_xor_c = Xor(a[i], carry);
+    Wire b_xor_c = Xor(not_b[i], carry);
+    diff[i] = Xor(a_xor_c, not_b[i]);
+    if (i + 1 < a.size()) {
+      carry = Xor(carry, And(a_xor_c, b_xor_c));
+    }
+  }
+  return diff;
+}
+
+CircuitBuilder::Word CircuitBuilder::NegW(const Word& a) {
+  return SubW(ConstantWord(0, static_cast<uint32_t>(a.size())), a);
+}
+
+CircuitBuilder::Word CircuitBuilder::MulW(const Word& a, const Word& b) {
+  PAFS_CHECK(!a.empty());
+  PAFS_CHECK(!b.empty());
+  uint32_t out_width = static_cast<uint32_t>(a.size() + b.size());
+  Word acc = ConstantWord(0, out_width);
+  for (size_t i = 0; i < b.size(); ++i) {
+    // Partial product (a & b_i) << i, zero-extended to out_width.
+    Word partial(out_width, ConstZero());
+    for (size_t j = 0; j < a.size(); ++j) {
+      partial[i + j] = And(a[j], b[i]);
+    }
+    acc = AddW(acc, partial);
+  }
+  return acc;
+}
+
+CircuitBuilder::Word CircuitBuilder::SignExtend(const Word& a, uint32_t width) {
+  PAFS_CHECK_GE(width, a.size());
+  PAFS_CHECK(!a.empty());
+  Word out = a;
+  out.resize(width, a.back());
+  return out;
+}
+
+CircuitBuilder::Word CircuitBuilder::ZeroExtend(const Word& a, uint32_t width) {
+  PAFS_CHECK_GE(width, a.size());
+  Word out = a;
+  while (out.size() < width) out.push_back(ConstZero());
+  return out;
+}
+
+CircuitBuilder::Wire CircuitBuilder::Equal(const Word& a, const Word& b) {
+  PAFS_CHECK_EQ(a.size(), b.size());
+  PAFS_CHECK(!a.empty());
+  // AND-tree over XNOR bits.
+  Wire acc = Not(Xor(a[0], b[0]));
+  for (size_t i = 1; i < a.size(); ++i) {
+    acc = And(acc, Not(Xor(a[i], b[i])));
+  }
+  return acc;
+}
+
+CircuitBuilder::Wire CircuitBuilder::EqualConst(const Word& a, uint64_t value) {
+  PAFS_CHECK(!a.empty());
+  PAFS_CHECK(a.size() >= 64 || (value >> a.size()) == 0);
+  auto bit_term = [&](size_t i) {
+    return ((value >> i) & 1ull) ? a[i] : Not(a[i]);
+  };
+  Wire acc = bit_term(0);
+  for (size_t i = 1; i < a.size(); ++i) acc = And(acc, bit_term(i));
+  return acc;
+}
+
+CircuitBuilder::Wire CircuitBuilder::LessThanUnsigned(const Word& a,
+                                                      const Word& b) {
+  // MSB of (a - b) over width+1 zero-extended operands is the borrow.
+  uint32_t w = static_cast<uint32_t>(a.size()) + 1;
+  Word diff = SubW(ZeroExtend(a, w), ZeroExtend(b, w));
+  return diff.back();
+}
+
+CircuitBuilder::Wire CircuitBuilder::LessThanSigned(const Word& a,
+                                                    const Word& b) {
+  // Sign-extended subtraction cannot overflow, so the MSB is the answer.
+  uint32_t w = static_cast<uint32_t>(a.size()) + 1;
+  Word diff = SubW(SignExtend(a, w), SignExtend(b, w));
+  return diff.back();
+}
+
+CircuitBuilder::Word CircuitBuilder::Mux(Wire sel, const Word& when_true,
+                                         const Word& when_false) {
+  PAFS_CHECK_EQ(when_true.size(), when_false.size());
+  Word out(when_true.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    // f ^ (sel & (t ^ f)): one AND per bit.
+    out[i] = Xor(when_false[i], And(sel, Xor(when_true[i], when_false[i])));
+  }
+  return out;
+}
+
+CircuitBuilder::Word CircuitBuilder::MuxTree(const Word& selector,
+                                             const std::vector<Word>& table) {
+  PAFS_CHECK(!table.empty());
+  PAFS_CHECK(!selector.empty());
+  std::vector<Word> layer = table;
+  for (size_t bit = 0; bit < selector.size(); ++bit) {
+    if (layer.size() == 1) break;
+    std::vector<Word> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(Mux(selector[bit], layer[i + 1], layer[i]));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  PAFS_CHECK_MSG(layer.size() == 1, "selector too narrow for table");
+  return layer[0];
+}
+
+std::pair<CircuitBuilder::Word, CircuitBuilder::Word>
+CircuitBuilder::ArgMaxSigned(const std::vector<Word>& values) {
+  PAFS_CHECK(!values.empty());
+  uint32_t index_width = 1;
+  while ((1ull << index_width) < values.size()) ++index_width;
+  Word best_index = ConstantWord(0, index_width);
+  Word best_value = values[0];
+  for (size_t i = 1; i < values.size(); ++i) {
+    Wire improved = LessThanSigned(best_value, values[i]);
+    best_value = Mux(improved, values[i], best_value);
+    best_index = Mux(improved, ConstantWord(i, index_width), best_index);
+  }
+  return {best_index, best_value};
+}
+
+void CircuitBuilder::AddOutput(Wire w) {
+  PAFS_CHECK_LT(w, circuit_.num_wires_);
+  circuit_.outputs_.push_back(w);
+}
+
+void CircuitBuilder::AddOutputWord(const Word& word) {
+  for (Wire w : word) AddOutput(w);
+}
+
+Circuit CircuitBuilder::Build() {
+  PAFS_CHECK_MSG(!built_, "Build() called twice");
+  PAFS_CHECK_MSG(!circuit_.outputs_.empty(), "circuit has no outputs");
+  built_ = true;
+  return std::move(circuit_);
+}
+
+}  // namespace pafs

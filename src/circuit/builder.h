@@ -1,0 +1,89 @@
+// Structural circuit builder: words are little-endian vectors of wire ids;
+// arithmetic is two's complement. Gate-cost-conscious constructions: one
+// AND per full-adder bit, one AND per mux bit, XOR/NOT free.
+#ifndef PAFS_CIRCUIT_BUILDER_H_
+#define PAFS_CIRCUIT_BUILDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace pafs {
+
+class CircuitBuilder {
+ public:
+  using Wire = uint32_t;
+  using Word = std::vector<Wire>;
+
+  CircuitBuilder(uint32_t garbler_inputs, uint32_t evaluator_inputs);
+
+  Wire GarblerInput(uint32_t i) const;
+  Wire EvaluatorInput(uint32_t i) const;
+  // Consecutive input bits as a word (LSB first).
+  Word GarblerWord(uint32_t offset, uint32_t width) const;
+  Word EvaluatorWord(uint32_t offset, uint32_t width) const;
+
+  Wire Xor(Wire a, Wire b);
+  Wire And(Wire a, Wire b);
+  Wire Not(Wire a);
+  Wire Or(Wire a, Wire b);
+
+  Wire ConstZero();
+  Wire ConstOne();
+  Word ConstantWord(uint64_t value, uint32_t width);
+
+  // Bitwise word ops (equal widths).
+  Word XorW(const Word& a, const Word& b);
+  Word AndW(const Word& a, const Word& b);
+  Word NotW(const Word& a);
+
+  // Two's complement arithmetic, result width = operand width (wraps).
+  Word AddW(const Word& a, const Word& b);
+  Word SubW(const Word& a, const Word& b);
+  Word NegW(const Word& a);
+  // Full-width product (result width = |a| + |b|), unsigned inputs.
+  Word MulW(const Word& a, const Word& b);
+
+  Word SignExtend(const Word& a, uint32_t width);
+  Word ZeroExtend(const Word& a, uint32_t width);
+
+  Wire Equal(const Word& a, const Word& b);
+  // Equality against a public constant: free (XOR/NOT) except the AND tree.
+  Wire EqualConst(const Word& a, uint64_t value);
+  Wire LessThanUnsigned(const Word& a, const Word& b);
+  Wire LessThanSigned(const Word& a, const Word& b);
+
+  // sel ? when_true : when_false, bitwise.
+  Word Mux(Wire sel, const Word& when_true, const Word& when_false);
+  // table[index] with index given as selector bits (LSB first). Table size
+  // need not be a power of two; in-range indices select exactly, while
+  // out-of-range indices deterministically select *some* table entry
+  // (honest evaluators never submit them — values are < cardinality).
+  Word MuxTree(const Word& selector, const std::vector<Word>& table);
+
+  // Maximum of signed words plus its index. Returns {index, value}; index
+  // width is ceil(log2(k)) (at least 1).
+  std::pair<Word, Word> ArgMaxSigned(const std::vector<Word>& values);
+
+  void AddOutput(Wire w);
+  void AddOutputWord(const Word& word);
+
+  // Finalizes. The builder must not be reused afterwards.
+  Circuit Build();
+
+ private:
+  Wire NewWire();
+
+  Circuit circuit_;
+  bool has_const_zero_ = false;
+  Wire const_zero_ = 0;
+  bool has_const_one_ = false;
+  Wire const_one_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_CIRCUIT_BUILDER_H_

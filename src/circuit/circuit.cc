@@ -1,0 +1,52 @@
+#include "circuit/circuit.h"
+
+#include "util/check.h"
+
+namespace pafs {
+
+CircuitStats Circuit::Stats() const {
+  CircuitStats stats;
+  for (const Gate& g : gates_) {
+    switch (g.type) {
+      case GateType::kAnd:
+        ++stats.and_gates;
+        break;
+      case GateType::kXor:
+        ++stats.xor_gates;
+        break;
+      case GateType::kNot:
+        ++stats.not_gates;
+        break;
+    }
+  }
+  return stats;
+}
+
+BitVec Circuit::Evaluate(const BitVec& garbler_bits,
+                         const BitVec& evaluator_bits) const {
+  PAFS_CHECK_EQ(garbler_bits.size(), garbler_inputs_);
+  PAFS_CHECK_EQ(evaluator_bits.size(), evaluator_inputs_);
+  std::vector<bool> wires(num_wires_, false);
+  for (uint32_t i = 0; i < garbler_inputs_; ++i) wires[i] = garbler_bits.Get(i);
+  for (uint32_t i = 0; i < evaluator_inputs_; ++i) {
+    wires[garbler_inputs_ + i] = evaluator_bits.Get(i);
+  }
+  for (const Gate& g : gates_) {
+    switch (g.type) {
+      case GateType::kXor:
+        wires[g.out] = wires[g.in0] != wires[g.in1];
+        break;
+      case GateType::kAnd:
+        wires[g.out] = wires[g.in0] && wires[g.in1];
+        break;
+      case GateType::kNot:
+        wires[g.out] = !wires[g.in0];
+        break;
+    }
+  }
+  BitVec out(outputs_.size());
+  for (size_t i = 0; i < outputs_.size(); ++i) out.Set(i, wires[outputs_[i]]);
+  return out;
+}
+
+}  // namespace pafs

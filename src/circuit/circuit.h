@@ -1,0 +1,66 @@
+// Boolean circuit intermediate representation shared by the plaintext
+// evaluator (reference semantics and tests) and the garbling engine.
+//
+// Wires are dense uint32 ids. Wires [0, garbler_inputs) belong to the
+// garbler (model owner); wires [garbler_inputs, garbler_inputs +
+// evaluator_inputs) belong to the evaluator (patient). Gates are stored in
+// topological order; XOR and NOT are free under free-XOR garbling, AND
+// costs two ciphertexts (half-gates).
+#ifndef PAFS_CIRCUIT_CIRCUIT_H_
+#define PAFS_CIRCUIT_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace pafs {
+
+enum class GateType : uint8_t {
+  kXor,
+  kAnd,
+  kNot,
+};
+
+struct Gate {
+  GateType type;
+  uint32_t in0;
+  uint32_t in1;  // Unused for kNot.
+  uint32_t out;
+};
+
+struct CircuitStats {
+  size_t and_gates = 0;
+  size_t xor_gates = 0;
+  size_t not_gates = 0;
+  size_t total() const { return and_gates + xor_gates + not_gates; }
+};
+
+class Circuit {
+ public:
+  uint32_t num_wires() const { return num_wires_; }
+  uint32_t garbler_inputs() const { return garbler_inputs_; }
+  uint32_t evaluator_inputs() const { return evaluator_inputs_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<uint32_t>& outputs() const { return outputs_; }
+  CircuitStats Stats() const;
+
+  // Reference plaintext evaluation: the specification the garbled protocol
+  // must match bit-for-bit.
+  BitVec Evaluate(const BitVec& garbler_bits, const BitVec& evaluator_bits) const;
+
+ private:
+  friend class CircuitBuilder;
+  friend Circuit CircuitFromParts(uint32_t, uint32_t, uint32_t,
+                                  std::vector<Gate>, std::vector<uint32_t>);
+
+  uint32_t num_wires_ = 0;
+  uint32_t garbler_inputs_ = 0;
+  uint32_t evaluator_inputs_ = 0;
+  std::vector<Gate> gates_;
+  std::vector<uint32_t> outputs_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_CIRCUIT_CIRCUIT_H_

@@ -1,0 +1,192 @@
+#include "circuit/optimizer.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/builder.h"
+#include "util/check.h"
+
+namespace pafs {
+
+namespace {
+
+// A literal encodes a possibly-negated reference to a canonical node, or a
+// constant: 0 = false, 1 = true, 2*node+2 = node, 2*node+3 = NOT node.
+using Literal = uint64_t;
+
+constexpr Literal kConstFalse = 0;
+constexpr Literal kConstTrue = 1;
+
+bool IsConst(Literal lit) { return lit < 2; }
+Literal MakeLit(uint64_t node, bool neg) { return 2 * node + 2 + (neg ? 1 : 0); }
+uint64_t NodeOf(Literal lit) { return (lit - 2) / 2; }
+bool NegOf(Literal lit) { return (lit - 2) & 1; }
+Literal Negate(Literal lit) { return IsConst(lit) ? lit ^ 1 : lit ^ 1; }
+
+enum class NodeKind : uint8_t { kInput, kXor, kAnd };
+
+struct Node {
+  NodeKind kind;
+  Literal a = 0;
+  Literal b = 0;
+};
+
+struct PairHash {
+  size_t operator()(const std::pair<Literal, Literal>& p) const {
+    return std::hash<uint64_t>()(p.first * 0x9E3779B97F4A7C15ull ^ p.second);
+  }
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Circuit& circuit) : circuit_(circuit) {}
+
+  Circuit Run(OptimizeStats* stats) {
+    const uint32_t num_inputs =
+        circuit_.garbler_inputs() + circuit_.evaluator_inputs();
+    std::vector<Literal> lit(circuit_.num_wires());
+    for (uint32_t w = 0; w < num_inputs; ++w) {
+      nodes_.push_back(Node{NodeKind::kInput, 0, 0});
+      lit[w] = MakeLit(w, false);
+    }
+    for (const Gate& g : circuit_.gates()) {
+      switch (g.type) {
+        case GateType::kNot:
+          lit[g.out] = Negate(lit[g.in0]);
+          break;
+        case GateType::kXor:
+          lit[g.out] = Xor(lit[g.in0], lit[g.in1]);
+          break;
+        case GateType::kAnd:
+          lit[g.out] = And(lit[g.in0], lit[g.in1]);
+          break;
+      }
+    }
+
+    // Re-emit only what the outputs reach.
+    CircuitBuilder builder(circuit_.garbler_inputs(),
+                           circuit_.evaluator_inputs());
+    for (uint32_t out : circuit_.outputs()) {
+      builder.AddOutput(WireFor(builder, lit[out]));
+    }
+    Circuit optimized = builder.Build();
+    if (stats != nullptr) {
+      stats->gates_before = circuit_.gates().size();
+      stats->gates_after = optimized.gates().size();
+      stats->and_before = circuit_.Stats().and_gates;
+      stats->and_after = optimized.Stats().and_gates;
+    }
+    return optimized;
+  }
+
+ private:
+  Literal Xor(Literal a, Literal b) {
+    if (IsConst(a)) return a == kConstTrue ? Negate(b) : b;
+    if (IsConst(b)) return b == kConstTrue ? Negate(a) : a;
+    bool neg = NegOf(a) != NegOf(b);
+    Literal base_a = MakeLit(NodeOf(a), false);
+    Literal base_b = MakeLit(NodeOf(b), false);
+    if (base_a == base_b) return neg ? kConstTrue : kConstFalse;
+    if (base_a > base_b) std::swap(base_a, base_b);
+    auto key = std::make_pair(base_a, base_b);
+    auto [it, inserted] = xor_memo_.try_emplace(key, nodes_.size());
+    if (inserted) nodes_.push_back(Node{NodeKind::kXor, base_a, base_b});
+    return MakeLit(it->second, neg);
+  }
+
+  Literal And(Literal a, Literal b) {
+    if (a == kConstFalse || b == kConstFalse) return kConstFalse;
+    if (a == kConstTrue) return b;
+    if (b == kConstTrue) return a;
+    if (a == b) return a;
+    if (a == Negate(b)) return kConstFalse;
+    if (a > b) std::swap(a, b);
+    auto key = std::make_pair(a, b);
+    auto [it, inserted] = and_memo_.try_emplace(key, nodes_.size());
+    if (inserted) nodes_.push_back(Node{NodeKind::kAnd, a, b});
+    return MakeLit(it->second, false);
+  }
+
+  // Materializes the wire carrying `lit` in the output builder. Iterative
+  // (explicit work stack): XOR-accumulator chains in large tree circuits
+  // reach tens of thousands of levels, too deep for call-stack recursion.
+  uint32_t WireFor(CircuitBuilder& builder, Literal lit) {
+    EmitBase(builder, lit);
+    if (IsConst(lit)) {
+      return lit == kConstTrue ? builder.ConstOne() : builder.ConstZero();
+    }
+    uint32_t base_wire = wire_memo_.at(MakeLit(NodeOf(lit), false));
+    if (!NegOf(lit)) return base_wire;
+    auto cached = wire_memo_.find(lit);
+    if (cached != wire_memo_.end()) return cached->second;
+    uint32_t negated = builder.Not(base_wire);
+    wire_memo_.emplace(lit, negated);
+    return negated;
+  }
+
+  // Ensures the non-negated wire for `lit`'s node (and everything it
+  // depends on) exists in the builder.
+  void EmitBase(CircuitBuilder& builder, Literal root) {
+    if (IsConst(root)) return;
+    std::vector<uint64_t> stack = {NodeOf(root)};
+    while (!stack.empty()) {
+      uint64_t node_id = stack.back();
+      Literal base_lit = MakeLit(node_id, false);
+      if (wire_memo_.count(base_lit)) {
+        stack.pop_back();
+        continue;
+      }
+      const Node& node = nodes_[node_id];
+      if (node.kind == NodeKind::kInput) {
+        wire_memo_.emplace(base_lit, static_cast<uint32_t>(node_id));
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      for (Literal dep : {node.a, node.b}) {
+        if (!IsConst(dep) &&
+            !wire_memo_.count(MakeLit(NodeOf(dep), false))) {
+          stack.push_back(NodeOf(dep));
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      uint32_t wa = OperandWire(builder, node.a);
+      uint32_t wb = OperandWire(builder, node.b);
+      uint32_t out = node.kind == NodeKind::kXor ? builder.Xor(wa, wb)
+                                                 : builder.And(wa, wb);
+      wire_memo_.emplace(base_lit, out);
+      stack.pop_back();
+    }
+  }
+
+  // Operand wire for a literal whose base node is already emitted.
+  uint32_t OperandWire(CircuitBuilder& builder, Literal lit) {
+    if (lit == kConstFalse) return builder.ConstZero();
+    if (lit == kConstTrue) return builder.ConstOne();
+    uint32_t base_wire = wire_memo_.at(MakeLit(NodeOf(lit), false));
+    if (!NegOf(lit)) return base_wire;
+    auto cached = wire_memo_.find(lit);
+    if (cached != wire_memo_.end()) return cached->second;
+    uint32_t negated = builder.Not(base_wire);
+    wire_memo_.emplace(lit, negated);
+    return negated;
+  }
+
+  const Circuit& circuit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::pair<Literal, Literal>, uint64_t, PairHash>
+      xor_memo_;
+  std::unordered_map<std::pair<Literal, Literal>, uint64_t, PairHash>
+      and_memo_;
+  std::unordered_map<Literal, uint32_t> wire_memo_;
+};
+
+}  // namespace
+
+Circuit OptimizeCircuit(const Circuit& circuit, OptimizeStats* stats) {
+  return Optimizer(circuit).Run(stats);
+}
+
+}  // namespace pafs

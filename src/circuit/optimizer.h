@@ -1,0 +1,28 @@
+// Circuit optimizer: constant folding, algebraic simplification, common-
+// subexpression elimination, and dead-gate removal. Oblivious tree
+// circuits repeat the same equality tests across many root-to-leaf paths;
+// CSE collapses them, cutting AND counts (and thus garbled tables and
+// GMW triples) with zero behavioural change.
+//
+// Input wires keep their ids, so existing encoders work unchanged, and
+// the transform is deterministic: both protocol parties derive the same
+// optimized circuit from the same source circuit.
+#ifndef PAFS_CIRCUIT_OPTIMIZER_H_
+#define PAFS_CIRCUIT_OPTIMIZER_H_
+
+#include "circuit/circuit.h"
+
+namespace pafs {
+
+struct OptimizeStats {
+  size_t gates_before = 0;
+  size_t gates_after = 0;
+  size_t and_before = 0;
+  size_t and_after = 0;
+};
+
+Circuit OptimizeCircuit(const Circuit& circuit, OptimizeStats* stats = nullptr);
+
+}  // namespace pafs
+
+#endif  // PAFS_CIRCUIT_OPTIMIZER_H_

@@ -1,0 +1,78 @@
+#include "circuit/serialize.h"
+
+#include "util/check.h"
+
+namespace pafs {
+
+Circuit CircuitFromParts(uint32_t garbler_inputs, uint32_t evaluator_inputs,
+                         uint32_t num_wires, std::vector<Gate> gates,
+                         std::vector<uint32_t> outputs) {
+  PAFS_CHECK_GE(num_wires, garbler_inputs + evaluator_inputs);
+  // Topological validity: every gate reads wires defined before its output.
+  uint32_t defined = garbler_inputs + evaluator_inputs;
+  for (const Gate& g : gates) {
+    PAFS_CHECK_LT(g.in0, defined);
+    if (g.type != GateType::kNot) PAFS_CHECK_LT(g.in1, defined);
+    PAFS_CHECK_EQ(g.out, defined);
+    ++defined;
+  }
+  PAFS_CHECK_EQ(defined, num_wires);
+  for (uint32_t out : outputs) PAFS_CHECK_LT(out, num_wires);
+
+  Circuit circuit;
+  circuit.garbler_inputs_ = garbler_inputs;
+  circuit.evaluator_inputs_ = evaluator_inputs;
+  circuit.num_wires_ = num_wires;
+  circuit.gates_ = std::move(gates);
+  circuit.outputs_ = std::move(outputs);
+  return circuit;
+}
+
+void SendCircuit(Channel& channel, const Circuit& circuit) {
+  channel.SendU64(circuit.garbler_inputs());
+  channel.SendU64(circuit.evaluator_inputs());
+  channel.SendU64(circuit.num_wires());
+  channel.SendU64(circuit.gates().size());
+  // Outputs of gates are consecutive (builder invariant), so each gate
+  // serializes as type + two input wires.
+  std::vector<uint8_t> buf;
+  buf.reserve(circuit.gates().size() * 9);
+  for (const Gate& g : circuit.gates()) {
+    buf.push_back(static_cast<uint8_t>(g.type));
+    for (uint32_t w : {g.in0, g.in1}) {
+      for (int b = 0; b < 4; ++b) buf.push_back(static_cast<uint8_t>(w >> (8 * b)));
+    }
+  }
+  channel.SendBytes(buf);
+  channel.SendU64(circuit.outputs().size());
+  for (uint32_t out : circuit.outputs()) channel.SendU64(out);
+}
+
+Circuit RecvCircuit(Channel& channel) {
+  uint32_t garbler_inputs = static_cast<uint32_t>(channel.RecvU64());
+  uint32_t evaluator_inputs = static_cast<uint32_t>(channel.RecvU64());
+  uint32_t num_wires = static_cast<uint32_t>(channel.RecvU64());
+  uint64_t num_gates = channel.RecvU64();
+  std::vector<uint8_t> buf = channel.RecvBytes();
+  PAFS_CHECK_EQ(buf.size(), num_gates * 9);
+  std::vector<Gate> gates(num_gates);
+  uint32_t next_wire = garbler_inputs + evaluator_inputs;
+  for (uint64_t i = 0; i < num_gates; ++i) {
+    const uint8_t* p = buf.data() + i * 9;
+    Gate& g = gates[i];
+    g.type = static_cast<GateType>(p[0]);
+    PAFS_CHECK(g.type == GateType::kXor || g.type == GateType::kAnd ||
+               g.type == GateType::kNot);
+    g.in0 = g.in1 = 0;
+    for (int b = 0; b < 4; ++b) g.in0 |= static_cast<uint32_t>(p[1 + b]) << (8 * b);
+    for (int b = 0; b < 4; ++b) g.in1 |= static_cast<uint32_t>(p[5 + b]) << (8 * b);
+    g.out = next_wire++;
+  }
+  uint64_t num_outputs = channel.RecvU64();
+  std::vector<uint32_t> outputs(num_outputs);
+  for (auto& out : outputs) out = static_cast<uint32_t>(channel.RecvU64());
+  return CircuitFromParts(garbler_inputs, evaluator_inputs, num_wires,
+                          std::move(gates), std::move(outputs));
+}
+
+}  // namespace pafs

@@ -1,0 +1,22 @@
+// Circuit wire-format: lets the garbler ship a value-dependent circuit
+// (e.g. a specialized decision tree) to the evaluator, with the transfer
+// counted against the protocol's traffic like everything else.
+#ifndef PAFS_CIRCUIT_SERIALIZE_H_
+#define PAFS_CIRCUIT_SERIALIZE_H_
+
+#include "circuit/circuit.h"
+#include "net/channel.h"
+
+namespace pafs {
+
+void SendCircuit(Channel& channel, const Circuit& circuit);
+Circuit RecvCircuit(Channel& channel);
+
+// Reconstructs a circuit from raw parts (validated).
+Circuit CircuitFromParts(uint32_t garbler_inputs, uint32_t evaluator_inputs,
+                         uint32_t num_wires, std::vector<Gate> gates,
+                         std::vector<uint32_t> outputs);
+
+}  // namespace pafs
+
+#endif  // PAFS_CIRCUIT_SERIALIZE_H_

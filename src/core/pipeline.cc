@@ -1,0 +1,206 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "smc/secure_forest.h"
+#include "smc/secure_linear.h"
+#include "smc/secure_nb.h"
+#include "smc/secure_tree.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pafs {
+
+// NB / linear circuits depend only on which features are disclosed, so a
+// repeated disclosure set reuses the constructed spec.
+struct SecureClassificationPipeline::SpecCache {
+  std::vector<int> key;  // Sorted disclosure feature ids.
+  bool valid = false;
+  std::unique_ptr<SecureNbCircuit> nb;
+  std::unique_ptr<SecureLinearProtocol> linear;
+};
+
+SecureClassificationPipeline::SecureClassificationPipeline(
+    const Dataset& train, PipelineConfig config)
+    : config_(config),
+      features_(train.features()),
+      num_classes_(train.num_classes()),
+      spec_cache_(std::make_unique<SpecCache>()),
+      server_rng_(config.seed * 2 + 1),
+      client_rng_(config.seed * 2 + 2) {
+  nb_.Train(train);
+  tree_.Train(train);
+  linear_.Train(train, LinearTrainParams());
+  if (config.classifier == ClassifierKind::kForest) {
+    Rng forest_rng(config.seed + 17);
+    forest_.Train(train, ForestParams(), forest_rng);
+  }
+
+  Rng calibration_rng(config.seed);
+  CostCalibration calibration;
+  if (config.measure_calibration) {
+    calibration = CostCalibration::Measure(config.paillier_bits,
+                                           calibration_rng);
+  } else {
+    calibration.paillier_bits = config.paillier_bits;
+  }
+  cost_model_ = std::make_unique<SmcCostModel>(features_, num_classes_,
+                                               calibration);
+  selector_ = std::make_unique<DisclosureSelector>(
+      train, *cost_model_, config.classifier,
+      config.classifier == ClassifierKind::kDecisionTree ? &tree_ : nullptr,
+      config.classifier == ClassifierKind::kForest ? &forest_ : nullptr);
+
+  Timer timer;
+  plan_ = selector_->SelectGreedy(config.risk_budget);
+  selection_seconds_ = timer.ElapsedSeconds();
+
+  if (config.classifier == ClassifierKind::kLinear) {
+    client_keys_.emplace(GeneratePaillierKey(client_rng_, config.paillier_bits));
+  }
+}
+
+SecureClassificationPipeline::~SecureClassificationPipeline() = default;
+
+int SecureClassificationPipeline::PlaintextPredict(
+    const std::vector<int>& row) const {
+  switch (config_.classifier) {
+    case ClassifierKind::kNaiveBayes:
+      return nb_.Predict(row);
+    case ClassifierKind::kDecisionTree:
+      return tree_.Predict(row);
+    case ClassifierKind::kLinear:
+      return linear_.Predict(row);
+    case ClassifierKind::kForest:
+      return forest_.Predict(row);
+  }
+  return -1;
+}
+
+SmcRunStats SecureClassificationPipeline::Classify(
+    const std::vector<int>& row) {
+  return ClassifyWithDisclosure(row, plan_.features);
+}
+
+std::vector<SmcRunStats> SecureClassificationPipeline::ClassifyBatch(
+    const std::vector<std::vector<int>>& rows) {
+  std::vector<SmcRunStats> stats;
+  stats.reserve(rows.size());
+  for (const std::vector<int>& row : rows) {
+    stats.push_back(Classify(row));
+  }
+  return stats;
+}
+
+SmcRunStats SecureClassificationPipeline::ClassifyWithDisclosure(
+    const std::vector<int>& row, const std::vector<int>& disclosure) {
+  // Refresh the spec cache when the disclosure set changes. The cached
+  // specs use placeholder values (the layout only depends on the keys).
+  std::vector<int> cache_key = disclosure;
+  std::sort(cache_key.begin(), cache_key.end());
+  if (!spec_cache_->valid || spec_cache_->key != cache_key) {
+    std::map<int, int> key_map;
+    for (int f : cache_key) key_map.emplace(f, 0);
+    spec_cache_->nb.reset();
+    spec_cache_->linear.reset();
+    if (config_.classifier == ClassifierKind::kNaiveBayes) {
+      spec_cache_->nb =
+          std::make_unique<SecureNbCircuit>(features_, num_classes_, key_map);
+    } else if (config_.classifier == ClassifierKind::kLinear) {
+      spec_cache_->linear = std::make_unique<SecureLinearProtocol>(
+          features_, num_classes_, key_map);
+    }
+    spec_cache_->key = std::move(cache_key);
+    spec_cache_->valid = true;
+  }
+
+  Channel& server_channel = channel_.endpoint(0);
+  Channel& client_channel = channel_.endpoint(1);
+  uint64_t bytes_before = channel_.TotalBytes();
+  uint64_t rounds_before = channel_.TotalRounds();
+  Timer timer;
+
+  // Disclosure phase: the client reveals the plan's feature values.
+  SmcRunStats server_stats, client_stats;
+  std::thread server([&] {
+    std::map<int, int> disclosed;
+    for (int f : disclosure) {
+      disclosed[f] = static_cast<int>(server_channel.RecvU64());
+    }
+    switch (config_.classifier) {
+      case ClassifierKind::kNaiveBayes: {
+        server_stats = SecureNbRunServer(server_channel, *spec_cache_->nb,
+                                         nb_, disclosed, ot_sender_,
+                                         server_rng_, config_.scheme);
+        break;
+      }
+      case ClassifierKind::kDecisionTree: {
+        DecisionTree specialized = tree_.Specialize(disclosed);
+        SecureTreeCircuit spec(specialized, features_, num_classes_,
+                               disclosed);
+        server_stats = SecureTreeRunServer(server_channel, spec, specialized,
+                                           ot_sender_, server_rng_,
+                                           config_.scheme);
+        break;
+      }
+      case ClassifierKind::kLinear: {
+        server_stats = spec_cache_->linear->RunServer(
+            server_channel, linear_, disclosed, ot_sender_, server_rng_,
+            config_.scheme);
+        break;
+      }
+      case ClassifierKind::kForest: {
+        RandomForest specialized = forest_.Specialize(disclosed);
+        SecureForestCircuit spec(specialized, features_, num_classes_,
+                                 disclosed);
+        server_stats = SecureForestRunServer(server_channel, spec, specialized,
+                                             ot_sender_, server_rng_,
+                                             config_.scheme);
+        break;
+      }
+    }
+  });
+
+  for (int f : disclosure) {
+    client_channel.SendU64(static_cast<uint64_t>(row[f]));
+  }
+  std::map<int, int> disclosed_client;
+  for (int f : disclosure) disclosed_client[f] = row[f];
+  switch (config_.classifier) {
+    case ClassifierKind::kNaiveBayes: {
+      client_stats = SecureNbRunClient(client_channel, *spec_cache_->nb, row,
+                                       ot_receiver_, client_rng_,
+                                       config_.scheme);
+      break;
+    }
+    case ClassifierKind::kDecisionTree: {
+      client_stats = SecureTreeRunClient(client_channel, features_,
+                                         num_classes_, row, ot_receiver_,
+                                         client_rng_, config_.scheme);
+      break;
+    }
+    case ClassifierKind::kLinear: {
+      client_stats = spec_cache_->linear->RunClient(
+          client_channel, *client_keys_, row, ot_receiver_, client_rng_,
+          config_.scheme);
+      break;
+    }
+    case ClassifierKind::kForest: {
+      client_stats = SecureForestRunClient(client_channel, features_,
+                                           num_classes_, row, ot_receiver_,
+                                           client_rng_, config_.scheme);
+      break;
+    }
+  }
+  server.join();
+
+  PAFS_CHECK_EQ(server_stats.predicted_class, client_stats.predicted_class);
+  SmcRunStats stats = client_stats;
+  stats.bytes = channel_.TotalBytes() - bytes_before;
+  stats.rounds = channel_.TotalRounds() - rounds_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace pafs

@@ -1,0 +1,97 @@
+// End-to-end orchestration of the paper's system:
+//
+//   1. Train the classifier(s) on the server's cohort.
+//   2. Select the disclosure plan under the privacy budget (src/core).
+//   3. Per patient: client reveals the plan's features in plaintext, the
+//      server specializes the model, and the residual secure protocol
+//      (src/smc) classifies the hidden remainder.
+//
+// The pipeline runs both parties in-process on two threads over the
+// simulated network, measuring real compute and exact traffic.
+#ifndef PAFS_CORE_PIPELINE_H_
+#define PAFS_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/selection.h"
+#include "crypto/paillier.h"
+#include "gc/protocol.h"
+#include "ml/linear_model.h"
+#include "ml/naive_bayes.h"
+#include "net/channel.h"
+#include "ot/iknp.h"
+#include "smc/common.h"
+#include "util/random.h"
+
+namespace pafs {
+
+struct PipelineConfig {
+  ClassifierKind classifier = ClassifierKind::kNaiveBayes;
+  double risk_budget = 0.05;  // Max posterior lift for any sensitive attr.
+  int paillier_bits = 512;    // Linear-protocol key size.
+  GarblingScheme scheme = GarblingScheme::kHalfGates;
+  bool measure_calibration = false;  // Defaults are fine for tests.
+  uint64_t seed = 42;
+};
+
+class SecureClassificationPipeline {
+ public:
+  SecureClassificationPipeline(const Dataset& train, PipelineConfig config);
+  ~SecureClassificationPipeline();
+
+  const DisclosurePlan& plan() const { return plan_; }
+  const DisclosureSelector& selector() const { return *selector_; }
+  double selection_seconds() const { return selection_seconds_; }
+
+  // Secure classification of one patient row: runs both parties, returns
+  // the client-observed stats (bytes/rounds cover the whole exchange).
+  SmcRunStats Classify(const std::vector<int>& row);
+  // Classifies a batch of rows; returns per-row stats. The OT session and
+  // (for NB/linear) the circuit specs amortize across the batch.
+  std::vector<SmcRunStats> ClassifyBatch(
+      const std::vector<std::vector<int>>& rows);
+  // Like Classify but with an explicit disclosure set (e.g. empty set =
+  // pure SMC baseline), bypassing the selected plan.
+  SmcRunStats ClassifyWithDisclosure(const std::vector<int>& row,
+                                     const std::vector<int>& disclosure);
+
+  int PlaintextPredict(const std::vector<int>& row) const;
+
+  const NaiveBayes& naive_bayes() const { return nb_; }
+  const DecisionTree& tree() const { return tree_; }
+  const LinearModel& linear() const { return linear_; }
+  const RandomForest& forest() const { return forest_; }
+
+ private:
+  PipelineConfig config_;
+  std::vector<FeatureSpec> features_;
+  int num_classes_;
+
+  NaiveBayes nb_;
+  DecisionTree tree_;
+  LinearModel linear_;
+  RandomForest forest_;  // Trained only for ClassifierKind::kForest.
+
+  std::unique_ptr<SmcCostModel> cost_model_;
+  std::unique_ptr<DisclosureSelector> selector_;
+  DisclosurePlan plan_;
+  double selection_seconds_ = 0;
+
+  // Circuit-spec caches for the disclosure-set-only protocols (NB and the
+  // linear argmax): rebuilt only when the disclosure set changes.
+  struct SpecCache;
+  std::unique_ptr<SpecCache> spec_cache_;
+
+  // Long-lived protocol session state (base OTs amortize across calls).
+  MemChannelPair channel_;
+  OtExtSender ot_sender_;
+  OtExtReceiver ot_receiver_;
+  Rng server_rng_;
+  Rng client_rng_;
+  std::optional<PaillierKeyPair> client_keys_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_CORE_PIPELINE_H_

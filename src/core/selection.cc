@@ -1,0 +1,213 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pafs {
+
+const char* ClassifierName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kNaiveBayes:
+      return "naive_bayes";
+    case ClassifierKind::kDecisionTree:
+      return "decision_tree";
+    case ClassifierKind::kLinear:
+      return "linear";
+    case ClassifierKind::kForest:
+      return "random_forest";
+  }
+  return "unknown";
+}
+
+DisclosureSelector::DisclosureSelector(const Dataset& background,
+                                       SmcCostModel cost_model,
+                                       ClassifierKind kind,
+                                       const DecisionTree* tree,
+                                       const RandomForest* forest)
+    : background_(&background),
+      cost_model_(std::move(cost_model)),
+      kind_(kind),
+      tree_(tree),
+      forest_(forest),
+      risk_(background),
+      candidates_(background.PublicCandidateFeatures()) {
+  if (kind_ == ClassifierKind::kDecisionTree) {
+    PAFS_CHECK_MSG(tree_ != nullptr && tree_->trained(),
+                   "decision-tree selection needs a trained tree");
+  }
+  if (kind_ == ClassifierKind::kForest) {
+    PAFS_CHECK_MSG(forest_ != nullptr && forest_->trained(),
+                   "forest selection needs a trained forest");
+  }
+}
+
+CostEstimate DisclosureSelector::EstimateCost(
+    const std::set<int>& disclosed) const {
+  switch (kind_) {
+    case ClassifierKind::kNaiveBayes:
+      return cost_model_.EstimateNb(disclosed);
+    case ClassifierKind::kDecisionTree:
+      return cost_model_.EstimateTree(*tree_, disclosed, *background_);
+    case ClassifierKind::kLinear:
+      return cost_model_.EstimateLinear(disclosed);
+    case ClassifierKind::kForest:
+      return cost_model_.EstimateForest(*forest_, disclosed, *background_);
+  }
+  return CostEstimate();
+}
+
+CostEstimate DisclosureSelector::PureSmcCost() const {
+  return EstimateCost({});
+}
+
+DisclosurePlan DisclosureSelector::FinishPlan(std::vector<int> features,
+                                              double risk,
+                                              size_t risk_evals) const {
+  DisclosurePlan plan;
+  plan.features = std::move(features);
+  plan.risk_lift = risk;
+  plan.cost = EstimateCost(
+      std::set<int>(plan.features.begin(), plan.features.end()));
+  plan.compute_seconds = plan.cost.ComputeSeconds(cost_model_.calibration());
+  double pure = PureSmcCost().ComputeSeconds(cost_model_.calibration());
+  // Floor the denominator: a fully specialized plan can model out to zero
+  // compute, but a real run still pays per-message overhead.
+  plan.speedup_vs_pure = pure / std::max(plan.compute_seconds, 1e-7);
+  plan.risk_evaluations = risk_evals;
+  return plan;
+}
+
+DisclosurePlan DisclosureSelector::SelectGreedy(double risk_budget,
+                                                GreedyObjective objective,
+                                                bool incremental,
+                                                size_t min_cell_size) const {
+  std::vector<int> chosen;
+  std::set<int> chosen_set;
+  size_t risk_evals = 0;
+  double current_risk = 0;
+  double current_cost =
+      EstimateCost(chosen_set).ComputeSeconds(cost_model_.calibration());
+
+  DisclosureRisk::Incremental inc(risk_);
+
+  while (chosen.size() < candidates_.size()) {
+    int best_feature = -1;
+    double best_objective = 0;
+    double best_risk = 0;
+    double best_cost = 0;
+    for (int f : candidates_) {
+      if (chosen_set.count(f)) continue;
+      RiskReport report;
+      if (incremental) {
+        inc.Push(f);
+        report = inc.Current();
+        inc.Pop();
+      } else {
+        std::vector<int> trial = chosen;
+        trial.push_back(f);
+        report = risk_.Evaluate(trial);
+      }
+      ++risk_evals;
+      double risk_after = report.max_lift;
+      if (risk_after > risk_budget) continue;
+      if (min_cell_size > 1 && report.min_cell_size < min_cell_size) continue;
+
+      std::set<int> trial_set = chosen_set;
+      trial_set.insert(f);
+      double cost_after =
+          EstimateCost(trial_set).ComputeSeconds(cost_model_.calibration());
+      double gain = current_cost - cost_after;
+      if (gain <= 0) continue;
+      double score = gain;
+      if (objective == GreedyObjective::kGainPerRisk) {
+        score = gain / (risk_after - current_risk + 1e-9);
+      }
+      if (best_feature < 0 || score > best_objective) {
+        best_feature = f;
+        best_objective = score;
+        best_risk = risk_after;
+        best_cost = cost_after;
+      }
+    }
+    if (best_feature < 0) break;
+    chosen.push_back(best_feature);
+    chosen_set.insert(best_feature);
+    current_risk = best_risk;
+    current_cost = best_cost;
+    if (incremental) inc.Push(best_feature);
+  }
+  return FinishPlan(std::move(chosen), current_risk, risk_evals);
+}
+
+DisclosurePlan DisclosureSelector::SelectExhaustive(double risk_budget) const {
+  PAFS_CHECK_MSG(candidates_.size() <= 20,
+                 "exhaustive search is exponential; too many candidates");
+  size_t risk_evals = 0;
+  std::vector<int> best;
+  double best_cost = EstimateCost({}).ComputeSeconds(cost_model_.calibration());
+  double best_risk = 0;
+  for (uint64_t mask = 1; mask < (1ull << candidates_.size()); ++mask) {
+    std::vector<int> subset;
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      if ((mask >> i) & 1ull) subset.push_back(candidates_[i]);
+    }
+    double risk = risk_.Evaluate(subset).max_lift;
+    ++risk_evals;
+    if (risk > risk_budget) continue;
+    double cost = EstimateCost(std::set<int>(subset.begin(), subset.end()))
+                      .ComputeSeconds(cost_model_.calibration());
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(subset);
+      best_risk = risk;
+    }
+  }
+  return FinishPlan(std::move(best), best_risk, risk_evals);
+}
+
+std::vector<DisclosurePlan> DisclosureSelector::GreedyPath() const {
+  std::vector<DisclosurePlan> path;
+  // Budget = infinity: pure cost-greedy ordering.
+  DisclosureRisk::Incremental inc(risk_);
+  std::vector<int> chosen;
+  std::set<int> chosen_set;
+  path.push_back(FinishPlan({}, 0.0, 0));
+  double current_cost = path.back().compute_seconds;
+
+  while (chosen.size() < candidates_.size()) {
+    int best_feature = -1;
+    double best_gain = -1e18;
+    for (int f : candidates_) {
+      if (chosen_set.count(f)) continue;
+      std::set<int> trial = chosen_set;
+      trial.insert(f);
+      double cost =
+          EstimateCost(trial).ComputeSeconds(cost_model_.calibration());
+      double gain = current_cost - cost;
+      if (best_feature < 0 || gain > best_gain) {
+        best_feature = f;
+        best_gain = gain;
+      }
+    }
+    chosen.push_back(best_feature);
+    chosen_set.insert(best_feature);
+    inc.Push(best_feature);
+    current_cost -= best_gain;
+    path.push_back(
+        FinishPlan(chosen, inc.Current().max_lift, chosen.size()));
+  }
+  return path;
+}
+
+std::vector<DisclosurePlan> DisclosureSelector::ParetoFrontier(
+    const std::vector<double>& budgets) const {
+  std::vector<DisclosurePlan> frontier;
+  frontier.reserve(budgets.size());
+  for (double budget : budgets) {
+    frontier.push_back(SelectGreedy(budget));
+  }
+  return frontier;
+}
+
+}  // namespace pafs

@@ -1,0 +1,93 @@
+// The paper's core algorithm: choose which features to disclose in
+// plaintext before the SMC phase so that secure classification is as fast
+// as possible while the privacy risk stays within a budget.
+//
+// Search space: subsets of the non-sensitive features (sensitive genotypes
+// are never disclosure candidates). Cost comes from SmcCostModel (exact
+// circuit/ciphertext counts, calibrated seconds); risk comes from
+// DisclosureRisk (empirical adversary posterior lift). Greedy selection
+// uses the incremental risk evaluator, so each step costs O(n) per
+// candidate instead of a fresh partition pass — the paper's "quickly
+// compute the loss in privacy" mechanism.
+#ifndef PAFS_CORE_SELECTION_H_
+#define PAFS_CORE_SELECTION_H_
+
+#include <set>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "privacy/risk.h"
+#include "smc/cost_model.h"
+
+namespace pafs {
+
+enum class ClassifierKind { kNaiveBayes, kDecisionTree, kLinear, kForest };
+
+const char* ClassifierName(ClassifierKind kind);
+
+enum class GreedyObjective {
+  kMaxCostGain,   // Largest cost reduction that fits the budget.
+  kGainPerRisk,   // Largest cost reduction per unit of added risk.
+};
+
+struct DisclosurePlan {
+  std::vector<int> features;   // The disclosure set, in selection order.
+  double risk_lift = 0;        // max_lift of the set.
+  CostEstimate cost;           // Modeled SMC cost with this disclosure.
+  double compute_seconds = 0;  // cost.ComputeSeconds(calibration).
+  double speedup_vs_pure = 1;  // Pure-SMC seconds / this plan's seconds.
+  size_t risk_evaluations = 0; // Work counter (experiment F8).
+};
+
+class DisclosureSelector {
+ public:
+  // For kDecisionTree / kForest, the model must outlive the selector; its
+  // cost is value-dependent, so `background` doubles as the sampling
+  // source.
+  DisclosureSelector(const Dataset& background, SmcCostModel cost_model,
+                     ClassifierKind kind, const DecisionTree* tree = nullptr,
+                     const RandomForest* forest = nullptr);
+
+  // Greedy selection under a risk budget. `incremental` toggles the fast
+  // partition-refinement risk evaluator (ablation F12). `min_cell_size`,
+  // when > 1, additionally forbids disclosure sets whose smallest
+  // population cell falls below it (k-anonymity-style compliance rule).
+  DisclosurePlan SelectGreedy(double risk_budget,
+                              GreedyObjective objective =
+                                  GreedyObjective::kMaxCostGain,
+                              bool incremental = true,
+                              size_t min_cell_size = 0) const;
+
+  // Optimal subset under the budget by full enumeration; exponential in
+  // the candidate count, so only for small schemas / validation.
+  DisclosurePlan SelectExhaustive(double risk_budget) const;
+
+  // The unconstrained greedy path: plans after 0, 1, 2, ... disclosures,
+  // ordered by cost gain. Drives the F4/F5 curves.
+  std::vector<DisclosurePlan> GreedyPath() const;
+
+  // One budget-constrained plan per requested budget (the F6 frontier).
+  std::vector<DisclosurePlan> ParetoFrontier(
+      const std::vector<double>& budgets) const;
+
+  // Cost of pure SMC (no disclosure), the baseline denominator.
+  CostEstimate PureSmcCost() const;
+
+ private:
+  CostEstimate EstimateCost(const std::set<int>& disclosed) const;
+  DisclosurePlan FinishPlan(std::vector<int> features, double risk,
+                            size_t risk_evals) const;
+
+  const Dataset* background_;
+  SmcCostModel cost_model_;
+  ClassifierKind kind_;
+  const DecisionTree* tree_;
+  const RandomForest* forest_;
+  DisclosureRisk risk_;
+  std::vector<int> candidates_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_CORE_SELECTION_H_

@@ -1,0 +1,29 @@
+// Software AES-128 (encrypt-only). Used as the fixed-key permutation inside
+// the garbling hash and as the PRG core. Table-based implementation; this
+// library targets protocol research, not constant-time production crypto.
+#ifndef PAFS_CRYPTO_AES128_H_
+#define PAFS_CRYPTO_AES128_H_
+
+#include <cstdint>
+
+#include "crypto/block.h"
+
+namespace pafs {
+
+class Aes128 {
+ public:
+  explicit Aes128(const Block& key);
+
+  Block Encrypt(const Block& plaintext) const;
+
+  // Process-wide instance with a fixed public key, as used by fixed-key
+  // garbling schemes (Bellare et al., S&P 2013).
+  static const Aes128& FixedKeyInstance();
+
+ private:
+  uint8_t round_keys_[176];
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_CRYPTO_AES128_H_

@@ -1,0 +1,18 @@
+#include "crypto/block.h"
+
+namespace pafs {
+
+std::string Block::ToHex() const {
+  static const char* kHex = "0123456789abcdef";
+  uint8_t bytes[16];
+  ToBytes(bytes);
+  std::string out;
+  out.reserve(32);
+  for (int i = 15; i >= 0; --i) {
+    out.push_back(kHex[bytes[i] >> 4]);
+    out.push_back(kHex[bytes[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace pafs

@@ -1,0 +1,67 @@
+// 128-bit block: the unit of garbled-circuit wire labels, AES states, and
+// OT extension rows.
+#ifndef PAFS_CRYPTO_BLOCK_H_
+#define PAFS_CRYPTO_BLOCK_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pafs {
+
+struct Block {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  constexpr Block() = default;
+  constexpr Block(uint64_t low, uint64_t high) : lo(low), hi(high) {}
+
+  static Block Zero() { return Block(); }
+
+  bool GetLsb() const { return lo & 1ull; }
+  Block WithLsb(bool bit) const {
+    Block out = *this;
+    out.lo = (out.lo & ~1ull) | (bit ? 1ull : 0ull);
+    return out;
+  }
+
+  // Doubling in GF(2^128) with the GCM polynomial; used by the
+  // correlation-robust hash to separate its inputs.
+  Block GfDouble() const {
+    Block out;
+    out.hi = (hi << 1) | (lo >> 63);
+    out.lo = lo << 1;
+    if (hi >> 63) out.lo ^= 0x87ull;
+    return out;
+  }
+
+  void ToBytes(uint8_t out[16]) const {
+    std::memcpy(out, &lo, 8);
+    std::memcpy(out + 8, &hi, 8);
+  }
+  static Block FromBytes(const uint8_t in[16]) {
+    Block b;
+    std::memcpy(&b.lo, in, 8);
+    std::memcpy(&b.hi, in + 8, 8);
+    return b;
+  }
+
+  std::string ToHex() const;
+
+  friend Block operator^(const Block& a, const Block& b) {
+    return Block(a.lo ^ b.lo, a.hi ^ b.hi);
+  }
+  Block& operator^=(const Block& other) {
+    lo ^= other.lo;
+    hi ^= other.hi;
+    return *this;
+  }
+  friend bool operator==(const Block& a, const Block& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Block& a, const Block& b) { return !(a == b); }
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_CRYPTO_BLOCK_H_

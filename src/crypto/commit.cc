@@ -1,0 +1,31 @@
+#include "crypto/commit.h"
+
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+Sha256Digest HashOpening(const CommitmentOpening& opening) {
+  Sha256 h;
+  h.Update(opening.randomness);
+  h.Update(opening.value);
+  return h.Finalize();
+}
+
+}  // namespace
+
+Commitment Commit(const std::vector<uint8_t>& value, Rng& rng,
+                  CommitmentOpening* opening) {
+  opening->value = value;
+  opening->randomness.resize(16);
+  rng.FillBytes(opening->randomness.data(), opening->randomness.size());
+  return Commitment{HashOpening(*opening)};
+}
+
+bool VerifyCommitment(const Commitment& commitment,
+                      const CommitmentOpening& opening) {
+  return HashOpening(opening) == commitment.digest;
+}
+
+}  // namespace pafs

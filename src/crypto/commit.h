@@ -1,0 +1,35 @@
+// Hash-based commitments: Commit(value; r) = SHA-256(r || value). Used by
+// the secure protocols for output-consistency checks in tests and by the
+// fairness extension of the pipeline.
+#ifndef PAFS_CRYPTO_COMMIT_H_
+#define PAFS_CRYPTO_COMMIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace pafs {
+
+class Rng;
+
+struct Commitment {
+  Sha256Digest digest;
+};
+
+struct CommitmentOpening {
+  std::vector<uint8_t> value;
+  std::vector<uint8_t> randomness;  // 16 bytes.
+};
+
+// Commits to `value` with fresh randomness.
+Commitment Commit(const std::vector<uint8_t>& value, Rng& rng,
+                  CommitmentOpening* opening);
+
+// Verifies an opening against a commitment.
+bool VerifyCommitment(const Commitment& commitment,
+                      const CommitmentOpening& opening);
+
+}  // namespace pafs
+
+#endif  // PAFS_CRYPTO_COMMIT_H_

@@ -1,0 +1,26 @@
+// Paillier key persistence: hex-encoded text files so a client can
+// generate its keypair once and reuse it across sessions (key generation
+// is by far the most expensive client-side operation).
+#ifndef PAFS_CRYPTO_KEY_IO_H_
+#define PAFS_CRYPTO_KEY_IO_H_
+
+#include <string>
+
+#include "crypto/paillier.h"
+#include "util/status.h"
+
+namespace pafs {
+
+// Writes the private key (both prime factors). Treat the file like any
+// other secret key material.
+Status SavePaillierKey(const PaillierKeyPair& keys, const std::string& path);
+StatusOr<PaillierKeyPair> LoadPaillierKey(const std::string& path);
+
+// Public-key-only variants (just the modulus n), for the server side.
+Status SavePaillierPublicKey(const PaillierPublicKey& key,
+                             const std::string& path);
+StatusOr<PaillierPublicKey> LoadPaillierPublicKey(const std::string& path);
+
+}  // namespace pafs
+
+#endif  // PAFS_CRYPTO_KEY_IO_H_

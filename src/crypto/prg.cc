@@ -1,0 +1,46 @@
+#include "crypto/prg.h"
+
+#include <cstring>
+
+namespace pafs {
+
+void Prg::FillBytes(uint8_t* out, size_t n) {
+  size_t i = 0;
+  while (i < n) {
+    Block b = NextBlock();
+    uint8_t bytes[16];
+    b.ToBytes(bytes);
+    size_t take = std::min<size_t>(16, n - i);
+    std::memcpy(out + i, bytes, take);
+    i += take;
+  }
+}
+
+std::vector<uint8_t> Prg::Bytes(size_t n) {
+  std::vector<uint8_t> out(n);
+  FillBytes(out.data(), n);
+  return out;
+}
+
+bool Prg::NextBit() {
+  if (bits_left_ == 0) {
+    bit_cache_ = NextBlock();
+    bits_left_ = 64;
+  }
+  bool bit = bit_cache_.lo & 1ull;
+  bit_cache_.lo >>= 1;
+  --bits_left_;
+  return bit;
+}
+
+Block HashBlock(const Block& x, uint64_t tweak) {
+  Block input = x.GfDouble() ^ Block(tweak, 0);
+  return Aes128::FixedKeyInstance().Encrypt(input) ^ input;
+}
+
+Block HashBlocks(const Block& x, const Block& y, uint64_t tweak) {
+  Block input = x.GfDouble() ^ y.GfDouble().GfDouble() ^ Block(tweak, 0);
+  return Aes128::FixedKeyInstance().Encrypt(input) ^ input;
+}
+
+}  // namespace pafs

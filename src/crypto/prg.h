@@ -1,0 +1,41 @@
+// Cryptographic pseudo-random generator (AES-128 in counter mode) and the
+// correlation-robust hash used by garbling and OT extension.
+#ifndef PAFS_CRYPTO_PRG_H_
+#define PAFS_CRYPTO_PRG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes128.h"
+#include "crypto/block.h"
+
+namespace pafs {
+
+// Expands a 128-bit seed into an unbounded keystream.
+class Prg {
+ public:
+  explicit Prg(const Block& seed) : aes_(seed) {}
+
+  Block NextBlock() { return aes_.Encrypt(Block(counter_++, 0)); }
+  void FillBytes(uint8_t* out, size_t n);
+  std::vector<uint8_t> Bytes(size_t n);
+  bool NextBit();
+
+ private:
+  Aes128 aes_;
+  uint64_t counter_ = 0;
+  Block bit_cache_ = Block::Zero();
+  int bits_left_ = 0;
+};
+
+// Tweakable correlation-robust hash H(x, tweak) built from the fixed-key AES
+// permutation: H(x, t) = pi(2x ^ t) ^ (2x ^ t). Standard for half-gates
+// garbling (Zahur-Rosulek-Evans, Eurocrypt 2015).
+Block HashBlock(const Block& x, uint64_t tweak);
+
+// Two-input variant for evaluator-side half-gate hashing.
+Block HashBlocks(const Block& x, const Block& y, uint64_t tweak);
+
+}  // namespace pafs
+
+#endif  // PAFS_CRYPTO_PRG_H_

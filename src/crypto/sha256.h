@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4). Used for OT-extension hashing, commitments, and
+// key-derivation throughout the protocol stack.
+#ifndef PAFS_CRYPTO_SHA256_H_
+#define PAFS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pafs {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const std::string& data);
+  void Update(const std::vector<uint8_t>& data);
+  Sha256Digest Finalize();
+
+  static Sha256Digest Hash(const uint8_t* data, size_t len);
+  static Sha256Digest Hash(const std::string& data);
+  static Sha256Digest Hash(const std::vector<uint8_t>& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+std::string DigestToHex(const Sha256Digest& digest);
+
+}  // namespace pafs
+
+#endif  // PAFS_CRYPTO_SHA256_H_

@@ -1,0 +1,86 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pafs {
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+}  // namespace
+
+Status SaveCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  for (const FeatureSpec& f : data.features()) out << f.name << ",";
+  out << "label\n";
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int v : data.row(i)) out << v << ",";
+    out << data.label(i) << "\n";
+  }
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadCsv(const std::string& path,
+                          std::vector<FeatureSpec> features, int num_classes) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::InvalidArgument("empty file");
+
+  std::vector<std::string> header = SplitCommas(line);
+  if (header.size() != features.size() + 1) {
+    return Status::InvalidArgument("header column count mismatch");
+  }
+  for (size_t f = 0; f < features.size(); ++f) {
+    if (header[f] != features[f].name) {
+      return Status::InvalidArgument("header mismatch at column " +
+                                     std::to_string(f) + ": " + header[f]);
+    }
+  }
+
+  Dataset data(std::move(features), num_classes);
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCommas(line);
+    if (fields.size() != data.features().size() + 1) {
+      return Status::InvalidArgument("bad column count at line " +
+                                     std::to_string(line_number));
+    }
+    std::vector<int> row(data.features().size());
+    for (size_t f = 0; f < row.size(); ++f) {
+      char* end = nullptr;
+      long v = std::strtol(fields[f].c_str(), &end, 10);
+      if (end == fields[f].c_str() || *end != '\0') {
+        return Status::InvalidArgument("non-integer value at line " +
+                                       std::to_string(line_number));
+      }
+      if (v < 0 || v >= data.features()[f].cardinality) {
+        return Status::OutOfRange("value out of range at line " +
+                                  std::to_string(line_number));
+      }
+      row[f] = static_cast<int>(v);
+    }
+    char* end = nullptr;
+    long label = std::strtol(fields.back().c_str(), &end, 10);
+    if (end == fields.back().c_str() || *end != '\0' || label < 0 ||
+        label >= num_classes) {
+      return Status::OutOfRange("bad label at line " +
+                                std::to_string(line_number));
+    }
+    data.AddRow(std::move(row), static_cast<int>(label));
+  }
+  return data;
+}
+
+}  // namespace pafs

@@ -1,0 +1,23 @@
+// CSV persistence for datasets: integer-coded values with a header row of
+// feature names (a trailing "label" column). Lets users run the pipeline
+// on their own cohorts.
+#ifndef PAFS_DATA_CSV_H_
+#define PAFS_DATA_CSV_H_
+
+#include <string>
+
+#include "ml/dataset.h"
+#include "util/status.h"
+
+namespace pafs {
+
+Status SaveCsv(const Dataset& data, const std::string& path);
+
+// Loads rows into a dataset with the given schema. Validates the header
+// against the feature names and every value against its cardinality.
+StatusOr<Dataset> LoadCsv(const std::string& path,
+                          std::vector<FeatureSpec> features, int num_classes);
+
+}  // namespace pafs
+
+#endif  // PAFS_DATA_CSV_H_

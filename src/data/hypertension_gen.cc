@@ -1,0 +1,79 @@
+#include "data/hypertension_gen.h"
+
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+// P(D allele) of ACE I/D and P(T allele) of AGT M235T by ancestry group.
+constexpr double kAceDFreq[3] = {0.55, 0.65, 0.40};
+constexpr double kAgtTFreq[3] = {0.42, 0.80, 0.90};
+
+int SampleBiallelic(Rng& rng, double p) {
+  return (rng.NextBool(p) ? 1 : 0) + (rng.NextBool(p) ? 1 : 0);
+}
+
+}  // namespace
+
+Dataset GenerateHypertensionCohort(size_t n, Rng& rng) {
+  std::vector<FeatureSpec> features(HypertensionSchema::kNumFeatures);
+  features[HypertensionSchema::kAge] = {"age_group", 5, false};
+  features[HypertensionSchema::kSex] = {"sex", 2, false};
+  features[HypertensionSchema::kRace] = {"ancestry", 3, false};
+  features[HypertensionSchema::kBmi] = {"bmi_group", 4, false};
+  features[HypertensionSchema::kSmoker] = {"smoker", 2, false};
+  features[HypertensionSchema::kDiabetes] = {"diabetes", 2, false};
+  features[HypertensionSchema::kSalt] = {"salt_intake", 3, false};
+  features[HypertensionSchema::kAce] = {"ace_genotype", 3, true};
+  features[HypertensionSchema::kAgt] = {"agt_genotype", 3, true};
+
+  Dataset data(features, kHypertensionNumClasses);
+  const std::vector<double> race_weights = {0.60, 0.25, 0.15};
+
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<int> row(HypertensionSchema::kNumFeatures);
+    int race = static_cast<int>(rng.NextCategorical(race_weights));
+    row[HypertensionSchema::kRace] = race;
+    int age = static_cast<int>(
+        rng.NextCategorical({0.08, 0.17, 0.25, 0.30, 0.20}));
+    row[HypertensionSchema::kAge] = age;
+    int sex = rng.NextBool(0.5) ? 1 : 0;
+    row[HypertensionSchema::kSex] = sex;
+    // BMI rises with age bucket, falls slightly for ancestry group 1.
+    double bu = rng.NextDouble() + 0.05 * age - (race == 1 ? 0.12 : 0.0);
+    row[HypertensionSchema::kBmi] = bu < 0.3 ? 0 : bu < 0.6 ? 1 : bu < 0.9 ? 2 : 3;
+    row[HypertensionSchema::kSmoker] = rng.NextBool(0.25) ? 1 : 0;
+    row[HypertensionSchema::kDiabetes] =
+        rng.NextBool(0.08 + 0.04 * age + 0.05 * (row[HypertensionSchema::kBmi] == 3))
+            ? 1
+            : 0;
+    row[HypertensionSchema::kSalt] = static_cast<int>(
+        rng.NextCategorical({0.3, 0.45, 0.25}));
+
+    int ace = SampleBiallelic(rng, kAceDFreq[race]);
+    int agt = SampleBiallelic(rng, kAgtTFreq[race]);
+    row[HypertensionSchema::kAce] = ace;
+    row[HypertensionSchema::kAgt] = agt;
+
+    // Guideline-style scoring of the three therapy options; genotype shifts
+    // ACE-inhibitor responsiveness, demographics shift the others.
+    double ace_score = 2.0 - 0.7 * ace + 0.8 * row[HypertensionSchema::kDiabetes] -
+                       0.4 * (race == 2) + rng.NextGaussian() * 0.5;
+    double ccb_score = 1.2 + 0.5 * (race == 2) + 0.3 * row[HypertensionSchema::kSalt] +
+                       0.25 * agt + rng.NextGaussian() * 0.5;
+    double bb_score = 1.0 + 0.4 * row[HypertensionSchema::kSmoker] +
+                      0.3 * (age >= 3) + 0.2 * sex + rng.NextGaussian() * 0.5;
+
+    int label = 0;
+    if (ccb_score >= ace_score && ccb_score >= bb_score) {
+      label = 1;
+    } else if (bb_score >= ace_score) {
+      label = 2;
+    }
+    data.AddRow(std::move(row), label);
+  }
+  return data;
+}
+
+}  // namespace pafs

@@ -1,0 +1,35 @@
+// Second evaluation cohort: a synthetic hypertension therapy-selection
+// dataset. Sensitive attributes are two pharmacogenomic markers (ACE I/D
+// and AGT M235T) whose distributions correlate with ancestry; the label is
+// the first-line therapy class a guideline-style rule recommends.
+#ifndef PAFS_DATA_HYPERTENSION_GEN_H_
+#define PAFS_DATA_HYPERTENSION_GEN_H_
+
+#include "ml/dataset.h"
+
+namespace pafs {
+
+class Rng;
+
+struct HypertensionSchema {
+  static constexpr int kAge = 0;       // 5 buckets.
+  static constexpr int kSex = 1;       // 2 values.
+  static constexpr int kRace = 2;      // 3 values.
+  static constexpr int kBmi = 3;       // 4 buckets.
+  static constexpr int kSmoker = 4;    // 2 values.
+  static constexpr int kDiabetes = 5;  // 2 values.
+  static constexpr int kSalt = 6;      // Dietary sodium, 3 buckets.
+  static constexpr int kAce = 7;       // ACE I/D genotype, sensitive.
+  static constexpr int kAgt = 8;       // AGT M235T genotype, sensitive.
+  static constexpr int kNumFeatures = 9;
+};
+
+// Therapy classes: 0 = ACE inhibitor, 1 = calcium-channel blocker /
+// diuretic, 2 = beta blocker.
+inline constexpr int kHypertensionNumClasses = 3;
+
+Dataset GenerateHypertensionCohort(size_t n, Rng& rng);
+
+}  // namespace pafs
+
+#endif  // PAFS_DATA_HYPERTENSION_GEN_H_

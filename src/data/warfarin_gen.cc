@@ -1,0 +1,183 @@
+#include "data/warfarin_gen.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+enum Race { kWhite = 0, kAsian = 1, kBlack = 2, kOther = 3 };
+
+// P(A allele) of VKORC1 -1639 by ancestry (published population genetics).
+constexpr double kVkorc1AFreq[4] = {0.40, 0.90, 0.10, 0.45};
+// P(*2), P(*3) allele frequencies of CYP2C9 by ancestry.
+constexpr double kCyp2c9Star2Freq[4] = {0.12, 0.01, 0.03, 0.08};
+constexpr double kCyp2c9Star3Freq[4] = {0.07, 0.03, 0.01, 0.05};
+
+// Samples a genotype (count of variant alleles: 0, 1, 2) under
+// Hardy-Weinberg equilibrium for allele frequency p.
+int SampleBiallelic(Rng& rng, double p) {
+  int a1 = rng.NextBool(p) ? 1 : 0;
+  int a2 = rng.NextBool(p) ? 1 : 0;
+  return a1 + a2;
+}
+
+// CYP2C9 diplotype encoding: 0=*1/*1, 1=*1/*2, 2=*1/*3, 3=*2/*2,
+// 4=*2/*3, 5=*3/*3.
+int SampleCyp2c9(Rng& rng, int race) {
+  double p2 = kCyp2c9Star2Freq[race];
+  double p3 = kCyp2c9Star3Freq[race];
+  double p1 = 1.0 - p2 - p3;
+  auto allele = [&] {
+    double u = rng.NextDouble();
+    if (u < p1) return 1;
+    if (u < p1 + p2) return 2;
+    return 3;
+  };
+  int a = allele(), b = allele();
+  if (a > b) std::swap(a, b);
+  if (a == 1 && b == 1) return 0;
+  if (a == 1 && b == 2) return 1;
+  if (a == 1 && b == 3) return 2;
+  if (a == 2 && b == 2) return 3;
+  if (a == 2 && b == 3) return 4;
+  return 5;
+}
+
+// Dose reduction multiplier-exponent per CYP2C9 diplotype (IWPC-style).
+constexpr double kCyp2c9Penalty[6] = {0.0, 0.52, 0.90, 1.08, 1.50, 2.05};
+
+// One patient's base attributes plus the deterministic part of the
+// IWPC-style sqrt(weekly dose) model. Shared by the base and extended
+// generators; the rng call order here fixes the base cohort's law.
+struct BaseDraw {
+  std::vector<int> row;
+  double sqrt_dose;
+};
+
+BaseDraw DrawBasePatient(Rng& rng) {
+  BaseDraw draw;
+  std::vector<int>& row = draw.row;
+  row.assign(WarfarinSchema::kNumFeatures, 0);
+  const std::vector<double> race_weights = {0.55, 0.30, 0.10, 0.05};
+  int race = static_cast<int>(rng.NextCategorical(race_weights));
+  row[WarfarinSchema::kRace] = race;
+  const std::vector<double> age_weights = {0.01, 0.03, 0.06, 0.10, 0.16,
+                                           0.22, 0.22, 0.14, 0.06};
+  int age = static_cast<int>(rng.NextCategorical(age_weights));
+  row[WarfarinSchema::kAge] = age;
+  int gender = rng.NextBool(0.5) ? 1 : 0;
+  row[WarfarinSchema::kGender] = gender;
+  double heavy_bias =
+      (gender == 1 ? 0.15 : -0.1) + (race == kAsian ? -0.2 : 0.0);
+  double wu = rng.NextDouble() + heavy_bias * 0.5;
+  int weight = wu < 0.25 ? 0 : wu < 0.55 ? 1 : wu < 0.85 ? 2 : 3;
+  row[WarfarinSchema::kWeight] = weight;
+  double hu = rng.NextDouble() + (gender == 1 ? 0.18 : -0.18) +
+              (race == kAsian ? -0.1 : 0.0);
+  int height = hu < 0.4 ? 0 : hu < 0.8 ? 1 : 2;
+  row[WarfarinSchema::kHeight] = height;
+  row[WarfarinSchema::kSmoker] = rng.NextBool(0.2) ? 1 : 0;
+  row[WarfarinSchema::kAmiodarone] = rng.NextBool(0.05 + 0.015 * age) ? 1 : 0;
+  row[WarfarinSchema::kInducer] = rng.NextBool(0.04) ? 1 : 0;
+  int vkorc1 = SampleBiallelic(rng, kVkorc1AFreq[race]);
+  row[WarfarinSchema::kVkorc1] = vkorc1;
+  int cyp2c9 = SampleCyp2c9(rng, race);
+  row[WarfarinSchema::kCyp2c9] = cyp2c9;
+
+  double sqrt_dose = 7.2;
+  sqrt_dose -= 0.26 * age;
+  sqrt_dose += 0.35 * weight + 0.22 * height;
+  sqrt_dose -= 0.84 * vkorc1;
+  sqrt_dose -= kCyp2c9Penalty[cyp2c9];
+  sqrt_dose += 1.1 * row[WarfarinSchema::kInducer];
+  sqrt_dose -= 0.55 * row[WarfarinSchema::kAmiodarone];
+  sqrt_dose += 0.15 * row[WarfarinSchema::kSmoker];
+  draw.sqrt_dose = sqrt_dose;
+  return draw;
+}
+
+int DoseLabel(double sqrt_dose) {
+  if (sqrt_dose < 1.0) sqrt_dose = 1.0;
+  double dose = sqrt_dose * sqrt_dose;
+  return dose < 21.0 ? 0 : dose <= 49.0 ? 1 : 2;
+}
+
+std::vector<FeatureSpec> BaseSchema() {
+  std::vector<FeatureSpec> features(WarfarinSchema::kNumFeatures);
+  features[WarfarinSchema::kAge] = {"age_decade", 9, false};
+  features[WarfarinSchema::kRace] = {"race", 4, false};
+  features[WarfarinSchema::kWeight] = {"weight_group", 4, false};
+  features[WarfarinSchema::kHeight] = {"height_group", 3, false};
+  features[WarfarinSchema::kGender] = {"gender", 2, false};
+  features[WarfarinSchema::kSmoker] = {"smoker", 2, false};
+  features[WarfarinSchema::kAmiodarone] = {"amiodarone", 2, false};
+  features[WarfarinSchema::kInducer] = {"enzyme_inducer", 2, false};
+  features[WarfarinSchema::kVkorc1] = {"vkorc1", 3, true};
+  features[WarfarinSchema::kCyp2c9] = {"cyp2c9", 6, true};
+  return features;
+}
+
+}  // namespace
+
+Dataset GenerateWarfarinCohort(size_t n, Rng& rng) {
+  Dataset data(BaseSchema(), kWarfarinNumClasses);
+  for (size_t i = 0; i < n; ++i) {
+    BaseDraw draw = DrawBasePatient(rng);
+    double sqrt_dose =
+        draw.sqrt_dose + rng.NextGaussian() * 0.45;  // Unexplained variance.
+    data.AddRow(std::move(draw.row), DoseLabel(sqrt_dose));
+  }
+  return data;
+}
+
+Dataset GenerateExtendedWarfarinCohort(size_t n, Rng& rng) {
+  std::vector<FeatureSpec> features = BaseSchema();
+  const int base = WarfarinSchema::kNumFeatures;
+  features.push_back({"aspirin", 2, false});          // base + 0
+  features.push_back({"statin", 2, false});           // base + 1
+  features.push_back({"alcohol_use", 3, false});      // base + 2
+  features.push_back({"vitk_diet", 3, false});        // base + 3
+  features.push_back({"indication", 4, false});       // base + 4
+  features.push_back({"target_inr", 3, false});       // base + 5
+  features.push_back({"herbal_suppl", 2, false});     // base + 6
+  features.push_back({"activity", 3, false});         // base + 7
+
+  Dataset data(features, kWarfarinNumClasses);
+  for (size_t i = 0; i < n; ++i) {
+    BaseDraw draw = DrawBasePatient(rng);
+    std::vector<int>& row = draw.row;
+    row.resize(features.size());
+    int age = row[WarfarinSchema::kAge];
+    row[base + 0] = rng.NextBool(0.15 + 0.02 * age) ? 1 : 0;
+    row[base + 1] = rng.NextBool(0.20 + 0.03 * age) ? 1 : 0;
+    row[base + 2] = static_cast<int>(rng.NextCategorical({0.4, 0.45, 0.15}));
+    row[base + 3] = static_cast<int>(rng.NextCategorical({0.3, 0.5, 0.2}));
+    row[base + 4] = static_cast<int>(
+        rng.NextCategorical({0.45, 0.25, 0.15, 0.15}));
+    // Mechanical-valve patients (indication 3) target higher INR.
+    row[base + 5] = row[base + 4] == 3
+                        ? (rng.NextBool(0.7) ? 2 : 1)
+                        : static_cast<int>(
+                              rng.NextCategorical({0.55, 0.35, 0.10}));
+    row[base + 6] = rng.NextBool(0.12) ? 1 : 0;
+    row[base + 7] = static_cast<int>(rng.NextCategorical({0.3, 0.5, 0.2}));
+
+    double sqrt_dose = draw.sqrt_dose;
+    sqrt_dose -= 0.10 * row[base + 0];          // Aspirin potentiates.
+    sqrt_dose -= 0.08 * row[base + 1];          // Statins mildly potentiate.
+    sqrt_dose += 0.12 * (row[base + 2] == 2);   // Heavy alcohol: induction.
+    sqrt_dose += 0.18 * row[base + 3];          // Vitamin K antagonizes.
+    sqrt_dose += 0.25 * (row[base + 5] == 2);   // High INR target.
+    sqrt_dose -= 0.15 * row[base + 6];          // Herbal interactions.
+    sqrt_dose += 0.06 * row[base + 7];
+    sqrt_dose += rng.NextGaussian() * 0.45;
+    data.AddRow(std::move(row), DoseLabel(sqrt_dose));
+  }
+  return data;
+}
+
+}  // namespace pafs

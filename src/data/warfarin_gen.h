@@ -1,0 +1,53 @@
+// Synthetic warfarin-dosing cohort, substituting for the IWPC dataset the
+// paper evaluated on (real patient data, not redistributable). The schema,
+// marginals, demographic-genotype correlations, and the dose model follow
+// the published IWPC pharmacogenetic structure:
+//
+//  * VKORC1 -1639 G>A allele frequency varies strongly with ancestry
+//    (~0.9 in Asian, ~0.4 in White, ~0.1 in Black populations), which is
+//    precisely the correlation the inference attack exploits.
+//  * CYP2C9 *2/*3 variant alleles are common in Whites, rare elsewhere.
+//  * Weekly dose follows an IWPC-style linear model on age, body size,
+//    genotypes, and interacting drugs, plus noise; the label is the
+//    standard low/medium/high trichotomy (<21 / 21-49 / >49 mg per week).
+#ifndef PAFS_DATA_WARFARIN_GEN_H_
+#define PAFS_DATA_WARFARIN_GEN_H_
+
+#include "ml/dataset.h"
+
+namespace pafs {
+
+class Rng;
+
+// Feature indices in the generated schema (see .cc for cardinalities).
+struct WarfarinSchema {
+  static constexpr int kAge = 0;          // Decade bucket, 9 values.
+  static constexpr int kRace = 1;         // White/Asian/Black/Other.
+  static constexpr int kWeight = 2;       // 4 buckets.
+  static constexpr int kHeight = 3;       // 3 buckets.
+  static constexpr int kGender = 4;       // 2 values.
+  static constexpr int kSmoker = 5;       // 2 values.
+  static constexpr int kAmiodarone = 6;   // 2 values.
+  static constexpr int kInducer = 7;      // Enzyme-inducer comedication.
+  static constexpr int kVkorc1 = 8;       // GG/AG/AA, sensitive.
+  static constexpr int kCyp2c9 = 9;       // 6 diplotypes, sensitive.
+  static constexpr int kNumFeatures = 10;
+};
+
+// Dose classes: 0 = low (<21 mg/wk), 1 = medium, 2 = high (>49 mg/wk).
+inline constexpr int kWarfarinNumClasses = 3;
+
+Dataset GenerateWarfarinCohort(size_t n, Rng& rng);
+
+// Extended cohort with eight additional lifestyle/comedication attributes
+// (aspirin, statin, alcohol, vitamin-K diet, indication, target-INR group,
+// herbal supplements, activity level) appended after the base schema. This
+// matches the paper's feature-rich clinical setting: more public
+// attributes mean bigger dosing trees — and correspondingly larger
+// disclosure speedups — while the sensitive genotypes stay the same two
+// features. Base schema indices (WarfarinSchema) remain valid.
+Dataset GenerateExtendedWarfarinCohort(size_t n, Rng& rng);
+
+}  // namespace pafs
+
+#endif  // PAFS_DATA_WARFARIN_GEN_H_

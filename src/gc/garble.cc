@@ -1,0 +1,219 @@
+#include "gc/garble.h"
+
+#include "util/check.h"
+
+namespace pafs {
+
+namespace {
+
+// Keeps garbling hash tweaks disjoint from the OT extension's tweak space.
+constexpr uint64_t kGarbleTweakBase = 1ull << 62;
+
+Block RandomBlock(Prg& prg) { return prg.NextBlock(); }
+
+}  // namespace
+
+GarbledCircuit Garble(const Circuit& circuit, Prg& prg) {
+  GarbledCircuit out;
+  out.delta = RandomBlock(prg).WithLsb(true);
+
+  const uint32_t num_inputs =
+      circuit.garbler_inputs() + circuit.evaluator_inputs();
+  std::vector<Block> label0(circuit.num_wires());
+  out.input_labels.resize(num_inputs);
+  for (uint32_t i = 0; i < num_inputs; ++i) {
+    label0[i] = RandomBlock(prg);
+    out.input_labels[i] = {label0[i], label0[i] ^ out.delta};
+  }
+
+  out.and_tables.reserve(circuit.Stats().and_gates);
+  uint64_t and_index = 0;
+  for (const Gate& g : circuit.gates()) {
+    switch (g.type) {
+      case GateType::kXor:
+        label0[g.out] = label0[g.in0] ^ label0[g.in1];
+        break;
+      case GateType::kNot:
+        // Swapping label semantics is free: FALSE-out = TRUE-in.
+        label0[g.out] = label0[g.in0] ^ out.delta;
+        break;
+      case GateType::kAnd: {
+        const Block a0 = label0[g.in0];
+        const Block b0 = label0[g.in1];
+        const bool p_a = a0.GetLsb();
+        const bool p_b = b0.GetLsb();
+        const uint64_t j0 = kGarbleTweakBase + 2 * and_index;
+        const uint64_t j1 = j0 + 1;
+
+        // Generator half gate.
+        Block tg = HashBlock(a0, j0) ^ HashBlock(a0 ^ out.delta, j0);
+        if (p_b) tg ^= out.delta;
+        Block wg = HashBlock(a0, j0);
+        if (p_a) wg ^= tg;
+
+        // Evaluator half gate.
+        Block te = HashBlock(b0, j1) ^ HashBlock(b0 ^ out.delta, j1) ^ a0;
+        Block we = HashBlock(b0, j1);
+        if (p_b) we ^= te ^ a0;
+
+        out.and_tables.push_back(GarbledTable{tg, te});
+        label0[g.out] = wg ^ we;
+        ++and_index;
+        break;
+      }
+    }
+  }
+
+  out.output_decode = BitVec(circuit.outputs().size());
+  for (size_t i = 0; i < circuit.outputs().size(); ++i) {
+    out.output_decode.Set(i, label0[circuit.outputs()[i]].GetLsb());
+  }
+  return out;
+}
+
+std::vector<Block> EvaluateGarbled(const Circuit& circuit,
+                                   const std::vector<GarbledTable>& and_tables,
+                                   const std::vector<Block>& input_labels) {
+  const uint32_t num_inputs =
+      circuit.garbler_inputs() + circuit.evaluator_inputs();
+  PAFS_CHECK_EQ(input_labels.size(), num_inputs);
+  std::vector<Block> active(circuit.num_wires());
+  for (uint32_t i = 0; i < num_inputs; ++i) active[i] = input_labels[i];
+
+  uint64_t and_index = 0;
+  for (const Gate& g : circuit.gates()) {
+    switch (g.type) {
+      case GateType::kXor:
+        active[g.out] = active[g.in0] ^ active[g.in1];
+        break;
+      case GateType::kNot:
+        active[g.out] = active[g.in0];
+        break;
+      case GateType::kAnd: {
+        PAFS_CHECK_LT(and_index, and_tables.size());
+        const GarbledTable& table = and_tables[and_index];
+        const Block wa = active[g.in0];
+        const Block wb = active[g.in1];
+        const uint64_t j0 = kGarbleTweakBase + 2 * and_index;
+        const uint64_t j1 = j0 + 1;
+        Block wg = HashBlock(wa, j0);
+        if (wa.GetLsb()) wg ^= table.tg;
+        Block we = HashBlock(wb, j1);
+        if (wb.GetLsb()) we ^= table.te ^ wa;
+        active[g.out] = wg ^ we;
+        ++and_index;
+        break;
+      }
+    }
+  }
+
+  std::vector<Block> outputs(circuit.outputs().size());
+  for (size_t i = 0; i < circuit.outputs().size(); ++i) {
+    outputs[i] = active[circuit.outputs()[i]];
+  }
+  return outputs;
+}
+
+BitVec DecodeOutputs(const std::vector<Block>& output_labels,
+                     const BitVec& output_decode) {
+  PAFS_CHECK_EQ(output_labels.size(), output_decode.size());
+  BitVec out(output_labels.size());
+  for (size_t i = 0; i < output_labels.size(); ++i) {
+    out.Set(i, output_labels[i].GetLsb() != output_decode.Get(i));
+  }
+  return out;
+}
+
+ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg) {
+  ClassicGarbledCircuit out;
+  out.delta = RandomBlock(prg).WithLsb(true);
+
+  const uint32_t num_inputs =
+      circuit.garbler_inputs() + circuit.evaluator_inputs();
+  std::vector<Block> label0(circuit.num_wires());
+  out.input_labels.resize(num_inputs);
+  for (uint32_t i = 0; i < num_inputs; ++i) {
+    label0[i] = RandomBlock(prg);
+    out.input_labels[i] = {label0[i], label0[i] ^ out.delta};
+  }
+
+  uint64_t and_index = 0;
+  for (const Gate& g : circuit.gates()) {
+    switch (g.type) {
+      case GateType::kXor:
+        label0[g.out] = label0[g.in0] ^ label0[g.in1];
+        break;
+      case GateType::kNot:
+        label0[g.out] = label0[g.in0] ^ out.delta;
+        break;
+      case GateType::kAnd: {
+        const Block a0 = label0[g.in0];
+        const Block b0 = label0[g.in1];
+        Block c0 = RandomBlock(prg);
+        std::array<Block, 4> rows;
+        const uint64_t tweak = kGarbleTweakBase + 2 * and_index;
+        for (int va = 0; va < 2; ++va) {
+          for (int vb = 0; vb < 2; ++vb) {
+            Block wa = va ? a0 ^ out.delta : a0;
+            Block wb = vb ? b0 ^ out.delta : b0;
+            Block wc = (va & vb) ? c0 ^ out.delta : c0;
+            // Point-and-permute: the active labels' lsbs address the row.
+            int row = (wa.GetLsb() << 1) | static_cast<int>(wb.GetLsb());
+            rows[row] = HashBlocks(wa, wb, tweak) ^ wc;
+          }
+        }
+        out.and_tables.push_back(rows);
+        label0[g.out] = c0;
+        ++and_index;
+        break;
+      }
+    }
+  }
+
+  out.output_decode = BitVec(circuit.outputs().size());
+  for (size_t i = 0; i < circuit.outputs().size(); ++i) {
+    out.output_decode.Set(i, label0[circuit.outputs()[i]].GetLsb());
+  }
+  return out;
+}
+
+std::vector<Block> EvaluateClassic(
+    const Circuit& circuit,
+    const std::vector<std::array<Block, 4>>& and_tables,
+    const std::vector<Block>& input_labels) {
+  const uint32_t num_inputs =
+      circuit.garbler_inputs() + circuit.evaluator_inputs();
+  PAFS_CHECK_EQ(input_labels.size(), num_inputs);
+  std::vector<Block> active(circuit.num_wires());
+  for (uint32_t i = 0; i < num_inputs; ++i) active[i] = input_labels[i];
+
+  uint64_t and_index = 0;
+  for (const Gate& g : circuit.gates()) {
+    switch (g.type) {
+      case GateType::kXor:
+        active[g.out] = active[g.in0] ^ active[g.in1];
+        break;
+      case GateType::kNot:
+        active[g.out] = active[g.in0];
+        break;
+      case GateType::kAnd: {
+        const Block wa = active[g.in0];
+        const Block wb = active[g.in1];
+        const uint64_t tweak = kGarbleTweakBase + 2 * and_index;
+        int row = (wa.GetLsb() << 1) | static_cast<int>(wb.GetLsb());
+        active[g.out] =
+            HashBlocks(wa, wb, tweak) ^ and_tables[and_index][row];
+        ++and_index;
+        break;
+      }
+    }
+  }
+
+  std::vector<Block> outputs(circuit.outputs().size());
+  for (size_t i = 0; i < circuit.outputs().size(); ++i) {
+    outputs[i] = active[circuit.outputs()[i]];
+  }
+  return outputs;
+}
+
+}  // namespace pafs

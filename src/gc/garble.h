@@ -1,0 +1,63 @@
+// Half-gates garbling (Zahur-Rosulek-Evans, Eurocrypt 2015) with free-XOR
+// and point-and-permute: two ciphertexts per AND gate, zero per XOR/NOT.
+// A classic four-row garbling scheme is also provided for the ablation
+// experiment (F12) that quantifies the half-gates saving.
+#ifndef PAFS_GC_GARBLE_H_
+#define PAFS_GC_GARBLE_H_
+
+#include <array>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "crypto/block.h"
+#include "crypto/prg.h"
+#include "util/bitvec.h"
+
+namespace pafs {
+
+// The two ciphertexts of a half-gates AND gate.
+struct GarbledTable {
+  Block tg;
+  Block te;
+};
+
+struct GarbledCircuit {
+  Block delta;  // Global free-XOR offset, lsb forced to 1.
+  // label0 (the FALSE label) for every input wire, garbler's inputs first.
+  std::vector<std::array<Block, 2>> input_labels;
+  std::vector<GarbledTable> and_tables;  // One per AND gate, circuit order.
+  BitVec output_decode;                  // Permute bit of each output wire.
+};
+
+// Garbles `circuit` with label randomness from `prg` (deterministic per
+// seed, which keeps tests and benchmarks reproducible).
+GarbledCircuit Garble(const Circuit& circuit, Prg& prg);
+
+// Evaluator's side: walks the circuit with one active label per wire.
+// `input_labels[i]` is the active label of input wire i.
+std::vector<Block> EvaluateGarbled(const Circuit& circuit,
+                                   const std::vector<GarbledTable>& and_tables,
+                                   const std::vector<Block>& input_labels);
+
+// Maps active output labels to cleartext bits using the decode vector.
+BitVec DecodeOutputs(const std::vector<Block>& output_labels,
+                     const BitVec& output_decode);
+
+// --- Classic (non-half-gates) garbling, ablation baseline ---
+// Four ciphertexts per AND gate, still free-XOR. Same evaluator label/
+// decode interfaces.
+struct ClassicGarbledCircuit {
+  Block delta;
+  std::vector<std::array<Block, 2>> input_labels;
+  std::vector<std::array<Block, 4>> and_tables;
+  BitVec output_decode;
+};
+
+ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg);
+std::vector<Block> EvaluateClassic(
+    const Circuit& circuit, const std::vector<std::array<Block, 4>>& and_tables,
+    const std::vector<Block>& input_labels);
+
+}  // namespace pafs
+
+#endif  // PAFS_GC_GARBLE_H_

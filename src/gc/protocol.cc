@@ -1,0 +1,142 @@
+#include "gc/protocol.h"
+
+#include <array>
+#include <vector>
+
+#include "gc/garble.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+// Packs/unpacks a BitVec on the wire.
+void SendBits(Channel& channel, const BitVec& bits) {
+  channel.SendU64(bits.size());
+  std::vector<uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits.Get(i)) bytes[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  channel.SendBytes(bytes);
+}
+
+BitVec RecvBits(Channel& channel) {
+  uint64_t n = channel.RecvU64();
+  std::vector<uint8_t> bytes = channel.RecvBytes();
+  PAFS_CHECK_EQ(bytes.size(), (n + 7) / 8);
+  BitVec bits(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    bits.Set(i, (bytes[i / 8] >> (i % 8)) & 1u);
+  }
+  return bits;
+}
+
+}  // namespace
+
+BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
+                    const BitVec& garbler_bits, OtExtSender& ot, Rng& rng,
+                    GarblingScheme scheme) {
+  PAFS_CHECK_EQ(garbler_bits.size(), circuit.garbler_inputs());
+  if (!ot.is_setup()) ot.Setup(channel, rng);
+
+  Prg prg(Block(rng.NextU64(), rng.NextU64()));
+
+  std::vector<std::array<Block, 2>> input_labels;
+  BitVec output_decode;
+  // 1. Garble and ship the tables.
+  if (scheme == GarblingScheme::kHalfGates) {
+    GarbledCircuit gc = Garble(circuit, prg);
+    input_labels = std::move(gc.input_labels);
+    output_decode = gc.output_decode;
+    std::vector<Block> flat;
+    flat.reserve(gc.and_tables.size() * 2);
+    for (const GarbledTable& t : gc.and_tables) {
+      flat.push_back(t.tg);
+      flat.push_back(t.te);
+    }
+    channel.SendBlocks(flat);
+  } else {
+    ClassicGarbledCircuit gc = GarbleClassic(circuit, prg);
+    input_labels = std::move(gc.input_labels);
+    output_decode = gc.output_decode;
+    std::vector<Block> flat;
+    flat.reserve(gc.and_tables.size() * 4);
+    for (const auto& rows : gc.and_tables) {
+      flat.insert(flat.end(), rows.begin(), rows.end());
+    }
+    channel.SendBlocks(flat);
+  }
+
+  // 2. Active labels for the garbler's own inputs.
+  std::vector<Block> own_labels(circuit.garbler_inputs());
+  for (uint32_t i = 0; i < circuit.garbler_inputs(); ++i) {
+    own_labels[i] = input_labels[i][garbler_bits.Get(i) ? 1 : 0];
+  }
+  channel.SendBlocks(own_labels);
+
+  // 3. Evaluator input labels via OT.
+  std::vector<std::array<Block, 2>> ot_messages(circuit.evaluator_inputs());
+  for (uint32_t i = 0; i < circuit.evaluator_inputs(); ++i) {
+    ot_messages[i] = input_labels[circuit.garbler_inputs() + i];
+  }
+  if (!ot_messages.empty()) ot.Send(channel, ot_messages);
+
+  // 4. Output decode bits, then learn the result from the evaluator.
+  SendBits(channel, output_decode);
+  return RecvBits(channel);
+}
+
+BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
+                      const BitVec& evaluator_bits, OtExtReceiver& ot,
+                      Rng& rng, GarblingScheme scheme) {
+  PAFS_CHECK_EQ(evaluator_bits.size(), circuit.evaluator_inputs());
+  if (!ot.is_setup()) ot.Setup(channel, rng);
+
+  // 1. Garbled tables.
+  std::vector<Block> flat = channel.RecvBlocks();
+
+  // 2. Garbler's active input labels.
+  std::vector<Block> garbler_labels = channel.RecvBlocks();
+  PAFS_CHECK_EQ(garbler_labels.size(), circuit.garbler_inputs());
+
+  // 3. Own labels via OT.
+  std::vector<Block> own_labels;
+  if (circuit.evaluator_inputs() > 0) {
+    own_labels = ot.Recv(channel, evaluator_bits);
+  }
+
+  std::vector<Block> input_labels;
+  input_labels.reserve(circuit.garbler_inputs() + circuit.evaluator_inputs());
+  input_labels.insert(input_labels.end(), garbler_labels.begin(),
+                      garbler_labels.end());
+  input_labels.insert(input_labels.end(), own_labels.begin(),
+                      own_labels.end());
+
+  // 4. Evaluate, decode, and report back.
+  std::vector<Block> output_labels;
+  if (scheme == GarblingScheme::kHalfGates) {
+    size_t num_and = circuit.Stats().and_gates;
+    PAFS_CHECK_EQ(flat.size(), num_and * 2);
+    std::vector<GarbledTable> tables(num_and);
+    for (size_t i = 0; i < num_and; ++i) {
+      tables[i] = GarbledTable{flat[2 * i], flat[2 * i + 1]};
+    }
+    output_labels = EvaluateGarbled(circuit, tables, input_labels);
+  } else {
+    size_t num_and = circuit.Stats().and_gates;
+    PAFS_CHECK_EQ(flat.size(), num_and * 4);
+    std::vector<std::array<Block, 4>> tables(num_and);
+    for (size_t i = 0; i < num_and; ++i) {
+      for (int r = 0; r < 4; ++r) tables[i][r] = flat[4 * i + r];
+    }
+    output_labels = EvaluateClassic(circuit, tables, input_labels);
+  }
+
+  BitVec output_decode = RecvBits(channel);
+  BitVec outputs = DecodeOutputs(output_labels, output_decode);
+  SendBits(channel, outputs);
+  return outputs;
+}
+
+}  // namespace pafs

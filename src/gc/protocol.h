@@ -1,0 +1,36 @@
+// Two-party Yao protocol over a Channel: the garbler (model owner / server)
+// garbles and sends the circuit material, the evaluator (patient / client)
+// obtains its input labels via IKNP OT, evaluates, and shares the decoded
+// outputs back. Semi-honest security, matching the paper's threat model.
+#ifndef PAFS_GC_PROTOCOL_H_
+#define PAFS_GC_PROTOCOL_H_
+
+#include "circuit/circuit.h"
+#include "net/channel.h"
+#include "ot/iknp.h"
+#include "util/bitvec.h"
+
+namespace pafs {
+
+class Rng;
+
+// Which garbling scheme the protocol uses on the wire; both parties must
+// agree. Classic exists for the F12 ablation.
+enum class GarblingScheme { kHalfGates, kClassic };
+
+// Runs the garbler's side. The OT sender session must already be Setup (or
+// it will be set up on first use, paying the base-OT cost). Returns the
+// circuit outputs (the evaluator reports them back).
+BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
+                    const BitVec& garbler_bits, OtExtSender& ot, Rng& rng,
+                    GarblingScheme scheme = GarblingScheme::kHalfGates);
+
+// Runs the evaluator's side; returns the circuit outputs.
+BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
+                      const BitVec& evaluator_bits, OtExtReceiver& ot,
+                      Rng& rng,
+                      GarblingScheme scheme = GarblingScheme::kHalfGates);
+
+}  // namespace pafs
+
+#endif  // PAFS_GC_PROTOCOL_H_

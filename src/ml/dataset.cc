@@ -1,0 +1,97 @@
+#include "ml/dataset.h"
+
+#include <numeric>
+
+#include "util/random.h"
+
+namespace pafs {
+
+void Dataset::AddRow(std::vector<int> values, int label) {
+  PAFS_CHECK_EQ(values.size(), features_.size());
+  for (size_t f = 0; f < values.size(); ++f) {
+    PAFS_CHECK_GE(values[f], 0);
+    PAFS_CHECK_LT(values[f], features_[f].cardinality);
+  }
+  PAFS_CHECK_GE(label, 0);
+  PAFS_CHECK_LT(label, num_classes_);
+  rows_.push_back(std::move(values));
+  labels_.push_back(label);
+}
+
+std::vector<int> Dataset::SensitiveFeatures() const {
+  std::vector<int> out;
+  for (int f = 0; f < num_features(); ++f) {
+    if (features_[f].sensitive) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<int> Dataset::PublicCandidateFeatures() const {
+  std::vector<int> out;
+  for (int f = 0; f < num_features(); ++f) {
+    if (!features_[f].sensitive) out.push_back(f);
+  }
+  return out;
+}
+
+int Dataset::FeatureIndex(const std::string& name) const {
+  for (int f = 0; f < num_features(); ++f) {
+    if (features_[f].name == name) return f;
+  }
+  PAFS_CHECK_MSG(false, ("feature not found: " + name).c_str());
+  return -1;
+}
+
+std::vector<double> Dataset::ClassPriors() const {
+  std::vector<double> priors(num_classes_, 0.0);
+  for (int label : labels_) priors[label] += 1.0;
+  for (double& p : priors) p /= std::max<size_t>(size(), 1);
+  return priors;
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double fraction, Rng& rng) const {
+  PAFS_CHECK_GT(fraction, 0.0);
+  PAFS_CHECK_LT(fraction, 1.0);
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  size_t cut = static_cast<size_t>(fraction * size());
+  std::vector<size_t> first(order.begin(), order.begin() + cut);
+  std::vector<size_t> second(order.begin() + cut, order.end());
+  return {Subset(first), Subset(second)};
+}
+
+std::vector<std::vector<size_t>> Dataset::KFoldIndices(int k, Rng& rng) const {
+  PAFS_CHECK_GE(k, 2);
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::vector<std::vector<size_t>> folds(k);
+  for (size_t i = 0; i < order.size(); ++i) {
+    folds[i % k].push_back(order[i]);
+  }
+  return folds;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out(features_, num_classes_);
+  for (size_t i : indices) {
+    PAFS_CHECK_LT(i, size());
+    out.AddRow(rows_[i], labels_[i]);
+  }
+  return out;
+}
+
+Dataset AppendLabelAsFeature(const Dataset& data, const std::string& name) {
+  std::vector<FeatureSpec> features = data.features();
+  features.push_back({name, data.num_classes(), false});
+  Dataset out(std::move(features), data.num_classes());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<int> row = data.row(i);
+    row.push_back(data.label(i));
+    out.AddRow(std::move(row), data.label(i));
+  }
+  return out;
+}
+
+}  // namespace pafs

@@ -1,0 +1,76 @@
+// Categorical tabular dataset: the common currency of the classifiers, the
+// privacy model, and the secure protocols. Every feature is discrete (raw
+// categorical, or continuous-then-discretized); values are dense ints in
+// [0, cardinality).
+#ifndef PAFS_ML_DATASET_H_
+#define PAFS_ML_DATASET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pafs {
+
+class Rng;
+
+struct FeatureSpec {
+  std::string name;
+  int cardinality = 2;
+  // Sensitive attributes (e.g., SNP genotypes) are what the inference
+  // adversary targets; they are never candidates for disclosure.
+  bool sensitive = false;
+};
+
+class Dataset {
+ public:
+  Dataset(std::vector<FeatureSpec> features, int num_classes)
+      : features_(std::move(features)), num_classes_(num_classes) {
+    PAFS_CHECK_GT(num_classes_, 1);
+    PAFS_CHECK(!features_.empty());
+  }
+
+  const std::vector<FeatureSpec>& features() const { return features_; }
+  int num_features() const { return static_cast<int>(features_.size()); }
+  int num_classes() const { return num_classes_; }
+  size_t size() const { return rows_.size(); }
+
+  void AddRow(std::vector<int> values, int label);
+
+  const std::vector<int>& row(size_t i) const { return rows_[i]; }
+  int label(size_t i) const { return labels_[i]; }
+
+  int FeatureCardinality(int f) const { return features_[f].cardinality; }
+  // Indices of features flagged sensitive / non-sensitive.
+  std::vector<int> SensitiveFeatures() const;
+  std::vector<int> PublicCandidateFeatures() const;
+  // Index of the named feature; dies if absent.
+  int FeatureIndex(const std::string& name) const;
+
+  // Label distribution over the whole set.
+  std::vector<double> ClassPriors() const;
+
+  // Deterministic shuffled split: first `fraction` goes to the first set.
+  std::pair<Dataset, Dataset> Split(double fraction, Rng& rng) const;
+  // Row indices per fold for k-fold cross-validation.
+  std::vector<std::vector<size_t>> KFoldIndices(int k, Rng& rng) const;
+  // New dataset containing the given rows.
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+ private:
+  std::vector<FeatureSpec> features_;
+  int num_classes_;
+  std::vector<std::vector<int>> rows_;
+  std::vector<int> labels_;
+};
+
+// Returns a copy of `data` with the class label appended as an additional
+// (public) categorical feature named `name`. Used to model adversaries who
+// observe the service's *output* — e.g. the dosing recommendation itself,
+// as in the Fredrikson-style attack that motivates the paper.
+Dataset AppendLabelAsFeature(const Dataset& data, const std::string& name);
+
+}  // namespace pafs
+
+#endif  // PAFS_ML_DATASET_H_

@@ -1,0 +1,215 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pafs {
+
+namespace {
+
+// Gini impurity of a label histogram.
+double Gini(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += (c / total) * (c / total);
+  return 1.0 - sum_sq;
+}
+
+int MajorityClass(const Dataset& data, const std::vector<size_t>& rows) {
+  std::vector<int> counts(data.num_classes(), 0);
+  for (size_t i : rows) ++counts[data.label(i)];
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+bool IsPure(const Dataset& data, const std::vector<size_t>& rows) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (data.label(rows[i]) != data.label(rows[0])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void DecisionTree::Train(const Dataset& data, const TreeParams& params) {
+  PAFS_CHECK_GT(data.size(), 0u);
+  nodes_.clear();
+  std::vector<size_t> all(data.size());
+  for (size_t i = 0; i < data.size(); ++i) all[i] = i;
+  std::vector<bool> used(data.num_features(), false);
+  if (!params.allowed_features.empty()) {
+    // Features outside the allowed set are permanently "used".
+    used.assign(data.num_features(), true);
+    for (int f : params.allowed_features) {
+      PAFS_CHECK_GE(f, 0);
+      PAFS_CHECK_LT(f, data.num_features());
+      used[f] = false;
+    }
+  }
+  int root = BuildNode(data, all, used, 0, params);
+  PAFS_CHECK_EQ(root, 0);
+}
+
+int DecisionTree::BuildNode(const Dataset& data,
+                            const std::vector<size_t>& rows,
+                            std::vector<bool>& used, int depth,
+                            const TreeParams& params) {
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].prediction = MajorityClass(data, rows);
+
+  if (depth >= params.max_depth ||
+      rows.size() < static_cast<size_t>(params.min_samples_split) ||
+      IsPure(data, rows)) {
+    return node_index;
+  }
+
+  // Pick the unused feature with the largest Gini impurity decrease.
+  std::vector<double> parent_counts(data.num_classes(), 0.0);
+  for (size_t i : rows) parent_counts[data.label(i)] += 1.0;
+  double parent_gini = Gini(parent_counts, static_cast<double>(rows.size()));
+
+  int best_feature = -1;
+  double best_gain = 1e-9;  // Require strictly positive gain.
+  for (int f = 0; f < data.num_features(); ++f) {
+    if (used[f]) continue;
+    int card = data.FeatureCardinality(f);
+    std::vector<std::vector<double>> counts(
+        card, std::vector<double>(data.num_classes(), 0.0));
+    std::vector<double> totals(card, 0.0);
+    for (size_t i : rows) {
+      int v = data.row(i)[f];
+      counts[v][data.label(i)] += 1.0;
+      totals[v] += 1.0;
+    }
+    double weighted = 0.0;
+    for (int v = 0; v < card; ++v) {
+      weighted += totals[v] / rows.size() * Gini(counts[v], totals[v]);
+    }
+    double gain = parent_gini - weighted;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = f;
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  // Partition rows by the chosen feature's value.
+  int card = data.FeatureCardinality(best_feature);
+  std::vector<std::vector<size_t>> partitions(card);
+  for (size_t i : rows) partitions[data.row(i)[best_feature]].push_back(i);
+
+  nodes_[node_index].is_leaf = false;
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].children.assign(card, -1);
+  used[best_feature] = true;
+  for (int v = 0; v < card; ++v) {
+    int child;
+    if (partitions[v].empty()) {
+      // Empty branch: a leaf predicting the parent majority.
+      child = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[child].prediction = nodes_[node_index].prediction;
+    } else {
+      child = BuildNode(data, partitions[v], used, depth + 1, params);
+    }
+    nodes_[node_index].children[v] = child;
+  }
+  used[best_feature] = false;
+  return node_index;
+}
+
+DecisionTree DecisionTree::FromNodes(std::vector<Node> nodes) {
+  PAFS_CHECK(!nodes.empty());
+  for (const Node& n : nodes) {
+    if (n.is_leaf) continue;
+    PAFS_CHECK_GE(n.feature, 0);
+    PAFS_CHECK(!n.children.empty());
+    for (int child : n.children) {
+      PAFS_CHECK_GE(child, 0);
+      PAFS_CHECK_LT(static_cast<size_t>(child), nodes.size());
+    }
+  }
+  DecisionTree out;
+  out.nodes_ = std::move(nodes);
+  return out;
+}
+
+int DecisionTree::Predict(const std::vector<int>& row) const {
+  PAFS_CHECK(trained());
+  int node = 0;
+  while (!nodes_[node].is_leaf) {
+    int v = row[nodes_[node].feature];
+    PAFS_CHECK_GE(v, 0);
+    PAFS_CHECK_LT(static_cast<size_t>(v), nodes_[node].children.size());
+    node = nodes_[node].children[v];
+  }
+  return nodes_[node].prediction;
+}
+
+size_t DecisionTree::NumLeaves() const {
+  size_t leaves = 0;
+  for (const Node& n : nodes_) leaves += n.is_leaf ? 1 : 0;
+  return leaves;
+}
+
+int DecisionTree::DepthFrom(int node) const {
+  if (nodes_[node].is_leaf) return 0;
+  int best = 0;
+  for (int child : nodes_[node].children) {
+    best = std::max(best, DepthFrom(child));
+  }
+  return best + 1;
+}
+
+int DecisionTree::Depth() const {
+  PAFS_CHECK(trained());
+  return DepthFrom(0);
+}
+
+int DecisionTree::CopySpecialized(const DecisionTree& src, int src_node,
+                                  const std::map<int, int>& disclosed) {
+  const Node& node = src.nodes_[src_node];
+  if (!node.is_leaf) {
+    auto it = disclosed.find(node.feature);
+    if (it != disclosed.end()) {
+      // The test's outcome is publicly known: splice in the taken branch.
+      PAFS_CHECK_LT(static_cast<size_t>(it->second), node.children.size());
+      return CopySpecialized(src, node.children[it->second], disclosed);
+    }
+  }
+  int out_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  if (!node.is_leaf) {
+    for (size_t v = 0; v < node.children.size(); ++v) {
+      int child = CopySpecialized(src, node.children[v], disclosed);
+      nodes_[out_index].children[v] = child;
+    }
+  }
+  return out_index;
+}
+
+DecisionTree DecisionTree::Specialize(
+    const std::map<int, int>& disclosed) const {
+  PAFS_CHECK(trained());
+  DecisionTree out;
+  int root = out.CopySpecialized(*this, 0, disclosed);
+  // CopySpecialized appends the (possibly spliced) root first.
+  PAFS_CHECK_EQ(root, 0);
+  return out;
+}
+
+std::vector<int> DecisionTree::UsedFeatures() const {
+  std::vector<int> out;
+  for (const Node& n : nodes_) {
+    if (!n.is_leaf &&
+        std::find(out.begin(), out.end(), n.feature) == out.end()) {
+      out.push_back(n.feature);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pafs

@@ -1,0 +1,67 @@
+// Multiway decision tree over categorical features (ID3-style greedy
+// induction with Gini impurity). The tree is the classifier family where
+// disclosure helps most: a disclosed feature's test disappears entirely
+// from the secure evaluation via Specialize().
+#ifndef PAFS_ML_DECISION_TREE_H_
+#define PAFS_ML_DECISION_TREE_H_
+
+#include <map>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace pafs {
+
+struct TreeParams {
+  int max_depth = 8;
+  int min_samples_split = 8;
+  // If non-empty, splits may only use these features (random-forest
+  // feature subsetting).
+  std::vector<int> allowed_features;
+};
+
+class DecisionTree {
+ public:
+  struct Node {
+    bool is_leaf = true;
+    int prediction = 0;        // Majority class (valid for leaves).
+    int feature = -1;          // Split feature (internal nodes).
+    std::vector<int> children; // Child node index per feature value.
+  };
+
+  void Train(const Dataset& data, const TreeParams& params = TreeParams());
+
+  // Rebuilds a tree from its node list (model_io / model exchange). Node 0
+  // must be the root; child indices are validated.
+  static DecisionTree FromNodes(std::vector<Node> nodes);
+
+  int Predict(const std::vector<int>& row) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  bool trained() const { return !nodes_.empty(); }
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumLeaves() const;
+  int Depth() const;
+
+  // Partial evaluation: every internal node testing a disclosed feature is
+  // replaced by the child matching the disclosed value. The result is a
+  // (usually much smaller) tree over only the hidden features. This is the
+  // tree instance of the paper's model-specialization step.
+  DecisionTree Specialize(const std::map<int, int>& disclosed) const;
+
+  // Distinct features still tested anywhere in the tree.
+  std::vector<int> UsedFeatures() const;
+
+ private:
+  int BuildNode(const Dataset& data, const std::vector<size_t>& rows,
+                std::vector<bool>& used, int depth, const TreeParams& params);
+  int CopySpecialized(const DecisionTree& src, int src_node,
+                      const std::map<int, int>& disclosed);
+  int DepthFrom(int node) const;
+
+  std::vector<Node> nodes_;  // Root at index 0 once trained.
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_ML_DECISION_TREE_H_

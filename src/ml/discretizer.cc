@@ -1,0 +1,77 @@
+#include "ml/discretizer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pafs {
+
+void Discretizer::Fit(const std::vector<std::vector<double>>& columns,
+                      int bins, BinningStrategy strategy) {
+  PAFS_CHECK_GE(bins, 2);
+  PAFS_CHECK(!columns.empty());
+  bins_ = bins;
+  edges_.assign(columns.size(), {});
+  for (size_t col = 0; col < columns.size(); ++col) {
+    const std::vector<double>& values = columns[col];
+    PAFS_CHECK(!values.empty());
+    std::vector<double>& edges = edges_[col];
+    edges.reserve(bins - 1);
+    if (strategy == BinningStrategy::kEqualWidth) {
+      auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+      double lo = *lo_it, hi = *hi_it;
+      double width = (hi - lo) / bins;
+      for (int b = 1; b < bins; ++b) edges.push_back(lo + b * width);
+    } else {
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      for (int b = 1; b < bins; ++b) {
+        size_t index = b * sorted.size() / bins;
+        edges.push_back(sorted[std::min(index, sorted.size() - 1)]);
+      }
+    }
+    // Degenerate (constant) columns can yield equal edges; keep them
+    // non-decreasing so Transform's upper_bound stays well-defined.
+    for (size_t i = 1; i < edges.size(); ++i) {
+      edges[i] = std::max(edges[i], edges[i - 1]);
+    }
+  }
+}
+
+int Discretizer::Transform(int column, double value) const {
+  PAFS_CHECK(fitted());
+  PAFS_CHECK_GE(column, 0);
+  PAFS_CHECK_LT(static_cast<size_t>(column), edges_.size());
+  const std::vector<double>& edges = edges_[column];
+  int bin = static_cast<int>(
+      std::upper_bound(edges.begin(), edges.end(), value) - edges.begin());
+  return std::min(bin, bins_ - 1);
+}
+
+Dataset Discretizer::DiscretizeTable(
+    const std::vector<std::string>& names, const std::vector<bool>& sensitive,
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<int>& labels, int num_classes) const {
+  PAFS_CHECK(fitted());
+  PAFS_CHECK_EQ(names.size(), columns.size());
+  PAFS_CHECK_EQ(sensitive.size(), columns.size());
+  PAFS_CHECK_EQ(columns.size(), edges_.size());
+  size_t rows = labels.size();
+  for (const auto& col : columns) PAFS_CHECK_EQ(col.size(), rows);
+
+  std::vector<FeatureSpec> features(columns.size());
+  for (size_t f = 0; f < columns.size(); ++f) {
+    features[f] = {names[f], bins_, sensitive[f]};
+  }
+  Dataset data(std::move(features), num_classes);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<int> row(columns.size());
+    for (size_t f = 0; f < columns.size(); ++f) {
+      row[f] = Transform(static_cast<int>(f), columns[f][i]);
+    }
+    data.AddRow(std::move(row), labels[i]);
+  }
+  return data;
+}
+
+}  // namespace pafs

@@ -1,0 +1,46 @@
+// Discretization of continuous attributes into the categorical domains the
+// rest of the system consumes: equal-width bins or (empirical) quantile
+// bins per column. Real clinical extracts carry continuous vitals/labs;
+// this is their on-ramp.
+#ifndef PAFS_ML_DISCRETIZER_H_
+#define PAFS_ML_DISCRETIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace pafs {
+
+enum class BinningStrategy { kEqualWidth, kQuantile };
+
+class Discretizer {
+ public:
+  // Learns bin edges for each column. Every column gets `bins` bins.
+  void Fit(const std::vector<std::vector<double>>& columns, int bins,
+           BinningStrategy strategy);
+
+  bool fitted() const { return !edges_.empty(); }
+  int num_columns() const { return static_cast<int>(edges_.size()); }
+  int bins() const { return bins_; }
+  // Interior cut points of a column (bins-1 of them, ascending).
+  const std::vector<double>& edges(int column) const { return edges_[column]; }
+
+  // Bin index of `value` in `column`, clamped to [0, bins).
+  int Transform(int column, double value) const;
+
+  // Convenience: discretizes a full continuous table into a Dataset.
+  Dataset DiscretizeTable(const std::vector<std::string>& names,
+                          const std::vector<bool>& sensitive,
+                          const std::vector<std::vector<double>>& columns,
+                          const std::vector<int>& labels,
+                          int num_classes) const;
+
+ private:
+  int bins_ = 0;
+  std::vector<std::vector<double>> edges_;  // Per column, ascending.
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_ML_DISCRETIZER_H_

@@ -1,0 +1,114 @@
+#include "ml/linear_model.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+void LinearModel::Train(const Dataset& data, const LinearTrainParams& params) {
+  PAFS_CHECK_GT(data.size(), 0u);
+  offsets_.assign(data.num_features(), 0);
+  dim_ = 0;
+  for (int f = 0; f < data.num_features(); ++f) {
+    offsets_[f] = dim_;
+    dim_ += data.FeatureCardinality(f);
+  }
+  int classes = data.num_classes();
+  weights_.assign(classes, std::vector<double>(dim_, 0.0));
+  bias_.assign(classes, 0.0);
+
+  Rng rng(params.seed);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    rng.Shuffle(order);
+    // Simple 1/sqrt(t) decay keeps SGD stable without tuning.
+    double lr = params.learning_rate / std::sqrt(1.0 + epoch);
+    for (size_t i : order) {
+      const std::vector<int>& row = data.row(i);
+      for (int c = 0; c < classes; ++c) {
+        double y = data.label(i) == c ? 1.0 : -1.0;
+        // Score = bias + sum of active one-hot weights.
+        double score = bias_[c];
+        for (int f = 0; f < data.num_features(); ++f) {
+          score += weights_[c][offsets_[f] + row[f]];
+        }
+        double gradient;  // d(loss)/d(score)
+        if (params.loss == LinearLoss::kLogistic) {
+          gradient = -y / (1.0 + std::exp(y * score));
+        } else {
+          gradient = (y * score < 1.0) ? -y : 0.0;
+        }
+        if (gradient != 0.0) {
+          for (int f = 0; f < data.num_features(); ++f) {
+            double& w = weights_[c][offsets_[f] + row[f]];
+            w -= lr * (gradient + params.l2 * w);
+          }
+          bias_[c] -= lr * gradient;
+        }
+      }
+    }
+  }
+}
+
+LinearModel LinearModel::FromParts(std::vector<int> offsets, int dim,
+                                   std::vector<std::vector<double>> weights,
+                                   std::vector<double> bias) {
+  PAFS_CHECK(!offsets.empty());
+  PAFS_CHECK_EQ(weights.size(), bias.size());
+  for (const auto& w : weights) {
+    PAFS_CHECK_EQ(w.size(), static_cast<size_t>(dim));
+  }
+  LinearModel out;
+  out.offsets_ = std::move(offsets);
+  out.dim_ = dim;
+  out.weights_ = std::move(weights);
+  out.bias_ = std::move(bias);
+  return out;
+}
+
+std::vector<double> LinearModel::Scores(const std::vector<int>& row) const {
+  PAFS_CHECK_EQ(row.size(), offsets_.size());
+  std::vector<double> scores(bias_);
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    for (size_t f = 0; f < row.size(); ++f) {
+      scores[c] += weights_[c][offsets_[f] + row[f]];
+    }
+  }
+  return scores;
+}
+
+int LinearModel::Predict(const std::vector<int>& row) const {
+  std::vector<double> scores = Scores(row);
+  int best = 0;
+  for (size_t c = 1; c < scores.size(); ++c) {
+    if (scores[c] > scores[best]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+std::vector<std::vector<int64_t>> LinearModel::FixedWeights(
+    int64_t scale) const {
+  std::vector<std::vector<int64_t>> out(weights_.size());
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    out[c].resize(dim_);
+    for (int d = 0; d < dim_; ++d) {
+      out[c][d] = std::llround(weights_[c][d] * static_cast<double>(scale));
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> LinearModel::FixedBias(int64_t scale) const {
+  std::vector<int64_t> out(bias_.size());
+  for (size_t c = 0; c < bias_.size(); ++c) {
+    out[c] = std::llround(bias_[c] * static_cast<double>(scale));
+  }
+  return out;
+}
+
+}  // namespace pafs

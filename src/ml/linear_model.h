@@ -1,0 +1,75 @@
+// Linear classifiers over one-hot-encoded categorical features: logistic
+// regression (SGD) and linear SVM (Pegasos), both one-vs-rest for
+// multiclass. The secure evaluation computes the per-class scores as
+// Paillier dot products and finishes the argmax in a garbled circuit, so
+// the model exports fixed-point weights.
+#ifndef PAFS_ML_LINEAR_MODEL_H_
+#define PAFS_ML_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace pafs {
+
+class Rng;
+
+enum class LinearLoss { kLogistic, kHinge };
+
+struct LinearTrainParams {
+  LinearLoss loss = LinearLoss::kLogistic;
+  int epochs = 20;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  uint64_t seed = 1;
+};
+
+class LinearModel {
+ public:
+  void Train(const Dataset& data, const LinearTrainParams& params);
+
+  // Rebuilds a model from raw parameters (model_io / model exchange).
+  static LinearModel FromParts(std::vector<int> offsets, int dim,
+                               std::vector<std::vector<double>> weights,
+                               std::vector<double> bias);
+
+  int Predict(const std::vector<int>& row) const;
+  std::vector<double> Scores(const std::vector<int>& row) const;
+
+  int num_classes() const { return static_cast<int>(weights_.size()); }
+  int num_features() const { return static_cast<int>(offsets_.size()); }
+  // One-hot dimension (sum of feature cardinalities).
+  int dim() const { return dim_; }
+  // Start offset of feature f's one-hot block.
+  int FeatureOffset(int f) const { return offsets_[f]; }
+  int FeatureCardinality(int f) const {
+    return (static_cast<size_t>(f) + 1 < offsets_.size()
+                ? offsets_[f + 1]
+                : dim_) - offsets_[f];
+  }
+
+  double weight(int c, int one_hot_index) const {
+    return weights_[c][one_hot_index];
+  }
+  double bias(int c) const { return bias_[c]; }
+
+  // Weight of (feature f, value v) for class c.
+  double FeatureWeight(int c, int f, int v) const {
+    return weights_[c][offsets_[f] + v];
+  }
+
+  // Fixed-point export for the secure protocol.
+  std::vector<std::vector<int64_t>> FixedWeights(int64_t scale) const;
+  std::vector<int64_t> FixedBias(int64_t scale) const;
+
+ private:
+  int dim_ = 0;
+  std::vector<int> offsets_;
+  std::vector<std::vector<double>> weights_;  // [class][one-hot index]
+  std::vector<double> bias_;                  // [class]
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_ML_LINEAR_MODEL_H_

@@ -1,0 +1,93 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& truth) {
+  PAFS_CHECK_EQ(predictions.size(), truth.size());
+  PAFS_CHECK(!predictions.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / predictions.size();
+}
+
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& predictions, const std::vector<int>& truth,
+    int num_classes) {
+  PAFS_CHECK_EQ(predictions.size(), truth.size());
+  std::vector<std::vector<int>> confusion(num_classes,
+                                          std::vector<int>(num_classes, 0));
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    PAFS_CHECK_LT(truth[i], num_classes);
+    PAFS_CHECK_LT(predictions[i], num_classes);
+    ++confusion[truth[i]][predictions[i]];
+  }
+  return confusion;
+}
+
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& truth, int num_classes) {
+  auto confusion = ConfusionMatrix(predictions, truth, num_classes);
+  double f1_sum = 0.0;
+  for (int c = 0; c < num_classes; ++c) {
+    double tp = confusion[c][c];
+    double fp = 0, fn = 0;
+    for (int other = 0; other < num_classes; ++other) {
+      if (other == c) continue;
+      fp += confusion[other][c];
+      fn += confusion[c][other];
+    }
+    double denom = 2 * tp + fp + fn;
+    f1_sum += denom > 0 ? 2 * tp / denom : 0.0;
+  }
+  return f1_sum / num_classes;
+}
+
+std::vector<double> CrossValidate(
+    const Dataset& data, int k, Rng& rng,
+    const std::function<void(const Dataset&)>& train,
+    const std::function<int(const std::vector<int>&)>& predict) {
+  std::vector<std::vector<size_t>> folds = data.KFoldIndices(k, rng);
+  std::vector<double> accuracies;
+  for (int fold = 0; fold < k; ++fold) {
+    std::vector<size_t> train_rows;
+    for (int other = 0; other < k; ++other) {
+      if (other == fold) continue;
+      train_rows.insert(train_rows.end(), folds[other].begin(),
+                        folds[other].end());
+    }
+    Dataset train_set = data.Subset(train_rows);
+    Dataset test_set = data.Subset(folds[fold]);
+    train(train_set);
+    std::vector<int> predictions, truth;
+    for (size_t i = 0; i < test_set.size(); ++i) {
+      predictions.push_back(predict(test_set.row(i)));
+      truth.push_back(test_set.label(i));
+    }
+    accuracies.push_back(Accuracy(predictions, truth));
+  }
+  return accuracies;
+}
+
+double Mean(const std::vector<double>& values) {
+  PAFS_CHECK(!values.empty());
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / values.size();
+}
+
+double StdDev(const std::vector<double>& values) {
+  double mean = Mean(values);
+  double ss = 0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / values.size());
+}
+
+}  // namespace pafs

@@ -1,0 +1,40 @@
+// Classification metrics and k-fold cross-validation helpers.
+#ifndef PAFS_ML_METRICS_H_
+#define PAFS_ML_METRICS_H_
+
+#include <functional>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace pafs {
+
+class Rng;
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& truth);
+
+// confusion[t][p] = count of rows with true class t predicted as p.
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& predictions, const std::vector<int>& truth,
+    int num_classes);
+
+// Unweighted mean of per-class F1 scores (classes absent from both
+// predictions and truth contribute 0).
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& truth, int num_classes);
+
+// Trains with `train` on k-1 folds and scores `predict` on the held-out
+// fold; returns per-fold accuracy. `train` receives the training subset;
+// `predict` must classify a single row of the held-out subset.
+std::vector<double> CrossValidate(
+    const Dataset& data, int k, Rng& rng,
+    const std::function<void(const Dataset&)>& train,
+    const std::function<int(const std::vector<int>&)>& predict);
+
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+}  // namespace pafs
+
+#endif  // PAFS_ML_METRICS_H_

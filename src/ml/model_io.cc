@@ -1,0 +1,280 @@
+#include "ml/model_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pafs {
+
+namespace {
+
+// Doubles are written as C hex-floats ("%a") and parsed with strtod, which
+// round-trips every finite value exactly. (std::istream >> double does not
+// reliably accept hex-floats, so tokens are parsed by hand.)
+void WriteDouble(std::ostream& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  out << buf;
+}
+
+bool ReadDouble(std::istream& in, double* v) {
+  std::string token;
+  if (!(in >> token)) return false;
+  char* end = nullptr;
+  *v = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+bool ReadInt(std::istream& in, int* v) { return static_cast<bool>(in >> *v); }
+
+bool ExpectToken(std::istream& in, const char* want) {
+  std::string token;
+  return (in >> token) && token == want;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << content;
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void StreamDecisionTree(std::ostream& out, const DecisionTree& model) {
+  out << "nodes " << model.NumNodes() << "\n";
+  for (const DecisionTree::Node& n : model.nodes()) {
+    if (n.is_leaf) {
+      out << "leaf " << n.prediction << "\n";
+    } else {
+      out << "node " << n.feature << " " << n.prediction << " "
+          << n.children.size();
+      for (int child : n.children) out << " " << child;
+      out << "\n";
+    }
+  }
+}
+
+StatusOr<DecisionTree> ParseDecisionTree(std::istream& in) {
+  int num_nodes;
+  if (!ExpectToken(in, "nodes") || !ReadInt(in, &num_nodes) || num_nodes <= 0) {
+    return Status::InvalidArgument("bad tree node count");
+  }
+  std::vector<DecisionTree::Node> nodes(num_nodes);
+  for (auto& node : nodes) {
+    std::string kind;
+    if (!(in >> kind)) return Status::InvalidArgument("truncated tree");
+    if (kind == "leaf") {
+      node.is_leaf = true;
+      if (!ReadInt(in, &node.prediction)) {
+        return Status::InvalidArgument("bad leaf");
+      }
+    } else if (kind == "node") {
+      node.is_leaf = false;
+      int num_children;
+      if (!ReadInt(in, &node.feature) || !ReadInt(in, &node.prediction) ||
+          !ReadInt(in, &num_children) || num_children <= 0) {
+        return Status::InvalidArgument("bad internal node");
+      }
+      node.children.resize(num_children);
+      for (int& child : node.children) {
+        if (!ReadInt(in, &child) || child < 0 || child >= num_nodes) {
+          return Status::InvalidArgument("bad child index");
+        }
+      }
+    } else {
+      return Status::InvalidArgument("unknown node kind: " + kind);
+    }
+  }
+  return DecisionTree::FromNodes(std::move(nodes));
+}
+
+}  // namespace
+
+Status SaveNaiveBayes(const NaiveBayes& model, const std::string& path) {
+  std::ostringstream out;
+  out << "pafs_naive_bayes v1\n";
+  out << "classes " << model.num_classes() << " features "
+      << model.num_features() << "\n";
+  out << "prior";
+  for (int c = 0; c < model.num_classes(); ++c) {
+    out << " ";
+    WriteDouble(out, model.log_prior(c));
+  }
+  out << "\n";
+  for (int f = 0; f < model.num_features(); ++f) {
+    out << "feature " << f << " card " << model.feature_cardinality(f) << "\n";
+    for (int v = 0; v < model.feature_cardinality(f); ++v) {
+      for (int c = 0; c < model.num_classes(); ++c) {
+        if (c > 0) out << " ";
+        WriteDouble(out, model.log_likelihood(f, v, c));
+      }
+      out << "\n";
+    }
+  }
+  return WriteFile(path, out.str());
+}
+
+StatusOr<NaiveBayes> LoadNaiveBayes(const std::string& path) {
+  StatusOr<std::string> content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::istringstream in(content.value());
+  if (!ExpectToken(in, "pafs_naive_bayes") || !ExpectToken(in, "v1")) {
+    return Status::InvalidArgument("not a pafs_naive_bayes v1 file");
+  }
+  int classes, features;
+  if (!ExpectToken(in, "classes") || !ReadInt(in, &classes) ||
+      !ExpectToken(in, "features") || !ReadInt(in, &features) ||
+      classes <= 1 || features <= 0) {
+    return Status::InvalidArgument("bad header");
+  }
+  std::vector<double> prior(classes);
+  if (!ExpectToken(in, "prior")) return Status::InvalidArgument("no prior");
+  for (double& p : prior) {
+    if (!ReadDouble(in, &p)) return Status::InvalidArgument("bad prior");
+  }
+  std::vector<std::vector<std::vector<double>>> tables(features);
+  for (int f = 0; f < features; ++f) {
+    int index, card;
+    if (!ExpectToken(in, "feature") || !ReadInt(in, &index) || index != f ||
+        !ExpectToken(in, "card") || !ReadInt(in, &card) || card <= 1) {
+      return Status::InvalidArgument("bad feature block");
+    }
+    tables[f].assign(card, std::vector<double>(classes));
+    for (int v = 0; v < card; ++v) {
+      for (int c = 0; c < classes; ++c) {
+        if (!ReadDouble(in, &tables[f][v][c])) {
+          return Status::InvalidArgument("bad likelihood value");
+        }
+      }
+    }
+  }
+  return NaiveBayes::FromParts(std::move(prior), std::move(tables));
+}
+
+Status SaveDecisionTree(const DecisionTree& model, const std::string& path) {
+  std::ostringstream out;
+  out << "pafs_decision_tree v1\n";
+  StreamDecisionTree(out, model);
+  return WriteFile(path, out.str());
+}
+
+StatusOr<DecisionTree> LoadDecisionTree(const std::string& path) {
+  StatusOr<std::string> content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::istringstream in(content.value());
+  if (!ExpectToken(in, "pafs_decision_tree") || !ExpectToken(in, "v1")) {
+    return Status::InvalidArgument("not a pafs_decision_tree v1 file");
+  }
+  return ParseDecisionTree(in);
+}
+
+Status SaveLinearModel(const LinearModel& model, const std::string& path) {
+  std::ostringstream out;
+  out << "pafs_linear v1\n";
+  int features = model.num_features();
+  out << "classes " << model.num_classes() << " features " << features
+      << " dim " << model.dim() << "\n";
+  out << "offsets";
+  for (int f = 0; f < features; ++f) out << " " << model.FeatureOffset(f);
+  out << "\nbias";
+  for (int c = 0; c < model.num_classes(); ++c) {
+    out << " ";
+    WriteDouble(out, model.bias(c));
+  }
+  out << "\n";
+  for (int c = 0; c < model.num_classes(); ++c) {
+    out << "weights " << c << "\n";
+    for (int d = 0; d < model.dim(); ++d) {
+      if (d > 0) out << " ";
+      WriteDouble(out, model.weight(c, d));
+    }
+    out << "\n";
+  }
+  return WriteFile(path, out.str());
+}
+
+StatusOr<LinearModel> LoadLinearModel(const std::string& path) {
+  StatusOr<std::string> content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::istringstream in(content.value());
+  if (!ExpectToken(in, "pafs_linear") || !ExpectToken(in, "v1")) {
+    return Status::InvalidArgument("not a pafs_linear v1 file");
+  }
+  int classes, features, dim;
+  if (!ExpectToken(in, "classes") || !ReadInt(in, &classes) ||
+      !ExpectToken(in, "features") || !ReadInt(in, &features) ||
+      !ExpectToken(in, "dim") || !ReadInt(in, &dim) || classes <= 1 ||
+      features <= 0 || dim <= 0) {
+    return Status::InvalidArgument("bad header");
+  }
+  std::vector<int> offsets(features);
+  if (!ExpectToken(in, "offsets")) return Status::InvalidArgument("no offsets");
+  for (int& o : offsets) {
+    if (!ReadInt(in, &o) || o < 0 || o >= dim) {
+      return Status::InvalidArgument("bad offset");
+    }
+  }
+  std::vector<double> bias(classes);
+  if (!ExpectToken(in, "bias")) return Status::InvalidArgument("no bias");
+  for (double& b : bias) {
+    if (!ReadDouble(in, &b)) return Status::InvalidArgument("bad bias");
+  }
+  std::vector<std::vector<double>> weights(classes,
+                                           std::vector<double>(dim));
+  for (int c = 0; c < classes; ++c) {
+    int index;
+    if (!ExpectToken(in, "weights") || !ReadInt(in, &index) || index != c) {
+      return Status::InvalidArgument("bad weights block");
+    }
+    for (int d = 0; d < dim; ++d) {
+      if (!ReadDouble(in, &weights[c][d])) {
+        return Status::InvalidArgument("bad weight value");
+      }
+    }
+  }
+  return LinearModel::FromParts(std::move(offsets), dim, std::move(weights),
+                                std::move(bias));
+}
+
+Status SaveRandomForest(const RandomForest& model, const std::string& path) {
+  std::ostringstream out;
+  out << "pafs_random_forest v1\n";
+  out << "classes " << model.num_classes() << " trees " << model.num_trees()
+      << "\n";
+  for (int t = 0; t < model.num_trees(); ++t) {
+    StreamDecisionTree(out, model.tree(t));
+  }
+  return WriteFile(path, out.str());
+}
+
+StatusOr<RandomForest> LoadRandomForest(const std::string& path) {
+  StatusOr<std::string> content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::istringstream in(content.value());
+  if (!ExpectToken(in, "pafs_random_forest") || !ExpectToken(in, "v1")) {
+    return Status::InvalidArgument("not a pafs_random_forest v1 file");
+  }
+  int classes, num_trees;
+  if (!ExpectToken(in, "classes") || !ReadInt(in, &classes) ||
+      !ExpectToken(in, "trees") || !ReadInt(in, &num_trees) || classes <= 1 ||
+      num_trees <= 0) {
+    return Status::InvalidArgument("bad header");
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(num_trees);
+  for (int t = 0; t < num_trees; ++t) {
+    StatusOr<DecisionTree> tree = ParseDecisionTree(in);
+    if (!tree.ok()) return tree.status();
+    trees.push_back(std::move(tree).value());
+  }
+  return RandomForest::FromTrees(std::move(trees), classes);
+}
+
+}  // namespace pafs

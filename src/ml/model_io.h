@@ -1,0 +1,32 @@
+// Model persistence: save/load trained classifiers as self-describing text
+// files (hex-float parameters, so doubles round-trip exactly). Lets a
+// hospital train offline, audit the model file, and deploy it to the
+// secure-classification server.
+#ifndef PAFS_ML_MODEL_IO_H_
+#define PAFS_ML_MODEL_IO_H_
+
+#include <string>
+
+#include "ml/decision_tree.h"
+#include "ml/linear_model.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "util/status.h"
+
+namespace pafs {
+
+Status SaveNaiveBayes(const NaiveBayes& model, const std::string& path);
+StatusOr<NaiveBayes> LoadNaiveBayes(const std::string& path);
+
+Status SaveDecisionTree(const DecisionTree& model, const std::string& path);
+StatusOr<DecisionTree> LoadDecisionTree(const std::string& path);
+
+Status SaveLinearModel(const LinearModel& model, const std::string& path);
+StatusOr<LinearModel> LoadLinearModel(const std::string& path);
+
+Status SaveRandomForest(const RandomForest& model, const std::string& path);
+StatusOr<RandomForest> LoadRandomForest(const std::string& path);
+
+}  // namespace pafs
+
+#endif  // PAFS_ML_MODEL_IO_H_

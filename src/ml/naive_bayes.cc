@@ -1,0 +1,114 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pafs {
+
+void NaiveBayes::Train(const Dataset& data, double alpha) {
+  PAFS_CHECK_GT(data.size(), 0u);
+  PAFS_CHECK_GT(alpha, 0.0);
+  num_classes_ = data.num_classes();
+
+  std::vector<double> class_counts(num_classes_, 0.0);
+  // counts[f][v][c]
+  std::vector<std::vector<std::vector<double>>> counts(data.num_features());
+  for (int f = 0; f < data.num_features(); ++f) {
+    counts[f].assign(data.FeatureCardinality(f),
+                     std::vector<double>(num_classes_, 0.0));
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    int c = data.label(i);
+    class_counts[c] += 1.0;
+    for (int f = 0; f < data.num_features(); ++f) {
+      counts[f][data.row(i)[f]][c] += 1.0;
+    }
+  }
+
+  log_prior_.assign(num_classes_, 0.0);
+  double n = static_cast<double>(data.size());
+  for (int c = 0; c < num_classes_; ++c) {
+    log_prior_[c] = std::log((class_counts[c] + alpha) /
+                             (n + alpha * num_classes_));
+  }
+
+  log_likelihood_.assign(data.num_features(), {});
+  for (int f = 0; f < data.num_features(); ++f) {
+    int card = data.FeatureCardinality(f);
+    log_likelihood_[f].assign(card, std::vector<double>(num_classes_, 0.0));
+    for (int v = 0; v < card; ++v) {
+      for (int c = 0; c < num_classes_; ++c) {
+        log_likelihood_[f][v][c] =
+            std::log((counts[f][v][c] + alpha) /
+                     (class_counts[c] + alpha * card));
+      }
+    }
+  }
+}
+
+NaiveBayes NaiveBayes::FromParts(
+    std::vector<double> log_prior,
+    std::vector<std::vector<std::vector<double>>> log_likelihood) {
+  PAFS_CHECK(!log_prior.empty());
+  PAFS_CHECK(!log_likelihood.empty());
+  NaiveBayes out;
+  out.num_classes_ = static_cast<int>(log_prior.size());
+  for (const auto& table : log_likelihood) {
+    PAFS_CHECK(!table.empty());
+    for (const auto& row : table) {
+      PAFS_CHECK_EQ(row.size(), log_prior.size());
+    }
+  }
+  out.log_prior_ = std::move(log_prior);
+  out.log_likelihood_ = std::move(log_likelihood);
+  return out;
+}
+
+std::vector<double> NaiveBayes::ClassLogScores(
+    const std::vector<int>& row) const {
+  PAFS_CHECK_EQ(row.size(), log_likelihood_.size());
+  std::vector<double> scores = log_prior_;
+  for (size_t f = 0; f < row.size(); ++f) {
+    PAFS_CHECK_LT(static_cast<size_t>(row[f]), log_likelihood_[f].size());
+    for (int c = 0; c < num_classes_; ++c) {
+      scores[c] += log_likelihood_[f][row[f]][c];
+    }
+  }
+  return scores;
+}
+
+int NaiveBayes::Predict(const std::vector<int>& row) const {
+  std::vector<double> scores = ClassLogScores(row);
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (scores[c] > scores[best]) best = c;
+  }
+  return best;
+}
+
+std::vector<int64_t> NaiveBayes::FixedPriors(int64_t scale) const {
+  std::vector<int64_t> out(num_classes_);
+  for (int c = 0; c < num_classes_; ++c) {
+    out[c] = std::llround(log_prior_[c] * static_cast<double>(scale));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::vector<int64_t>>> NaiveBayes::FixedLikelihoods(
+    int64_t scale) const {
+  std::vector<std::vector<std::vector<int64_t>>> out(log_likelihood_.size());
+  for (size_t f = 0; f < log_likelihood_.size(); ++f) {
+    out[f].resize(log_likelihood_[f].size());
+    for (size_t v = 0; v < log_likelihood_[f].size(); ++v) {
+      out[f][v].resize(num_classes_);
+      for (int c = 0; c < num_classes_; ++c) {
+        out[f][v][c] =
+            std::llround(log_likelihood_[f][v][c] * static_cast<double>(scale));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pafs

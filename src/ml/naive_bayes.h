@@ -1,0 +1,57 @@
+// Multinomial naive Bayes over categorical features, with Laplace
+// smoothing. Exposes both a floating-point predictor and a fixed-point
+// log-probability view, which is what the secure protocol evaluates
+// (integer additions + argmax inside a garbled circuit).
+#ifndef PAFS_ML_NAIVE_BAYES_H_
+#define PAFS_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace pafs {
+
+class NaiveBayes {
+ public:
+  // alpha: Laplace smoothing pseudo-count.
+  void Train(const Dataset& data, double alpha = 1.0);
+
+  int Predict(const std::vector<int>& row) const;
+  // Per-class joint log-likelihood log P(c) + sum_f log P(x_f | c).
+  std::vector<double> ClassLogScores(const std::vector<int>& row) const;
+
+  int num_classes() const { return num_classes_; }
+  int num_features() const { return static_cast<int>(log_likelihood_.size()); }
+  int feature_cardinality(int f) const {
+    return static_cast<int>(log_likelihood_[f].size());
+  }
+
+  // Rebuilds a model from raw parameters (model_io / model exchange).
+  static NaiveBayes FromParts(
+      std::vector<double> log_prior,
+      std::vector<std::vector<std::vector<double>>> log_likelihood);
+
+  double log_prior(int c) const { return log_prior_[c]; }
+  // log P(feature f = value v | class c).
+  double log_likelihood(int f, int v, int c) const {
+    return log_likelihood_[f][v][c];
+  }
+
+  // Fixed-point export: round(x * scale) of every log-probability, suitable
+  // for exact integer aggregation in a circuit. Values fit in ~16 bits for
+  // scale 256.
+  std::vector<int64_t> FixedPriors(int64_t scale) const;
+  // Indexed [f][v][c].
+  std::vector<std::vector<std::vector<int64_t>>> FixedLikelihoods(
+      int64_t scale) const;
+
+ private:
+  int num_classes_ = 0;
+  std::vector<double> log_prior_;
+  // [feature][value][class]
+  std::vector<std::vector<std::vector<double>>> log_likelihood_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_ML_NAIVE_BAYES_H_

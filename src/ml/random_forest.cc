@@ -1,0 +1,90 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+void RandomForest::Train(const Dataset& data, const ForestParams& params,
+                         Rng& rng) {
+  PAFS_CHECK_GT(data.size(), 0u);
+  PAFS_CHECK_GT(params.num_trees, 0);
+  num_classes_ = data.num_classes();
+  trees_.clear();
+  trees_.resize(params.num_trees);
+
+  int features_per_tree = params.features_per_tree;
+  if (features_per_tree <= 0) {
+    features_per_tree =
+        static_cast<int>(std::ceil(std::sqrt(data.num_features()))) + 1;
+  }
+  features_per_tree = std::min(features_per_tree, data.num_features());
+
+  std::vector<int> all_features(data.num_features());
+  for (int f = 0; f < data.num_features(); ++f) all_features[f] = f;
+
+  for (int t = 0; t < params.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<size_t> sample(data.size());
+    for (auto& i : sample) i = rng.NextU64Below(data.size());
+    Dataset bag = data.Subset(sample);
+
+    TreeParams tree_params = params.tree;
+    std::vector<int> shuffled = all_features;
+    rng.Shuffle(shuffled);
+    tree_params.allowed_features.assign(shuffled.begin(),
+                                        shuffled.begin() + features_per_tree);
+    trees_[t].Train(bag, tree_params);
+  }
+}
+
+RandomForest RandomForest::FromTrees(std::vector<DecisionTree> trees,
+                                     int num_classes) {
+  PAFS_CHECK(!trees.empty());
+  PAFS_CHECK_GT(num_classes, 1);
+  RandomForest out;
+  out.trees_ = std::move(trees);
+  out.num_classes_ = num_classes;
+  return out;
+}
+
+std::vector<int> RandomForest::Votes(const std::vector<int>& row) const {
+  PAFS_CHECK(trained());
+  std::vector<int> votes(num_classes_, 0);
+  for (const DecisionTree& tree : trees_) ++votes[tree.Predict(row)];
+  return votes;
+}
+
+int RandomForest::Predict(const std::vector<int>& row) const {
+  std::vector<int> votes = Votes(row);
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+RandomForest RandomForest::Specialize(
+    const std::map<int, int>& disclosed) const {
+  PAFS_CHECK(trained());
+  RandomForest out;
+  out.num_classes_ = num_classes_;
+  out.trees_.reserve(trees_.size());
+  for (const DecisionTree& tree : trees_) {
+    out.trees_.push_back(tree.Specialize(disclosed));
+  }
+  return out;
+}
+
+std::vector<int> RandomForest::UsedFeatures() const {
+  std::vector<int> out;
+  for (const DecisionTree& tree : trees_) {
+    for (int f : tree.UsedFeatures()) {
+      if (std::find(out.begin(), out.end(), f) == out.end()) out.push_back(f);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pafs

@@ -1,0 +1,53 @@
+// Random forest over the categorical decision trees: bootstrap-sampled
+// training sets plus per-tree random feature subsets, majority vote at
+// prediction time. The paper's future-work direction of richer model
+// families; the secure evaluation (smc/secure_forest.h) votes obliviously
+// inside one garbled circuit.
+#ifndef PAFS_ML_RANDOM_FOREST_H_
+#define PAFS_ML_RANDOM_FOREST_H_
+
+#include <map>
+
+#include "ml/decision_tree.h"
+
+namespace pafs {
+
+class Rng;
+
+struct ForestParams {
+  int num_trees = 15;
+  // Features considered by each tree; <= 0 means ceil(sqrt(d)) + 1.
+  int features_per_tree = 0;
+  TreeParams tree;
+};
+
+class RandomForest {
+ public:
+  void Train(const Dataset& data, const ForestParams& params, Rng& rng);
+
+  // Rebuilds a forest from member trees (model_io / model exchange).
+  static RandomForest FromTrees(std::vector<DecisionTree> trees,
+                                int num_classes);
+
+  int Predict(const std::vector<int>& row) const;
+  // Vote counts per class.
+  std::vector<int> Votes(const std::vector<int>& row) const;
+
+  bool trained() const { return !trees_.empty(); }
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  const DecisionTree& tree(int t) const { return trees_[t]; }
+  int num_classes() const { return num_classes_; }
+
+  // Specializes every member tree on the disclosed values.
+  RandomForest Specialize(const std::map<int, int>& disclosed) const;
+  // Union of features still tested by any member tree.
+  std::vector<int> UsedFeatures() const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_ML_RANDOM_FOREST_H_

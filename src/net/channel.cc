@@ -1,0 +1,143 @@
+#include "net/channel.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace pafs {
+
+void Channel::SendU64(uint64_t v) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));
+  Send(buf, 8);
+}
+
+uint64_t Channel::RecvU64() {
+  uint8_t buf[8];
+  Recv(buf, 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+void Channel::SendBlock(const Block& b) {
+  uint8_t buf[16];
+  b.ToBytes(buf);
+  Send(buf, 16);
+}
+
+Block Channel::RecvBlock() {
+  uint8_t buf[16];
+  Recv(buf, 16);
+  return Block::FromBytes(buf);
+}
+
+void Channel::SendBlocks(const std::vector<Block>& blocks) {
+  SendU64(blocks.size());
+  for (const Block& b : blocks) SendBlock(b);
+}
+
+std::vector<Block> Channel::RecvBlocks() {
+  uint64_t n = RecvU64();
+  std::vector<Block> out(n);
+  for (auto& b : out) b = RecvBlock();
+  return out;
+}
+
+void Channel::SendBigInt(const BigInt& v) {
+  PAFS_CHECK(!v.is_negative());  // Protocol values are residues.
+  SendBytes(v.ToBytes());
+}
+
+BigInt Channel::RecvBigInt() { return BigInt::FromBytes(RecvBytes()); }
+
+void Channel::SendBytes(const std::vector<uint8_t>& bytes) {
+  SendU64(bytes.size());
+  if (!bytes.empty()) Send(bytes.data(), bytes.size());
+}
+
+std::vector<uint8_t> Channel::RecvBytes() {
+  uint64_t n = RecvU64();
+  std::vector<uint8_t> out(n);
+  if (n > 0) Recv(out.data(), n);
+  return out;
+}
+
+class MemChannelPair::Endpoint : public Channel {
+ public:
+  void Send(const uint8_t* data, size_t n) override {
+    PAFS_CHECK(peer_ != nullptr);
+    {
+      std::lock_guard<std::mutex> lock(peer_->mutex_);
+      peer_->inbox_.insert(peer_->inbox_.end(), data, data + n);
+    }
+    peer_->cv_.notify_one();
+    // Stats fields are only touched by this endpoint's owning thread.
+    stats_.bytes_sent += n;
+    ++stats_.messages_sent;
+    if (!last_op_was_send_) {
+      ++stats_.direction_flips;
+      last_op_was_send_ = true;
+    }
+  }
+
+  void Recv(uint8_t* data, size_t n) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this, n] { return inbox_.size() >= n; });
+    std::copy(inbox_.begin(), inbox_.begin() + n, data);
+    inbox_.erase(inbox_.begin(), inbox_.begin() + n);
+    last_op_was_send_ = false;
+  }
+
+  const ChannelStats& stats() const override { return stats_; }
+
+  void Reset() {
+    stats_ = ChannelStats();
+    last_op_was_send_ = false;
+  }
+
+  Endpoint* peer_ = nullptr;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<uint8_t> inbox_;
+  ChannelStats stats_;
+  bool last_op_was_send_ = false;
+};
+
+MemChannelPair::MemChannelPair()
+    : a_(std::make_unique<Endpoint>()), b_(std::make_unique<Endpoint>()) {
+  a_->peer_ = b_.get();
+  b_->peer_ = a_.get();
+}
+
+MemChannelPair::~MemChannelPair() = default;
+
+Channel& MemChannelPair::endpoint(int party) {
+  PAFS_CHECK(party == 0 || party == 1);
+  return party == 0 ? *a_ : *b_;
+}
+
+uint64_t MemChannelPair::TotalBytes() const {
+  return a_->stats_.bytes_sent + b_->stats_.bytes_sent;
+}
+
+uint64_t MemChannelPair::TotalRounds() const {
+  return a_->stats_.direction_flips + b_->stats_.direction_flips;
+}
+
+void MemChannelPair::ResetStats() {
+  a_->Reset();
+  b_->Reset();
+}
+
+NetworkProfile LanProfile() {
+  return NetworkProfile{"LAN", 125.0e6, 0.2e-3};
+}
+
+NetworkProfile WanProfile() {
+  return NetworkProfile{"WAN", 5.0e6, 40.0e-3};
+}
+
+}  // namespace pafs

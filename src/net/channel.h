@@ -1,0 +1,89 @@
+// Two-party communication substrate. The paper evaluated on two networked
+// machines; we substitute an in-process duplex channel that counts every
+// byte and message round, plus a latency×bandwidth model that converts the
+// traffic log into LAN/WAN wall-clock estimates (see DESIGN.md).
+#ifndef PAFS_NET_CHANNEL_H_
+#define PAFS_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "crypto/block.h"
+
+namespace pafs {
+
+// Traffic statistics for one direction of a channel.
+struct ChannelStats {
+  uint64_t bytes_sent = 0;
+  uint64_t messages_sent = 0;
+  // A "round" increments when the direction of traffic flips; protocol
+  // latency cost is rounds * RTT/2.
+  uint64_t direction_flips = 0;
+};
+
+// One endpoint of an in-process duplex byte channel. Endpoints come in
+// pairs owned by a MemChannelPair; party 0 writes into party 1's inbox and
+// vice versa. Recv blocks until enough bytes arrive, so the two protocol
+// parties run on separate threads (one of which may be the caller's).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual void Send(const uint8_t* data, size_t n) = 0;
+  virtual void Recv(uint8_t* data, size_t n) = 0;
+
+  // Convenience serializers used by every protocol layer.
+  void SendU64(uint64_t v);
+  uint64_t RecvU64();
+  void SendBlock(const Block& b);
+  Block RecvBlock();
+  void SendBlocks(const std::vector<Block>& blocks);
+  std::vector<Block> RecvBlocks();
+  void SendBigInt(const BigInt& v);
+  BigInt RecvBigInt();
+  void SendBytes(const std::vector<uint8_t>& bytes);
+  std::vector<uint8_t> RecvBytes();
+
+  virtual const ChannelStats& stats() const = 0;
+};
+
+// In-memory duplex queue shared by a pair of endpoints.
+class MemChannelPair {
+ public:
+  MemChannelPair();
+  ~MemChannelPair();  // Out-of-line: Endpoint is an implementation detail.
+
+  Channel& endpoint(int party);
+  // Total traffic both ways.
+  uint64_t TotalBytes() const;
+  uint64_t TotalRounds() const;
+  void ResetStats();
+
+ private:
+  class Endpoint;
+  std::unique_ptr<Endpoint> a_;
+  std::unique_ptr<Endpoint> b_;
+};
+
+// Converts measured traffic into an estimated wall-clock network time.
+struct NetworkProfile {
+  const char* name;
+  double bandwidth_bytes_per_sec;
+  double rtt_seconds;
+
+  double TransferSeconds(uint64_t bytes, uint64_t rounds) const {
+    return bytes / bandwidth_bytes_per_sec + rounds * rtt_seconds / 2.0;
+  }
+};
+
+// 1 Gbps / 0.2 ms RTT, matching a same-rack deployment.
+NetworkProfile LanProfile();
+// 40 Mbps / 40 ms RTT, matching a 2016-era cloud client link.
+NetworkProfile WanProfile();
+
+}  // namespace pafs
+
+#endif  // PAFS_NET_CHANNEL_H_

@@ -1,0 +1,32 @@
+#include "net/throttle.h"
+
+#include <chrono>
+#include <thread>
+
+namespace pafs {
+
+ThrottledChannel::ThrottledChannel(Channel& inner,
+                                   const NetworkProfile& profile,
+                                   double time_scale)
+    : inner_(inner), profile_(profile), time_scale_(time_scale) {}
+
+void ThrottledChannel::Send(const uint8_t* data, size_t n) {
+  double delay = n / profile_.bandwidth_bytes_per_sec;
+  if (!last_op_was_send_) {
+    delay += profile_.rtt_seconds / 2;  // Direction flip pays half an RTT.
+    last_op_was_send_ = true;
+  }
+  delay /= time_scale_;
+  delay_seconds_ += delay;
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+  inner_.Send(data, n);
+}
+
+void ThrottledChannel::Recv(uint8_t* data, size_t n) {
+  last_op_was_send_ = false;
+  inner_.Recv(data, n);
+}
+
+}  // namespace pafs

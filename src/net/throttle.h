@@ -1,0 +1,37 @@
+// Wall-clock network emulation: a Channel decorator that delays traffic
+// according to a NetworkProfile (bandwidth per byte, half-RTT per
+// direction flip). The analytic LAN/WAN estimates in the benches use the
+// cost model instead (fast); this decorator exists to *validate* those
+// estimates with real sleeps and for demos that want to feel the WAN.
+#ifndef PAFS_NET_THROTTLE_H_
+#define PAFS_NET_THROTTLE_H_
+
+#include "net/channel.h"
+
+namespace pafs {
+
+class ThrottledChannel : public Channel {
+ public:
+  // Wraps `inner` (not owned). `time_scale` divides all delays, so tests
+  // can emulate a WAN at 100x speed.
+  ThrottledChannel(Channel& inner, const NetworkProfile& profile,
+                   double time_scale = 1.0);
+
+  void Send(const uint8_t* data, size_t n) override;
+  void Recv(uint8_t* data, size_t n) override;
+  const ChannelStats& stats() const override { return inner_.stats(); }
+
+  // Total time this endpoint has spent sleeping to emulate the link.
+  double emulated_delay_seconds() const { return delay_seconds_; }
+
+ private:
+  Channel& inner_;
+  NetworkProfile profile_;
+  double time_scale_;
+  double delay_seconds_ = 0;
+  bool last_op_was_send_ = false;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_NET_THROTTLE_H_

@@ -1,0 +1,92 @@
+#include "ot/base_ot.h"
+
+#include "bignum/modmath.h"
+#include "bignum/prime.h"
+#include "crypto/sha256.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+// Group: quadratic residues mod the fixed safe prime p, generator g = 4
+// (a square, hence generates the order-q subgroup with q = (p-1)/2).
+struct Group {
+  BigInt p;
+  BigInt q;
+  BigInt g;
+};
+
+const Group& FixedGroup() {
+  static const Group* const kGroup = [] {
+    auto* g = new Group();
+    g->p = Rfc3526Prime1024();
+    g->q = (g->p - BigInt(1)) >> 1;
+    g->g = BigInt(4);
+    return g;
+  }();
+  return *kGroup;
+}
+
+// Key derivation: hash the group element (plus a transfer index) to a block.
+Block KdfBlock(const BigInt& element, uint64_t index) {
+  Sha256 h;
+  std::vector<uint8_t> bytes = element.ToBytes();
+  h.Update(bytes);
+  uint8_t idx[8];
+  for (int i = 0; i < 8; ++i) idx[i] = static_cast<uint8_t>(index >> (8 * i));
+  h.Update(idx, 8);
+  Sha256Digest digest = h.Finalize();
+  return Block::FromBytes(digest.data());
+}
+
+}  // namespace
+
+void BaseOtSend(Channel& channel,
+                const std::vector<std::array<Block, 2>>& messages, Rng& rng) {
+  const Group& grp = FixedGroup();
+  // Sender samples a, announces A = g^a. Per Chou-Orlandi, the receiver's
+  // reply B encodes its choice; k0 = H(B^a), k1 = H((B/A)^a).
+  // Short-exponent optimization: 256-bit exponents in the 1024-bit
+  // safe-prime group, standard practice for DH-style protocols.
+  BigInt a = BigInt::RandomBits(rng, 256);
+  BigInt big_a = ModExp(grp.g, a, grp.p);
+  channel.SendBigInt(big_a);
+
+  BigInt big_a_inv = ModInverse(big_a, grp.p);
+  for (size_t j = 0; j < messages.size(); ++j) {
+    BigInt big_b = channel.RecvBigInt();
+    PAFS_CHECK(big_b > BigInt(0));
+    PAFS_CHECK(big_b < grp.p);
+    BigInt k0_elem = ModExp(big_b, a, grp.p);
+    BigInt k1_elem = ModExp(ModMul(big_b, big_a_inv, grp.p), a, grp.p);
+    Block pad0 = KdfBlock(k0_elem, j);
+    Block pad1 = KdfBlock(k1_elem, j);
+    channel.SendBlock(messages[j][0] ^ pad0);
+    channel.SendBlock(messages[j][1] ^ pad1);
+  }
+}
+
+std::vector<Block> BaseOtRecv(Channel& channel, const BitVec& choices,
+                              Rng& rng) {
+  const Group& grp = FixedGroup();
+  BigInt big_a = channel.RecvBigInt();
+  PAFS_CHECK(big_a > BigInt(0));
+  PAFS_CHECK(big_a < grp.p);
+
+  std::vector<Block> out(choices.size());
+  for (size_t j = 0; j < choices.size(); ++j) {
+    BigInt b = BigInt::RandomBits(rng, 256);  // Short exponent, see sender.
+    BigInt big_b = ModExp(grp.g, b, grp.p);
+    if (choices.Get(j)) big_b = ModMul(big_b, big_a, grp.p);
+    channel.SendBigInt(big_b);
+    Block pad = KdfBlock(ModExp(big_a, b, grp.p), j);
+    Block c0 = channel.RecvBlock();
+    Block c1 = channel.RecvBlock();
+    out[j] = (choices.Get(j) ? c1 : c0) ^ pad;
+  }
+  return out;
+}
+
+}  // namespace pafs

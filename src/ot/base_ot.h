@@ -1,0 +1,28 @@
+// Base oblivious transfer (Chou-Orlandi "simplest OT" style) over the
+// multiplicative group of a fixed 1024-bit safe prime. Used only to seed
+// the IKNP extension (128 transfers), so discrete-log-size exponentiations
+// happen a constant number of times per protocol session.
+#ifndef PAFS_OT_BASE_OT_H_
+#define PAFS_OT_BASE_OT_H_
+
+#include <array>
+#include <vector>
+
+#include "crypto/block.h"
+#include "net/channel.h"
+#include "util/bitvec.h"
+
+namespace pafs {
+
+class Rng;
+
+// Sender side: transfers one of (messages[j][0], messages[j][1]) per index.
+void BaseOtSend(Channel& channel, const std::vector<std::array<Block, 2>>& messages,
+                Rng& rng);
+
+// Receiver side: obtains messages[j][choices[j]].
+std::vector<Block> BaseOtRecv(Channel& channel, const BitVec& choices, Rng& rng);
+
+}  // namespace pafs
+
+#endif  // PAFS_OT_BASE_OT_H_

@@ -1,0 +1,192 @@
+#include "ot/iknp.h"
+
+#include "ot/base_ot.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+// Both parties expand the same number of PRG bytes per extension call so
+// their per-column streams stay aligned.
+size_t ColumnBytes(size_t num_transfers) { return (num_transfers + 7) / 8; }
+
+// Packs a BitVec into LSB-first bytes.
+std::vector<uint8_t> PackBits(const BitVec& bits) {
+  std::vector<uint8_t> out((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits.Get(i)) out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+// Row j of the 128-column bit matrix, as a Block.
+Block RowFromColumns(const std::vector<std::vector<uint8_t>>& columns,
+                     size_t j) {
+  Block row = Block::Zero();
+  for (int i = 0; i < kOtExtensionWidth; ++i) {
+    bool bit = (columns[i][j / 8] >> (j % 8)) & 1u;
+    if (!bit) continue;
+    if (i < 64) {
+      row.lo |= 1ull << i;
+    } else {
+      row.hi |= 1ull << (i - 64);
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+void OtExtSender::Setup(Channel& channel, Rng& rng) {
+  PAFS_CHECK_MSG(column_prgs_.empty(), "Setup called twice");
+  s_bits_ = BitVec(kOtExtensionWidth);
+  for (int i = 0; i < kOtExtensionWidth; ++i) s_bits_.Set(i, rng.NextBool());
+  s_block_ = Block(s_bits_.ToU64(0, 64), s_bits_.ToU64(64, 64));
+  // Roles reverse for the base phase: the extension sender receives the
+  // seed k_i^{s_i} for each column.
+  std::vector<Block> seeds = BaseOtRecv(channel, s_bits_, rng);
+  column_prgs_.reserve(kOtExtensionWidth);
+  for (const Block& seed : seeds) column_prgs_.emplace_back(seed);
+}
+
+void OtExtReceiver::Setup(Channel& channel, Rng& rng) {
+  PAFS_CHECK_MSG(column_prgs0_.empty(), "Setup called twice");
+  std::vector<std::array<Block, 2>> seed_pairs(kOtExtensionWidth);
+  for (auto& pair : seed_pairs) {
+    pair[0] = Block(rng.NextU64(), rng.NextU64());
+    pair[1] = Block(rng.NextU64(), rng.NextU64());
+  }
+  BaseOtSend(channel, seed_pairs, rng);
+  column_prgs0_.reserve(kOtExtensionWidth);
+  column_prgs1_.reserve(kOtExtensionWidth);
+  for (const auto& pair : seed_pairs) {
+    column_prgs0_.emplace_back(pair[0]);
+    column_prgs1_.emplace_back(pair[1]);
+  }
+}
+
+std::vector<Block> OtExtReceiver::Recv(Channel& channel,
+                                       const BitVec& choices) {
+  PAFS_CHECK_MSG(is_setup(), "Recv before Setup");
+  const size_t m = choices.size();
+  const size_t col_bytes = ColumnBytes(m);
+  std::vector<uint8_t> r_bytes = PackBits(choices);
+
+  // T columns from PRG0; U = T ^ PRG1 ^ r goes to the sender.
+  std::vector<std::vector<uint8_t>> t_columns(kOtExtensionWidth);
+  for (int i = 0; i < kOtExtensionWidth; ++i) {
+    t_columns[i] = column_prgs0_[i].Bytes(col_bytes);
+    std::vector<uint8_t> u = column_prgs1_[i].Bytes(col_bytes);
+    for (size_t b = 0; b < col_bytes; ++b) {
+      u[b] ^= t_columns[i][b] ^ r_bytes[b];
+    }
+    channel.SendBytes(u);
+  }
+
+  // Receive the masked message pairs and unmask the chosen one.
+  std::vector<Block> out(m);
+  for (size_t j = 0; j < m; ++j) {
+    Block t_row = RowFromColumns(t_columns, j);
+    Block y0 = channel.RecvBlock();
+    Block y1 = channel.RecvBlock();
+    Block pad = HashBlock(t_row, tweak_ + j);
+    out[j] = (choices.Get(j) ? y1 : y0) ^ pad;
+  }
+  tweak_ += m;
+  return out;
+}
+
+BitVec OtExtReceiver::RecvBits(Channel& channel, const BitVec& choices) {
+  PAFS_CHECK_MSG(is_setup(), "RecvBits before Setup");
+  const size_t m = choices.size();
+  const size_t col_bytes = ColumnBytes(m);
+  std::vector<uint8_t> r_bytes = PackBits(choices);
+
+  std::vector<std::vector<uint8_t>> t_columns(kOtExtensionWidth);
+  for (int i = 0; i < kOtExtensionWidth; ++i) {
+    t_columns[i] = column_prgs0_[i].Bytes(col_bytes);
+    std::vector<uint8_t> u = column_prgs1_[i].Bytes(col_bytes);
+    for (size_t b = 0; b < col_bytes; ++b) {
+      u[b] ^= t_columns[i][b] ^ r_bytes[b];
+    }
+    channel.SendBytes(u);
+  }
+
+  // Masked bit pairs arrive packed four transfers per byte.
+  std::vector<uint8_t> packed = channel.RecvBytes();
+  PAFS_CHECK_EQ(packed.size(), (m + 3) / 4);
+  BitVec out(m);
+  for (size_t j = 0; j < m; ++j) {
+    bool choice = choices.Get(j);
+    int shift = 2 * (j % 4) + (choice ? 1 : 0);
+    bool masked = (packed[j / 4] >> shift) & 1u;
+    Block t_row = RowFromColumns(t_columns, j);
+    bool pad = HashBlock(t_row, tweak_ + j).GetLsb();
+    out.Set(j, masked != pad);
+  }
+  tweak_ += m;
+  return out;
+}
+
+void OtExtSender::Send(Channel& channel,
+                       const std::vector<std::array<Block, 2>>& messages) {
+  PAFS_CHECK_MSG(is_setup(), "Send before Setup");
+  const size_t m = messages.size();
+  const size_t col_bytes = ColumnBytes(m);
+
+  std::vector<std::vector<uint8_t>> q_columns(kOtExtensionWidth);
+  for (int i = 0; i < kOtExtensionWidth; ++i) {
+    q_columns[i] = column_prgs_[i].Bytes(col_bytes);
+    std::vector<uint8_t> u = channel.RecvBytes();
+    PAFS_CHECK_EQ(u.size(), col_bytes);
+    if (s_bits_.Get(i)) {
+      for (size_t b = 0; b < col_bytes; ++b) q_columns[i][b] ^= u[b];
+    }
+  }
+
+  // Row identity: q_j = t_j ^ (r_j ? s : 0), so H(q_j) masks m0 and
+  // H(q_j ^ s) masks m1.
+  for (size_t j = 0; j < m; ++j) {
+    Block q_row = RowFromColumns(q_columns, j);
+    Block pad0 = HashBlock(q_row, tweak_ + j);
+    Block pad1 = HashBlock(q_row ^ s_block_, tweak_ + j);
+    channel.SendBlock(messages[j][0] ^ pad0);
+    channel.SendBlock(messages[j][1] ^ pad1);
+  }
+  tweak_ += m;
+}
+
+void OtExtSender::SendBits(Channel& channel, const BitVec& bits0,
+                           const BitVec& bits1) {
+  PAFS_CHECK_MSG(is_setup(), "SendBits before Setup");
+  PAFS_CHECK_EQ(bits0.size(), bits1.size());
+  const size_t m = bits0.size();
+  const size_t col_bytes = ColumnBytes(m);
+
+  std::vector<std::vector<uint8_t>> q_columns(kOtExtensionWidth);
+  for (int i = 0; i < kOtExtensionWidth; ++i) {
+    q_columns[i] = column_prgs_[i].Bytes(col_bytes);
+    std::vector<uint8_t> u = channel.RecvBytes();
+    PAFS_CHECK_EQ(u.size(), col_bytes);
+    if (s_bits_.Get(i)) {
+      for (size_t b = 0; b < col_bytes; ++b) q_columns[i][b] ^= u[b];
+    }
+  }
+
+  // Mask each bit pair with the hash pads' low bits; pack 4 pairs/byte.
+  std::vector<uint8_t> packed((m + 3) / 4, 0);
+  for (size_t j = 0; j < m; ++j) {
+    Block q_row = RowFromColumns(q_columns, j);
+    bool pad0 = HashBlock(q_row, tweak_ + j).GetLsb();
+    bool pad1 = HashBlock(q_row ^ s_block_, tweak_ + j).GetLsb();
+    uint8_t pair = static_cast<uint8_t>((bits0.Get(j) != pad0) ? 1 : 0) |
+                   static_cast<uint8_t>(((bits1.Get(j) != pad1) ? 1 : 0) << 1);
+    packed[j / 4] |= static_cast<uint8_t>(pair << (2 * (j % 4)));
+  }
+  channel.SendBytes(packed);
+  tweak_ += m;
+}
+
+}  // namespace pafs

@@ -1,0 +1,69 @@
+// IKNP oblivious-transfer extension (Ishai-Kilian-Nissim-Petrank, Crypto
+// 2003), semi-honest variant. A session pays 128 base OTs once at Setup and
+// then serves an unbounded number of fast extended transfers; the per-column
+// PRGs carry state across calls so repeated Send/Recv pairs stay in sync.
+#ifndef PAFS_OT_IKNP_H_
+#define PAFS_OT_IKNP_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "crypto/block.h"
+#include "crypto/prg.h"
+#include "net/channel.h"
+#include "util/bitvec.h"
+
+namespace pafs {
+
+class Rng;
+
+inline constexpr int kOtExtensionWidth = 128;
+
+class OtExtSender {
+ public:
+  // Runs the base-OT phase (acting as base-OT *receiver* with random
+  // choice bits s). Must pair with OtExtReceiver::Setup on the other side.
+  void Setup(Channel& channel, Rng& rng);
+
+  // Transfers messages[j][0] / messages[j][1]; the receiver's choice bit
+  // selects which one it learns. Requires Setup.
+  void Send(Channel& channel, const std::vector<std::array<Block, 2>>& messages);
+
+  // Bit-message variant: transfers one of two single bits per index with
+  // the masked pair packed 4-transfers-per-byte on the wire. This is what
+  // GMW triple generation wants — Block-sized messages would inflate its
+  // bandwidth 128x.
+  void SendBits(Channel& channel, const BitVec& bits0, const BitVec& bits1);
+
+  bool is_setup() const { return !column_prgs_.empty(); }
+
+ private:
+  Block s_block_;
+  BitVec s_bits_;
+  std::vector<Prg> column_prgs_;  // Keyed by the base-OT outputs k_i^{s_i}.
+  uint64_t tweak_ = 0;
+};
+
+class OtExtReceiver {
+ public:
+  // Base-OT phase, acting as base-OT *sender* with fresh seed pairs.
+  void Setup(Channel& channel, Rng& rng);
+
+  // Learns messages[j][choices[j]] for each j.
+  std::vector<Block> Recv(Channel& channel, const BitVec& choices);
+
+  // Bit-message variant pairing OtExtSender::SendBits.
+  BitVec RecvBits(Channel& channel, const BitVec& choices);
+
+  bool is_setup() const { return !column_prgs0_.empty(); }
+
+ private:
+  std::vector<Prg> column_prgs0_;
+  std::vector<Prg> column_prgs1_;
+  uint64_t tweak_ = 0;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_OT_IKNP_H_

@@ -1,0 +1,168 @@
+#include "privacy/chow_liu.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pafs {
+
+namespace {
+
+// Pairwise mutual information from empirical counts.
+double PairwiseMi(const Dataset& data, int a, int b) {
+  int ca = data.FeatureCardinality(a);
+  int cb = data.FeatureCardinality(b);
+  std::vector<std::vector<double>> joint(ca, std::vector<double>(cb, 0.0));
+  std::vector<double> ma(ca, 0.0), mb(cb, 0.0);
+  double n = static_cast<double>(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    int va = data.row(i)[a];
+    int vb = data.row(i)[b];
+    joint[va][vb] += 1.0;
+    ma[va] += 1.0;
+    mb[vb] += 1.0;
+  }
+  double mi = 0.0;
+  for (int va = 0; va < ca; ++va) {
+    for (int vb = 0; vb < cb; ++vb) {
+      if (joint[va][vb] <= 0) continue;
+      double pxy = joint[va][vb] / n;
+      mi += pxy * std::log2(pxy / (ma[va] / n * mb[vb] / n));
+    }
+  }
+  return mi;
+}
+
+}  // namespace
+
+void ChowLiuTree::Train(const Dataset& data, double alpha) {
+  PAFS_CHECK_GT(data.size(), 0u);
+  int d = data.num_features();
+  nodes_.assign(d, Node());
+  for (int v = 0; v < d; ++v) nodes_[v].cardinality = data.FeatureCardinality(v);
+
+  // Prim's algorithm on the complete MI graph (maximum spanning tree).
+  std::vector<bool> in_tree(d, false);
+  std::vector<double> best_mi(d, -1.0);
+  std::vector<int> best_parent(d, -1);
+  root_ = 0;
+  in_tree[root_] = true;
+  for (int v = 1; v < d; ++v) {
+    best_mi[v] = PairwiseMi(data, root_, v);
+    best_parent[v] = root_;
+  }
+  for (int step = 1; step < d; ++step) {
+    int pick = -1;
+    for (int v = 0; v < d; ++v) {
+      if (!in_tree[v] && (pick < 0 || best_mi[v] > best_mi[pick])) pick = v;
+    }
+    PAFS_CHECK_GE(pick, 0);
+    in_tree[pick] = true;
+    nodes_[pick].parent = best_parent[pick];
+    nodes_[best_parent[pick]].children.push_back(pick);
+    for (int v = 0; v < d; ++v) {
+      if (in_tree[v]) continue;
+      double mi = PairwiseMi(data, pick, v);
+      if (mi > best_mi[v]) {
+        best_mi[v] = mi;
+        best_parent[v] = pick;
+      }
+    }
+  }
+
+  // Parameters: smoothed marginal for the root, CPTs for the rest.
+  double n = static_cast<double>(data.size());
+  for (int v = 0; v < d; ++v) {
+    int card = nodes_[v].cardinality;
+    std::vector<double> counts(card, alpha);
+    for (size_t i = 0; i < data.size(); ++i) counts[data.row(i)[v]] += 1.0;
+    nodes_[v].marginal.resize(card);
+    for (int x = 0; x < card; ++x) {
+      nodes_[v].marginal[x] = counts[x] / (n + alpha * card);
+    }
+    if (nodes_[v].parent < 0) continue;
+    int pcard = nodes_[nodes_[v].parent].cardinality;
+    nodes_[v].cpt.assign(pcard, std::vector<double>(card, alpha));
+    std::vector<double> ptotals(pcard, alpha * card);
+    for (size_t i = 0; i < data.size(); ++i) {
+      int pv = data.row(i)[nodes_[v].parent];
+      nodes_[v].cpt[pv][data.row(i)[v]] += 1.0;
+      ptotals[pv] += 1.0;
+    }
+    for (int pv = 0; pv < pcard; ++pv) {
+      for (int x = 0; x < card; ++x) nodes_[v].cpt[pv][x] /= ptotals[pv];
+    }
+  }
+}
+
+std::vector<double> ChowLiuTree::SubtreeLikelihood(
+    int v, int from, const std::map<int, int>& evidence) const {
+  const Node& node = nodes_[v];
+  std::vector<double> message(node.cardinality, 1.0);
+  // Node potential: the root carries the marginal factor.
+  if (v == root_) message = node.marginal;
+  // Evidence clamps the variable.
+  auto ev = evidence.find(v);
+  if (ev != evidence.end()) {
+    for (int x = 0; x < node.cardinality; ++x) {
+      if (x != ev->second) message[x] = 0.0;
+    }
+  }
+  // Children messages: factor P(child | v).
+  for (int child : node.children) {
+    if (child == from) continue;
+    std::vector<double> sub = SubtreeLikelihood(child, v, evidence);
+    for (int x = 0; x < node.cardinality; ++x) {
+      double total = 0.0;
+      for (int cx = 0; cx < nodes_[child].cardinality; ++cx) {
+        total += nodes_[child].cpt[x][cx] * sub[cx];
+      }
+      message[x] *= total;
+    }
+  }
+  // Parent message: factor P(v | parent), summed over the parent side.
+  if (node.parent >= 0 && node.parent != from) {
+    std::vector<double> sub = SubtreeLikelihood(node.parent, v, evidence);
+    for (int x = 0; x < node.cardinality; ++x) {
+      double total = 0.0;
+      for (int px = 0; px < nodes_[node.parent].cardinality; ++px) {
+        total += node.cpt[px][x] * sub[px];
+      }
+      message[x] *= total;
+    }
+  }
+  return message;
+}
+
+std::vector<double> ChowLiuTree::Posterior(
+    int target, const std::map<int, int>& evidence) const {
+  PAFS_CHECK(trained());
+  PAFS_CHECK_EQ(evidence.count(target), 0u);
+  std::vector<double> unnormalized = SubtreeLikelihood(target, -1, evidence);
+  double total = 0.0;
+  for (double p : unnormalized) total += p;
+  PAFS_CHECK_GT(total, 0.0);
+  for (double& p : unnormalized) p /= total;
+  return unnormalized;
+}
+
+int ChowLiuTree::Map(int target, const std::map<int, int>& evidence) const {
+  std::vector<double> posterior = Posterior(target, evidence);
+  int best = 0;
+  for (size_t v = 1; v < posterior.size(); ++v) {
+    if (posterior[v] > posterior[best]) best = static_cast<int>(v);
+  }
+  return best;
+}
+
+double ChowLiuTree::LogLikelihood(const std::vector<int>& row) const {
+  PAFS_CHECK(trained());
+  double ll = std::log(nodes_[root_].marginal[row[root_]]);
+  for (int v = 0; v < num_variables(); ++v) {
+    if (nodes_[v].parent < 0) continue;
+    ll += std::log(nodes_[v].cpt[row[nodes_[v].parent]][row[v]]);
+  }
+  return ll;
+}
+
+}  // namespace pafs

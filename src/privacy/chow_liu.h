@@ -1,0 +1,57 @@
+// Chow-Liu tree Bayesian network: the simulated adversary's generative
+// model of the population. Learned from a "public" sample (maximum
+// spanning tree over pairwise mutual information, Laplace-smoothed CPTs),
+// it answers exact posterior queries over any single variable given any
+// evidence set via sum-product message passing on the tree.
+#ifndef PAFS_PRIVACY_CHOW_LIU_H_
+#define PAFS_PRIVACY_CHOW_LIU_H_
+
+#include <map>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace pafs {
+
+class ChowLiuTree {
+ public:
+  // Learns structure and parameters from `data`. alpha: CPT smoothing.
+  void Train(const Dataset& data, double alpha = 0.5);
+
+  bool trained() const { return !nodes_.empty(); }
+  int num_variables() const { return static_cast<int>(nodes_.size()); }
+  // Parent variable of v in the directed tree (-1 for the root).
+  int parent(int v) const { return nodes_[v].parent; }
+
+  // Exact P(target = v | evidence) for all v. `evidence` maps variable ->
+  // observed value; `target` must not be in evidence.
+  std::vector<double> Posterior(int target,
+                                const std::map<int, int>& evidence) const;
+
+  // MAP estimate of `target` given evidence.
+  int Map(int target, const std::map<int, int>& evidence) const;
+
+  // Joint log-likelihood of a full row (model-fit diagnostics).
+  double LogLikelihood(const std::vector<int>& row) const;
+
+ private:
+  struct Node {
+    int cardinality = 0;
+    int parent = -1;
+    std::vector<int> children;
+    // parent == -1: marginal[v]. Else cpt[pv][v] = P(v | parent=pv).
+    std::vector<std::vector<double>> cpt;
+    std::vector<double> marginal;
+  };
+
+  // Upward message: P(evidence in v's subtree | v = value), for each value.
+  std::vector<double> SubtreeLikelihood(
+      int v, int from_parent, const std::map<int, int>& evidence) const;
+
+  std::vector<Node> nodes_;
+  int root_ = 0;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_PRIVACY_CHOW_LIU_H_

@@ -1,0 +1,40 @@
+#include "privacy/inference_attack.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace pafs {
+
+std::vector<AttackResult> RunInferenceAttack(
+    const ChowLiuTree& adversary_model, const Dataset& victims,
+    const std::vector<int>& disclosure_set) {
+  PAFS_CHECK_GT(victims.size(), 0u);
+  std::vector<AttackResult> results;
+  for (int s : victims.SensitiveFeatures()) {
+    AttackResult result;
+    result.sensitive_feature = s;
+    // Baseline: MAP with empty evidence.
+    int prior_mode = adversary_model.Map(s, {});
+    size_t baseline_hits = 0, attack_hits = 0;
+    for (size_t i = 0; i < victims.size(); ++i) {
+      std::map<int, int> evidence;
+      for (int f : disclosure_set) {
+        PAFS_CHECK_NE(f, s);
+        evidence[f] = victims.row(i)[f];
+      }
+      if (prior_mode == victims.row(i)[s]) ++baseline_hits;
+      if (adversary_model.Map(s, evidence) == victims.row(i)[s]) {
+        ++attack_hits;
+      }
+    }
+    result.baseline_accuracy =
+        static_cast<double>(baseline_hits) / victims.size();
+    result.attack_accuracy =
+        static_cast<double>(attack_hits) / victims.size();
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace pafs

@@ -1,0 +1,253 @@
+#include "sharing/gmw.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pafs {
+
+namespace {
+
+BitVec RandomBits(Rng& rng, size_t n) {
+  BitVec out(n);
+  for (size_t i = 0; i < n; ++i) out.Set(i, rng.NextBool());
+  return out;
+}
+
+void SendBitsRaw(Channel& channel, const BitVec& bits) {
+  channel.SendU64(bits.size());
+  std::vector<uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits.Get(i)) bytes[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  channel.SendBytes(bytes);
+}
+
+BitVec RecvBitsRaw(Channel& channel) {
+  uint64_t n = channel.RecvU64();
+  std::vector<uint8_t> bytes = channel.RecvBytes();
+  PAFS_CHECK_EQ(bytes.size(), (n + 7) / 8);
+  BitVec bits(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    bits.Set(i, (bytes[i / 8] >> (i % 8)) & 1u);
+  }
+  return bits;
+}
+
+}  // namespace
+
+GmwParty::GmwParty(int party, Channel& channel)
+    : party_(party), channel_(channel) {
+  PAFS_CHECK(party == 0 || party == 1);
+}
+
+void GmwParty::Setup(Rng& rng) {
+  PAFS_CHECK_MSG(!is_setup(), "Setup called twice");
+  // Two OT-extension sessions, one per triple cross-term direction. The
+  // pairing is sender(0)<->receiver(1) then receiver(0)<->sender(1), so
+  // the parties run the two setups in opposite order.
+  if (party_ == 0) {
+    ot_sender_.Setup(channel_, rng);
+    ot_receiver_.Setup(channel_, rng);
+  } else {
+    ot_receiver_.Setup(channel_, rng);
+    ot_sender_.Setup(channel_, rng);
+  }
+}
+
+void GmwParty::PrecomputeTriples(size_t n, Rng& rng) {
+  EnsureTriples(TriplePoolSize() + n, rng);
+}
+
+void GmwParty::EnsureTriples(size_t needed, Rng& rng) {
+  if (TriplePoolSize() >= needed) return;
+  PAFS_CHECK_MSG(is_setup(), "triples need Setup first");
+  size_t batch = needed - TriplePoolSize();
+
+  // Beaver triples over GF(2): c = (a0^a1)(b0^b1). Each party contributes
+  // random (a, b); the cross terms come from one bit-OT per direction:
+  //   u = r ^ (a0 & b1)  [party 1 sends (r, r^b1), party 0 chooses a0]
+  //   v = s ^ (a1 & b0)  [party 0 sends (s, s^b0), party 1 chooses a1]
+  //   c0 = a0b0 ^ u ^ s,  c1 = a1b1 ^ v ^ r.
+  BitVec a = RandomBits(rng, batch);
+  BitVec b = RandomBits(rng, batch);
+  BitVec c(batch);
+  if (party_ == 0) {
+    BitVec u = ot_receiver_.RecvBits(channel_, a);
+    BitVec s = RandomBits(rng, batch);
+    ot_sender_.SendBits(channel_, s, s ^ b);
+    for (size_t i = 0; i < batch; ++i) {
+      c.Set(i, ((a.Get(i) && b.Get(i)) != u.Get(i)) != s.Get(i));
+    }
+  } else {
+    BitVec r = RandomBits(rng, batch);
+    ot_sender_.SendBits(channel_, r, r ^ b);
+    BitVec v = ot_receiver_.RecvBits(channel_, a);
+    for (size_t i = 0; i < batch; ++i) {
+      c.Set(i, ((a.Get(i) && b.Get(i)) != v.Get(i)) != r.Get(i));
+    }
+  }
+
+  // Compact the remaining pool and append the fresh batch.
+  BitVec new_a(0), new_b(0), new_c(0);
+  for (size_t i = pool_cursor_; i < pool_a_.size(); ++i) {
+    new_a.PushBack(pool_a_.Get(i));
+    new_b.PushBack(pool_b_.Get(i));
+    new_c.PushBack(pool_c_.Get(i));
+  }
+  for (size_t i = 0; i < batch; ++i) {
+    new_a.PushBack(a.Get(i));
+    new_b.PushBack(b.Get(i));
+    new_c.PushBack(c.Get(i));
+  }
+  pool_a_ = std::move(new_a);
+  pool_b_ = std::move(new_b);
+  pool_c_ = std::move(new_c);
+  pool_cursor_ = 0;
+}
+
+void GmwParty::NextTriple(bool* a, bool* b, bool* c) {
+  PAFS_CHECK_LT(pool_cursor_, pool_a_.size());
+  *a = pool_a_.Get(pool_cursor_);
+  *b = pool_b_.Get(pool_cursor_);
+  *c = pool_c_.Get(pool_cursor_);
+  ++pool_cursor_;
+  ++stats_.triples_consumed;
+}
+
+BitVec GmwParty::Evaluate(const Circuit& circuit, const BitVec& own_inputs,
+                          Rng& rng) {
+  const uint32_t own_count =
+      party_ == 0 ? circuit.garbler_inputs() : circuit.evaluator_inputs();
+  PAFS_CHECK_EQ(own_inputs.size(), own_count);
+  EnsureTriples(circuit.Stats().and_gates, rng);
+
+  // Input sharing: each owner sends a random mask as the peer's share and
+  // keeps value ^ mask. Party 0's inputs first, then party 1's.
+  std::vector<uint8_t> share(circuit.num_wires(), 0);
+  auto share_own = [&](uint32_t offset) {
+    BitVec mask = RandomBits(rng, own_inputs.size());
+    SendBitsRaw(channel_, mask);
+    for (size_t i = 0; i < own_inputs.size(); ++i) {
+      share[offset + i] = own_inputs.Get(i) != mask.Get(i);
+    }
+  };
+  auto share_peer = [&](uint32_t offset, uint32_t count) {
+    BitVec mask = RecvBitsRaw(channel_);
+    PAFS_CHECK_EQ(mask.size(), count);
+    for (uint32_t i = 0; i < count; ++i) share[offset + i] = mask.Get(i);
+  };
+  if (party_ == 0) {
+    share_own(0);
+    share_peer(circuit.garbler_inputs(), circuit.evaluator_inputs());
+  } else {
+    share_peer(0, circuit.garbler_inputs());
+    share_own(circuit.garbler_inputs());
+  }
+
+  // AND-depth of each wire determines the opening round of each AND gate.
+  std::vector<uint32_t> depth(circuit.num_wires(), 0);
+  uint32_t max_depth = 0;
+  for (const Gate& g : circuit.gates()) {
+    uint32_t in_depth = g.type == GateType::kNot
+                            ? depth[g.in0]
+                            : std::max(depth[g.in0], depth[g.in1]);
+    depth[g.out] = in_depth + (g.type == GateType::kAnd ? 1 : 0);
+    max_depth = std::max(max_depth, depth[g.out]);
+  }
+
+  std::vector<uint8_t> done(circuit.gates().size(), 0);
+  // A wire is ready once its value share is final; XOR/NOT gates must wait
+  // for AND outputs from earlier rounds.
+  std::vector<uint8_t> ready(circuit.num_wires(), 0);
+  for (uint32_t i = 0;
+       i < circuit.garbler_inputs() + circuit.evaluator_inputs(); ++i) {
+    ready[i] = 1;
+  }
+  struct PendingAnd {
+    size_t gate_index;
+    bool ta, tb, tc;  // Triple shares.
+  };
+  for (uint32_t round = 1; round <= max_depth + 1; ++round) {
+    std::vector<PendingAnd> pending;
+    BitVec de_shares(0);  // d then e per pending AND, interleaved.
+    bool progressed = false;
+    for (size_t gi = 0; gi < circuit.gates().size(); ++gi) {
+      if (done[gi]) continue;
+      const Gate& g = circuit.gates()[gi];
+      switch (g.type) {
+        case GateType::kXor:
+          if (!ready[g.in0] || !ready[g.in1]) break;
+          share[g.out] = share[g.in0] ^ share[g.in1];
+          ready[g.out] = 1;
+          done[gi] = 1;
+          progressed = true;
+          break;
+        case GateType::kNot:
+          if (!ready[g.in0]) break;
+          // Only one party flips, keeping the shared value's XOR correct.
+          share[g.out] = party_ == 0 ? share[g.in0] ^ 1 : share[g.in0];
+          ready[g.out] = 1;
+          done[gi] = 1;
+          progressed = true;
+          break;
+        case GateType::kAnd: {
+          if (depth[g.out] != round) break;
+          PAFS_CHECK(ready[g.in0] && ready[g.in1]);
+          PendingAnd p;
+          p.gate_index = gi;
+          NextTriple(&p.ta, &p.tb, &p.tc);
+          de_shares.PushBack(share[g.in0] != p.ta);  // d = x ^ a
+          de_shares.PushBack(share[g.in1] != p.tb);  // e = y ^ b
+          pending.push_back(p);
+          progressed = true;
+          break;
+        }
+      }
+    }
+    if (pending.empty()) {
+      if (!progressed) break;  // All wires resolved before max rounds.
+      continue;
+    }
+    // One communication round opens this layer's d/e values.
+    if (party_ == 0) {
+      SendBitsRaw(channel_, de_shares);
+      BitVec peer = RecvBitsRaw(channel_);
+      de_shares ^= peer;
+    } else {
+      BitVec peer = RecvBitsRaw(channel_);
+      SendBitsRaw(channel_, de_shares);
+      de_shares ^= peer;
+    }
+    ++stats_.rounds_online;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const PendingAnd& p = pending[i];
+      bool d = de_shares.Get(2 * i);
+      bool e = de_shares.Get(2 * i + 1);
+      // z = c ^ d*b ^ e*a ^ d*e (the public d*e term added by one party).
+      bool z = p.tc;
+      if (d) z = z != p.tb;
+      if (e) z = z != p.ta;
+      if (party_ == 0 && d && e) z = !z;
+      share[circuit.gates()[p.gate_index].out] = z;
+      ready[circuit.gates()[p.gate_index].out] = 1;
+      done[p.gate_index] = 1;
+    }
+  }
+
+  // Open the outputs.
+  BitVec out_shares(circuit.outputs().size());
+  for (size_t i = 0; i < circuit.outputs().size(); ++i) {
+    out_shares.Set(i, share[circuit.outputs()[i]]);
+  }
+  if (party_ == 0) {
+    SendBitsRaw(channel_, out_shares);
+    out_shares ^= RecvBitsRaw(channel_);
+  } else {
+    BitVec peer = RecvBitsRaw(channel_);
+    SendBitsRaw(channel_, out_shares);
+    out_shares ^= peer;
+  }
+  return out_shares;
+}
+
+}  // namespace pafs

@@ -1,0 +1,70 @@
+// GMW protocol (Goldreich-Micali-Wigderson) over boolean XOR shares: the
+// other classic "pure SMC solution" of the paper's era, provided as an
+// alternative backend to Yao garbled circuits.
+//
+// Tradeoff reproduced by experiment F13: GMW moves far fewer bits per AND
+// gate (two triple-OT bits offline + four opening bits online versus two
+// 128-bit ciphertexts), but needs one communication round per AND *depth*
+// layer, so high-latency links favor Yao while bandwidth-starved links
+// favor GMW.
+//
+// Party 0 supplies the circuit's garbler inputs, party 1 the evaluator
+// inputs — the same convention as the GC protocol, so any SecureNbCircuit/
+// SecureTreeCircuit runs unchanged on either backend.
+#ifndef PAFS_SHARING_GMW_H_
+#define PAFS_SHARING_GMW_H_
+
+#include "circuit/circuit.h"
+#include "net/channel.h"
+#include "ot/iknp.h"
+#include "util/bitvec.h"
+
+namespace pafs {
+
+class Rng;
+
+// Multiplication-triple statistics for instrumentation.
+struct GmwStats {
+  size_t triples_consumed = 0;
+  size_t rounds_online = 0;  // AND-depth layers opened.
+};
+
+class GmwParty {
+ public:
+  // party is 0 (server / garbler-input owner) or 1 (client). The channel
+  // must connect to the peer GmwParty of the opposite role.
+  GmwParty(int party, Channel& channel);
+
+  // One-time base-OT handshake for the triple generator (both directions).
+  void Setup(Rng& rng);
+  bool is_setup() const { return ot_sender_.is_setup(); }
+
+  // Pre-generates `n` multiplication triples (optional; Evaluate refills
+  // the pool on demand, but pre-generation moves the cost offline).
+  void PrecomputeTriples(size_t n, Rng& rng);
+  size_t TriplePoolSize() const { return pool_a_.size() - pool_cursor_; }
+
+  // Evaluates the circuit; `own_inputs` are this party's private input
+  // bits (garbler inputs for party 0, evaluator inputs for party 1).
+  // Returns the public output bits; both parties learn them.
+  BitVec Evaluate(const Circuit& circuit, const BitVec& own_inputs, Rng& rng);
+
+  const GmwStats& stats() const { return stats_; }
+
+ private:
+  void EnsureTriples(size_t n, Rng& rng);
+  // Pops one triple's shares.
+  void NextTriple(bool* a, bool* b, bool* c);
+
+  int party_;
+  Channel& channel_;
+  OtExtSender ot_sender_;
+  OtExtReceiver ot_receiver_;
+  BitVec pool_a_, pool_b_, pool_c_;
+  size_t pool_cursor_ = 0;
+  GmwStats stats_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_SHARING_GMW_H_

@@ -1,0 +1,59 @@
+#include "smc/common.h"
+
+#include "util/check.h"
+
+namespace pafs {
+
+int BitsFor(int cardinality) {
+  PAFS_CHECK_GT(cardinality, 1);
+  int bits = 1;
+  while ((1 << bits) < cardinality) ++bits;
+  return bits;
+}
+
+HiddenLayout HiddenLayout::Make(const std::vector<FeatureSpec>& features,
+                                const std::map<int, int>& disclosed) {
+  HiddenLayout layout;
+  for (int f = 0; f < static_cast<int>(features.size()); ++f) {
+    if (disclosed.count(f)) continue;
+    layout.hidden_features_.push_back(f);
+    layout.cardinalities_.push_back(features[f].cardinality);
+    int bits = BitsFor(features[f].cardinality);
+    layout.value_bits_.push_back(bits);
+    layout.bit_offsets_.push_back(layout.total_value_bits_);
+    layout.total_value_bits_ += bits;
+  }
+  return layout;
+}
+
+BitVec HiddenLayout::EncodeRow(const std::vector<int>& row) const {
+  BitVec bits(total_value_bits_);
+  for (int h = 0; h < num_hidden(); ++h) {
+    int value = row[hidden_features_[h]];
+    PAFS_CHECK_GE(value, 0);
+    PAFS_CHECK_LT(value, cardinalities_[h]);
+    for (int b = 0; b < value_bits_[h]; ++b) {
+      bits.Set(bit_offsets_[h] + b, (value >> b) & 1);
+    }
+  }
+  return bits;
+}
+
+void AppendSigned(BitVec& bits, int64_t value, uint32_t width) {
+  uint64_t encoded = static_cast<uint64_t>(value);
+  for (uint32_t b = 0; b < width; ++b) {
+    bits.PushBack((encoded >> b) & 1ull);
+  }
+}
+
+int64_t DecodeSigned(const BitVec& bits, size_t offset, uint32_t width) {
+  PAFS_CHECK_LE(width, 64u);
+  uint64_t raw = bits.ToU64(offset, width);
+  // Sign-extend from `width` bits.
+  if (width < 64 && (raw >> (width - 1)) & 1ull) {
+    raw |= ~((1ull << width) - 1);
+  }
+  return static_cast<int64_t>(raw);
+}
+
+}  // namespace pafs

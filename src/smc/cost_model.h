@@ -1,0 +1,83 @@
+// Analytic SMC cost model: predicts the execution cost of each secure
+// classifier as a function of the disclosure set. The disclosure selector
+// (src/core) optimizes against this model; its predictions are exact in
+// gate/OT/ciphertext counts (it builds the same public circuits the
+// protocol would) and calibrated in seconds from micro-measurements.
+#ifndef PAFS_SMC_COST_MODEL_H_
+#define PAFS_SMC_COST_MODEL_H_
+
+#include <set>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "net/channel.h"
+
+namespace pafs {
+
+class Rng;
+
+// Per-operation timing constants (seconds).
+struct CostCalibration {
+  double per_and_gate = 250e-9;      // Garble + evaluate, 4 AES calls.
+  double per_ot = 1.5e-6;            // Extended IKNP transfer.
+  double per_pail_encrypt = 2e-3;    // r^n mod n^2.
+  double per_pail_scalar = 50e-6;    // Small-exponent MulPlain + Add.
+  double per_pail_decrypt = 2e-3;    // CRT decryption.
+  int paillier_bits = 512;           // Modulus size assumed for bytes.
+
+  // Micro-measures the constants on this machine (~100 ms).
+  static CostCalibration Measure(int paillier_bits, Rng& rng);
+};
+
+struct CostEstimate {
+  size_t and_gates = 0;
+  size_t ot_count = 0;
+  size_t pail_encrypts = 0;
+  size_t pail_scalars = 0;
+  size_t pail_decrypts = 0;
+  uint64_t bytes = 0;
+  uint64_t rounds = 0;
+
+  double ComputeSeconds(const CostCalibration& cal) const;
+  // Compute + network under a profile.
+  double TotalSeconds(const CostCalibration& cal,
+                      const NetworkProfile& net) const;
+};
+
+class SmcCostModel {
+ public:
+  SmcCostModel(std::vector<FeatureSpec> features, int num_classes,
+               CostCalibration calibration);
+
+  const CostCalibration& calibration() const { return calibration_; }
+
+  // Naive Bayes / linear costs depend only on which features are hidden.
+  CostEstimate EstimateNb(const std::set<int>& disclosed) const;
+  CostEstimate EstimateLinear(const std::set<int>& disclosed) const;
+  // Tree cost depends on the disclosed *values*; this averages the exact
+  // specialized-circuit cost over sample rows (tree_sample_rows of them).
+  CostEstimate EstimateTree(const DecisionTree& tree,
+                            const std::set<int>& disclosed,
+                            const Dataset& sample) const;
+  // Like EstimateTree, for a whole forest (fewer sample rows per probe:
+  // forest circuits cost num_trees times more to build).
+  CostEstimate EstimateForest(const RandomForest& forest,
+                              const std::set<int>& disclosed,
+                              const Dataset& sample) const;
+
+  // How many sample rows EstimateTree averages over. Lower = faster
+  // selection on big trees, noisier estimates.
+  void set_tree_sample_rows(size_t rows) { tree_sample_rows_ = rows; }
+  size_t tree_sample_rows() const { return tree_sample_rows_; }
+
+ private:
+  std::vector<FeatureSpec> features_;
+  int num_classes_;
+  CostCalibration calibration_;
+  size_t tree_sample_rows_ = 100;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_SMC_COST_MODEL_H_

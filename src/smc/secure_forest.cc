@@ -1,0 +1,162 @@
+#include "smc/secure_forest.h"
+
+#include <algorithm>
+#include <set>
+
+#include "circuit/builder.h"
+#include "circuit/optimizer.h"
+#include "circuit/serialize.h"
+#include "smc/secure_tree.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pafs {
+
+SecureForestCircuit::SecureForestCircuit(
+    const RandomForest& forest, const std::vector<FeatureSpec>& features,
+    int num_classes, const std::map<int, int>& disclosed)
+    : num_classes_(num_classes),
+      label_bits_(static_cast<uint32_t>(BitsFor(num_classes))),
+      index_bits_(static_cast<uint32_t>(BitsFor(num_classes))) {
+  PAFS_CHECK(forest.trained());
+  std::vector<int> used = forest.UsedFeatures();
+  for (int f : used) {
+    PAFS_CHECK_MSG(!disclosed.count(f),
+                   "forest must be specialized before building the circuit");
+  }
+  std::map<int, int> layout_exclusions = disclosed;
+  for (int f = 0; f < static_cast<int>(features.size()); ++f) {
+    if (std::find(used.begin(), used.end(), f) == used.end()) {
+      layout_exclusions.emplace(f, 0);
+    }
+  }
+  layout_ = HiddenLayout::Make(features, layout_exclusions);
+
+  for (int t = 0; t < forest.num_trees(); ++t) {
+    total_leaves_ += internal_secure_tree::CountLeaves(forest.tree(t));
+  }
+
+  CircuitBuilder b(static_cast<uint32_t>(total_leaves_) * label_bits_,
+                   layout_.total_value_bits());
+
+  // Vote counters: enough bits for num_trees votes, plus one so the
+  // counts stay non-negative under the signed argmax.
+  uint32_t counter_bits = 1;
+  while ((1u << counter_bits) < static_cast<uint32_t>(forest.num_trees()) + 1) {
+    ++counter_bits;
+  }
+  ++counter_bits;
+  std::vector<CircuitBuilder::Word> counts(
+      num_classes_, b.ConstantWord(0, counter_bits));
+
+  uint32_t garbler_cursor = 0;
+  for (int t = 0; t < forest.num_trees(); ++t) {
+    std::vector<uint32_t> label_word = internal_secure_tree::AppendTreeCircuit(
+        b, forest.tree(t), layout_, garbler_cursor, label_bits_);
+    garbler_cursor += static_cast<uint32_t>(internal_secure_tree::CountLeaves(
+                          forest.tree(t))) *
+                      label_bits_;
+    // One-hot the vote and add it to each class counter.
+    for (int c = 0; c < num_classes_; ++c) {
+      CircuitBuilder::Wire vote = b.EqualConst(label_word, c);
+      CircuitBuilder::Word vote_word =
+          b.ZeroExtend(CircuitBuilder::Word{vote}, counter_bits);
+      counts[c] = b.AddW(counts[c], vote_word);
+    }
+  }
+
+  auto [index, value] = b.ArgMaxSigned(counts);
+  (void)value;
+  CircuitBuilder::Word out = index;
+  while (out.size() < index_bits_) out.push_back(b.ConstZero());
+  out.resize(index_bits_);
+  b.AddOutputWord(out);
+  // CSE pays double here: equality tests repeat across sibling paths AND
+  // across member trees that test the same features.
+  circuit_ = OptimizeCircuit(b.Build());
+}
+
+BitVec SecureForestCircuit::EncodeModel(const RandomForest& forest) const {
+  BitVec bits(0);
+  for (int t = 0; t < forest.num_trees(); ++t) {
+    internal_secure_tree::EncodeTreeLeaves(forest.tree(t), label_bits_, bits);
+  }
+  PAFS_CHECK_EQ(bits.size(), circuit_.garbler_inputs());
+  return bits;
+}
+
+int SecureForestCircuit::DecodeOutput(const BitVec& output) const {
+  PAFS_CHECK_EQ(output.size(), index_bits_);
+  int c = static_cast<int>(output.ToU64(0, index_bits_));
+  PAFS_CHECK_LT(c, num_classes_);
+  return c;
+}
+
+SmcRunStats SecureForestRunServer(Channel& channel,
+                                  const SecureForestCircuit& spec,
+                                  const RandomForest& forest, OtExtSender& ot,
+                                  Rng& rng, GarblingScheme scheme) {
+  Timer timer;
+  uint64_t bytes_before = channel.stats().bytes_sent;
+  uint64_t rounds_before = channel.stats().direction_flips;
+
+  const HiddenLayout& layout = spec.layout();
+  channel.SendU64(layout.num_hidden());
+  for (int f : layout.hidden_features()) {
+    channel.SendU64(static_cast<uint64_t>(f));
+  }
+  SendCircuit(channel, spec.circuit());
+
+  BitVec garbler_bits = spec.EncodeModel(forest);
+  BitVec out =
+      GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng, scheme);
+  SmcRunStats stats;
+  stats.predicted_class = spec.DecodeOutput(out);
+  stats.bytes = channel.stats().bytes_sent - bytes_before;
+  stats.rounds = channel.stats().direction_flips - rounds_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  stats.and_gates = spec.circuit().Stats().and_gates;
+  return stats;
+}
+
+SmcRunStats SecureForestRunClient(Channel& channel,
+                                  const std::vector<FeatureSpec>& features,
+                                  int num_classes,
+                                  const std::vector<int>& row,
+                                  OtExtReceiver& ot, Rng& rng,
+                                  GarblingScheme scheme) {
+  Timer timer;
+  uint64_t bytes_before = channel.stats().bytes_sent;
+  uint64_t rounds_before = channel.stats().direction_flips;
+
+  uint64_t num_hidden = channel.RecvU64();
+  std::set<int> hidden_ids;
+  for (uint64_t i = 0; i < num_hidden; ++i) {
+    hidden_ids.insert(static_cast<int>(channel.RecvU64()));
+  }
+  std::map<int, int> exclusions;
+  for (int f = 0; f < static_cast<int>(features.size()); ++f) {
+    if (!hidden_ids.count(f)) exclusions.emplace(f, 0);
+  }
+  HiddenLayout layout = HiddenLayout::Make(features, exclusions);
+  Circuit circuit = RecvCircuit(channel);
+  PAFS_CHECK_EQ(circuit.evaluator_inputs(),
+                static_cast<uint32_t>(layout.total_value_bits()));
+
+  BitVec evaluator_bits = layout.EncodeRow(row);
+  BitVec out =
+      GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng, scheme);
+  uint32_t index_bits = static_cast<uint32_t>(BitsFor(num_classes));
+  PAFS_CHECK_EQ(out.size(), index_bits);
+
+  SmcRunStats stats;
+  stats.predicted_class = static_cast<int>(out.ToU64(0, index_bits));
+  PAFS_CHECK_LT(stats.predicted_class, num_classes);
+  stats.bytes = channel.stats().bytes_sent - bytes_before;
+  stats.rounds = channel.stats().direction_flips - rounds_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  stats.and_gates = circuit.Stats().and_gates;
+  return stats;
+}
+
+}  // namespace pafs

@@ -1,0 +1,149 @@
+#include "smc/secure_linear.h"
+
+#include "circuit/builder.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace pafs {
+
+SecureLinearProtocol::SecureLinearProtocol(
+    const std::vector<FeatureSpec>& features, int num_classes,
+    const std::map<int, int>& disclosed)
+    : layout_(HiddenLayout::Make(features, disclosed)),
+      num_classes_(num_classes),
+      index_bits_(static_cast<uint32_t>(BitsFor(num_classes))),
+      circuit_([this] {
+        // Garbler (server): masks r_c. Evaluator (client): masked scores.
+        CircuitBuilder b(num_classes_ * kLinearScoreBits,
+                         num_classes_ * kLinearScoreBits);
+        std::vector<CircuitBuilder::Word> scores(num_classes_);
+        for (int c = 0; c < num_classes_; ++c) {
+          auto mask = b.GarblerWord(c * kLinearScoreBits, kLinearScoreBits);
+          auto masked = b.EvaluatorWord(c * kLinearScoreBits, kLinearScoreBits);
+          scores[c] = b.SubW(masked, mask);
+        }
+        auto [index, value] = b.ArgMaxSigned(scores);
+        (void)value;
+        CircuitBuilder::Word out = index;
+        while (out.size() < index_bits_) out.push_back(b.ConstZero());
+        out.resize(index_bits_);
+        b.AddOutputWord(out);
+        return b.Build();
+      }()) {}
+
+int SecureLinearProtocol::NumClientCiphertexts() const {
+  int total = 0;
+  for (int h = 0; h < layout_.num_hidden(); ++h) {
+    total += layout_.cardinality(h);
+  }
+  return total;
+}
+
+SmcRunStats SecureLinearProtocol::RunServer(Channel& channel,
+                                            const LinearModel& model,
+                                            const std::map<int, int>& disclosed,
+                                            OtExtSender& ot, Rng& rng,
+                                            GarblingScheme scheme) const {
+  Timer timer;
+  uint64_t bytes_before = channel.stats().bytes_sent;
+  uint64_t rounds_before = channel.stats().direction_flips;
+
+  // Phase 0: the client's Paillier public key.
+  PaillierPublicKey pk(channel.RecvBigInt());
+
+  // Phase 1: one ciphertext per (hidden feature, value) one-hot slot.
+  std::vector<std::vector<BigInt>> cts(layout_.num_hidden());
+  for (int h = 0; h < layout_.num_hidden(); ++h) {
+    cts[h].resize(layout_.cardinality(h));
+    for (int v = 0; v < layout_.cardinality(h); ++v) {
+      cts[h][v] = channel.RecvBigInt();
+    }
+  }
+
+  auto fixed_weights = model.FixedWeights(kSmcScale);
+  auto fixed_bias = model.FixedBias(kSmcScale);
+
+  std::vector<int64_t> masks(num_classes_);
+  for (int c = 0; c < num_classes_; ++c) {
+    masks[c] = static_cast<int64_t>(rng.NextU64Below(1ull << kLinearMaskBits));
+
+    // Bias folds the disclosed features' weights and compensates for the
+    // non-negative weight shift (+offset per hidden feature, each one-hot
+    // group contributes exactly one active slot).
+    int64_t bias = fixed_bias[c];
+    for (const auto& [feature, value] : disclosed) {
+      bias += fixed_weights[c][model.FeatureOffset(feature) + value];
+    }
+    bias -= kLinearWeightOffset * layout_.num_hidden();
+
+    BigInt score_ct = pk.Encrypt(BigInt(bias + masks[c]), rng);
+    for (int h = 0; h < layout_.num_hidden(); ++h) {
+      int f = layout_.hidden_features()[h];
+      for (int v = 0; v < layout_.cardinality(h); ++v) {
+        int64_t w =
+            fixed_weights[c][model.FeatureOffset(f) + v] + kLinearWeightOffset;
+        PAFS_CHECK_GE(w, 0);
+        score_ct = pk.Add(score_ct, pk.MulPlain(cts[h][v], BigInt(w)));
+      }
+    }
+    channel.SendBigInt(pk.Rerandomize(score_ct, rng));
+  }
+
+  // Phase 2: garbled argmax with the masks as garbler inputs.
+  BitVec garbler_bits(0);
+  for (int c = 0; c < num_classes_; ++c) {
+    AppendSigned(garbler_bits, masks[c], kLinearScoreBits);
+  }
+  BitVec out = GcRunGarbler(channel, circuit_, garbler_bits, ot, rng, scheme);
+
+  SmcRunStats stats;
+  stats.predicted_class = static_cast<int>(out.ToU64(0, index_bits_));
+  stats.bytes = channel.stats().bytes_sent - bytes_before;
+  stats.rounds = channel.stats().direction_flips - rounds_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  stats.and_gates = circuit_.Stats().and_gates;
+  return stats;
+}
+
+SmcRunStats SecureLinearProtocol::RunClient(Channel& channel,
+                                            const PaillierKeyPair& keys,
+                                            const std::vector<int>& row,
+                                            OtExtReceiver& ot, Rng& rng,
+                                            GarblingScheme scheme) const {
+  Timer timer;
+  uint64_t bytes_before = channel.stats().bytes_sent;
+  uint64_t rounds_before = channel.stats().direction_flips;
+
+  const PaillierPublicKey& pk = keys.public_key;
+  channel.SendBigInt(pk.n());
+
+  // Phase 1: one-hot encrypt the hidden features.
+  for (int h = 0; h < layout_.num_hidden(); ++h) {
+    int value = row[layout_.hidden_features()[h]];
+    for (int v = 0; v < layout_.cardinality(h); ++v) {
+      channel.SendBigInt(pk.Encrypt(BigInt(v == value ? 1 : 0), rng));
+    }
+  }
+
+  // Masked scores come back; decrypt them.
+  BitVec evaluator_bits(0);
+  for (int c = 0; c < num_classes_; ++c) {
+    BigInt masked = keys.private_key.Decrypt(channel.RecvBigInt());
+    AppendSigned(evaluator_bits, masked.ToI64(), kLinearScoreBits);
+  }
+
+  // Phase 2: garbled argmax.
+  BitVec out =
+      GcRunEvaluator(channel, circuit_, evaluator_bits, ot, rng, scheme);
+
+  SmcRunStats stats;
+  stats.predicted_class = static_cast<int>(out.ToU64(0, index_bits_));
+  stats.bytes = channel.stats().bytes_sent - bytes_before;
+  stats.rounds = channel.stats().direction_flips - rounds_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  stats.and_gates = circuit_.Stats().and_gates;
+  return stats;
+}
+
+}  // namespace pafs

@@ -1,0 +1,152 @@
+#include "smc/secure_linear_aby.h"
+
+#include <array>
+
+#include "circuit/builder.h"
+#include "smc/secure_linear.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace pafs {
+
+SecureLinearAbyProtocol::SecureLinearAbyProtocol(
+    const std::vector<FeatureSpec>& features, int num_classes,
+    const std::map<int, int>& disclosed)
+    : layout_(HiddenLayout::Make(features, disclosed)),
+      num_classes_(num_classes),
+      index_bits_(static_cast<uint32_t>(BitsFor(num_classes))),
+      circuit_([this] {
+        // Reconstruct each score from its two additive shares, then argmax.
+        CircuitBuilder b(num_classes_ * kLinearScoreBits,
+                         num_classes_ * kLinearScoreBits);
+        std::vector<CircuitBuilder::Word> scores(num_classes_);
+        for (int c = 0; c < num_classes_; ++c) {
+          auto server_share =
+              b.GarblerWord(c * kLinearScoreBits, kLinearScoreBits);
+          auto client_share =
+              b.EvaluatorWord(c * kLinearScoreBits, kLinearScoreBits);
+          scores[c] = b.AddW(server_share, client_share);
+        }
+        auto [index, value] = b.ArgMaxSigned(scores);
+        (void)value;
+        CircuitBuilder::Word out = index;
+        while (out.size() < index_bits_) out.push_back(b.ConstZero());
+        out.resize(index_bits_);
+        b.AddOutputWord(out);
+        return b.Build();
+      }()) {}
+
+int SecureLinearAbyProtocol::NumProductOts() const {
+  int slots = 0;
+  for (int h = 0; h < layout_.num_hidden(); ++h) {
+    slots += layout_.cardinality(h);
+  }
+  return slots * num_classes_;
+}
+
+SmcRunStats SecureLinearAbyProtocol::RunServer(
+    Channel& channel, const LinearModel& model,
+    const std::map<int, int>& disclosed, OtExtSender& ot, Rng& rng,
+    GarblingScheme scheme) const {
+  Timer timer;
+  uint64_t bytes_before = channel.stats().bytes_sent;
+  uint64_t rounds_before = channel.stats().direction_flips;
+  if (!ot.is_setup()) ot.Setup(channel, rng);
+
+  auto fixed_weights = model.FixedWeights(kSmcScale);
+  auto fixed_bias = model.FixedBias(kSmcScale);
+
+  // Phase 1: one correlated OT (r, r + w) per (class, one-hot slot). The
+  // server's share of score_c starts from the folded bias and subtracts
+  // every correlation mask r (mod 2^32).
+  std::vector<std::array<Block, 2>> messages;
+  messages.reserve(NumProductOts());
+  std::vector<uint32_t> server_shares(num_classes_);
+  for (int c = 0; c < num_classes_; ++c) {
+    int64_t bias = fixed_bias[c];
+    for (const auto& [feature, value] : disclosed) {
+      bias += fixed_weights[c][model.FeatureOffset(feature) + value];
+    }
+    uint32_t share = static_cast<uint32_t>(bias);  // Two's complement.
+    for (int h = 0; h < layout_.num_hidden(); ++h) {
+      int f = layout_.hidden_features()[h];
+      for (int v = 0; v < layout_.cardinality(h); ++v) {
+        uint32_t w = static_cast<uint32_t>(
+            fixed_weights[c][model.FeatureOffset(f) + v]);
+        uint32_t r = static_cast<uint32_t>(rng.NextU64());
+        messages.push_back({Block(r, 0), Block(r + w, 0)});
+        share -= r;
+      }
+    }
+    server_shares[c] = share;
+  }
+  if (!messages.empty()) ot.Send(channel, messages);
+
+  // Phase 2: garbled argmax over the reconstructed scores.
+  BitVec garbler_bits(0);
+  for (int c = 0; c < num_classes_; ++c) {
+    AppendSigned(garbler_bits, static_cast<int32_t>(server_shares[c]),
+                 kLinearScoreBits);
+  }
+  BitVec out = GcRunGarbler(channel, circuit_, garbler_bits, ot, rng, scheme);
+
+  SmcRunStats stats;
+  stats.predicted_class = static_cast<int>(out.ToU64(0, index_bits_));
+  stats.bytes = channel.stats().bytes_sent - bytes_before;
+  stats.rounds = channel.stats().direction_flips - rounds_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  stats.and_gates = circuit_.Stats().and_gates;
+  return stats;
+}
+
+SmcRunStats SecureLinearAbyProtocol::RunClient(Channel& channel,
+                                               const std::vector<int>& row,
+                                               OtExtReceiver& ot, Rng& rng,
+                                               GarblingScheme scheme) const {
+  Timer timer;
+  uint64_t bytes_before = channel.stats().bytes_sent;
+  uint64_t rounds_before = channel.stats().direction_flips;
+  if (!ot.is_setup()) ot.Setup(channel, rng);
+
+  // Choice bits: the one-hot indicators, repeated per class (matching the
+  // server's message order).
+  BitVec choices(0);
+  for (int c = 0; c < num_classes_; ++c) {
+    for (int h = 0; h < layout_.num_hidden(); ++h) {
+      int value = row[layout_.hidden_features()[h]];
+      for (int v = 0; v < layout_.cardinality(h); ++v) {
+        choices.PushBack(v == value);
+      }
+    }
+  }
+  std::vector<uint32_t> client_shares(num_classes_, 0);
+  if (choices.size() > 0) {
+    std::vector<Block> received = ot.Recv(channel, choices);
+    size_t cursor = 0;
+    int slots = static_cast<int>(choices.size()) / num_classes_;
+    for (int c = 0; c < num_classes_; ++c) {
+      for (int s = 0; s < slots; ++s) {
+        client_shares[c] += static_cast<uint32_t>(received[cursor++].lo);
+      }
+    }
+  }
+
+  BitVec evaluator_bits(0);
+  for (int c = 0; c < num_classes_; ++c) {
+    AppendSigned(evaluator_bits, static_cast<int32_t>(client_shares[c]),
+                 kLinearScoreBits);
+  }
+  BitVec out =
+      GcRunEvaluator(channel, circuit_, evaluator_bits, ot, rng, scheme);
+
+  SmcRunStats stats;
+  stats.predicted_class = static_cast<int>(out.ToU64(0, index_bits_));
+  stats.bytes = channel.stats().bytes_sent - bytes_before;
+  stats.rounds = channel.stats().direction_flips - rounds_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  stats.and_gates = circuit_.Stats().and_gates;
+  return stats;
+}
+
+}  // namespace pafs

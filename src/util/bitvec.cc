@@ -1,0 +1,65 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+namespace pafs {
+
+BitVec BitVec::FromU64(uint64_t value, size_t n) {
+  PAFS_CHECK_LE(n, 64u);
+  BitVec v(n);
+  for (size_t i = 0; i < n; ++i) v.Set(i, (value >> i) & 1ull);
+  return v;
+}
+
+BitVec BitVec::FromString(const std::string& bits) {
+  BitVec v(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    PAFS_CHECK(bits[i] == '0' || bits[i] == '1');
+    v.Set(i, bits[i] == '1');
+  }
+  return v;
+}
+
+uint64_t BitVec::ToU64(size_t offset, size_t n) const {
+  PAFS_CHECK_LE(n, 64u);
+  PAFS_CHECK_LE(offset + n, size_);
+  uint64_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (Get(offset + i)) out |= 1ull << i;
+  }
+  return out;
+}
+
+size_t BitVec::CountOnes() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::string BitVec::ToString() const {
+  std::string s(size_, '0');
+  for (size_t i = 0; i < size_; ++i) {
+    if (Get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  PAFS_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  PAFS_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  PAFS_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+}  // namespace pafs

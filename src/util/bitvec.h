@@ -1,0 +1,79 @@
+// Compact bit vector used for circuit wire values, OT choice bits, and
+// feature-set masks in the selection algorithms.
+#ifndef PAFS_UTIL_BITVEC_H_
+#define PAFS_UTIL_BITVEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pafs {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(size_t n, bool value = false)
+      : size_(n), words_((n + 63) / 64, value ? ~0ull : 0ull) {
+    TrimLastWord();
+  }
+
+  // Builds a BitVec from the low `n` bits of `value`, LSB first.
+  static BitVec FromU64(uint64_t value, size_t n);
+  // Parses a string of '0'/'1' characters, index 0 = leftmost character.
+  static BitVec FromString(const std::string& bits);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(size_t i) const {
+    PAFS_CHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+  void Set(size_t i, bool value) {
+    PAFS_CHECK_LT(i, size_);
+    uint64_t mask = 1ull << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void PushBack(bool value) {
+    if (size_ % 64 == 0) words_.push_back(0);
+    ++size_;
+    Set(size_ - 1, value);
+  }
+
+  // Interprets bits [offset, offset+n) as an unsigned little-endian integer.
+  uint64_t ToU64(size_t offset = 0, size_t n = 64) const;
+
+  size_t CountOnes() const;
+  std::string ToString() const;
+
+  BitVec& operator^=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other);
+  BitVec& operator|=(const BitVec& other);
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend bool operator==(const BitVec& a, const BitVec& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  void TrimLastWord() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ull << (size_ % 64)) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_UTIL_BITVEC_H_

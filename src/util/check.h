@@ -1,0 +1,36 @@
+// Assertion macros used throughout the library for programmer-error checks.
+// A failed check prints the condition and location and aborts; checks stay
+// enabled in release builds because every protocol in this library relies on
+// them for internal-consistency guarantees.
+#ifndef PAFS_UTIL_CHECK_H_
+#define PAFS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PAFS_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__,  \
+                   __LINE__);                                               \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define PAFS_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond, msg,  \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define PAFS_CHECK_EQ(a, b) PAFS_CHECK((a) == (b))
+#define PAFS_CHECK_NE(a, b) PAFS_CHECK((a) != (b))
+#define PAFS_CHECK_LT(a, b) PAFS_CHECK((a) < (b))
+#define PAFS_CHECK_LE(a, b) PAFS_CHECK((a) <= (b))
+#define PAFS_CHECK_GT(a, b) PAFS_CHECK((a) > (b))
+#define PAFS_CHECK_GE(a, b) PAFS_CHECK((a) >= (b))
+
+#endif  // PAFS_UTIL_CHECK_H_

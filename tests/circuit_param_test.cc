@@ -1,0 +1,204 @@
+// Parameterized property sweeps over the circuit builder's word-level
+// operations: for every width in the sweep, random operands are validated
+// against native uint64 semantics, both in plaintext evaluation and after
+// optimization.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "circuit/optimizer.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+class WordOpSweep : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  uint32_t width() const { return GetParam(); }
+  uint64_t mask() const {
+    return width() == 64 ? ~0ull : (1ull << width()) - 1;
+  }
+
+  // Builds a two-operand circuit, evaluates it (plain and optimized) on
+  // random operands, and returns both results for comparison.
+  template <typename Body>
+  void CheckAgainstNative(Body body,
+                          std::function<uint64_t(uint64_t, uint64_t)> native,
+                          uint32_t out_width, int trials = 25) {
+    CircuitBuilder b(width(), width());
+    auto wa = b.GarblerWord(0, width());
+    auto wb = b.EvaluatorWord(0, width());
+    body(b, wa, wb);
+    Circuit circuit = b.Build();
+    Circuit optimized = OptimizeCircuit(circuit, nullptr);
+    Rng rng(width() * 7919);
+    for (int t = 0; t < trials; ++t) {
+      uint64_t a = rng.NextU64() & mask();
+      uint64_t c = rng.NextU64() & mask();
+      BitVec ga = BitVec::FromU64(a, width());
+      BitVec eb = BitVec::FromU64(c, width());
+      uint64_t want = native(a, c);
+      ASSERT_EQ(circuit.Evaluate(ga, eb).ToU64(0, out_width), want)
+          << "width " << width() << " a=" << a << " b=" << c;
+      ASSERT_EQ(optimized.Evaluate(ga, eb).ToU64(0, out_width), want)
+          << "(optimized) width " << width();
+    }
+  }
+};
+
+TEST_P(WordOpSweep, Addition) {
+  CheckAgainstNative(
+      [](CircuitBuilder& b, auto& wa, auto& wb) {
+        b.AddOutputWord(b.AddW(wa, wb));
+      },
+      [this](uint64_t a, uint64_t c) { return (a + c) & mask(); }, width());
+}
+
+TEST_P(WordOpSweep, Subtraction) {
+  CheckAgainstNative(
+      [](CircuitBuilder& b, auto& wa, auto& wb) {
+        b.AddOutputWord(b.SubW(wa, wb));
+      },
+      [this](uint64_t a, uint64_t c) { return (a - c) & mask(); }, width());
+}
+
+TEST_P(WordOpSweep, BitwiseOps) {
+  CircuitBuilder b(width(), width());
+  auto wa = b.GarblerWord(0, width());
+  auto wb = b.EvaluatorWord(0, width());
+  b.AddOutputWord(b.XorW(wa, wb));
+  b.AddOutputWord(b.AndW(wa, wb));
+  Circuit circuit = b.Build();
+  Rng rng(width() * 101);
+  for (int t = 0; t < 25; ++t) {
+    uint64_t a = rng.NextU64() & mask();
+    uint64_t c = rng.NextU64() & mask();
+    BitVec out = circuit.Evaluate(BitVec::FromU64(a, width()),
+                                  BitVec::FromU64(c, width()));
+    ASSERT_EQ(out.ToU64(0, width()), (a ^ c) & mask());
+    ASSERT_EQ(out.ToU64(width(), width()), (a & c) & mask());
+  }
+}
+
+TEST_P(WordOpSweep, UnsignedComparison) {
+  CheckAgainstNative(
+      [](CircuitBuilder& b, auto& wa, auto& wb) {
+        b.AddOutput(b.LessThanUnsigned(wa, wb));
+        b.AddOutput(b.Equal(wa, wb));
+      },
+      [](uint64_t a, uint64_t c) {
+        return (a < c ? 1ull : 0ull) | ((a == c ? 1ull : 0ull) << 1);
+      },
+      2);
+}
+
+TEST_P(WordOpSweep, SignedComparison) {
+  auto to_signed = [this](uint64_t v) {
+    uint64_t sign = 1ull << (width() - 1);
+    return (v & sign) ? static_cast<int64_t>(v | ~mask())
+                      : static_cast<int64_t>(v);
+  };
+  CheckAgainstNative(
+      [](CircuitBuilder& b, auto& wa, auto& wb) {
+        b.AddOutput(b.LessThanSigned(wa, wb));
+      },
+      [to_signed](uint64_t a, uint64_t c) {
+        return to_signed(a) < to_signed(c) ? 1ull : 0ull;
+      },
+      1);
+}
+
+TEST_P(WordOpSweep, Negation) {
+  CheckAgainstNative(
+      [](CircuitBuilder& b, auto& wa, auto&) {
+        b.AddOutputWord(b.NegW(wa));
+      },
+      [this](uint64_t a, uint64_t) { return (~a + 1) & mask(); }, width());
+}
+
+TEST_P(WordOpSweep, MuxBySelector) {
+  CheckAgainstNative(
+      [](CircuitBuilder& b, auto& wa, auto& wb) {
+        // Selector = lsb of a XOR lsb of b.
+        auto sel = b.Xor(wa[0], wb[0]);
+        b.AddOutputWord(b.Mux(sel, wa, wb));
+      },
+      [this](uint64_t a, uint64_t c) {
+        bool sel = ((a ^ c) & 1ull) != 0;
+        return (sel ? a : c) & mask();
+      },
+      width());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WordOpSweep,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u, 16u, 24u,
+                                           32u, 48u),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// Multiplication sweep kept separate: result width differs and the
+// circuits are larger.
+class MulSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MulSweep, MatchesNative) {
+  uint32_t w = GetParam();
+  CircuitBuilder b(w, w);
+  b.AddOutputWord(b.MulW(b.GarblerWord(0, w), b.EvaluatorWord(0, w)));
+  Circuit circuit = b.Build();
+  Rng rng(w * 31);
+  uint64_t mask = (1ull << w) - 1;
+  for (int t = 0; t < 20; ++t) {
+    uint64_t a = rng.NextU64() & mask;
+    uint64_t c = rng.NextU64() & mask;
+    BitVec out = circuit.Evaluate(BitVec::FromU64(a, w), BitVec::FromU64(c, w));
+    ASSERT_EQ(out.ToU64(0, 2 * w), a * c) << w << "-bit " << a << "*" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MulSweep,
+                         ::testing::Values(2u, 4u, 7u, 10u, 16u),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// Mux-tree sweep over table sizes including non-powers of two.
+class MuxTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MuxTreeSweep, SelectsEveryEntry) {
+  int table_size = GetParam();
+  int sel_bits = 1;
+  while ((1 << sel_bits) < table_size) ++sel_bits;
+  Rng rng(table_size);
+  std::vector<uint64_t> table(table_size);
+  for (auto& v : table) v = rng.NextU64Below(256);
+
+  CircuitBuilder b(0, static_cast<uint32_t>(sel_bits));
+  auto sel = b.EvaluatorWord(0, sel_bits);
+  std::vector<CircuitBuilder::Word> entries;
+  for (uint64_t v : table) entries.push_back(b.ConstantWord(v, 8));
+  b.AddOutputWord(b.MuxTree(sel, entries));
+  Circuit circuit = b.Build();
+
+  for (int idx = 0; idx < (1 << sel_bits); ++idx) {
+    BitVec out = circuit.Evaluate(BitVec(0), BitVec::FromU64(idx, sel_bits));
+    uint64_t got = out.ToU64(0, 8);
+    if (idx < table_size) {
+      ASSERT_EQ(got, table[idx]) << "table " << table_size << " index " << idx;
+    } else {
+      // Out-of-range selectors still land on some table entry.
+      ASSERT_NE(std::find(table.begin(), table.end(), got), table.end())
+          << "table " << table_size << " index " << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, MuxTreeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 13, 16),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pafs

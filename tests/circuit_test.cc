@@ -1,0 +1,298 @@
+// Tests for the circuit IR and builder: every word-level construction is
+// validated exhaustively or property-style against plain C++ semantics.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "circuit/circuit.h"
+#include "util/bitvec.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// Builds a circuit whose evaluator takes two w-bit words (garbler none)
+// and exercises `body`; returns the outputs for concrete inputs.
+template <typename Body>
+uint64_t EvalBinaryOp(uint32_t width, uint64_t a, uint64_t b, Body body,
+                      uint32_t out_width) {
+  CircuitBuilder builder(0, 2 * width);
+  auto wa = builder.EvaluatorWord(0, width);
+  auto wb = builder.EvaluatorWord(width, width);
+  body(builder, wa, wb);
+  Circuit circuit = builder.Build();
+  BitVec inputs(2 * width);
+  for (uint32_t i = 0; i < width; ++i) {
+    inputs.Set(i, (a >> i) & 1);
+    inputs.Set(width + i, (b >> i) & 1);
+  }
+  BitVec out = circuit.Evaluate(BitVec(0), inputs);
+  return out.ToU64(0, out_width);
+}
+
+TEST(CircuitBuilderTest, XorAndNotGates) {
+  CircuitBuilder b(1, 1);
+  auto x = b.GarblerInput(0);
+  auto y = b.EvaluatorInput(0);
+  b.AddOutput(b.Xor(x, y));
+  b.AddOutput(b.And(x, y));
+  b.AddOutput(b.Not(x));
+  b.AddOutput(b.Or(x, y));
+  Circuit c = b.Build();
+  for (int xv = 0; xv < 2; ++xv) {
+    for (int yv = 0; yv < 2; ++yv) {
+      BitVec out = c.Evaluate(BitVec::FromU64(xv, 1), BitVec::FromU64(yv, 1));
+      EXPECT_EQ(out.Get(0), xv != yv);
+      EXPECT_EQ(out.Get(1), xv && yv);
+      EXPECT_EQ(out.Get(2), !xv);
+      EXPECT_EQ(out.Get(3), xv || yv);
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, ConstantsEvaluate) {
+  CircuitBuilder b(0, 1);
+  b.AddOutput(b.ConstZero());
+  b.AddOutput(b.ConstOne());
+  b.AddOutputWord(b.ConstantWord(0b1011, 4));
+  Circuit c = b.Build();
+  for (int v = 0; v < 2; ++v) {
+    BitVec out = c.Evaluate(BitVec(0), BitVec::FromU64(v, 1));
+    EXPECT_FALSE(out.Get(0));
+    EXPECT_TRUE(out.Get(1));
+    EXPECT_EQ(out.ToU64(2, 4), 0b1011u);
+  }
+}
+
+TEST(CircuitBuilderTest, AdditionExhaustive6Bit) {
+  for (uint64_t a = 0; a < 64; a += 5) {
+    for (uint64_t b = 0; b < 64; b += 3) {
+      uint64_t got = EvalBinaryOp(
+          6, a, b,
+          [](CircuitBuilder& bld, auto& wa, auto& wb) {
+            bld.AddOutputWord(bld.AddW(wa, wb));
+          },
+          6);
+      EXPECT_EQ(got, (a + b) & 63) << a << "+" << b;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, SubtractionWraps) {
+  for (uint64_t a = 0; a < 16; ++a) {
+    for (uint64_t b = 0; b < 16; ++b) {
+      uint64_t got = EvalBinaryOp(
+          4, a, b,
+          [](CircuitBuilder& bld, auto& wa, auto& wb) {
+            bld.AddOutputWord(bld.SubW(wa, wb));
+          },
+          4);
+      EXPECT_EQ(got, (a - b) & 15) << a << "-" << b;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, MultiplicationExhaustive4Bit) {
+  for (uint64_t a = 0; a < 16; ++a) {
+    for (uint64_t b = 0; b < 16; ++b) {
+      uint64_t got = EvalBinaryOp(
+          4, a, b,
+          [](CircuitBuilder& bld, auto& wa, auto& wb) {
+            bld.AddOutputWord(bld.MulW(wa, wb));
+          },
+          8);
+      EXPECT_EQ(got, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, NegationTwosComplement) {
+  for (uint64_t a = 0; a < 16; ++a) {
+    uint64_t got = EvalBinaryOp(
+        4, a, 0,
+        [](CircuitBuilder& bld, auto& wa, auto&) {
+          bld.AddOutputWord(bld.NegW(wa));
+        },
+        4);
+    EXPECT_EQ(got, (-a) & 15);
+  }
+}
+
+TEST(CircuitBuilderTest, EqualityExhaustive) {
+  for (uint64_t a = 0; a < 8; ++a) {
+    for (uint64_t b = 0; b < 8; ++b) {
+      uint64_t got = EvalBinaryOp(
+          3, a, b,
+          [](CircuitBuilder& bld, auto& wa, auto& wb) {
+            bld.AddOutput(bld.Equal(wa, wb));
+          },
+          1);
+      EXPECT_EQ(got, a == b ? 1u : 0u);
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, EqualConstExhaustive) {
+  for (uint64_t a = 0; a < 16; ++a) {
+    for (uint64_t k = 0; k < 16; ++k) {
+      uint64_t got = EvalBinaryOp(
+          4, a, 0,
+          [k](CircuitBuilder& bld, auto& wa, auto&) {
+            bld.AddOutput(bld.EqualConst(wa, k));
+          },
+          1);
+      EXPECT_EQ(got, a == k ? 1u : 0u) << a << " vs " << k;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, UnsignedComparisonExhaustive5Bit) {
+  for (uint64_t a = 0; a < 32; a += 3) {
+    for (uint64_t b = 0; b < 32; b += 2) {
+      uint64_t got = EvalBinaryOp(
+          5, a, b,
+          [](CircuitBuilder& bld, auto& wa, auto& wb) {
+            bld.AddOutput(bld.LessThanUnsigned(wa, wb));
+          },
+          1);
+      EXPECT_EQ(got, a < b ? 1u : 0u) << a << " < " << b;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, SignedComparisonExhaustive5Bit) {
+  auto to_signed = [](uint64_t v) {
+    return v >= 16 ? static_cast<int64_t>(v) - 32 : static_cast<int64_t>(v);
+  };
+  for (uint64_t a = 0; a < 32; ++a) {
+    for (uint64_t b = 0; b < 32; b += 3) {
+      uint64_t got = EvalBinaryOp(
+          5, a, b,
+          [](CircuitBuilder& bld, auto& wa, auto& wb) {
+            bld.AddOutput(bld.LessThanSigned(wa, wb));
+          },
+          1);
+      EXPECT_EQ(got, to_signed(a) < to_signed(b) ? 1u : 0u)
+          << to_signed(a) << " < " << to_signed(b);
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, MuxSelects) {
+  for (uint64_t sel = 0; sel < 2; ++sel) {
+    uint64_t got = EvalBinaryOp(
+        4, 0b1010, 0b0101,
+        [sel](CircuitBuilder& bld, auto& wa, auto& wb) {
+          auto s = sel ? bld.ConstOne() : bld.ConstZero();
+          bld.AddOutputWord(bld.Mux(s, wa, wb));
+        },
+        4);
+    EXPECT_EQ(got, sel ? 0b1010u : 0b0101u);
+  }
+}
+
+TEST(CircuitBuilderTest, MuxTreePowerOfTwoTable) {
+  // 4-entry table indexed by a 2-bit evaluator input.
+  const std::vector<uint64_t> table = {5, 9, 12, 3};
+  for (uint64_t idx = 0; idx < 4; ++idx) {
+    CircuitBuilder b(0, 2);
+    auto sel = b.EvaluatorWord(0, 2);
+    std::vector<CircuitBuilder::Word> entries;
+    for (uint64_t v : table) entries.push_back(b.ConstantWord(v, 4));
+    b.AddOutputWord(b.MuxTree(sel, entries));
+    Circuit c = b.Build();
+    BitVec out = c.Evaluate(BitVec(0), BitVec::FromU64(idx, 2));
+    EXPECT_EQ(out.ToU64(0, 4), table[idx]);
+  }
+}
+
+TEST(CircuitBuilderTest, MuxTreeNonPowerOfTwoInRangeExact) {
+  const std::vector<uint64_t> table = {7, 1, 4, 11, 9};  // 5 entries, 3 bits
+  for (uint64_t idx = 0; idx < 8; ++idx) {
+    CircuitBuilder b(0, 3);
+    auto sel = b.EvaluatorWord(0, 3);
+    std::vector<CircuitBuilder::Word> entries;
+    for (uint64_t v : table) entries.push_back(b.ConstantWord(v, 4));
+    b.AddOutputWord(b.MuxTree(sel, entries));
+    Circuit c = b.Build();
+    BitVec out = c.Evaluate(BitVec(0), BitVec::FromU64(idx, 3));
+    uint64_t got = out.ToU64(0, 4);
+    if (idx < table.size()) {
+      EXPECT_EQ(got, table[idx]) << "index " << idx;
+    } else {
+      // Out-of-range selectors land on some entry (honest evaluators never
+      // send them; feature values are below the cardinality).
+      EXPECT_NE(std::find(table.begin(), table.end(), got), table.end());
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, ArgMaxSignedFindsMaximum) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    int k = rng.NextInt(2, 6);
+    std::vector<int64_t> values(k);
+    for (auto& v : values) v = rng.NextInt(-15, 15);
+
+    CircuitBuilder b(0, 1);
+    std::vector<CircuitBuilder::Word> words;
+    for (int64_t v : values) {
+      words.push_back(b.ConstantWord(static_cast<uint64_t>(v) & 31, 5));
+    }
+    auto [index, max_val] = b.ArgMaxSigned(words);
+    b.AddOutputWord(index);
+    Circuit c = b.Build();
+    BitVec out = c.Evaluate(BitVec(0), BitVec::FromU64(0, 1));
+    size_t got = out.ToU64(0, index.size());
+
+    int64_t best = values[0];
+    size_t best_idx = 0;
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (values[i] > best) {
+        best = values[i];
+        best_idx = i;
+      }
+    }
+    EXPECT_EQ(got, best_idx);
+  }
+}
+
+TEST(CircuitBuilderTest, SignExtendPreservesValue) {
+  for (uint64_t a = 0; a < 16; ++a) {
+    uint64_t got = EvalBinaryOp(
+        4, a, 0,
+        [](CircuitBuilder& bld, auto& wa, auto&) {
+          bld.AddOutputWord(bld.SignExtend(wa, 8));
+        },
+        8);
+    uint64_t expected = a < 8 ? a : (a | 0xF0);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(CircuitStatsTest, CountsGateKinds) {
+  CircuitBuilder b(0, 4);
+  auto wa = b.EvaluatorWord(0, 2);
+  auto wb = b.EvaluatorWord(2, 2);
+  b.AddOutputWord(b.AddW(wa, wb));
+  Circuit c = b.Build();
+  CircuitStats stats = c.Stats();
+  EXPECT_EQ(stats.and_gates, 1u);  // 2-bit ripple: carry only for bit 0.
+  EXPECT_GT(stats.xor_gates, 0u);
+}
+
+TEST(CircuitTest, GarblerAndEvaluatorInputsSeparate) {
+  CircuitBuilder b(2, 2);
+  auto g = b.GarblerWord(0, 2);
+  auto e = b.EvaluatorWord(0, 2);
+  b.AddOutputWord(b.XorW(g, e));
+  Circuit c = b.Build();
+  BitVec out = c.Evaluate(BitVec::FromU64(0b01, 2), BitVec::FromU64(0b11, 2));
+  EXPECT_EQ(out.ToU64(0, 2), 0b10u);
+}
+
+}  // namespace
+}  // namespace pafs

@@ -1,0 +1,317 @@
+// Unit tests for src/crypto: AES-128 against FIPS-197 vectors, SHA-256
+// against FIPS 180-4 vectors, PRG determinism, garbling hash properties,
+// Paillier homomorphic identities, and commitments.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.h"
+#include "crypto/block.h"
+#include "crypto/commit.h"
+#include "crypto/key_io.h"
+#include "crypto/paillier.h"
+#include "crypto/prg.h"
+#include "crypto/sha256.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+Block BlockFromHexBytes(const std::string& hex) {
+  // Interprets the hex string as 16 bytes in order (byte 0 first).
+  uint8_t bytes[16];
+  for (int i = 0; i < 16; ++i) {
+    bytes[i] = static_cast<uint8_t>(
+        std::stoi(hex.substr(2 * i, 2), nullptr, 16));
+  }
+  return Block::FromBytes(bytes);
+}
+
+TEST(Aes128Test, Fips197AppendixCVector) {
+  // FIPS-197 C.1: key 000102...0f, plaintext 00112233445566778899aabbccddeeff.
+  Block key = BlockFromHexBytes("000102030405060708090a0b0c0d0e0f");
+  Block pt = BlockFromHexBytes("00112233445566778899aabbccddeeff");
+  Block expected = BlockFromHexBytes("69c4e0d86a7b0430d8cdb78070b4c55a");
+  Aes128 aes(key);
+  EXPECT_EQ(aes.Encrypt(pt), expected);
+}
+
+TEST(Aes128Test, Fips197AppendixBVector) {
+  // FIPS-197 appendix B: key 2b7e151628aed2a6abf7158809cf4f3c.
+  Block key = BlockFromHexBytes("2b7e151628aed2a6abf7158809cf4f3c");
+  Block pt = BlockFromHexBytes("3243f6a8885a308d313198a2e0370734");
+  Block expected = BlockFromHexBytes("3925841d02dc09fbdc118597196a0b32");
+  Aes128 aes(key);
+  EXPECT_EQ(aes.Encrypt(pt), expected);
+}
+
+TEST(Aes128Test, DifferentKeysDifferentCiphertexts) {
+  Block pt(123, 456);
+  Block c1 = Aes128(Block(1, 0)).Encrypt(pt);
+  Block c2 = Aes128(Block(2, 0)).Encrypt(pt);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(BlockTest, XorAndLsb) {
+  Block a(0b1010, 7);
+  Block b(0b0110, 5);
+  EXPECT_EQ((a ^ b).lo, 0b1100u);
+  EXPECT_EQ((a ^ b).hi, 2u);
+  EXPECT_FALSE(a.GetLsb());
+  EXPECT_TRUE(a.WithLsb(true).GetLsb());
+  EXPECT_EQ(a.WithLsb(true).lo, 0b1011u);
+}
+
+TEST(BlockTest, GfDoubleShifts) {
+  Block a(1, 0);
+  EXPECT_EQ(a.GfDouble().lo, 2u);
+  // Overflow of the top bit folds back via the GCM polynomial 0x87.
+  Block top(0, 0x8000000000000000ull);
+  Block doubled = top.GfDouble();
+  EXPECT_EQ(doubled.lo, 0x87u);
+  EXPECT_EQ(doubled.hi, 0u);
+}
+
+TEST(BlockTest, BytesRoundTrip) {
+  Block a(0x0123456789ABCDEFull, 0xFEDCBA9876543210ull);
+  uint8_t bytes[16];
+  a.ToBytes(bytes);
+  EXPECT_EQ(Block::FromBytes(bytes), a);
+}
+
+TEST(Sha256Test, Fips180EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Fips180Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, Fips180TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg(1000, 'x');
+  Sha256 h;
+  h.Update(msg.substr(0, 17));
+  h.Update(msg.substr(17, 500));
+  h.Update(msg.substr(517));
+  EXPECT_EQ(h.Finalize(), Sha256::Hash(msg));
+}
+
+TEST(Sha256Test, MillionAs) {
+  // FIPS 180-4 long-message vector.
+  std::string msg(1000000, 'a');
+  EXPECT_EQ(DigestToHex(Sha256::Hash(msg)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(PrgTest, DeterministicForSeed) {
+  Prg a(Block(9, 9)), b(Block(9, 9));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.NextBlock(), b.NextBlock());
+}
+
+TEST(PrgTest, DifferentSeedsDiverge) {
+  Prg a(Block(1, 0)), b(Block(2, 0));
+  EXPECT_NE(a.NextBlock(), b.NextBlock());
+}
+
+TEST(PrgTest, BytesAreBalanced) {
+  Prg prg(Block(77, 0));
+  std::vector<uint8_t> bytes = prg.Bytes(8192);
+  int ones = 0;
+  for (uint8_t b : bytes) ones += __builtin_popcount(b);
+  double fraction = ones / (8192.0 * 8);
+  EXPECT_NEAR(fraction, 0.5, 0.02);
+}
+
+TEST(PrgTest, BitStreamMatchesBlocks) {
+  Prg prg(Block(5, 5));
+  int ones = 0;
+  for (int i = 0; i < 4096; ++i) ones += prg.NextBit();
+  EXPECT_NEAR(ones / 4096.0, 0.5, 0.05);
+}
+
+TEST(HashBlockTest, TweakSeparatesOutputs) {
+  Block x(42, 42);
+  EXPECT_NE(HashBlock(x, 0), HashBlock(x, 1));
+  EXPECT_EQ(HashBlock(x, 7), HashBlock(x, 7));
+}
+
+TEST(HashBlockTest, InputSeparation) {
+  EXPECT_NE(HashBlock(Block(1, 0), 0), HashBlock(Block(2, 0), 0));
+  EXPECT_NE(HashBlocks(Block(1, 0), Block(2, 0), 0),
+            HashBlocks(Block(2, 0), Block(1, 0), 0));
+}
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  PaillierTest() : rng_(2024), keys_(GeneratePaillierKey(rng_, 256)) {}
+
+  Rng rng_;
+  PaillierKeyPair keys_;
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (int64_t m : {0ll, 1ll, 42ll, 1000000007ll}) {
+    BigInt c = keys_.public_key.Encrypt(BigInt(m), rng_);
+    EXPECT_EQ(keys_.private_key.Decrypt(c).ToI64(), m);
+  }
+}
+
+TEST_F(PaillierTest, NegativeMessages) {
+  for (int64_t m : {-1ll, -9999ll, -123456789ll}) {
+    BigInt c = keys_.public_key.Encrypt(BigInt(m), rng_);
+    EXPECT_EQ(keys_.private_key.Decrypt(c).ToI64(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  BigInt c1 = keys_.public_key.Encrypt(BigInt(5), rng_);
+  BigInt c2 = keys_.public_key.Encrypt(BigInt(5), rng_);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(keys_.private_key.Decrypt(c1), keys_.private_key.Decrypt(c2));
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  BigInt c1 = keys_.public_key.Encrypt(BigInt(1234), rng_);
+  BigInt c2 = keys_.public_key.Encrypt(BigInt(-234), rng_);
+  BigInt sum = keys_.public_key.Add(c1, c2);
+  EXPECT_EQ(keys_.private_key.Decrypt(sum).ToI64(), 1000);
+}
+
+TEST_F(PaillierTest, AddPlainConstant) {
+  BigInt c = keys_.public_key.Encrypt(BigInt(10), rng_);
+  BigInt shifted = keys_.public_key.AddPlain(c, BigInt(-25));
+  EXPECT_EQ(keys_.private_key.Decrypt(shifted).ToI64(), -15);
+}
+
+TEST_F(PaillierTest, ScalarMultiplication) {
+  BigInt c = keys_.public_key.Encrypt(BigInt(-7), rng_);
+  BigInt scaled = keys_.public_key.MulPlain(c, BigInt(13));
+  EXPECT_EQ(keys_.private_key.Decrypt(scaled).ToI64(), -91);
+}
+
+TEST_F(PaillierTest, NegativeScalarMultiplication) {
+  // Negative scalars take the slow full-exponent path but must be correct.
+  BigInt c = keys_.public_key.Encrypt(BigInt(9), rng_);
+  BigInt scaled = keys_.public_key.MulPlain(c, BigInt(-4));
+  EXPECT_EQ(keys_.private_key.Decrypt(scaled).ToI64(), -36);
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintext) {
+  BigInt c = keys_.public_key.Encrypt(BigInt(321), rng_);
+  BigInt r = keys_.public_key.Rerandomize(c, rng_);
+  EXPECT_NE(c, r);
+  EXPECT_EQ(keys_.private_key.Decrypt(r).ToI64(), 321);
+}
+
+TEST_F(PaillierTest, DotProductProperty) {
+  // The secure linear classifier's core identity:
+  // Dec(prod_i Enc(x_i)^{w_i}) = sum_i w_i x_i.
+  std::vector<int64_t> x = {3, -1, 4, 1, -5};
+  std::vector<int64_t> w = {2, 7, -1, 8, 2};
+  BigInt acc = keys_.public_key.Encrypt(BigInt(0), rng_);
+  int64_t expected = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    BigInt c = keys_.public_key.Encrypt(BigInt(x[i]), rng_);
+    acc = keys_.public_key.Add(acc, keys_.public_key.MulPlain(c, BigInt(w[i])));
+    expected += w[i] * x[i];
+  }
+  EXPECT_EQ(keys_.private_key.Decrypt(acc).ToI64(), expected);
+}
+
+TEST(PaillierKeyGenTest, LargerKeysWork) {
+  Rng rng(31337);
+  PaillierKeyPair keys = GeneratePaillierKey(rng, 512);
+  BigInt c = keys.public_key.Encrypt(BigInt::FromDecimal("98765432109876543210"),
+                                     rng);
+  EXPECT_EQ(keys.private_key.Decrypt(c).ToDecimal(), "98765432109876543210");
+}
+
+TEST(KeyIoTest, PrivateKeyRoundTrip) {
+  Rng rng(91);
+  PaillierKeyPair keys = GeneratePaillierKey(rng, 256);
+  std::string path = "/tmp/pafs_key_test.key";
+  ASSERT_TRUE(SavePaillierKey(keys, path).ok());
+  StatusOr<PaillierKeyPair> loaded = LoadPaillierKey(path);
+  ASSERT_TRUE(loaded.ok());
+  // The reloaded key decrypts fresh ciphertexts from the original public key.
+  BigInt c = keys.public_key.Encrypt(BigInt(-777), rng);
+  EXPECT_EQ(loaded.value().private_key.Decrypt(c).ToI64(), -777);
+  std::remove(path.c_str());
+}
+
+TEST(KeyIoTest, PublicKeyRoundTrip) {
+  Rng rng(92);
+  PaillierKeyPair keys = GeneratePaillierKey(rng, 256);
+  std::string path = "/tmp/pafs_pub_test.key";
+  ASSERT_TRUE(SavePaillierPublicKey(keys.public_key, path).ok());
+  StatusOr<PaillierPublicKey> loaded = LoadPaillierPublicKey(path);
+  ASSERT_TRUE(loaded.ok());
+  BigInt c = loaded.value().Encrypt(BigInt(123), rng);
+  EXPECT_EQ(keys.private_key.Decrypt(c).ToI64(), 123);
+  std::remove(path.c_str());
+}
+
+TEST(KeyIoTest, RejectsCorruptFactors) {
+  std::string path = "/tmp/pafs_badkey_test.key";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    // 15 is not prime.
+    fputs("pafs_paillier_private v1\np f\nq 11\n", f);
+    fclose(f);
+  }
+  StatusOr<PaillierKeyPair> loaded = LoadPaillierKey(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(KeyIoTest, RejectsWrongMagic) {
+  std::string path = "/tmp/pafs_magic_test.key";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("something_else v1\nn ff\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadPaillierKey(path).ok());
+  EXPECT_FALSE(LoadPaillierPublicKey(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CommitTest, OpensCorrectly) {
+  Rng rng(8);
+  std::vector<uint8_t> value = {1, 2, 3, 4};
+  CommitmentOpening opening;
+  Commitment c = Commit(value, rng, &opening);
+  EXPECT_TRUE(VerifyCommitment(c, opening));
+}
+
+TEST(CommitTest, RejectsTamperedValue) {
+  Rng rng(8);
+  std::vector<uint8_t> value = {1, 2, 3, 4};
+  CommitmentOpening opening;
+  Commitment c = Commit(value, rng, &opening);
+  opening.value[0] ^= 1;
+  EXPECT_FALSE(VerifyCommitment(c, opening));
+}
+
+TEST(CommitTest, HidingAcrossRandomness) {
+  Rng rng(8);
+  std::vector<uint8_t> value = {9, 9};
+  CommitmentOpening o1, o2;
+  Commitment c1 = Commit(value, rng, &o1);
+  Commitment c2 = Commit(value, rng, &o2);
+  EXPECT_NE(DigestToHex(c1.digest), DigestToHex(c2.digest));
+}
+
+}  // namespace
+}  // namespace pafs

@@ -1,0 +1,169 @@
+// Tests for the synthetic cohort generators and CSV persistence. The
+// generators must reproduce the population structure the privacy analysis
+// depends on (demographic-genotype correlation).
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/hypertension_gen.h"
+#include "data/warfarin_gen.h"
+#include "ml/metrics.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+TEST(WarfarinGenTest, SchemaAndSizes) {
+  Rng rng(1);
+  Dataset data = GenerateWarfarinCohort(500, rng);
+  EXPECT_EQ(data.size(), 500u);
+  EXPECT_EQ(data.num_features(), WarfarinSchema::kNumFeatures);
+  EXPECT_EQ(data.num_classes(), kWarfarinNumClasses);
+  EXPECT_EQ(data.SensitiveFeatures(),
+            (std::vector<int>{WarfarinSchema::kVkorc1, WarfarinSchema::kCyp2c9}));
+}
+
+TEST(WarfarinGenTest, DeterministicPerSeed) {
+  Rng rng_a(7), rng_b(7);
+  Dataset a = GenerateWarfarinCohort(100, rng_a);
+  Dataset b = GenerateWarfarinCohort(100, rng_b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.row(i), b.row(i));
+    EXPECT_EQ(a.label(i), b.label(i));
+  }
+}
+
+TEST(WarfarinGenTest, AllDoseClassesPresent) {
+  Rng rng(2);
+  Dataset data = GenerateWarfarinCohort(5000, rng);
+  std::vector<double> priors = data.ClassPriors();
+  for (int c = 0; c < kWarfarinNumClasses; ++c) {
+    EXPECT_GT(priors[c], 0.02) << "class " << c;
+  }
+  // Medium dose should dominate, as in the real IWPC cohort.
+  EXPECT_GT(priors[1], priors[0]);
+  EXPECT_GT(priors[1], priors[2]);
+}
+
+TEST(WarfarinGenTest, VkorcCorrelatesWithRace) {
+  // The inference attack's premise: ancestry predicts genotype. Asian
+  // patients must have far more A alleles than Black patients.
+  Rng rng(3);
+  Dataset data = GenerateWarfarinCohort(8000, rng);
+  double asian_sum = 0, asian_n = 0, black_sum = 0, black_n = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    int race = data.row(i)[WarfarinSchema::kRace];
+    int vkorc1 = data.row(i)[WarfarinSchema::kVkorc1];
+    if (race == 1) {
+      asian_sum += vkorc1;
+      asian_n += 1;
+    } else if (race == 2) {
+      black_sum += vkorc1;
+      black_n += 1;
+    }
+  }
+  EXPECT_GT(asian_sum / asian_n, 1.5);  // ~2 * 0.9
+  EXPECT_LT(black_sum / black_n, 0.5);  // ~2 * 0.1
+}
+
+TEST(WarfarinGenTest, GenotypePredictsDose) {
+  // VKORC1 AA patients need lower doses: the pharmacogenomic signal the
+  // classifiers learn.
+  Rng rng(4);
+  Dataset data = GenerateWarfarinCohort(8000, rng);
+  double aa_low = 0, aa_n = 0, gg_low = 0, gg_n = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    int vkorc1 = data.row(i)[WarfarinSchema::kVkorc1];
+    bool low = data.label(i) == 0;
+    if (vkorc1 == 2) {
+      aa_low += low;
+      aa_n += 1;
+    } else if (vkorc1 == 0) {
+      gg_low += low;
+      gg_n += 1;
+    }
+  }
+  EXPECT_GT(aa_low / aa_n, gg_low / gg_n + 0.2);
+}
+
+TEST(HypertensionGenTest, SchemaAndClasses) {
+  Rng rng(5);
+  Dataset data = GenerateHypertensionCohort(4000, rng);
+  EXPECT_EQ(data.num_features(), HypertensionSchema::kNumFeatures);
+  EXPECT_EQ(data.num_classes(), kHypertensionNumClasses);
+  std::vector<double> priors = data.ClassPriors();
+  for (int c = 0; c < kHypertensionNumClasses; ++c) {
+    EXPECT_GT(priors[c], 0.05) << "class " << c;
+  }
+}
+
+TEST(HypertensionGenTest, AgtCorrelatesWithAncestry) {
+  Rng rng(6);
+  Dataset data = GenerateHypertensionCohort(6000, rng);
+  double g0_sum = 0, g0_n = 0, g2_sum = 0, g2_n = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    int race = data.row(i)[HypertensionSchema::kRace];
+    int agt = data.row(i)[HypertensionSchema::kAgt];
+    if (race == 0) {
+      g0_sum += agt;
+      g0_n += 1;
+    } else if (race == 2) {
+      g2_sum += agt;
+      g2_n += 1;
+    }
+  }
+  EXPECT_GT(g2_sum / g2_n, g0_sum / g0_n + 0.5);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Rng rng(7);
+  Dataset data = GenerateWarfarinCohort(50, rng);
+  std::string path = "/tmp/pafs_csv_test.csv";
+  ASSERT_TRUE(SaveCsv(data, path).ok());
+  auto loaded = LoadCsv(path, data.features(), data.num_classes());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(loaded.value().row(i), data.row(i));
+    EXPECT_EQ(loaded.value().label(i), data.label(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsHeaderMismatch) {
+  Rng rng(8);
+  Dataset data = GenerateWarfarinCohort(5, rng);
+  std::string path = "/tmp/pafs_csv_test2.csv";
+  ASSERT_TRUE(SaveCsv(data, path).ok());
+  std::vector<FeatureSpec> wrong = data.features();
+  wrong[0].name = "not_age";
+  auto loaded = LoadCsv(path, wrong, data.num_classes());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsOutOfRangeValues) {
+  std::string path = "/tmp/pafs_csv_test3.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "f0,label\n5,0\n");
+    fclose(f);
+  }
+  auto loaded = LoadCsv(path, {{"f0", 2, false}}, 2);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto loaded = LoadCsv("/tmp/definitely_missing_pafs.csv",
+                        {{"f0", 2, false}}, 2);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pafs

@@ -1,0 +1,93 @@
+// Failure-injection tests: the library's contract violations must die
+// loudly (PAFS_CHECK) rather than corrupt protocol state. Uses gtest death
+// tests; each EXPECT_DEATH forks, so these stay cheap.
+#include <gtest/gtest.h>
+
+#include "bignum/bigint.h"
+#include "bignum/modmath.h"
+#include "circuit/builder.h"
+#include "ml/dataset.h"
+#include "smc/common.h"
+#include "util/bitvec.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, BitVecOutOfRangeGet) {
+  BitVec v(8);
+  EXPECT_DEATH(v.Get(8), "CHECK failed");
+}
+
+TEST(DeathTest, BitVecXorSizeMismatch) {
+  BitVec a(4), b(5);
+  EXPECT_DEATH(a ^= b, "CHECK failed");
+}
+
+TEST(DeathTest, BigIntDivisionByZero) {
+  EXPECT_DEATH(BigInt(5) / BigInt(0), "CHECK failed");
+}
+
+TEST(DeathTest, ModInverseOfNonCoprime) {
+  EXPECT_DEATH(ModInverse(BigInt(6), BigInt(9)), "modular inverse");
+}
+
+TEST(DeathTest, MontgomeryRejectsEvenModulus) {
+  EXPECT_DEATH(MontgomeryCtx(BigInt(100)), "odd modulus");
+}
+
+TEST(DeathTest, DatasetRejectsOutOfRangeValue) {
+  Dataset data({{"f", 2, false}}, 2);
+  EXPECT_DEATH(data.AddRow({2}, 0), "CHECK failed");
+}
+
+TEST(DeathTest, DatasetRejectsBadLabel) {
+  Dataset data({{"f", 2, false}}, 2);
+  EXPECT_DEATH(data.AddRow({1}, 5), "CHECK failed");
+}
+
+TEST(DeathTest, DatasetRejectsUnknownFeatureName) {
+  Dataset data({{"f", 2, false}}, 2);
+  EXPECT_DEATH(data.FeatureIndex("nope"), "feature not found");
+}
+
+TEST(DeathTest, BuilderRejectsForeignWire) {
+  CircuitBuilder b(1, 1);
+  EXPECT_DEATH(b.AddOutput(12345), "CHECK failed");
+}
+
+TEST(DeathTest, BuilderRejectsEmptyCircuit) {
+  EXPECT_DEATH(CircuitBuilder(0, 0), "at least one input");
+}
+
+TEST(DeathTest, BuilderRequiresOutputs) {
+  EXPECT_DEATH(
+      {
+        CircuitBuilder b(1, 0);
+        b.Build();
+      },
+      "no outputs");
+}
+
+TEST(DeathTest, BuilderRejectsWordSizeMismatch) {
+  CircuitBuilder b(0, 5);
+  auto a = b.EvaluatorWord(0, 2);
+  auto c = b.EvaluatorWord(2, 3);
+  EXPECT_DEATH(b.AddW(a, c), "CHECK failed");
+}
+
+TEST(DeathTest, HiddenLayoutRejectsBadValue) {
+  std::vector<FeatureSpec> features = {{"f", 3, false}};
+  HiddenLayout layout = HiddenLayout::Make(features, {});
+  EXPECT_DEATH(layout.EncodeRow({7}), "CHECK failed");
+}
+
+TEST(DeathTest, RngRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextU64Below(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace pafs

@@ -1,0 +1,107 @@
+// Tests for the continuous-attribute discretizer.
+#include <gtest/gtest.h>
+
+#include "ml/discretizer.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+TEST(DiscretizerTest, EqualWidthBins) {
+  Discretizer disc;
+  disc.Fit({{0.0, 10.0, 2.5, 7.5, 5.0}}, 4, BinningStrategy::kEqualWidth);
+  ASSERT_TRUE(disc.fitted());
+  EXPECT_EQ(disc.bins(), 4);
+  ASSERT_EQ(disc.edges(0).size(), 3u);
+  EXPECT_DOUBLE_EQ(disc.edges(0)[0], 2.5);
+  EXPECT_DOUBLE_EQ(disc.edges(0)[1], 5.0);
+  EXPECT_DOUBLE_EQ(disc.edges(0)[2], 7.5);
+  EXPECT_EQ(disc.Transform(0, 0.0), 0);
+  EXPECT_EQ(disc.Transform(0, 2.49), 0);
+  EXPECT_EQ(disc.Transform(0, 2.51), 1);
+  EXPECT_EQ(disc.Transform(0, 9.9), 3);
+}
+
+TEST(DiscretizerTest, TransformClampsOutOfRange) {
+  Discretizer disc;
+  disc.Fit({{0.0, 1.0}}, 2, BinningStrategy::kEqualWidth);
+  EXPECT_EQ(disc.Transform(0, -100.0), 0);
+  EXPECT_EQ(disc.Transform(0, +100.0), 1);
+}
+
+TEST(DiscretizerTest, QuantileBinsBalanceCounts) {
+  Rng rng(3);
+  std::vector<double> values(10000);
+  for (auto& v : values) v = rng.NextGaussian();  // Heavily non-uniform.
+  Discretizer disc;
+  disc.Fit({values}, 5, BinningStrategy::kQuantile);
+  std::vector<int> counts(5, 0);
+  for (double v : values) ++counts[disc.Transform(0, v)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2000, 150);  // Each quintile holds ~20%.
+  }
+}
+
+TEST(DiscretizerTest, EqualWidthUnbalancedOnSkewedData) {
+  // The contrast that justifies having both strategies.
+  Rng rng(4);
+  std::vector<double> values(10000);
+  for (auto& v : values) {
+    double g = rng.NextGaussian();
+    v = g * g;  // Chi-squared: strong right skew.
+  }
+  Discretizer equal_width, quantile;
+  equal_width.Fit({values}, 4, BinningStrategy::kEqualWidth);
+  quantile.Fit({values}, 4, BinningStrategy::kQuantile);
+  std::vector<int> ew(4, 0), qt(4, 0);
+  for (double v : values) {
+    ++ew[equal_width.Transform(0, v)];
+    ++qt[quantile.Transform(0, v)];
+  }
+  // Equal-width packs nearly everything into bin 0; quantile does not.
+  EXPECT_GT(ew[0], 8000);
+  EXPECT_LT(qt[0], 4000);
+}
+
+TEST(DiscretizerTest, ConstantColumnIsSafe) {
+  Discretizer disc;
+  disc.Fit({{5.0, 5.0, 5.0}}, 3, BinningStrategy::kQuantile);
+  EXPECT_EQ(disc.Transform(0, 5.0), 2);  // All edges equal: top bin.
+  EXPECT_EQ(disc.Transform(0, 4.0), 0);
+}
+
+TEST(DiscretizerTest, DiscretizeTableBuildsValidDataset) {
+  Rng rng(5);
+  std::vector<std::vector<double>> columns(3, std::vector<double>(200));
+  std::vector<int> labels(200);
+  for (size_t i = 0; i < 200; ++i) {
+    columns[0][i] = rng.NextGaussian() * 10 + 50;   // "age"
+    columns[1][i] = rng.NextGaussian() * 5 + 25;    // "bmi"
+    columns[2][i] = rng.NextDouble();               // "marker" (sensitive)
+    labels[i] = columns[0][i] > 50 ? 1 : 0;
+  }
+  Discretizer disc;
+  disc.Fit(columns, 4, BinningStrategy::kQuantile);
+  Dataset data = disc.DiscretizeTable({"age", "bmi", "marker"},
+                                      {false, false, true}, columns, labels, 2);
+  EXPECT_EQ(data.size(), 200u);
+  EXPECT_EQ(data.num_features(), 3);
+  EXPECT_EQ(data.FeatureCardinality(0), 4);
+  EXPECT_EQ(data.SensitiveFeatures(), std::vector<int>{2});
+  // Values in range by construction (Dataset validates on AddRow).
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data.row(i)[0], disc.Transform(0, columns[0][i]));
+  }
+}
+
+TEST(DiscretizerTest, MultiColumnIndependentEdges) {
+  Discretizer disc;
+  disc.Fit({{0, 1, 2, 3}, {100, 200, 300, 400}}, 2,
+           BinningStrategy::kEqualWidth);
+  EXPECT_EQ(disc.Transform(0, 0.5), 0);
+  EXPECT_EQ(disc.Transform(1, 150), 0);
+  EXPECT_EQ(disc.Transform(1, 350), 1);
+}
+
+}  // namespace
+}  // namespace pafs

@@ -1,0 +1,166 @@
+// Tests for the random forest (plaintext) and its secure evaluation.
+#include <map>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "data/warfarin_gen.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "net/channel.h"
+#include "smc/secure_forest.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+class ForestTest : public ::testing::Test {
+ protected:
+  ForestTest() : rng_(99), data_(GenerateWarfarinCohort(2000, rng_)) {
+    ForestParams params;
+    params.num_trees = 9;
+    params.tree.max_depth = 6;
+    forest_.Train(data_, params, rng_);
+  }
+
+  Rng rng_;
+  Dataset data_;
+  RandomForest forest_;
+};
+
+TEST_F(ForestTest, TrainsRequestedTrees) {
+  EXPECT_EQ(forest_.num_trees(), 9);
+  EXPECT_TRUE(forest_.trained());
+}
+
+TEST_F(ForestTest, BeatsMajorityBaseline) {
+  Rng rng(5);
+  Dataset test = GenerateWarfarinCohort(800, rng);
+  std::vector<int> preds, truth;
+  for (size_t i = 0; i < test.size(); ++i) {
+    preds.push_back(forest_.Predict(test.row(i)));
+    truth.push_back(test.label(i));
+  }
+  std::vector<double> priors = test.ClassPriors();
+  double majority = *std::max_element(priors.begin(), priors.end());
+  EXPECT_GT(Accuracy(preds, truth), majority + 0.03);
+}
+
+TEST_F(ForestTest, VotesSumToTreeCount) {
+  std::vector<int> votes = forest_.Votes(data_.row(3));
+  int total = 0;
+  for (int v : votes) total += v;
+  EXPECT_EQ(total, forest_.num_trees());
+}
+
+TEST_F(ForestTest, PredictIsArgmaxOfVotes) {
+  for (size_t i = 0; i < 20; ++i) {
+    std::vector<int> votes = forest_.Votes(data_.row(i * 31));
+    int argmax = static_cast<int>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    EXPECT_EQ(forest_.Predict(data_.row(i * 31)), argmax);
+  }
+}
+
+TEST_F(ForestTest, FeatureSubsettingRespected) {
+  // Each member tree must only use features from its allowed subset; we
+  // can't see the subsets, but the union must stay within the schema and
+  // different trees should differ (with overwhelming probability).
+  std::vector<int> used = forest_.UsedFeatures();
+  for (int f : used) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, data_.num_features());
+  }
+  bool any_difference = false;
+  for (int t = 1; t < forest_.num_trees(); ++t) {
+    if (forest_.tree(t).UsedFeatures() != forest_.tree(0).UsedFeatures()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(ForestTest, SpecializePreservesPredictions) {
+  std::map<int, int> disclosed = {{WarfarinSchema::kRace, 1},
+                                  {WarfarinSchema::kAge, 5}};
+  RandomForest small = forest_.Specialize(disclosed);
+  for (size_t i = 0; i < 100; ++i) {
+    std::vector<int> row = data_.row(i);
+    row[WarfarinSchema::kRace] = 1;
+    row[WarfarinSchema::kAge] = 5;
+    ASSERT_EQ(small.Predict(row), forest_.Predict(row)) << "row " << i;
+  }
+}
+
+TEST_F(ForestTest, AllowedFeaturesParamIsEnforced) {
+  DecisionTree tree;
+  TreeParams params;
+  params.allowed_features = {WarfarinSchema::kVkorc1};
+  tree.Train(data_, params);
+  std::vector<int> used = tree.UsedFeatures();
+  for (int f : used) EXPECT_EQ(f, WarfarinSchema::kVkorc1);
+}
+
+class SecureForestTest : public ForestTest {
+ protected:
+  SmcRunStats RunSecure(const RandomForest& forest,
+                        const std::map<int, int>& disclosed,
+                        const std::vector<int>& row) {
+    SecureForestCircuit spec(forest, data_.features(), data_.num_classes(),
+                             disclosed);
+    SmcRunStats server_stats, client_stats;
+    std::thread server([&] {
+      server_stats = SecureForestRunServer(channel_.endpoint(0), spec, forest,
+                                           ot_sender_, server_rng_);
+    });
+    client_stats = SecureForestRunClient(channel_.endpoint(1),
+                                         data_.features(), data_.num_classes(),
+                                         row, ot_receiver_, client_rng_);
+    server.join();
+    EXPECT_EQ(server_stats.predicted_class, client_stats.predicted_class);
+    return client_stats;
+  }
+
+  MemChannelPair channel_;
+  OtExtSender ot_sender_;
+  OtExtReceiver ot_receiver_;
+  Rng server_rng_{7}, client_rng_{8};
+};
+
+TEST_F(SecureForestTest, MatchesPlaintextNoDisclosure) {
+  for (size_t i = 0; i < 6; ++i) {
+    const std::vector<int>& row = data_.row(i * 97);
+    SmcRunStats stats = RunSecure(forest_, {}, row);
+    EXPECT_EQ(stats.predicted_class, forest_.Predict(row)) << "row " << i;
+  }
+}
+
+TEST_F(SecureForestTest, MatchesPlaintextWithSpecialization) {
+  for (size_t i = 0; i < 5; ++i) {
+    const std::vector<int>& row = data_.row(i * 113);
+    std::map<int, int> disclosed = {
+        {WarfarinSchema::kRace, row[WarfarinSchema::kRace]},
+        {WarfarinSchema::kAge, row[WarfarinSchema::kAge]},
+        {WarfarinSchema::kWeight, row[WarfarinSchema::kWeight]}};
+    RandomForest specialized = forest_.Specialize(disclosed);
+    SmcRunStats stats = RunSecure(specialized, disclosed, row);
+    EXPECT_EQ(stats.predicted_class, forest_.Predict(row)) << "row " << i;
+  }
+}
+
+TEST_F(SecureForestTest, SpecializationShrinksCircuit) {
+  std::map<int, int> disclosed = {{WarfarinSchema::kRace, 0},
+                                  {WarfarinSchema::kAge, 4},
+                                  {WarfarinSchema::kWeight, 2},
+                                  {WarfarinSchema::kGender, 1}};
+  RandomForest specialized = forest_.Specialize(disclosed);
+  SecureForestCircuit full(forest_, data_.features(), data_.num_classes(), {});
+  SecureForestCircuit pruned(specialized, data_.features(),
+                             data_.num_classes(), disclosed);
+  EXPECT_LT(pruned.total_leaves(), full.total_leaves());
+  EXPECT_LT(pruned.circuit().Stats().and_gates,
+            full.circuit().Stats().and_gates);
+}
+
+}  // namespace
+}  // namespace pafs

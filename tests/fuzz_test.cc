@@ -1,0 +1,214 @@
+// Property/fuzz tests across the circuit and MPC layers: random circuits
+// must evaluate identically under plaintext semantics, half-gates
+// garbling, classic garbling, the optimizer, GMW, and circuit
+// serialization round-trips. This is the strongest cross-cutting
+// correctness net in the repository.
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "circuit/optimizer.h"
+#include "circuit/serialize.h"
+#include "gc/garble.h"
+#include "net/channel.h"
+#include "sharing/gmw.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// Generates a random circuit with mixed gate types, word ops, and muxes.
+Circuit RandomCircuit(Rng& rng, uint32_t garbler_inputs,
+                      uint32_t evaluator_inputs, int extra_ops) {
+  CircuitBuilder b(garbler_inputs, evaluator_inputs);
+  std::vector<uint32_t> wires;
+  for (uint32_t i = 0; i < garbler_inputs; ++i) wires.push_back(b.GarblerInput(i));
+  for (uint32_t i = 0; i < evaluator_inputs; ++i) {
+    wires.push_back(b.EvaluatorInput(i));
+  }
+  auto pick = [&] { return wires[rng.NextU64Below(wires.size())]; };
+  for (int op = 0; op < extra_ops; ++op) {
+    switch (rng.NextU64Below(6)) {
+      case 0:
+        wires.push_back(b.Xor(pick(), pick()));
+        break;
+      case 1:
+        wires.push_back(b.And(pick(), pick()));
+        break;
+      case 2:
+        wires.push_back(b.Not(pick()));
+        break;
+      case 3:
+        wires.push_back(b.Or(pick(), pick()));
+        break;
+      case 4: {
+        CircuitBuilder::Word a = {pick(), pick(), pick()};
+        CircuitBuilder::Word c = {pick(), pick(), pick()};
+        for (uint32_t w : b.AddW(a, c)) wires.push_back(w);
+        break;
+      }
+      case 5: {
+        CircuitBuilder::Word t = {pick(), pick()};
+        CircuitBuilder::Word f = {pick(), pick()};
+        for (uint32_t w : b.Mux(pick(), t, f)) wires.push_back(w);
+        break;
+      }
+    }
+  }
+  int num_outputs = 1 + static_cast<int>(rng.NextU64Below(8));
+  for (int i = 0; i < num_outputs; ++i) b.AddOutput(pick());
+  return b.Build();
+}
+
+BitVec RandomBits(Rng& rng, uint32_t n) {
+  BitVec out(n);
+  for (uint32_t i = 0; i < n; ++i) out.Set(i, rng.NextBool());
+  return out;
+}
+
+BitVec GarbleEval(const Circuit& c, const BitVec& gb, const BitVec& eb,
+                  uint64_t seed, bool classic) {
+  Prg prg(Block(seed, ~seed));
+  std::vector<Block> active;
+  if (!classic) {
+    GarbledCircuit gc = Garble(c, prg);
+    for (uint32_t i = 0; i < c.garbler_inputs(); ++i) {
+      active.push_back(gc.input_labels[i][gb.Get(i)]);
+    }
+    for (uint32_t i = 0; i < c.evaluator_inputs(); ++i) {
+      active.push_back(gc.input_labels[c.garbler_inputs() + i][eb.Get(i)]);
+    }
+    return DecodeOutputs(EvaluateGarbled(c, gc.and_tables, active),
+                         gc.output_decode);
+  }
+  ClassicGarbledCircuit gc = GarbleClassic(c, prg);
+  for (uint32_t i = 0; i < c.garbler_inputs(); ++i) {
+    active.push_back(gc.input_labels[i][gb.Get(i)]);
+  }
+  for (uint32_t i = 0; i < c.evaluator_inputs(); ++i) {
+    active.push_back(gc.input_labels[c.garbler_inputs() + i][eb.Get(i)]);
+  }
+  return DecodeOutputs(EvaluateClassic(c, gc.and_tables, active),
+                       gc.output_decode);
+}
+
+TEST(FuzzTest, GarblingAgreesWithPlaintextOnRandomCircuits) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 40; ++trial) {
+    uint32_t g = 1 + rng.NextU64Below(6);
+    uint32_t e = 1 + rng.NextU64Below(6);
+    Circuit c = RandomCircuit(rng, g, e, 20 + trial);
+    for (int input_trial = 0; input_trial < 4; ++input_trial) {
+      BitVec gb = RandomBits(rng, g);
+      BitVec eb = RandomBits(rng, e);
+      BitVec want = c.Evaluate(gb, eb);
+      ASSERT_TRUE(GarbleEval(c, gb, eb, trial * 7 + input_trial, false) ==
+                  want)
+          << "half-gates trial " << trial;
+      ASSERT_TRUE(GarbleEval(c, gb, eb, trial * 11 + input_trial, true) ==
+                  want)
+          << "classic trial " << trial;
+    }
+  }
+}
+
+TEST(FuzzTest, OptimizerAgreesWithPlaintextOnRandomCircuits) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 60; ++trial) {
+    uint32_t g = 1 + rng.NextU64Below(5);
+    uint32_t e = 1 + rng.NextU64Below(5);
+    Circuit c = RandomCircuit(rng, g, e, 30);
+    OptimizeStats stats;
+    Circuit opt = OptimizeCircuit(c, &stats);
+    EXPECT_LE(stats.and_after, stats.and_before);
+    for (int input_trial = 0; input_trial < 6; ++input_trial) {
+      BitVec gb = RandomBits(rng, g);
+      BitVec eb = RandomBits(rng, e);
+      ASSERT_TRUE(opt.Evaluate(gb, eb) == c.Evaluate(gb, eb))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(FuzzTest, SerializationRoundTripsRandomCircuits) {
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 25; ++trial) {
+    Circuit c = RandomCircuit(rng, 3, 3, 25);
+    MemChannelPair channel;
+    std::thread sender([&] { SendCircuit(channel.endpoint(0), c); });
+    Circuit received = RecvCircuit(channel.endpoint(1));
+    sender.join();
+    ASSERT_EQ(received.num_wires(), c.num_wires());
+    ASSERT_EQ(received.gates().size(), c.gates().size());
+    BitVec gb = RandomBits(rng, 3);
+    BitVec eb = RandomBits(rng, 3);
+    ASSERT_TRUE(received.Evaluate(gb, eb) == c.Evaluate(gb, eb));
+  }
+}
+
+TEST(FuzzTest, GmwAgreesWithPlaintextOnRandomCircuits) {
+  MemChannelPair channel;
+  GmwParty p0(0, channel.endpoint(0));
+  GmwParty p1(1, channel.endpoint(1));
+  Rng rng0(1), rng1(2);
+  std::thread setup([&] { p0.Setup(rng0); });
+  p1.Setup(rng1);
+  setup.join();
+
+  Rng rng(0xD1CE);
+  for (int trial = 0; trial < 12; ++trial) {
+    uint32_t g = 1 + rng.NextU64Below(4);
+    uint32_t e = 1 + rng.NextU64Below(4);
+    Circuit c = RandomCircuit(rng, g, e, 25);
+    BitVec gb = RandomBits(rng, g);
+    BitVec eb = RandomBits(rng, e);
+    BitVec want = c.Evaluate(gb, eb);
+    BitVec out0, out1;
+    std::thread t([&] { out0 = p0.Evaluate(c, gb, rng0); });
+    out1 = p1.Evaluate(c, eb, rng1);
+    t.join();
+    ASSERT_TRUE(out0 == want) << "trial " << trial;
+    ASSERT_TRUE(out1 == want) << "trial " << trial;
+  }
+}
+
+TEST(FuzzTest, OptimizedCircuitsRunOnGmw) {
+  // Full composition on the sharing backend too.
+  MemChannelPair channel;
+  GmwParty p0(0, channel.endpoint(0));
+  GmwParty p1(1, channel.endpoint(1));
+  Rng rng0(3), rng1(4);
+  std::thread setup([&] { p0.Setup(rng0); });
+  p1.Setup(rng1);
+  setup.join();
+  Rng rng(0x5EED);
+  for (int trial = 0; trial < 6; ++trial) {
+    Circuit c = OptimizeCircuit(RandomCircuit(rng, 3, 3, 25), nullptr);
+    BitVec gb = RandomBits(rng, 3);
+    BitVec eb = RandomBits(rng, 3);
+    BitVec want = c.Evaluate(gb, eb);
+    BitVec out0, out1;
+    std::thread t([&] { out0 = p0.Evaluate(c, gb, rng0); });
+    out1 = p1.Evaluate(c, eb, rng1);
+    t.join();
+    ASSERT_TRUE(out0 == want);
+    ASSERT_TRUE(out1 == want);
+  }
+}
+
+TEST(FuzzTest, OptimizedCircuitsGarbleCorrectly) {
+  // The composition used in production: build -> optimize -> garble.
+  Rng rng(0xABCD);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint32_t g = 1 + rng.NextU64Below(4);
+    uint32_t e = 1 + rng.NextU64Below(4);
+    Circuit c = OptimizeCircuit(RandomCircuit(rng, g, e, 30), nullptr);
+    BitVec gb = RandomBits(rng, g);
+    BitVec eb = RandomBits(rng, e);
+    ASSERT_TRUE(GarbleEval(c, gb, eb, trial, false) == c.Evaluate(gb, eb));
+  }
+}
+
+}  // namespace
+}  // namespace pafs

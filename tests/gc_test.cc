@@ -1,0 +1,245 @@
+// Tests for garbling and the two-party GC protocol. The key property
+// throughout: the garbled execution matches Circuit::Evaluate bit-for-bit
+// on every input, for both the half-gates and classic schemes.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "gc/garble.h"
+#include "gc/protocol.h"
+#include "net/channel.h"
+#include "ot/iknp.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// Local garble-then-evaluate with chosen input bits (no network, no OT).
+BitVec GarbleEvalLocal(const Circuit& circuit, const BitVec& garbler_bits,
+                       const BitVec& evaluator_bits, uint64_t seed,
+                       bool classic = false) {
+  Prg prg(Block(seed, seed + 1));
+  std::vector<Block> active;
+  BitVec decode;
+  if (!classic) {
+    GarbledCircuit gc = Garble(circuit, prg);
+    for (uint32_t i = 0; i < circuit.garbler_inputs(); ++i) {
+      active.push_back(gc.input_labels[i][garbler_bits.Get(i)]);
+    }
+    for (uint32_t i = 0; i < circuit.evaluator_inputs(); ++i) {
+      active.push_back(
+          gc.input_labels[circuit.garbler_inputs() + i][evaluator_bits.Get(i)]);
+    }
+    return DecodeOutputs(EvaluateGarbled(circuit, gc.and_tables, active),
+                         gc.output_decode);
+  }
+  ClassicGarbledCircuit gc = GarbleClassic(circuit, prg);
+  for (uint32_t i = 0; i < circuit.garbler_inputs(); ++i) {
+    active.push_back(gc.input_labels[i][garbler_bits.Get(i)]);
+  }
+  for (uint32_t i = 0; i < circuit.evaluator_inputs(); ++i) {
+    active.push_back(
+        gc.input_labels[circuit.garbler_inputs() + i][evaluator_bits.Get(i)]);
+  }
+  return DecodeOutputs(EvaluateClassic(circuit, gc.and_tables, active),
+                       gc.output_decode);
+}
+
+Circuit BuildAdderCircuit(uint32_t width) {
+  CircuitBuilder b(width, width);
+  b.AddOutputWord(b.AddW(b.GarblerWord(0, width), b.EvaluatorWord(0, width)));
+  return b.Build();
+}
+
+TEST(GarbleTest, SingleAndGateExhaustive) {
+  CircuitBuilder b(1, 1);
+  b.AddOutput(b.And(b.GarblerInput(0), b.EvaluatorInput(0)));
+  Circuit c = b.Build();
+  for (int g = 0; g < 2; ++g) {
+    for (int e = 0; e < 2; ++e) {
+      BitVec got = GarbleEvalLocal(c, BitVec::FromU64(g, 1),
+                                   BitVec::FromU64(e, 1), 42);
+      EXPECT_EQ(got.Get(0), g && e) << g << "&" << e;
+    }
+  }
+}
+
+TEST(GarbleTest, XorNotAndMixExhaustive) {
+  CircuitBuilder b(2, 2);
+  auto g0 = b.GarblerInput(0);
+  auto g1 = b.GarblerInput(1);
+  auto e0 = b.EvaluatorInput(0);
+  auto e1 = b.EvaluatorInput(1);
+  b.AddOutput(b.Xor(b.And(g0, e0), b.Not(b.And(g1, e1))));
+  b.AddOutput(b.Or(g0, e1));
+  Circuit c = b.Build();
+  for (uint64_t g = 0; g < 4; ++g) {
+    for (uint64_t e = 0; e < 4; ++e) {
+      BitVec expected = c.Evaluate(BitVec::FromU64(g, 2), BitVec::FromU64(e, 2));
+      BitVec got =
+          GarbleEvalLocal(c, BitVec::FromU64(g, 2), BitVec::FromU64(e, 2), 7);
+      EXPECT_TRUE(got == expected) << "g=" << g << " e=" << e;
+    }
+  }
+}
+
+TEST(GarbleTest, AdderMatchesPlaintextAcrossSeeds) {
+  Circuit c = BuildAdderCircuit(8);
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    uint64_t a = rng.NextU64Below(256);
+    uint64_t b = rng.NextU64Below(256);
+    BitVec got = GarbleEvalLocal(c, BitVec::FromU64(a, 8),
+                                 BitVec::FromU64(b, 8), trial);
+    EXPECT_EQ(got.ToU64(0, 8), (a + b) & 255) << a << "+" << b;
+  }
+}
+
+TEST(GarbleTest, ClassicSchemeMatchesPlaintext) {
+  Circuit c = BuildAdderCircuit(8);
+  Rng rng(6);
+  for (int trial = 0; trial < 15; ++trial) {
+    uint64_t a = rng.NextU64Below(256);
+    uint64_t b = rng.NextU64Below(256);
+    BitVec got = GarbleEvalLocal(c, BitVec::FromU64(a, 8),
+                                 BitVec::FromU64(b, 8), trial, /*classic=*/true);
+    EXPECT_EQ(got.ToU64(0, 8), (a + b) & 255);
+  }
+}
+
+TEST(GarbleTest, ConstantWiresGarbleCorrectly) {
+  CircuitBuilder b(1, 1);
+  auto k = b.ConstantWord(0b1010, 4);
+  auto x = b.EvaluatorWord(0, 1);
+  b.AddOutputWord(k);
+  b.AddOutput(b.And(b.GarblerInput(0), x[0]));
+  Circuit c = b.Build();
+  for (int g = 0; g < 2; ++g) {
+    for (int e = 0; e < 2; ++e) {
+      BitVec got = GarbleEvalLocal(c, BitVec::FromU64(g, 1),
+                                   BitVec::FromU64(e, 1), 11);
+      EXPECT_EQ(got.ToU64(0, 4), 0b1010u);
+      EXPECT_EQ(got.Get(4), g && e);
+    }
+  }
+}
+
+TEST(GarbleTest, TableSizesMatchAndCount) {
+  Circuit c = BuildAdderCircuit(16);
+  Prg prg(Block(1, 2));
+  GarbledCircuit half = Garble(c, prg);
+  Prg prg2(Block(1, 2));
+  ClassicGarbledCircuit classic = GarbleClassic(c, prg2);
+  size_t and_gates = c.Stats().and_gates;
+  EXPECT_EQ(half.and_tables.size(), and_gates);
+  EXPECT_EQ(classic.and_tables.size(), and_gates);
+}
+
+TEST(GarbleTest, DeltaLsbIsOne) {
+  Circuit c = BuildAdderCircuit(4);
+  Prg prg(Block(9, 9));
+  GarbledCircuit gc = Garble(c, prg);
+  EXPECT_TRUE(gc.delta.GetLsb());
+  // Point-and-permute depends on label pairs having opposite lsbs.
+  for (const auto& pair : gc.input_labels) {
+    EXPECT_NE(pair[0].GetLsb(), pair[1].GetLsb());
+  }
+}
+
+// End-to-end protocol over channels + OT, both schemes.
+class GcProtocolTest : public ::testing::TestWithParam<GarblingScheme> {
+ protected:
+  BitVec RunProtocol(const Circuit& circuit, const BitVec& garbler_bits,
+                     const BitVec& evaluator_bits) {
+    BitVec garbler_view;
+    std::thread garbler([&] {
+      garbler_view = GcRunGarbler(pair_.endpoint(0), circuit, garbler_bits,
+                                  ot_sender_, garbler_rng_, GetParam());
+    });
+    BitVec evaluator_view = GcRunEvaluator(
+        pair_.endpoint(1), circuit, evaluator_bits, ot_receiver_,
+        evaluator_rng_, GetParam());
+    garbler.join();
+    EXPECT_TRUE(garbler_view == evaluator_view);
+    return evaluator_view;
+  }
+
+  MemChannelPair pair_;
+  OtExtSender ot_sender_;
+  OtExtReceiver ot_receiver_;
+  Rng garbler_rng_{101}, evaluator_rng_{202};
+};
+
+TEST_P(GcProtocolTest, AdderEndToEnd) {
+  Circuit c = BuildAdderCircuit(8);
+  BitVec out = RunProtocol(c, BitVec::FromU64(77, 8), BitVec::FromU64(123, 8));
+  EXPECT_EQ(out.ToU64(0, 8), (77 + 123) & 255);
+}
+
+TEST_P(GcProtocolTest, ComparisonEndToEnd) {
+  CircuitBuilder b(8, 8);
+  b.AddOutput(b.LessThanUnsigned(b.GarblerWord(0, 8), b.EvaluatorWord(0, 8)));
+  Circuit c = b.Build();
+  EXPECT_EQ(RunProtocol(c, BitVec::FromU64(5, 8), BitVec::FromU64(9, 8)).Get(0),
+            true);
+  EXPECT_EQ(
+      RunProtocol(c, BitVec::FromU64(200, 8), BitVec::FromU64(9, 8)).Get(0),
+      false);
+}
+
+TEST_P(GcProtocolTest, SessionReuseAcrossCircuits) {
+  // OT session persists across protocol runs (amortized base OTs).
+  Circuit adder = BuildAdderCircuit(6);
+  for (uint64_t trial = 0; trial < 3; ++trial) {
+    BitVec out = RunProtocol(adder, BitVec::FromU64(trial * 3, 6),
+                             BitVec::FromU64(trial * 5, 6));
+    EXPECT_EQ(out.ToU64(0, 6), (trial * 3 + trial * 5) & 63);
+  }
+}
+
+TEST_P(GcProtocolTest, GarblerOnlyInputs) {
+  CircuitBuilder b(4, 0);
+  b.AddOutputWord(b.NotW(b.GarblerWord(0, 4)));
+  Circuit c = b.Build();
+  BitVec out = RunProtocol(c, BitVec::FromU64(0b0110, 4), BitVec(0));
+  EXPECT_EQ(out.ToU64(0, 4), 0b1001u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, GcProtocolTest,
+                         ::testing::Values(GarblingScheme::kHalfGates,
+                                           GarblingScheme::kClassic),
+                         [](const auto& info) {
+                           return info.param == GarblingScheme::kHalfGates
+                                      ? "HalfGates"
+                                      : "Classic";
+                         });
+
+TEST(GcTrafficTest, HalfGatesHalvesTableTraffic) {
+  Circuit c = BuildAdderCircuit(32);
+
+  auto run = [&](GarblingScheme scheme) {
+    MemChannelPair pair;
+    OtExtSender s;
+    OtExtReceiver r;
+    Rng rng_g(1), rng_e(2);
+    BitVec out;
+    std::thread garbler([&] {
+      GcRunGarbler(pair.endpoint(0), c, BitVec::FromU64(1, 32), s, rng_g,
+                   scheme);
+    });
+    out = GcRunEvaluator(pair.endpoint(1), c, BitVec::FromU64(2, 32), r, rng_e,
+                         scheme);
+    garbler.join();
+    EXPECT_EQ(out.ToU64(0, 32), 3u);
+    return pair.TotalBytes();
+  };
+
+  uint64_t half_bytes = run(GarblingScheme::kHalfGates);
+  uint64_t classic_bytes = run(GarblingScheme::kClassic);
+  EXPECT_LT(half_bytes, classic_bytes);
+}
+
+}  // namespace
+}  // namespace pafs

@@ -1,0 +1,137 @@
+// Cross-module integration tests: the full paper workflow end-to-end,
+// including persistence, both cohorts, the k-anonymity constraint, and
+// consistency between the selector's model and the measured protocol.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/csv.h"
+#include "data/hypertension_gen.h"
+#include "data/warfarin_gen.h"
+#include "ml/metrics.h"
+#include "ml/model_io.h"
+#include "privacy/inference_attack.h"
+#include "smc/secure_nb.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+TEST(IntegrationTest, FullPaperWorkflowWarfarin) {
+  // 1. Cohort -> CSV -> reload (the data path a real deployment takes).
+  Rng rng(1);
+  Dataset cohort = GenerateWarfarinCohort(2500, rng);
+  std::string csv = "/tmp/pafs_integration.csv";
+  ASSERT_TRUE(SaveCsv(cohort, csv).ok());
+  StatusOr<Dataset> loaded = LoadCsv(csv, cohort.features(),
+                                     cohort.num_classes());
+  ASSERT_TRUE(loaded.ok());
+  std::remove(csv.c_str());
+
+  // 2. Pipeline with a moderate privacy budget.
+  PipelineConfig config;
+  config.classifier = ClassifierKind::kDecisionTree;
+  config.risk_budget = 0.05;
+  SecureClassificationPipeline pipeline(loaded.value(), config);
+  EXPECT_LE(pipeline.plan().risk_lift, 0.05 + 1e-9);
+  EXPECT_GT(pipeline.plan().speedup_vs_pure, 1.5);
+
+  // 3. Secure classification matches the plaintext model on a batch.
+  for (size_t i = 0; i < 6; ++i) {
+    const std::vector<int>& row = loaded.value().row(i * 199);
+    SmcRunStats stats = pipeline.Classify(row);
+    ASSERT_EQ(stats.predicted_class, pipeline.PlaintextPredict(row));
+  }
+
+  // 4. The disclosure the plan makes is within budget against an actual
+  // attack (Chow-Liu adversary on a disjoint sample).
+  Rng attack_rng(2);
+  Dataset attack_world = GenerateWarfarinCohort(6000, attack_rng);
+  auto [public_half, victims] = attack_world.Split(0.5, attack_rng);
+  ChowLiuTree adversary;
+  adversary.Train(public_half);
+  auto results =
+      RunInferenceAttack(adversary, victims, pipeline.plan().features);
+  for (const AttackResult& r : results) {
+    EXPECT_LE(r.attack_accuracy - r.baseline_accuracy,
+              config.risk_budget + 0.03)
+        << "attack gain exceeds budget for feature " << r.sensitive_feature;
+  }
+}
+
+TEST(IntegrationTest, ModelPersistenceFeedsProtocol) {
+  // Train -> save -> load -> the loaded model drives the secure protocol
+  // and agrees with the original everywhere.
+  Rng rng(3);
+  Dataset cohort = GenerateWarfarinCohort(1200, rng);
+  NaiveBayes original;
+  original.Train(cohort);
+  std::string path = "/tmp/pafs_integration.model";
+  ASSERT_TRUE(SaveNaiveBayes(original, path).ok());
+  StatusOr<NaiveBayes> loaded = LoadNaiveBayes(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  SecureNbCircuit spec(cohort.features(), cohort.num_classes(), {});
+  BitVec bits_original = spec.EncodeModel(original, {});
+  BitVec bits_loaded = spec.EncodeModel(loaded.value(), {});
+  EXPECT_TRUE(bits_original == bits_loaded);  // Bit-exact garbler inputs.
+}
+
+TEST(IntegrationTest, KAnonymityConstraintTightensPlans) {
+  Rng rng(4);
+  Dataset cohort = GenerateWarfarinCohort(3000, rng);
+  CostCalibration cal;
+  SmcCostModel cost_model(cohort.features(), cohort.num_classes(), cal);
+  DisclosureSelector selector(cohort, cost_model,
+                              ClassifierKind::kNaiveBayes);
+
+  DisclosurePlan unconstrained = selector.SelectGreedy(0.5);
+  DisclosurePlan k50 = selector.SelectGreedy(
+      0.5, GreedyObjective::kMaxCostGain, /*incremental=*/true,
+      /*min_cell_size=*/50);
+  // The k-anonymity rule can only shrink (or keep) the disclosure set.
+  EXPECT_LE(k50.features.size(), unconstrained.features.size());
+  // And the selected set must actually satisfy the constraint.
+  DisclosureRisk risk(cohort);
+  EXPECT_GE(risk.Evaluate(k50.features).min_cell_size, 50u);
+}
+
+TEST(IntegrationTest, BudgetZeroMeansPureSmc) {
+  Rng rng(5);
+  Dataset cohort = GenerateHypertensionCohort(1000, rng);
+  PipelineConfig config;
+  config.classifier = ClassifierKind::kNaiveBayes;
+  config.risk_budget = 0.0;
+  SecureClassificationPipeline pipeline(cohort, config);
+  // Budget zero admits only disclosures with exactly zero measured lift
+  // (features whose cells all keep the genotype mode unchanged).
+  EXPECT_EQ(pipeline.plan().risk_lift, 0.0);
+  const std::vector<int>& row = cohort.row(9);
+  SmcRunStats stats = pipeline.Classify(row);
+  EXPECT_EQ(stats.predicted_class, pipeline.PlaintextPredict(row));
+}
+
+TEST(IntegrationTest, SecureAccuracyEqualsPlaintextAccuracy) {
+  // The end-to-end clinical question: does the secure pipeline cost any
+  // accuracy? It must not (GC classifiers are exact).
+  Rng rng(6);
+  Dataset train = GenerateWarfarinCohort(2000, rng);
+  Dataset test = GenerateWarfarinCohort(60, rng);
+  PipelineConfig config;
+  config.classifier = ClassifierKind::kDecisionTree;
+  config.risk_budget = 0.1;
+  SecureClassificationPipeline pipeline(train, config);
+  std::vector<int> secure_preds, plain_preds, truth;
+  for (size_t i = 0; i < test.size(); ++i) {
+    secure_preds.push_back(pipeline.Classify(test.row(i)).predicted_class);
+    plain_preds.push_back(pipeline.PlaintextPredict(test.row(i)));
+    truth.push_back(test.label(i));
+  }
+  EXPECT_EQ(Accuracy(secure_preds, truth), Accuracy(plain_preds, truth));
+  EXPECT_EQ(secure_preds, plain_preds);
+}
+
+}  // namespace
+}  // namespace pafs

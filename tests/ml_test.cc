@@ -1,0 +1,331 @@
+// Tests for the plaintext ML substrate: dataset mechanics, naive Bayes,
+// decision trees (including specialization), linear models, and metrics.
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/warfarin_gen.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_model.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// A small dataset with a crisp pattern: label = (f0 AND f2-is-2).
+Dataset MakeToyDataset(size_t n, Rng& rng) {
+  std::vector<FeatureSpec> features = {
+      {"f0", 2, false}, {"f1", 3, false}, {"f2", 4, true}};
+  Dataset data(features, 2);
+  for (size_t i = 0; i < n; ++i) {
+    int f0 = rng.NextInt(0, 1);
+    int f1 = rng.NextInt(0, 2);
+    int f2 = rng.NextInt(0, 3);
+    int label = (f0 == 1 && f2 == 2) ? 1 : 0;
+    data.AddRow({f0, f1, f2}, label);
+  }
+  return data;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Rng rng(1);
+  Dataset data = MakeToyDataset(50, rng);
+  EXPECT_EQ(data.num_features(), 3);
+  EXPECT_EQ(data.num_classes(), 2);
+  EXPECT_EQ(data.size(), 50u);
+  EXPECT_EQ(data.FeatureCardinality(2), 4);
+  EXPECT_EQ(data.SensitiveFeatures(), std::vector<int>{2});
+  EXPECT_EQ(data.PublicCandidateFeatures(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(data.FeatureIndex("f1"), 1);
+}
+
+TEST(DatasetTest, ClassPriorsSumToOne) {
+  Rng rng(2);
+  Dataset data = MakeToyDataset(200, rng);
+  std::vector<double> priors = data.ClassPriors();
+  EXPECT_NEAR(priors[0] + priors[1], 1.0, 1e-12);
+  EXPECT_GT(priors[0], priors[1]);  // Label 1 needs f0=1 AND f2=2.
+}
+
+TEST(DatasetTest, SplitPreservesRows) {
+  Rng rng(3);
+  Dataset data = MakeToyDataset(100, rng);
+  auto [a, b] = data.Split(0.7, rng);
+  EXPECT_EQ(a.size(), 70u);
+  EXPECT_EQ(b.size(), 30u);
+}
+
+TEST(DatasetTest, KFoldPartitionsEverything) {
+  Rng rng(4);
+  Dataset data = MakeToyDataset(103, rng);
+  auto folds = data.KFoldIndices(5, rng);
+  size_t total = 0;
+  std::vector<bool> seen(103, false);
+  for (const auto& fold : folds) {
+    total += fold.size();
+    for (size_t i : fold) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(DatasetTest, AppendLabelAsFeatureRoundTrip) {
+  Rng rng(19);
+  Dataset data = MakeToyDataset(50, rng);
+  Dataset extended = AppendLabelAsFeature(data, "outcome");
+  EXPECT_EQ(extended.num_features(), data.num_features() + 1);
+  EXPECT_EQ(extended.features().back().name, "outcome");
+  EXPECT_EQ(extended.features().back().cardinality, data.num_classes());
+  EXPECT_FALSE(extended.features().back().sensitive);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(extended.row(i).back(), data.label(i));
+    EXPECT_EQ(extended.label(i), data.label(i));
+  }
+}
+
+TEST(NaiveBayesTest, LearnsCrispPattern) {
+  Rng rng(5);
+  Dataset train = MakeToyDataset(2000, rng);
+  NaiveBayes nb;
+  nb.Train(train);
+  // NB can't represent the conjunction exactly but should beat the prior.
+  Dataset test = MakeToyDataset(500, rng);
+  std::vector<int> preds, truth;
+  for (size_t i = 0; i < test.size(); ++i) {
+    preds.push_back(nb.Predict(test.row(i)));
+    truth.push_back(test.label(i));
+  }
+  EXPECT_GT(Accuracy(preds, truth), 0.8);
+}
+
+TEST(NaiveBayesTest, LogScoresAreLogProbabilities) {
+  Rng rng(6);
+  Dataset train = MakeToyDataset(500, rng);
+  NaiveBayes nb;
+  nb.Train(train);
+  std::vector<double> scores = nb.ClassLogScores({1, 0, 2});
+  for (double s : scores) EXPECT_LT(s, 0.0);
+  // Likelihoods per feature sum to 1 over values.
+  for (int f = 0; f < 3; ++f) {
+    int card = train.FeatureCardinality(f);
+    for (int c = 0; c < 2; ++c) {
+      double total = 0;
+      for (int v = 0; v < card; ++v) total += std::exp(nb.log_likelihood(f, v, c));
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(NaiveBayesTest, FixedPointMatchesFloatArgmax) {
+  Rng rng(7);
+  Dataset train = MakeToyDataset(1000, rng);
+  NaiveBayes nb;
+  nb.Train(train);
+  const int64_t scale = 1 << 10;
+  auto fixed_priors = nb.FixedPriors(scale);
+  auto fixed_lik = nb.FixedLikelihoods(scale);
+  Dataset test = MakeToyDataset(300, rng);
+  int disagreements = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const auto& row = test.row(i);
+    int64_t best_score = INT64_MIN;
+    int best = -1;
+    for (int c = 0; c < 2; ++c) {
+      int64_t score = fixed_priors[c];
+      for (int f = 0; f < 3; ++f) score += fixed_lik[f][row[f]][c];
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best != nb.Predict(row)) ++disagreements;
+  }
+  // Rounding can flip near-ties only.
+  EXPECT_LE(disagreements, 3);
+}
+
+TEST(DecisionTreeTest, LearnsCrispPatternExactly) {
+  Rng rng(8);
+  Dataset train = MakeToyDataset(3000, rng);
+  DecisionTree tree;
+  tree.Train(train);
+  Dataset test = MakeToyDataset(500, rng);
+  std::vector<int> preds, truth;
+  for (size_t i = 0; i < test.size(); ++i) {
+    preds.push_back(tree.Predict(test.row(i)));
+    truth.push_back(test.label(i));
+  }
+  EXPECT_GT(Accuracy(preds, truth), 0.97);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(9);
+  Dataset train = MakeToyDataset(1000, rng);
+  DecisionTree tree;
+  TreeParams params;
+  params.max_depth = 1;
+  tree.Train(train, params);
+  EXPECT_LE(tree.Depth(), 1);
+}
+
+TEST(DecisionTreeTest, SpecializePreservesPredictions) {
+  Rng rng(10);
+  Dataset train = GenerateWarfarinCohort(2000, rng);
+  DecisionTree tree;
+  tree.Train(train);
+
+  // Disclose race and age; the specialized tree must agree with the full
+  // tree on every row consistent with the disclosure.
+  for (int race = 0; race < 4; ++race) {
+    std::map<int, int> disclosed = {{WarfarinSchema::kRace, race},
+                                    {WarfarinSchema::kAge, 5}};
+    DecisionTree small = tree.Specialize(disclosed);
+    EXPECT_LE(small.NumNodes(), tree.NumNodes());
+    for (size_t i = 0; i < train.size(); ++i) {
+      std::vector<int> row = train.row(i);
+      row[WarfarinSchema::kRace] = race;
+      row[WarfarinSchema::kAge] = 5;
+      ASSERT_EQ(small.Predict(row), tree.Predict(row)) << "row " << i;
+    }
+  }
+}
+
+TEST(DecisionTreeTest, SpecializeOnAllUsedFeaturesYieldsLeaf) {
+  Rng rng(11);
+  Dataset train = MakeToyDataset(2000, rng);
+  DecisionTree tree;
+  tree.Train(train);
+  std::map<int, int> all = {{0, 1}, {1, 0}, {2, 2}};
+  DecisionTree leaf = tree.Specialize(all);
+  EXPECT_EQ(leaf.NumNodes(), 1u);
+  EXPECT_EQ(leaf.Predict({1, 0, 2}), tree.Predict({1, 0, 2}));
+}
+
+TEST(DecisionTreeTest, UsedFeaturesSubsetOfSchema) {
+  Rng rng(12);
+  Dataset train = GenerateWarfarinCohort(1500, rng);
+  DecisionTree tree;
+  tree.Train(train);
+  for (int f : tree.UsedFeatures()) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, train.num_features());
+  }
+  EXPECT_FALSE(tree.UsedFeatures().empty());
+}
+
+TEST(LinearModelTest, LogisticLearnsSeparablePattern) {
+  Rng rng(13);
+  // Label directly determined by f0: linearly separable in one-hot space.
+  std::vector<FeatureSpec> features = {{"f0", 2, false}, {"f1", 3, false}};
+  Dataset data(features, 2);
+  for (int i = 0; i < 800; ++i) {
+    int f0 = rng.NextInt(0, 1);
+    data.AddRow({f0, rng.NextInt(0, 2)}, f0);
+  }
+  LinearModel model;
+  model.Train(data, LinearTrainParams());
+  int correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    correct += model.Predict(data.row(i)) == data.label(i);
+  }
+  EXPECT_GT(correct / static_cast<double>(data.size()), 0.99);
+}
+
+TEST(LinearModelTest, HingeLossAlsoLearns) {
+  Rng rng(14);
+  Dataset train = GenerateWarfarinCohort(2000, rng);
+  LinearTrainParams params;
+  params.loss = LinearLoss::kHinge;
+  LinearModel model;
+  model.Train(train, params);
+  Dataset test = GenerateWarfarinCohort(500, rng);
+  std::vector<int> preds, truth;
+  for (size_t i = 0; i < test.size(); ++i) {
+    preds.push_back(model.Predict(test.row(i)));
+    truth.push_back(test.label(i));
+  }
+  // Must clearly beat the majority baseline.
+  std::vector<double> priors = test.ClassPriors();
+  double majority = *std::max_element(priors.begin(), priors.end());
+  EXPECT_GT(Accuracy(preds, truth), majority + 0.05);
+}
+
+TEST(LinearModelTest, OneHotLayout) {
+  Rng rng(15);
+  Dataset train = MakeToyDataset(100, rng);
+  LinearModel model;
+  model.Train(train, LinearTrainParams());
+  EXPECT_EQ(model.dim(), 2 + 3 + 4);
+  EXPECT_EQ(model.FeatureOffset(0), 0);
+  EXPECT_EQ(model.FeatureOffset(1), 2);
+  EXPECT_EQ(model.FeatureOffset(2), 5);
+  EXPECT_EQ(model.FeatureCardinality(1), 3);
+  EXPECT_EQ(model.FeatureCardinality(2), 4);
+}
+
+TEST(LinearModelTest, FixedPointPreservesArgmaxMostly) {
+  Rng rng(16);
+  Dataset train = GenerateWarfarinCohort(1500, rng);
+  LinearModel model;
+  model.Train(train, LinearTrainParams());
+  const int64_t scale = 1 << 12;
+  auto w = model.FixedWeights(scale);
+  auto b = model.FixedBias(scale);
+  Dataset test = GenerateWarfarinCohort(300, rng);
+  int disagreements = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const auto& row = test.row(i);
+    int64_t best_score = INT64_MIN;
+    int best = -1;
+    for (int c = 0; c < 3; ++c) {
+      int64_t score = b[c];
+      for (int f = 0; f < test.num_features(); ++f) {
+        score += w[c][model.FeatureOffset(f) + row[f]];
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best != model.Predict(row)) ++disagreements;
+  }
+  EXPECT_LE(disagreements, 5);
+}
+
+TEST(MetricsTest, AccuracyAndConfusion) {
+  std::vector<int> pred = {0, 1, 1, 0, 2};
+  std::vector<int> truth = {0, 1, 0, 0, 2};
+  EXPECT_NEAR(Accuracy(pred, truth), 0.8, 1e-12);
+  auto confusion = ConfusionMatrix(pred, truth, 3);
+  EXPECT_EQ(confusion[0][0], 2);
+  EXPECT_EQ(confusion[0][1], 1);
+  EXPECT_EQ(confusion[1][1], 1);
+  EXPECT_EQ(confusion[2][2], 1);
+}
+
+TEST(MetricsTest, MacroF1PerfectPrediction) {
+  std::vector<int> v = {0, 1, 2, 0, 1, 2};
+  EXPECT_NEAR(MacroF1(v, v, 3), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, CrossValidateRunsAllFolds) {
+  Rng rng(17);
+  Dataset data = MakeToyDataset(500, rng);
+  DecisionTree tree;
+  std::vector<double> accs = CrossValidate(
+      data, 5, rng, [&](const Dataset& train) { tree.Train(train); },
+      [&](const std::vector<int>& row) { return tree.Predict(row); });
+  EXPECT_EQ(accs.size(), 5u);
+  EXPECT_GT(Mean(accs), 0.9);
+  EXPECT_GE(StdDev(accs), 0.0);
+}
+
+}  // namespace
+}  // namespace pafs

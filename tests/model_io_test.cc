@@ -1,0 +1,143 @@
+// Tests for model persistence: exact round-trips (hex-float parameters),
+// format validation, and cross-component use (loaded model drives the
+// secure protocol identically).
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/warfarin_gen.h"
+#include "ml/model_io.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  ModelIoTest() : rng_(55), data_(GenerateWarfarinCohort(1200, rng_)) {}
+
+  ~ModelIoTest() override { std::remove(path_.c_str()); }
+
+  Rng rng_;
+  Dataset data_;
+  std::string path_ = "/tmp/pafs_model_io_test.model";
+};
+
+TEST_F(ModelIoTest, NaiveBayesExactRoundTrip) {
+  NaiveBayes model;
+  model.Train(data_);
+  ASSERT_TRUE(SaveNaiveBayes(model, path_).ok());
+  StatusOr<NaiveBayes> loaded = LoadNaiveBayes(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().num_classes(), model.num_classes());
+  ASSERT_EQ(loaded.value().num_features(), model.num_features());
+  // Hex-float serialization: bit-exact parameters.
+  for (int c = 0; c < model.num_classes(); ++c) {
+    EXPECT_EQ(loaded.value().log_prior(c), model.log_prior(c));
+  }
+  for (int f = 0; f < model.num_features(); ++f) {
+    for (int v = 0; v < model.feature_cardinality(f); ++v) {
+      for (int c = 0; c < model.num_classes(); ++c) {
+        ASSERT_EQ(loaded.value().log_likelihood(f, v, c),
+                  model.log_likelihood(f, v, c));
+      }
+    }
+  }
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(loaded.value().Predict(data_.row(i)), model.Predict(data_.row(i)));
+  }
+}
+
+TEST_F(ModelIoTest, DecisionTreeRoundTrip) {
+  DecisionTree model;
+  model.Train(data_);
+  ASSERT_TRUE(SaveDecisionTree(model, path_).ok());
+  StatusOr<DecisionTree> loaded = LoadDecisionTree(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumNodes(), model.NumNodes());
+  EXPECT_EQ(loaded.value().Depth(), model.Depth());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_EQ(loaded.value().Predict(data_.row(i)), model.Predict(data_.row(i)));
+  }
+}
+
+TEST_F(ModelIoTest, LinearModelExactRoundTrip) {
+  LinearModel model;
+  model.Train(data_, LinearTrainParams());
+  ASSERT_TRUE(SaveLinearModel(model, path_).ok());
+  StatusOr<LinearModel> loaded = LoadLinearModel(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().dim(), model.dim());
+  for (int c = 0; c < model.num_classes(); ++c) {
+    EXPECT_EQ(loaded.value().bias(c), model.bias(c));
+    for (int d = 0; d < model.dim(); ++d) {
+      ASSERT_EQ(loaded.value().weight(c, d), model.weight(c, d));
+    }
+  }
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(loaded.value().Predict(data_.row(i)), model.Predict(data_.row(i)));
+  }
+}
+
+TEST_F(ModelIoTest, RandomForestRoundTrip) {
+  RandomForest model;
+  ForestParams params;
+  params.num_trees = 5;
+  model.Train(data_, params, rng_);
+  ASSERT_TRUE(SaveRandomForest(model, path_).ok());
+  StatusOr<RandomForest> loaded = LoadRandomForest(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_trees(), model.num_trees());
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(loaded.value().Predict(data_.row(i)), model.Predict(data_.row(i)));
+  }
+}
+
+TEST_F(ModelIoTest, RejectsWrongMagic) {
+  NaiveBayes nb;
+  nb.Train(data_);
+  ASSERT_TRUE(SaveNaiveBayes(nb, path_).ok());
+  // A tree loader must refuse an NB file and vice versa.
+  EXPECT_FALSE(LoadDecisionTree(path_).ok());
+  EXPECT_FALSE(LoadLinearModel(path_).ok());
+  EXPECT_FALSE(LoadRandomForest(path_).ok());
+}
+
+TEST_F(ModelIoTest, RejectsTruncatedFile) {
+  NaiveBayes nb;
+  nb.Train(data_);
+  ASSERT_TRUE(SaveNaiveBayes(nb, path_).ok());
+  // Truncate the file in the middle of the tables.
+  {
+    FILE* f = fopen(path_.c_str(), "r+");
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    ASSERT_EQ(ftruncate(fileno(f), size / 2), 0);
+    fclose(f);
+  }
+  StatusOr<NaiveBayes> loaded = LoadNaiveBayes(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, RejectsCorruptChildIndex) {
+  const char* bad =
+      "pafs_decision_tree v1\nnodes 2\nnode 0 0 2 1 99\nleaf 1\n";
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs(bad, f);
+    fclose(f);
+  }
+  StatusOr<DecisionTree> loaded = LoadDecisionTree(path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(ModelIoTest, MissingFileIsNotFound) {
+  StatusOr<NaiveBayes> loaded = LoadNaiveBayes("/tmp/missing_pafs.model");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pafs

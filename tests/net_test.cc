@@ -1,0 +1,151 @@
+// Tests for the simulated network substrate: framing helpers, byte/round
+// accounting, blocking semantics across threads, and the cost model.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bignum/bigint.h"
+#include "net/channel.h"
+#include "net/throttle.h"
+#include "util/timer.h"
+
+namespace pafs {
+namespace {
+
+TEST(MemChannelTest, RoundTripPrimitives) {
+  MemChannelPair pair;
+  Channel& a = pair.endpoint(0);
+  Channel& b = pair.endpoint(1);
+
+  a.SendU64(0xDEADBEEFull);
+  EXPECT_EQ(b.RecvU64(), 0xDEADBEEFull);
+
+  Block blk(123, 456);
+  a.SendBlock(blk);
+  EXPECT_EQ(b.RecvBlock(), blk);
+
+  std::vector<Block> blocks = {Block(1, 2), Block(3, 4), Block(5, 6)};
+  a.SendBlocks(blocks);
+  EXPECT_EQ(b.RecvBlocks(), blocks);
+
+  BigInt big = BigInt::FromDecimal("123456789012345678901234567890");
+  a.SendBigInt(big);
+  EXPECT_EQ(b.RecvBigInt(), big);
+
+  std::vector<uint8_t> bytes = {9, 8, 7};
+  a.SendBytes(bytes);
+  EXPECT_EQ(b.RecvBytes(), bytes);
+
+  std::vector<uint8_t> empty;
+  a.SendBytes(empty);
+  EXPECT_EQ(b.RecvBytes(), empty);
+}
+
+TEST(MemChannelTest, DuplexTraffic) {
+  MemChannelPair pair;
+  pair.endpoint(0).SendU64(1);
+  pair.endpoint(1).SendU64(2);
+  EXPECT_EQ(pair.endpoint(1).RecvU64(), 1u);
+  EXPECT_EQ(pair.endpoint(0).RecvU64(), 2u);
+}
+
+TEST(MemChannelTest, CountsBytes) {
+  MemChannelPair pair;
+  pair.endpoint(0).SendU64(7);  // 8 bytes
+  pair.endpoint(1).RecvU64();
+  pair.endpoint(1).SendBlock(Block());  // 16 bytes
+  pair.endpoint(0).RecvBlock();
+  EXPECT_EQ(pair.TotalBytes(), 24u);
+  EXPECT_EQ(pair.endpoint(0).stats().bytes_sent, 8u);
+  EXPECT_EQ(pair.endpoint(1).stats().bytes_sent, 16u);
+}
+
+TEST(MemChannelTest, CountsDirectionFlips) {
+  MemChannelPair pair;
+  Channel& a = pair.endpoint(0);
+  Channel& b = pair.endpoint(1);
+  // a->b, b->a, a->b: three flips total across both endpoints.
+  a.SendU64(1);
+  b.RecvU64();
+  b.SendU64(2);
+  a.RecvU64();
+  a.SendU64(3);
+  b.RecvU64();
+  EXPECT_EQ(pair.TotalRounds(), 3u);
+}
+
+TEST(MemChannelTest, ResetClearsStats) {
+  MemChannelPair pair;
+  pair.endpoint(0).SendU64(7);
+  pair.endpoint(1).RecvU64();
+  pair.ResetStats();
+  EXPECT_EQ(pair.TotalBytes(), 0u);
+  EXPECT_EQ(pair.TotalRounds(), 0u);
+}
+
+TEST(MemChannelTest, RecvBlocksUntilDataArrives) {
+  MemChannelPair pair;
+  uint64_t got = 0;
+  std::thread reader([&] { got = pair.endpoint(1).RecvU64(); });
+  // Give the reader a chance to block, then satisfy it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pair.endpoint(0).SendU64(99);
+  reader.join();
+  EXPECT_EQ(got, 99u);
+}
+
+TEST(NetworkProfileTest, TransferTimeComposition) {
+  NetworkProfile lan = LanProfile();
+  // Pure-bandwidth component.
+  EXPECT_NEAR(lan.TransferSeconds(125000000, 0), 1.0, 1e-9);
+  // Pure-latency component: each round costs half an RTT.
+  EXPECT_NEAR(lan.TransferSeconds(0, 10), 10 * lan.rtt_seconds / 2, 1e-12);
+  // WAN is strictly slower for the same traffic.
+  NetworkProfile wan = WanProfile();
+  EXPECT_GT(wan.TransferSeconds(1000000, 4), lan.TransferSeconds(1000000, 4));
+}
+
+TEST(ThrottledChannelTest, PreservesData) {
+  MemChannelPair pair;
+  NetworkProfile fast{"fast", 1e9, 0.0};
+  ThrottledChannel a(pair.endpoint(0), fast);
+  ThrottledChannel b(pair.endpoint(1), fast);
+  a.SendU64(777);
+  EXPECT_EQ(b.RecvU64(), 777u);
+  Block blk(5, 6);
+  b.SendBlock(blk);
+  EXPECT_EQ(a.RecvBlock(), blk);
+}
+
+TEST(ThrottledChannelTest, EmulatesBandwidthDelay) {
+  MemChannelPair pair;
+  // 1 MB/s, no latency: 100 KB should take ~100 ms (scaled 10x -> ~10 ms).
+  NetworkProfile slow{"slow", 1e6, 0.0};
+  ThrottledChannel a(pair.endpoint(0), slow, /*time_scale=*/10.0);
+  std::vector<uint8_t> payload(100000, 7);
+  Timer timer;
+  a.SendBytes(payload);
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.008);
+  EXPECT_NEAR(a.emulated_delay_seconds() * 10.0, 0.1, 0.01);
+}
+
+TEST(ThrottledChannelTest, ChargesHalfRttPerFlip) {
+  MemChannelPair pair;
+  NetworkProfile laggy{"laggy", 1e12, 0.020};  // 20 ms RTT, no bandwidth.
+  ThrottledChannel a(pair.endpoint(0), laggy, /*time_scale=*/1.0);
+  ThrottledChannel b(pair.endpoint(1), laggy, /*time_scale=*/1.0);
+  // Three direction flips on a: send (flip), recv, send (flip).
+  a.SendU64(1);
+  b.RecvU64();
+  b.SendU64(2);
+  a.RecvU64();
+  a.SendU64(3);
+  b.RecvU64();
+  EXPECT_NEAR(a.emulated_delay_seconds(), 0.020, 1e-3);  // Two flips on a.
+  EXPECT_NEAR(b.emulated_delay_seconds(), 0.010, 1e-3);  // One flip on b.
+}
+
+}  // namespace
+}  // namespace pafs

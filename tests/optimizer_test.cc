@@ -1,0 +1,150 @@
+// Tests for the circuit optimizer: semantic equivalence on random inputs
+// (the cardinal rule), plus targeted checks of each simplification.
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "circuit/optimizer.h"
+#include "data/warfarin_gen.h"
+#include "ml/decision_tree.h"
+#include "smc/secure_nb.h"
+#include "smc/secure_tree.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// Equivalence check over random (or exhaustive, when small) inputs.
+void ExpectEquivalent(const Circuit& original, const Circuit& optimized,
+                      int trials = 64) {
+  ASSERT_EQ(original.garbler_inputs(), optimized.garbler_inputs());
+  ASSERT_EQ(original.evaluator_inputs(), optimized.evaluator_inputs());
+  ASSERT_EQ(original.outputs().size(), optimized.outputs().size());
+  Rng rng(12345);
+  uint32_t g = original.garbler_inputs();
+  uint32_t e = original.evaluator_inputs();
+  for (int t = 0; t < trials; ++t) {
+    BitVec gb(g), eb(e);
+    for (uint32_t i = 0; i < g; ++i) gb.Set(i, rng.NextBool());
+    for (uint32_t i = 0; i < e; ++i) eb.Set(i, rng.NextBool());
+    BitVec want = original.Evaluate(gb, eb);
+    BitVec got = optimized.Evaluate(gb, eb);
+    ASSERT_TRUE(want == got) << "trial " << t;
+  }
+}
+
+TEST(OptimizerTest, AdderUnchangedSemantics) {
+  CircuitBuilder b(8, 8);
+  b.AddOutputWord(b.AddW(b.GarblerWord(0, 8), b.EvaluatorWord(0, 8)));
+  Circuit c = b.Build();
+  OptimizeStats stats;
+  Circuit opt = OptimizeCircuit(c, &stats);
+  ExpectEquivalent(c, opt);
+  EXPECT_LE(stats.and_after, stats.and_before);
+}
+
+TEST(OptimizerTest, RemovesDuplicateSubexpressions) {
+  CircuitBuilder b(0, 4);
+  auto w = b.EvaluatorWord(0, 4);
+  // The same equality test three times.
+  b.AddOutput(b.EqualConst(w, 5));
+  b.AddOutput(b.EqualConst(w, 5));
+  b.AddOutput(b.Xor(b.EqualConst(w, 5), b.EvaluatorInput(0)));
+  Circuit c = b.Build();
+  OptimizeStats stats;
+  Circuit opt = OptimizeCircuit(c, &stats);
+  ExpectEquivalent(c, opt);
+  // One copy of the 3-AND equality chain should survive.
+  EXPECT_EQ(stats.and_after, 3u);
+  EXPECT_EQ(stats.and_before, 9u);
+}
+
+TEST(OptimizerTest, FoldsConstants) {
+  CircuitBuilder b(0, 2);
+  auto x = b.EvaluatorInput(0);
+  auto zero = b.ConstZero();
+  auto one = b.ConstOne();
+  b.AddOutput(b.And(x, zero));               // always 0
+  b.AddOutput(b.And(x, one));                // x
+  b.AddOutput(b.Xor(x, zero));               // x
+  b.AddOutput(b.Xor(x, x));                  // 0
+  b.AddOutput(b.And(x, b.Not(x)));           // 0
+  Circuit c = b.Build();
+  OptimizeStats stats;
+  Circuit opt = OptimizeCircuit(c, &stats);
+  ExpectEquivalent(c, opt);
+  EXPECT_EQ(stats.and_after, 0u);
+}
+
+TEST(OptimizerTest, DoubleNegationCancels) {
+  CircuitBuilder b(0, 1);
+  b.AddOutput(b.Not(b.Not(b.EvaluatorInput(0))));
+  Circuit c = b.Build();
+  Circuit opt = OptimizeCircuit(c, nullptr);
+  ExpectEquivalent(c, opt, 2);
+  EXPECT_EQ(opt.gates().size(), 0u);  // Output is the input wire itself.
+}
+
+TEST(OptimizerTest, DeadGatesRemoved) {
+  CircuitBuilder b(0, 4);
+  auto w = b.EvaluatorWord(0, 4);
+  auto dead = b.MulW(w, w);  // Large, never output.
+  (void)dead;
+  b.AddOutput(b.Xor(w[0], w[1]));
+  Circuit c = b.Build();
+  OptimizeStats stats;
+  Circuit opt = OptimizeCircuit(c, &stats);
+  ExpectEquivalent(c, opt);
+  EXPECT_EQ(stats.and_after, 0u);
+  EXPECT_GT(stats.and_before, 10u);
+}
+
+TEST(OptimizerTest, TreeCircuitShipsAlreadyOptimized) {
+  // SecureTreeCircuit optimizes at construction (sibling paths repeat the
+  // same feature==value tests), so a second pass must find nothing left.
+  Rng rng(8);
+  Dataset data = GenerateWarfarinCohort(2000, rng);
+  DecisionTree tree;
+  tree.Train(data);
+  SecureTreeCircuit spec(tree, data.features(), data.num_classes(), {});
+  OptimizeStats stats;
+  Circuit opt = OptimizeCircuit(spec.circuit(), &stats);
+  ExpectEquivalent(spec.circuit(), opt, 16);
+  EXPECT_EQ(stats.and_after, stats.and_before);
+}
+
+TEST(OptimizerTest, NbCircuitStaysCorrect) {
+  Rng rng(9);
+  Dataset data = GenerateWarfarinCohort(600, rng);
+  SecureNbCircuit spec(data.features(), data.num_classes(), {});
+  OptimizeStats stats;
+  Circuit opt = OptimizeCircuit(spec.circuit(), &stats);
+  ExpectEquivalent(spec.circuit(), opt, 16);
+  EXPECT_LE(stats.and_after, stats.and_before);
+}
+
+TEST(OptimizerTest, MuxTreeConstantTableCollapses) {
+  // A mux tree over an all-equal table is a constant.
+  CircuitBuilder b(0, 3);
+  auto sel = b.EvaluatorWord(0, 3);
+  std::vector<CircuitBuilder::Word> table(8, b.ConstantWord(11, 4));
+  b.AddOutputWord(b.MuxTree(sel, table));
+  Circuit c = b.Build();
+  OptimizeStats stats;
+  Circuit opt = OptimizeCircuit(c, &stats);
+  ExpectEquivalent(c, opt);
+  EXPECT_EQ(stats.and_after, 0u);
+}
+
+TEST(OptimizerTest, IdempotentSecondPass) {
+  CircuitBuilder b(4, 4);
+  b.AddOutputWord(b.MulW(b.GarblerWord(0, 4), b.EvaluatorWord(0, 4)));
+  Circuit c = b.Build();
+  OptimizeStats first, second;
+  Circuit opt1 = OptimizeCircuit(c, &first);
+  Circuit opt2 = OptimizeCircuit(opt1, &second);
+  ExpectEquivalent(c, opt2);
+  EXPECT_EQ(second.and_after, second.and_before);
+}
+
+}  // namespace
+}  // namespace pafs

@@ -1,0 +1,288 @@
+// Tests for the privacy substrate: partition-based risk metrics, the
+// incremental evaluator's equivalence to from-scratch evaluation, the
+// Chow-Liu model, and the inference attack.
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/warfarin_gen.h"
+#include "privacy/chow_liu.h"
+#include "privacy/inference_attack.h"
+#include "privacy/risk.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// Tiny handcrafted dataset where risks are computable by hand.
+// Features: public p (card 2), sensitive s (card 2).
+// Rows: (p=0,s=0) x4, (p=0,s=1) x1, (p=1,s=0) x1, (p=1,s=1) x4.
+Dataset HandRiskDataset() {
+  std::vector<FeatureSpec> features = {{"p", 2, false}, {"s", 2, true}};
+  Dataset data(features, 2);
+  for (int i = 0; i < 4; ++i) data.AddRow({0, 0}, 0);
+  data.AddRow({0, 1}, 0);
+  data.AddRow({1, 0}, 0);
+  for (int i = 0; i < 4; ++i) data.AddRow({1, 1}, 0);
+  return data;
+}
+
+TEST(DisclosureRiskTest, BaselineWithNoDisclosure) {
+  Dataset data = HandRiskDataset();
+  DisclosureRisk risk(data);
+  RiskReport report = risk.Evaluate({});
+  ASSERT_EQ(report.per_sensitive.size(), 1u);
+  // Marginal of s is 50/50: baseline MAP success = 0.5, no lift.
+  EXPECT_NEAR(report.per_sensitive[0].baseline_success, 0.5, 1e-12);
+  EXPECT_NEAR(report.per_sensitive[0].attack_success, 0.5, 1e-12);
+  EXPECT_NEAR(report.max_lift, 0.0, 1e-12);
+  EXPECT_NEAR(report.per_sensitive[0].mutual_information, 0.0, 1e-12);
+}
+
+TEST(DisclosureRiskTest, HandComputedLift) {
+  Dataset data = HandRiskDataset();
+  DisclosureRisk risk(data);
+  RiskReport report = risk.Evaluate({0});
+  // Given p: P(s = majority | p) = 0.8 in both cells.
+  EXPECT_NEAR(report.per_sensitive[0].attack_success, 0.8, 1e-12);
+  EXPECT_NEAR(report.max_lift, 0.3, 1e-12);
+  EXPECT_NEAR(report.per_sensitive[0].worst_posterior, 0.8, 1e-12);
+  // MI = H(s) - H(s|p) = 1 - h(0.2).
+  double h = -(0.2 * std::log2(0.2) + 0.8 * std::log2(0.8));
+  EXPECT_NEAR(report.per_sensitive[0].mutual_information, 1.0 - h, 1e-9);
+}
+
+TEST(DisclosureRiskTest, RiskIsMonotoneInDisclosure) {
+  Rng rng(1);
+  Dataset data = GenerateWarfarinCohort(3000, rng);
+  DisclosureRisk risk(data);
+  std::vector<int> disclosure;
+  double last = 0.0;
+  for (int f : data.PublicCandidateFeatures()) {
+    disclosure.push_back(f);
+    double lift = risk.Evaluate(disclosure).max_lift;
+    EXPECT_GE(lift, last - 1e-12) << "feature " << f;
+    last = lift;
+  }
+  EXPECT_GT(last, 0.05);  // Full disclosure leaks noticeably.
+}
+
+TEST(DisclosureRiskTest, RaceDisclosureLeaksGenotype) {
+  Rng rng(2);
+  Dataset data = GenerateWarfarinCohort(5000, rng);
+  DisclosureRisk risk(data);
+  double race_lift = risk.Evaluate({WarfarinSchema::kRace}).max_lift;
+  double smoker_lift = risk.Evaluate({WarfarinSchema::kSmoker}).max_lift;
+  // Ancestry is the genotype proxy; smoking is nearly independent.
+  EXPECT_GT(race_lift, smoker_lift + 0.02);
+}
+
+TEST(DisclosureRiskTest, IncrementalMatchesFromScratch) {
+  Rng rng(3);
+  Dataset data = GenerateWarfarinCohort(2000, rng);
+  DisclosureRisk risk(data);
+  DisclosureRisk::Incremental inc(risk);
+  std::vector<int> disclosure;
+  for (int f : {WarfarinSchema::kRace, WarfarinSchema::kAge,
+                WarfarinSchema::kWeight, WarfarinSchema::kSmoker}) {
+    disclosure.push_back(f);
+    inc.Push(f);
+    RiskReport scratch = risk.Evaluate(disclosure);
+    RiskReport incremental = inc.Current();
+    EXPECT_NEAR(incremental.max_lift, scratch.max_lift, 1e-12);
+    EXPECT_NEAR(incremental.max_mutual_information,
+                scratch.max_mutual_information, 1e-9);
+    for (size_t s = 0; s < scratch.per_sensitive.size(); ++s) {
+      EXPECT_NEAR(incremental.per_sensitive[s].attack_success,
+                  scratch.per_sensitive[s].attack_success, 1e-12);
+    }
+  }
+}
+
+TEST(DisclosureRiskTest, PushPopRestoresState) {
+  Rng rng(4);
+  Dataset data = GenerateWarfarinCohort(1000, rng);
+  DisclosureRisk risk(data);
+  DisclosureRisk::Incremental inc(risk);
+  inc.Push(WarfarinSchema::kRace);
+  double with_race = inc.Current().max_lift;
+  inc.Push(WarfarinSchema::kAge);
+  inc.Pop();
+  EXPECT_NEAR(inc.Current().max_lift, with_race, 1e-12);
+  EXPECT_EQ(inc.disclosed(), std::vector<int>{WarfarinSchema::kRace});
+}
+
+TEST(DisclosureRiskTest, LabelDisclosureAddsRisk) {
+  // The Fredrikson setting: observing the dose recommendation must make
+  // genotype inference strictly easier than demographics alone.
+  Rng rng(12);
+  Dataset data = GenerateWarfarinCohort(6000, rng);
+  DisclosureRisk risk(data);
+  std::vector<int> demographics = {WarfarinSchema::kAge,
+                                   WarfarinSchema::kRace};
+  RiskReport without = risk.Evaluate(demographics);
+  RiskReport with_label = risk.EvaluateWithLabel(demographics);
+  EXPECT_GT(with_label.max_lift, without.max_lift + 0.01);
+  // Dose alone already leaks VKORC1 (it drives the dose).
+  RiskReport dose_only = risk.EvaluateWithLabel({});
+  EXPECT_GT(dose_only.max_lift, 0.05);
+}
+
+TEST(DisclosureRiskTest, MinCellSizeShrinksWithDisclosure) {
+  Rng rng(13);
+  Dataset data = GenerateWarfarinCohort(3000, rng);
+  DisclosureRisk risk(data);
+  size_t last = risk.Evaluate({}).min_cell_size;
+  EXPECT_EQ(last, data.size());
+  std::vector<int> disclosure;
+  for (int f : {WarfarinSchema::kRace, WarfarinSchema::kAge,
+                WarfarinSchema::kWeight}) {
+    disclosure.push_back(f);
+    size_t cell = risk.Evaluate(disclosure).min_cell_size;
+    EXPECT_LE(cell, last);
+    last = cell;
+  }
+  EXPECT_LT(last, 50u);  // Three-attribute cells get small.
+}
+
+TEST(DisclosureRiskTest, DiversityDropsWithDisclosure) {
+  Rng rng(14);
+  Dataset data = GenerateWarfarinCohort(4000, rng);
+  DisclosureRisk risk(data);
+  RiskReport nothing = risk.Evaluate({});
+  // One big cell: both genotypes fully diverse (all values present).
+  EXPECT_EQ(nothing.min_diversity, 3);  // VKORC1 has 3 values.
+  RiskReport lots = risk.Evaluate(data.PublicCandidateFeatures());
+  EXPECT_LT(lots.min_diversity, nothing.min_diversity);
+  EXPECT_GE(lots.min_diversity, 1);
+}
+
+TEST(ChowLiuTest, PosteriorsSumToOne) {
+  Rng rng(5);
+  Dataset data = GenerateWarfarinCohort(3000, rng);
+  ChowLiuTree model;
+  model.Train(data);
+  for (int target : {WarfarinSchema::kVkorc1, WarfarinSchema::kCyp2c9}) {
+    std::vector<double> posterior =
+        model.Posterior(target, {{WarfarinSchema::kRace, 1}});
+    double total = 0;
+    for (double p : posterior) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ChowLiuTest, EvidenceShiftsPosteriorTowardCorrelation) {
+  Rng rng(6);
+  Dataset data = GenerateWarfarinCohort(6000, rng);
+  ChowLiuTree model;
+  model.Train(data);
+  // Asian ancestry (race=1) should sharply raise P(VKORC1 = AA).
+  std::vector<double> asian =
+      model.Posterior(WarfarinSchema::kVkorc1, {{WarfarinSchema::kRace, 1}});
+  std::vector<double> black =
+      model.Posterior(WarfarinSchema::kVkorc1, {{WarfarinSchema::kRace, 2}});
+  EXPECT_GT(asian[2], 0.6);
+  EXPECT_LT(black[2], 0.1);
+}
+
+TEST(ChowLiuTest, TreeStructureIsConnected) {
+  Rng rng(7);
+  Dataset data = GenerateWarfarinCohort(1000, rng);
+  ChowLiuTree model;
+  model.Train(data);
+  int roots = 0;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    if (model.parent(v) < 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(ChowLiuTest, LogLikelihoodFinite) {
+  Rng rng(8);
+  Dataset data = GenerateWarfarinCohort(500, rng);
+  ChowLiuTree model;
+  model.Train(data);
+  for (size_t i = 0; i < 20; ++i) {
+    double ll = model.LogLikelihood(data.row(i));
+    EXPECT_TRUE(std::isfinite(ll));
+    EXPECT_LT(ll, 0.0);
+  }
+}
+
+TEST(ChowLiuTest, PosteriorMatchesEmpiricalConditional) {
+  // With a single strong pairwise dependency the tree must recover the
+  // empirical conditional closely.
+  Rng rng(9);
+  std::vector<FeatureSpec> features = {{"a", 2, false}, {"b", 2, true}};
+  Dataset data(features, 2);
+  for (int i = 0; i < 4000; ++i) {
+    int a = rng.NextBool(0.5);
+    int b = rng.NextBool(a ? 0.9 : 0.2);
+    data.AddRow({a, b}, 0);
+  }
+  ChowLiuTree model;
+  model.Train(data);
+  std::vector<double> p_given_a1 = model.Posterior(1, {{0, 1}});
+  EXPECT_NEAR(p_given_a1[1], 0.9, 0.03);
+  std::vector<double> p_given_a0 = model.Posterior(1, {{0, 0}});
+  EXPECT_NEAR(p_given_a0[1], 0.2, 0.03);
+}
+
+TEST(InferenceAttackTest, DisclosureImprovesAttack) {
+  Rng rng(10);
+  Dataset cohort = GenerateWarfarinCohort(6000, rng);
+  auto [public_data, victims] = cohort.Split(0.5, rng);
+  ChowLiuTree adversary;
+  adversary.Train(public_data);
+
+  auto no_disclosure = RunInferenceAttack(adversary, victims, {});
+  auto with_race = RunInferenceAttack(adversary, victims,
+                                      {WarfarinSchema::kRace});
+  for (size_t s = 0; s < no_disclosure.size(); ++s) {
+    EXPECT_GE(with_race[s].attack_accuracy,
+              no_disclosure[s].attack_accuracy - 0.02);
+  }
+  // VKORC1 specifically must become noticeably easier to infer.
+  EXPECT_GT(with_race[0].attack_accuracy,
+            no_disclosure[0].attack_accuracy + 0.03);
+}
+
+TEST(InferenceAttackTest, RiskMetricTracksAttack) {
+  // The partition-based lift and the simulated attack's accuracy gain
+  // should order disclosure sets the same way.
+  Rng rng(11);
+  Dataset cohort = GenerateWarfarinCohort(6000, rng);
+  auto [public_data, victims] = cohort.Split(0.5, rng);
+  ChowLiuTree adversary;
+  adversary.Train(public_data);
+  DisclosureRisk risk(public_data);
+
+  std::vector<std::vector<int>> sets = {
+      {},
+      {WarfarinSchema::kSmoker},
+      {WarfarinSchema::kRace},
+      {WarfarinSchema::kRace, WarfarinSchema::kAge},
+  };
+  std::vector<double> lifts, attack_gains;
+  for (const auto& s : sets) {
+    lifts.push_back(risk.Evaluate(s).max_lift);
+    auto results = RunInferenceAttack(adversary, victims, s);
+    double gain = 0;
+    for (const auto& r : results) {
+      gain = std::max(gain, r.attack_accuracy - r.baseline_accuracy);
+    }
+    attack_gains.push_back(gain);
+  }
+  // Race-based sets must rank above smoker-only and empty in both.
+  EXPECT_GT(lifts[2], lifts[1]);
+  EXPECT_GT(attack_gains[2], attack_gains[1] - 0.01);
+  EXPECT_GE(lifts[3], lifts[2]);
+}
+
+}  // namespace
+}  // namespace pafs

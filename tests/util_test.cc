@@ -1,0 +1,183 @@
+// Unit tests for src/util: PRNG, bit vectors, status types.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitvec.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pafs {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextU64BelowRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextU64Below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextU64BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextU64Below(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInt(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, GaussianHasUnitVariance) {
+  Rng rng(5);
+  double sum = 0, sum_sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextCategorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, FillBytesCoversAllValues) {
+  Rng rng(17);
+  std::vector<uint8_t> buf(4096);
+  rng.FillBytes(buf.data(), buf.size());
+  std::set<uint8_t> seen(buf.begin(), buf.end());
+  EXPECT_GT(seen.size(), 250u);
+}
+
+TEST(BitVecTest, SetGetRoundTrip) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  v.Set(0, true);
+  v.Set(64, true);
+  v.Set(129, true);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(129));
+  EXPECT_EQ(v.CountOnes(), 3u);
+}
+
+TEST(BitVecTest, FromU64RoundTrip) {
+  uint64_t value = 0xDEADBEEFCAFEF00Dull;
+  BitVec v = BitVec::FromU64(value, 64);
+  EXPECT_EQ(v.ToU64(), value);
+  BitVec small = BitVec::FromU64(value, 12);
+  EXPECT_EQ(small.ToU64(0, 12), value & 0xFFFu);
+}
+
+TEST(BitVecTest, StringRoundTrip) {
+  BitVec v = BitVec::FromString("10110");
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_EQ(v.ToString(), "10110");
+}
+
+TEST(BitVecTest, XorAndOr) {
+  BitVec a = BitVec::FromString("1100");
+  BitVec b = BitVec::FromString("1010");
+  EXPECT_EQ((a ^ b).ToString(), "0110");
+  EXPECT_EQ((a & b).ToString(), "1000");
+  EXPECT_EQ((a | b).ToString(), "1110");
+}
+
+TEST(BitVecTest, PushBackGrows) {
+  BitVec v;
+  for (int i = 0; i < 200; ++i) v.PushBack(i % 3 == 0);
+  EXPECT_EQ(v.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(v.Get(i), i % 3 == 0);
+}
+
+TEST(BitVecTest, EqualityIgnoresNothing) {
+  BitVec a = BitVec::FromString("101");
+  BitVec b = BitVec::FromString("101");
+  BitVec c = BitVec::FromString("1010");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("bad feature index");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad feature index");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pafs
