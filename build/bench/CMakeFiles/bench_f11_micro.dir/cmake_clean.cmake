@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_micro.dir/bench_f11_micro.cc.o"
+  "CMakeFiles/bench_f11_micro.dir/bench_f11_micro.cc.o.d"
+  "bench_f11_micro"
+  "bench_f11_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_gmw_vs_gc.dir/bench_f13_gmw_vs_gc.cc.o"
+  "CMakeFiles/bench_f13_gmw_vs_gc.dir/bench_f13_gmw_vs_gc.cc.o.d"
+  "bench_f13_gmw_vs_gc"
+  "bench_f13_gmw_vs_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_gmw_vs_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

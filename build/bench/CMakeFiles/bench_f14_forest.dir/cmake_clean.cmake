@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f14_forest.dir/bench_f14_forest.cc.o"
+  "CMakeFiles/bench_f14_forest.dir/bench_f14_forest.cc.o.d"
+  "bench_f14_forest"
+  "bench_f14_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f14_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

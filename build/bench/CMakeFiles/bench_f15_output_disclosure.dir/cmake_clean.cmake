@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f15_output_disclosure.dir/bench_f15_output_disclosure.cc.o"
+  "CMakeFiles/bench_f15_output_disclosure.dir/bench_f15_output_disclosure.cc.o.d"
+  "bench_f15_output_disclosure"
+  "bench_f15_output_disclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f15_output_disclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

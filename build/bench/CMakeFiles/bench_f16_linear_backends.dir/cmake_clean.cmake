@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f16_linear_backends.dir/bench_f16_linear_backends.cc.o"
+  "CMakeFiles/bench_f16_linear_backends.dir/bench_f16_linear_backends.cc.o.d"
+  "bench_f16_linear_backends"
+  "bench_f16_linear_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f16_linear_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

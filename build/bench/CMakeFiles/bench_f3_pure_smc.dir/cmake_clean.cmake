@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_pure_smc.dir/bench_f3_pure_smc.cc.o"
+  "CMakeFiles/bench_f3_pure_smc.dir/bench_f3_pure_smc.cc.o.d"
+  "bench_f3_pure_smc"
+  "bench_f3_pure_smc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_pure_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_risk_vs_disclosure.dir/bench_f5_risk_vs_disclosure.cc.o"
+  "CMakeFiles/bench_f5_risk_vs_disclosure.dir/bench_f5_risk_vs_disclosure.cc.o.d"
+  "bench_f5_risk_vs_disclosure"
+  "bench_f5_risk_vs_disclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_risk_vs_disclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_selection_cost.dir/bench_f8_selection_cost.cc.o"
+  "CMakeFiles/bench_f8_selection_cost.dir/bench_f8_selection_cost.cc.o.d"
+  "bench_f8_selection_cost"
+  "bench_f8_selection_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_selection_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

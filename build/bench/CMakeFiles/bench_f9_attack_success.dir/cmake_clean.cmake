@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_attack_success.dir/bench_f9_attack_success.cc.o"
+  "CMakeFiles/bench_f9_attack_success.dir/bench_f9_attack_success.cc.o.d"
+  "bench_f9_attack_success"
+  "bench_f9_attack_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_attack_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

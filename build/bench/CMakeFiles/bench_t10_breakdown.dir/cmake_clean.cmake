@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t10_breakdown.dir/bench_t10_breakdown.cc.o"
+  "CMakeFiles/bench_t10_breakdown.dir/bench_t10_breakdown.cc.o.d"
+  "bench_t10_breakdown"
+  "bench_t10_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t10_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

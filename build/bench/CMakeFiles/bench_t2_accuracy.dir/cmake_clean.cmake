@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_accuracy.dir/bench_t2_accuracy.cc.o"
+  "CMakeFiles/bench_t2_accuracy.dir/bench_t2_accuracy.cc.o.d"
+  "bench_t2_accuracy"
+  "bench_t2_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_headline_speedup.dir/bench_t7_headline_speedup.cc.o"
+  "CMakeFiles/bench_t7_headline_speedup.dir/bench_t7_headline_speedup.cc.o.d"
+  "bench_t7_headline_speedup"
+  "bench_t7_headline_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_headline_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pafs_cli.dir/pafs_cli.cpp.o"
+  "CMakeFiles/pafs_cli.dir/pafs_cli.cpp.o.d"
+  "pafs_cli"
+  "pafs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pafs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

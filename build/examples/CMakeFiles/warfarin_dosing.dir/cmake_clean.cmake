@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warfarin_dosing.dir/warfarin_dosing.cpp.o"
+  "CMakeFiles/warfarin_dosing.dir/warfarin_dosing.cpp.o.d"
+  "warfarin_dosing"
+  "warfarin_dosing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warfarin_dosing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for warfarin_dosing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bignum/bigint.cc" "src/CMakeFiles/pafs.dir/bignum/bigint.cc.o" "gcc" "src/CMakeFiles/pafs.dir/bignum/bigint.cc.o.d"
+  "/root/repo/src/bignum/modmath.cc" "src/CMakeFiles/pafs.dir/bignum/modmath.cc.o" "gcc" "src/CMakeFiles/pafs.dir/bignum/modmath.cc.o.d"
+  "/root/repo/src/bignum/prime.cc" "src/CMakeFiles/pafs.dir/bignum/prime.cc.o" "gcc" "src/CMakeFiles/pafs.dir/bignum/prime.cc.o.d"
+  "/root/repo/src/circuit/builder.cc" "src/CMakeFiles/pafs.dir/circuit/builder.cc.o" "gcc" "src/CMakeFiles/pafs.dir/circuit/builder.cc.o.d"
+  "/root/repo/src/circuit/circuit.cc" "src/CMakeFiles/pafs.dir/circuit/circuit.cc.o" "gcc" "src/CMakeFiles/pafs.dir/circuit/circuit.cc.o.d"
+  "/root/repo/src/circuit/optimizer.cc" "src/CMakeFiles/pafs.dir/circuit/optimizer.cc.o" "gcc" "src/CMakeFiles/pafs.dir/circuit/optimizer.cc.o.d"
+  "/root/repo/src/circuit/serialize.cc" "src/CMakeFiles/pafs.dir/circuit/serialize.cc.o" "gcc" "src/CMakeFiles/pafs.dir/circuit/serialize.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/pafs.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/pafs.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/CMakeFiles/pafs.dir/core/selection.cc.o" "gcc" "src/CMakeFiles/pafs.dir/core/selection.cc.o.d"
+  "/root/repo/src/crypto/aes128.cc" "src/CMakeFiles/pafs.dir/crypto/aes128.cc.o" "gcc" "src/CMakeFiles/pafs.dir/crypto/aes128.cc.o.d"
+  "/root/repo/src/crypto/block.cc" "src/CMakeFiles/pafs.dir/crypto/block.cc.o" "gcc" "src/CMakeFiles/pafs.dir/crypto/block.cc.o.d"
+  "/root/repo/src/crypto/commit.cc" "src/CMakeFiles/pafs.dir/crypto/commit.cc.o" "gcc" "src/CMakeFiles/pafs.dir/crypto/commit.cc.o.d"
+  "/root/repo/src/crypto/key_io.cc" "src/CMakeFiles/pafs.dir/crypto/key_io.cc.o" "gcc" "src/CMakeFiles/pafs.dir/crypto/key_io.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/CMakeFiles/pafs.dir/crypto/paillier.cc.o" "gcc" "src/CMakeFiles/pafs.dir/crypto/paillier.cc.o.d"
+  "/root/repo/src/crypto/prg.cc" "src/CMakeFiles/pafs.dir/crypto/prg.cc.o" "gcc" "src/CMakeFiles/pafs.dir/crypto/prg.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/pafs.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/pafs.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/pafs.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/pafs.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/hypertension_gen.cc" "src/CMakeFiles/pafs.dir/data/hypertension_gen.cc.o" "gcc" "src/CMakeFiles/pafs.dir/data/hypertension_gen.cc.o.d"
+  "/root/repo/src/data/warfarin_gen.cc" "src/CMakeFiles/pafs.dir/data/warfarin_gen.cc.o" "gcc" "src/CMakeFiles/pafs.dir/data/warfarin_gen.cc.o.d"
+  "/root/repo/src/gc/garble.cc" "src/CMakeFiles/pafs.dir/gc/garble.cc.o" "gcc" "src/CMakeFiles/pafs.dir/gc/garble.cc.o.d"
+  "/root/repo/src/gc/protocol.cc" "src/CMakeFiles/pafs.dir/gc/protocol.cc.o" "gcc" "src/CMakeFiles/pafs.dir/gc/protocol.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/pafs.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/pafs.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/discretizer.cc" "src/CMakeFiles/pafs.dir/ml/discretizer.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ml/discretizer.cc.o.d"
+  "/root/repo/src/ml/linear_model.cc" "src/CMakeFiles/pafs.dir/ml/linear_model.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ml/linear_model.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/pafs.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/model_io.cc" "src/CMakeFiles/pafs.dir/ml/model_io.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ml/model_io.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/pafs.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/pafs.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/pafs.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/pafs.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/throttle.cc" "src/CMakeFiles/pafs.dir/net/throttle.cc.o" "gcc" "src/CMakeFiles/pafs.dir/net/throttle.cc.o.d"
+  "/root/repo/src/ot/base_ot.cc" "src/CMakeFiles/pafs.dir/ot/base_ot.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ot/base_ot.cc.o.d"
+  "/root/repo/src/ot/iknp.cc" "src/CMakeFiles/pafs.dir/ot/iknp.cc.o" "gcc" "src/CMakeFiles/pafs.dir/ot/iknp.cc.o.d"
+  "/root/repo/src/privacy/chow_liu.cc" "src/CMakeFiles/pafs.dir/privacy/chow_liu.cc.o" "gcc" "src/CMakeFiles/pafs.dir/privacy/chow_liu.cc.o.d"
+  "/root/repo/src/privacy/inference_attack.cc" "src/CMakeFiles/pafs.dir/privacy/inference_attack.cc.o" "gcc" "src/CMakeFiles/pafs.dir/privacy/inference_attack.cc.o.d"
+  "/root/repo/src/privacy/risk.cc" "src/CMakeFiles/pafs.dir/privacy/risk.cc.o" "gcc" "src/CMakeFiles/pafs.dir/privacy/risk.cc.o.d"
+  "/root/repo/src/sharing/gmw.cc" "src/CMakeFiles/pafs.dir/sharing/gmw.cc.o" "gcc" "src/CMakeFiles/pafs.dir/sharing/gmw.cc.o.d"
+  "/root/repo/src/smc/common.cc" "src/CMakeFiles/pafs.dir/smc/common.cc.o" "gcc" "src/CMakeFiles/pafs.dir/smc/common.cc.o.d"
+  "/root/repo/src/smc/cost_model.cc" "src/CMakeFiles/pafs.dir/smc/cost_model.cc.o" "gcc" "src/CMakeFiles/pafs.dir/smc/cost_model.cc.o.d"
+  "/root/repo/src/smc/secure_forest.cc" "src/CMakeFiles/pafs.dir/smc/secure_forest.cc.o" "gcc" "src/CMakeFiles/pafs.dir/smc/secure_forest.cc.o.d"
+  "/root/repo/src/smc/secure_linear.cc" "src/CMakeFiles/pafs.dir/smc/secure_linear.cc.o" "gcc" "src/CMakeFiles/pafs.dir/smc/secure_linear.cc.o.d"
+  "/root/repo/src/smc/secure_linear_aby.cc" "src/CMakeFiles/pafs.dir/smc/secure_linear_aby.cc.o" "gcc" "src/CMakeFiles/pafs.dir/smc/secure_linear_aby.cc.o.d"
+  "/root/repo/src/smc/secure_nb.cc" "src/CMakeFiles/pafs.dir/smc/secure_nb.cc.o" "gcc" "src/CMakeFiles/pafs.dir/smc/secure_nb.cc.o.d"
+  "/root/repo/src/smc/secure_tree.cc" "src/CMakeFiles/pafs.dir/smc/secure_tree.cc.o" "gcc" "src/CMakeFiles/pafs.dir/smc/secure_tree.cc.o.d"
+  "/root/repo/src/util/bitvec.cc" "src/CMakeFiles/pafs.dir/util/bitvec.cc.o" "gcc" "src/CMakeFiles/pafs.dir/util/bitvec.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/pafs.dir/util/random.cc.o" "gcc" "src/CMakeFiles/pafs.dir/util/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

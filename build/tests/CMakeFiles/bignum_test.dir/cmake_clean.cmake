@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bignum_test.dir/bignum_test.cc.o"
+  "CMakeFiles/bignum_test.dir/bignum_test.cc.o.d"
+  "bignum_test"
+  "bignum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bignum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

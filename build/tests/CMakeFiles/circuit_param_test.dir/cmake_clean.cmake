@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_param_test.dir/circuit_param_test.cc.o"
+  "CMakeFiles/circuit_param_test.dir/circuit_param_test.cc.o.d"
+  "circuit_param_test"
+  "circuit_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmw_test.dir/gmw_test.cc.o"
+  "CMakeFiles/gmw_test.dir/gmw_test.cc.o.d"
+  "gmw_test"
+  "gmw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_test.dir/ot_test.cc.o"
+  "CMakeFiles/ot_test.dir/ot_test.cc.o.d"
+  "ot_test"
+  "ot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

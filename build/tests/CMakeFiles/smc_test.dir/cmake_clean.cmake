@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smc_test.dir/smc_test.cc.o"
+  "CMakeFiles/smc_test.dir/smc_test.cc.o.d"
+  "smc_test"
+  "smc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
