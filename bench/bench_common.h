@@ -4,6 +4,7 @@
 #define PAFS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -11,9 +12,48 @@
 #include "core/selection.h"
 #include "data/hypertension_gen.h"
 #include "data/warfarin_gen.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace pafs::bench {
+
+// Every bench accepts --breakdown: turn telemetry on for the whole run and
+// finish with the aggregated phase/counter/histogram report. PAFS_TELEMETRY=1
+// in the environment does the same without the flag; --json switches the
+// final report to JSON for embedding in harness output.
+struct BenchFlags {
+  bool breakdown = false;
+  bool json = false;
+};
+
+inline BenchFlags& Flags() {
+  static BenchFlags flags;
+  return flags;
+}
+
+inline void BenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--breakdown") == 0) {
+      Flags().breakdown = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      Flags().json = true;
+    }
+  }
+  if (Flags().breakdown || Flags().json) PafsTelemetry::Enable();
+}
+
+// Prints the telemetry report if collection was on (flag or env var).
+inline void PrintTelemetryBreakdown() {
+  if (!PafsTelemetry::enabled()) return;
+  if (Flags().json) {
+    std::printf("%s\n", obs::RenderJson().c_str());
+    return;
+  }
+  std::printf("\n--- telemetry breakdown "
+              "(--breakdown / PAFS_TELEMETRY=1) ---\n%s",
+              obs::RenderText().c_str());
+}
 
 inline Dataset WarfarinCohort(size_t n = 5000, uint64_t seed = 2016) {
   Rng rng(seed);

@@ -15,7 +15,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F12", "ablations: specialization, half-gates, incremental risk");
   Dataset cohort = WarfarinCohort(3000);
   DecisionTree tree;
@@ -122,5 +123,6 @@ int main() {
                   FeatureNames(cohort, plan.features).c_str());
     }
   }
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -76,7 +76,8 @@ BackendRun RunGmw(const SecureNbCircuit& spec, const NaiveBayes& nb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F13", "SMC backend comparison: Yao GC vs GMW (secure naive Bayes)");
   Dataset cohort = WarfarinCohort(3000);
   NaiveBayes nb;
@@ -118,5 +119,6 @@ int main() {
   std::printf("\nGMW wins on bytes; Yao wins on rounds (constant vs "
               "AND-depth), so the WAN column favors GC. Disclosure shrinks "
               "both.\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

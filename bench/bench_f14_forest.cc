@@ -14,7 +14,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F14", "secure random forests (extension)");
   Rng rng(21);
   Dataset train = GenerateWarfarinCohort(3000, rng);
@@ -87,5 +88,6 @@ int main() {
                 timer.ElapsedMillis(), channel.TotalBytes() / 1024.0,
                 client_stats.predicted_class, forest.Predict(row));
   }
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -14,7 +14,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F15", "output (dose) disclosure: the Fredrikson-style attack");
   Rng rng(23);
   Dataset cohort = GenerateWarfarinCohort(8000, rng);
@@ -82,5 +83,6 @@ int main() {
   std::printf("\nThe dose adds genotype inference power on top of "
               "demographics — which is why the recommendation itself stays "
               "inside the SMC unless explicitly budgeted for release.\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

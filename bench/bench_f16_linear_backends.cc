@@ -16,7 +16,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F16", "linear-protocol backends: Paillier hybrid vs ABY sharing");
   Dataset cohort = WarfarinCohort(3000);
   LinearModel model;
@@ -105,5 +106,6 @@ int main() {
   std::printf("\nABY swaps every Paillier exponentiation for one extended "
               "OT: ~40-60x less compute at comparable bandwidth (and the "
               "gap widens with the Paillier key size).\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

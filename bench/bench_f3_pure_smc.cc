@@ -7,7 +7,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F3", "pure SMC classification cost (no disclosure)");
   Dataset cohort = WarfarinCohort(3000);
 
@@ -46,5 +47,6 @@ int main() {
   }
   std::printf("\nNote: rounds include the one-time OT-extension column "
               "exchange; per-query rounds drop after session setup.\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -8,7 +8,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F4", "SMC cost vs number of disclosed features");
   Dataset cohort = WarfarinCohort(3000);
   DecisionTree tree;
@@ -45,5 +46,6 @@ int main() {
                   newly);
     }
   }
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -8,7 +8,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F5", "privacy risk vs number of disclosed features");
   Dataset cohort = WarfarinCohort(5000);
   Rng rng(3);
@@ -39,5 +40,6 @@ int main() {
   }
   std::printf("\nBaselines (k=0) are the genotype modes; lift is the "
               "budgeted quantity.\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

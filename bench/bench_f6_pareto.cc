@@ -9,7 +9,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F6", "performance/privacy Pareto frontier (speedup vs budget)");
   Dataset cohort = WarfarinCohort(4000);
   DecisionTree tree;
@@ -38,5 +39,6 @@ int main() {
                   FeatureNames(cohort, plan.features).c_str());
     }
   }
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -36,7 +36,8 @@ Dataset SyntheticSchema(int d, size_t n, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F8", "selection algorithm cost vs candidate count d");
   std::printf("%-4s %-14s %-14s %-14s %-12s %s\n", "d", "greedy-inc(ms)",
               "greedy-scr(ms)", "exhaustive(ms)", "risk evals",
@@ -83,5 +84,6 @@ int main() {
   std::printf("\nGreedy scales quadratically in d (and linearly in n); "
               "exhaustive explodes as 2^d. Incremental risk keeps each\n"
               "probe at one O(n) refinement pass regardless of |S|.\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

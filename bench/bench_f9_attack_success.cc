@@ -10,7 +10,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("F9", "inference-attack success vs disclosure");
   Rng rng(17);
   Dataset cohort = GenerateWarfarinCohort(8000, rng);
@@ -52,5 +53,6 @@ int main() {
               "lift (the metric conditions on the adversary's exact cells,\n"
               "the Chow-Liu attacker generalizes), so budgeting on the "
               "metric is conservative.\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -14,7 +14,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("T10", "latency breakdown (budget 0.05, warfarin)");
   Dataset cohort = WarfarinCohort(3000);
 
@@ -96,5 +97,73 @@ int main() {
               "(offline, once). '1st query' includes the 128 base OTs;\n"
               "subsequent queries ride the extension. LAN/WAN estimates add "
               "the traffic's network time to the compute time.\n");
+
+  // Measured per-phase breakdown from the telemetry subsystem: runs steady-
+  // state queries per classifier and attributes wall time to the paper's
+  // cost phases. Self-times are summed over both parties; the root
+  // classify spans (whose self-time is the time each side spends blocked
+  // on the other) are excluded, so each unit of compute is counted once
+  // and the phase sum tracks the end-to-end wall-clock.
+  if (!PafsTelemetry::enabled()) {
+    std::printf("\n(run with --breakdown or PAFS_TELEMETRY=1 for the "
+                "measured per-phase table)\n");
+    return 0;
+  }
+  std::printf("\nMeasured per-phase breakdown (ms per query, steady "
+              "state):\n");
+  std::printf("%-14s %-9s %-9s %-9s %-9s %-10s %-9s %-9s %-9s %-9s %s\n",
+              "classifier", "garble", "eval", "ot.base", "ot.ext", "paillier",
+              "network", "other", "sum", "wall", "coverage");
+  for (ClassifierKind kind : AllClassifiers()) {
+    PipelineConfig config;
+    config.classifier = kind;
+    config.risk_budget = 0.05;
+    SecureClassificationPipeline pipeline(cohort, config);
+    pipeline.Classify(cohort.row(1));  // Warm-up: base OTs + spec caches.
+    PafsTelemetry::Reset();
+
+    const int kQueries = 10;
+    Timer timer;
+    for (int q = 0; q < kQueries; ++q) {
+      pipeline.Classify(cohort.row(50 + 29 * q));
+    }
+    double wall_ms = timer.ElapsedMillis() / kQueries;
+
+    double garble = 0, eval = 0, ot_base = 0, ot_ext = 0, paillier = 0,
+           network = 0, other = 0;
+    obs::VisitPhases([&](const std::string& party, int depth,
+                         const obs::PhaseNode& node) {
+      (void)party;
+      (void)depth;
+      if (node.name == "classify") return;  // Root: blocked-on-peer time.
+      double self_ms = node.SelfSeconds() * 1e3 / kQueries;
+      if (node.name == "gc.garble") {
+        garble += self_ms;
+      } else if (node.name == "gc.eval") {
+        eval += self_ms;
+      } else if (node.name.rfind("ot.base", 0) == 0) {
+        ot_base += self_ms;
+      } else if (node.name.rfind("ot.ext", 0) == 0) {
+        ot_ext += self_ms;
+      } else if (node.name.rfind("paillier", 0) == 0) {
+        paillier += self_ms;
+      } else if (node.name == "gc.transfer" || node.name == "disclose") {
+        network += self_ms;
+      } else {
+        other += self_ms;  // smc.encode, smc.build, glue.
+      }
+    });
+    double sum = garble + eval + ot_base + ot_ext + paillier + network + other;
+    std::printf("%-14s %-9.3f %-9.3f %-9.3f %-9.3f %-10.3f %-9.3f %-9.3f "
+                "%-9.3f %-9.3f %.0f%%\n",
+                ClassifierName(kind), garble, eval, ot_base, ot_ext, paillier,
+                network, other, sum, wall_ms, 100.0 * sum / wall_ms);
+    PafsTelemetry::Reset();
+  }
+  std::printf("\n'network' = serialization onto the in-process channel "
+              "(add the LAN/WAN estimates above for link time); 'other' =\n"
+              "model encoding, per-query specialization, and protocol glue. "
+              "coverage = phase sum / measured wall-clock.\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -26,11 +26,13 @@ void Describe(const char* name, const Dataset& data,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("T1", "evaluation datasets");
   static const char* kDose[] = {"low", "medium", "high"};
   Describe("warfarin (synthetic IWPC-style)", WarfarinCohort(), kDose);
   static const char* kTherapy[] = {"ACEi", "CCB", "BB"};
   Describe("hypertension (synthetic)", HypertensionCohort(), kTherapy);
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -48,9 +48,11 @@ void Evaluate(const char* dataset_name, const Dataset& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("T2", "plaintext classifier accuracy (5-fold cross-validation)");
   Evaluate("warfarin", WarfarinCohort());
   Evaluate("hypertension", HypertensionCohort());
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -11,7 +11,8 @@
 using namespace pafs;
 using namespace pafs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs(argc, argv);
   Banner("T7", "headline speedup over pure SMC at fixed risk budgets");
   // The extended cohort (18 attributes: demographics + comedications +
   // lifestyle + 2 genotypes) matches the paper's feature-rich clinical
@@ -94,5 +95,6 @@ int main() {
               "paper's up-to-three-orders-of-magnitude claim; measured\n"
               "in-process ratios are lower because per-message overheads "
               "(OT batch framing, thread handoff) dominate tiny circuits.\n");
+  PrintTelemetryBreakdown();
   return 0;
 }

@@ -17,6 +17,8 @@
 #include "data/hypertension_gen.h"
 #include "data/warfarin_gen.h"
 #include "ml/model_io.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 using namespace pafs;
@@ -170,6 +172,10 @@ int CmdClassify(int argc, char** argv) {
               static_cast<unsigned long long>(stats.bytes),
               static_cast<unsigned long long>(stats.rounds),
               stats.wall_seconds * 1e3);
+  // PAFS_TELEMETRY=1 collects the per-phase trace; render it on the way out.
+  if (PafsTelemetry::enabled()) {
+    std::printf("\n%s", obs::RenderText().c_str());
+  }
   return 0;
 }
 

@@ -1,10 +1,25 @@
 #!/usr/bin/env bash
-# Full local verification: configure, build, test, and run every bench.
+# Pre-PR gate: build the whole tree from scratch with AddressSanitizer and
+# run the test suite under it, then (optionally) smoke the benches in the
+# regular build. Usage:
+#   scripts/check.sh           # sanitized build + ctest
+#   scripts/check.sh --bench   # additionally run every bench (regular build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/*; do
-  [ -x "$b" ] && "$b"
-done
+
+SAN_BUILD=build-asan
+rm -rf "$SAN_BUILD"
+cmake -B "$SAN_BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPAFS_SANITIZE=address
+cmake --build "$SAN_BUILD" -j "$(nproc)"
+ctest --test-dir "$SAN_BUILD" --output-on-failure
+
+if [[ "${1:-}" == "--bench" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)"
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] && "$b"
+  done
+fi
+echo "check.sh: all green"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/trace.h"
 #include "smc/secure_forest.h"
 #include "smc/secure_linear.h"
 #include "smc/secure_nb.h"
@@ -29,12 +30,15 @@ SecureClassificationPipeline::SecureClassificationPipeline(
       spec_cache_(std::make_unique<SpecCache>()),
       server_rng_(config.seed * 2 + 1),
       client_rng_(config.seed * 2 + 2) {
-  nb_.Train(train);
-  tree_.Train(train);
-  linear_.Train(train, LinearTrainParams());
-  if (config.classifier == ClassifierKind::kForest) {
-    Rng forest_rng(config.seed + 17);
-    forest_.Train(train, ForestParams(), forest_rng);
+  {
+    obs::TraceSpan span("train");
+    nb_.Train(train);
+    tree_.Train(train);
+    linear_.Train(train, LinearTrainParams());
+    if (config.classifier == ClassifierKind::kForest) {
+      Rng forest_rng(config.seed + 17);
+      forest_.Train(train, ForestParams(), forest_rng);
+    }
   }
 
   Rng calibration_rng(config.seed);
@@ -53,10 +57,14 @@ SecureClassificationPipeline::SecureClassificationPipeline(
       config.classifier == ClassifierKind::kForest ? &forest_ : nullptr);
 
   Timer timer;
-  plan_ = selector_->SelectGreedy(config.risk_budget);
+  {
+    obs::TraceSpan span("select");
+    plan_ = selector_->SelectGreedy(config.risk_budget);
+  }
   selection_seconds_ = timer.ElapsedSeconds();
 
   if (config.classifier == ClassifierKind::kLinear) {
+    obs::TraceSpan span("paillier.keygen");
     client_keys_.emplace(GeneratePaillierKey(client_rng_, config.paillier_bits));
   }
 }
@@ -121,9 +129,14 @@ SmcRunStats SecureClassificationPipeline::ClassifyWithDisclosure(
   uint64_t rounds_before = channel_.TotalRounds();
   Timer timer;
 
-  // Disclosure phase: the client reveals the plan's feature values.
+  // Disclosure phase: the client reveals the plan's feature values. Each
+  // party tags its thread so spans land in the right phase tree; the root
+  // classify spans absorb the time each side spends blocked on the other
+  // as self-time, keeping the leaf phases double-count free.
   SmcRunStats server_stats, client_stats;
   std::thread server([&] {
+    obs::SetThreadParty("server");
+    obs::TraceSpan root("classify");
     std::map<int, int> disclosed;
     for (int f : disclosure) {
       disclosed[f] = static_cast<int>(server_channel.RecvU64());
@@ -136,10 +149,16 @@ SmcRunStats SecureClassificationPipeline::ClassifyWithDisclosure(
         break;
       }
       case ClassifierKind::kDecisionTree: {
-        DecisionTree specialized = tree_.Specialize(disclosed);
-        SecureTreeCircuit spec(specialized, features_, num_classes_,
-                               disclosed);
-        server_stats = SecureTreeRunServer(server_channel, spec, specialized,
+        std::unique_ptr<DecisionTree> specialized;
+        std::unique_ptr<SecureTreeCircuit> spec;
+        {
+          obs::TraceSpan build("smc.build");
+          specialized =
+              std::make_unique<DecisionTree>(tree_.Specialize(disclosed));
+          spec = std::make_unique<SecureTreeCircuit>(*specialized, features_,
+                                                     num_classes_, disclosed);
+        }
+        server_stats = SecureTreeRunServer(server_channel, *spec, *specialized,
                                            ot_sender_, server_rng_,
                                            config_.scheme);
         break;
@@ -151,19 +170,30 @@ SmcRunStats SecureClassificationPipeline::ClassifyWithDisclosure(
         break;
       }
       case ClassifierKind::kForest: {
-        RandomForest specialized = forest_.Specialize(disclosed);
-        SecureForestCircuit spec(specialized, features_, num_classes_,
-                                 disclosed);
-        server_stats = SecureForestRunServer(server_channel, spec, specialized,
-                                             ot_sender_, server_rng_,
-                                             config_.scheme);
+        std::unique_ptr<RandomForest> specialized;
+        std::unique_ptr<SecureForestCircuit> spec;
+        {
+          obs::TraceSpan build("smc.build");
+          specialized =
+              std::make_unique<RandomForest>(forest_.Specialize(disclosed));
+          spec = std::make_unique<SecureForestCircuit>(
+              *specialized, features_, num_classes_, disclosed);
+        }
+        server_stats = SecureForestRunServer(server_channel, *spec,
+                                             *specialized, ot_sender_,
+                                             server_rng_, config_.scheme);
         break;
       }
     }
   });
 
-  for (int f : disclosure) {
-    client_channel.SendU64(static_cast<uint64_t>(row[f]));
+  obs::SetThreadParty("client");
+  obs::TraceSpan root("classify");
+  {
+    obs::TraceSpan disclose("disclose");
+    for (int f : disclosure) {
+      client_channel.SendU64(static_cast<uint64_t>(row[f]));
+    }
   }
   std::map<int, int> disclosed_client;
   for (int f : disclosure) disclosed_client[f] = row[f];

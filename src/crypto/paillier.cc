@@ -1,6 +1,7 @@
 #include "crypto/paillier.h"
 
 #include "bignum/prime.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -39,6 +40,9 @@ BigInt PaillierPublicKey::DecodeSigned(const BigInt& residue) const {
 }
 
 BigInt PaillierPublicKey::Encrypt(const BigInt& m, Rng& rng) const {
+  obs::TraceSpan span("paillier.encrypt");
+  static obs::Counter& ops = obs::GetCounter("paillier.encrypt");
+  ops.Add();
   BigInt encoded = EncodeSigned(m);
   // With g = n+1, g^m = 1 + m*n (mod n^2): one multiplication, no modexp.
   BigInt g_to_m = Mod(BigInt(1) + encoded * n_, n_squared_);
@@ -49,21 +53,35 @@ BigInt PaillierPublicKey::Encrypt(const BigInt& m, Rng& rng) const {
 }
 
 BigInt PaillierPublicKey::Add(const BigInt& c1, const BigInt& c2) const {
+  // The non-Montgomery ModMul on n^2 runs a full division per call, so
+  // this is worth a span despite being "one multiplication".
+  obs::TraceSpan span("paillier.add");
+  static obs::Counter& ops = obs::GetCounter("paillier.add");
+  ops.Add();
   return ModMul(c1, c2, n_squared_);
 }
 
 BigInt PaillierPublicKey::AddPlain(const BigInt& c, const BigInt& m) const {
+  obs::TraceSpan span("paillier.add_plain");
+  static obs::Counter& ops = obs::GetCounter("paillier.add_plain");
+  ops.Add();
   BigInt encoded = EncodeSigned(m);
   BigInt g_to_m = Mod(BigInt(1) + encoded * n_, n_squared_);
   return ModMul(c, g_to_m, n_squared_);
 }
 
 BigInt PaillierPublicKey::MulPlain(const BigInt& c, const BigInt& k) const {
+  obs::TraceSpan span("paillier.mul_plain");
+  static obs::Counter& ops = obs::GetCounter("paillier.mul_plain");
+  ops.Add();
   BigInt encoded = EncodeSigned(k);
   return ctx_n2_->Exp(c, encoded);
 }
 
 BigInt PaillierPublicKey::Rerandomize(const BigInt& c, Rng& rng) const {
+  obs::TraceSpan span("paillier.rerandomize");
+  static obs::Counter& ops = obs::GetCounter("paillier.rerandomize");
+  ops.Add();
   BigInt r = BigInt::RandomBelow(rng, n_ - BigInt(1)) + BigInt(1);
   return ModMul(c, ctx_n2_->Exp(r, n_), n_squared_);
 }
@@ -87,6 +105,9 @@ PaillierPrivateKey::PaillierPrivateKey(const BigInt& p, const BigInt& q)
 }
 
 BigInt PaillierPrivateKey::Decrypt(const BigInt& c) const {
+  obs::TraceSpan span("paillier.decrypt");
+  static obs::Counter& ops = obs::GetCounter("paillier.decrypt");
+  ops.Add();
   PAFS_CHECK(!c.is_negative());
   PAFS_CHECK(c < public_key_.n_squared());
   // CRT: recover m mod p and m mod q independently, then recombine.

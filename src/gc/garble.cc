@@ -1,5 +1,6 @@
 #include "gc/garble.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pafs {
@@ -14,6 +15,7 @@ Block RandomBlock(Prg& prg) { return prg.NextBlock(); }
 }  // namespace
 
 GarbledCircuit Garble(const Circuit& circuit, Prg& prg) {
+  obs::TraceSpan span("gc.garble");
   GarbledCircuit out;
   out.delta = RandomBlock(prg).WithLsb(true);
 
@@ -68,12 +70,18 @@ GarbledCircuit Garble(const Circuit& circuit, Prg& prg) {
   for (size_t i = 0; i < circuit.outputs().size(); ++i) {
     out.output_decode.Set(i, label0[circuit.outputs()[i]].GetLsb());
   }
+  if (obs::Enabled()) {
+    span.AddAttr("and_gates", static_cast<double>(and_index));
+    static obs::Counter& gates = obs::GetCounter("gc.and_gates_garbled");
+    gates.Add(and_index);
+  }
   return out;
 }
 
 std::vector<Block> EvaluateGarbled(const Circuit& circuit,
                                    const std::vector<GarbledTable>& and_tables,
                                    const std::vector<Block>& input_labels) {
+  obs::TraceSpan span("gc.eval");
   const uint32_t num_inputs =
       circuit.garbler_inputs() + circuit.evaluator_inputs();
   PAFS_CHECK_EQ(input_labels.size(), num_inputs);
@@ -107,6 +115,11 @@ std::vector<Block> EvaluateGarbled(const Circuit& circuit,
     }
   }
 
+  if (obs::Enabled()) {
+    span.AddAttr("and_gates", static_cast<double>(and_index));
+    static obs::Counter& gates = obs::GetCounter("gc.and_gates_evaluated");
+    gates.Add(and_index);
+  }
   std::vector<Block> outputs(circuit.outputs().size());
   for (size_t i = 0; i < circuit.outputs().size(); ++i) {
     outputs[i] = active[circuit.outputs()[i]];
@@ -125,6 +138,9 @@ BitVec DecodeOutputs(const std::vector<Block>& output_labels,
 }
 
 ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg) {
+  // Same phase name as the half-gates path: reports aggregate by cost
+  // phase, and the scheme is an experiment parameter, not a phase.
+  obs::TraceSpan span("gc.garble");
   ClassicGarbledCircuit out;
   out.delta = RandomBlock(prg).WithLsb(true);
 
@@ -174,6 +190,11 @@ ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg) {
   for (size_t i = 0; i < circuit.outputs().size(); ++i) {
     out.output_decode.Set(i, label0[circuit.outputs()[i]].GetLsb());
   }
+  if (obs::Enabled()) {
+    span.AddAttr("and_gates", static_cast<double>(and_index));
+    static obs::Counter& gates = obs::GetCounter("gc.and_gates_garbled");
+    gates.Add(and_index);
+  }
   return out;
 }
 
@@ -181,6 +202,7 @@ std::vector<Block> EvaluateClassic(
     const Circuit& circuit,
     const std::vector<std::array<Block, 4>>& and_tables,
     const std::vector<Block>& input_labels) {
+  obs::TraceSpan span("gc.eval");
   const uint32_t num_inputs =
       circuit.garbler_inputs() + circuit.evaluator_inputs();
   PAFS_CHECK_EQ(input_labels.size(), num_inputs);
@@ -209,6 +231,11 @@ std::vector<Block> EvaluateClassic(
     }
   }
 
+  if (obs::Enabled()) {
+    span.AddAttr("and_gates", static_cast<double>(and_index));
+    static obs::Counter& gates = obs::GetCounter("gc.and_gates_evaluated");
+    gates.Add(and_index);
+  }
   std::vector<Block> outputs(circuit.outputs().size());
   for (size_t i = 0; i < circuit.outputs().size(); ++i) {
     outputs[i] = active[circuit.outputs()[i]];

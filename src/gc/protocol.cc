@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gc/garble.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -44,11 +45,13 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
 
   std::vector<std::array<Block, 2>> input_labels;
   BitVec output_decode;
-  // 1. Garble and ship the tables.
+  // 1. Garble and ship the tables. The SendBlocks never block on the
+  // in-process channel, so gc.transfer measures serialization, not waits.
   if (scheme == GarblingScheme::kHalfGates) {
     GarbledCircuit gc = Garble(circuit, prg);
     input_labels = std::move(gc.input_labels);
     output_decode = gc.output_decode;
+    obs::TraceSpan transfer("gc.transfer");
     std::vector<Block> flat;
     flat.reserve(gc.and_tables.size() * 2);
     for (const GarbledTable& t : gc.and_tables) {
@@ -60,6 +63,7 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
     ClassicGarbledCircuit gc = GarbleClassic(circuit, prg);
     input_labels = std::move(gc.input_labels);
     output_decode = gc.output_decode;
+    obs::TraceSpan transfer("gc.transfer");
     std::vector<Block> flat;
     flat.reserve(gc.and_tables.size() * 4);
     for (const auto& rows : gc.and_tables) {
@@ -69,11 +73,14 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
   }
 
   // 2. Active labels for the garbler's own inputs.
-  std::vector<Block> own_labels(circuit.garbler_inputs());
-  for (uint32_t i = 0; i < circuit.garbler_inputs(); ++i) {
-    own_labels[i] = input_labels[i][garbler_bits.Get(i) ? 1 : 0];
+  {
+    obs::TraceSpan transfer("gc.transfer");
+    std::vector<Block> own_labels(circuit.garbler_inputs());
+    for (uint32_t i = 0; i < circuit.garbler_inputs(); ++i) {
+      own_labels[i] = input_labels[i][garbler_bits.Get(i) ? 1 : 0];
+    }
+    channel.SendBlocks(own_labels);
   }
-  channel.SendBlocks(own_labels);
 
   // 3. Evaluator input labels via OT.
   std::vector<std::array<Block, 2>> ot_messages(circuit.evaluator_inputs());
@@ -82,8 +89,13 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
   }
   if (!ot_messages.empty()) ot.Send(channel, ot_messages);
 
-  // 4. Output decode bits, then learn the result from the evaluator.
-  SendBits(channel, output_decode);
+  // 4. Output decode bits, then learn the result from the evaluator. The
+  // final receive stays unspanned: it waits on the evaluator's gc.eval,
+  // which already owns that wall time.
+  {
+    obs::TraceSpan transfer("gc.transfer");
+    SendBits(channel, output_decode);
+  }
   return RecvBits(channel);
 }
 
@@ -119,23 +131,32 @@ BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
     size_t num_and = circuit.Stats().and_gates;
     PAFS_CHECK_EQ(flat.size(), num_and * 2);
     std::vector<GarbledTable> tables(num_and);
-    for (size_t i = 0; i < num_and; ++i) {
-      tables[i] = GarbledTable{flat[2 * i], flat[2 * i + 1]};
+    {
+      obs::TraceSpan unpack("gc.transfer");
+      for (size_t i = 0; i < num_and; ++i) {
+        tables[i] = GarbledTable{flat[2 * i], flat[2 * i + 1]};
+      }
     }
     output_labels = EvaluateGarbled(circuit, tables, input_labels);
   } else {
     size_t num_and = circuit.Stats().and_gates;
     PAFS_CHECK_EQ(flat.size(), num_and * 4);
     std::vector<std::array<Block, 4>> tables(num_and);
-    for (size_t i = 0; i < num_and; ++i) {
-      for (int r = 0; r < 4; ++r) tables[i][r] = flat[4 * i + r];
+    {
+      obs::TraceSpan unpack("gc.transfer");
+      for (size_t i = 0; i < num_and; ++i) {
+        for (int r = 0; r < 4; ++r) tables[i][r] = flat[4 * i + r];
+      }
     }
     output_labels = EvaluateClassic(circuit, tables, input_labels);
   }
 
   BitVec output_decode = RecvBits(channel);
   BitVec outputs = DecodeOutputs(output_labels, output_decode);
-  SendBits(channel, outputs);
+  {
+    obs::TraceSpan transfer("gc.transfer");
+    SendBits(channel, outputs);
+  }
   return outputs;
 }
 

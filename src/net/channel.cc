@@ -4,6 +4,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pafs {
@@ -77,9 +78,20 @@ class MemChannelPair::Endpoint : public Channel {
     // Stats fields are only touched by this endpoint's owning thread.
     stats_.bytes_sent += n;
     ++stats_.messages_sent;
-    if (!last_op_was_send_) {
+    bool flipped = !last_op_was_send_;
+    if (flipped) {
       ++stats_.direction_flips;
       last_op_was_send_ = true;
+    }
+    if (obs::Enabled()) {
+      // Per-span traffic attribution: the sender's thread-local span (if
+      // any) owns this message, so every phase knows its own bytes/rounds.
+      obs::TraceSpan::CurrentAddBytes(n);
+      if (flipped) obs::TraceSpan::CurrentAddRounds(1);
+      static obs::Counter& bytes_sent = obs::GetCounter("net.bytes_sent");
+      static obs::Counter& messages = obs::GetCounter("net.messages_sent");
+      bytes_sent.Add(n);
+      messages.Add();
     }
   }
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace pafs {
 
 ThrottledChannel::ThrottledChannel(Channel& inner,
@@ -18,6 +20,15 @@ void ThrottledChannel::Send(const uint8_t* data, size_t n) {
   }
   delay /= time_scale_;
   delay_seconds_ += delay;
+  if (obs::Enabled()) {
+    // Callers aggregating span timings would otherwise not see the sleep:
+    // surface it as an attribute on whatever phase is paying for it, plus
+    // a histogram of individual link delays.
+    obs::TraceSpan::CurrentAddAttr("emulated_delay_seconds", delay);
+    static obs::Histogram& delays =
+        obs::GetHistogram("net.throttle.delay_seconds");
+    delays.Record(delay);
+  }
   if (delay > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }

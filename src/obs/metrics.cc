@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace pafs::obs {
+
+namespace {
+
+// Bucket index for a positive value: 4 buckets per power of two above
+// kHistogramMinValue, clamped into range.
+int BucketIndex(double value) {
+  if (!(value > kHistogramMinValue)) return 0;
+  double idx = 4.0 * std::log2(value / kHistogramMinValue);
+  if (idx >= kHistogramBuckets - 1) return kHistogramBuckets - 1;
+  return static_cast<int>(idx);
+}
+
+// Geometric bounds of bucket i.
+double BucketLow(int i) {
+  return kHistogramMinValue * std::exp2(i / 4.0);
+}
+double BucketHigh(int i) {
+  return kHistogramMinValue * std::exp2((i + 1) / 4.0);
+}
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+struct NamedRegistry {
+  std::mutex mutex;
+  // std::map: stable addresses, name-sorted iteration for free.
+  std::map<std::string, std::unique_ptr<T>> entries;
+
+  T& Get(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      it = entries.emplace(name, std::make_unique<T>(name)).first;
+    }
+    return *it->second;
+  }
+
+  void ForEach(const std::function<void(const T&)>& fn) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& [name, entry] : entries) fn(*entry);
+  }
+
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto& [name, entry] : entries) entry->Reset();
+  }
+};
+
+NamedRegistry<Counter>& Counters() {
+  static auto* const kRegistry = new NamedRegistry<Counter>();
+  return *kRegistry;
+}
+
+NamedRegistry<Histogram>& Histograms() {
+  static auto* const kRegistry = new NamedRegistry<Histogram>();
+  return *kRegistry;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name) : name_(std::move(name)) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Record(double value) {
+  if (!Enabled()) return;
+  if (value < 0 || std::isnan(value)) return;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, value);
+  if (prev == 0) {
+    // First sample initializes min/max; races with a concurrent first
+    // sample resolve through the min/max loops below.
+    double expected = 0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  AtomicMinDouble(min_, value);
+  AtomicMaxDouble(max_, value);
+}
+
+double Histogram::QuantileLocked(const uint64_t* counts, uint64_t total,
+                                 double q, double min_seen,
+                                 double max_seen) const {
+  if (total == 0) return 0;
+  // Rank of the q-th sample (1-based, nearest-rank definition).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      // Geometric midpoint of the bucket, clamped to observed extremes.
+      double estimate = std::sqrt(BucketLow(i) * BucketHigh(i));
+      return std::clamp(estimate, min_seen, max_seen);
+    }
+  }
+  return max_seen;
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  uint64_t counts[kHistogramBuckets];
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) total += counts[i];
+  snap.p50 = QuantileLocked(counts, total, 0.50, snap.min, snap.max);
+  snap.p95 = QuantileLocked(counts, total, 0.95, snap.min, snap.max);
+  snap.p99 = QuantileLocked(counts, total, 0.99, snap.min, snap.max);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(const std::string& name) { return Counters().Get(name); }
+
+Histogram& GetHistogram(const std::string& name) {
+  return Histograms().Get(name);
+}
+
+void ForEachCounter(const std::function<void(const Counter&)>& fn) {
+  Counters().ForEach(fn);
+}
+
+void ForEachHistogram(const std::function<void(const Histogram&)>& fn) {
+  Histograms().ForEach(fn);
+}
+
+void ResetMetrics() {
+  Counters().ResetAll();
+  Histograms().ResetAll();
+}
+
+}  // namespace pafs::obs

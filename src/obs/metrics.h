@@ -1,0 +1,112 @@
+// Process-wide named counters and log-bucketed histograms.
+//
+// Everything here is disabled by default: the hot-path guard is one relaxed
+// atomic load (see trace.h's pafs::obs::Enabled()), so instrumented code
+// pays ~a predictable branch when telemetry is off. Enable with
+// PafsTelemetry::Enable() or the environment variable PAFS_TELEMETRY=1.
+//
+// Instrumentation idiom (the static reference makes registry lookup a
+// one-time cost per call site):
+//
+//   static obs::Counter& ops = obs::GetCounter("paillier.encrypt");
+//   ops.Add();                       // No-op while telemetry is disabled.
+//
+//   static obs::Histogram& lat = obs::GetHistogram("gc.garble.seconds");
+//   lat.Record(timer.ElapsedSeconds());
+#ifndef PAFS_OBS_METRICS_H_
+#define PAFS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pafs::obs {
+
+namespace internal {
+// Defined in trace.cc next to the enable/disable entry points.
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+// True when telemetry collection is on. Relaxed load: callers use it as a
+// cheap gate, not as a synchronization point.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Monotonic event counter. Thread-safe; Add is a no-op while disabled.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t n = 1) {
+    if (!Enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Log-bucketed histogram over positive doubles (latencies in seconds,
+// sizes in bytes, ...). Buckets grow geometrically by 2^(1/4) starting at
+// kHistogramMinValue, so quantile estimates carry at most ~19% relative
+// error; exact count/sum/min/max are tracked alongside. Thread-safe;
+// Record is a no-op while disabled.
+inline constexpr int kHistogramBuckets = 256;
+inline constexpr double kHistogramMinValue = 1e-9;
+
+class Histogram {
+ public:
+  explicit Histogram(std::string name);
+
+  void Record(double value);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double mean() const { return count == 0 ? 0.0 : sum / count; }
+  };
+  Snapshot Snap() const;
+
+  const std::string& name() const { return name_; }
+  void Reset();
+
+ private:
+  // Estimated value at quantile q in [0, 1] given bucket counts.
+  double QuantileLocked(const uint64_t* counts, uint64_t total, double q,
+                        double min_seen, double max_seen) const;
+
+  std::string name_;
+  std::atomic<uint64_t> buckets_[kHistogramBuckets];
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+};
+
+// Registry lookups: create-on-first-use, stable references for the process
+// lifetime (Reset zeroes values but never invalidates references).
+Counter& GetCounter(const std::string& name);
+Histogram& GetHistogram(const std::string& name);
+
+// Iteration for report rendering; visits entries sorted by name.
+void ForEachCounter(const std::function<void(const Counter&)>& fn);
+void ForEachHistogram(const std::function<void(const Histogram&)>& fn);
+
+// Zeroes every counter and histogram (references stay valid).
+void ResetMetrics();
+
+}  // namespace pafs::obs
+
+#endif  // PAFS_OBS_METRICS_H_

@@ -1,0 +1,183 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace pafs::obs {
+
+namespace {
+
+void Appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+void VisitNode(const std::string& party, int depth, const PhaseNode& node,
+               const std::function<void(const std::string&, int,
+                                        const PhaseNode&)>& fn) {
+  fn(party, depth, node);
+  for (const auto& [name, child] : node.children) {
+    VisitNode(party, depth + 1, *child, fn);
+  }
+}
+
+void RenderPhaseText(std::string& out, int depth, const PhaseNode& node) {
+  std::string label(static_cast<size_t>(depth) * 2, ' ');
+  label += node.name;
+  Appendf(out, "  %-34s %8" PRIu64 " %11.3f %11.3f %11.1f\n", label.c_str(),
+          node.count, node.seconds * 1e3, node.SelfSeconds() * 1e3,
+          node.bytes / 1024.0);
+  for (const auto& [key, value] : node.attrs) {
+    Appendf(out, "  %*s| %s=%.6g\n", depth * 2 + 2, "", key.c_str(), value);
+  }
+  for (const auto& [name, child] : node.children) {
+    RenderPhaseText(out, depth + 1, *child);
+  }
+}
+
+// Minimal JSON string escaping (names are ASCII identifiers in practice).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void RenderPhaseJson(std::string& out, const PhaseNode& node) {
+  Appendf(out,
+          "{\"name\":\"%s\",\"count\":%" PRIu64
+          ",\"seconds\":%.9g,\"self_seconds\":%.9g,\"bytes\":%" PRIu64
+          ",\"rounds\":%" PRIu64 ",\"attrs\":{",
+          JsonEscape(node.name).c_str(), node.count, node.seconds,
+          node.SelfSeconds(), node.bytes, node.rounds);
+  bool first = true;
+  for (const auto& [key, value] : node.attrs) {
+    Appendf(out, "%s\"%s\":%.9g", first ? "" : ",",
+            JsonEscape(key).c_str(), value);
+    first = false;
+  }
+  out += "},\"children\":[";
+  first = true;
+  for (const auto& [name, child] : node.children) {
+    if (!first) out += ",";
+    RenderPhaseJson(out, *child);
+    first = false;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+void VisitPhases(const std::function<void(const std::string& party, int depth,
+                                          const PhaseNode& node)>& fn) {
+  ForEachParty([&fn](const std::string& party,
+                     const std::vector<const PhaseNode*>& roots) {
+    for (const PhaseNode* root : roots) VisitNode(party, 0, *root, fn);
+  });
+}
+
+std::string RenderText() {
+  std::string out;
+  ForEachParty([&out](const std::string& party,
+                      const std::vector<const PhaseNode*>& roots) {
+    if (roots.empty()) return;
+    Appendf(out, "phase tree [%s]\n", party.c_str());
+    Appendf(out, "  %-34s %8s %11s %11s %11s\n", "phase", "count",
+            "total(ms)", "self(ms)", "sent KiB");
+    for (const PhaseNode* root : roots) RenderPhaseText(out, 0, *root);
+  });
+
+  std::string counters;
+  ForEachCounter([&counters](const Counter& c) {
+    if (c.value() == 0) return;
+    Appendf(counters, "  %-46s %14" PRIu64 "\n", c.name().c_str(), c.value());
+  });
+  if (!counters.empty()) {
+    out += "counters\n";
+    out += counters;
+  }
+
+  std::string histograms;
+  ForEachHistogram([&histograms](const Histogram& h) {
+    Histogram::Snapshot s = h.Snap();
+    if (s.count == 0) return;
+    Appendf(histograms,
+            "  %-34s n=%-8" PRIu64
+            " mean=%-10.4g p50=%-10.4g p95=%-10.4g p99=%-10.4g max=%.4g\n",
+            h.name().c_str(), s.count, s.mean(), s.p50, s.p95, s.p99, s.max);
+  });
+  if (!histograms.empty()) {
+    out += "histograms\n";
+    out += histograms;
+  }
+  if (out.empty()) out = "(telemetry registry is empty)\n";
+  return out;
+}
+
+std::string RenderJson() {
+  std::string out = "{\"parties\":[";
+  bool first_party = true;
+  ForEachParty([&](const std::string& party,
+                   const std::vector<const PhaseNode*>& roots) {
+    if (!first_party) out += ",";
+    first_party = false;
+    Appendf(out, "{\"party\":\"%s\",\"phases\":[",
+            JsonEscape(party).c_str());
+    bool first_root = true;
+    for (const PhaseNode* root : roots) {
+      if (!first_root) out += ",";
+      RenderPhaseJson(out, *root);
+      first_root = false;
+    }
+    out += "]}";
+  });
+  out += "],\"counters\":{";
+  bool first = true;
+  ForEachCounter([&](const Counter& c) {
+    Appendf(out, "%s\"%s\":%" PRIu64, first ? "" : ",",
+            JsonEscape(c.name()).c_str(), c.value());
+    first = false;
+  });
+  out += "},\"histograms\":{";
+  first = true;
+  ForEachHistogram([&](const Histogram& h) {
+    Histogram::Snapshot s = h.Snap();
+    Appendf(out,
+            "%s\"%s\":{\"count\":%" PRIu64
+            ",\"sum\":%.9g,\"min\":%.9g,\"max\":%.9g,\"p50\":%.9g,"
+            "\"p95\":%.9g,\"p99\":%.9g}",
+            first ? "" : ",", JsonEscape(h.name()).c_str(), s.count, s.sum,
+            s.min, s.max, s.p50, s.p95, s.p99);
+    first = false;
+  });
+  out += "}}";
+  return out;
+}
+
+}  // namespace pafs::obs

@@ -1,0 +1,34 @@
+// Renders the telemetry registry (phase trees + counters + histograms) as
+// a human-readable table and as JSON for the bench harness to embed.
+#ifndef PAFS_OBS_REPORT_H_
+#define PAFS_OBS_REPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace pafs::obs {
+
+// Depth-first walk over every phase node of every party (depth 0 = root).
+// Holds the tree lock for the duration; callbacks must not start spans.
+void VisitPhases(const std::function<void(const std::string& party, int depth,
+                                          const PhaseNode& node)>& fn);
+
+// Human-readable report: one indented tree per party with count / total /
+// self wall-time and traffic per phase, followed by counters and histogram
+// quantiles. Empty sections are omitted.
+std::string RenderText();
+
+// The same registry as a single JSON object:
+//   {"parties": [{"party": "...", "phases": [{"name": ..., "count": ...,
+//     "seconds": ..., "self_seconds": ..., "bytes": ..., "rounds": ...,
+//     "attrs": {...}, "children": [...]}]}],
+//    "counters": {...},
+//    "histograms": {"name": {"count": ..., "sum": ..., "min": ...,
+//      "max": ..., "p50": ..., "p95": ..., "p99": ...}}}
+std::string RenderJson();
+
+}  // namespace pafs::obs
+
+#endif  // PAFS_OBS_REPORT_H_

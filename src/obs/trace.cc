@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+namespace pafs {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-party forest of aggregated phase trees, guarded by one mutex. Spans
+// are coarse (protocol phases, not per-gate), so contention is two short
+// critical sections per span while telemetry is on, zero while off.
+struct TraceTree {
+  std::mutex mutex;
+  std::map<std::string, std::vector<std::unique_ptr<PhaseNode>>> parties;
+
+  PhaseNode* Resolve(const char* party, PhaseNode* parent, const char* name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (parent != nullptr) {
+      auto it = parent->children.find(name);
+      if (it == parent->children.end()) {
+        auto node = std::make_unique<PhaseNode>();
+        node->name = name;
+        it = parent->children.emplace(name, std::move(node)).first;
+      }
+      return it->second.get();
+    }
+    std::vector<std::unique_ptr<PhaseNode>>& roots = parties[party];
+    for (auto& root : roots) {
+      if (root->name == name) return root.get();
+    }
+    roots.push_back(std::make_unique<PhaseNode>());
+    roots.back()->name = name;
+    return roots.back().get();
+  }
+};
+
+TraceTree& Tree() {
+  static auto* const kTree = new TraceTree();
+  return *kTree;
+}
+
+struct ThreadCtx {
+  const char* party = "main";
+  TraceSpan* current = nullptr;
+};
+
+ThreadCtx& Ctx() {
+  thread_local ThreadCtx ctx;
+  return ctx;
+}
+
+// Honors PAFS_TELEMETRY=1 before main() runs. Lives in this translation
+// unit (pulled in by any instrumented code via internal::g_enabled), so
+// the initializer is never dropped by the linker.
+const bool g_env_enable = [] {
+  const char* env = std::getenv("PAFS_TELEMETRY");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    internal::g_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+}  // namespace
+
+double PhaseNode::SelfSeconds() const {
+  double child_seconds = 0;
+  for (const auto& [name, child] : children) child_seconds += child->seconds;
+  return seconds > child_seconds ? seconds - child_seconds : 0.0;
+}
+
+void SetThreadParty(const char* party) { Ctx().party = party; }
+
+// TraceTreeAccess gives the span internals a named friend without leaking
+// the tree type into the header.
+struct TraceTreeAccess {
+  static void Enter(TraceSpan* span, const char* name) {
+    ThreadCtx& ctx = Ctx();
+    span->parent_ = ctx.current;
+    PhaseNode* parent_node =
+        ctx.current != nullptr ? ctx.current->node_ : nullptr;
+    span->node_ = Tree().Resolve(ctx.party, parent_node, name);
+    span->active_ = true;
+    span->start_seconds_ = NowSeconds();
+    ctx.current = span;
+  }
+
+  static void Exit(TraceSpan* span) {
+    double elapsed = NowSeconds() - span->start_seconds_;
+    {
+      std::lock_guard<std::mutex> lock(Tree().mutex);
+      PhaseNode* node = span->node_;
+      node->count += 1;
+      node->seconds += elapsed;
+      node->bytes += span->bytes_;
+      node->rounds += span->rounds_;
+      for (const auto& [key, value] : span->attrs_) node->attrs[key] += value;
+    }
+    Ctx().current = span->parent_;
+  }
+};
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Enabled()) return;
+  TraceTreeAccess::Enter(this, name);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceTreeAccess::Exit(this);
+}
+
+void TraceSpan::AddAttr(const char* key, double value) {
+  if (!active_) return;
+  attrs_.emplace_back(key, value);
+}
+
+void TraceSpan::CurrentAddBytes(uint64_t n) {
+  if (!Enabled()) return;
+  TraceSpan* span = Ctx().current;
+  if (span != nullptr) span->bytes_ += n;
+}
+
+void TraceSpan::CurrentAddRounds(uint64_t n) {
+  if (!Enabled()) return;
+  TraceSpan* span = Ctx().current;
+  if (span != nullptr) span->rounds_ += n;
+}
+
+void TraceSpan::CurrentAddAttr(const char* key, double value) {
+  if (!Enabled()) return;
+  TraceSpan* span = Ctx().current;
+  if (span != nullptr) span->attrs_.emplace_back(key, value);
+}
+
+void ForEachParty(
+    const std::function<void(const std::string& party,
+                             const std::vector<const PhaseNode*>& roots)>&
+        fn) {
+  std::lock_guard<std::mutex> lock(Tree().mutex);
+  for (const auto& [party, roots] : Tree().parties) {
+    std::vector<const PhaseNode*> views;
+    views.reserve(roots.size());
+    for (const auto& root : roots) views.push_back(root.get());
+    fn(party, views);
+  }
+}
+
+void ResetTraces() {
+  std::lock_guard<std::mutex> lock(Tree().mutex);
+  Tree().parties.clear();
+}
+
+}  // namespace obs
+
+void PafsTelemetry::Enable() {
+  obs::internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void PafsTelemetry::Disable() {
+  obs::internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void PafsTelemetry::Reset() {
+  obs::ResetTraces();
+  obs::ResetMetrics();
+}
+
+}  // namespace pafs

@@ -1,0 +1,117 @@
+// Phase-scoped tracing: RAII spans that nest into a per-party phase tree
+// and attribute wall-time, traffic, and arbitrary numeric attributes to
+// each phase. The tree is aggregated, not per-event: entering a span whose
+// (party, path) was seen before accumulates into the existing node, so a
+// thousand queries still render as one compact tree.
+//
+//   obs::SetThreadParty("client");
+//   {
+//     obs::TraceSpan span("classify");
+//     {
+//       obs::TraceSpan inner("gc.eval");
+//       inner.AddAttr("gates", circuit.Stats().and_gates);
+//     }  // gc.eval's elapsed time lands under classify > gc.eval.
+//   }
+//
+// Layers that cannot see the enclosing span (e.g. the channel counting
+// bytes) attribute to whatever span is current on their thread via the
+// static TraceSpan::Current* helpers; with no current span the attribution
+// is dropped.
+//
+// Overhead: disabled, every entry point is one relaxed atomic load and a
+// branch — spans are inert stack objects. Enabled, a span costs two mutex
+// acquisitions (node lookup at entry, accumulate at exit); byte/attr adds
+// between the two are lock-free thread-local writes into the span.
+#ifndef PAFS_OBS_TRACE_H_
+#define PAFS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pafs {
+
+// Public facade used by applications and benches.
+struct PafsTelemetry {
+  // Turns collection on/off process-wide. Also turned on at process start
+  // when the environment variable PAFS_TELEMETRY is set to a nonzero value.
+  static void Enable();
+  static void Disable();
+  static bool enabled() { return obs::Enabled(); }
+  // Clears every phase tree, counter, and histogram. Must not race with
+  // live spans (callers quiesce their worker threads first).
+  static void Reset();
+};
+
+namespace obs {
+
+// One aggregated node of the phase tree.
+struct PhaseNode {
+  std::string name;           // Leaf name, e.g. "gc.garble".
+  uint64_t count = 0;         // Times this span was entered.
+  double seconds = 0;         // Total wall time inside the span.
+  uint64_t bytes = 0;         // Traffic sent while the span was current.
+  uint64_t rounds = 0;        // Direction flips charged to the span.
+  std::map<std::string, double> attrs;  // Accumulated key=value attributes.
+  std::map<std::string, std::unique_ptr<PhaseNode>> children;
+
+  // Time inside this span not covered by any child span.
+  double SelfSeconds() const;
+};
+
+// Names the party whose phase tree this thread's spans feed ("client",
+// "server", ...). Threads default to "main". Cheap; safe to call per task.
+void SetThreadParty(const char* party);
+
+class TraceSpan {
+ public:
+  // `name` must outlive the span (string literals in practice).
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Accumulates a numeric attribute onto this span's phase node.
+  void AddAttr(const char* key, double value);
+
+  // Attribution helpers for layers below the span stack: they apply to the
+  // calling thread's innermost live span, or drop if there is none.
+  static void CurrentAddBytes(uint64_t n);
+  static void CurrentAddRounds(uint64_t n);
+  static void CurrentAddAttr(const char* key, double value);
+
+ private:
+  friend struct TraceTreeAccess;
+
+  bool active_ = false;
+  PhaseNode* node_ = nullptr;    // Resolved at entry, under the tree lock.
+  TraceSpan* parent_ = nullptr;  // Enclosing span on this thread.
+  double start_seconds_ = 0;     // Monotonic clock at entry.
+  // Lock-free accumulators flushed into node_ at exit.
+  uint64_t bytes_ = 0;
+  uint64_t rounds_ = 0;
+  std::vector<std::pair<const char*, double>> attrs_;
+};
+
+// Read-side access to the aggregated trees. The callback receives each
+// party name with the root of that party's phase forest; iteration holds
+// the tree lock, so callbacks must not start spans.
+void ForEachParty(
+    const std::function<void(const std::string& party,
+                             const std::vector<const PhaseNode*>& roots)>& fn);
+
+// Clears all phase trees (ForEachParty afterwards visits nothing). Must
+// not race with live spans.
+void ResetTraces();
+
+}  // namespace obs
+}  // namespace pafs
+
+#endif  // PAFS_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include "bignum/modmath.h"
 #include "bignum/prime.h"
 #include "crypto/sha256.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -45,6 +46,12 @@ Block KdfBlock(const BigInt& element, uint64_t index) {
 
 void BaseOtSend(Channel& channel,
                 const std::vector<std::array<Block, 2>>& messages, Rng& rng) {
+  obs::TraceSpan span("ot.base");
+  if (obs::Enabled()) {
+    span.AddAttr("transfers", static_cast<double>(messages.size()));
+    static obs::Counter& transfers = obs::GetCounter("ot.base.transfers");
+    transfers.Add(messages.size());
+  }
   const Group& grp = FixedGroup();
   // Sender samples a, announces A = g^a. Per Chou-Orlandi, the receiver's
   // reply B encodes its choice; k0 = H(B^a), k1 = H((B/A)^a).
@@ -70,6 +77,10 @@ void BaseOtSend(Channel& channel,
 
 std::vector<Block> BaseOtRecv(Channel& channel, const BitVec& choices,
                               Rng& rng) {
+  obs::TraceSpan span("ot.base");
+  if (obs::Enabled()) {
+    span.AddAttr("transfers", static_cast<double>(choices.size()));
+  }
   const Group& grp = FixedGroup();
   BigInt big_a = channel.RecvBigInt();
   PAFS_CHECK(big_a > BigInt(0));

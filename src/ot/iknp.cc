@@ -1,5 +1,6 @@
 #include "ot/iknp.h"
 
+#include "obs/trace.h"
 #include "ot/base_ot.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -21,6 +22,11 @@ std::vector<uint8_t> PackBits(const BitVec& bits) {
   return out;
 }
 
+// Transposes the 128-column bit matrix into per-transfer row blocks; the
+// span isolates the transpose cost from the rest of the extension.
+std::vector<Block> TransposeRows(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m);
+
 // Row j of the 128-column bit matrix, as a Block.
 Block RowFromColumns(const std::vector<std::vector<uint8_t>>& columns,
                      size_t j) {
@@ -37,9 +43,18 @@ Block RowFromColumns(const std::vector<std::vector<uint8_t>>& columns,
   return row;
 }
 
+std::vector<Block> TransposeRows(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m) {
+  obs::TraceSpan span("ot.ext.transpose");
+  std::vector<Block> rows(m);
+  for (size_t j = 0; j < m; ++j) rows[j] = RowFromColumns(columns, j);
+  return rows;
+}
+
 }  // namespace
 
 void OtExtSender::Setup(Channel& channel, Rng& rng) {
+  obs::TraceSpan span("ot.ext.setup");
   PAFS_CHECK_MSG(column_prgs_.empty(), "Setup called twice");
   s_bits_ = BitVec(kOtExtensionWidth);
   for (int i = 0; i < kOtExtensionWidth; ++i) s_bits_.Set(i, rng.NextBool());
@@ -52,6 +67,7 @@ void OtExtSender::Setup(Channel& channel, Rng& rng) {
 }
 
 void OtExtReceiver::Setup(Channel& channel, Rng& rng) {
+  obs::TraceSpan span("ot.ext.setup");
   PAFS_CHECK_MSG(column_prgs0_.empty(), "Setup called twice");
   std::vector<std::array<Block, 2>> seed_pairs(kOtExtensionWidth);
   for (auto& pair : seed_pairs) {
@@ -74,24 +90,31 @@ std::vector<Block> OtExtReceiver::Recv(Channel& channel,
   const size_t col_bytes = ColumnBytes(m);
   std::vector<uint8_t> r_bytes = PackBits(choices);
 
-  // T columns from PRG0; U = T ^ PRG1 ^ r goes to the sender.
-  std::vector<std::vector<uint8_t>> t_columns(kOtExtensionWidth);
-  for (int i = 0; i < kOtExtensionWidth; ++i) {
-    t_columns[i] = column_prgs0_[i].Bytes(col_bytes);
-    std::vector<uint8_t> u = column_prgs1_[i].Bytes(col_bytes);
-    for (size_t b = 0; b < col_bytes; ++b) {
-      u[b] ^= t_columns[i][b] ^ r_bytes[b];
+  // T columns from PRG0; U = T ^ PRG1 ^ r goes to the sender. The matrix
+  // generation plus transpose is this side's compute; the masked-pair
+  // receives below wait on the sender and stay unspanned.
+  std::vector<Block> t_rows;
+  {
+    obs::TraceSpan span("ot.ext");
+    span.AddAttr("transfers", static_cast<double>(m));
+    std::vector<std::vector<uint8_t>> t_columns(kOtExtensionWidth);
+    for (int i = 0; i < kOtExtensionWidth; ++i) {
+      t_columns[i] = column_prgs0_[i].Bytes(col_bytes);
+      std::vector<uint8_t> u = column_prgs1_[i].Bytes(col_bytes);
+      for (size_t b = 0; b < col_bytes; ++b) {
+        u[b] ^= t_columns[i][b] ^ r_bytes[b];
+      }
+      channel.SendBytes(u);
     }
-    channel.SendBytes(u);
+    t_rows = TransposeRows(t_columns, m);
   }
 
   // Receive the masked message pairs and unmask the chosen one.
   std::vector<Block> out(m);
   for (size_t j = 0; j < m; ++j) {
-    Block t_row = RowFromColumns(t_columns, j);
     Block y0 = channel.RecvBlock();
     Block y1 = channel.RecvBlock();
-    Block pad = HashBlock(t_row, tweak_ + j);
+    Block pad = HashBlock(t_rows[j], tweak_ + j);
     out[j] = (choices.Get(j) ? y1 : y0) ^ pad;
   }
   tweak_ += m;
@@ -104,26 +127,32 @@ BitVec OtExtReceiver::RecvBits(Channel& channel, const BitVec& choices) {
   const size_t col_bytes = ColumnBytes(m);
   std::vector<uint8_t> r_bytes = PackBits(choices);
 
-  std::vector<std::vector<uint8_t>> t_columns(kOtExtensionWidth);
-  for (int i = 0; i < kOtExtensionWidth; ++i) {
-    t_columns[i] = column_prgs0_[i].Bytes(col_bytes);
-    std::vector<uint8_t> u = column_prgs1_[i].Bytes(col_bytes);
-    for (size_t b = 0; b < col_bytes; ++b) {
-      u[b] ^= t_columns[i][b] ^ r_bytes[b];
+  std::vector<Block> t_rows;
+  {
+    obs::TraceSpan span("ot.ext");
+    span.AddAttr("transfers", static_cast<double>(m));
+    std::vector<std::vector<uint8_t>> t_columns(kOtExtensionWidth);
+    for (int i = 0; i < kOtExtensionWidth; ++i) {
+      t_columns[i] = column_prgs0_[i].Bytes(col_bytes);
+      std::vector<uint8_t> u = column_prgs1_[i].Bytes(col_bytes);
+      for (size_t b = 0; b < col_bytes; ++b) {
+        u[b] ^= t_columns[i][b] ^ r_bytes[b];
+      }
+      channel.SendBytes(u);
     }
-    channel.SendBytes(u);
+    t_rows = TransposeRows(t_columns, m);
   }
 
   // Masked bit pairs arrive packed four transfers per byte.
   std::vector<uint8_t> packed = channel.RecvBytes();
   PAFS_CHECK_EQ(packed.size(), (m + 3) / 4);
+  obs::TraceSpan unmask("ot.ext");
   BitVec out(m);
   for (size_t j = 0; j < m; ++j) {
     bool choice = choices.Get(j);
     int shift = 2 * (j % 4) + (choice ? 1 : 0);
     bool masked = (packed[j / 4] >> shift) & 1u;
-    Block t_row = RowFromColumns(t_columns, j);
-    bool pad = HashBlock(t_row, tweak_ + j).GetLsb();
+    bool pad = HashBlock(t_rows[j], tweak_ + j).GetLsb();
     out.Set(j, masked != pad);
   }
   tweak_ += m;
@@ -133,6 +162,14 @@ BitVec OtExtReceiver::RecvBits(Channel& channel, const BitVec& choices) {
 void OtExtSender::Send(Channel& channel,
                        const std::vector<std::array<Block, 2>>& messages) {
   PAFS_CHECK_MSG(is_setup(), "Send before Setup");
+  // Column receives interleave with the receiver's column sends, so the
+  // span's wait share is bounded by the pipelining, not a full phase.
+  obs::TraceSpan span("ot.ext");
+  if (obs::Enabled()) {
+    span.AddAttr("transfers", static_cast<double>(messages.size()));
+    static obs::Counter& transfers = obs::GetCounter("ot.ext.transfers");
+    transfers.Add(messages.size());
+  }
   const size_t m = messages.size();
   const size_t col_bytes = ColumnBytes(m);
 
@@ -148,10 +185,10 @@ void OtExtSender::Send(Channel& channel,
 
   // Row identity: q_j = t_j ^ (r_j ? s : 0), so H(q_j) masks m0 and
   // H(q_j ^ s) masks m1.
+  std::vector<Block> q_rows = TransposeRows(q_columns, m);
   for (size_t j = 0; j < m; ++j) {
-    Block q_row = RowFromColumns(q_columns, j);
-    Block pad0 = HashBlock(q_row, tweak_ + j);
-    Block pad1 = HashBlock(q_row ^ s_block_, tweak_ + j);
+    Block pad0 = HashBlock(q_rows[j], tweak_ + j);
+    Block pad1 = HashBlock(q_rows[j] ^ s_block_, tweak_ + j);
     channel.SendBlock(messages[j][0] ^ pad0);
     channel.SendBlock(messages[j][1] ^ pad1);
   }
@@ -162,6 +199,12 @@ void OtExtSender::SendBits(Channel& channel, const BitVec& bits0,
                            const BitVec& bits1) {
   PAFS_CHECK_MSG(is_setup(), "SendBits before Setup");
   PAFS_CHECK_EQ(bits0.size(), bits1.size());
+  obs::TraceSpan span("ot.ext");
+  if (obs::Enabled()) {
+    span.AddAttr("transfers", static_cast<double>(bits0.size()));
+    static obs::Counter& transfers = obs::GetCounter("ot.ext.transfers");
+    transfers.Add(bits0.size());
+  }
   const size_t m = bits0.size();
   const size_t col_bytes = ColumnBytes(m);
 
@@ -176,11 +219,11 @@ void OtExtSender::SendBits(Channel& channel, const BitVec& bits0,
   }
 
   // Mask each bit pair with the hash pads' low bits; pack 4 pairs/byte.
+  std::vector<Block> q_rows = TransposeRows(q_columns, m);
   std::vector<uint8_t> packed((m + 3) / 4, 0);
   for (size_t j = 0; j < m; ++j) {
-    Block q_row = RowFromColumns(q_columns, j);
-    bool pad0 = HashBlock(q_row, tweak_ + j).GetLsb();
-    bool pad1 = HashBlock(q_row ^ s_block_, tweak_ + j).GetLsb();
+    bool pad0 = HashBlock(q_rows[j], tweak_ + j).GetLsb();
+    bool pad1 = HashBlock(q_rows[j] ^ s_block_, tweak_ + j).GetLsb();
     uint8_t pair = static_cast<uint8_t>((bits0.Get(j) != pad0) ? 1 : 0) |
                    static_cast<uint8_t>(((bits1.Get(j) != pad1) ? 1 : 0) << 1);
     packed[j / 4] |= static_cast<uint8_t>(pair << (2 * (j % 4)));

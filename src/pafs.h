@@ -18,6 +18,9 @@
 #include "ml/naive_bayes.h"
 #include "ml/random_forest.h"
 #include "net/throttle.h"            // Link emulation.
+#include "obs/metrics.h"             // Telemetry counters/histograms.
+#include "obs/report.h"              // Telemetry rendering (text/JSON).
+#include "obs/trace.h"               // PafsTelemetry + phase spans.
 #include "privacy/chow_liu.h"        // Adversary model.
 #include "privacy/inference_attack.h"
 #include "privacy/risk.h"            // Disclosure risk metrics.

@@ -1,5 +1,6 @@
 #include "sharing/gmw.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -41,6 +42,7 @@ GmwParty::GmwParty(int party, Channel& channel)
 }
 
 void GmwParty::Setup(Rng& rng) {
+  obs::TraceSpan span("gmw.setup");
   PAFS_CHECK_MSG(!is_setup(), "Setup called twice");
   // Two OT-extension sessions, one per triple cross-term direction. The
   // pairing is sender(0)<->receiver(1) then receiver(0)<->sender(1), so
@@ -61,7 +63,13 @@ void GmwParty::PrecomputeTriples(size_t n, Rng& rng) {
 void GmwParty::EnsureTriples(size_t needed, Rng& rng) {
   if (TriplePoolSize() >= needed) return;
   PAFS_CHECK_MSG(is_setup(), "triples need Setup first");
+  obs::TraceSpan span("gmw.triples");
   size_t batch = needed - TriplePoolSize();
+  if (obs::Enabled()) {
+    span.AddAttr("triples", static_cast<double>(batch));
+    static obs::Counter& generated = obs::GetCounter("gmw.triples_generated");
+    generated.Add(batch);
+  }
 
   // Beaver triples over GF(2): c = (a0^a1)(b0^b1). Each party contributes
   // random (a, b); the cross terms come from one bit-OT per direction:
@@ -116,6 +124,13 @@ void GmwParty::NextTriple(bool* a, bool* b, bool* c) {
 
 BitVec GmwParty::Evaluate(const Circuit& circuit, const BitVec& own_inputs,
                           Rng& rng) {
+  // Covers share distribution, the layer-by-layer opening rounds, and the
+  // final reconstruction; triple refills nest as gmw.triples children.
+  obs::TraceSpan span("gmw.eval");
+  if (obs::Enabled()) {
+    span.AddAttr("and_gates",
+                 static_cast<double>(circuit.Stats().and_gates));
+  }
   const uint32_t own_count =
       party_ == 0 ? circuit.garbler_inputs() : circuit.evaluator_inputs();
   PAFS_CHECK_EQ(own_inputs.size(), own_count);

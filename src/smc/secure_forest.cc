@@ -6,6 +6,7 @@
 #include "circuit/builder.h"
 #include "circuit/optimizer.h"
 #include "circuit/serialize.h"
+#include "obs/trace.h"
 #include "smc/secure_tree.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -107,7 +108,11 @@ SmcRunStats SecureForestRunServer(Channel& channel,
   }
   SendCircuit(channel, spec.circuit());
 
-  BitVec garbler_bits = spec.EncodeModel(forest);
+  BitVec garbler_bits;
+  {
+    obs::TraceSpan encode("smc.encode");
+    garbler_bits = spec.EncodeModel(forest);
+  }
   BitVec out =
       GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng, scheme);
   SmcRunStats stats;
@@ -143,7 +148,11 @@ SmcRunStats SecureForestRunClient(Channel& channel,
   PAFS_CHECK_EQ(circuit.evaluator_inputs(),
                 static_cast<uint32_t>(layout.total_value_bits()));
 
-  BitVec evaluator_bits = layout.EncodeRow(row);
+  BitVec evaluator_bits;
+  {
+    obs::TraceSpan encode("smc.encode");
+    evaluator_bits = layout.EncodeRow(row);
+  }
   BitVec out =
       GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng, scheme);
   uint32_t index_bits = static_cast<uint32_t>(BitsFor(num_classes));

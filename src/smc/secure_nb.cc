@@ -1,6 +1,7 @@
 #include "smc/secure_nb.h"
 
 #include "circuit/builder.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -105,7 +106,11 @@ SmcRunStats SecureNbRunServer(Channel& channel, const SecureNbCircuit& spec,
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
-  BitVec garbler_bits = spec.EncodeModel(model, disclosed);
+  BitVec garbler_bits;
+  {
+    obs::TraceSpan encode("smc.encode");
+    garbler_bits = spec.EncodeModel(model, disclosed);
+  }
   BitVec out = GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng,
                             scheme);
   SmcRunStats stats;
@@ -123,7 +128,11 @@ SmcRunStats SecureNbRunClient(Channel& channel, const SecureNbCircuit& spec,
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
-  BitVec evaluator_bits = spec.EncodeRow(row);
+  BitVec evaluator_bits;
+  {
+    obs::TraceSpan encode("smc.encode");
+    evaluator_bits = spec.EncodeRow(row);
+  }
   BitVec out = GcRunEvaluator(channel, spec.circuit(), evaluator_bits, ot,
                               rng, scheme);
   SmcRunStats stats;

@@ -7,6 +7,7 @@
 #include "circuit/builder.h"
 #include "circuit/optimizer.h"
 #include "circuit/serialize.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -156,14 +157,21 @@ SmcRunStats SecureTreeRunServer(Channel& channel,
 
   // Ship the public circuit description: which hidden features it reads,
   // then the gate list.
-  const HiddenLayout& layout = spec.layout();
-  channel.SendU64(layout.num_hidden());
-  for (int f : layout.hidden_features()) {
-    channel.SendU64(static_cast<uint64_t>(f));
+  {
+    obs::TraceSpan transfer("gc.transfer");
+    const HiddenLayout& layout = spec.layout();
+    channel.SendU64(layout.num_hidden());
+    for (int f : layout.hidden_features()) {
+      channel.SendU64(static_cast<uint64_t>(f));
+    }
+    SendCircuit(channel, spec.circuit());
   }
-  SendCircuit(channel, spec.circuit());
 
-  BitVec garbler_bits = spec.EncodeModel(tree);
+  BitVec garbler_bits;
+  {
+    obs::TraceSpan encode("smc.encode");
+    garbler_bits = spec.EncodeModel(tree);
+  }
   BitVec out =
       GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng, scheme);
   SmcRunStats stats;
@@ -199,7 +207,11 @@ SmcRunStats SecureTreeRunClient(Channel& channel,
   PAFS_CHECK_EQ(circuit.evaluator_inputs(),
                 static_cast<uint32_t>(layout.total_value_bits()));
 
-  BitVec evaluator_bits = layout.EncodeRow(row);
+  BitVec evaluator_bits;
+  {
+    obs::TraceSpan encode("smc.encode");
+    evaluator_bits = layout.EncodeRow(row);
+  }
   BitVec out =
       GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng, scheme);
   uint32_t label_bits = static_cast<uint32_t>(BitsFor(num_classes));

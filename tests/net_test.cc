@@ -8,6 +8,7 @@
 #include "bignum/bigint.h"
 #include "net/channel.h"
 #include "net/throttle.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace pafs {
@@ -145,6 +146,75 @@ TEST(ThrottledChannelTest, ChargesHalfRttPerFlip) {
   b.RecvU64();
   EXPECT_NEAR(a.emulated_delay_seconds(), 0.020, 1e-3);  // Two flips on a.
   EXPECT_NEAR(b.emulated_delay_seconds(), 0.010, 1e-3);  // One flip on b.
+}
+
+TEST(ThrottledChannelTest, WallClockMatchesAnalyticEstimate) {
+  // End-to-end check that the emulation agrees with the cost model: a
+  // ping-pong exchange over throttled endpoints should take (up to sleep
+  // granularity) NetworkProfile::TransferSeconds of the observed traffic.
+  MemChannelPair pair;
+  NetworkProfile profile{"test-link", 2e6, 0.004};  // 2 MB/s, 4 ms RTT.
+  ThrottledChannel a(pair.endpoint(0), profile);
+  ThrottledChannel b(pair.endpoint(1), profile);
+
+  std::vector<uint8_t> payload(4000, 0xAB);
+  Timer timer;
+  std::thread peer([&] {
+    for (int i = 0; i < 8; ++i) {
+      b.RecvBytes();
+      b.SendBytes(payload);
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    a.SendBytes(payload);
+    a.RecvBytes();
+  }
+  peer.join();
+  double wall = timer.ElapsedSeconds();
+
+  double estimate =
+      profile.TransferSeconds(pair.TotalBytes(), pair.TotalRounds());
+  // The sleeps themselves are exactly the analytic delays, so the two
+  // endpoints' totals must reconstruct the estimate almost exactly.
+  EXPECT_NEAR(a.emulated_delay_seconds() + b.emulated_delay_seconds(),
+              estimate, 0.05 * estimate);
+  // Wall-clock adds scheduler overshoot per sleep; the exchange is strictly
+  // half-duplex, so it can never beat the estimate.
+  EXPECT_GE(wall, 0.95 * estimate);
+  EXPECT_LE(wall, 1.5 * estimate + 0.02);
+}
+
+TEST(ThrottledChannelTest, SurfacesEmulatedDelayAsSpanAttribute) {
+  PafsTelemetry::Reset();
+  PafsTelemetry::Enable();
+  obs::SetThreadParty("throttle-test");
+
+  MemChannelPair pair;
+  NetworkProfile slow{"slow", 1e6, 0.010};  // 1 MB/s, 10 ms RTT.
+  ThrottledChannel a(pair.endpoint(0), slow, /*time_scale=*/100.0);
+  std::vector<uint8_t> payload(50000, 1);
+  {
+    obs::TraceSpan span("throttled.send");
+    a.SendBytes(payload);
+  }
+  PafsTelemetry::Disable();
+
+  // The span must carry the channel's accumulated sleep so phase
+  // aggregators can separate link time from compute.
+  double attr = -1;
+  obs::ForEachParty([&](const std::string& party,
+                        const std::vector<const obs::PhaseNode*>& roots) {
+    if (party != "throttle-test") return;
+    ASSERT_EQ(roots.size(), 1u);
+    EXPECT_EQ(roots[0]->name, "throttled.send");
+    auto it = roots[0]->attrs.find("emulated_delay_seconds");
+    ASSERT_NE(it, roots[0]->attrs.end());
+    attr = it->second;
+  });
+  EXPECT_NEAR(attr, a.emulated_delay_seconds(), 1e-12);
+  // 50 KB at 1 MB/s plus half an RTT, scaled 100x: (0.05 + 0.005) / 100.
+  EXPECT_NEAR(attr, 0.00055, 0.0001);
+  PafsTelemetry::Reset();
 }
 
 }  // namespace
