@@ -1,23 +1,38 @@
 #include "circuit/serialize.h"
 
-#include "util/check.h"
+#include <string>
+
+#include "net/error.h"
 
 namespace pafs {
 
+// Validates and assembles parts received off the wire. Everything here is
+// untrusted peer data, so violations raise ProtocolError — the supervisor
+// tears the session down instead of the process aborting.
 Circuit CircuitFromParts(uint32_t garbler_inputs, uint32_t evaluator_inputs,
                          uint32_t num_wires, std::vector<Gate> gates,
                          std::vector<uint32_t> outputs) {
-  PAFS_CHECK_GE(num_wires, garbler_inputs + evaluator_inputs);
+  if (num_wires < garbler_inputs + evaluator_inputs) {
+    throw ProtocolError("circuit: fewer wires than inputs");
+  }
   // Topological validity: every gate reads wires defined before its output.
   uint32_t defined = garbler_inputs + evaluator_inputs;
   for (const Gate& g : gates) {
-    PAFS_CHECK_LT(g.in0, defined);
-    if (g.type != GateType::kNot) PAFS_CHECK_LT(g.in1, defined);
-    PAFS_CHECK_EQ(g.out, defined);
+    if (g.in0 >= defined || (g.type != GateType::kNot && g.in1 >= defined) ||
+        g.out != defined) {
+      throw ProtocolError("circuit: gate wires out of topological order");
+    }
     ++defined;
   }
-  PAFS_CHECK_EQ(defined, num_wires);
-  for (uint32_t out : outputs) PAFS_CHECK_LT(out, num_wires);
+  if (defined != num_wires) {
+    throw ProtocolError("circuit: wire count does not match gate list");
+  }
+  for (uint32_t out : outputs) {
+    if (out >= num_wires) {
+      throw ProtocolError("circuit: output wire " + std::to_string(out) +
+                          " out of range");
+    }
+  }
 
   Circuit circuit;
   circuit.garbler_inputs_ = garbler_inputs;
@@ -53,22 +68,33 @@ Circuit RecvCircuit(Channel& channel) {
   uint32_t evaluator_inputs = static_cast<uint32_t>(channel.RecvU64());
   uint32_t num_wires = static_cast<uint32_t>(channel.RecvU64());
   uint64_t num_gates = channel.RecvU64();
-  std::vector<uint8_t> buf = channel.RecvBytes();
-  PAFS_CHECK_EQ(buf.size(), num_gates * 9);
+  // Overflow-safe bound before num_gates * 9 can wrap or allocate.
+  if (num_gates > channel.max_message_bytes() / 9) {
+    throw ProtocolError("circuit: gate count " + std::to_string(num_gates) +
+                        " exceeds cap");
+  }
+  std::vector<uint8_t> buf = channel.RecvBytesExpected(num_gates * 9);
   std::vector<Gate> gates(num_gates);
   uint32_t next_wire = garbler_inputs + evaluator_inputs;
   for (uint64_t i = 0; i < num_gates; ++i) {
     const uint8_t* p = buf.data() + i * 9;
     Gate& g = gates[i];
     g.type = static_cast<GateType>(p[0]);
-    PAFS_CHECK(g.type == GateType::kXor || g.type == GateType::kAnd ||
-               g.type == GateType::kNot);
+    if (g.type != GateType::kXor && g.type != GateType::kAnd &&
+        g.type != GateType::kNot) {
+      throw ProtocolError("circuit: unknown gate type " +
+                          std::to_string(p[0]));
+    }
     g.in0 = g.in1 = 0;
     for (int b = 0; b < 4; ++b) g.in0 |= static_cast<uint32_t>(p[1 + b]) << (8 * b);
     for (int b = 0; b < 4; ++b) g.in1 |= static_cast<uint32_t>(p[5 + b]) << (8 * b);
     g.out = next_wire++;
   }
   uint64_t num_outputs = channel.RecvU64();
+  if (num_outputs > num_wires) {
+    throw ProtocolError("circuit: output count " +
+                        std::to_string(num_outputs) + " exceeds wire count");
+  }
   std::vector<uint32_t> outputs(num_outputs);
   for (auto& out : outputs) out = static_cast<uint32_t>(channel.RecvU64());
   return CircuitFromParts(garbler_inputs, evaluator_inputs, num_wires,

@@ -1,8 +1,12 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <string>
 #include <thread>
 
+#include "net/framing.h"
 #include "obs/trace.h"
 #include "smc/secure_forest.h"
 #include "smc/secure_linear.h"
@@ -28,8 +32,12 @@ SecureClassificationPipeline::SecureClassificationPipeline(
       features_(train.features()),
       num_classes_(train.num_classes()),
       spec_cache_(std::make_unique<SpecCache>()),
+      channel_(std::make_unique<MemChannelPair>()),
       server_rng_(config.seed * 2 + 1),
       client_rng_(config.seed * 2 + 2) {
+  if (config.fault_plan.enabled()) {
+    fault_injector_ = std::make_unique<FaultInjector>(config.fault_plan);
+  }
   {
     obs::TraceSpan span("train");
     nb_.Train(train);
@@ -123,10 +131,60 @@ SmcRunStats SecureClassificationPipeline::ClassifyWithDisclosure(
     spec_cache_->valid = true;
   }
 
-  Channel& server_channel = channel_.endpoint(0);
-  Channel& client_channel = channel_.endpoint(1);
-  uint64_t bytes_before = channel_.TotalBytes();
-  uint64_t rounds_before = channel_.TotalRounds();
+  // Supervision: transport faults tear the session down and retry on a
+  // fresh one with capped exponential backoff; anything else propagates
+  // (it is a bug, not an environment failure).
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return RunProtocolOnce(row, disclosure);
+    } catch (const TransportError& e) {
+      static obs::Counter& failures = obs::GetCounter("pipeline.failures");
+      failures.Add();
+      ResetSession();
+      if (attempt >= config_.max_attempts) {
+        throw ClassificationError(
+            "classification failed after " + std::to_string(attempt) +
+            " attempt(s): " + e.what());
+      }
+      static obs::Counter& retries = obs::GetCounter("pipeline.retries");
+      retries.Add();
+      double backoff = config_.retry_backoff_seconds *
+                       static_cast<double>(1ull << (attempt - 1));
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+  }
+}
+
+SmcRunStats SecureClassificationPipeline::RunProtocolOnce(
+    const std::vector<int>& row, const std::vector<int>& disclosure) {
+  // Per-attempt channel stack. Under fault injection both sides speak CRC
+  // framing (so mangled frames become typed errors, not silent garbage)
+  // and the client side additionally passes through the injector.
+  Channel* server_channel = &channel_->endpoint(0);
+  Channel* client_channel = &channel_->endpoint(1);
+  std::unique_ptr<FaultInjectingChannel> faulty;
+  std::unique_ptr<FramedChannel> server_framed;
+  std::unique_ptr<FramedChannel> client_framed;
+  double recv_timeout = config_.recv_timeout_seconds;
+  if (fault_injector_ != nullptr) {
+    faulty = std::make_unique<FaultInjectingChannel>(*client_channel,
+                                                     *fault_injector_);
+    server_framed = std::make_unique<FramedChannel>(*server_channel);
+    client_framed = std::make_unique<FramedChannel>(*faulty);
+    server_channel = server_framed.get();
+    client_channel = client_framed.get();
+    // A dropped message must surface as a timeout, never a hang.
+    if (recv_timeout <= 0) recv_timeout = 5.0;
+  }
+  if (recv_timeout > 0) {
+    server_channel->set_recv_timeout_seconds(recv_timeout);
+    client_channel->set_recv_timeout_seconds(recv_timeout);
+  }
+
+  uint64_t bytes_before = channel_->TotalBytes();
+  uint64_t rounds_before = channel_->TotalRounds();
   Timer timer;
 
   // Disclosure phase: the client reveals the plan's feature values. Each
@@ -134,103 +192,153 @@ SmcRunStats SecureClassificationPipeline::ClassifyWithDisclosure(
   // classify spans absorb the time each side spends blocked on the other
   // as self-time, keeping the leaf phases double-count free.
   SmcRunStats server_stats, client_stats;
+  std::exception_ptr server_error, client_error;
   std::thread server([&] {
     obs::SetThreadParty("server");
     obs::TraceSpan root("classify");
-    std::map<int, int> disclosed;
-    for (int f : disclosure) {
-      disclosed[f] = static_cast<int>(server_channel.RecvU64());
-    }
-    switch (config_.classifier) {
-      case ClassifierKind::kNaiveBayes: {
-        server_stats = SecureNbRunServer(server_channel, *spec_cache_->nb,
-                                         nb_, disclosed, ot_sender_,
-                                         server_rng_, config_.scheme);
-        break;
-      }
-      case ClassifierKind::kDecisionTree: {
-        std::unique_ptr<DecisionTree> specialized;
-        std::unique_ptr<SecureTreeCircuit> spec;
-        {
-          obs::TraceSpan build("smc.build");
-          specialized =
-              std::make_unique<DecisionTree>(tree_.Specialize(disclosed));
-          spec = std::make_unique<SecureTreeCircuit>(*specialized, features_,
-                                                     num_classes_, disclosed);
+    try {
+      std::map<int, int> disclosed;
+      for (int f : disclosure) {
+        uint64_t v = server_channel->RecvU64();
+        // Disclosed values are wire data: validate against the schema
+        // before they parameterize model specialization.
+        if (v >= static_cast<uint64_t>(features_[f].cardinality)) {
+          throw ProtocolError("pipeline: disclosed value " +
+                              std::to_string(v) + " out of range for " +
+                              features_[f].name);
         }
-        server_stats = SecureTreeRunServer(server_channel, *spec, *specialized,
-                                           ot_sender_, server_rng_,
-                                           config_.scheme);
-        break;
+        disclosed[f] = static_cast<int>(v);
       }
-      case ClassifierKind::kLinear: {
-        server_stats = spec_cache_->linear->RunServer(
-            server_channel, linear_, disclosed, ot_sender_, server_rng_,
-            config_.scheme);
-        break;
-      }
-      case ClassifierKind::kForest: {
-        std::unique_ptr<RandomForest> specialized;
-        std::unique_ptr<SecureForestCircuit> spec;
-        {
-          obs::TraceSpan build("smc.build");
-          specialized =
-              std::make_unique<RandomForest>(forest_.Specialize(disclosed));
-          spec = std::make_unique<SecureForestCircuit>(
-              *specialized, features_, num_classes_, disclosed);
+      switch (config_.classifier) {
+        case ClassifierKind::kNaiveBayes: {
+          server_stats = SecureNbRunServer(*server_channel, *spec_cache_->nb,
+                                           nb_, disclosed, ot_sender_,
+                                           server_rng_, config_.scheme);
+          break;
         }
-        server_stats = SecureForestRunServer(server_channel, *spec,
+        case ClassifierKind::kDecisionTree: {
+          std::unique_ptr<DecisionTree> specialized;
+          std::unique_ptr<SecureTreeCircuit> spec;
+          {
+            obs::TraceSpan build("smc.build");
+            specialized =
+                std::make_unique<DecisionTree>(tree_.Specialize(disclosed));
+            spec = std::make_unique<SecureTreeCircuit>(
+                *specialized, features_, num_classes_, disclosed);
+          }
+          server_stats = SecureTreeRunServer(*server_channel, *spec,
                                              *specialized, ot_sender_,
                                              server_rng_, config_.scheme);
-        break;
+          break;
+        }
+        case ClassifierKind::kLinear: {
+          server_stats = spec_cache_->linear->RunServer(
+              *server_channel, linear_, disclosed, ot_sender_, server_rng_,
+              config_.scheme);
+          break;
+        }
+        case ClassifierKind::kForest: {
+          std::unique_ptr<RandomForest> specialized;
+          std::unique_ptr<SecureForestCircuit> spec;
+          {
+            obs::TraceSpan build("smc.build");
+            specialized =
+                std::make_unique<RandomForest>(forest_.Specialize(disclosed));
+            spec = std::make_unique<SecureForestCircuit>(
+                *specialized, features_, num_classes_, disclosed);
+          }
+          server_stats = SecureForestRunServer(*server_channel, *spec,
+                                               *specialized, ot_sender_,
+                                               server_rng_, config_.scheme);
+          break;
+        }
       }
+    } catch (...) {
+      server_error = std::current_exception();
+      channel_->Close();  // Unblock the peer; it fails with kClosed.
     }
   });
 
   obs::SetThreadParty("client");
   obs::TraceSpan root("classify");
-  {
-    obs::TraceSpan disclose("disclose");
-    for (int f : disclosure) {
-      client_channel.SendU64(static_cast<uint64_t>(row[f]));
+  try {
+    {
+      obs::TraceSpan disclose("disclose");
+      for (int f : disclosure) {
+        client_channel->SendU64(static_cast<uint64_t>(row[f]));
+      }
     }
-  }
-  std::map<int, int> disclosed_client;
-  for (int f : disclosure) disclosed_client[f] = row[f];
-  switch (config_.classifier) {
-    case ClassifierKind::kNaiveBayes: {
-      client_stats = SecureNbRunClient(client_channel, *spec_cache_->nb, row,
-                                       ot_receiver_, client_rng_,
-                                       config_.scheme);
-      break;
-    }
-    case ClassifierKind::kDecisionTree: {
-      client_stats = SecureTreeRunClient(client_channel, features_,
-                                         num_classes_, row, ot_receiver_,
-                                         client_rng_, config_.scheme);
-      break;
-    }
-    case ClassifierKind::kLinear: {
-      client_stats = spec_cache_->linear->RunClient(
-          client_channel, *client_keys_, row, ot_receiver_, client_rng_,
-          config_.scheme);
-      break;
-    }
-    case ClassifierKind::kForest: {
-      client_stats = SecureForestRunClient(client_channel, features_,
+    switch (config_.classifier) {
+      case ClassifierKind::kNaiveBayes: {
+        client_stats = SecureNbRunClient(*client_channel, *spec_cache_->nb,
+                                         row, ot_receiver_, client_rng_,
+                                         config_.scheme);
+        break;
+      }
+      case ClassifierKind::kDecisionTree: {
+        client_stats = SecureTreeRunClient(*client_channel, features_,
                                            num_classes_, row, ot_receiver_,
                                            client_rng_, config_.scheme);
-      break;
+        break;
+      }
+      case ClassifierKind::kLinear: {
+        client_stats = spec_cache_->linear->RunClient(
+            *client_channel, *client_keys_, row, ot_receiver_, client_rng_,
+            config_.scheme);
+        break;
+      }
+      case ClassifierKind::kForest: {
+        client_stats = SecureForestRunClient(*client_channel, features_,
+                                             num_classes_, row, ot_receiver_,
+                                             client_rng_, config_.scheme);
+        break;
+      }
     }
+  } catch (...) {
+    client_error = std::current_exception();
+    channel_->Close();
   }
   server.join();
 
+  if (server_error != nullptr || client_error != nullptr) {
+    // Both parties usually fail (the faulted one plus its peer unblocked
+    // with kClosed). Rethrow the root cause, not the echo: a non-transport
+    // exception is a bug and wins outright; otherwise ProtocolError beats
+    // timeout beats closed.
+    auto rank = [](const std::exception_ptr& e) {
+      if (e == nullptr) return -1;
+      try {
+        std::rethrow_exception(e);
+      } catch (const ProtocolError&) {
+        return 2;
+      } catch (const ChannelError& ce) {
+        return ce.kind() == ChannelErrorKind::kTimeout ? 1 : 0;
+      } catch (const TransportError&) {
+        return 1;
+      } catch (...) {
+        return 3;
+      }
+    };
+    std::rethrow_exception(rank(server_error) >= rank(client_error)
+                               ? server_error
+                               : client_error);
+  }
+
   PAFS_CHECK_EQ(server_stats.predicted_class, client_stats.predicted_class);
   SmcRunStats stats = client_stats;
-  stats.bytes = channel_.TotalBytes() - bytes_before;
-  stats.rounds = channel_.TotalRounds() - rounds_before;
+  stats.bytes = channel_->TotalBytes() - bytes_before;
+  stats.rounds = channel_->TotalRounds() - rounds_before;
   stats.wall_seconds = timer.ElapsedSeconds();
   return stats;
+}
+
+void SecureClassificationPipeline::ResetSession() {
+  channel_ = std::make_unique<MemChannelPair>();
+  // OT endpoints carry per-session correlation state; fresh base OTs run
+  // on the next attempt. The fault injector deliberately survives so its
+  // budget does not reset (a one-shot fault stays one-shot).
+  ot_sender_ = OtExtSender();
+  ot_receiver_ = OtExtReceiver();
 }
 
 }  // namespace pafs

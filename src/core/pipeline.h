@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "core/selection.h"
 #include "crypto/paillier.h"
@@ -20,6 +21,7 @@
 #include "ml/linear_model.h"
 #include "ml/naive_bayes.h"
 #include "net/channel.h"
+#include "net/fault.h"
 #include "ot/iknp.h"
 #include "smc/common.h"
 #include "util/random.h"
@@ -33,6 +35,27 @@ struct PipelineConfig {
   GarblingScheme scheme = GarblingScheme::kHalfGates;
   bool measure_calibration = false;  // Defaults are fine for tests.
   uint64_t seed = 42;
+
+  // Fault tolerance. A query attempt that dies with a TransportError is
+  // retried on a fresh session (new channel, new OT setup) with capped
+  // exponential backoff, up to max_attempts total attempts.
+  int max_attempts = 3;
+  double retry_backoff_seconds = 0.005;  // Doubles per retry.
+  // Per-Recv deadline. 0 = wait forever, except under fault injection,
+  // where a silent drop must not hang the query: there 0 means 5 s.
+  double recv_timeout_seconds = 0;
+  // Deterministic fault injection (client->server sends), off by default;
+  // FromEnv() lets any binary opt in via PAFS_FAULT_* variables. When
+  // enabled, both endpoints run over CRC framing so corruption and
+  // truncation surface as typed errors instead of garbage plaintext.
+  FaultPlan fault_plan = FaultPlan::FromEnv();
+};
+
+// Terminal classification failure: every attempt died on a transport or
+// protocol fault. What() carries the final attempt's root cause.
+class ClassificationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class SecureClassificationPipeline {
@@ -57,6 +80,13 @@ class SecureClassificationPipeline {
                                      const std::vector<int>& disclosure);
 
   int PlaintextPredict(const std::vector<int>& row) const;
+
+  // Faults injected so far (0 when injection is disabled). The count
+  // persists across retries: a one-shot plan fires once, then the retried
+  // attempt runs clean.
+  uint64_t faults_injected() const {
+    return fault_injector_ ? fault_injector_->injected() : 0;
+  }
 
   const NaiveBayes& naive_bayes() const { return nb_; }
   const DecisionTree& tree() const { return tree_; }
@@ -83,8 +113,20 @@ class SecureClassificationPipeline {
   struct SpecCache;
   std::unique_ptr<SpecCache> spec_cache_;
 
+  // One protocol attempt over the current session; throws TransportError
+  // on channel/peer faults.
+  SmcRunStats RunProtocolOnce(const std::vector<int>& row,
+                              const std::vector<int>& disclosure);
+  // Discards the (possibly wedged) session: fresh channel pair, fresh OT
+  // endpoints. Base OTs re-run on the next attempt.
+  void ResetSession();
+
   // Long-lived protocol session state (base OTs amortize across calls).
-  MemChannelPair channel_;
+  // The channel is a pointer so a faulted session can be torn down and
+  // rebuilt; the fault injector outlives it to keep its budget across
+  // retries.
+  std::unique_ptr<MemChannelPair> channel_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   OtExtSender ot_sender_;
   OtExtReceiver ot_receiver_;
   Rng server_rng_;

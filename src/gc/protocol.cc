@@ -1,6 +1,7 @@
 #include "gc/protocol.h"
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "gc/garble.h"
@@ -24,8 +25,13 @@ void SendBits(Channel& channel, const BitVec& bits) {
 
 BitVec RecvBits(Channel& channel) {
   uint64_t n = channel.RecvU64();
-  std::vector<uint8_t> bytes = channel.RecvBytes();
-  PAFS_CHECK_EQ(bytes.size(), (n + 7) / 8);
+  // The bit count is untrusted wire data: bound it before sizing anything,
+  // then demand the byte payload that exactly matches it.
+  if (n > channel.max_message_bytes() * 8) {
+    throw ProtocolError("RecvBits: bit count " + std::to_string(n) +
+                        " exceeds cap");
+  }
+  std::vector<uint8_t> bytes = channel.RecvBytesExpected((n + 7) / 8);
   BitVec bits(n);
   for (uint64_t i = 0; i < n; ++i) {
     bits.Set(i, (bytes[i / 8] >> (i % 8)) & 1u);
@@ -96,7 +102,13 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
     obs::TraceSpan transfer("gc.transfer");
     SendBits(channel, output_decode);
   }
-  return RecvBits(channel);
+  BitVec result = RecvBits(channel);
+  if (result.size() != circuit.outputs().size()) {
+    throw ProtocolError("garbler: peer reported " +
+                        std::to_string(result.size()) + " output bits, want " +
+                        std::to_string(circuit.outputs().size()));
+  }
+  return result;
 }
 
 BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
@@ -105,12 +117,16 @@ BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
   PAFS_CHECK_EQ(evaluator_bits.size(), circuit.evaluator_inputs());
   if (!ot.is_setup()) ot.Setup(channel, rng);
 
-  // 1. Garbled tables.
-  std::vector<Block> flat = channel.RecvBlocks();
+  // 1. Garbled tables. The evaluator knows the circuit, so it knows the
+  // exact table count — demand it instead of trusting the wire length.
+  size_t num_and = circuit.Stats().and_gates;
+  size_t blocks_per_gate = scheme == GarblingScheme::kHalfGates ? 2 : 4;
+  std::vector<Block> flat =
+      channel.RecvBlocksExpected(num_and * blocks_per_gate);
 
   // 2. Garbler's active input labels.
-  std::vector<Block> garbler_labels = channel.RecvBlocks();
-  PAFS_CHECK_EQ(garbler_labels.size(), circuit.garbler_inputs());
+  std::vector<Block> garbler_labels =
+      channel.RecvBlocksExpected(circuit.garbler_inputs());
 
   // 3. Own labels via OT.
   std::vector<Block> own_labels;
@@ -128,8 +144,6 @@ BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
   // 4. Evaluate, decode, and report back.
   std::vector<Block> output_labels;
   if (scheme == GarblingScheme::kHalfGates) {
-    size_t num_and = circuit.Stats().and_gates;
-    PAFS_CHECK_EQ(flat.size(), num_and * 2);
     std::vector<GarbledTable> tables(num_and);
     {
       obs::TraceSpan unpack("gc.transfer");
@@ -139,8 +153,6 @@ BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
     }
     output_labels = EvaluateGarbled(circuit, tables, input_labels);
   } else {
-    size_t num_and = circuit.Stats().and_gates;
-    PAFS_CHECK_EQ(flat.size(), num_and * 4);
     std::vector<std::array<Block, 4>> tables(num_and);
     {
       obs::TraceSpan unpack("gc.transfer");
@@ -152,6 +164,12 @@ BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
   }
 
   BitVec output_decode = RecvBits(channel);
+  if (output_decode.size() != output_labels.size()) {
+    throw ProtocolError("evaluator: decode table has " +
+                        std::to_string(output_decode.size()) +
+                        " bits for " + std::to_string(output_labels.size()) +
+                        " output labels");
+  }
   BitVec outputs = DecodeOutputs(output_labels, output_decode);
   {
     obs::TraceSpan transfer("gc.transfer");

@@ -1,13 +1,40 @@
 #include "net/channel.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
+#include <string>
 
 #include "obs/trace.h"
 #include "util/check.h"
 
 namespace pafs {
+
+namespace {
+
+// Raises ProtocolError on an untrusted length that exceeds the channel cap.
+void CheckWireLength(uint64_t n, uint64_t cap, const char* what) {
+  if (n <= cap) return;
+  static obs::Counter& rejected = obs::GetCounter("net.oversize_rejected");
+  rejected.Add();
+  throw ProtocolError(std::string(what) + ": wire length " +
+                      std::to_string(n) + " exceeds cap " +
+                      std::to_string(cap));
+}
+
+// Raises ProtocolError when the wire length disagrees with the size the
+// protocol declared for this message.
+void CheckWireExpected(uint64_t n, uint64_t expected, const char* what) {
+  if (n == expected) return;
+  static obs::Counter& rejected = obs::GetCounter("net.oversize_rejected");
+  rejected.Add();
+  throw ProtocolError(std::string(what) + ": wire length " +
+                      std::to_string(n) + " != expected " +
+                      std::to_string(expected));
+}
+
+}  // namespace
 
 void Channel::SendU64(uint64_t v) {
   uint8_t buf[8];
@@ -42,6 +69,15 @@ void Channel::SendBlocks(const std::vector<Block>& blocks) {
 
 std::vector<Block> Channel::RecvBlocks() {
   uint64_t n = RecvU64();
+  CheckWireLength(n, max_message_bytes() / sizeof(Block), "RecvBlocks");
+  std::vector<Block> out(n);
+  for (auto& b : out) b = RecvBlock();
+  return out;
+}
+
+std::vector<Block> Channel::RecvBlocksExpected(uint64_t expected) {
+  uint64_t n = RecvU64();
+  CheckWireExpected(n, expected, "RecvBlocks");
   std::vector<Block> out(n);
   for (auto& b : out) b = RecvBlock();
   return out;
@@ -61,6 +97,15 @@ void Channel::SendBytes(const std::vector<uint8_t>& bytes) {
 
 std::vector<uint8_t> Channel::RecvBytes() {
   uint64_t n = RecvU64();
+  CheckWireLength(n, max_message_bytes(), "RecvBytes");
+  std::vector<uint8_t> out(n);
+  if (n > 0) Recv(out.data(), n);
+  return out;
+}
+
+std::vector<uint8_t> Channel::RecvBytesExpected(uint64_t expected) {
+  uint64_t n = RecvU64();
+  CheckWireExpected(n, expected, "RecvBytes");
   std::vector<uint8_t> out(n);
   if (n > 0) Recv(out.data(), n);
   return out;
@@ -72,17 +117,23 @@ class MemChannelPair::Endpoint : public Channel {
     PAFS_CHECK(peer_ != nullptr);
     {
       std::lock_guard<std::mutex> lock(peer_->mutex_);
+      if (peer_->shutdown_) {
+        static obs::Counter& closed = obs::GetCounter("net.closed_errors");
+        closed.Add();
+        throw ChannelError(ChannelErrorKind::kClosed,
+                           "send on closed channel");
+      }
       peer_->inbox_.insert(peer_->inbox_.end(), data, data + n);
     }
     peer_->cv_.notify_one();
     // Stats fields are only touched by this endpoint's owning thread.
     stats_.bytes_sent += n;
     ++stats_.messages_sent;
-    bool flipped = !last_op_was_send_;
-    if (flipped) {
-      ++stats_.direction_flips;
-      last_op_was_send_ = true;
-    }
+    // Only a send that *follows a receive* flips the traffic direction; the
+    // first operation on a fresh endpoint opens the conversation instead.
+    bool flipped = last_op_ == LastOp::kRecv;
+    if (flipped) ++stats_.direction_flips;
+    last_op_ = LastOp::kSend;
     if (obs::Enabled()) {
       // Per-span traffic attribution: the sender's thread-local span (if
       // any) owns this message, so every phase knows its own bytes/rounds.
@@ -97,25 +148,77 @@ class MemChannelPair::Endpoint : public Channel {
 
   void Recv(uint8_t* data, size_t n) override {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this, n] { return inbox_.size() >= n; });
+    auto satisfied = [this, n] { return inbox_.size() >= n || shutdown_; };
+    if (recv_timeout_seconds_ > 0) {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(recv_timeout_seconds_));
+      if (!cv_.wait_until(lock, deadline, satisfied)) {
+        static obs::Counter& timeouts = obs::GetCounter("net.recv_timeouts");
+        timeouts.Add();
+        throw ChannelError(ChannelErrorKind::kTimeout,
+                           "recv of " + std::to_string(n) +
+                               " bytes timed out after " +
+                               std::to_string(recv_timeout_seconds_) + " s");
+      }
+    } else {
+      cv_.wait(lock, satisfied);
+    }
+    // Drain-first semantics: bytes delivered before the shutdown are still
+    // readable, like a half-closed socket.
+    if (inbox_.size() < n) {
+      static obs::Counter& closed = obs::GetCounter("net.closed_errors");
+      closed.Add();
+      throw ChannelError(ChannelErrorKind::kClosed, "recv on closed channel");
+    }
     std::copy(inbox_.begin(), inbox_.begin() + n, data);
     inbox_.erase(inbox_.begin(), inbox_.begin() + n);
-    last_op_was_send_ = false;
+    last_op_ = LastOp::kRecv;
+  }
+
+  void Close() override {
+    // Sequential (never nested) locking of the two endpoints, so two
+    // concurrent Close() calls cannot deadlock.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    if (peer_ != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(peer_->mutex_);
+        peer_->shutdown_ = true;
+      }
+      peer_->cv_.notify_all();
+    }
+  }
+
+  bool closed() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+  }
+
+  void set_recv_timeout_seconds(double seconds) override {
+    recv_timeout_seconds_ = seconds;
   }
 
   const ChannelStats& stats() const override { return stats_; }
 
   void Reset() {
     stats_ = ChannelStats();
-    last_op_was_send_ = false;
+    last_op_ = LastOp::kNone;
   }
 
+  enum class LastOp { kNone, kSend, kRecv };
+
   Endpoint* peer_ = nullptr;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<uint8_t> inbox_;
+  bool shutdown_ = false;  // Guarded by mutex_.
+  double recv_timeout_seconds_ = 0;
   ChannelStats stats_;
-  bool last_op_was_send_ = false;
+  LastOp last_op_ = LastOp::kNone;
 };
 
 MemChannelPair::MemChannelPair()
@@ -130,6 +233,10 @@ Channel& MemChannelPair::endpoint(int party) {
   PAFS_CHECK(party == 0 || party == 1);
   return party == 0 ? *a_ : *b_;
 }
+
+void MemChannelPair::Close() { a_->Close(); }
+
+bool MemChannelPair::closed() const { return a_->closed(); }
 
 uint64_t MemChannelPair::TotalBytes() const {
   return a_->stats_.bytes_sent + b_->stats_.bytes_sent;

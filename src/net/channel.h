@@ -2,6 +2,13 @@
 // machines; we substitute an in-process duplex channel that counts every
 // byte and message round, plus a latency×bandwidth model that converts the
 // traffic log into LAN/WAN wall-clock estimates (see DESIGN.md).
+//
+// Fault model: channels can be Close()d (shutdown propagates to the peer,
+// unblocking any waiter with ChannelError{kClosed}), Recv can carry a
+// deadline (ChannelError{kTimeout}), and every length-prefixed decode
+// helper validates the untrusted length against a per-channel cap — and,
+// where the protocol knows the exact size, against that expectation — so a
+// corrupt prefix raises ProtocolError instead of a 2^60-byte allocation.
 #ifndef PAFS_NET_CHANNEL_H_
 #define PAFS_NET_CHANNEL_H_
 
@@ -12,15 +19,23 @@
 
 #include "bignum/bigint.h"
 #include "crypto/block.h"
+#include "net/error.h"
 
 namespace pafs {
+
+// Default bound on any single length-prefixed message. Generous (the
+// largest legitimate payloads — garbled forest tables — are a few MiB) but
+// small enough that a corrupt u64 length cannot exhaust memory.
+inline constexpr uint64_t kDefaultMaxMessageBytes = 64ull << 20;  // 64 MiB
 
 // Traffic statistics for one direction of a channel.
 struct ChannelStats {
   uint64_t bytes_sent = 0;
   uint64_t messages_sent = 0;
   // A "round" increments when the direction of traffic flips; protocol
-  // latency cost is rounds * RTT/2.
+  // latency cost is rounds * RTT/2. The very first send on a fresh (or
+  // Reset) endpoint is not a flip — in a half-duplex conversation the two
+  // endpoints' flip counts then agree instead of each starting 1 high.
   uint64_t direction_flips = 0;
 };
 
@@ -35,6 +50,21 @@ class Channel {
   virtual void Send(const uint8_t* data, size_t n) = 0;
   virtual void Recv(uint8_t* data, size_t n) = 0;
 
+  // Lifecycle. Close() shuts the transport down for *both* endpoints:
+  // every blocked or future Recv/Send raises ChannelError{kClosed} (after
+  // draining already-delivered bytes). Default no-ops let stat-only
+  // decorators opt out; real transports and decorators forward.
+  virtual void Close() {}
+  virtual bool closed() const { return false; }
+
+  // Deadline applied to each subsequent Recv on this endpoint; a Recv that
+  // stays blocked past it raises ChannelError{kTimeout}. 0 = wait forever.
+  virtual void set_recv_timeout_seconds(double seconds) { (void)seconds; }
+
+  // Cap enforced by the length-prefixed decode helpers below.
+  void set_max_message_bytes(uint64_t cap) { max_message_bytes_ = cap; }
+  uint64_t max_message_bytes() const { return max_message_bytes_; }
+
   // Convenience serializers used by every protocol layer.
   void SendU64(uint64_t v);
   uint64_t RecvU64();
@@ -47,7 +77,16 @@ class Channel {
   void SendBytes(const std::vector<uint8_t>& bytes);
   std::vector<uint8_t> RecvBytes();
 
+  // Hardened variants for call sites that know the exact size the protocol
+  // declares: a differing wire length raises ProtocolError before any
+  // payload byte is consumed.
+  std::vector<Block> RecvBlocksExpected(uint64_t expected);
+  std::vector<uint8_t> RecvBytesExpected(uint64_t expected);
+
   virtual const ChannelStats& stats() const = 0;
+
+ private:
+  uint64_t max_message_bytes_ = kDefaultMaxMessageBytes;
 };
 
 // In-memory duplex queue shared by a pair of endpoints.
@@ -57,6 +96,9 @@ class MemChannelPair {
   ~MemChannelPair();  // Out-of-line: Endpoint is an implementation detail.
 
   Channel& endpoint(int party);
+  // Shuts both endpoints down (either endpoint's Close() does the same).
+  void Close();
+  bool closed() const;
   // Total traffic both ways.
   uint64_t TotalBytes() const;
   uint64_t TotalRounds() const;

@@ -1,0 +1,131 @@
+#include "net/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pafs {
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDisconnect:
+      return "disconnect";
+  }
+  return "none";
+}
+
+FaultKind FaultKindFromName(const std::string& name) {
+  if (name == "drop") return FaultKind::kDrop;
+  if (name == "truncate") return FaultKind::kTruncate;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  if (name == "delay") return FaultKind::kDelay;
+  if (name == "disconnect") return FaultKind::kDisconnect;
+  return FaultKind::kNone;
+}
+
+FaultPlan FaultPlan::FromEnv() {
+  FaultPlan plan;
+  const char* kind = std::getenv("PAFS_FAULT_KIND");
+  if (kind != nullptr) plan.kind = FaultKindFromName(kind);
+  plan.seed = EnvU64("PAFS_FAULT_SEED", plan.seed);
+  plan.probability = EnvDouble("PAFS_FAULT_PROB", plan.probability);
+  plan.first_op = EnvU64("PAFS_FAULT_OP", plan.first_op);
+  plan.max_faults = EnvU64("PAFS_FAULT_MAX", plan.max_faults);
+  plan.delay_seconds = EnvDouble("PAFS_FAULT_DELAY", plan.delay_seconds);
+  return plan;
+}
+
+FaultKind FaultInjector::NextSendFault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t op = op_++;
+  double draw = rng_.NextDouble();  // Always draw: schedule is seed-only.
+  if (!plan_.enabled()) return FaultKind::kNone;
+  if (op < plan_.first_op) return FaultKind::kNone;
+  if (plan_.max_faults != 0 && injected_ >= plan_.max_faults) {
+    return FaultKind::kNone;
+  }
+  if (draw >= plan_.probability) return FaultKind::kNone;
+  ++injected_;
+  return plan_.kind;
+}
+
+uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+uint64_t FaultInjector::NextCorruptBit(uint64_t bound) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_rng_.NextU64Below(bound);
+}
+
+void FaultInjectingChannel::Send(const uint8_t* data, size_t n) {
+  FaultKind fault = injector_.NextSendFault();
+  if (fault != FaultKind::kNone) {
+    static obs::Counter& injected = obs::GetCounter("faults.injected");
+    injected.Add();
+    obs::GetCounter(std::string("faults.injected.") + FaultKindName(fault))
+        .Add();
+    obs::TraceSpan::CurrentAddAttr("faults_injected", 1);
+  }
+  switch (fault) {
+    case FaultKind::kNone:
+      inner_.Send(data, n);
+      return;
+    case FaultKind::kDrop:
+      return;  // The message never existed.
+    case FaultKind::kTruncate:
+      if (n >= 2) inner_.Send(data, n / 2);
+      return;  // n < 2: nothing meaningful to truncate — degrade to drop.
+    case FaultKind::kCorrupt: {
+      std::vector<uint8_t> mangled(data, data + n);
+      if (!mangled.empty()) {
+        for (int i = 0; i < 3; ++i) {
+          uint64_t bit = injector_.NextCorruptBit(mangled.size() * 8);
+          mangled[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        }
+      }
+      inner_.Send(mangled.data(), mangled.size());
+      return;
+    }
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(injector_.plan().delay_seconds));
+      inner_.Send(data, n);
+      return;
+    case FaultKind::kDisconnect:
+      inner_.Close();
+      throw ChannelError(ChannelErrorKind::kClosed,
+                         "injected disconnect mid-send");
+  }
+}
+
+}  // namespace pafs

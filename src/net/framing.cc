@@ -1,0 +1,87 @@
+#include "net/framing.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace pafs {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+void PutU32(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32(const uint8_t* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  static const Crc32Table table;
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.t[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void FramedChannel::Send(const uint8_t* data, size_t n) {
+  // One atomic inner Send per frame, so a fault decorator beneath us can
+  // only drop/truncate/corrupt whole frames — never interleave halves.
+  PAFS_CHECK(n <= 0xFFFFFFFFull);  // u32 length field.
+  std::vector<uint8_t> frame(8 + n);
+  PutU32(frame.data(), static_cast<uint32_t>(n));
+  PutU32(frame.data() + 4, Crc32(data, n));
+  std::copy(data, data + n, frame.begin() + 8);
+  inner_.Send(frame.data(), frame.size());
+}
+
+void FramedChannel::FillOneFrame() {
+  uint8_t header[8];
+  inner_.Recv(header, 8);
+  uint32_t len = GetU32(header);
+  uint32_t want_crc = GetU32(header + 4);
+  if (len > max_message_bytes()) {
+    static obs::Counter& bad = obs::GetCounter("net.integrity_failures");
+    bad.Add();
+    throw ProtocolError("framing: frame length " + std::to_string(len) +
+                        " exceeds cap " + std::to_string(max_message_bytes()));
+  }
+  std::vector<uint8_t> payload(len);
+  if (len > 0) inner_.Recv(payload.data(), len);
+  if (Crc32(payload.data(), len) != want_crc) {
+    static obs::Counter& bad = obs::GetCounter("net.integrity_failures");
+    bad.Add();
+    throw ProtocolError("framing: crc mismatch on " + std::to_string(len) +
+                        "-byte frame");
+  }
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+}
+
+void FramedChannel::Recv(uint8_t* data, size_t n) {
+  while (buffer_.size() < n) FillOneFrame();
+  std::copy(buffer_.begin(), buffer_.begin() + n, data);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + n);
+}
+
+}  // namespace pafs

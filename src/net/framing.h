@@ -1,0 +1,52 @@
+// Integrity framing: a Channel decorator that wraps every logical Send in
+// a [u32 length | u32 crc32 | payload] frame emitted as ONE inner Send,
+// and verifies each frame on the receive side before handing bytes up.
+//
+// The raw MemChannelPair is a trusted in-process queue, so the base stack
+// does not pay for framing. It exists for the fault-tolerance story: with
+// frames, a corrupted or truncated message is *detected* (ProtocolError /
+// deadline) instead of silently decoding into garbage labels, and a
+// dropped message removes a whole frame so the byte stream never comes
+// back misaligned. The pipeline enables it automatically whenever fault
+// injection is configured; chaos tests always run under it.
+#ifndef PAFS_NET_FRAMING_H_
+#define PAFS_NET_FRAMING_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "net/channel.h"
+
+namespace pafs {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) over `n` bytes.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+class FramedChannel : public Channel {
+ public:
+  // Wraps `inner` (not owned). Both endpoints of a pair must agree on
+  // framing: a framed sender to an unframed receiver desynchronizes.
+  explicit FramedChannel(Channel& inner) : inner_(inner) {}
+
+  void Send(const uint8_t* data, size_t n) override;
+  void Recv(uint8_t* data, size_t n) override;
+  void Close() override { inner_.Close(); }
+  bool closed() const override { return inner_.closed(); }
+  void set_recv_timeout_seconds(double seconds) override {
+    inner_.set_recv_timeout_seconds(seconds);
+  }
+  // Stats are the inner channel's and therefore include the 8-byte frame
+  // headers; fault-tolerant runs trade that overhead for detection.
+  const ChannelStats& stats() const override { return inner_.stats(); }
+
+ private:
+  // Pulls one frame off the wire, verifies it, appends payload to buffer_.
+  void FillOneFrame();
+
+  Channel& inner_;
+  std::deque<uint8_t> buffer_;  // Verified payload bytes not yet consumed.
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_NET_FRAMING_H_

@@ -14,10 +14,10 @@ ThrottledChannel::ThrottledChannel(Channel& inner,
 
 void ThrottledChannel::Send(const uint8_t* data, size_t n) {
   double delay = n / profile_.bandwidth_bytes_per_sec;
-  if (!last_op_was_send_) {
+  if (last_op_ == LastOp::kRecv) {
     delay += profile_.rtt_seconds / 2;  // Direction flip pays half an RTT.
-    last_op_was_send_ = true;
   }
+  last_op_ = LastOp::kSend;
   delay /= time_scale_;
   delay_seconds_ += delay;
   if (obs::Enabled()) {
@@ -36,8 +36,8 @@ void ThrottledChannel::Send(const uint8_t* data, size_t n) {
 }
 
 void ThrottledChannel::Recv(uint8_t* data, size_t n) {
-  last_op_was_send_ = false;
   inner_.Recv(data, n);
+  last_op_ = LastOp::kRecv;
 }
 
 }  // namespace pafs

@@ -19,17 +19,27 @@ class ThrottledChannel : public Channel {
 
   void Send(const uint8_t* data, size_t n) override;
   void Recv(uint8_t* data, size_t n) override;
+  void Close() override { inner_.Close(); }
+  bool closed() const override { return inner_.closed(); }
+  void set_recv_timeout_seconds(double seconds) override {
+    inner_.set_recv_timeout_seconds(seconds);
+  }
   const ChannelStats& stats() const override { return inner_.stats(); }
 
   // Total time this endpoint has spent sleeping to emulate the link.
   double emulated_delay_seconds() const { return delay_seconds_; }
 
  private:
+  // Mirrors the endpoint's flip accounting (channel.cc): half an RTT is
+  // charged per direction flip, and the first send of a conversation is
+  // not a flip, so emulated sleeps reconstruct TransferSeconds exactly.
+  enum class LastOp { kNone, kSend, kRecv };
+
   Channel& inner_;
   NetworkProfile profile_;
   double time_scale_;
   double delay_seconds_ = 0;
-  bool last_op_was_send_ = false;
+  LastOp last_op_ = LastOp::kNone;
 };
 
 }  // namespace pafs

@@ -64,8 +64,11 @@ void BaseOtSend(Channel& channel,
   BigInt big_a_inv = ModInverse(big_a, grp.p);
   for (size_t j = 0; j < messages.size(); ++j) {
     BigInt big_b = channel.RecvBigInt();
-    PAFS_CHECK(big_b > BigInt(0));
-    PAFS_CHECK(big_b < grp.p);
+    // Range check on untrusted wire data: a rogue element is the peer
+    // misbehaving, not a bug here, so it unwinds as a typed error.
+    if (!(big_b > BigInt(0)) || !(big_b < grp.p)) {
+      throw ProtocolError("base OT: received B outside the group range");
+    }
     BigInt k0_elem = ModExp(big_b, a, grp.p);
     BigInt k1_elem = ModExp(ModMul(big_b, big_a_inv, grp.p), a, grp.p);
     Block pad0 = KdfBlock(k0_elem, j);
@@ -83,8 +86,9 @@ std::vector<Block> BaseOtRecv(Channel& channel, const BitVec& choices,
   }
   const Group& grp = FixedGroup();
   BigInt big_a = channel.RecvBigInt();
-  PAFS_CHECK(big_a > BigInt(0));
-  PAFS_CHECK(big_a < grp.p);
+  if (!(big_a > BigInt(0)) || !(big_a < grp.p)) {
+    throw ProtocolError("base OT: received A outside the group range");
+  }
 
   std::vector<Block> out(choices.size());
   for (size_t j = 0; j < choices.size(); ++j) {

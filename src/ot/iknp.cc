@@ -144,8 +144,7 @@ BitVec OtExtReceiver::RecvBits(Channel& channel, const BitVec& choices) {
   }
 
   // Masked bit pairs arrive packed four transfers per byte.
-  std::vector<uint8_t> packed = channel.RecvBytes();
-  PAFS_CHECK_EQ(packed.size(), (m + 3) / 4);
+  std::vector<uint8_t> packed = channel.RecvBytesExpected((m + 3) / 4);
   obs::TraceSpan unmask("ot.ext");
   BitVec out(m);
   for (size_t j = 0; j < m; ++j) {
@@ -176,8 +175,7 @@ void OtExtSender::Send(Channel& channel,
   std::vector<std::vector<uint8_t>> q_columns(kOtExtensionWidth);
   for (int i = 0; i < kOtExtensionWidth; ++i) {
     q_columns[i] = column_prgs_[i].Bytes(col_bytes);
-    std::vector<uint8_t> u = channel.RecvBytes();
-    PAFS_CHECK_EQ(u.size(), col_bytes);
+    std::vector<uint8_t> u = channel.RecvBytesExpected(col_bytes);
     if (s_bits_.Get(i)) {
       for (size_t b = 0; b < col_bytes; ++b) q_columns[i][b] ^= u[b];
     }
@@ -211,8 +209,7 @@ void OtExtSender::SendBits(Channel& channel, const BitVec& bits0,
   std::vector<std::vector<uint8_t>> q_columns(kOtExtensionWidth);
   for (int i = 0; i < kOtExtensionWidth; ++i) {
     q_columns[i] = column_prgs_[i].Bytes(col_bytes);
-    std::vector<uint8_t> u = channel.RecvBytes();
-    PAFS_CHECK_EQ(u.size(), col_bytes);
+    std::vector<uint8_t> u = channel.RecvBytesExpected(col_bytes);
     if (s_bits_.Get(i)) {
       for (size_t b = 0; b < col_bytes; ++b) q_columns[i][b] ^= u[b];
     }

@@ -1,5 +1,7 @@
 #include "sharing/gmw.h"
 
+#include <string>
+
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -25,8 +27,12 @@ void SendBitsRaw(Channel& channel, const BitVec& bits) {
 
 BitVec RecvBitsRaw(Channel& channel) {
   uint64_t n = channel.RecvU64();
-  std::vector<uint8_t> bytes = channel.RecvBytes();
-  PAFS_CHECK_EQ(bytes.size(), (n + 7) / 8);
+  // Untrusted wire length: bound it, then demand the matching payload.
+  if (n > channel.max_message_bytes() * 8) {
+    throw ProtocolError("gmw: bit count " + std::to_string(n) +
+                        " exceeds cap");
+  }
+  std::vector<uint8_t> bytes = channel.RecvBytesExpected((n + 7) / 8);
   BitVec bits(n);
   for (uint64_t i = 0; i < n; ++i) {
     bits.Set(i, (bytes[i / 8] >> (i % 8)) & 1u);
@@ -148,7 +154,10 @@ BitVec GmwParty::Evaluate(const Circuit& circuit, const BitVec& own_inputs,
   };
   auto share_peer = [&](uint32_t offset, uint32_t count) {
     BitVec mask = RecvBitsRaw(channel_);
-    PAFS_CHECK_EQ(mask.size(), count);
+    if (mask.size() != count) {
+      throw ProtocolError("gmw: peer shared " + std::to_string(mask.size()) +
+                          " input bits, want " + std::to_string(count));
+    }
     for (uint32_t i = 0; i < count; ++i) share[offset + i] = mask.Get(i);
   };
   if (party_ == 0) {
@@ -224,15 +233,20 @@ BitVec GmwParty::Evaluate(const Circuit& circuit, const BitVec& own_inputs,
       continue;
     }
     // One communication round opens this layer's d/e values.
+    BitVec peer(0);
     if (party_ == 0) {
       SendBitsRaw(channel_, de_shares);
-      BitVec peer = RecvBitsRaw(channel_);
-      de_shares ^= peer;
+      peer = RecvBitsRaw(channel_);
     } else {
-      BitVec peer = RecvBitsRaw(channel_);
+      peer = RecvBitsRaw(channel_);
       SendBitsRaw(channel_, de_shares);
-      de_shares ^= peer;
     }
+    if (peer.size() != de_shares.size()) {
+      throw ProtocolError("gmw: peer opened " + std::to_string(peer.size()) +
+                          " d/e shares, want " +
+                          std::to_string(de_shares.size()));
+    }
+    de_shares ^= peer;
     ++stats_.rounds_online;
     for (size_t i = 0; i < pending.size(); ++i) {
       const PendingAnd& p = pending[i];
@@ -254,14 +268,21 @@ BitVec GmwParty::Evaluate(const Circuit& circuit, const BitVec& own_inputs,
   for (size_t i = 0; i < circuit.outputs().size(); ++i) {
     out_shares.Set(i, share[circuit.outputs()[i]]);
   }
+  BitVec peer_out(0);
   if (party_ == 0) {
     SendBitsRaw(channel_, out_shares);
-    out_shares ^= RecvBitsRaw(channel_);
+    peer_out = RecvBitsRaw(channel_);
   } else {
-    BitVec peer = RecvBitsRaw(channel_);
+    peer_out = RecvBitsRaw(channel_);
     SendBitsRaw(channel_, out_shares);
-    out_shares ^= peer;
   }
+  if (peer_out.size() != out_shares.size()) {
+    throw ProtocolError("gmw: peer opened " +
+                        std::to_string(peer_out.size()) +
+                        " output shares, want " +
+                        std::to_string(out_shares.size()));
+  }
+  out_shares ^= peer_out;
   return out_shares;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "circuit/builder.h"
 #include "circuit/optimizer.h"
@@ -134,10 +135,21 @@ SmcRunStats SecureForestRunClient(Channel& channel,
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
 
+  // Untrusted announcement — see SecureTreeRunClient for the rationale.
   uint64_t num_hidden = channel.RecvU64();
+  if (num_hidden > features.size()) {
+    throw ProtocolError("secure forest: server announced " +
+                        std::to_string(num_hidden) + " hidden features of " +
+                        std::to_string(features.size()));
+  }
   std::set<int> hidden_ids;
   for (uint64_t i = 0; i < num_hidden; ++i) {
-    hidden_ids.insert(static_cast<int>(channel.RecvU64()));
+    uint64_t id = channel.RecvU64();
+    if (id >= features.size()) {
+      throw ProtocolError("secure forest: hidden feature id " +
+                          std::to_string(id) + " out of range");
+    }
+    hidden_ids.insert(static_cast<int>(id));
   }
   std::map<int, int> exclusions;
   for (int f = 0; f < static_cast<int>(features.size()); ++f) {
@@ -145,8 +157,14 @@ SmcRunStats SecureForestRunClient(Channel& channel,
   }
   HiddenLayout layout = HiddenLayout::Make(features, exclusions);
   Circuit circuit = RecvCircuit(channel);
-  PAFS_CHECK_EQ(circuit.evaluator_inputs(),
-                static_cast<uint32_t>(layout.total_value_bits()));
+  if (circuit.evaluator_inputs() !=
+      static_cast<uint32_t>(layout.total_value_bits())) {
+    throw ProtocolError(
+        "secure forest: received circuit wants " +
+        std::to_string(circuit.evaluator_inputs()) +
+        " evaluator bits, layout encodes " +
+        std::to_string(layout.total_value_bits()));
+  }
 
   BitVec evaluator_bits;
   {
@@ -156,11 +174,19 @@ SmcRunStats SecureForestRunClient(Channel& channel,
   BitVec out =
       GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng, scheme);
   uint32_t index_bits = static_cast<uint32_t>(BitsFor(num_classes));
-  PAFS_CHECK_EQ(out.size(), index_bits);
+  if (out.size() != index_bits) {
+    throw ProtocolError("secure forest: circuit produced " +
+                        std::to_string(out.size()) + " index bits, want " +
+                        std::to_string(index_bits));
+  }
 
   SmcRunStats stats;
   stats.predicted_class = static_cast<int>(out.ToU64(0, index_bits));
-  PAFS_CHECK_LT(stats.predicted_class, num_classes);
+  if (stats.predicted_class >= num_classes) {
+    throw ProtocolError("secure forest: decoded class " +
+                        std::to_string(stats.predicted_class) +
+                        " out of range");
+  }
   stats.bytes = channel.stats().bytes_sent - bytes_before;
   stats.rounds = channel.stats().direction_flips - rounds_before;
   stats.wall_seconds = timer.ElapsedSeconds();

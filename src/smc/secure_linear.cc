@@ -1,5 +1,7 @@
 #include "smc/secure_linear.h"
 
+#include <utility>
+
 #include "circuit/builder.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -49,15 +51,26 @@ SmcRunStats SecureLinearProtocol::RunServer(Channel& channel,
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
 
-  // Phase 0: the client's Paillier public key.
-  PaillierPublicKey pk(channel.RecvBigInt());
+  // Phase 0: the client's Paillier public key. The modulus is untrusted:
+  // a degenerate n would make every homomorphic op below misbehave.
+  BigInt n = channel.RecvBigInt();
+  if (!(n > BigInt(1))) {
+    throw ProtocolError("secure linear: degenerate Paillier modulus");
+  }
+  PaillierPublicKey pk(n);
 
   // Phase 1: one ciphertext per (hidden feature, value) one-hot slot.
+  // Ciphertexts are residues mod n^2; anything outside is a rogue peer.
   std::vector<std::vector<BigInt>> cts(layout_.num_hidden());
   for (int h = 0; h < layout_.num_hidden(); ++h) {
     cts[h].resize(layout_.cardinality(h));
     for (int v = 0; v < layout_.cardinality(h); ++v) {
-      cts[h][v] = channel.RecvBigInt();
+      BigInt ct = channel.RecvBigInt();
+      if (!(ct < pk.n_squared())) {
+        throw ProtocolError(
+            "secure linear: client ciphertext outside residue range");
+      }
+      cts[h][v] = std::move(ct);
     }
   }
 
@@ -129,7 +142,12 @@ SmcRunStats SecureLinearProtocol::RunClient(Channel& channel,
   // Masked scores come back; decrypt them.
   BitVec evaluator_bits(0);
   for (int c = 0; c < num_classes_; ++c) {
-    BigInt masked = keys.private_key.Decrypt(channel.RecvBigInt());
+    BigInt score_ct = channel.RecvBigInt();
+    if (!(score_ct < pk.n_squared())) {
+      throw ProtocolError(
+          "secure linear: server ciphertext outside residue range");
+    }
+    BigInt masked = keys.private_key.Decrypt(score_ct);
     AppendSigned(evaluator_bits, masked.ToI64(), kLinearScoreBits);
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include <set>
+#include <string>
 
 #include "circuit/builder.h"
 #include "circuit/optimizer.h"
@@ -193,10 +194,22 @@ SmcRunStats SecureTreeRunClient(Channel& channel,
   uint64_t rounds_before = channel.stats().direction_flips;
 
   // Reconstruct the evaluator-input layout from the announced feature ids.
+  // The announcement is untrusted wire data: bound the count, and demand
+  // every id name an actual feature, before any of it shapes the layout.
   uint64_t num_hidden = channel.RecvU64();
+  if (num_hidden > features.size()) {
+    throw ProtocolError("secure tree: server announced " +
+                        std::to_string(num_hidden) + " hidden features of " +
+                        std::to_string(features.size()));
+  }
   std::set<int> hidden_ids;
   for (uint64_t i = 0; i < num_hidden; ++i) {
-    hidden_ids.insert(static_cast<int>(channel.RecvU64()));
+    uint64_t id = channel.RecvU64();
+    if (id >= features.size()) {
+      throw ProtocolError("secure tree: hidden feature id " +
+                          std::to_string(id) + " out of range");
+    }
+    hidden_ids.insert(static_cast<int>(id));
   }
   std::map<int, int> exclusions;
   for (int f = 0; f < static_cast<int>(features.size()); ++f) {
@@ -204,8 +217,14 @@ SmcRunStats SecureTreeRunClient(Channel& channel,
   }
   HiddenLayout layout = HiddenLayout::Make(features, exclusions);
   Circuit circuit = RecvCircuit(channel);
-  PAFS_CHECK_EQ(circuit.evaluator_inputs(),
-                static_cast<uint32_t>(layout.total_value_bits()));
+  if (circuit.evaluator_inputs() !=
+      static_cast<uint32_t>(layout.total_value_bits())) {
+    throw ProtocolError(
+        "secure tree: received circuit wants " +
+        std::to_string(circuit.evaluator_inputs()) +
+        " evaluator bits, layout encodes " +
+        std::to_string(layout.total_value_bits()));
+  }
 
   BitVec evaluator_bits;
   {
@@ -215,11 +234,19 @@ SmcRunStats SecureTreeRunClient(Channel& channel,
   BitVec out =
       GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng, scheme);
   uint32_t label_bits = static_cast<uint32_t>(BitsFor(num_classes));
-  PAFS_CHECK_EQ(out.size(), label_bits);
+  if (out.size() != label_bits) {
+    throw ProtocolError("secure tree: circuit produced " +
+                        std::to_string(out.size()) + " label bits, want " +
+                        std::to_string(label_bits));
+  }
 
   SmcRunStats stats;
   stats.predicted_class = static_cast<int>(out.ToU64(0, label_bits));
-  PAFS_CHECK_LT(stats.predicted_class, num_classes);
+  if (stats.predicted_class >= num_classes) {
+    throw ProtocolError("secure tree: decoded class " +
+                        std::to_string(stats.predicted_class) +
+                        " out of range");
+  }
   stats.bytes = channel.stats().bytes_sent - bytes_before;
   stats.rounds = channel.stats().direction_flips - rounds_before;
   stats.wall_seconds = timer.ElapsedSeconds();

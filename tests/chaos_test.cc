@@ -1,0 +1,361 @@
+// Chaos suite: every protocol backend runs against every fault kind at
+// deterministic seed-driven injection points. The contract under test is
+// the fault-tolerance invariant from DESIGN.md: a faulted run ends in a
+// *typed* transport error or a *correct* result within the watchdog
+// deadline — never a hang, never silently wrong outputs. Delay faults
+// (and clean runs) must always succeed.
+//
+// Stack per run: the injecting (client) endpoint is wrapped in
+// FaultInjectingChannel beneath FramedChannel, so one fault mangles one
+// whole CRC frame; the server endpoint runs the matching FramedChannel.
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "core/pipeline.h"
+#include "crypto/paillier.h"
+#include "data/warfarin_gen.h"
+#include "gc/protocol.h"
+#include "ml/linear_model.h"
+#include "net/channel.h"
+#include "net/error.h"
+#include "net/fault.h"
+#include "net/framing.h"
+#include "ot/iknp.h"
+#include "sharing/gmw.h"
+#include "smc/secure_linear.h"
+#include "util/bitvec.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// Generous enough that legitimate compute (base OTs under ASan) never
+// trips it; a fault that drops a message surfaces as this deadline.
+constexpr double kRecvTimeout = 2.0;
+constexpr auto kWatchdogDeadline = std::chrono::seconds(30);
+
+struct PartyOutcome {
+  bool ok = false;
+  bool typed_error = false;
+  std::string error;
+};
+
+// One (kind, seed, first_op) cell of the chaos matrix. Two injection
+// points per kind: the opening send (faults the OT/key setup) and a few
+// ops in (faults the protocol proper).
+struct ChaosCase {
+  FaultKind kind;
+  uint64_t seed;
+  uint64_t first_op;
+};
+
+std::vector<ChaosCase> ChaosMatrix() {
+  std::vector<ChaosCase> cases;
+  for (FaultKind kind : {FaultKind::kDrop, FaultKind::kTruncate,
+                         FaultKind::kCorrupt, FaultKind::kDelay,
+                         FaultKind::kDisconnect}) {
+    cases.push_back({kind, 1, 0});
+    cases.push_back({kind, 7, 4});
+  }
+  return cases;
+}
+
+FaultPlan MakePlan(const ChaosCase& c) {
+  FaultPlan plan;
+  plan.kind = c.kind;
+  plan.seed = c.seed;
+  plan.first_op = c.first_op;
+  plan.probability = 1.0;
+  plan.max_faults = 1;
+  plan.delay_seconds = 0.01;
+  return plan;
+}
+
+std::string CaseLabel(const ChaosCase& c) {
+  return std::string(FaultKindName(c.kind)) + " seed=" +
+         std::to_string(c.seed) + " first_op=" + std::to_string(c.first_op);
+}
+
+// Runs both parties over the faulted stack under a watchdog. Returns
+// false iff the watchdog tripped — i.e. the run *hung* and had to be
+// killed by closing the channel pair. Any non-transport exception
+// escapes and fails the test loudly.
+bool RunChaos(const FaultPlan& plan,
+              const std::function<void(Channel&)>& server_body,
+              const std::function<void(Channel&)>& client_body,
+              PartyOutcome* server_out, PartyOutcome* client_out) {
+  MemChannelPair pair;
+  FaultInjector injector(plan);
+  FramedChannel server_ch(pair.endpoint(0));
+  FaultInjectingChannel faulty(pair.endpoint(1), injector);
+  FramedChannel client_ch(faulty);
+  server_ch.set_recv_timeout_seconds(kRecvTimeout);
+  client_ch.set_recv_timeout_seconds(kRecvTimeout);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  bool tripped = false;
+  std::thread watchdog([&] {
+    std::unique_lock<std::mutex> lock(m);
+    if (!cv.wait_for(lock, kWatchdogDeadline, [&] { return done; })) {
+      tripped = true;
+      pair.Close();  // Unwedge both parties; they fail typed, not hang.
+    }
+  });
+
+  auto run = [](Channel& ch, const std::function<void(Channel&)>& body,
+                PartyOutcome* out) {
+    try {
+      body(ch);
+      out->ok = true;
+    } catch (const TransportError& e) {
+      out->typed_error = true;
+      out->error = e.what();
+      ch.Close();  // A dead party must not leave its peer blocked.
+    }
+  };
+  std::thread server(run, std::ref(server_ch), std::cref(server_body),
+                     server_out);
+  run(client_ch, client_body, client_out);
+  server.join();
+  {
+    std::lock_guard<std::mutex> lock(m);
+    done = true;
+  }
+  cv.notify_all();
+  watchdog.join();
+  return !tripped;
+}
+
+// The invariant every cell must satisfy; delay (and none) must succeed.
+void CheckOutcome(const ChaosCase& c, const PartyOutcome& server,
+                  const PartyOutcome& client) {
+  EXPECT_TRUE(server.ok || server.typed_error) << "server fate untyped";
+  EXPECT_TRUE(client.ok || client.typed_error) << "client fate untyped";
+  if (c.kind == FaultKind::kDelay) {
+    EXPECT_TRUE(server.ok) << server.error;
+    EXPECT_TRUE(client.ok) << client.error;
+  }
+}
+
+Circuit BuildAdder(uint32_t width) {
+  CircuitBuilder b(width, width);
+  b.AddOutputWord(b.AddW(b.GarblerWord(0, width), b.EvaluatorWord(0, width)));
+  return b.Build();
+}
+
+TEST(ChaosTest, GarbledCircuitSurvivesEveryFaultKind) {
+  Circuit circuit = BuildAdder(8);
+  BitVec gbits = BitVec::FromU64(57, 8);
+  BitVec ebits = BitVec::FromU64(199, 8);
+  BitVec expected = circuit.Evaluate(gbits, ebits);
+  for (const ChaosCase& c : ChaosMatrix()) {
+    SCOPED_TRACE(CaseLabel(c));
+    PartyOutcome server, client;
+    BitVec server_got(0), client_got(0);
+    bool no_hang = RunChaos(
+        MakePlan(c),
+        [&](Channel& ch) {
+          OtExtSender ot;
+          Rng rng(c.seed * 11 + 1);
+          server_got = GcRunGarbler(ch, circuit, gbits, ot, rng);
+        },
+        [&](Channel& ch) {
+          OtExtReceiver ot;
+          Rng rng(c.seed * 13 + 2);
+          client_got = GcRunEvaluator(ch, circuit, ebits, ot, rng);
+        },
+        &server, &client);
+    ASSERT_TRUE(no_hang) << "run hung until the watchdog killed it";
+    CheckOutcome(c, server, client);
+    if (server.ok) {
+      EXPECT_TRUE(server_got == expected);
+    }
+    if (client.ok) {
+      EXPECT_TRUE(client_got == expected);
+    }
+  }
+}
+
+TEST(ChaosTest, IknpOtSurvivesEveryFaultKind) {
+  constexpr size_t kBatch = 64;
+  std::vector<std::array<Block, 2>> messages(kBatch);
+  for (size_t j = 0; j < kBatch; ++j) {
+    messages[j] = {Block(j, 0xAA), Block(j, 0xBB)};
+  }
+  BitVec choices(kBatch);
+  for (size_t j = 0; j < kBatch; ++j) choices.Set(j, j % 3 == 0);
+  for (const ChaosCase& c : ChaosMatrix()) {
+    SCOPED_TRACE(CaseLabel(c));
+    PartyOutcome server, client;
+    std::vector<Block> got;
+    bool no_hang = RunChaos(
+        MakePlan(c),
+        [&](Channel& ch) {
+          OtExtSender ot;
+          Rng rng(c.seed * 17 + 3);
+          ot.Setup(ch, rng);
+          ot.Send(ch, messages);
+        },
+        [&](Channel& ch) {
+          OtExtReceiver ot;
+          Rng rng(c.seed * 19 + 4);
+          ot.Setup(ch, rng);
+          got = ot.Recv(ch, choices);
+        },
+        &server, &client);
+    ASSERT_TRUE(no_hang) << "run hung until the watchdog killed it";
+    CheckOutcome(c, server, client);
+    if (client.ok) {
+      ASSERT_EQ(got.size(), kBatch);
+      for (size_t j = 0; j < kBatch; ++j) {
+        EXPECT_TRUE(got[j] == messages[j][choices.Get(j)]) << "index " << j;
+      }
+    }
+  }
+}
+
+TEST(ChaosTest, GmwSurvivesEveryFaultKind) {
+  Circuit circuit = BuildAdder(6);
+  BitVec gbits = BitVec::FromU64(21, 6);
+  BitVec ebits = BitVec::FromU64(40, 6);
+  BitVec expected = circuit.Evaluate(gbits, ebits);
+  for (const ChaosCase& c : ChaosMatrix()) {
+    SCOPED_TRACE(CaseLabel(c));
+    PartyOutcome server, client;
+    BitVec server_got(0), client_got(0);
+    bool no_hang = RunChaos(
+        MakePlan(c),
+        [&](Channel& ch) {
+          GmwParty party(0, ch);
+          Rng rng(c.seed * 23 + 5);
+          party.Setup(rng);
+          server_got = party.Evaluate(circuit, gbits, rng);
+        },
+        [&](Channel& ch) {
+          GmwParty party(1, ch);
+          Rng rng(c.seed * 29 + 6);
+          party.Setup(rng);
+          client_got = party.Evaluate(circuit, ebits, rng);
+        },
+        &server, &client);
+    ASSERT_TRUE(no_hang) << "run hung until the watchdog killed it";
+    CheckOutcome(c, server, client);
+    if (server.ok) {
+      EXPECT_TRUE(server_got == expected);
+    }
+    if (client.ok) {
+      EXPECT_TRUE(client_got == expected);
+    }
+  }
+}
+
+TEST(ChaosTest, PaillierLinearSurvivesEveryFaultKind) {
+  Rng data_rng(5);
+  Dataset data = GenerateWarfarinCohort(400, data_rng);
+  LinearModel model;
+  model.Train(data, LinearTrainParams());
+  Rng key_rng(6);
+  PaillierKeyPair keys = GeneratePaillierKey(key_rng, 256);
+  SecureLinearProtocol protocol(data.features(), data.num_classes(), {});
+  const std::vector<int>& row = data.row(17);
+  for (const ChaosCase& c : ChaosMatrix()) {
+    SCOPED_TRACE(CaseLabel(c));
+    PartyOutcome server, client;
+    SmcRunStats server_stats, client_stats;
+    bool no_hang = RunChaos(
+        MakePlan(c),
+        [&](Channel& ch) {
+          OtExtSender ot;
+          Rng rng(c.seed * 31 + 7);
+          server_stats = protocol.RunServer(ch, model, {}, ot, rng);
+        },
+        [&](Channel& ch) {
+          OtExtReceiver ot;
+          Rng rng(c.seed * 37 + 8);
+          client_stats = protocol.RunClient(ch, keys, row, ot, rng);
+        },
+        &server, &client);
+    ASSERT_TRUE(no_hang) << "run hung until the watchdog killed it";
+    CheckOutcome(c, server, client);
+    if (server.ok && client.ok) {
+      // Both finished: they must agree on a valid class (fixed-point
+      // near-ties make exact plaintext agreement too strict here).
+      EXPECT_EQ(server_stats.predicted_class, client_stats.predicted_class);
+      EXPECT_GE(client_stats.predicted_class, 0);
+      EXPECT_LT(client_stats.predicted_class, data.num_classes());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-level chaos: the supervisor must absorb transient faults via
+// session teardown + retry and surface a typed error once the budget of
+// attempts is spent.
+
+class PipelineChaosTest : public ::testing::Test {
+ protected:
+  PipelineChaosTest() : rng_(11), data_(GenerateWarfarinCohort(400, rng_)) {}
+
+  PipelineConfig BaseConfig() const {
+    PipelineConfig config;
+    config.classifier = ClassifierKind::kNaiveBayes;
+    config.recv_timeout_seconds = kRecvTimeout;
+    config.retry_backoff_seconds = 0.001;
+    return config;
+  }
+
+  Rng rng_;
+  Dataset data_;
+};
+
+TEST_F(PipelineChaosTest, DropMidQueryIsRetriedTransparently) {
+  PipelineConfig config = BaseConfig();
+  config.fault_plan.kind = FaultKind::kDrop;
+  config.fault_plan.seed = 3;
+  config.fault_plan.first_op = 20;  // Deep enough to hit the query proper.
+  config.fault_plan.max_faults = 1;
+  SecureClassificationPipeline pipeline(data_, config);
+  const std::vector<int>& row = data_.row(7);
+  SmcRunStats stats = pipeline.Classify(row);
+  EXPECT_EQ(stats.predicted_class, pipeline.PlaintextPredict(row));
+  EXPECT_EQ(pipeline.faults_injected(), 1u);
+}
+
+TEST_F(PipelineChaosTest, DisconnectMidQueryIsRetriedTransparently) {
+  PipelineConfig config = BaseConfig();
+  config.fault_plan.kind = FaultKind::kDisconnect;
+  config.fault_plan.seed = 9;
+  config.fault_plan.first_op = 10;
+  config.fault_plan.max_faults = 1;
+  SecureClassificationPipeline pipeline(data_, config);
+  const std::vector<int>& row = data_.row(13);
+  SmcRunStats stats = pipeline.Classify(row);
+  EXPECT_EQ(stats.predicted_class, pipeline.PlaintextPredict(row));
+  EXPECT_EQ(pipeline.faults_injected(), 1u);
+}
+
+TEST_F(PipelineChaosTest, ExhaustedRetriesSurfaceTypedError) {
+  PipelineConfig config = BaseConfig();
+  config.fault_plan.kind = FaultKind::kDrop;
+  config.fault_plan.seed = 4;
+  config.fault_plan.max_faults = 0;  // Unlimited: every attempt dies.
+  config.max_attempts = 2;
+  config.recv_timeout_seconds = 0.25;  // Fail fast; every send drops anyway.
+  SecureClassificationPipeline pipeline(data_, config);
+  EXPECT_THROW(pipeline.Classify(data_.row(1)), ClassificationError);
+  EXPECT_GE(pipeline.faults_injected(), 2u);
+}
+
+}  // namespace
+}  // namespace pafs

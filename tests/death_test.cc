@@ -1,12 +1,18 @@
 // Failure-injection tests: the library's contract violations must die
-// loudly (PAFS_CHECK) rather than corrupt protocol state. Uses gtest death
+// loudly (PAFS_CHECK) rather than corrupt protocol state, while *peer*
+// misbehavior — malformed wire data, a dead channel — must surface as
+// typed recoverable exceptions instead of aborting. Uses gtest death
 // tests; each EXPECT_DEATH forks, so these stay cheap.
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "bignum/bigint.h"
 #include "bignum/modmath.h"
 #include "circuit/builder.h"
+#include "circuit/serialize.h"
 #include "ml/dataset.h"
+#include "net/channel.h"
 #include "smc/common.h"
 #include "util/bitvec.h"
 #include "util/random.h"
@@ -87,6 +93,41 @@ TEST(DeathTest, HiddenLayoutRejectsBadValue) {
 TEST(DeathTest, RngRejectsZeroBound) {
   Rng rng(1);
   EXPECT_DEATH(rng.NextU64Below(0), "CHECK failed");
+}
+
+// Wire-data violations are the peer's fault, not ours: they must raise
+// typed exceptions (never abort, never allocate the claimed size).
+TEST(TypedFailureTest, OverLengthWirePrefixThrowsInsteadOfAborting) {
+  MemChannelPair pair;
+  pair.endpoint(0).SendU64(~0ull);
+  EXPECT_THROW(pair.endpoint(1).RecvBytes(), ProtocolError);
+}
+
+TEST(TypedFailureTest, ClosedChannelThrowsInsteadOfAborting) {
+  MemChannelPair pair;
+  pair.Close();
+  EXPECT_THROW(pair.endpoint(0).RecvU64(), ChannelError);
+  EXPECT_THROW(pair.endpoint(1).SendU64(7), ChannelError);
+}
+
+TEST(TypedFailureTest, MalformedCircuitThrowsInsteadOfAborting) {
+  // An out-of-order gate list off the wire is rejected as ProtocolError.
+  MemChannelPair pair;
+  std::thread sender([&] {
+    Channel& c = pair.endpoint(0);
+    c.SendU64(1);  // garbler_inputs
+    c.SendU64(1);  // evaluator_inputs
+    c.SendU64(3);  // num_wires
+    c.SendU64(1);  // num_gates
+    std::vector<uint8_t> gate(9, 0);
+    gate[0] = 0;  // kXor
+    gate[1] = 9;  // in0 reads an undefined wire.
+    c.SendBytes(gate);
+    c.SendU64(1);  // num_outputs
+    c.SendU64(2);
+  });
+  EXPECT_THROW(RecvCircuit(pair.endpoint(1)), ProtocolError);
+  sender.join();
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include "bignum/bigint.h"
 #include "net/channel.h"
+#include "net/fault.h"
+#include "net/framing.h"
 #include "net/throttle.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -66,14 +68,51 @@ TEST(MemChannelTest, CountsDirectionFlips) {
   MemChannelPair pair;
   Channel& a = pair.endpoint(0);
   Channel& b = pair.endpoint(1);
-  // a->b, b->a, a->b: three flips total across both endpoints.
+  // a->b, b->a, a->b: a's opening send is free, then each direction change
+  // costs one flip — and the two endpoints agree on the count.
   a.SendU64(1);
   b.RecvU64();
   b.SendU64(2);
   a.RecvU64();
   a.SendU64(3);
   b.RecvU64();
-  EXPECT_EQ(pair.TotalRounds(), 3u);
+  EXPECT_EQ(pair.TotalRounds(), 2u);
+  EXPECT_EQ(a.stats().direction_flips, 1u);
+  EXPECT_EQ(b.stats().direction_flips, 1u);
+}
+
+TEST(MemChannelTest, EndpointFlipCountsStayInParity) {
+  // Direction changes alternate between the endpoints (the responder owns
+  // change 1, the opener change 2, ...), so the two counters never drift
+  // more than one apart and always sum to the wire's total turn changes.
+  MemChannelPair pair;
+  Channel& a = pair.endpoint(0);
+  Channel& b = pair.endpoint(1);
+  for (uint64_t round = 0; round < 5; ++round) {
+    a.SendU64(round);
+    a.SendU64(round);  // Bursts within one turn never flip.
+    b.RecvU64();
+    b.RecvU64();
+    b.SendU64(round);
+    a.RecvU64();
+  }
+  EXPECT_EQ(a.stats().direction_flips, 4u);
+  EXPECT_EQ(b.stats().direction_flips, 5u);
+  EXPECT_EQ(pair.TotalRounds(), 9u);
+  EXPECT_LE(b.stats().direction_flips - a.stats().direction_flips, 1u);
+}
+
+TEST(MemChannelTest, FirstSendIsNotAFlip) {
+  MemChannelPair pair;
+  pair.endpoint(0).SendU64(1);
+  pair.endpoint(1).RecvU64();
+  EXPECT_EQ(pair.TotalRounds(), 0u);
+  // Reset returns the endpoint to the fresh state: the next send opens a
+  // new conversation instead of flipping against stale history.
+  pair.ResetStats();
+  pair.endpoint(1).SendU64(2);
+  pair.endpoint(0).RecvU64();
+  EXPECT_EQ(pair.TotalRounds(), 0u);
 }
 
 TEST(MemChannelTest, ResetClearsStats) {
@@ -137,14 +176,14 @@ TEST(ThrottledChannelTest, ChargesHalfRttPerFlip) {
   NetworkProfile laggy{"laggy", 1e12, 0.020};  // 20 ms RTT, no bandwidth.
   ThrottledChannel a(pair.endpoint(0), laggy, /*time_scale=*/1.0);
   ThrottledChannel b(pair.endpoint(1), laggy, /*time_scale=*/1.0);
-  // Three direction flips on a: send (flip), recv, send (flip).
+  // a: opening send (free), recv, send (flip). b: recv, send (flip), recv.
   a.SendU64(1);
   b.RecvU64();
   b.SendU64(2);
   a.RecvU64();
   a.SendU64(3);
   b.RecvU64();
-  EXPECT_NEAR(a.emulated_delay_seconds(), 0.020, 1e-3);  // Two flips on a.
+  EXPECT_NEAR(a.emulated_delay_seconds(), 0.010, 1e-3);  // One flip on a.
   EXPECT_NEAR(b.emulated_delay_seconds(), 0.010, 1e-3);  // One flip on b.
 }
 
@@ -212,9 +251,195 @@ TEST(ThrottledChannelTest, SurfacesEmulatedDelayAsSpanAttribute) {
     attr = it->second;
   });
   EXPECT_NEAR(attr, a.emulated_delay_seconds(), 1e-12);
-  // 50 KB at 1 MB/s plus half an RTT, scaled 100x: (0.05 + 0.005) / 100.
-  EXPECT_NEAR(attr, 0.00055, 0.0001);
+  // 50 KB at 1 MB/s, scaled 100x; the opening send pays no half-RTT.
+  EXPECT_NEAR(attr, 0.0005, 0.0001);
   PafsTelemetry::Reset();
+}
+
+TEST(ChannelLifecycleTest, CloseUnblocksBlockedRecv) {
+  MemChannelPair pair;
+  std::exception_ptr error;
+  std::thread reader([&] {
+    try {
+      pair.endpoint(1).RecvU64();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pair.Close();
+  reader.join();
+  ASSERT_NE(error, nullptr);
+  try {
+    std::rethrow_exception(error);
+  } catch (const ChannelError& e) {
+    EXPECT_EQ(e.kind(), ChannelErrorKind::kClosed);
+  }
+}
+
+TEST(ChannelLifecycleTest, SendOnClosedChannelThrows) {
+  MemChannelPair pair;
+  pair.Close();
+  EXPECT_TRUE(pair.closed());
+  EXPECT_THROW(pair.endpoint(0).SendU64(1), ChannelError);
+  EXPECT_THROW(pair.endpoint(1).SendU64(1), ChannelError);
+}
+
+TEST(ChannelLifecycleTest, RecvDrainsBufferedBytesBeforeFailingClosed) {
+  MemChannelPair pair;
+  pair.endpoint(0).SendU64(42);
+  pair.Close();
+  // Bytes delivered before the shutdown stay readable (half-closed
+  // socket semantics); only the next starved read fails.
+  EXPECT_EQ(pair.endpoint(1).RecvU64(), 42u);
+  EXPECT_THROW(pair.endpoint(1).RecvU64(), ChannelError);
+}
+
+TEST(ChannelLifecycleTest, RecvDeadlineThrowsTimeout) {
+  MemChannelPair pair;
+  pair.endpoint(1).set_recv_timeout_seconds(0.02);
+  Timer timer;
+  try {
+    pair.endpoint(1).RecvU64();
+    FAIL() << "expected ChannelError";
+  } catch (const ChannelError& e) {
+    EXPECT_EQ(e.kind(), ChannelErrorKind::kTimeout);
+  }
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+  // A satisfied Recv under the same deadline still works.
+  pair.endpoint(0).SendU64(5);
+  EXPECT_EQ(pair.endpoint(1).RecvU64(), 5u);
+}
+
+TEST(WireHardeningTest, OversizeLengthPrefixRejected) {
+  MemChannelPair pair;
+  // A corrupt length prefix claiming ~2^60 bytes must be rejected before
+  // any allocation, with the payload never consumed.
+  pair.endpoint(0).SendU64(1ull << 60);
+  EXPECT_THROW(pair.endpoint(1).RecvBytes(), ProtocolError);
+  pair.endpoint(0).SendU64(1ull << 60);
+  EXPECT_THROW(pair.endpoint(1).RecvBlocks(), ProtocolError);
+}
+
+TEST(WireHardeningTest, CustomCapApplies) {
+  MemChannelPair pair;
+  pair.endpoint(1).set_max_message_bytes(16);
+  std::vector<uint8_t> small(16, 1);
+  pair.endpoint(0).SendBytes(small);
+  EXPECT_EQ(pair.endpoint(1).RecvBytes(), small);
+  std::vector<uint8_t> big(17, 1);
+  pair.endpoint(0).SendBytes(big);
+  EXPECT_THROW(pair.endpoint(1).RecvBytes(), ProtocolError);
+}
+
+TEST(WireHardeningTest, ExpectedSizeMismatchRejected) {
+  // A rejected prefix leaves the payload unread (the error is raised
+  // before any payload byte is consumed), so each case gets a fresh pair.
+  {
+    MemChannelPair pair;
+    pair.endpoint(0).SendBytes(std::vector<uint8_t>(10, 2));
+    EXPECT_THROW(pair.endpoint(1).RecvBytesExpected(11), ProtocolError);
+  }
+  {
+    MemChannelPair pair;
+    pair.endpoint(0).SendBlocks(std::vector<Block>(3));
+    EXPECT_THROW(pair.endpoint(1).RecvBlocksExpected(4), ProtocolError);
+  }
+  // Matching sizes pass through untouched.
+  MemChannelPair pair;
+  std::vector<Block> blocks = {Block(7, 8), Block(9, 10)};
+  pair.endpoint(0).SendBlocks(blocks);
+  EXPECT_EQ(pair.endpoint(1).RecvBlocksExpected(2), blocks);
+}
+
+TEST(FramedChannelTest, RoundTripsThroughFraming) {
+  MemChannelPair pair;
+  FramedChannel a(pair.endpoint(0));
+  FramedChannel b(pair.endpoint(1));
+  a.SendU64(123);
+  EXPECT_EQ(b.RecvU64(), 123u);
+  std::vector<uint8_t> payload(1000, 0x5C);
+  b.SendBytes(payload);
+  EXPECT_EQ(a.RecvBytes(), payload);
+  // Partial reads across frame boundaries reassemble correctly.
+  a.SendU64(1);
+  a.SendU64(2);
+  EXPECT_EQ(b.RecvU64(), 1u);
+  EXPECT_EQ(b.RecvU64(), 2u);
+}
+
+TEST(FramedChannelTest, DetectsCorruption) {
+  MemChannelPair pair;
+  FaultPlan plan;
+  plan.kind = FaultKind::kCorrupt;
+  plan.seed = 11;
+  plan.first_op = 1;  // Corrupt the payload frame, not the u64 prefix.
+  plan.max_faults = 1;
+  FaultInjector injector(plan);
+  FaultInjectingChannel faulty(pair.endpoint(0), injector);
+  FramedChannel a(faulty);
+  FramedChannel b(pair.endpoint(1));
+  pair.endpoint(1).set_recv_timeout_seconds(0.2);  // Hang guard.
+  // Large payload so the seeded bit flips land in the body, not the
+  // 8-byte frame header: the CRC check must reject the frame.
+  std::vector<uint8_t> payload(4096, 0x3A);
+  a.SendBytes(payload);
+  EXPECT_THROW(b.RecvBytes(), ProtocolError);
+  EXPECT_EQ(injector.injected(), 1u);
+  // The budget is spent: the next frame arrives intact.
+  a.SendU64(0xABCDEF);
+  EXPECT_EQ(b.RecvU64(), 0xABCDEFu);
+}
+
+TEST(FaultInjectorTest, DeterministicSchedule) {
+  FaultPlan plan;
+  plan.kind = FaultKind::kDrop;
+  plan.seed = 99;
+  plan.probability = 0.5;
+  plan.max_faults = 0;  // Unlimited.
+  // Same seed, same schedule — op-for-op.
+  FaultInjector x(plan), y(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(x.NextSendFault(), y.NextSendFault()) << "op " << i;
+  }
+  EXPECT_EQ(x.injected(), y.injected());
+  EXPECT_GT(x.injected(), 0u);
+}
+
+TEST(FaultInjectorTest, HonorsFirstOpAndBudget) {
+  FaultPlan plan;
+  plan.kind = FaultKind::kDrop;
+  plan.seed = 7;
+  plan.probability = 1.0;
+  plan.first_op = 3;
+  plan.max_faults = 2;
+  FaultInjector injector(plan);
+  std::vector<FaultKind> got;
+  for (int i = 0; i < 8; ++i) got.push_back(injector.NextSendFault());
+  // Ops 0-2 are protected, ops 3-4 fire, then the budget is exhausted.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(got[i], FaultKind::kNone);
+  EXPECT_EQ(got[3], FaultKind::kDrop);
+  EXPECT_EQ(got[4], FaultKind::kDrop);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(got[i], FaultKind::kNone);
+  EXPECT_EQ(injector.injected(), 2u);
+}
+
+TEST(FaultInjectorTest, DropLosesMessageAndTimeoutSurfacesIt) {
+  MemChannelPair pair;
+  FaultPlan plan;
+  plan.kind = FaultKind::kDrop;
+  plan.seed = 3;
+  plan.max_faults = 1;
+  FaultInjector injector(plan);
+  FaultInjectingChannel a(pair.endpoint(0), injector);
+  pair.endpoint(1).set_recv_timeout_seconds(0.02);
+  a.SendU64(1);  // Dropped.
+  try {
+    pair.endpoint(1).RecvU64();
+    FAIL() << "expected timeout";
+  } catch (const ChannelError& e) {
+    EXPECT_EQ(e.kind(), ChannelErrorKind::kTimeout);
+  }
 }
 
 }  // namespace

@@ -10,9 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include "core/pipeline.h"
+#include "data/warfarin_gen.h"
+#include "net/fault.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "util/random.h"
 
 namespace pafs {
 namespace {
@@ -390,6 +394,35 @@ TEST_F(ObsTest, JsonReportRoundTrips) {
   EXPECT_EQ(hist.at("min").number, 1.0);
   EXPECT_EQ(hist.at("max").number, 10.0);
   EXPECT_NEAR(hist.at("p50").number, 5.0, 0.25 * 5.0 + 1.0);
+}
+
+TEST_F(ObsTest, RetriedQueryAppearsInReport) {
+  // A query that survives a dropped message via pipeline retry must leave
+  // its trail in the telemetry report: the fault, the retry, the timeout.
+  Rng rng(21);
+  Dataset data = GenerateWarfarinCohort(300, rng);
+  PipelineConfig config;
+  config.classifier = ClassifierKind::kNaiveBayes;
+  config.recv_timeout_seconds = 1.0;
+  config.retry_backoff_seconds = 0.001;
+  config.fault_plan.kind = FaultKind::kDrop;
+  config.fault_plan.seed = 2;
+  config.fault_plan.first_op = 6;
+  config.fault_plan.max_faults = 1;
+  SecureClassificationPipeline pipeline(data, config);
+  const std::vector<int>& row = data.row(3);
+  SmcRunStats stats = pipeline.Classify(row);
+  EXPECT_EQ(stats.predicted_class, pipeline.PlaintextPredict(row));
+  EXPECT_EQ(pipeline.faults_injected(), 1u);
+  EXPECT_GE(obs::GetCounter("pipeline.retries").value(), 1u);
+  EXPECT_GE(obs::GetCounter("faults.injected").value(), 1u);
+
+  std::string text = obs::RenderText();
+  EXPECT_NE(text.find("pipeline.retries"), std::string::npos);
+  EXPECT_NE(text.find("faults.injected"), std::string::npos);
+  std::string json = obs::RenderJson();
+  EXPECT_NE(json.find("\"pipeline.retries\""), std::string::npos);
+  EXPECT_NE(json.find("\"faults.injected\""), std::string::npos);
 }
 
 }  // namespace
