@@ -12,6 +12,8 @@
 #include "crypto/sha256.h"
 #include "data/warfarin_gen.h"
 #include "gc/garble.h"
+#include "ot/iknp.h"
+#include "ot/transpose.h"
 #include "privacy/chow_liu.h"
 #include "privacy/risk.h"
 #include "util/random.h"
@@ -79,6 +81,22 @@ void BM_Aes128(benchmark::State& state) {
 }
 BENCHMARK(BM_Aes128);
 
+// Batched counterpart: independent blocks through the pipelined
+// EncryptBlocks kernel, the shape all the batched substrates reduce to.
+void BM_Aes128Batch(benchmark::State& state) {
+  Aes128 aes(Block(1, 2));
+  std::vector<Block> buf(state.range(0));
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = Block(i, i ^ 7);
+  for (auto _ : state) {
+    aes.EncryptBlocks(buf.data(), buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.counters["blocks_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * buf.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Aes128Batch)->Arg(64)->Arg(4096);
+
 void BM_Sha256_1KiB(benchmark::State& state) {
   std::vector<uint8_t> data(1024, 0xAB);
   for (auto _ : state) {
@@ -97,6 +115,38 @@ void BM_HashBlock(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HashBlock);
+
+void BM_HashBlocksBatch(benchmark::State& state) {
+  std::vector<Block> buf(state.range(0));
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = Block(i, ~i);
+  for (auto _ : state) {
+    HashBlocksBatch(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.counters["blocks_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * buf.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HashBlocksBatch)->Arg(64)->Arg(4096);
+
+// The IKNP 128 x m bit transpose (one Block per transfer row out).
+void BM_Transpose(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<uint8_t>> columns(kOtExtensionWidth);
+  Prg prg(Block(5, 6));
+  for (auto& col : columns) {
+    col.resize((m + 7) / 8);
+    prg.FillBytes(col.data(), col.size());
+  }
+  for (auto _ : state) {
+    std::vector<Block> rows = TransposeColumns(columns, m);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * m),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Transpose)->Arg(128)->Arg(4096);
 
 Circuit BuildAdder(uint32_t width) {
   CircuitBuilder b(width, width);

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Kernel before/after harness: runs bench_kernels on both dispatch arms
+# (portable pinned via PAFS_FORCE_PORTABLE, then the hardware arm the CPU
+# dispatches to) and merges the two JSON objects plus per-metric speedups
+# into BENCH_kernels.json at the repo root. Usage:
+#   scripts/bench_kernels.sh            # reuse ./build if present
+#   scripts/bench_kernels.sh --rebuild  # force a fresh configure + build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--rebuild" || ! -x build/bench/bench_kernels ]]; then
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build build -j "$(nproc)" --target bench_kernels
+
+echo "bench_kernels.sh: measuring portable arm (PAFS_FORCE_PORTABLE=1)..." >&2
+PAFS_FORCE_PORTABLE=1 ./build/bench/bench_kernels > /tmp/pafs_kernels_portable.json
+echo "bench_kernels.sh: measuring hardware arm..." >&2
+PAFS_FORCE_PORTABLE= ./build/bench/bench_kernels > /tmp/pafs_kernels_hw.json
+
+python3 - <<'PY'
+import json
+
+portable = json.load(open("/tmp/pafs_kernels_portable.json"))
+hardware = json.load(open("/tmp/pafs_kernels_hw.json"))
+
+speedup = {}
+for key in ("aes_batch_blocks_per_s", "hash_batch_blocks_per_s",
+            "transpose_rows_per_s", "garble_gates_per_s",
+            "eval_gates_per_s", "ot_ext_rows_per_s"):
+    if portable.get(key):
+        speedup[key] = round(hardware[key] / portable[key], 2)
+if portable.get("aes_single_ns_per_block"):
+    speedup["aes_single_ns_per_block"] = round(
+        portable["aes_single_ns_per_block"] /
+        hardware["aes_single_ns_per_block"], 2)
+if hardware.get("forest_query_ms"):
+    speedup["forest_query_ms"] = round(
+        portable["forest_query_ms"] / hardware["forest_query_ms"], 2)
+
+out = {
+    # Seed-commit numbers (gate-at-a-time garbling over portable AES,
+    # scalar transpose, -O2), measured with the same workloads before this
+    # kernel layer landed. Kept so the committed file records the true
+    # pre-PR baseline, not just the portable arm of the new code.
+    "pre_pr_baseline": {
+        "aes_single_ns_per_block": 287.19,
+        "garble_gates_per_s": 424389,
+        "eval_gates_per_s": 1563787,
+    },
+    "portable": portable,
+    "hardware": hardware,
+    "hardware_vs_portable_speedup": speedup,
+}
+with open("BENCH_kernels.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps(out, indent=2))
+PY
+echo "bench_kernels.sh: wrote BENCH_kernels.json" >&2

@@ -2,6 +2,13 @@
 
 #include <cstring>
 
+#include "crypto/cpu_features.h"
+
+#if defined(__x86_64__)
+#define PAFS_HAVE_AESNI 1
+#include <wmmintrin.h>
+#endif
+
 namespace pafs {
 
 namespace {
@@ -78,6 +85,83 @@ void AddRoundKey(uint8_t state[16], const uint8_t* rk) {
   for (int i = 0; i < 16; ++i) state[i] ^= rk[i];
 }
 
+Block EncryptPortable(const uint8_t* round_keys, const Block& plaintext) {
+  uint8_t state[16];
+  plaintext.ToBytes(state);
+  AddRoundKey(state, round_keys);
+  for (int round = 1; round <= 9; ++round) {
+    SubBytes(state);
+    ShiftRows(state);
+    MixColumns(state);
+    AddRoundKey(state, round_keys + 16 * round);
+  }
+  SubBytes(state);
+  ShiftRows(state);
+  AddRoundKey(state, round_keys + 160);
+  return Block::FromBytes(state);
+}
+
+#ifdef PAFS_HAVE_AESNI
+
+// The NI kernels are compiled with a per-function target attribute so the
+// translation unit needs no special flags; they are only reached after
+// UseHardwareAes() confirmed CPU support.
+#define PAFS_AESNI_TARGET __attribute__((target("aes")))
+
+PAFS_AESNI_TARGET inline void LoadRoundKeys(const uint8_t* round_keys,
+                                            __m128i rk[11]) {
+  for (int r = 0; r < 11; ++r) {
+    rk[r] = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(round_keys + 16 * r));
+  }
+}
+
+PAFS_AESNI_TARGET inline __m128i EncryptOneNi(const __m128i rk[11],
+                                              __m128i state) {
+  state = _mm_xor_si128(state, rk[0]);
+  for (int r = 1; r <= 9; ++r) state = _mm_aesenc_si128(state, rk[r]);
+  return _mm_aesenclast_si128(state, rk[10]);
+}
+
+PAFS_AESNI_TARGET Block EncryptNi(const uint8_t* round_keys,
+                                  const Block& plaintext) {
+  __m128i rk[11];
+  LoadRoundKeys(round_keys, rk);
+  return Block::FromM128i(EncryptOneNi(rk, plaintext.ToM128i()));
+}
+
+// Width of the software pipeline: aesenc has multi-cycle latency but
+// single-cycle throughput, so 8 independent cipher states keep the AES
+// unit saturated.
+constexpr size_t kAesPipeline = 8;
+
+PAFS_AESNI_TARGET void EncryptBlocksNi(const uint8_t* round_keys,
+                                       const Block* in, Block* out,
+                                       size_t n) {
+  __m128i rk[11];
+  LoadRoundKeys(round_keys, rk);
+  size_t i = 0;
+  for (; i + kAesPipeline <= n; i += kAesPipeline) {
+    __m128i s[kAesPipeline];
+    for (size_t j = 0; j < kAesPipeline; ++j) {
+      s[j] = _mm_xor_si128(in[i + j].ToM128i(), rk[0]);
+    }
+    for (int r = 1; r <= 9; ++r) {
+      for (size_t j = 0; j < kAesPipeline; ++j) {
+        s[j] = _mm_aesenc_si128(s[j], rk[r]);
+      }
+    }
+    for (size_t j = 0; j < kAesPipeline; ++j) {
+      out[i + j] = Block::FromM128i(_mm_aesenclast_si128(s[j], rk[10]));
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = Block::FromM128i(EncryptOneNi(rk, in[i].ToM128i()));
+  }
+}
+
+#endif  // PAFS_HAVE_AESNI
+
 }  // namespace
 
 Aes128::Aes128(const Block& key) {
@@ -100,19 +184,20 @@ Aes128::Aes128(const Block& key) {
 }
 
 Block Aes128::Encrypt(const Block& plaintext) const {
-  uint8_t state[16];
-  plaintext.ToBytes(state);
-  AddRoundKey(state, round_keys_);
-  for (int round = 1; round <= 9; ++round) {
-    SubBytes(state);
-    ShiftRows(state);
-    MixColumns(state);
-    AddRoundKey(state, round_keys_ + 16 * round);
+#ifdef PAFS_HAVE_AESNI
+  if (UseHardwareAes()) return EncryptNi(round_keys_, plaintext);
+#endif
+  return EncryptPortable(round_keys_, plaintext);
+}
+
+void Aes128::EncryptBlocks(const Block* in, Block* out, size_t n) const {
+#ifdef PAFS_HAVE_AESNI
+  if (UseHardwareAes()) {
+    EncryptBlocksNi(round_keys_, in, out, n);
+    return;
   }
-  SubBytes(state);
-  ShiftRows(state);
-  AddRoundKey(state, round_keys_ + 160);
-  return Block::FromBytes(state);
+#endif
+  for (size_t i = 0; i < n; ++i) out[i] = EncryptPortable(round_keys_, in[i]);
 }
 
 const Aes128& Aes128::FixedKeyInstance() {

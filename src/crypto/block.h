@@ -7,6 +7,11 @@
 #include <cstring>
 #include <string>
 
+#if defined(__x86_64__)
+#define PAFS_BLOCK_SSE2 1
+#include <emmintrin.h>
+#endif
+
 namespace pafs {
 
 struct Block {
@@ -45,6 +50,19 @@ struct Block {
     std::memcpy(&b.hi, in + 8, 8);
     return b;
   }
+
+#ifdef PAFS_BLOCK_SSE2
+  // SIMD interop: {lo, hi} is little-endian and contiguous, so the vector
+  // view is byte-identical to ToBytes().
+  __m128i ToM128i() const {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(this));
+  }
+  static Block FromM128i(__m128i v) {
+    Block b;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&b), v);
+    return b;
+  }
+#endif
 
   std::string ToHex() const;
 

@@ -1,0 +1,53 @@
+#include "crypto/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace pafs {
+
+namespace {
+
+bool DetectAesNi() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& ForcePortableFlag() {
+  static std::atomic<bool>* const kFlag = [] {
+    const char* env = std::getenv("PAFS_FORCE_PORTABLE");
+    bool pinned = env != nullptr && env[0] != '\0' && env[0] != '0';
+    return new std::atomic<bool>(pinned);
+  }();
+  return *kFlag;
+}
+
+}  // namespace
+
+bool CpuHasAesNi() {
+  static const bool kHas = DetectAesNi();
+  return kHas;
+}
+
+bool ForcePortable() {
+  return ForcePortableFlag().load(std::memory_order_relaxed);
+}
+
+void SetForcePortable(bool force) {
+  ForcePortableFlag().store(force, std::memory_order_relaxed);
+}
+
+bool UseHardwareAes() { return CpuHasAesNi() && !ForcePortable(); }
+
+bool UseHardwareTranspose() {
+#if defined(__x86_64__)
+  // SSE2 is part of the x86-64 baseline, so capability is a given.
+  return !ForcePortable();
+#else
+  return false;
+#endif
+}
+
+}  // namespace pafs

@@ -1,0 +1,30 @@
+// Runtime CPU feature detection and the portable-kernel override that
+// selects between the hardware-accelerated and portable crypto kernels.
+//
+// Dispatch rules: every accelerated kernel (AES-NI block cipher, SSE2 bit
+// transpose) checks its Use*() predicate at call time, so flipping
+// SetForcePortable() mid-process — as the differential tests do — takes
+// effect immediately, including for the process-wide fixed-key AES
+// instance. The PAFS_FORCE_PORTABLE environment variable (non-empty, not
+// "0") pins the portable arms for a whole run; CI uses it to keep the
+// fallback path green on any hardware.
+#ifndef PAFS_CRYPTO_CPU_FEATURES_H_
+#define PAFS_CRYPTO_CPU_FEATURES_H_
+
+namespace pafs {
+
+// True when the CPU executes AES-NI (x86-64 only; false elsewhere).
+bool CpuHasAesNi();
+
+// Portable-kernel pin: seeded from PAFS_FORCE_PORTABLE at first query,
+// overridable at runtime (used by tests to exercise both dispatch arms).
+bool ForcePortable();
+void SetForcePortable(bool force);
+
+// Call-site predicates combining capability and override.
+bool UseHardwareAes();
+bool UseHardwareTranspose();
+
+}  // namespace pafs
+
+#endif  // PAFS_CRYPTO_CPU_FEATURES_H_

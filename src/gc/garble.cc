@@ -1,7 +1,11 @@
 #include "gc/garble.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace pafs {
 
@@ -10,11 +14,124 @@ namespace {
 // Keeps garbling hash tweaks disjoint from the OT extension's tweak space.
 constexpr uint64_t kGarbleTweakBase = 1ull << 62;
 
+// AND gates hashed per batch: large enough to fill the 8-wide AES pipeline
+// several times over, small enough for the scratch buffers to stay in L1.
+constexpr size_t kBatchGates = 64;
+
 Block RandomBlock(Prg& prg) { return prg.NextBlock(); }
+
+// Gates grouped by dependency depth. Within one level no gate reads
+// another's output (a consumer always lands one level deeper), so a
+// level's AND gates can be hashed in any order, in batches, or on
+// concurrent workers without changing the result. Free gates keep their
+// circuit order inside each level. Stored as flat counting-sorted arrays
+// with per-level offsets — deep chain circuits have one gate per level,
+// and a vector per level would dominate the whole garbling cost.
+struct LevelSchedule {
+  struct AndRef {
+    uint32_t gate;       // Index into circuit.gates().
+    uint32_t and_index;  // Tweak/table slot, assigned in circuit order.
+  };
+  std::vector<AndRef> ands;           // Sorted by level, stable in level.
+  std::vector<uint32_t> frees;        // Free-gate indices, same order.
+  std::vector<uint32_t> and_offset;   // Per-level [start, end) into ands.
+  std::vector<uint32_t> free_offset;  // Per-level [start, end) into frees.
+  size_t num_levels = 0;
+};
+
+LevelSchedule BuildLevelSchedule(const Circuit& circuit) {
+  const std::vector<Gate>& gates = circuit.gates();
+  std::vector<uint32_t> wire_level(circuit.num_wires(), 0);
+  std::vector<uint32_t> gate_level(gates.size(), 0);
+  uint32_t max_level = 0;
+  for (uint32_t gi = 0; gi < gates.size(); ++gi) {
+    const Gate& g = gates[gi];
+    uint32_t level = wire_level[g.in0];
+    if (g.type != GateType::kNot) {
+      level = std::max(level, wire_level[g.in1]);
+    }
+    ++level;
+    wire_level[g.out] = level;
+    gate_level[gi] = level;
+    max_level = std::max(max_level, level);
+  }
+
+  LevelSchedule sched;
+  sched.num_levels = max_level + 1;
+  sched.and_offset.assign(sched.num_levels + 1, 0);
+  sched.free_offset.assign(sched.num_levels + 1, 0);
+  for (uint32_t gi = 0; gi < gates.size(); ++gi) {
+    if (gates[gi].type == GateType::kAnd) {
+      ++sched.and_offset[gate_level[gi] + 1];
+    } else {
+      ++sched.free_offset[gate_level[gi] + 1];
+    }
+  }
+  for (size_t l = 1; l <= sched.num_levels; ++l) {
+    sched.and_offset[l] += sched.and_offset[l - 1];
+    sched.free_offset[l] += sched.free_offset[l - 1];
+  }
+  sched.ands.resize(sched.and_offset[sched.num_levels]);
+  sched.frees.resize(sched.free_offset[sched.num_levels]);
+  std::vector<uint32_t> and_cursor(sched.and_offset.begin(),
+                                   sched.and_offset.end() - 1);
+  std::vector<uint32_t> free_cursor(sched.free_offset.begin(),
+                                    sched.free_offset.end() - 1);
+  uint32_t and_index = 0;
+  for (uint32_t gi = 0; gi < gates.size(); ++gi) {
+    const uint32_t level = gate_level[gi];
+    if (gates[gi].type == GateType::kAnd) {
+      sched.ands[and_cursor[level]++] = {gi, and_index++};
+    } else {
+      sched.frees[free_cursor[level]++] = gi;
+    }
+  }
+  return sched;
+}
+
+// Runs fn over [begin, end) — on the pool when it is present and the range
+// is worth fanning out, inline otherwise (no std::function on the serial
+// path; chain circuits hit this once per gate). Workers inherit the
+// submitting thread's telemetry party so anything they emit lands in the
+// right tree.
+template <typename Fn>
+void ForEachBatch(ThreadPool* pool, size_t begin, size_t end, Fn&& fn) {
+  if (begin >= end) return;
+  if (pool != nullptr && end - begin >= 4 * kBatchGates) {
+    const char* party = obs::CurrentThreadParty();
+    pool->ParallelFor(begin, end, kBatchGates,
+                      [&fn, party](size_t b, size_t e) {
+                        obs::SetThreadParty(party);
+                        fn(b, e);
+                      });
+  } else {
+    fn(begin, end);
+  }
+}
+
+// Applies one free (XOR/NOT) gate for the garbler's label0 view.
+inline void GarbleFreeGate(const Gate& g, const Block& delta,
+                           std::vector<Block>& label0) {
+  if (g.type == GateType::kXor) {
+    label0[g.out] = label0[g.in0] ^ label0[g.in1];
+  } else {
+    // Swapping label semantics is free: FALSE-out = TRUE-in.
+    label0[g.out] = label0[g.in0] ^ delta;
+  }
+}
+
+// And for the evaluator's active-label view.
+inline void EvalFreeGate(const Gate& g, std::vector<Block>& active) {
+  if (g.type == GateType::kXor) {
+    active[g.out] = active[g.in0] ^ active[g.in1];
+  } else {
+    active[g.out] = active[g.in0];
+  }
+}
 
 }  // namespace
 
-GarbledCircuit Garble(const Circuit& circuit, Prg& prg) {
+GarbledCircuit Garble(const Circuit& circuit, Prg& prg, ThreadPool* pool) {
   obs::TraceSpan span("gc.garble");
   GarbledCircuit out;
   out.delta = RandomBlock(prg).WithLsb(true);
@@ -28,42 +145,58 @@ GarbledCircuit Garble(const Circuit& circuit, Prg& prg) {
     out.input_labels[i] = {label0[i], label0[i] ^ out.delta};
   }
 
-  out.and_tables.reserve(circuit.Stats().and_gates);
-  uint64_t and_index = 0;
-  for (const Gate& g : circuit.gates()) {
-    switch (g.type) {
-      case GateType::kXor:
-        label0[g.out] = label0[g.in0] ^ label0[g.in1];
-        break;
-      case GateType::kNot:
-        // Swapping label semantics is free: FALSE-out = TRUE-in.
-        label0[g.out] = label0[g.in0] ^ out.delta;
-        break;
-      case GateType::kAnd: {
-        const Block a0 = label0[g.in0];
-        const Block b0 = label0[g.in1];
-        const bool p_a = a0.GetLsb();
-        const bool p_b = b0.GetLsb();
-        const uint64_t j0 = kGarbleTweakBase + 2 * and_index;
-        const uint64_t j1 = j0 + 1;
+  const LevelSchedule sched = BuildLevelSchedule(circuit);
+  const std::vector<Gate>& gates = circuit.gates();
+  const uint64_t num_ands = circuit.Stats().and_gates;
+  out.and_tables.resize(num_ands);
+  const Block delta = out.delta;
 
-        // Generator half gate.
-        Block tg = HashBlock(a0, j0) ^ HashBlock(a0 ^ out.delta, j0);
-        if (p_b) tg ^= out.delta;
-        Block wg = HashBlock(a0, j0);
-        if (p_a) wg ^= tg;
-
-        // Evaluator half gate.
-        Block te = HashBlock(b0, j1) ^ HashBlock(b0 ^ out.delta, j1) ^ a0;
-        Block we = HashBlock(b0, j1);
-        if (p_b) we ^= te ^ a0;
-
-        out.and_tables.push_back(GarbledTable{tg, te});
-        label0[g.out] = wg ^ we;
-        ++and_index;
-        break;
-      }
+  const LevelSchedule::AndRef* const ands = sched.ands.data();
+  for (size_t level = 0; level < sched.num_levels; ++level) {
+    for (uint32_t fi = sched.free_offset[level];
+         fi < sched.free_offset[level + 1]; ++fi) {
+      GarbleFreeGate(gates[sched.frees[fi]], delta, label0);
     }
+    ForEachBatch(pool, sched.and_offset[level], sched.and_offset[level + 1],
+                 [&](size_t begin, size_t end) {
+      Block hin[4 * kBatchGates];
+      while (begin < end) {
+        const size_t k = std::min(kBatchGates, end - begin);
+        for (size_t i = 0; i < k; ++i) {
+          const Gate& g = gates[ands[begin + i].gate];
+          const Block a0 = label0[g.in0];
+          const Block b0 = label0[g.in1];
+          const uint64_t j0 =
+              kGarbleTweakBase + 2 * ands[begin + i].and_index;
+          hin[4 * i + 0] = HashBlockInput(a0, j0);
+          hin[4 * i + 1] = HashBlockInput(a0 ^ delta, j0);
+          hin[4 * i + 2] = HashBlockInput(b0, j0 + 1);
+          hin[4 * i + 3] = HashBlockInput(b0 ^ delta, j0 + 1);
+        }
+        HashBlocksBatch(hin, 4 * k);
+        for (size_t i = 0; i < k; ++i) {
+          const Gate& g = gates[ands[begin + i].gate];
+          const Block a0 = label0[g.in0];
+          const bool p_a = a0.GetLsb();
+          const bool p_b = label0[g.in1].GetLsb();
+
+          // Generator half gate.
+          Block tg = hin[4 * i + 0] ^ hin[4 * i + 1];
+          if (p_b) tg ^= delta;
+          Block wg = hin[4 * i + 0];
+          if (p_a) wg ^= tg;
+
+          // Evaluator half gate.
+          Block te = hin[4 * i + 2] ^ hin[4 * i + 3] ^ a0;
+          Block we = hin[4 * i + 2];
+          if (p_b) we ^= te ^ a0;
+
+          out.and_tables[ands[begin + i].and_index] = GarbledTable{tg, te};
+          label0[g.out] = wg ^ we;
+        }
+        begin += k;
+      }
+    });
   }
 
   out.output_decode = BitVec(circuit.outputs().size());
@@ -71,16 +204,20 @@ GarbledCircuit Garble(const Circuit& circuit, Prg& prg) {
     out.output_decode.Set(i, label0[circuit.outputs()[i]].GetLsb());
   }
   if (obs::Enabled()) {
-    span.AddAttr("and_gates", static_cast<double>(and_index));
-    static obs::Counter& gates = obs::GetCounter("gc.and_gates_garbled");
-    gates.Add(and_index);
+    span.AddAttr("and_gates", static_cast<double>(num_ands));
+    if (pool != nullptr) {
+      span.AddAttr("par_threads", static_cast<double>(pool->num_threads()));
+    }
+    static obs::Counter& gates_counter = obs::GetCounter("gc.and_gates_garbled");
+    gates_counter.Add(num_ands);
   }
   return out;
 }
 
 std::vector<Block> EvaluateGarbled(const Circuit& circuit,
                                    const std::vector<GarbledTable>& and_tables,
-                                   const std::vector<Block>& input_labels) {
+                                   const std::vector<Block>& input_labels,
+                                   ThreadPool* pool) {
   obs::TraceSpan span("gc.eval");
   const uint32_t num_inputs =
       circuit.garbler_inputs() + circuit.evaluator_inputs();
@@ -88,37 +225,53 @@ std::vector<Block> EvaluateGarbled(const Circuit& circuit,
   std::vector<Block> active(circuit.num_wires());
   for (uint32_t i = 0; i < num_inputs; ++i) active[i] = input_labels[i];
 
-  uint64_t and_index = 0;
-  for (const Gate& g : circuit.gates()) {
-    switch (g.type) {
-      case GateType::kXor:
-        active[g.out] = active[g.in0] ^ active[g.in1];
-        break;
-      case GateType::kNot:
-        active[g.out] = active[g.in0];
-        break;
-      case GateType::kAnd: {
-        PAFS_CHECK_LT(and_index, and_tables.size());
-        const GarbledTable& table = and_tables[and_index];
-        const Block wa = active[g.in0];
-        const Block wb = active[g.in1];
-        const uint64_t j0 = kGarbleTweakBase + 2 * and_index;
-        const uint64_t j1 = j0 + 1;
-        Block wg = HashBlock(wa, j0);
-        if (wa.GetLsb()) wg ^= table.tg;
-        Block we = HashBlock(wb, j1);
-        if (wb.GetLsb()) we ^= table.te ^ wa;
-        active[g.out] = wg ^ we;
-        ++and_index;
-        break;
-      }
+  const LevelSchedule sched = BuildLevelSchedule(circuit);
+  const std::vector<Gate>& gates = circuit.gates();
+  const uint64_t num_ands = circuit.Stats().and_gates;
+  PAFS_CHECK_EQ(and_tables.size(), num_ands);
+
+  const LevelSchedule::AndRef* const ands = sched.ands.data();
+  for (size_t level = 0; level < sched.num_levels; ++level) {
+    for (uint32_t fi = sched.free_offset[level];
+         fi < sched.free_offset[level + 1]; ++fi) {
+      EvalFreeGate(gates[sched.frees[fi]], active);
     }
+    ForEachBatch(pool, sched.and_offset[level], sched.and_offset[level + 1],
+                 [&](size_t begin, size_t end) {
+      Block hin[2 * kBatchGates];
+      while (begin < end) {
+        const size_t k = std::min(kBatchGates, end - begin);
+        for (size_t i = 0; i < k; ++i) {
+          const Gate& g = gates[ands[begin + i].gate];
+          const uint64_t j0 =
+              kGarbleTweakBase + 2 * ands[begin + i].and_index;
+          hin[2 * i + 0] = HashBlockInput(active[g.in0], j0);
+          hin[2 * i + 1] = HashBlockInput(active[g.in1], j0 + 1);
+        }
+        HashBlocksBatch(hin, 2 * k);
+        for (size_t i = 0; i < k; ++i) {
+          const Gate& g = gates[ands[begin + i].gate];
+          const GarbledTable& table = and_tables[ands[begin + i].and_index];
+          const Block wa = active[g.in0];
+          Block wg = hin[2 * i + 0];
+          if (wa.GetLsb()) wg ^= table.tg;
+          Block we = hin[2 * i + 1];
+          if (active[g.in1].GetLsb()) we ^= table.te ^ wa;
+          active[g.out] = wg ^ we;
+        }
+        begin += k;
+      }
+    });
   }
 
   if (obs::Enabled()) {
-    span.AddAttr("and_gates", static_cast<double>(and_index));
-    static obs::Counter& gates = obs::GetCounter("gc.and_gates_evaluated");
-    gates.Add(and_index);
+    span.AddAttr("and_gates", static_cast<double>(num_ands));
+    if (pool != nullptr) {
+      span.AddAttr("par_threads", static_cast<double>(pool->num_threads()));
+    }
+    static obs::Counter& gates_counter =
+        obs::GetCounter("gc.and_gates_evaluated");
+    gates_counter.Add(num_ands);
   }
   std::vector<Block> outputs(circuit.outputs().size());
   for (size_t i = 0; i < circuit.outputs().size(); ++i) {
@@ -137,7 +290,8 @@ BitVec DecodeOutputs(const std::vector<Block>& output_labels,
   return out;
 }
 
-ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg) {
+ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg,
+                                    ThreadPool* pool) {
   // Same phase name as the half-gates path: reports aggregate by cost
   // phase, and the scheme is an experiment parameter, not a phase.
   obs::TraceSpan span("gc.garble");
@@ -153,37 +307,65 @@ ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg) {
     out.input_labels[i] = {label0[i], label0[i] ^ out.delta};
   }
 
-  uint64_t and_index = 0;
-  for (const Gate& g : circuit.gates()) {
-    switch (g.type) {
-      case GateType::kXor:
-        label0[g.out] = label0[g.in0] ^ label0[g.in1];
-        break;
-      case GateType::kNot:
-        label0[g.out] = label0[g.in0] ^ out.delta;
-        break;
-      case GateType::kAnd: {
-        const Block a0 = label0[g.in0];
-        const Block b0 = label0[g.in1];
-        Block c0 = RandomBlock(prg);
-        std::array<Block, 4> rows;
-        const uint64_t tweak = kGarbleTweakBase + 2 * and_index;
-        for (int va = 0; va < 2; ++va) {
-          for (int vb = 0; vb < 2; ++vb) {
-            Block wa = va ? a0 ^ out.delta : a0;
-            Block wb = vb ? b0 ^ out.delta : b0;
-            Block wc = (va & vb) ? c0 ^ out.delta : c0;
-            // Point-and-permute: the active labels' lsbs address the row.
-            int row = (wa.GetLsb() << 1) | static_cast<int>(wb.GetLsb());
-            rows[row] = HashBlocks(wa, wb, tweak) ^ wc;
+  const LevelSchedule sched = BuildLevelSchedule(circuit);
+  const std::vector<Gate>& gates = circuit.gates();
+  const uint64_t num_ands = circuit.Stats().and_gates;
+  out.and_tables.resize(num_ands);
+  const Block delta = out.delta;
+
+  // Fresh output labels, drawn up front in and_index (= circuit) order so
+  // the PRG consumption matches the gate-at-a-time implementation exactly.
+  std::vector<Block> c0s(num_ands);
+  prg.FillBlocks(c0s.data(), num_ands);
+
+  const LevelSchedule::AndRef* const ands = sched.ands.data();
+  for (size_t level = 0; level < sched.num_levels; ++level) {
+    for (uint32_t fi = sched.free_offset[level];
+         fi < sched.free_offset[level + 1]; ++fi) {
+      GarbleFreeGate(gates[sched.frees[fi]], delta, label0);
+    }
+    ForEachBatch(pool, sched.and_offset[level], sched.and_offset[level + 1],
+                 [&](size_t begin, size_t end) {
+      Block hin[4 * kBatchGates];
+      while (begin < end) {
+        const size_t k = std::min(kBatchGates, end - begin);
+        for (size_t i = 0; i < k; ++i) {
+          const Gate& g = gates[ands[begin + i].gate];
+          const Block a0 = label0[g.in0];
+          const Block b0 = label0[g.in1];
+          const uint64_t tweak =
+              kGarbleTweakBase + 2 * ands[begin + i].and_index;
+          for (int va = 0; va < 2; ++va) {
+            for (int vb = 0; vb < 2; ++vb) {
+              Block wa = va ? a0 ^ delta : a0;
+              Block wb = vb ? b0 ^ delta : b0;
+              hin[4 * i + 2 * va + vb] = HashBlocksInput(wa, wb, tweak);
+            }
           }
         }
-        out.and_tables.push_back(rows);
-        label0[g.out] = c0;
-        ++and_index;
-        break;
+        HashBlocksBatch(hin, 4 * k);
+        for (size_t i = 0; i < k; ++i) {
+          const LevelSchedule::AndRef& ref = ands[begin + i];
+          const Gate& g = gates[ref.gate];
+          const Block a0 = label0[g.in0];
+          const Block b0 = label0[g.in1];
+          const Block c0 = c0s[ref.and_index];
+          std::array<Block, 4>& rows = out.and_tables[ref.and_index];
+          for (int va = 0; va < 2; ++va) {
+            for (int vb = 0; vb < 2; ++vb) {
+              Block wa = va ? a0 ^ delta : a0;
+              Block wb = vb ? b0 ^ delta : b0;
+              Block wc = (va & vb) ? c0 ^ delta : c0;
+              // Point-and-permute: the active labels' lsbs address the row.
+              int row = (wa.GetLsb() << 1) | static_cast<int>(wb.GetLsb());
+              rows[row] = hin[4 * i + 2 * va + vb] ^ wc;
+            }
+          }
+          label0[g.out] = c0;
+        }
+        begin += k;
       }
-    }
+    });
   }
 
   out.output_decode = BitVec(circuit.outputs().size());
@@ -191,9 +373,9 @@ ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg) {
     out.output_decode.Set(i, label0[circuit.outputs()[i]].GetLsb());
   }
   if (obs::Enabled()) {
-    span.AddAttr("and_gates", static_cast<double>(and_index));
-    static obs::Counter& gates = obs::GetCounter("gc.and_gates_garbled");
-    gates.Add(and_index);
+    span.AddAttr("and_gates", static_cast<double>(num_ands));
+    static obs::Counter& gates_counter = obs::GetCounter("gc.and_gates_garbled");
+    gates_counter.Add(num_ands);
   }
   return out;
 }
@@ -201,7 +383,7 @@ ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg) {
 std::vector<Block> EvaluateClassic(
     const Circuit& circuit,
     const std::vector<std::array<Block, 4>>& and_tables,
-    const std::vector<Block>& input_labels) {
+    const std::vector<Block>& input_labels, ThreadPool* pool) {
   obs::TraceSpan span("gc.eval");
   const uint32_t num_inputs =
       circuit.garbler_inputs() + circuit.evaluator_inputs();
@@ -209,32 +391,46 @@ std::vector<Block> EvaluateClassic(
   std::vector<Block> active(circuit.num_wires());
   for (uint32_t i = 0; i < num_inputs; ++i) active[i] = input_labels[i];
 
-  uint64_t and_index = 0;
-  for (const Gate& g : circuit.gates()) {
-    switch (g.type) {
-      case GateType::kXor:
-        active[g.out] = active[g.in0] ^ active[g.in1];
-        break;
-      case GateType::kNot:
-        active[g.out] = active[g.in0];
-        break;
-      case GateType::kAnd: {
-        const Block wa = active[g.in0];
-        const Block wb = active[g.in1];
-        const uint64_t tweak = kGarbleTweakBase + 2 * and_index;
-        int row = (wa.GetLsb() << 1) | static_cast<int>(wb.GetLsb());
-        active[g.out] =
-            HashBlocks(wa, wb, tweak) ^ and_tables[and_index][row];
-        ++and_index;
-        break;
-      }
+  const LevelSchedule sched = BuildLevelSchedule(circuit);
+  const std::vector<Gate>& gates = circuit.gates();
+  const uint64_t num_ands = circuit.Stats().and_gates;
+  PAFS_CHECK_EQ(and_tables.size(), num_ands);
+
+  const LevelSchedule::AndRef* const ands = sched.ands.data();
+  for (size_t level = 0; level < sched.num_levels; ++level) {
+    for (uint32_t fi = sched.free_offset[level];
+         fi < sched.free_offset[level + 1]; ++fi) {
+      EvalFreeGate(gates[sched.frees[fi]], active);
     }
+    ForEachBatch(pool, sched.and_offset[level], sched.and_offset[level + 1],
+                 [&](size_t begin, size_t end) {
+      Block hin[kBatchGates];
+      while (begin < end) {
+        const size_t k = std::min(kBatchGates, end - begin);
+        for (size_t i = 0; i < k; ++i) {
+          const Gate& g = gates[ands[begin + i].gate];
+          const uint64_t tweak =
+              kGarbleTweakBase + 2 * ands[begin + i].and_index;
+          hin[i] = HashBlocksInput(active[g.in0], active[g.in1], tweak);
+        }
+        HashBlocksBatch(hin, k);
+        for (size_t i = 0; i < k; ++i) {
+          const LevelSchedule::AndRef& ref = ands[begin + i];
+          const Gate& g = gates[ref.gate];
+          int row = (active[g.in0].GetLsb() << 1) |
+                    static_cast<int>(active[g.in1].GetLsb());
+          active[g.out] = hin[i] ^ and_tables[ref.and_index][row];
+        }
+        begin += k;
+      }
+    });
   }
 
   if (obs::Enabled()) {
-    span.AddAttr("and_gates", static_cast<double>(and_index));
-    static obs::Counter& gates = obs::GetCounter("gc.and_gates_evaluated");
-    gates.Add(and_index);
+    span.AddAttr("and_gates", static_cast<double>(num_ands));
+    static obs::Counter& gates_counter =
+        obs::GetCounter("gc.and_gates_evaluated");
+    gates_counter.Add(num_ands);
   }
   std::vector<Block> outputs(circuit.outputs().size());
   for (size_t i = 0; i < circuit.outputs().size(); ++i) {

@@ -2,6 +2,15 @@
 // and point-and-permute: two ciphertexts per AND gate, zero per XOR/NOT.
 // A classic four-row garbling scheme is also provided for the ablation
 // experiment (F12) that quantifies the half-gates saving.
+//
+// All four kernels run over a level schedule of the circuit: gates are
+// grouped by dependency depth, and the AND gates inside one level — which
+// are independent by construction — are hashed in batches through the
+// fixed-key AES pipeline (crypto/prg.h). Passing a ThreadPool additionally
+// fans each level's batches out across workers. Batched, parallel, and the
+// original gate-at-a-time order all produce bit-identical garbled
+// circuits for a given PRG seed; the differential tests in
+// tests/kernel_test.cc and tests/gc_test.cc pin this down.
 #ifndef PAFS_GC_GARBLE_H_
 #define PAFS_GC_GARBLE_H_
 
@@ -14,6 +23,8 @@
 #include "util/bitvec.h"
 
 namespace pafs {
+
+class ThreadPool;
 
 // The two ciphertexts of a half-gates AND gate.
 struct GarbledTable {
@@ -30,14 +41,17 @@ struct GarbledCircuit {
 };
 
 // Garbles `circuit` with label randomness from `prg` (deterministic per
-// seed, which keeps tests and benchmarks reproducible).
-GarbledCircuit Garble(const Circuit& circuit, Prg& prg);
+// seed, which keeps tests and benchmarks reproducible). A non-null `pool`
+// garbles independent gates concurrently; the result is identical.
+GarbledCircuit Garble(const Circuit& circuit, Prg& prg,
+                      ThreadPool* pool = nullptr);
 
 // Evaluator's side: walks the circuit with one active label per wire.
 // `input_labels[i]` is the active label of input wire i.
 std::vector<Block> EvaluateGarbled(const Circuit& circuit,
                                    const std::vector<GarbledTable>& and_tables,
-                                   const std::vector<Block>& input_labels);
+                                   const std::vector<Block>& input_labels,
+                                   ThreadPool* pool = nullptr);
 
 // Maps active output labels to cleartext bits using the decode vector.
 BitVec DecodeOutputs(const std::vector<Block>& output_labels,
@@ -53,10 +67,11 @@ struct ClassicGarbledCircuit {
   BitVec output_decode;
 };
 
-ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg);
+ClassicGarbledCircuit GarbleClassic(const Circuit& circuit, Prg& prg,
+                                    ThreadPool* pool = nullptr);
 std::vector<Block> EvaluateClassic(
     const Circuit& circuit, const std::vector<std::array<Block, 4>>& and_tables,
-    const std::vector<Block>& input_labels);
+    const std::vector<Block>& input_labels, ThreadPool* pool = nullptr);
 
 }  // namespace pafs
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gc/garble.h"
+#include "util/parallel.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -43,7 +44,7 @@ BitVec RecvBits(Channel& channel) {
 
 BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
                     const BitVec& garbler_bits, OtExtSender& ot, Rng& rng,
-                    GarblingScheme scheme) {
+                    GarblingScheme scheme, ThreadPool* pool) {
   PAFS_CHECK_EQ(garbler_bits.size(), circuit.garbler_inputs());
   if (!ot.is_setup()) ot.Setup(channel, rng);
 
@@ -54,7 +55,7 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
   // 1. Garble and ship the tables. The SendBlocks never block on the
   // in-process channel, so gc.transfer measures serialization, not waits.
   if (scheme == GarblingScheme::kHalfGates) {
-    GarbledCircuit gc = Garble(circuit, prg);
+    GarbledCircuit gc = Garble(circuit, prg, pool);
     input_labels = std::move(gc.input_labels);
     output_decode = gc.output_decode;
     obs::TraceSpan transfer("gc.transfer");
@@ -66,7 +67,7 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
     }
     channel.SendBlocks(flat);
   } else {
-    ClassicGarbledCircuit gc = GarbleClassic(circuit, prg);
+    ClassicGarbledCircuit gc = GarbleClassic(circuit, prg, pool);
     input_labels = std::move(gc.input_labels);
     output_decode = gc.output_decode;
     obs::TraceSpan transfer("gc.transfer");
@@ -113,7 +114,7 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
 
 BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
                       const BitVec& evaluator_bits, OtExtReceiver& ot,
-                      Rng& rng, GarblingScheme scheme) {
+                      Rng& rng, GarblingScheme scheme, ThreadPool* pool) {
   PAFS_CHECK_EQ(evaluator_bits.size(), circuit.evaluator_inputs());
   if (!ot.is_setup()) ot.Setup(channel, rng);
 
@@ -151,7 +152,7 @@ BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
         tables[i] = GarbledTable{flat[2 * i], flat[2 * i + 1]};
       }
     }
-    output_labels = EvaluateGarbled(circuit, tables, input_labels);
+    output_labels = EvaluateGarbled(circuit, tables, input_labels, pool);
   } else {
     std::vector<std::array<Block, 4>> tables(num_and);
     {
@@ -160,7 +161,7 @@ BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
         for (int r = 0; r < 4; ++r) tables[i][r] = flat[4 * i + r];
       }
     }
-    output_labels = EvaluateClassic(circuit, tables, input_labels);
+    output_labels = EvaluateClassic(circuit, tables, input_labels, pool);
   }
 
   BitVec output_decode = RecvBits(channel);

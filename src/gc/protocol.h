@@ -13,6 +13,7 @@
 namespace pafs {
 
 class Rng;
+class ThreadPool;
 
 // Which garbling scheme the protocol uses on the wire; both parties must
 // agree. Classic exists for the F12 ablation.
@@ -20,16 +21,20 @@ enum class GarblingScheme { kHalfGates, kClassic };
 
 // Runs the garbler's side. The OT sender session must already be Setup (or
 // it will be set up on first use, paying the base-OT cost). Returns the
-// circuit outputs (the evaluator reports them back).
+// circuit outputs (the evaluator reports them back). A non-null `pool`
+// garbles independent gates (e.g. the member trees of a forest circuit)
+// concurrently; the wire format is unchanged.
 BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
                     const BitVec& garbler_bits, OtExtSender& ot, Rng& rng,
-                    GarblingScheme scheme = GarblingScheme::kHalfGates);
+                    GarblingScheme scheme = GarblingScheme::kHalfGates,
+                    ThreadPool* pool = nullptr);
 
 // Runs the evaluator's side; returns the circuit outputs.
 BitVec GcRunEvaluator(Channel& channel, const Circuit& circuit,
                       const BitVec& evaluator_bits, OtExtReceiver& ot,
                       Rng& rng,
-                      GarblingScheme scheme = GarblingScheme::kHalfGates);
+                      GarblingScheme scheme = GarblingScheme::kHalfGates,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace pafs
 

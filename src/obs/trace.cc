@@ -83,6 +83,8 @@ double PhaseNode::SelfSeconds() const {
 
 void SetThreadParty(const char* party) { Ctx().party = party; }
 
+const char* CurrentThreadParty() { return Ctx().party; }
+
 // TraceTreeAccess gives the span internals a named friend without leaking
 // the tree type into the header.
 struct TraceTreeAccess {

@@ -69,6 +69,11 @@ struct PhaseNode {
 // "server", ...). Threads default to "main". Cheap; safe to call per task.
 void SetThreadParty(const char* party);
 
+// The calling thread's current party. Worker pools capture this on the
+// submitting thread and re-apply it on their workers so telemetry emitted
+// from parallel sections lands under the right party.
+const char* CurrentThreadParty();
+
 class TraceSpan {
  public:
   // `name` must outlive the span (string literals in practice).

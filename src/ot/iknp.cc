@@ -2,6 +2,7 @@
 
 #include "obs/trace.h"
 #include "ot/base_ot.h"
+#include "ot/transpose.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -25,30 +26,33 @@ std::vector<uint8_t> PackBits(const BitVec& bits) {
 // Transposes the 128-column bit matrix into per-transfer row blocks; the
 // span isolates the transpose cost from the rest of the extension.
 std::vector<Block> TransposeRows(
-    const std::vector<std::vector<uint8_t>>& columns, size_t m);
-
-// Row j of the 128-column bit matrix, as a Block.
-Block RowFromColumns(const std::vector<std::vector<uint8_t>>& columns,
-                     size_t j) {
-  Block row = Block::Zero();
-  for (int i = 0; i < kOtExtensionWidth; ++i) {
-    bool bit = (columns[i][j / 8] >> (j % 8)) & 1u;
-    if (!bit) continue;
-    if (i < 64) {
-      row.lo |= 1ull << i;
-    } else {
-      row.hi |= 1ull << (i - 64);
-    }
-  }
-  return row;
-}
-
-std::vector<Block> TransposeRows(
     const std::vector<std::vector<uint8_t>>& columns, size_t m) {
   obs::TraceSpan span("ot.ext.transpose");
-  std::vector<Block> rows(m);
-  for (size_t j = 0; j < m; ++j) rows[j] = RowFromColumns(columns, j);
-  return rows;
+  return TransposeColumns(columns, m);
+}
+
+// One hash pad H(rows[j], tweak + j) per transfer, batched through the
+// fixed-key cipher instead of a per-row permutation call.
+std::vector<Block> RowPads(const std::vector<Block>& rows, uint64_t tweak) {
+  std::vector<Block> pads(rows.size());
+  for (size_t j = 0; j < rows.size(); ++j) {
+    pads[j] = HashBlockInput(rows[j], tweak + j);
+  }
+  HashBlocksBatch(pads.data(), pads.size());
+  return pads;
+}
+
+// Sender-side variant: pad pairs H(q_j, t+j), H(q_j ^ s, t+j) interleaved
+// as pads[2j], pads[2j+1].
+std::vector<Block> RowPadPairs(const std::vector<Block>& rows,
+                               const Block& s_block, uint64_t tweak) {
+  std::vector<Block> pads(2 * rows.size());
+  for (size_t j = 0; j < rows.size(); ++j) {
+    pads[2 * j] = HashBlockInput(rows[j], tweak + j);
+    pads[2 * j + 1] = HashBlockInput(rows[j] ^ s_block, tweak + j);
+  }
+  HashBlocksBatch(pads.data(), pads.size());
+  return pads;
 }
 
 }  // namespace
@@ -110,12 +114,12 @@ std::vector<Block> OtExtReceiver::Recv(Channel& channel,
   }
 
   // Receive the masked message pairs and unmask the chosen one.
+  std::vector<Block> pads = RowPads(t_rows, tweak_);
   std::vector<Block> out(m);
   for (size_t j = 0; j < m; ++j) {
     Block y0 = channel.RecvBlock();
     Block y1 = channel.RecvBlock();
-    Block pad = HashBlock(t_rows[j], tweak_ + j);
-    out[j] = (choices.Get(j) ? y1 : y0) ^ pad;
+    out[j] = (choices.Get(j) ? y1 : y0) ^ pads[j];
   }
   tweak_ += m;
   return out;
@@ -146,13 +150,13 @@ BitVec OtExtReceiver::RecvBits(Channel& channel, const BitVec& choices) {
   // Masked bit pairs arrive packed four transfers per byte.
   std::vector<uint8_t> packed = channel.RecvBytesExpected((m + 3) / 4);
   obs::TraceSpan unmask("ot.ext");
+  std::vector<Block> pads = RowPads(t_rows, tweak_);
   BitVec out(m);
   for (size_t j = 0; j < m; ++j) {
     bool choice = choices.Get(j);
     int shift = 2 * (j % 4) + (choice ? 1 : 0);
     bool masked = (packed[j / 4] >> shift) & 1u;
-    bool pad = HashBlock(t_rows[j], tweak_ + j).GetLsb();
-    out.Set(j, masked != pad);
+    out.Set(j, masked != pads[j].GetLsb());
   }
   tweak_ += m;
   return out;
@@ -184,11 +188,10 @@ void OtExtSender::Send(Channel& channel,
   // Row identity: q_j = t_j ^ (r_j ? s : 0), so H(q_j) masks m0 and
   // H(q_j ^ s) masks m1.
   std::vector<Block> q_rows = TransposeRows(q_columns, m);
+  std::vector<Block> pads = RowPadPairs(q_rows, s_block_, tweak_);
   for (size_t j = 0; j < m; ++j) {
-    Block pad0 = HashBlock(q_rows[j], tweak_ + j);
-    Block pad1 = HashBlock(q_rows[j] ^ s_block_, tweak_ + j);
-    channel.SendBlock(messages[j][0] ^ pad0);
-    channel.SendBlock(messages[j][1] ^ pad1);
+    channel.SendBlock(messages[j][0] ^ pads[2 * j]);
+    channel.SendBlock(messages[j][1] ^ pads[2 * j + 1]);
   }
   tweak_ += m;
 }
@@ -217,10 +220,11 @@ void OtExtSender::SendBits(Channel& channel, const BitVec& bits0,
 
   // Mask each bit pair with the hash pads' low bits; pack 4 pairs/byte.
   std::vector<Block> q_rows = TransposeRows(q_columns, m);
+  std::vector<Block> pads = RowPadPairs(q_rows, s_block_, tweak_);
   std::vector<uint8_t> packed((m + 3) / 4, 0);
   for (size_t j = 0; j < m; ++j) {
-    bool pad0 = HashBlock(q_rows[j], tweak_ + j).GetLsb();
-    bool pad1 = HashBlock(q_rows[j] ^ s_block_, tweak_ + j).GetLsb();
+    bool pad0 = pads[2 * j].GetLsb();
+    bool pad1 = pads[2 * j + 1].GetLsb();
     uint8_t pair = static_cast<uint8_t>((bits0.Get(j) != pad0) ? 1 : 0) |
                    static_cast<uint8_t>(((bits1.Get(j) != pad1) ? 1 : 0) << 1);
     packed[j / 4] |= static_cast<uint8_t>(pair << (2 * (j % 4)));

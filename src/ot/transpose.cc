@@ -1,0 +1,101 @@
+#include "ot/transpose.h"
+
+#include "crypto/cpu_features.h"
+#include "util/check.h"
+
+#if defined(__x86_64__)
+#define PAFS_HAVE_SSE2_TRANSPOSE 1
+#include <emmintrin.h>
+#endif
+
+namespace pafs {
+
+namespace {
+
+constexpr int kWidth = 128;
+
+// Row j of the 128-column bit matrix, as a Block.
+Block RowFromColumns(const std::vector<std::vector<uint8_t>>& columns,
+                     size_t j) {
+  Block row = Block::Zero();
+  for (int i = 0; i < kWidth; ++i) {
+    bool bit = (columns[i][j / 8] >> (j % 8)) & 1u;
+    if (!bit) continue;
+    if (i < 64) {
+      row.lo |= 1ull << i;
+    } else {
+      row.hi |= 1ull << (i - 64);
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<Block> TransposeColumnsScalar(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m) {
+  std::vector<Block> rows(m);
+  for (size_t j = 0; j < m; ++j) rows[j] = RowFromColumns(columns, j);
+  return rows;
+}
+
+#ifdef PAFS_HAVE_SSE2_TRANSPOSE
+
+std::vector<Block> TransposeColumnsSimd(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m) {
+  std::vector<Block> rows(m);
+  const size_t col_bytes = (m + 7) / 8;
+  // Tile over row ranges [j0, j0+128). Within a tile, 16 columns at a time:
+  // one byte from each of the 16 columns forms a vector whose movemask is
+  // the 16-column slice of one output row; shifting left walks the 8 bit
+  // planes of that byte from msb to lsb.
+  for (size_t j0 = 0; j0 < m; j0 += 128) {
+    const size_t byte0 = j0 / 8;
+    for (int g = 0; g < 8; ++g) {
+      const std::vector<uint8_t>* cols = &columns[16 * g];
+      for (size_t cc = 0; cc < 16 && byte0 + cc < col_bytes; ++cc) {
+        const size_t b = byte0 + cc;
+        __m128i vec = _mm_set_epi8(
+            static_cast<char>(cols[15][b]), static_cast<char>(cols[14][b]),
+            static_cast<char>(cols[13][b]), static_cast<char>(cols[12][b]),
+            static_cast<char>(cols[11][b]), static_cast<char>(cols[10][b]),
+            static_cast<char>(cols[9][b]), static_cast<char>(cols[8][b]),
+            static_cast<char>(cols[7][b]), static_cast<char>(cols[6][b]),
+            static_cast<char>(cols[5][b]), static_cast<char>(cols[4][b]),
+            static_cast<char>(cols[3][b]), static_cast<char>(cols[2][b]),
+            static_cast<char>(cols[1][b]), static_cast<char>(cols[0][b]));
+        for (int bit = 7; bit >= 0; --bit) {
+          const uint64_t slice =
+              static_cast<uint16_t>(_mm_movemask_epi8(vec));
+          vec = _mm_slli_epi64(vec, 1);
+          const size_t j = j0 + 8 * cc + static_cast<size_t>(bit);
+          if (j >= m || slice == 0) continue;
+          if (g < 4) {
+            rows[j].lo |= slice << (16 * g);
+          } else {
+            rows[j].hi |= slice << (16 * (g - 4));
+          }
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+#else
+
+std::vector<Block> TransposeColumnsSimd(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m) {
+  return TransposeColumnsScalar(columns, m);
+}
+
+#endif  // PAFS_HAVE_SSE2_TRANSPOSE
+
+std::vector<Block> TransposeColumns(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m) {
+  PAFS_CHECK_EQ(columns.size(), static_cast<size_t>(kWidth));
+  if (UseHardwareTranspose()) return TransposeColumnsSimd(columns, m);
+  return TransposeColumnsScalar(columns, m);
+}
+
+}  // namespace pafs

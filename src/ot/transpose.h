@@ -1,0 +1,30 @@
+// 128 x m bit-matrix transpose for IKNP OT extension: the 128 column-major
+// PRG streams come in, one Block per transfer row comes out. The hot arm
+// tiles the matrix into 128x128 blocks and uses the SSE2 movemask/shift
+// kernel (16 rows x 8 bit-planes per step); the scalar arm is the portable
+// reference. Both are exported for differential tests and the kernel
+// bench; TransposeColumns dispatches via crypto/cpu_features.h.
+#ifndef PAFS_OT_TRANSPOSE_H_
+#define PAFS_OT_TRANSPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/block.h"
+
+namespace pafs {
+
+// columns must hold 128 byte-vectors of at least ceil(m/8) bytes each,
+// bit j of column i being (columns[i][j/8] >> (j%8)) & 1. Row j of the
+// result has bit i equal to that bit.
+std::vector<Block> TransposeColumns(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m);
+
+std::vector<Block> TransposeColumnsScalar(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m);
+std::vector<Block> TransposeColumnsSimd(
+    const std::vector<std::vector<uint8_t>>& columns, size_t m);
+
+}  // namespace pafs
+
+#endif  // PAFS_OT_TRANSPOSE_H_

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "smc/secure_tree.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace pafs {
@@ -114,8 +115,10 @@ SmcRunStats SecureForestRunServer(Channel& channel,
     obs::TraceSpan encode("smc.encode");
     garbler_bits = spec.EncodeModel(forest);
   }
-  BitVec out =
-      GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng, scheme);
+  // Forest circuits are wide — member trees are independent until the vote
+  // aggregation — so their gate levels fan out well across the worker pool.
+  BitVec out = GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng,
+                            scheme, ThreadPool::Global());
   SmcRunStats stats;
   stats.predicted_class = spec.DecodeOutput(out);
   stats.bytes = channel.stats().bytes_sent - bytes_before;
@@ -171,8 +174,8 @@ SmcRunStats SecureForestRunClient(Channel& channel,
     obs::TraceSpan encode("smc.encode");
     evaluator_bits = layout.EncodeRow(row);
   }
-  BitVec out =
-      GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng, scheme);
+  BitVec out = GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng,
+                              scheme, ThreadPool::Global());
   uint32_t index_bits = static_cast<uint32_t>(BitsFor(num_classes));
   if (out.size() != index_bits) {
     throw ProtocolError("secure forest: circuit produced " +

@@ -1,0 +1,103 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pafs {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int workers = std::max(0, num_threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::shared_ptr<Job> last;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_ != last; });
+      if (stop_) return;
+      job = job_;
+      last = job;
+    }
+    if (job) Run(*job);
+  }
+}
+
+void ThreadPool::Run(Job& job) {
+  // Register before claiming: the caller's completion predicate reads
+  // running == 0, and only a registered participant may invoke fn, so the
+  // caller can never return while a chunk is in flight.
+  job.running.fetch_add(1, std::memory_order_acq_rel);
+  for (;;) {
+    size_t start = job.next.fetch_add(job.grain, std::memory_order_acq_rel);
+    if (start >= job.end) break;
+    size_t stop = std::min(job.end, start + job.grain);
+    try {
+      (*job.fn)(start, stop);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (job.running.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  if (workers_.empty() || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->next.store(begin, std::memory_order_relaxed);
+  job->end = end;
+  job->grain = grain;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+  }
+  work_cv_.notify_all();
+  Run(*job);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->next.load(std::memory_order_acquire) >= job->end &&
+             job->running.load(std::memory_order_acquire) == 0;
+    });
+    job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* const kPool = []() -> ThreadPool* {
+    int n = 0;
+    if (const char* env = std::getenv("PAFS_THREADS")) n = std::atoi(env);
+    if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 1) return nullptr;
+    return new ThreadPool(n);
+  }();
+  return kPool;
+}
+
+}  // namespace pafs

@@ -1,0 +1,80 @@
+// Minimal persistent worker pool with a blocking ParallelFor, used to run
+// independent garbling/evaluation work (e.g. the member trees of a random
+// forest) concurrently. The calling thread participates in every loop, so
+// a pool constructed with N threads runs N-way: N-1 workers + the caller.
+//
+// Ownership: the process-wide pool from ThreadPool::Global() is created on
+// first use, sized by PAFS_THREADS (default: hardware concurrency), and
+// lives for the process; protocol layers accept a ThreadPool* and treat
+// nullptr as "run serial". Nested ParallelFor calls are not supported —
+// callers at one layer only (the gc kernels) submit work.
+#ifndef PAFS_UTIL_PARALLEL_H_
+#define PAFS_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pafs {
+
+class ThreadPool {
+ public:
+  // num_threads is the total parallelism including the calling thread;
+  // num_threads <= 1 degenerates to a serial pool with no workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Invokes fn(chunk_begin, chunk_end) over disjoint chunks of at most
+  // `grain` covering [begin, end), concurrently on the workers and the
+  // calling thread, and returns once every chunk has finished. The first
+  // exception thrown by fn is rethrown on the caller after the loop
+  // drains. fn must be safe to run concurrently with itself.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  // Process-wide pool, or nullptr when the effective size is 1 (callers
+  // then take their serial path). Sized once from PAFS_THREADS / hardware
+  // concurrency.
+  static ThreadPool* Global();
+
+ private:
+  // One ParallelFor invocation. Chunks are claimed by atomically bumping
+  // `next`; `running` counts participants inside the claim loop, so the
+  // caller can return as soon as all chunks are claimed AND no claimant is
+  // still executing one. A worker that wakes late sees next >= end and
+  // drops out without touching fn (which may be long gone) — the Job
+  // itself stays alive through the shared_ptr it holds.
+  struct Job {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+    size_t grain = 1;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    std::atomic<int> running{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void WorkerLoop();
+  void Run(Job& job);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;  // Current job; null when idle.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_UTIL_PARALLEL_H_

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include "circuit/builder.h"
+#include "crypto/cpu_features.h"
 #include "gc/garble.h"
 #include "gc/protocol.h"
 #include "net/channel.h"
 #include "ot/iknp.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace pafs {
@@ -146,6 +148,100 @@ TEST(GarbleTest, DeltaLsbIsOne) {
   for (const auto& pair : gc.input_labels) {
     EXPECT_NE(pair[0].GetLsb(), pair[1].GetLsb());
   }
+}
+
+// A circuit with wide AND levels (one level of `width` independent ANDs
+// feeding a XOR tree), so the pool path in the garbling kernels actually
+// fans out.
+Circuit BuildWideAndCircuit(uint32_t width) {
+  CircuitBuilder b(width, width);
+  std::vector<CircuitBuilder::Wire> ands;
+  for (uint32_t i = 0; i < width; ++i) {
+    ands.push_back(b.And(b.GarblerInput(i), b.EvaluatorInput(i)));
+  }
+  CircuitBuilder::Wire acc = ands[0];
+  for (uint32_t i = 1; i < width; ++i) acc = b.Xor(acc, ands[i]);
+  b.AddOutput(acc);
+  return b.Build();
+}
+
+bool SameGarbledCircuit(const GarbledCircuit& a, const GarbledCircuit& b) {
+  if (a.delta != b.delta || a.input_labels != b.input_labels ||
+      !(a.output_decode == b.output_decode) ||
+      a.and_tables.size() != b.and_tables.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.and_tables.size(); ++i) {
+    if (a.and_tables[i].tg != b.and_tables[i].tg ||
+        a.and_tables[i].te != b.and_tables[i].te) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The accelerated kernels must not change the wire format: garbling the
+// same circuit from the same seed yields byte-identical material on the
+// AES-NI and portable arms.
+TEST(GarbleTest, IdenticalGarbledTablesOnBothArms) {
+  if (!CpuHasAesNi()) GTEST_SKIP() << "no AES-NI on this machine";
+  bool saved = ForcePortable();
+  Circuit c = BuildAdderCircuit(16);
+
+  SetForcePortable(true);
+  Prg prg_p(Block(33, 44));
+  GarbledCircuit portable = Garble(c, prg_p);
+
+  SetForcePortable(false);
+  Prg prg_h(Block(33, 44));
+  GarbledCircuit hardware = Garble(c, prg_h);
+  SetForcePortable(saved);
+
+  EXPECT_TRUE(SameGarbledCircuit(portable, hardware));
+}
+
+// Same property for the thread pool: a pooled run must be bit-identical
+// to the serial one (the level schedule makes the order canonical).
+TEST(GarbleTest, ParallelGarbleMatchesSequential) {
+  ThreadPool pool(3);
+  for (uint32_t width : {uint32_t{8}, uint32_t{600}}) {
+    Circuit c = BuildWideAndCircuit(width);
+    Prg prg_serial(Block(1, 2));
+    GarbledCircuit serial = Garble(c, prg_serial);
+    Prg prg_pooled(Block(1, 2));
+    GarbledCircuit pooled = Garble(c, prg_pooled, &pool);
+    EXPECT_TRUE(SameGarbledCircuit(serial, pooled)) << "width " << width;
+
+    std::vector<Block> active;
+    for (uint32_t i = 0; i < 2 * width; ++i) {
+      active.push_back(serial.input_labels[i][i % 2]);
+    }
+    std::vector<Block> eval_serial =
+        EvaluateGarbled(c, serial.and_tables, active);
+    std::vector<Block> eval_pooled =
+        EvaluateGarbled(c, serial.and_tables, active, &pool);
+    EXPECT_EQ(eval_serial, eval_pooled) << "width " << width;
+  }
+}
+
+TEST(GarbleTest, ParallelClassicMatchesSequential) {
+  ThreadPool pool(3);
+  Circuit c = BuildWideAndCircuit(600);
+  Prg prg_serial(Block(5, 6));
+  ClassicGarbledCircuit serial = GarbleClassic(c, prg_serial);
+  Prg prg_pooled(Block(5, 6));
+  ClassicGarbledCircuit pooled = GarbleClassic(c, prg_pooled, &pool);
+  EXPECT_TRUE(serial.delta == pooled.delta &&
+              serial.input_labels == pooled.input_labels &&
+              serial.and_tables == pooled.and_tables &&
+              serial.output_decode == pooled.output_decode);
+
+  std::vector<Block> active;
+  for (uint32_t i = 0; i < 2 * 600; ++i) {
+    active.push_back(serial.input_labels[i][i % 2]);
+  }
+  EXPECT_EQ(EvaluateClassic(c, serial.and_tables, active),
+            EvaluateClassic(c, serial.and_tables, active, &pool));
 }
 
 // End-to-end protocol over channels + OT, both schemes.

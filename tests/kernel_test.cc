@@ -1,0 +1,294 @@
+// Differential tests for the hardware-accelerated kernel layer: every
+// accelerated arm (AES-NI cipher, batched hashing, SSE2 transpose) must be
+// bit-identical to its portable reference, and the ThreadPool must cover
+// ParallelFor ranges exactly once. The arm is flipped at runtime through
+// SetForcePortable, so one binary exercises both sides regardless of how
+// the process was launched (including CI's PAFS_FORCE_PORTABLE=1 job).
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.h"
+#include "crypto/block.h"
+#include "crypto/cpu_features.h"
+#include "crypto/prg.h"
+#include "ot/iknp.h"
+#include "ot/transpose.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// Restores the dispatch pin on scope exit so the surrounding test binary
+// keeps whatever arm its environment selected.
+class ArmGuard {
+ public:
+  ArmGuard() : saved_(ForcePortable()) {}
+  ~ArmGuard() { SetForcePortable(saved_); }
+
+ private:
+  bool saved_;
+};
+
+Block BlockFromHexBytes(const char* hex) {
+  uint8_t bytes[16];
+  for (int i = 0; i < 16; ++i) {
+    unsigned v = 0;
+    sscanf(hex + 2 * i, "%02x", &v);
+    bytes[i] = static_cast<uint8_t>(v);
+  }
+  Block b;
+  std::memcpy(&b, bytes, 16);
+  return b;
+}
+
+Block RandomBlock(Rng& rng) { return Block(rng.NextU64(), rng.NextU64()); }
+
+TEST(CpuFeaturesTest, ForcePortablePinsEveryPredicate) {
+  ArmGuard guard;
+  SetForcePortable(true);
+  EXPECT_TRUE(ForcePortable());
+  EXPECT_FALSE(UseHardwareAes());
+  EXPECT_FALSE(UseHardwareTranspose());
+  SetForcePortable(false);
+  EXPECT_FALSE(ForcePortable());
+  EXPECT_EQ(UseHardwareAes(), CpuHasAesNi());
+}
+
+TEST(AesDifferentialTest, Fips197VectorOnBothArms) {
+  ArmGuard guard;
+  // FIPS-197 Appendix C.1.
+  Aes128 aes(BlockFromHexBytes("000102030405060708090a0b0c0d0e0f"));
+  Block pt = BlockFromHexBytes("00112233445566778899aabbccddeeff");
+  Block expected = BlockFromHexBytes("69c4e0d86a7b0430d8cdb78070b4c55a");
+
+  SetForcePortable(true);
+  EXPECT_EQ(aes.Encrypt(pt), expected);
+  if (CpuHasAesNi()) {
+    SetForcePortable(false);
+    EXPECT_EQ(aes.Encrypt(pt), expected);
+  }
+}
+
+TEST(AesDifferentialTest, RandomKeysAndBlocksAgreeAcrossArms) {
+  if (!CpuHasAesNi()) GTEST_SKIP() << "no AES-NI on this machine";
+  ArmGuard guard;
+  Rng rng(0xD1FF);
+  for (int trial = 0; trial < 10000; ++trial) {
+    Aes128 aes(RandomBlock(rng));
+    Block pt = RandomBlock(rng);
+    SetForcePortable(true);
+    Block portable = aes.Encrypt(pt);
+    SetForcePortable(false);
+    Block hardware = aes.Encrypt(pt);
+    ASSERT_EQ(portable, hardware) << "trial " << trial;
+  }
+}
+
+TEST(AesDifferentialTest, EncryptBlocksMatchesEncryptIncludingAliasing) {
+  ArmGuard guard;
+  Rng rng(7);
+  Aes128 aes(RandomBlock(rng));
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                   size_t{64}, size_t{1000}}) {
+    std::vector<Block> in(n);
+    for (auto& b : in) b = RandomBlock(rng);
+    for (bool portable : {true, false}) {
+      if (!portable && !CpuHasAesNi()) continue;
+      SetForcePortable(portable);
+      std::vector<Block> out(n);
+      aes.EncryptBlocks(in.data(), out.data(), n);
+      std::vector<Block> aliased = in;
+      aes.EncryptBlocks(aliased.data(), aliased.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], aes.Encrypt(in[i])) << "n=" << n << " i=" << i;
+        ASSERT_EQ(aliased[i], out[i]) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(PrgTest, FillBlocksMatchesNextBlockSequence) {
+  ArmGuard guard;
+  for (bool portable : {true, false}) {
+    if (!portable && !CpuHasAesNi()) continue;
+    SetForcePortable(portable);
+    Prg a(Block(3, 4));
+    Prg b(Block(3, 4));
+    std::vector<Block> filled(1000);
+    a.FillBlocks(filled.data(), filled.size());
+    for (size_t i = 0; i < filled.size(); ++i) {
+      ASSERT_EQ(filled[i], b.NextBlock()) << i;
+    }
+    // Interleaving keeps one shared counter.
+    ASSERT_EQ(a.NextBlock(), b.NextBlock());
+  }
+}
+
+TEST(PrgTest, FillBytesChunkingDoesNotChangeTheStream) {
+  // A partial trailing block discards its tail, so the stream only matches
+  // across chunkings when every chunk is block-aligned except the last.
+  ArmGuard guard;
+  SetForcePortable(true);
+  Prg whole(Block(8, 9));
+  std::vector<uint8_t> expected = whole.Bytes(16 * 10 + 5);
+  Prg chunked(Block(8, 9));
+  std::vector<uint8_t> got(expected.size());
+  chunked.FillBytes(got.data(), 16 * 3);
+  chunked.FillBytes(got.data() + 16 * 3, 16 * 7);
+  chunked.FillBytes(got.data() + 16 * 10, 5);
+  EXPECT_EQ(got, expected);
+
+  if (CpuHasAesNi()) {
+    SetForcePortable(false);
+    Prg hw(Block(8, 9));
+    EXPECT_EQ(hw.Bytes(expected.size()), expected);
+  }
+}
+
+TEST(PrgTest, NextBitConsumesTheWholeCachedBlock) {
+  Prg bits(Block(5, 5));
+  Prg blocks(Block(5, 5));
+  // 2.5 blocks worth of bits: the refill must pick up hi as well as lo.
+  for (int blk = 0; blk < 2; ++blk) {
+    Block expected = blocks.NextBlock();
+    for (int i = 0; i < 128; ++i) {
+      bool want = i < 64 ? (expected.lo >> i) & 1 : (expected.hi >> (i - 64)) & 1;
+      ASSERT_EQ(bits.NextBit(), want) << "block " << blk << " bit " << i;
+    }
+  }
+}
+
+TEST(HashTest, HashBlocksBatchMatchesScalarHash) {
+  ArmGuard guard;
+  Rng rng(11);
+  std::vector<Block> xs(500), ys(500);
+  for (auto& b : xs) b = RandomBlock(rng);
+  for (auto& b : ys) b = RandomBlock(rng);
+  for (bool portable : {true, false}) {
+    if (!portable && !CpuHasAesNi()) continue;
+    SetForcePortable(portable);
+    std::vector<Block> one(xs.size()), two(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      one[i] = HashBlockInput(xs[i], i);
+      two[i] = HashBlocksInput(xs[i], ys[i], i);
+    }
+    HashBlocksBatch(one.data(), one.size());
+    HashBlocksBatch(two.data(), two.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      ASSERT_EQ(one[i], HashBlock(xs[i], i)) << i;
+      ASSERT_EQ(two[i], HashBlocks(xs[i], ys[i], i)) << i;
+    }
+  }
+}
+
+TEST(HashTest, ScalarHashIsArmIndependent) {
+  if (!CpuHasAesNi()) GTEST_SKIP() << "no AES-NI on this machine";
+  ArmGuard guard;
+  Rng rng(12);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Block x = RandomBlock(rng);
+    SetForcePortable(true);
+    Block portable = HashBlock(x, trial);
+    SetForcePortable(false);
+    ASSERT_EQ(portable, HashBlock(x, trial)) << trial;
+  }
+}
+
+std::vector<std::vector<uint8_t>> RandomColumns(Rng& rng, size_t m) {
+  std::vector<std::vector<uint8_t>> columns(kOtExtensionWidth);
+  for (auto& col : columns) {
+    col.resize((m + 7) / 8);
+    for (auto& byte : col) byte = static_cast<uint8_t>(rng.NextU64());
+  }
+  return columns;
+}
+
+TEST(TransposeDifferentialTest, SimdMatchesScalarAcrossShapes) {
+  Rng rng(21);
+  for (size_t m : {size_t{1}, size_t{8}, size_t{100}, size_t{127}, size_t{128},
+                   size_t{129}, size_t{383}, size_t{1024}, size_t{4096}}) {
+    auto columns = RandomColumns(rng, m);
+    std::vector<Block> scalar = TransposeColumnsScalar(columns, m);
+    std::vector<Block> simd = TransposeColumnsSimd(columns, m);
+    ASSERT_EQ(scalar.size(), simd.size());
+    for (size_t j = 0; j < m; ++j) {
+      ASSERT_EQ(scalar[j], simd[j]) << "m=" << m << " row " << j;
+    }
+  }
+}
+
+TEST(TransposeDifferentialTest, DispatchHonorsForcePortable) {
+  ArmGuard guard;
+  Rng rng(22);
+  auto columns = RandomColumns(rng, 200);
+  SetForcePortable(true);
+  std::vector<Block> portable = TransposeColumns(columns, 200);
+  SetForcePortable(false);
+  std::vector<Block> dispatched = TransposeColumns(columns, 200);
+  EXPECT_EQ(portable, dispatched);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  // Explicit size: Global() is nullptr on single-core machines.
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{64}, size_t{1000}}) {
+    for (size_t grain : {size_t{1}, size_t{7}, size_t{64}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(0, n, grain, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end - begin, grain);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForReusableAcrossCalls) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 100, 9, [&](size_t begin, size_t end) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50ull * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](size_t begin, size_t) {
+                         if (begin == 42) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 10, 1, [&](size_t b, size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, SerialPoolStillRunsTheLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int count = 0;
+  pool.ParallelFor(0, 17, 4,
+                   [&](size_t b, size_t e) { count += static_cast<int>(e - b); });
+  EXPECT_EQ(count, 17);
+}
+
+}  // namespace
+}  // namespace pafs
