@@ -1,0 +1,258 @@
+// Serving-layer load harness behind scripts/bench_serving.sh: one
+// ClassificationServer on loopback, N concurrent client sessions each
+// issuing M secure queries, for TCP and UDS transports. Reports QPS and
+// exact p50/p95/p99 latency (nearest-rank over every per-query sample) as
+// a flat JSON object merged into BENCH_serving.json by the wrapper.
+//
+//   bench_serving [--clients=64] [--queries=4] [--transport=tcp|uds|both]
+//                 [--classifier=nb|tree|linear|forest] [--smoke]
+//
+// --smoke shrinks the run (4 clients x 2 queries, TCP only) and exits
+// nonzero on any protocol failure or answer mismatch, so tier-1 ctest and
+// CI exercise the full server/client stack in a few seconds.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/error.h"
+#include "net/socket.h"
+#include "serve/client.h"
+#include "serve/model.h"
+#include "serve/server.h"
+#include "util/timer.h"
+
+namespace pafs {
+namespace {
+
+struct ServingOptions {
+  int clients = 64;
+  int queries = 4;
+  bool tcp = true;
+  bool uds = true;
+  bool smoke = false;
+  ClassifierKind classifier = ClassifierKind::kNaiveBayes;
+};
+
+struct TransportResult {
+  std::string transport;
+  int sessions = 0;
+  uint64_t queries = 0;
+  uint64_t failures = 0;   // Transport/protocol faults seen by clients.
+  uint64_t mismatches = 0; // Secure answer != plaintext answer.
+  double wall_seconds = 0;
+  double qps = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+double PercentileMs(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0;
+  size_t n = sorted_seconds.size();
+  size_t rank = static_cast<size_t>(q * static_cast<double>(n));
+  if (rank > 0) --rank;  // Nearest-rank: ceil(q*n)-th sample, 1-indexed.
+  return sorted_seconds[std::min(rank, n - 1)] * 1e3;
+}
+
+TransportResult RunLoad(const SecureClassificationPipeline& pipeline,
+                        const Dataset& data, const SocketAddress& bind,
+                        const ServingOptions& opt) {
+  serve::ServerConfig server_config;
+  server_config.address = bind;
+  server_config.max_sessions = opt.clients + 8;
+  // Load-test deadlines: with many more sessions than cores, a query can
+  // legitimately queue for minutes behind the worker pool. The deadline
+  // exists to catch wedged peers, not to bound queueing.
+  server_config.recv_timeout_seconds = 600;
+  serve::ClassificationServer server(
+      serve::ServingModel::FromPipeline(pipeline), server_config);
+  server.Start();
+
+  // Precompute expected answers so the hot loop only runs the protocol.
+  std::vector<std::vector<int>> rows;
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    rows.push_back(data.row((i * 131) % data.size()));
+    expected.push_back(pipeline.PlaintextPredict(rows.back()));
+  }
+
+  std::vector<std::vector<double>> latencies(opt.clients);
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> workers;
+  Timer wall;
+  for (int t = 0; t < opt.clients; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        serve::ClientConfig cc;
+        cc.address = server.address();
+        cc.recv_timeout_seconds = 600;
+        cc.seed = 0xBE7C4 + t;
+        serve::ClassificationClient client(cc);
+        latencies[t].reserve(opt.queries);
+        for (int q = 0; q < opt.queries; ++q) {
+          size_t idx = (t * 7 + q) % rows.size();
+          Timer timer;
+          int got = client.Classify(rows[idx]);
+          latencies[t].push_back(timer.ElapsedSeconds());
+          if (got != expected[idx]) ++mismatches;
+        }
+        client.Close();
+      } catch (const TransportError& e) {
+        ++failures;
+        std::fprintf(stderr, "client %d failed: %s\n", t, e.what());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  TransportResult r;
+  r.transport =
+      bind.family == SocketAddress::Family::kTcp ? "tcp" : "uds";
+  r.sessions = opt.clients;
+  r.wall_seconds = wall.ElapsedSeconds();
+  r.failures = failures.load();
+  r.mismatches = mismatches.load();
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  r.queries = all.size();
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    double sum = 0;
+    for (double s : all) sum += s;
+    r.mean_ms = sum / static_cast<double>(all.size()) * 1e3;
+    r.p50_ms = PercentileMs(all, 0.50);
+    r.p95_ms = PercentileMs(all, 0.95);
+    r.p99_ms = PercentileMs(all, 0.99);
+    r.qps = static_cast<double>(all.size()) / r.wall_seconds;
+  }
+
+  server.Stop();
+  serve::ServerStats stats = server.stats();
+  if (stats.sessions_failed > 0) {
+    // Server-side session faults count as failures even if every client
+    // retried its way to an answer.
+    r.failures += stats.sessions_failed;
+  }
+  return r;
+}
+
+void PrintResult(const TransportResult& r, bool last) {
+  std::printf("    \"%s\": {\n", r.transport.c_str());
+  std::printf("      \"sessions\": %d,\n", r.sessions);
+  std::printf("      \"queries\": %llu,\n",
+              static_cast<unsigned long long>(r.queries));
+  std::printf("      \"failures\": %llu,\n",
+              static_cast<unsigned long long>(r.failures));
+  std::printf("      \"mismatches\": %llu,\n",
+              static_cast<unsigned long long>(r.mismatches));
+  std::printf("      \"wall_seconds\": %.3f,\n", r.wall_seconds);
+  std::printf("      \"qps\": %.2f,\n", r.qps);
+  std::printf("      \"mean_ms\": %.3f,\n", r.mean_ms);
+  std::printf("      \"p50_ms\": %.3f,\n", r.p50_ms);
+  std::printf("      \"p95_ms\": %.3f,\n", r.p95_ms);
+  std::printf("      \"p99_ms\": %.3f\n", r.p99_ms);
+  std::printf("    }%s\n", last ? "" : ",");
+}
+
+int Main(int argc, char** argv) {
+  ServingOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--clients=", 10) == 0) {
+      opt.clients = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      opt.queries = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--transport=", 12) == 0) {
+      opt.tcp = std::strcmp(arg + 12, "uds") != 0;
+      opt.uds = std::strcmp(arg + 12, "tcp") != 0;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      opt.smoke = true;
+      opt.clients = 4;
+      opt.queries = 2;
+      opt.uds = false;
+    } else if (std::strncmp(arg, "--classifier=", 13) == 0) {
+      const char* name = arg + 13;
+      if (std::strcmp(name, "nb") == 0) {
+        opt.classifier = ClassifierKind::kNaiveBayes;
+      } else if (std::strcmp(name, "tree") == 0) {
+        opt.classifier = ClassifierKind::kDecisionTree;
+      } else if (std::strcmp(name, "linear") == 0) {
+        opt.classifier = ClassifierKind::kLinear;
+      } else if (std::strcmp(name, "forest") == 0) {
+        opt.classifier = ClassifierKind::kForest;
+      } else {
+        std::fprintf(stderr, "unknown --classifier=%s\n", name);
+        return 2;
+      }
+    }
+  }
+  bench::BenchArgs(argc, argv);
+
+  Dataset data = bench::WarfarinCohort(opt.smoke ? 800 : 2000);
+  PipelineConfig config;
+  config.classifier = opt.classifier;
+  config.risk_budget = 0.08;
+  config.paillier_bits = 256;
+  SecureClassificationPipeline pipeline(data, config);
+
+  std::vector<TransportResult> results;
+  if (opt.tcp) {
+    results.push_back(
+        RunLoad(pipeline, data, SocketAddress::Tcp("127.0.0.1", 0), opt));
+  }
+  if (opt.uds) {
+    std::string path = "/tmp/pafs_bench_serving_" +
+                       std::to_string(::getpid()) + ".sock";
+    results.push_back(RunLoad(pipeline, data, SocketAddress::Unix(path), opt));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"classifier\": \"%s\",\n", ClassifierName(opt.classifier));
+  std::printf("  \"clients\": %d,\n", opt.clients);
+  std::printf("  \"queries_per_client\": %d,\n", opt.queries);
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"transports\": {\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    PrintResult(results[i], i + 1 == results.size());
+  }
+  std::printf("  }\n}\n");
+  bench::PrintTelemetryBreakdown();
+
+  for (const TransportResult& r : results) {
+    if (r.failures > 0 || r.mismatches > 0) {
+      std::fprintf(stderr,
+                   "bench_serving: %llu failures, %llu mismatches on %s\n",
+                   static_cast<unsigned long long>(r.failures),
+                   static_cast<unsigned long long>(r.mismatches),
+                   r.transport.c_str());
+      return 1;
+    }
+    uint64_t want = static_cast<uint64_t>(opt.clients) *
+                    static_cast<uint64_t>(opt.queries);
+    if (r.queries != want) {
+      std::fprintf(stderr, "bench_serving: served %llu of %llu queries\n",
+                   static_cast<unsigned long long>(r.queries),
+                   static_cast<unsigned long long>(want));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pafs
+
+int main(int argc, char** argv) { return pafs::Main(argc, argv); }

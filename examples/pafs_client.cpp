@@ -1,0 +1,119 @@
+// pafs_client — query a running pafs_server over TCP or UDS:
+//
+//   pafs_client --connect=tcp:HOST:PORT|unix:PATH [--row=v1,v2,...] [...]
+//
+// Each --row is one feature vector (discretized values in schema order,
+// comma-separated); with no --row flags, rows are read from stdin, one
+// comma-separated line each. Every row runs one secure classification on
+// the session; the predicted label and wire cost are printed per row. The
+// plan's features are disclosed in plaintext to the server, the rest stay
+// inside the protocol — the client never sees the model, the server never
+// sees the hidden features.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/error.h"
+#include "net/socket.h"
+#include "serve/client.h"
+#include "serve/model.h"
+
+using namespace pafs;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pafs_client --connect=tcp:HOST:PORT|unix:PATH\n"
+               "                   [--row=v1,v2,...] [--row=...]\n"
+               "       (no --row: read comma-separated rows from stdin)\n");
+  return 2;
+}
+
+bool ParseRow(const std::string& spec, std::vector<int>* row) {
+  row->clear();
+  std::stringstream ss(spec);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    try {
+      row->push_back(std::stoi(field));
+    } catch (...) {
+      return false;
+    }
+  }
+  return !row->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ClientConfig config;
+  bool have_address = false;
+  std::vector<std::vector<int>> rows;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--connect=", 10) == 0) {
+      StatusOr<SocketAddress> addr = SocketAddress::Parse(arg + 10);
+      if (!addr.ok()) {
+        std::fprintf(stderr, "bad --connect: %s\n",
+                     addr.status().message().c_str());
+        return 2;
+      }
+      config.address = addr.value();
+      have_address = true;
+    } else if (std::strncmp(arg, "--row=", 6) == 0) {
+      std::vector<int> row;
+      if (!ParseRow(arg + 6, &row)) {
+        std::fprintf(stderr, "bad --row: %s\n", arg + 6);
+        return 2;
+      }
+      rows.push_back(std::move(row));
+    } else {
+      return Usage();
+    }
+  }
+  if (!have_address) return Usage();
+  if (rows.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      std::vector<int> row;
+      if (!ParseRow(line, &row)) {
+        std::fprintf(stderr, "bad row: %s\n", line.c_str());
+        return 2;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  if (rows.empty()) return Usage();
+
+  try {
+    serve::ClassificationClient client(config);
+    const serve::SessionSetup& setup = client.setup();
+    std::printf("session up: %s over %zu features, %d classes, "
+                "%zu disclosed by plan\n",
+                ClassifierName(setup.classifier), setup.features.size(),
+                setup.num_classes, setup.plan_features.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].size() != setup.features.size()) {
+        std::fprintf(stderr,
+                     "row %zu has %zu values, schema expects %zu\n", i,
+                     rows[i].size(), setup.features.size());
+        return 2;
+      }
+      SmcRunStats stats = client.ClassifyWithStats(rows[i]);
+      std::printf("row %zu -> class %d   (%.1f KB, %llu rounds, %.1f ms)\n",
+                  i, stats.predicted_class, stats.bytes / 1024.0,
+                  static_cast<unsigned long long>(stats.rounds),
+                  stats.wall_seconds * 1e3);
+    }
+    client.Close();
+  } catch (const TransportError& e) {
+    std::fprintf(stderr, "session error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Serving-layer load harness: runs bench_serving at the acceptance shape
+# (64 concurrent sessions, loopback TCP + UDS) and writes the annotated
+# result to BENCH_serving.json at the repo root. Usage:
+#   scripts/bench_serving.sh                 # reuse ./build if present
+#   scripts/bench_serving.sh --rebuild      # force a fresh configure + build
+#   scripts/bench_serving.sh --clients=128  # extra flags pass through
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=()
+REBUILD=0
+for a in "$@"; do
+  if [[ "$a" == "--rebuild" ]]; then REBUILD=1; else ARGS+=("$a"); fi
+done
+
+if [[ "$REBUILD" == 1 || ! -x build/bench/bench_serving ]]; then
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build build -j "$(nproc)" --target bench_serving
+
+echo "bench_serving.sh: 64-session load over loopback TCP + UDS..." >&2
+./build/bench/bench_serving --clients=64 --queries=4 --transport=both \
+  "${ARGS[@]+"${ARGS[@]}"}" > /tmp/pafs_serving.json
+
+python3 - <<'PY'
+import json
+
+result = json.load(open("/tmp/pafs_serving.json"))
+for name, t in result["transports"].items():
+    assert t["failures"] == 0, f"{name}: {t['failures']} protocol failures"
+    assert t["mismatches"] == 0, f"{name}: wrong answers under load"
+
+out = {
+    "description": "Session-multiplexed secure classification under "
+                   "concurrent load (bench/bench_serving.cc). Latency "
+                   "percentiles are nearest-rank over every per-query "
+                   "client-side sample; QPS is total completed queries "
+                   "over client wall time. Queueing behind the worker "
+                   "pool dominates tails when sessions >> cores.",
+    "result": result,
+}
+with open("BENCH_serving.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps(out, indent=2))
+PY
+echo "bench_serving.sh: wrote BENCH_serving.json" >&2

@@ -4,8 +4,26 @@
 # regular build. Usage:
 #   scripts/check.sh           # sanitized build + ctest
 #   scripts/check.sh --bench   # additionally run every bench (regular build)
+#   scripts/check.sh --tsan    # ThreadSanitizer build + concurrency suites
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  TSAN_BUILD=build-tsan
+  rm -rf "$TSAN_BUILD"
+  cmake -B "$TSAN_BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPAFS_SANITIZE=thread
+  cmake --build "$TSAN_BUILD" -j "$(nproc)"
+  # The concurrency-bearing suites: socket transport + cross-thread close,
+  # event loop + serving layer, chaos watchdogs, thread pool, telemetry,
+  # parallel kernels, and the end-to-end serving smoke. The numeric/protocol
+  # suites are single-threaded and covered by the ASan gate.
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+    -R '^(net_test|serve_test|chaos_test|util_test|obs_test|kernel_test|bench_serving_smoke)$'
+  echo "check.sh: tsan green"
+  exit 0
+fi
 
 SAN_BUILD=build-asan
 rm -rf "$SAN_BUILD"

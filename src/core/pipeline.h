@@ -66,6 +66,11 @@ class SecureClassificationPipeline {
   const DisclosurePlan& plan() const { return plan_; }
   const DisclosureSelector& selector() const { return *selector_; }
   double selection_seconds() const { return selection_seconds_; }
+  // Schema and configuration, exposed so the serving layer (src/serve) can
+  // lift a trained pipeline into a deployable ServingModel.
+  const PipelineConfig& config() const { return config_; }
+  const std::vector<FeatureSpec>& features() const { return features_; }
+  int num_classes() const { return num_classes_; }
 
   // Secure classification of one patient row: runs both parties, returns
   // the client-observed stats (bytes/rounds cover the whole exchange).

@@ -174,6 +174,12 @@ class MemChannelPair::Endpoint : public Channel {
     std::copy(inbox_.begin(), inbox_.begin() + n, data);
     inbox_.erase(inbox_.begin(), inbox_.begin() + n);
     last_op_ = LastOp::kRecv;
+    stats_.bytes_received += n;
+    ++stats_.messages_received;
+    if (obs::Enabled()) {
+      static obs::Counter& bytes_recv = obs::GetCounter("net.bytes_received");
+      bytes_recv.Add(n);
+    }
   }
 
   void Close() override {

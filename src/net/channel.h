@@ -28,10 +28,14 @@ namespace pafs {
 // small enough that a corrupt u64 length cannot exhaust memory.
 inline constexpr uint64_t kDefaultMaxMessageBytes = 64ull << 20;  // 64 MiB
 
-// Traffic statistics for one direction of a channel.
+// Traffic statistics for one endpoint of a channel. Both directions are
+// counted so a single endpoint (e.g. one serving session's socket) can
+// attribute its whole wire cost without asking the peer.
 struct ChannelStats {
   uint64_t bytes_sent = 0;
   uint64_t messages_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_received = 0;
   // A "round" increments when the direction of traffic flips; protocol
   // latency cost is rounds * RTT/2. The very first send on a fresh (or
   // Reset) endpoint is not a flip — in a half-duplex conversation the two

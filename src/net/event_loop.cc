@@ -1,0 +1,123 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+
+#include "net/error.h"
+#include "util/check.h"
+
+namespace pafs {
+
+namespace {
+// Token reserved for the internal wakeup eventfd.
+constexpr uint64_t kWakeToken = ~0ull;
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  PAFS_CHECK(epoll_fd_ >= 0);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  PAFS_CHECK(wake_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeToken;
+  PAFS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::Add(int fd, uint64_t token, uint32_t events, bool oneshot,
+                    Handler handler) {
+  PAFS_CHECK(token != kWakeToken);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = registrations_.emplace(
+        token,
+        Registration{events, oneshot,
+                     std::make_shared<Handler>(std::move(handler))});
+    PAFS_CHECK_MSG(inserted, "event loop token reused");
+    (void)it;
+  }
+  epoll_event ev{};
+  ev.events = events | (oneshot ? EPOLLONESHOT : 0u);
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    registrations_.erase(token);
+    throw TransportError(std::string("epoll_ctl(ADD): ") +
+                         std::strerror(errno));
+  }
+}
+
+void EventLoop::Rearm(int fd, uint64_t token) {
+  uint32_t events;
+  bool oneshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = registrations_.find(token);
+    if (it == registrations_.end()) return;  // Lost a race with Remove.
+    events = it->second.events;
+    oneshot = it->second.oneshot;
+  }
+  epoll_event ev{};
+  ev.events = events | (oneshot ? EPOLLONESHOT : 0u);
+  ev.data.u64 = token;
+  // The fd may have been closed concurrently by a Remove()+close; EBADF /
+  // ENOENT then just means there is nothing left to re-arm.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::Remove(int fd, uint64_t token) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registrations_.erase(token);
+  }
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::Run() {
+  std::array<epoll_event, 64> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("epoll_wait: ") +
+                           std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t token = events[i].data.u64;
+      if (token == kWakeToken) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      std::shared_ptr<Handler> handler;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = registrations_.find(token);
+        if (it != registrations_.end()) handler = it->second.handler;
+      }
+      // Stale token (session already unregistered): drop the event.
+      if (handler) (*handler)(events[i].events);
+    }
+  }
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  (void)rc;
+}
+
+}  // namespace pafs

@@ -1,0 +1,69 @@
+// Minimal epoll-driven readiness loop for the serving layer: the acceptor
+// thread parks here watching the listener plus every *idle* session socket,
+// and dispatches a handler when one becomes readable. Sessions doing
+// protocol work are not watched — their blocking Send/Recv runs on a
+// ThreadPool worker — so the loop scales with connected sessions, not with
+// in-flight bytes.
+//
+// Registrations are keyed by caller-chosen tokens, not raw fds: a session
+// can be unregistered (and its fd closed/recycled by a new accept) while a
+// stale event for the old fd is still queued in the current epoll batch.
+// Token lookup makes such an event a no-op instead of a use-after-free.
+//
+// Threading: Add/Rearm/Remove/Stop may be called from any thread; handlers
+// run on the thread inside Run(). Handlers for EPOLLONESHOT registrations
+// must be re-armed explicitly once the session goes idle again.
+#ifndef PAFS_NET_EVENT_LOOP_H_
+#define PAFS_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace pafs {
+
+class EventLoop {
+ public:
+  // Called with the epoll event mask (EPOLLIN | EPOLLHUP | ...).
+  using Handler = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers fd under `token` (must be unused). `oneshot` registrations
+  // disarm after one event and need Rearm() to fire again.
+  void Add(int fd, uint64_t token, uint32_t events, bool oneshot,
+           Handler handler);
+  // Re-arms a oneshot registration (EPOLL_CTL_MOD with the Add() mask).
+  void Rearm(int fd, uint64_t token);
+  // Unregisters; a queued event for the token becomes a no-op. The caller
+  // may close the fd after this returns.
+  void Remove(int fd, uint64_t token);
+
+  // Dispatches events until Stop(). Runs on the calling thread.
+  void Run();
+  void Stop();
+
+ private:
+  struct Registration {
+    uint32_t events = 0;
+    bool oneshot = false;
+    std::shared_ptr<Handler> handler;
+  };
+
+  int epoll_fd_;
+  int wake_fd_;  // eventfd; written by Stop() to unblock epoll_wait.
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::map<uint64_t, Registration> registrations_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_NET_EVENT_LOOP_H_

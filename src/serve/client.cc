@@ -1,0 +1,121 @@
+#include "serve/client.h"
+
+#include <map>
+#include <string>
+
+#include "net/error.h"
+#include "obs/trace.h"
+#include "smc/secure_forest.h"
+#include "smc/secure_tree.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pafs::serve {
+
+ClassificationClient::ClassificationClient(const ClientConfig& config)
+    : rng_(config.seed) {
+  socket_ = SocketConnect(config.address, config.connect_timeout_seconds);
+  socket_->set_recv_timeout_seconds(config.recv_timeout_seconds);
+  framed_ = std::make_unique<FramedChannel>(*socket_);
+  obs::TraceSpan span("serve.client.handshake");
+  framed_->SendU64(kWireMagic);
+  framed_->SendU64(kWireVersion);
+  if (framed_->RecvU64() != 1) {
+    throw ProtocolError("serve client: server refused the session");
+  }
+  setup_ = RecvSessionSetup(*framed_);
+  std::map<int, int> key_map;
+  for (int f : setup_.plan_features) {
+    if (f < 0 || f >= static_cast<int>(setup_.features.size())) {
+      throw ProtocolError("serve client: plan feature out of schema");
+    }
+    key_map.emplace(f, 0);
+  }
+  if (setup_.classifier == ClassifierKind::kNaiveBayes) {
+    nb_spec_ = std::make_unique<SecureNbCircuit>(setup_.features,
+                                                 setup_.num_classes, key_map);
+  } else if (setup_.classifier == ClassifierKind::kLinear) {
+    linear_spec_ = std::make_unique<SecureLinearProtocol>(
+        setup_.features, setup_.num_classes, key_map);
+  }
+  open_ = true;
+}
+
+ClassificationClient::~ClassificationClient() {
+  try {
+    Close();
+  } catch (...) {
+    // Destructor close is best-effort; the socket fd is released anyway.
+  }
+}
+
+int ClassificationClient::Classify(const std::vector<int>& row) {
+  return ClassifyWithStats(row).predicted_class;
+}
+
+SmcRunStats ClassificationClient::ClassifyWithStats(
+    const std::vector<int>& row) {
+  PAFS_CHECK_MSG(open_, "Classify on a closed client");
+  PAFS_CHECK_EQ(row.size(), setup_.features.size());
+  for (size_t f = 0; f < row.size(); ++f) {
+    PAFS_CHECK_GE(row[f], 0);
+    PAFS_CHECK_LT(row[f], setup_.features[f].cardinality);
+  }
+  obs::TraceSpan span("serve.client.query");
+  Timer timer;
+  uint64_t bytes_before =
+      socket_->stats().bytes_sent + socket_->stats().bytes_received;
+  uint64_t rounds_before = socket_->stats().direction_flips;
+  Channel& ch = *framed_;
+  ch.SendU64(static_cast<uint64_t>(RequestTag::kQuery));
+  {
+    obs::TraceSpan disclose("disclose");
+    for (int f : setup_.plan_features) {
+      ch.SendU64(static_cast<uint64_t>(row[f]));
+    }
+  }
+  SmcRunStats stats;
+  switch (setup_.classifier) {
+    case ClassifierKind::kNaiveBayes: {
+      stats = SecureNbRunClient(ch, *nb_spec_, row, ot_, rng_, setup_.scheme);
+      break;
+    }
+    case ClassifierKind::kDecisionTree: {
+      stats = SecureTreeRunClient(ch, setup_.features, setup_.num_classes,
+                                  row, ot_, rng_, setup_.scheme);
+      break;
+    }
+    case ClassifierKind::kLinear: {
+      if (!keys_.has_value()) {
+        obs::TraceSpan keygen("paillier.keygen");
+        keys_.emplace(GeneratePaillierKey(rng_, setup_.paillier_bits));
+      }
+      stats = linear_spec_->RunClient(ch, *keys_, row, ot_, rng_,
+                                      setup_.scheme);
+      break;
+    }
+    case ClassifierKind::kForest: {
+      stats = SecureForestRunClient(ch, setup_.features, setup_.num_classes,
+                                    row, ot_, rng_, setup_.scheme);
+      break;
+    }
+  }
+  stats.bytes = socket_->stats().bytes_sent +
+                socket_->stats().bytes_received - bytes_before;
+  stats.rounds = socket_->stats().direction_flips - rounds_before;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+void ClassificationClient::Close() {
+  if (!open_) return;
+  open_ = false;
+  try {
+    framed_->SendU64(static_cast<uint64_t>(RequestTag::kBye));
+  } catch (const TransportError&) {
+    // The server may already be gone; close is still graceful on our side.
+  }
+  socket_->Close();
+}
+
+}  // namespace pafs::serve

@@ -1,0 +1,75 @@
+// Client driver for the serving layer: connects to a ClassificationServer
+// over TCP or UDS, learns the schema + disclosure plan in the handshake,
+// and then runs the client side of the secure protocol once per query over
+// the framed socket. One client = one server session; run several clients
+// (threads or processes) for concurrent load.
+#ifndef PAFS_SERVE_CLIENT_H_
+#define PAFS_SERVE_CLIENT_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "net/framing.h"
+#include "net/socket.h"
+#include "ot/iknp.h"
+#include "serve/model.h"
+#include "smc/secure_linear.h"
+#include "smc/secure_nb.h"
+#include "util/random.h"
+
+namespace pafs::serve {
+
+struct ClientConfig {
+  SocketAddress address;
+  double connect_timeout_seconds = 5;
+  // Per-Recv deadline; generous because a loaded server may queue this
+  // session's request behind num_threads running protocols.
+  double recv_timeout_seconds = 60;
+  uint64_t seed = 0xC11E47;
+};
+
+class ClassificationClient {
+ public:
+  // Connects and completes the handshake; throws TransportError subclasses
+  // when the server is unreachable, full (kClosed during hello), or speaks
+  // a different protocol version.
+  explicit ClassificationClient(const ClientConfig& config);
+  ~ClassificationClient();  // Best-effort bye + close.
+
+  ClassificationClient(const ClassificationClient&) = delete;
+  ClassificationClient& operator=(const ClassificationClient&) = delete;
+
+  // Schema, plan, classifier kind, and scheme announced by the server.
+  const SessionSetup& setup() const { return setup_; }
+
+  // One secure classification. `row` must hold a value in range for every
+  // feature of the schema; the plan's features are disclosed in plaintext,
+  // the rest stay hidden inside the protocol. Throws TransportError
+  // subclasses on session faults (the session is then dead — reconnect).
+  int Classify(const std::vector<int>& row);
+  SmcRunStats ClassifyWithStats(const std::vector<int>& row);
+
+  // Graceful end: tells the server bye and shuts the socket down.
+  // Idempotent; further Classify calls are a programmer error.
+  void Close();
+  bool open() const { return open_; }
+
+  const ChannelStats& wire_stats() const { return socket_->stats(); }
+
+ private:
+  SessionSetup setup_;
+  std::unique_ptr<SocketChannel> socket_;
+  std::unique_ptr<FramedChannel> framed_;
+  std::unique_ptr<SecureNbCircuit> nb_spec_;
+  std::unique_ptr<SecureLinearProtocol> linear_spec_;
+  std::optional<PaillierKeyPair> keys_;  // Lazily generated (kLinear only).
+  OtExtReceiver ot_;
+  Rng rng_;
+  bool open_ = false;
+};
+
+}  // namespace pafs::serve
+
+#endif  // PAFS_SERVE_CLIENT_H_

@@ -1,0 +1,107 @@
+#include "serve/model.h"
+
+#include <string>
+
+#include "net/error.h"
+
+namespace pafs::serve {
+
+namespace {
+
+// Schema cardinalities and plan sizes are wire data on the client side;
+// bound them so a malicious server cannot make a client allocate wildly.
+constexpr uint64_t kMaxFeatures = 1u << 16;
+constexpr uint64_t kMaxCardinality = 1u << 20;
+constexpr uint64_t kMaxClasses = 1u << 12;
+
+uint64_t RecvBounded(Channel& channel, uint64_t max, const char* what) {
+  uint64_t v = channel.RecvU64();
+  if (v > max) {
+    throw ProtocolError(std::string("serve handshake: ") + what + " " +
+                        std::to_string(v) + " exceeds bound " +
+                        std::to_string(max));
+  }
+  return v;
+}
+
+}  // namespace
+
+ServingModel ServingModel::FromPipeline(const SecureClassificationPipeline& p) {
+  ServingModel model;
+  model.setup.features = p.features();
+  model.setup.num_classes = p.num_classes();
+  model.setup.classifier = p.config().classifier;
+  model.setup.scheme = p.config().scheme;
+  model.setup.paillier_bits = p.config().paillier_bits;
+  model.setup.plan_features = p.plan().features;
+  switch (model.setup.classifier) {
+    case ClassifierKind::kNaiveBayes:
+      model.nb = p.naive_bayes();
+      break;
+    case ClassifierKind::kDecisionTree:
+      model.tree = p.tree();
+      break;
+    case ClassifierKind::kLinear:
+      model.linear = p.linear();
+      break;
+    case ClassifierKind::kForest:
+      model.forest = p.forest();
+      break;
+  }
+  return model;
+}
+
+void SendSessionSetup(Channel& channel, const SessionSetup& setup) {
+  channel.SendU64(static_cast<uint64_t>(setup.classifier));
+  channel.SendU64(static_cast<uint64_t>(setup.scheme));
+  channel.SendU64(static_cast<uint64_t>(setup.paillier_bits));
+  channel.SendU64(static_cast<uint64_t>(setup.num_classes));
+  channel.SendU64(setup.features.size());
+  for (const FeatureSpec& f : setup.features) {
+    channel.SendBytes(std::vector<uint8_t>(f.name.begin(), f.name.end()));
+    channel.SendU64(static_cast<uint64_t>(f.cardinality));
+    channel.SendU64(f.sensitive ? 1 : 0);
+  }
+  channel.SendU64(setup.plan_features.size());
+  for (int f : setup.plan_features) {
+    channel.SendU64(static_cast<uint64_t>(f));
+  }
+}
+
+SessionSetup RecvSessionSetup(Channel& channel) {
+  SessionSetup setup;
+  uint64_t classifier = RecvBounded(channel, 3, "classifier kind");
+  setup.classifier = static_cast<ClassifierKind>(classifier);
+  uint64_t scheme = RecvBounded(channel, 1, "garbling scheme");
+  setup.scheme = static_cast<GarblingScheme>(scheme);
+  setup.paillier_bits =
+      static_cast<int>(RecvBounded(channel, 1u << 14, "paillier bits"));
+  setup.num_classes =
+      static_cast<int>(RecvBounded(channel, kMaxClasses, "class count"));
+  if (setup.num_classes < 2) {
+    throw ProtocolError("serve handshake: class count < 2");
+  }
+  uint64_t num_features = RecvBounded(channel, kMaxFeatures, "feature count");
+  setup.features.reserve(num_features);
+  for (uint64_t i = 0; i < num_features; ++i) {
+    FeatureSpec spec;
+    std::vector<uint8_t> name = channel.RecvBytes();
+    spec.name.assign(name.begin(), name.end());
+    spec.cardinality = static_cast<int>(
+        RecvBounded(channel, kMaxCardinality, "feature cardinality"));
+    if (spec.cardinality < 1) {
+      throw ProtocolError("serve handshake: feature cardinality < 1");
+    }
+    spec.sensitive = RecvBounded(channel, 1, "sensitive flag") != 0;
+    setup.features.push_back(std::move(spec));
+  }
+  uint64_t plan = RecvBounded(channel, num_features, "plan size");
+  setup.plan_features.reserve(plan);
+  for (uint64_t i = 0; i < plan; ++i) {
+    uint64_t f = RecvBounded(channel, num_features - 1, "plan feature id");
+    setup.plan_features.push_back(static_cast<int>(f));
+  }
+  return setup;
+}
+
+}  // namespace pafs::serve

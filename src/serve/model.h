@@ -1,0 +1,69 @@
+// The deployable unit of the serving layer: a trained classifier plus the
+// public schema and disclosure plan every session must agree on. A
+// ServingModel is immutable once the server starts, so any number of
+// concurrent sessions can read it without locks.
+//
+// The handshake (serve/server.cc, serve/client.cc) ships the *public*
+// half — schema, plan, classifier kind, garbling scheme, Paillier key size
+// — to the client in the clear; model parameters never leave the server
+// except through the secure protocols themselves.
+#ifndef PAFS_SERVE_MODEL_H_
+#define PAFS_SERVE_MODEL_H_
+
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/selection.h"
+#include "gc/protocol.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_model.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "net/channel.h"
+
+namespace pafs::serve {
+
+// Protocol magic ("PAFSSERV" little-endian) and version; a server answers a
+// mismatched hello with ok=0 and closes, so stale clients fail typed.
+inline constexpr uint64_t kWireMagic = 0x5652455353464150ull;
+inline constexpr uint64_t kWireVersion = 1;
+
+// Client -> server request tags after the handshake.
+enum class RequestTag : uint64_t {
+  kQuery = 1,  // Disclosure values follow, then the secure protocol runs.
+  kBye = 2,    // Graceful session end.
+};
+
+// Everything the client learns in the handshake.
+struct SessionSetup {
+  std::vector<FeatureSpec> features;
+  int num_classes = 2;
+  ClassifierKind classifier = ClassifierKind::kNaiveBayes;
+  GarblingScheme scheme = GarblingScheme::kHalfGates;
+  int paillier_bits = 512;
+  std::vector<int> plan_features;  // Disclosure plan, in send order.
+};
+
+struct ServingModel {
+  SessionSetup setup;
+
+  // Only the member matching setup.classifier is consulted.
+  NaiveBayes nb;
+  DecisionTree tree;
+  LinearModel linear;
+  RandomForest forest;
+
+  // Lifts a trained pipeline (model + selected disclosure plan + config)
+  // into a deployable model.
+  static ServingModel FromPipeline(const SecureClassificationPipeline& p);
+};
+
+// Handshake serialization over any Channel (framed socket in production,
+// in-memory pair in tests). Both throw TransportError subclasses on
+// malformed or out-of-range wire data.
+void SendSessionSetup(Channel& channel, const SessionSetup& setup);
+SessionSetup RecvSessionSetup(Channel& channel);
+
+}  // namespace pafs::serve
+
+#endif  // PAFS_SERVE_MODEL_H_

@@ -1,0 +1,332 @@
+#include "serve/server.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/error.h"
+#include "net/framing.h"
+#include "obs/trace.h"
+#include "smc/secure_forest.h"
+#include "smc/secure_tree.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pafs::serve {
+
+namespace {
+
+// Event-loop token for the listener; sessions use their nonzero ids.
+constexpr uint64_t kListenerToken = 0;
+
+std::map<int, int> PlaceholderDisclosure(const std::vector<int>& plan) {
+  std::map<int, int> key_map;
+  for (int f : plan) key_map.emplace(f, 0);
+  return key_map;
+}
+
+}  // namespace
+
+ClassificationServer::Session::Session(uint64_t id,
+                                       std::unique_ptr<SocketChannel> sock,
+                                       uint64_t seed)
+    : id(id),
+      socket(std::move(sock)),
+      framed(std::make_unique<FramedChannel>(*socket)),
+      rng(seed ^ (id * 0x9E3779B97F4A7C15ull)) {}
+
+ClassificationServer::ClassificationServer(ServingModel model,
+                                           ServerConfig config)
+    : model_(std::move(model)), config_(std::move(config)) {
+  config_.num_threads =
+      config_.num_threads > 0
+          ? config_.num_threads
+          : static_cast<int>(std::thread::hardware_concurrency());
+  config_.num_threads = std::max(config_.num_threads, 2);
+  config_.max_sessions = std::max(config_.max_sessions, 1);
+  config_.recv_timeout_seconds = std::max(config_.recv_timeout_seconds, 1e-3);
+  const auto& setup = model_.setup;
+  if (setup.classifier == ClassifierKind::kNaiveBayes) {
+    nb_spec_ = std::make_unique<SecureNbCircuit>(
+        setup.features, setup.num_classes,
+        PlaceholderDisclosure(setup.plan_features));
+  } else if (setup.classifier == ClassifierKind::kLinear) {
+    linear_spec_ = std::make_unique<SecureLinearProtocol>(
+        setup.features, setup.num_classes,
+        PlaceholderDisclosure(setup.plan_features));
+  }
+}
+
+ClassificationServer::~ClassificationServer() { Stop(); }
+
+void ClassificationServer::Start() {
+  PAFS_CHECK(!running_);
+  listener_.emplace(
+      SocketListener::Listen(config_.address, config_.listen_backlog));
+  loop_ = std::make_unique<EventLoop>();
+  pool_ = std::make_unique<ThreadPool>(config_.num_threads + 1);
+  loop_->Add(listener_->fd(), kListenerToken, EPOLLIN, /*oneshot=*/false,
+             [this](uint32_t) { OnListenerReadable(); });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = true;
+    draining_ = false;
+  }
+  loop_thread_ = std::thread([this] {
+    obs::SetThreadParty("server");
+    loop_->Run();
+  });
+}
+
+const SocketAddress& ClassificationServer::address() const {
+  PAFS_CHECK(listener_.has_value());
+  return listener_->local_address();
+}
+
+ServerStats ClassificationServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool ClassificationServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void ClassificationServer::OnListenerReadable() {
+  for (;;) {
+    std::unique_ptr<SocketChannel> socket;
+    try {
+      socket = listener_->TryAccept();
+    } catch (const TransportError&) {
+      return;  // Listener closed under us mid-drain.
+    }
+    if (socket == nullptr) return;
+    AdmitSession(std::move(socket));
+  }
+}
+
+void ClassificationServer::AdmitSession(std::unique_ptr<SocketChannel> socket) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ ||
+        static_cast<int>(sessions_.size()) >= config_.max_sessions) {
+      ++stats_.sessions_rejected;
+      static obs::Counter& rejected =
+          obs::GetCounter("serve.sessions_rejected");
+      rejected.Add();
+      socket->Close();  // Destructor closes the fd; the client fails typed.
+      return;
+    }
+    uint64_t id = next_session_id_++;
+    socket->set_recv_timeout_seconds(config_.recv_timeout_seconds);
+    session = std::make_shared<Session>(id, std::move(socket), config_.seed);
+    sessions_.emplace(id, session);
+    ++stats_.sessions_accepted;
+    stats_.sessions_active = static_cast<int>(sessions_.size());
+    static obs::Counter& accepted = obs::GetCounter("serve.sessions_accepted");
+    accepted.Add();
+    static obs::Histogram& active = obs::GetHistogram("serve.sessions_active");
+    active.Record(static_cast<double>(sessions_.size()));
+  }
+  uint64_t id = session->id;
+  loop_->Add(session->socket->fd(), id, EPOLLIN | EPOLLRDHUP,
+             /*oneshot=*/true, [this, id](uint32_t) { OnSessionReadable(id); });
+}
+
+void ClassificationServer::OnSessionReadable(uint64_t id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;  // Already closed.
+    session = it->second;
+    if (draining_) {
+      CloseSessionLocked(session, /*failed=*/false);
+      return;
+    }
+    session->state = SessionState::kBusy;
+    ++busy_;
+  }
+  pool_->Submit([this, session] { ServeSession(session); });
+}
+
+void ClassificationServer::ServeSession(const std::shared_ptr<Session>& s) {
+  obs::SetThreadParty("server");
+  bool keep = true;
+  bool failed = false;
+  try {
+    keep = ServeOne(*s);
+  } catch (const TransportError&) {
+    keep = false;
+    failed = true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  --busy_;
+  if (keep && !draining_ && !s->socket->closed()) {
+    s->state = SessionState::kIdle;
+    loop_->Rearm(s->socket->fd(), s->id);
+  } else {
+    CloseSessionLocked(s, failed);
+  }
+  drain_cv_.notify_all();
+}
+
+bool ClassificationServer::ServeOne(Session& s) {
+  Channel& ch = *s.framed;
+  if (!s.handshaken) {
+    obs::TraceSpan span("serve.handshake");
+    uint64_t magic = ch.RecvU64();
+    uint64_t version = ch.RecvU64();
+    if (magic != kWireMagic || version != kWireVersion) {
+      ch.SendU64(0);  // Typed refusal before the close.
+      throw ProtocolError("serve: bad hello (magic " + std::to_string(magic) +
+                          ", version " + std::to_string(version) + ")");
+    }
+    ch.SendU64(1);
+    SendSessionSetup(ch, model_.setup);
+    s.handshaken = true;
+    s.state = SessionState::kIdle;
+    return true;
+  }
+  uint64_t tag = ch.RecvU64();
+  if (tag == static_cast<uint64_t>(RequestTag::kBye)) return false;
+  if (tag != static_cast<uint64_t>(RequestTag::kQuery)) {
+    throw ProtocolError("serve: unknown request tag " + std::to_string(tag));
+  }
+  ServeQuery(s, ch);
+  return true;
+}
+
+void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
+  obs::TraceSpan span("serve.query");
+  Timer timer;
+  const SessionSetup& setup = model_.setup;
+  std::map<int, int> disclosed;
+  for (int f : setup.plan_features) {
+    uint64_t v = ch.RecvU64();
+    if (v >= static_cast<uint64_t>(setup.features[f].cardinality)) {
+      throw ProtocolError("serve: disclosed value " + std::to_string(v) +
+                          " out of range for " + setup.features[f].name);
+    }
+    disclosed[f] = static_cast<int>(v);
+  }
+  switch (setup.classifier) {
+    case ClassifierKind::kNaiveBayes: {
+      SecureNbRunServer(ch, *nb_spec_, model_.nb, disclosed, s.ot, s.rng,
+                        setup.scheme);
+      break;
+    }
+    case ClassifierKind::kDecisionTree: {
+      DecisionTree specialized = model_.tree.Specialize(disclosed);
+      SecureTreeCircuit spec(specialized, setup.features, setup.num_classes,
+                             disclosed);
+      SecureTreeRunServer(ch, spec, specialized, s.ot, s.rng, setup.scheme);
+      break;
+    }
+    case ClassifierKind::kLinear: {
+      linear_spec_->RunServer(ch, model_.linear, disclosed, s.ot, s.rng,
+                              setup.scheme);
+      break;
+    }
+    case ClassifierKind::kForest: {
+      RandomForest specialized = model_.forest.Specialize(disclosed);
+      SecureForestCircuit spec(specialized, setup.features, setup.num_classes,
+                               disclosed);
+      SecureForestRunServer(ch, spec, specialized, s.ot, s.rng, setup.scheme);
+      break;
+    }
+  }
+  ++s.queries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries_served;
+  }
+  static obs::Counter& served = obs::GetCounter("serve.queries_served");
+  served.Add();
+  static obs::Histogram& latency = obs::GetHistogram("serve.query.seconds");
+  latency.Record(timer.ElapsedSeconds());
+}
+
+void ClassificationServer::CloseSessionLocked(
+    const std::shared_ptr<Session>& session, bool failed) {
+  auto it = sessions_.find(session->id);
+  if (it == sessions_.end()) return;  // Double close (drain vs. task race).
+  loop_->Remove(session->socket->fd(), session->id);
+  sessions_.erase(it);
+  ++stats_.sessions_closed;
+  if (failed) ++stats_.sessions_failed;
+  stats_.sessions_active = static_cast<int>(sessions_.size());
+  if (failed) {
+    static obs::Counter& failures = obs::GetCounter("serve.sessions_failed");
+    failures.Add();
+  }
+  // Per-session wire-cost attribution (the whole-process net.* counters
+  // cannot separate concurrent sessions): one histogram sample per session,
+  // so --breakdown reports the distribution across sessions.
+  const ChannelStats& wire = session->socket->stats();
+  static obs::Histogram& sent = obs::GetHistogram("serve.session.bytes_sent");
+  static obs::Histogram& received =
+      obs::GetHistogram("serve.session.bytes_received");
+  static obs::Histogram& rounds = obs::GetHistogram("serve.session.rounds");
+  static obs::Histogram& queries = obs::GetHistogram("serve.session.queries");
+  if (obs::Enabled() && wire.messages_sent + wire.messages_received > 0) {
+    sent.Record(static_cast<double>(wire.bytes_sent));
+    received.Record(static_cast<double>(wire.bytes_received));
+    rounds.Record(static_cast<double>(wire.direction_flips));
+    queries.Record(static_cast<double>(session->queries));
+  }
+  session->socket->Close();
+}
+
+void ClassificationServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    draining_ = true;
+  }
+  // Refuse new connects and take the listener out of the loop.
+  loop_->Remove(listener_->fd(), kListenerToken);
+  listener_->Close();
+  // Close idle sessions immediately; busy ones get the drain grace.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<Session>> idle;
+    for (auto& [id, session] : sessions_) {
+      if (session->state != SessionState::kBusy) idle.push_back(session);
+    }
+    for (auto& session : idle) {
+      CloseSessionLocked(session, /*failed=*/false);
+    }
+    drain_cv_.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config_.drain_timeout_seconds)),
+        [&] { return busy_ == 0; });
+    // Grace expired: force-close stragglers. Their blocking IO unwinds
+    // with typed errors and the tasks finish promptly.
+    for (auto& [id, session] : sessions_) session->socket->Close();
+    drain_cv_.wait(lock, [&] { return busy_ == 0; });
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      auto session = it->second;
+      ++it;
+      CloseSessionLocked(session, /*failed=*/false);
+    }
+    running_ = false;
+  }
+  // Workers have no queued session tasks left (busy_ == 0 covers submit to
+  // completion), so pool teardown is a plain join.
+  pool_.reset();
+  loop_->Stop();
+  loop_thread_.join();
+  loop_.reset();
+  // The (closed) listener stays: address() remains answerable after Stop,
+  // and Start() replaces it on a restart.
+}
+
+}  // namespace pafs::serve

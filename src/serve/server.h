@@ -1,0 +1,155 @@
+// Session-multiplexing secure-classification server.
+//
+// Architecture (see DESIGN.md "Transport & serving layer"):
+//
+//   acceptor thread ── epoll EventLoop ──> bounded session registry
+//        │  (listener + every IDLE session socket)
+//        └─ readable session ──> ThreadPool::Submit ──> session task:
+//             handshake | one query (blocking secure protocol over the
+//             framed socket) ──> re-arm in epoll and go idle, or close.
+//
+// A session occupies a worker thread only while a request is in flight;
+// between requests it costs one epoll registration, so the server holds
+// max_sessions connections while running num_threads protocols at a time.
+// Every session socket runs under the CRC FramedChannel and a per-Recv
+// deadline, so a wedged or malicious peer dies typed (ChannelError /
+// ProtocolError), is counted in serve.sessions_failed, and never takes a
+// worker hostage for longer than the deadline.
+//
+// State machine per session:
+//
+//   kAwaitHello --accept--> (registered, epoll-armed)
+//   kAwaitHello --hello ok--> kIdle --request--> kBusy --done--> kIdle
+//   kBusy --bye/fault/drain--> closed (unregistered, socket shut down)
+//
+// Stop() drains gracefully: new connects are refused, idle sessions close
+// immediately, in-flight queries get drain_timeout_seconds to finish, then
+// stragglers are force-closed (their tasks unwind with typed errors).
+#ifndef PAFS_SERVE_SERVER_H_
+#define PAFS_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "net/event_loop.h"
+#include "net/framing.h"
+#include "net/socket.h"
+#include "ot/iknp.h"
+#include "serve/model.h"
+#include "smc/secure_linear.h"
+#include "smc/secure_nb.h"
+#include "util/parallel.h"
+
+namespace pafs::serve {
+
+struct ServerConfig {
+  SocketAddress address = SocketAddress::Tcp("127.0.0.1", 0);
+  // Bounded session registry: connects beyond this are closed on accept
+  // (the client sees ChannelError{kClosed} during its hello).
+  int max_sessions = 256;
+  // Session worker threads (>= 2 enforced); protocol work for at most this
+  // many sessions runs concurrently. Distinct from ThreadPool::Global(),
+  // which the garbling kernels keep for ParallelFor.
+  int num_threads = 0;  // 0 = hardware concurrency.
+  // Per-Recv deadline while serving a request; a silent peer mid-protocol
+  // fails typed after this long. 0 would hang a worker forever, so the
+  // config is clamped to >= 1 ms.
+  double recv_timeout_seconds = 30;
+  // Stop(): how long in-flight queries may run before force-close.
+  double drain_timeout_seconds = 5;
+  int listen_backlog = 128;
+  uint64_t seed = 0x5AFE5EED;  // Per-session RNG streams derive from this.
+};
+
+// Registry/lifecycle counters, readable at any time (independent of the
+// obs telemetry switch; the serve.* counters mirror these when enabled).
+struct ServerStats {
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_rejected = 0;  // Refused: registry full or draining.
+  uint64_t sessions_failed = 0;    // Died on a transport/protocol fault.
+  uint64_t sessions_closed = 0;    // All closes, graceful included.
+  uint64_t queries_served = 0;
+  int sessions_active = 0;
+};
+
+class ClassificationServer {
+ public:
+  ClassificationServer(ServingModel model, ServerConfig config);
+  ~ClassificationServer();  // Stops (drains) if still running.
+
+  ClassificationServer(const ClassificationServer&) = delete;
+  ClassificationServer& operator=(const ClassificationServer&) = delete;
+
+  // Binds the listener and launches the acceptor/event-loop thread.
+  // Throws TransportError if the address cannot be bound.
+  void Start();
+  // Graceful drain + shutdown; idempotent, called by the destructor.
+  void Stop();
+
+  // Bound address; resolves an ephemeral TCP port. Valid after Start().
+  const SocketAddress& address() const;
+  ServerStats stats() const;
+  bool running() const;
+
+ private:
+  enum class SessionState { kAwaitHello, kIdle, kBusy };
+
+  struct Session {
+    uint64_t id = 0;
+    std::unique_ptr<SocketChannel> socket;
+    std::unique_ptr<FramedChannel> framed;
+    SessionState state = SessionState::kAwaitHello;
+    bool handshaken = false;
+    OtExtSender ot;  // Base OTs amortize across the session's queries.
+    Rng rng;
+    uint64_t queries = 0;
+
+    Session(uint64_t id, std::unique_ptr<SocketChannel> sock, uint64_t seed);
+  };
+
+  void OnListenerReadable();
+  void AdmitSession(std::unique_ptr<SocketChannel> socket);
+  void OnSessionReadable(uint64_t id);
+  // Runs on a pool worker: one handshake or one request, then re-arm or
+  // close. Never throws.
+  void ServeSession(const std::shared_ptr<Session>& session);
+  // One protocol exchange. Returns false when the session should close
+  // gracefully (bye). Throws TransportError subclasses on faults.
+  bool ServeOne(Session& session);
+  void ServeQuery(Session& session, Channel& channel);
+  // Unregisters, records per-session wire-cost telemetry, shuts the socket
+  // down. Caller holds mu_.
+  void CloseSessionLocked(const std::shared_ptr<Session>& session,
+                          bool failed);
+
+  ServingModel model_;
+  ServerConfig config_;
+
+  // Disclosure-set-only circuit specs shared by all sessions (the plan is
+  // fixed, so the layout is too); tree/forest specialize per query.
+  std::unique_ptr<SecureNbCircuit> nb_spec_;
+  std::unique_ptr<SecureLinearProtocol> linear_spec_;
+
+  std::optional<SocketListener> listener_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  int busy_ = 0;  // Sessions with a submitted/running task.
+  bool running_ = false;
+  bool draining_ = false;
+  ServerStats stats_;
+};
+
+}  // namespace pafs::serve
+
+#endif  // PAFS_SERVE_SERVER_H_

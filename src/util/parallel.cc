@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/check.h"
+
 namespace pafs {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -26,15 +28,39 @@ void ThreadPool::WorkerLoop() {
   std::shared_ptr<Job> last;
   for (;;) {
     std::shared_ptr<Job> job;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || job_ != last; });
+      work_cv_.wait(lock, [&] {
+        return stop_ || job_ != last || !tasks_.empty();
+      });
       if (stop_) return;
-      job = job_;
-      last = job;
+      // Submitted tasks first: they are latency-sensitive session work,
+      // while a ParallelFor always has its caller driving it forward.
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else {
+        job = job_;
+        last = job;
+      }
+    }
+    if (task) {
+      task();
+      continue;
     }
     if (job) Run(*job);
   }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PAFS_CHECK_MSG(!workers_.empty(),
+                   "ThreadPool::Submit needs at least one worker");
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::Run(Job& job) {

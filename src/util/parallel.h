@@ -1,19 +1,24 @@
 // Minimal persistent worker pool with a blocking ParallelFor, used to run
 // independent garbling/evaluation work (e.g. the member trees of a random
-// forest) concurrently. The calling thread participates in every loop, so
-// a pool constructed with N threads runs N-way: N-1 workers + the caller.
+// forest) concurrently, plus a fire-and-forget Submit queue used by the
+// serving layer (src/serve) to schedule per-session protocol work. The
+// calling thread participates in every ParallelFor, so a pool constructed
+// with N threads runs N-way: N-1 workers + the caller.
 //
 // Ownership: the process-wide pool from ThreadPool::Global() is created on
 // first use, sized by PAFS_THREADS (default: hardware concurrency), and
 // lives for the process; protocol layers accept a ThreadPool* and treat
 // nullptr as "run serial". Nested ParallelFor calls are not supported —
-// callers at one layer only (the gc kernels) submit work.
+// callers at one layer only (the gc kernels) submit loops. The serving
+// layer owns a *separate* pool instance for its sessions, so long-blocking
+// session tasks never starve the global pool's kernel loops.
 #ifndef PAFS_UTIL_PARALLEL_H_
 #define PAFS_UTIL_PARALLEL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -41,6 +46,15 @@ class ThreadPool {
   // drains. fn must be safe to run concurrently with itself.
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
+
+  // Enqueues an independent task for the workers (FIFO). Tasks may block
+  // (session protocol work does); they must not throw — an escaping
+  // exception terminates the process, exactly like an escaping thread.
+  // Requires a pool with at least one worker (num_threads >= 2): the
+  // calling thread never runs submitted tasks. Tasks still queued when the
+  // pool is destroyed are dropped, so owners must drain their work first
+  // (the serving layer waits for its sessions before teardown).
+  void Submit(std::function<void()> task);
 
   // Process-wide pool, or nullptr when the effective size is 1 (callers
   // then take their serial path). Sized once from PAFS_THREADS / hardware
@@ -71,6 +85,7 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::shared_ptr<Job> job_;  // Current job; null when idle.
+  std::deque<std::function<void()>> tasks_;  // Submitted, not yet started.
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

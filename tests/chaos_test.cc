@@ -9,9 +9,11 @@
 // FaultInjectingChannel beneath FramedChannel, so one fault mangles one
 // whole CRC frame; the server endpoint runs the matching FramedChannel.
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -29,19 +31,38 @@
 #include "net/error.h"
 #include "net/fault.h"
 #include "net/framing.h"
+#include "net/socket.h"
 #include "ot/iknp.h"
 #include "sharing/gmw.h"
 #include "smc/secure_linear.h"
 #include "util/bitvec.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace pafs {
 namespace {
 
+// ThreadSanitizer slows the round-heavy backends an order of magnitude
+// (GMW under a delay fault pays per-message slowdown times hundreds of
+// rounds), so the hang watchdog needs far more headroom there. The recv
+// deadline stays tight: it is what a dropped message surfaces as, and
+// every drop cell waits it out in full.
+#if defined(__SANITIZE_THREAD__)
+#define PAFS_CHAOS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PAFS_CHAOS_TSAN 1
+#endif
+#endif
+#ifndef PAFS_CHAOS_TSAN
+#define PAFS_CHAOS_TSAN 0
+#endif
+
 // Generous enough that legitimate compute (base OTs under ASan) never
 // trips it; a fault that drops a message surfaces as this deadline.
-constexpr double kRecvTimeout = 2.0;
-constexpr auto kWatchdogDeadline = std::chrono::seconds(30);
+constexpr double kRecvTimeout = PAFS_CHAOS_TSAN ? 4.0 : 2.0;
+constexpr auto kWatchdogDeadline =
+    std::chrono::seconds(PAFS_CHAOS_TSAN ? 240 : 30);
 
 struct PartyOutcome {
   bool ok = false;
@@ -355,6 +376,182 @@ TEST_F(PipelineChaosTest, ExhaustedRetriesSurfaceTypedError) {
   SecureClassificationPipeline pipeline(data_, config);
   EXPECT_THROW(pipeline.Classify(data_.row(1)), ClassificationError);
   EXPECT_GE(pipeline.faults_injected(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos over the real wire: the same seed-deterministic fault matrix
+// stacked over a loopback TCP connection (FramedChannel over
+// FaultInjectingChannel over SocketChannel), plus socket-specific faults
+// the in-memory pair cannot express (hard close mid-message, accept
+// backlog overflow). The invariant is unchanged: typed error or correct
+// result within the watchdog deadline, never a hang.
+
+struct TcpTestConnection {
+  std::unique_ptr<SocketChannel> server;
+  std::unique_ptr<SocketChannel> client;
+};
+
+TcpTestConnection MakeTcpConnection() {
+  SocketListener listener =
+      SocketListener::Listen(SocketAddress::Tcp("127.0.0.1", 0));
+  TcpTestConnection conn;
+  std::thread connector(
+      [&] { conn.client = SocketConnect(listener.local_address(), 5.0); });
+  conn.server = listener.Accept(5.0);
+  connector.join();
+  PAFS_CHECK(conn.server != nullptr);
+  PAFS_CHECK(conn.client != nullptr);
+  return conn;
+}
+
+// RunChaos over TCP loopback instead of a MemChannelPair.
+bool RunChaosOverTcp(const FaultPlan& plan,
+                     const std::function<void(Channel&)>& server_body,
+                     const std::function<void(Channel&)>& client_body,
+                     PartyOutcome* server_out, PartyOutcome* client_out) {
+  TcpTestConnection conn = MakeTcpConnection();
+  FaultInjector injector(plan);
+  FramedChannel server_ch(*conn.server);
+  FaultInjectingChannel faulty(*conn.client, injector);
+  FramedChannel client_ch(faulty);
+  server_ch.set_recv_timeout_seconds(kRecvTimeout);
+  client_ch.set_recv_timeout_seconds(kRecvTimeout);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  bool tripped = false;
+  std::thread watchdog([&] {
+    std::unique_lock<std::mutex> lock(m);
+    if (!cv.wait_for(lock, kWatchdogDeadline, [&] { return done; })) {
+      tripped = true;
+      conn.server->Close();
+      conn.client->Close();
+    }
+  });
+
+  auto run = [](Channel& ch, const std::function<void(Channel&)>& body,
+                PartyOutcome* out) {
+    try {
+      body(ch);
+      out->ok = true;
+    } catch (const TransportError& e) {
+      out->typed_error = true;
+      out->error = e.what();
+      ch.Close();
+    }
+  };
+  std::thread server(run, std::ref(server_ch), std::cref(server_body),
+                     server_out);
+  run(client_ch, client_body, client_out);
+  server.join();
+  {
+    std::lock_guard<std::mutex> lock(m);
+    done = true;
+  }
+  cv.notify_all();
+  watchdog.join();
+  return !tripped;
+}
+
+TEST(SocketChaosTest, GarbledCircuitSurvivesFaultMatrixOverTcp) {
+  Circuit circuit = BuildAdder(8);
+  BitVec gbits = BitVec::FromU64(113, 8);
+  BitVec ebits = BitVec::FromU64(42, 8);
+  BitVec expected = circuit.Evaluate(gbits, ebits);
+  for (const ChaosCase& c : ChaosMatrix()) {
+    SCOPED_TRACE(CaseLabel(c));
+    PartyOutcome server, client;
+    BitVec server_got(0), client_got(0);
+    bool no_hang = RunChaosOverTcp(
+        MakePlan(c),
+        [&](Channel& ch) {
+          OtExtSender ot;
+          Rng rng(c.seed * 41 + 1);
+          server_got = GcRunGarbler(ch, circuit, gbits, ot, rng);
+        },
+        [&](Channel& ch) {
+          OtExtReceiver ot;
+          Rng rng(c.seed * 43 + 2);
+          client_got = GcRunEvaluator(ch, circuit, ebits, ot, rng);
+        },
+        &server, &client);
+    ASSERT_TRUE(no_hang) << "run hung until the watchdog killed it";
+    CheckOutcome(c, server, client);
+    if (server.ok) EXPECT_TRUE(server_got == expected);
+    if (client.ok) EXPECT_TRUE(client_got == expected);
+  }
+}
+
+TEST(SocketChaosTest, PeerHardCloseMidMessageFailsTyped) {
+  // A peer that dies mid-frame (partial header on the wire, then RST/FIN)
+  // must surface as kClosed on the survivor — not a hang, not garbage.
+  TcpTestConnection conn = MakeTcpConnection();
+  conn.server->set_recv_timeout_seconds(kRecvTimeout);
+  FramedChannel server_ch(*conn.server);
+  const uint8_t partial[3] = {0x01, 0x02, 0x03};
+  conn.client->Send(partial, sizeof(partial));
+  conn.client->Close();
+  try {
+    server_ch.RecvU64();
+    FAIL() << "expected a typed transport error";
+  } catch (const ChannelError& e) {
+    EXPECT_EQ(e.kind(), ChannelErrorKind::kClosed) << e.what();
+  }
+}
+
+TEST(SocketChaosTest, PeerHardCloseMidPayloadFailsTyped) {
+  // Same, but the cut lands inside a framed payload: the header promises
+  // more bytes than ever arrive.
+  TcpTestConnection conn = MakeTcpConnection();
+  conn.server->set_recv_timeout_seconds(kRecvTimeout);
+  FramedChannel server_ch(*conn.server);
+  std::thread victim([&] {
+    FramedChannel client_ch(*conn.client);
+    try {
+      // Far past the kernel buffers, so the sender is still mid-payload
+      // (blocked on POLLOUT) when the close lands. The cut is guaranteed
+      // to fall inside the framed message, not between messages.
+      client_ch.SendBytes(std::vector<uint8_t>(64 << 20, 0xEE));
+      ADD_FAILURE() << "send of unreceivable payload completed";
+    } catch (const TransportError&) {
+      // Closed under our own blocked send: the expected typed unwind.
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  conn.client->Close();
+  victim.join();
+  EXPECT_THROW(server_ch.RecvBytes(), TransportError);
+}
+
+TEST(SocketChaosTest, AcceptBacklogOverflowYieldsTypedOutcomes) {
+  // A listener that never accepts, with a tiny backlog, swamped by
+  // concurrent connects: every connect must end typed — connected (the
+  // kernel queued it) or ChannelError (timeout/refused) — within its own
+  // deadline. No untyped escape, no hang.
+  SocketListener listener =
+      SocketListener::Listen(SocketAddress::Tcp("127.0.0.1", 0),
+                             /*backlog=*/1);
+  constexpr int kConnects = 24;
+  std::atomic<int> connected{0};
+  std::atomic<int> typed_failures{0};
+  std::vector<std::thread> dialers;
+  std::vector<std::unique_ptr<SocketChannel>> held(kConnects);
+  for (int i = 0; i < kConnects; ++i) {
+    dialers.emplace_back([&, i] {
+      try {
+        held[i] = SocketConnect(listener.local_address(), 0.5);
+        ++connected;
+      } catch (const ChannelError&) {
+        ++typed_failures;
+      }
+    });
+  }
+  for (auto& d : dialers) d.join();
+  // Every dialer resolved one way or the other...
+  EXPECT_EQ(connected + typed_failures, kConnects);
+  // ...and the kernel queue admitted at least one despite zero accepts.
+  EXPECT_GE(connected.load(), 1);
 }
 
 }  // namespace

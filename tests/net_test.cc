@@ -1,5 +1,10 @@
-// Tests for the simulated network substrate: framing helpers, byte/round
-// accounting, blocking semantics across threads, and the cost model.
+// Tests for the network substrate: framing helpers, byte/round accounting,
+// blocking semantics across threads, the cost model, and the real socket
+// transport (TCP + Unix-domain) that mirrors the in-memory semantics.
+#include <unistd.h>
+
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -9,6 +14,7 @@
 #include "net/channel.h"
 #include "net/fault.h"
 #include "net/framing.h"
+#include "net/socket.h"
 #include "net/throttle.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -422,6 +428,233 @@ TEST(FaultInjectorTest, HonorsFirstOpAndBudget) {
   EXPECT_EQ(got[4], FaultKind::kDrop);
   for (int i = 5; i < 8; ++i) EXPECT_EQ(got[i], FaultKind::kNone);
   EXPECT_EQ(injector.injected(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Real socket transport. Every test runs on loopback (TCP ephemeral port)
+// or a per-process UDS path, so suites can run in parallel.
+
+std::string UdsPath(const char* tag) {
+  return "/tmp/pafs_net_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+struct ConnectedSockets {
+  std::unique_ptr<SocketChannel> server;
+  std::unique_ptr<SocketChannel> client;
+};
+
+ConnectedSockets MakeConnectedPair(const SocketAddress& address) {
+  SocketListener listener = SocketListener::Listen(address);
+  ConnectedSockets pair;
+  std::thread connector(
+      [&] { pair.client = SocketConnect(listener.local_address(), 2.0); });
+  pair.server = listener.Accept(2.0);
+  connector.join();
+  EXPECT_NE(pair.server, nullptr);
+  EXPECT_NE(pair.client, nullptr);
+  return pair;
+}
+
+TEST(SocketAddressTest, ParseRoundTrips) {
+  auto tcp = SocketAddress::Parse("tcp:127.0.0.1:9000");
+  ASSERT_TRUE(tcp.ok()) << tcp.status().message();
+  EXPECT_EQ(tcp.value().family, SocketAddress::Family::kTcp);
+  EXPECT_EQ(tcp.value().host, "127.0.0.1");
+  EXPECT_EQ(tcp.value().port, 9000);
+  EXPECT_EQ(tcp.value().ToString(), "tcp:127.0.0.1:9000");
+
+  auto uds = SocketAddress::Parse("unix:/tmp/pafs.sock");
+  ASSERT_TRUE(uds.ok());
+  EXPECT_EQ(uds.value().family, SocketAddress::Family::kUnix);
+  EXPECT_EQ(uds.value().path, "/tmp/pafs.sock");
+  EXPECT_EQ(uds.value().ToString(), "unix:/tmp/pafs.sock");
+
+  EXPECT_FALSE(SocketAddress::Parse("tcp:nohost").ok());
+  EXPECT_FALSE(SocketAddress::Parse("tcp:1.2.3.4:notaport").ok());
+  EXPECT_FALSE(SocketAddress::Parse("tcp:1.2.3.4:70000").ok());
+  EXPECT_FALSE(SocketAddress::Parse("carrier-pigeon:coop").ok());
+  EXPECT_FALSE(SocketAddress::Parse("unix:").ok());
+}
+
+class SocketChannelTest : public ::testing::TestWithParam<bool> {
+ protected:
+  SocketAddress Address(const char* tag) const {
+    return GetParam() ? SocketAddress::Unix(UdsPath(tag))
+                      : SocketAddress::Tcp("127.0.0.1", 0);
+  }
+};
+
+TEST_P(SocketChannelTest, RoundTripPrimitivesAndStats) {
+  ConnectedSockets pair = MakeConnectedPair(Address("roundtrip"));
+  Channel& a = *pair.client;
+  Channel& b = *pair.server;
+
+  a.SendU64(0xFEEDFACEull);
+  EXPECT_EQ(b.RecvU64(), 0xFEEDFACEull);
+  b.SendU64(7);
+  EXPECT_EQ(a.RecvU64(), 7u);
+
+  std::vector<Block> blocks = {Block(1, 2), Block(3, 4)};
+  a.SendBlocks(blocks);
+  EXPECT_EQ(b.RecvBlocks(), blocks);
+
+  std::vector<uint8_t> bytes = {5, 4, 3, 2, 1};
+  b.SendBytes(bytes);
+  EXPECT_EQ(a.RecvBytes(), bytes);
+
+  // Both directions counted, and the half-duplex flip accounting matches
+  // the in-memory channel's convention (opening send is free).
+  EXPECT_GT(a.stats().bytes_sent, 0u);
+  EXPECT_GT(a.stats().bytes_received, 0u);
+  EXPECT_EQ(a.stats().bytes_sent, b.stats().bytes_received);
+  EXPECT_EQ(b.stats().bytes_sent, a.stats().bytes_received);
+  EXPECT_EQ(a.stats().direction_flips + b.stats().direction_flips, 3u);
+}
+
+TEST_P(SocketChannelTest, LargeTransferLoopsPartialIo) {
+  // Well past any kernel socket buffer: Send must loop over partial
+  // writes while the peer drains, and Recv must reassemble exactly.
+  ConnectedSockets pair = MakeConnectedPair(Address("large"));
+  std::vector<uint8_t> payload(8 << 20);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+  std::thread sender([&] { pair.client->SendBytes(payload); });
+  std::vector<uint8_t> got = pair.server->RecvBytes();
+  sender.join();
+  EXPECT_EQ(got, payload);
+}
+
+TEST_P(SocketChannelTest, RecvDeadlineThrowsTimeout) {
+  ConnectedSockets pair = MakeConnectedPair(Address("deadline"));
+  pair.server->set_recv_timeout_seconds(0.05);
+  Timer timer;
+  try {
+    pair.server->RecvU64();
+    FAIL() << "expected ChannelError";
+  } catch (const ChannelError& e) {
+    EXPECT_EQ(e.kind(), ChannelErrorKind::kTimeout);
+  }
+  EXPECT_GE(timer.ElapsedSeconds(), 0.04);
+  // The channel survives a timeout; a satisfied Recv still works.
+  pair.client->SendU64(11);
+  EXPECT_EQ(pair.server->RecvU64(), 11u);
+}
+
+TEST_P(SocketChannelTest, SendToStalledPeerTimesOut) {
+  // A peer that never reads eventually fills both kernel buffers; the
+  // blocked Send must fail typed instead of wedging the worker.
+  ConnectedSockets pair = MakeConnectedPair(Address("stall"));
+  pair.client->set_recv_timeout_seconds(0.1);
+  std::vector<uint8_t> payload(64 << 20, 0x77);
+  EXPECT_THROW(pair.client->SendBytes(payload), ChannelError);
+}
+
+TEST_P(SocketChannelTest, CrossThreadCloseUnblocksRecv) {
+  ConnectedSockets pair = MakeConnectedPair(Address("close"));
+  std::exception_ptr error;
+  std::thread reader([&] {
+    try {
+      pair.server->RecvU64();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pair.server->Close();  // Supervisor idiom: close from another thread.
+  reader.join();
+  ASSERT_NE(error, nullptr);
+  try {
+    std::rethrow_exception(error);
+  } catch (const ChannelError& e) {
+    EXPECT_EQ(e.kind(), ChannelErrorKind::kClosed);
+  }
+}
+
+TEST_P(SocketChannelTest, PeerCloseDrainsBufferedBytesThenFailsClosed) {
+  ConnectedSockets pair = MakeConnectedPair(Address("drain"));
+  pair.client->SendU64(42);
+  pair.client->Close();
+  pair.server->set_recv_timeout_seconds(1.0);
+  // Half-closed-socket semantics: delivered bytes stay readable, the
+  // starved read after them fails kClosed (not kTimeout).
+  EXPECT_EQ(pair.server->RecvU64(), 42u);
+  try {
+    pair.server->RecvU64();
+    FAIL() << "expected ChannelError";
+  } catch (const ChannelError& e) {
+    EXPECT_EQ(e.kind(), ChannelErrorKind::kClosed);
+  }
+}
+
+TEST_P(SocketChannelTest, FramedChannelComposesOverTheWire) {
+  ConnectedSockets pair = MakeConnectedPair(Address("framed"));
+  FramedChannel a(*pair.client);
+  FramedChannel b(*pair.server);
+  a.SendU64(321);
+  EXPECT_EQ(b.RecvU64(), 321u);
+  std::vector<uint8_t> payload(100000, 0xC3);
+  b.SendBytes(payload);
+  EXPECT_EQ(a.RecvBytes(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SocketChannelTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? std::string("Unix")
+                                             : std::string("Tcp");
+                         });
+
+TEST(SocketListenerTest, AcceptTimeoutReturnsNull) {
+  SocketListener listener =
+      SocketListener::Listen(SocketAddress::Tcp("127.0.0.1", 0));
+  Timer timer;
+  EXPECT_EQ(listener.Accept(0.05), nullptr);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.04);
+  EXPECT_EQ(listener.TryAccept(), nullptr);
+}
+
+TEST(SocketListenerTest, CloseUnblocksAccept) {
+  SocketListener listener =
+      SocketListener::Listen(SocketAddress::Tcp("127.0.0.1", 0));
+  std::exception_ptr error;
+  std::thread acceptor([&] {
+    try {
+      listener.Accept(5.0);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener.Close();
+  acceptor.join();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), ChannelError);
+}
+
+TEST(SocketListenerTest, UnixListenerReplacesStaleSocketFile) {
+  std::string path = UdsPath("stale");
+  {
+    SocketListener first = SocketListener::Listen(SocketAddress::Unix(path));
+  }
+  // The destructor unlinked the path; and even a stale leftover file from
+  // a crashed process must not block a fresh bind.
+  SocketListener second = SocketListener::Listen(SocketAddress::Unix(path));
+  EXPECT_EQ(second.local_address().path, path);
+}
+
+TEST(SocketConnectTest, RefusedConnectFailsTyped) {
+  // Grab an ephemeral port, then free it: the connect must be refused.
+  uint16_t port;
+  {
+    SocketListener listener =
+        SocketListener::Listen(SocketAddress::Tcp("127.0.0.1", 0));
+    port = listener.local_address().port;
+  }
+  EXPECT_THROW(SocketConnect(SocketAddress::Tcp("127.0.0.1", port), 1.0),
+               ChannelError);
+  EXPECT_THROW(SocketConnect(SocketAddress::Unix(UdsPath("absent")), 1.0),
+               TransportError);
 }
 
 TEST(FaultInjectorTest, DropLosesMessageAndTimeoutSurfacesIt) {

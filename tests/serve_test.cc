@@ -1,0 +1,376 @@
+// End-to-end tests for the serving layer: a real ClassificationServer on
+// loopback TCP / UDS, driven by ClassificationClient sessions. The
+// contract: secure answers over the wire match plaintext, concurrent
+// sessions never interfere, the registry bound rejects typed, misbehaving
+// peers die typed without taking a worker hostage, and Stop() drains.
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/warfarin_gen.h"
+#include "net/error.h"
+#include "net/framing.h"
+#include "net/socket.h"
+#include "serve/client.h"
+#include "serve/model.h"
+#include "serve/server.h"
+#include "util/random.h"
+
+namespace pafs {
+namespace {
+
+// Under ThreadSanitizer on a small machine everything multiplexes on few
+// cores an order of magnitude slower, so queueing behind the worker pool
+// can outlast deadlines tuned for real wedges. Stretch every bound by a
+// constant factor there; none of these are lower bounds, so the scaled
+// values cost nothing on a passing run.
+#if defined(__SANITIZE_THREAD__)
+#define PAFS_SERVE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PAFS_SERVE_TSAN 1
+#endif
+#endif
+#ifndef PAFS_SERVE_TSAN
+#define PAFS_SERVE_TSAN 0
+#endif
+constexpr double kTimeScale = PAFS_SERVE_TSAN ? 10.0 : 1.0;
+
+using serve::ClassificationClient;
+using serve::ClassificationServer;
+using serve::ClientConfig;
+using serve::ServerConfig;
+using serve::ServerStats;
+using serve::ServingModel;
+
+std::string UdsPath(const char* tag) {
+  return "/tmp/pafs_serve_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// Polls a server-stats predicate; the serving path is asynchronous, so
+// failure counters land shortly after the wire-level symptom.
+template <typename Pred>
+bool WaitFor(Pred pred, double timeout_seconds = 5.0 * kTimeScale) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::duration<double>(timeout_seconds));
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest() : rng_(21), data_(GenerateWarfarinCohort(800, rng_)) {}
+
+  std::unique_ptr<SecureClassificationPipeline> MakePipeline(
+      ClassifierKind kind) {
+    PipelineConfig config;
+    config.classifier = kind;
+    config.risk_budget = 0.08;
+    config.paillier_bits = 256;  // Keep kLinear keygen test-sized.
+    return std::make_unique<SecureClassificationPipeline>(data_, config);
+  }
+
+  static ClientConfig ClientFor(const ClassificationServer& server) {
+    ClientConfig c;
+    c.address = server.address();
+    c.recv_timeout_seconds = 30 * kTimeScale;
+    return c;
+  }
+
+  Rng rng_;
+  Dataset data_;
+};
+
+TEST_F(ServeTest, TcpEndToEndMatchesPlaintext) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  ClassificationClient client(ClientFor(server));
+  EXPECT_EQ(client.setup().features.size(), data_.features().size());
+  for (size_t i = 0; i < 4; ++i) {
+    const std::vector<int>& row = data_.row(i * 117);
+    SmcRunStats stats = client.ClassifyWithStats(row);
+    EXPECT_EQ(stats.predicted_class, pipeline->PlaintextPredict(row));
+    EXPECT_GT(stats.bytes, 0u);
+    EXPECT_GT(stats.rounds, 0u);
+  }
+  client.Close();
+
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_closed >= 1; }));
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_accepted, 1u);
+  EXPECT_EQ(stats.queries_served, 4u);
+  EXPECT_EQ(stats.sessions_failed, 0u);
+  EXPECT_EQ(stats.sessions_active, 0);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServeTest, UnixDomainEndToEnd) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.address = SocketAddress::Unix(UdsPath("uds"));
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+  EXPECT_EQ(server.address().family, SocketAddress::Family::kUnix);
+
+  ClassificationClient client(ClientFor(server));
+  for (size_t i = 0; i < 2; ++i) {
+    const std::vector<int>& row = data_.row(i * 311);
+    EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  }
+}
+
+TEST_F(ServeTest, EveryClassifierKindServes) {
+  // One query per remaining kind: covers the tree/forest per-query
+  // specialization and the client-side lazy Paillier keygen.
+  for (ClassifierKind kind :
+       {ClassifierKind::kDecisionTree, ClassifierKind::kLinear,
+        ClassifierKind::kForest}) {
+    SCOPED_TRACE(ClassifierName(kind));
+    auto pipeline = MakePipeline(kind);
+    ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                                ServerConfig{});
+    server.Start();
+    ClassificationClient client(ClientFor(server));
+    const std::vector<int>& row = data_.row(99);
+    EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+    client.Close();
+    server.Stop();
+    EXPECT_EQ(server.stats().sessions_failed, 0u);
+  }
+}
+
+TEST_F(ServeTest, ConcurrentSessionsAllAnswerCorrectly) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.num_threads = 4;
+  config.recv_timeout_seconds = 30 * kTimeScale;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesEach = 3;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      // An escaped exception would terminate the whole process; record it
+      // as this client's failure instead so the test reports it.
+      try {
+        ClientConfig cc = ClientFor(server);
+        cc.seed = 0xC11E47 + t;
+        ClassificationClient client(cc);
+        for (int q = 0; q < kQueriesEach; ++q) {
+          const std::vector<int>& row = data_.row((t * 131 + q * 17) % 800);
+          if (client.Classify(row) != pipeline->PlaintextPredict(row)) {
+            ++failures[t];
+          }
+        }
+        client.Close();
+      } catch (const std::exception& e) {
+        ++failures[t];
+        errors[t] = e.what();
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  for (int t = 0; t < kClients; ++t) {
+    EXPECT_EQ(failures[t], 0) << "client " << t << ": " << errors[t];
+  }
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.stats().sessions_closed >= kClients; }));
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.queries_served,
+            static_cast<uint64_t>(kClients * kQueriesEach));
+  EXPECT_EQ(stats.sessions_failed, 0u);
+}
+
+TEST_F(ServeTest, RegistryBoundRejectsExcessSessionsTyped) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.max_sessions = 1;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  ClassificationClient first(ClientFor(server));  // Holds the one slot.
+  EXPECT_THROW(ClassificationClient second(ClientFor(server)),
+               TransportError);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_rejected >= 1; }));
+
+  // The held session is unaffected by the rejection, and freeing the slot
+  // readmits new sessions.
+  const std::vector<int>& row = data_.row(42);
+  EXPECT_EQ(first.Classify(row), pipeline->PlaintextPredict(row));
+  first.Close();
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_active == 0; }));
+  ClassificationClient third(ClientFor(server));
+  EXPECT_EQ(third.Classify(row), pipeline->PlaintextPredict(row));
+}
+
+TEST_F(ServeTest, BadHelloFailsSessionTypedAndServerSurvives) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  {
+    auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+    socket->set_recv_timeout_seconds(2.0 * kTimeScale);
+    FramedChannel framed(*socket);
+    framed.SendU64(0xBADC0FFEEull);  // Wrong magic.
+    framed.SendU64(1);
+    EXPECT_EQ(framed.RecvU64(), 0u);  // Typed refusal.
+    EXPECT_THROW(framed.RecvU64(), ChannelError);
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_failed >= 1; }));
+
+  // Well-formed sessions still serve.
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(7);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+}
+
+TEST_F(ServeTest, SilentPeerMidQueryDiesOnDeadline) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.recv_timeout_seconds = 0.3;  // Fail the wedged session fast.
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket->set_recv_timeout_seconds(5.0 * kTimeScale);
+  FramedChannel framed(*socket);
+  framed.SendU64(serve::kWireMagic);
+  framed.SendU64(serve::kWireVersion);
+  ASSERT_EQ(framed.RecvU64(), 1u);
+  serve::SessionSetup setup = serve::RecvSessionSetup(framed);
+  framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+  // ... and then say nothing: the worker must be freed by the deadline.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_failed >= 1; },
+                      10.0 * kTimeScale));
+  EXPECT_EQ(server.stats().sessions_active, 0);
+
+  // The freed worker still serves real sessions.
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(3);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+}
+
+TEST_F(ServeTest, OutOfRangeDisclosureRejectedTyped) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket->set_recv_timeout_seconds(2.0 * kTimeScale);
+  FramedChannel framed(*socket);
+  framed.SendU64(serve::kWireMagic);
+  framed.SendU64(serve::kWireVersion);
+  ASSERT_EQ(framed.RecvU64(), 1u);
+  serve::SessionSetup setup = serve::RecvSessionSetup(framed);
+  if (setup.plan_features.empty()) {
+    GTEST_SKIP() << "risk budget selected an empty plan";
+  }
+  try {
+    framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+    for (size_t i = 0; i < setup.plan_features.size(); ++i) {
+      framed.SendU64(1u << 20);  // Beyond any feature's cardinality.
+    }
+  } catch (const TransportError&) {
+    // The server may hang up after the first bad value while we are still
+    // sending; a typed send failure is the expected client-side symptom.
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_failed >= 1; }));
+}
+
+TEST_F(ServeTest, StopDrainsIdleSessionsAndRefusesNewConnects) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(12);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+
+  auto before = std::chrono::steady_clock::now();
+  server.Stop();  // Session is idle: the drain must not eat the grace.
+  double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - before)
+          .count();
+  EXPECT_LT(stop_seconds, 4.0 * kTimeScale);
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.stats().sessions_active, 0);
+
+  // The drained client fails typed on its next query...
+  EXPECT_THROW(client.Classify(row), TransportError);
+  // ...and new connects are refused outright.
+  EXPECT_THROW(ClassificationClient late(ClientFor(server)), TransportError);
+}
+
+TEST_F(ServeTest, StopMidQueryForceClosesAfterGrace) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  // The wedge must outlive the drain grace (and, under TSan, the whole
+  // scaled stop bound below) so it is Stop() that kills it.
+  config.recv_timeout_seconds = 30 * kTimeScale;
+  config.drain_timeout_seconds = 0.2;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  // Wedge a session mid-query so Stop() finds it busy.
+  auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket->set_recv_timeout_seconds(10.0 * kTimeScale);
+  FramedChannel framed(*socket);
+  framed.SendU64(serve::kWireMagic);
+  framed.SendU64(serve::kWireVersion);
+  ASSERT_EQ(framed.RecvU64(), 1u);
+  serve::RecvSessionSetup(framed);
+  framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_active == 1; }));
+
+  auto before = std::chrono::steady_clock::now();
+  server.Stop();
+  double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - before)
+          .count();
+  // Grace (0.2s) + force-close unwind, well short of the recv deadline.
+  EXPECT_LT(stop_seconds, 5.0 * kTimeScale);
+  EXPECT_EQ(server.stats().sessions_active, 0);
+}
+
+TEST_F(ServeTest, ServerRestartsOnSameConfig) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServingModel model = ServingModel::FromPipeline(*pipeline);
+  const std::vector<int>& row = data_.row(64);
+  for (int round = 0; round < 2; ++round) {
+    ClassificationServer server(model, ServerConfig{});
+    server.Start();
+    ClassificationClient client(ClientFor(server));
+    EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+    client.Close();
+    server.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace pafs
