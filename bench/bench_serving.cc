@@ -6,17 +6,27 @@
 //
 //   bench_serving [--clients=64] [--queries=4] [--transport=tcp|uds|both]
 //                 [--classifier=nb|tree|linear|forest] [--smoke]
+//                 [--overload]
 //
 // --smoke shrinks the run (4 clients x 2 queries, TCP only) and exits
 // nonzero on any protocol failure or answer mismatch, so tier-1 ctest and
 // CI exercise the full server/client stack in a few seconds.
+//
+// --overload adds the resilience scenario: a deliberately undersized
+// server (2 workers, small admission bound, 1s idle reaper) under 4x
+// oversubscribed fault-injecting clients, killed and restarted mid-storm,
+// plus slow-loris sockets for the reaper. RetryPolicy must absorb all of
+// it with zero client-visible failures; shed/reconnect/reap counts land
+// in the JSON.
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +48,7 @@ struct ServingOptions {
   bool tcp = true;
   bool uds = true;
   bool smoke = false;
+  bool overload = false;
   ClassifierKind classifier = ClassifierKind::kNaiveBayes;
 };
 
@@ -148,6 +159,155 @@ TransportResult RunLoad(const SecureClassificationPipeline& pipeline,
   return r;
 }
 
+struct OverloadResult {
+  int sessions = 0;
+  uint64_t queries = 0;
+  uint64_t failures = 0;    // Queries lost for good despite RetryPolicy.
+  uint64_t mismatches = 0;  // Secure answer != plaintext answer.
+  uint64_t reconnects = 0;  // Client re-handshakes (restart + faults).
+  uint64_t retries = 0;     // Client query attempts that were retried.
+  uint64_t queries_shed = 0;     // Server admission-control sheds.
+  uint64_t sessions_reaped = 0;  // Idle/loris sessions closed by reaper.
+  uint64_t sessions_rejected = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+};
+
+OverloadResult RunOverload(const SecureClassificationPipeline& pipeline,
+                           const Dataset& data, const ServingOptions& opt) {
+  serve::ServerConfig sc;
+  // UDS so the mid-storm restart reappears at the same address.
+  sc.address = SocketAddress::Unix("/tmp/pafs_bench_overload_" +
+                                   std::to_string(::getpid()) + ".sock");
+  sc.num_threads = 2;  // Deliberately undersized: the storm must queue.
+  sc.max_sessions = 64;
+  sc.max_pending_queries = 4;  // Small bound: the storm must shed.
+  sc.recv_timeout_seconds = 10;
+  sc.drain_timeout_seconds = 0.2;
+  sc.idle_timeout_seconds = 1.0;  // Loris sockets die within ~1.25s.
+  serve::ServingModel model = serve::ServingModel::FromPipeline(pipeline);
+  auto server = std::make_unique<serve::ClassificationServer>(model, sc);
+  server->Start();
+
+  std::vector<std::vector<int>> rows;
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    rows.push_back(data.row((i * 131) % data.size()));
+    expected.push_back(pipeline.PlaintextPredict(rows.back()));
+  }
+
+  const int kClients = 4 * sc.num_threads;  // 4x oversubscription.
+  const int kQueriesEach = opt.smoke ? 2 : 4;
+  const FaultKind kKinds[] = {FaultKind::kDrop, FaultKind::kCorrupt,
+                              FaultKind::kDisconnect, FaultKind::kNone};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> reconnects{0};
+  std::atomic<uint64_t> retries{0};
+  std::vector<std::thread> workers;
+  Timer wall;
+  for (int t = 0; t < kClients; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        serve::ClientConfig cc;
+        cc.address = sc.address;
+        cc.recv_timeout_seconds = 60;
+        cc.seed = 0x0E41 + t;
+        // Under overload the deadline is the real budget: instant kBusy
+        // sheds burn attempts far faster than faults do.
+        cc.retry.max_attempts = 64;
+        cc.retry.initial_backoff_seconds = 0.02;
+        cc.retry.max_backoff_seconds = 0.5;
+        cc.retry.deadline_seconds = 120;
+        cc.fault_plan.kind = kKinds[t % 4];
+        cc.fault_plan.seed = 900 + t;
+        cc.fault_plan.first_op = 15 + 3 * static_cast<uint64_t>(t);
+        cc.fault_plan.max_faults = 2;
+        serve::ClassificationClient client(cc);
+        for (int q = 0; q < kQueriesEach; ++q) {
+          size_t idx = (t * 7 + q) % rows.size();
+          if (client.Classify(rows[idx]) != expected[idx]) ++mismatches;
+          ++queries;
+        }
+        reconnects += client.reconnects();
+        retries += client.retries();
+        client.Close();
+      } catch (const TransportError& e) {
+        ++failures;
+        std::fprintf(stderr, "overload client %d failed: %s\n", t, e.what());
+      }
+    });
+  }
+
+  // Kill and resurrect the server mid-storm; every in-flight query must
+  // come back through reconnect + retry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  server->Stop();
+  serve::ServerStats first = server->stats();
+  server = std::make_unique<serve::ClassificationServer>(model, sc);
+  server->Start();
+
+  // Slow-loris sockets against the restarted server: connect, say
+  // nothing, and wait to be reaped.
+  std::vector<std::unique_ptr<SocketChannel>> loris;
+  for (int i = 0; i < 3; ++i) {
+    loris.push_back(SocketConnect(sc.address, 5.0));
+  }
+
+  for (auto& w : workers) w.join();
+  double storm_seconds = wall.ElapsedSeconds();
+
+  // Give the reaper its window (idle timeout + tick slack).
+  Timer reap_wait;
+  while (server->stats().sessions_reaped < loris.size() &&
+         reap_wait.ElapsedSeconds() < 8 * sc.idle_timeout_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server->Stop();
+  serve::ServerStats second = server->stats();
+
+  OverloadResult r;
+  r.sessions = kClients;
+  r.queries = queries.load();
+  r.failures = failures.load();
+  r.mismatches = mismatches.load();
+  r.reconnects = reconnects.load();
+  r.retries = retries.load();
+  r.queries_shed = first.queries_shed + second.queries_shed;
+  r.sessions_reaped = first.sessions_reaped + second.sessions_reaped;
+  r.sessions_rejected = first.sessions_rejected + second.sessions_rejected;
+  r.wall_seconds = storm_seconds;
+  r.qps = storm_seconds > 0
+              ? static_cast<double>(r.queries) / storm_seconds
+              : 0;
+  return r;
+}
+
+void PrintOverload(const OverloadResult& r) {
+  std::printf("  \"overload\": {\n");
+  std::printf("    \"sessions\": %d,\n", r.sessions);
+  std::printf("    \"queries\": %llu,\n",
+              static_cast<unsigned long long>(r.queries));
+  std::printf("    \"failures\": %llu,\n",
+              static_cast<unsigned long long>(r.failures));
+  std::printf("    \"mismatches\": %llu,\n",
+              static_cast<unsigned long long>(r.mismatches));
+  std::printf("    \"reconnects\": %llu,\n",
+              static_cast<unsigned long long>(r.reconnects));
+  std::printf("    \"retries\": %llu,\n",
+              static_cast<unsigned long long>(r.retries));
+  std::printf("    \"queries_shed\": %llu,\n",
+              static_cast<unsigned long long>(r.queries_shed));
+  std::printf("    \"sessions_reaped\": %llu,\n",
+              static_cast<unsigned long long>(r.sessions_reaped));
+  std::printf("    \"sessions_rejected\": %llu,\n",
+              static_cast<unsigned long long>(r.sessions_rejected));
+  std::printf("    \"wall_seconds\": %.3f,\n", r.wall_seconds);
+  std::printf("    \"qps\": %.2f\n", r.qps);
+  std::printf("  }\n");
+}
+
 void PrintResult(const TransportResult& r, bool last) {
   std::printf("    \"%s\": {\n", r.transport.c_str());
   std::printf("      \"sessions\": %d,\n", r.sessions);
@@ -177,6 +337,8 @@ int Main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--transport=", 12) == 0) {
       opt.tcp = std::strcmp(arg + 12, "uds") != 0;
       opt.uds = std::strcmp(arg + 12, "tcp") != 0;
+    } else if (std::strcmp(arg, "--overload") == 0) {
+      opt.overload = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       opt.smoke = true;
       opt.clients = 4;
@@ -224,13 +386,28 @@ int Main(int argc, char** argv) {
   std::printf("  \"queries_per_client\": %d,\n", opt.queries);
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
+  OverloadResult overload;
+  if (opt.overload) {
+    overload = RunOverload(pipeline, data, opt);
+  }
+
   std::printf("  \"transports\": {\n");
   for (size_t i = 0; i < results.size(); ++i) {
     PrintResult(results[i], i + 1 == results.size());
   }
-  std::printf("  }\n}\n");
+  std::printf("  }%s\n", opt.overload ? "," : "");
+  if (opt.overload) PrintOverload(overload);
+  std::printf("}\n");
   bench::PrintTelemetryBreakdown();
 
+  if (opt.overload && (overload.failures > 0 || overload.mismatches > 0)) {
+    std::fprintf(stderr,
+                 "bench_serving: overload saw %llu failures, %llu "
+                 "mismatches\n",
+                 static_cast<unsigned long long>(overload.failures),
+                 static_cast<unsigned long long>(overload.mismatches));
+    return 1;
+  }
   for (const TransportResult& r : results) {
     if (r.failures > 0 || r.mismatches > 0) {
       std::fprintf(stderr,

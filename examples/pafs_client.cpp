@@ -1,6 +1,7 @@
 // pafs_client — query a running pafs_server over TCP or UDS:
 //
-//   pafs_client --connect=tcp:HOST:PORT|unix:PATH [--row=v1,v2,...] [...]
+//   pafs_client --connect=tcp:HOST:PORT|unix:PATH [--row=v1,v2,...]
+//               [--retries=N] [--retry-deadline=SECONDS] [...]
 //
 // Each --row is one feature vector (discretized values in schema order,
 // comma-separated); with no --row flags, rows are read from stdin, one
@@ -8,7 +9,10 @@
 // the session; the predicted label and wire cost are printed per row. The
 // plan's features are disclosed in plaintext to the server, the rest stay
 // inside the protocol — the client never sees the model, the server never
-// sees the hidden features.
+// sees the hidden features. On a transport fault, a BUSY shed, or a
+// server restart the client backs off and reconnects transparently
+// (--retries bounds attempts per operation, --retry-deadline the total
+// wall-clock budget; --retries=1 disables retry).
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -29,6 +33,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: pafs_client --connect=tcp:HOST:PORT|unix:PATH\n"
                "                   [--row=v1,v2,...] [--row=...]\n"
+               "                   [--retries=N] [--retry-deadline=SECONDS]\n"
                "       (no --row: read comma-separated rows from stdin)\n");
   return 2;
 }
@@ -71,6 +76,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       rows.push_back(std::move(row));
+    } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+      config.retry.max_attempts = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--retry-deadline=", 17) == 0) {
+      config.retry.deadline_seconds = std::strtod(arg + 17, nullptr);
     } else {
       return Usage();
     }
@@ -109,6 +118,10 @@ int main(int argc, char** argv) {
                   i, stats.predicted_class, stats.bytes / 1024.0,
                   static_cast<unsigned long long>(stats.rounds),
                   stats.wall_seconds * 1e3);
+    }
+    if (client.reconnects() > 0) {
+      std::fprintf(stderr, "(%llu transparent reconnects)\n",
+                   static_cast<unsigned long long>(client.reconnects()));
     }
     client.Close();
   } catch (const TransportError& e) {

@@ -2,7 +2,8 @@
 //
 //   pafs_server <nb|tree|linear|forest> <train.csv> <budget>
 //               [--listen=tcp:HOST:PORT|unix:PATH] [--max-sessions=N]
-//               [--threads=N] [--breakdown]
+//               [--threads=N] [--max-pending=N] [--idle-timeout=SECONDS]
+//               [--breakdown]
 //
 // Trains the classifier, selects the privacy-aware disclosure plan under
 // the given risk budget, and serves secure classifications to concurrent
@@ -43,7 +44,9 @@ int Usage() {
       stderr,
       "usage: pafs_server <nb|tree|linear|forest> <train.csv> <budget>\n"
       "                   [--listen=tcp:HOST:PORT|unix:PATH]\n"
-      "                   [--max-sessions=N] [--threads=N] [--breakdown]\n");
+      "                   [--max-sessions=N] [--threads=N]\n"
+      "                   [--max-pending=N] [--idle-timeout=SECONDS]\n"
+      "                   [--breakdown]\n");
   return 2;
 }
 
@@ -97,6 +100,10 @@ int main(int argc, char** argv) {
       server_config.max_sessions = std::atoi(arg + 15);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       server_config.num_threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--max-pending=", 14) == 0) {
+      server_config.max_pending_queries = std::atoi(arg + 14);
+    } else if (std::strncmp(arg, "--idle-timeout=", 15) == 0) {
+      server_config.idle_timeout_seconds = std::strtod(arg + 15, nullptr);
     } else if (std::strcmp(arg, "--breakdown") == 0) {
       breakdown = true;
       PafsTelemetry::Enable();
@@ -140,11 +147,13 @@ int main(int argc, char** argv) {
     server.Stop();
     serve::ServerStats stats = server.stats();
     std::printf("served %llu queries over %llu sessions "
-                "(%llu rejected, %llu failed)\n",
+                "(%llu rejected, %llu failed, %llu reaped, %llu shed)\n",
                 static_cast<unsigned long long>(stats.queries_served),
                 static_cast<unsigned long long>(stats.sessions_accepted),
                 static_cast<unsigned long long>(stats.sessions_rejected),
-                static_cast<unsigned long long>(stats.sessions_failed));
+                static_cast<unsigned long long>(stats.sessions_failed),
+                static_cast<unsigned long long>(stats.sessions_reaped),
+                static_cast<unsigned long long>(stats.queries_shed));
   } catch (const TransportError& e) {
     std::fprintf(stderr, "server error: %s\n", e.what());
     return 1;

@@ -5,8 +5,28 @@
 #   scripts/check.sh           # sanitized build + ctest
 #   scripts/check.sh --bench   # additionally run every bench (regular build)
 #   scripts/check.sh --tsan    # ThreadSanitizer build + concurrency suites
+#   scripts/check.sh --ubsan   # UndefinedBehaviorSanitizer build + full ctest
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--ubsan" ]]; then
+  UBSAN_BUILD=build-ubsan
+  rm -rf "$UBSAN_BUILD"
+  cmake -B "$UBSAN_BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPAFS_SANITIZE=undefined
+  cmake --build "$UBSAN_BUILD" -j "$(nproc)"
+  # halt_on_error turns any UB report into a test failure instead of a log
+  # line; the full suite runs, and the serving smoke again explicitly so
+  # the resilience path (reaper timers, status-frame raw sends, retry
+  # backoff arithmetic) is exercised under UBSan even if the suite list
+  # changes.
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  ctest --test-dir "$UBSAN_BUILD" --output-on-failure
+  ctest --test-dir "$UBSAN_BUILD" -R bench_serving_smoke --output-on-failure
+  echo "check.sh: ubsan green"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN_BUILD=build-tsan

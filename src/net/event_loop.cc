@@ -3,7 +3,10 @@
 #include <errno.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
+
+#include <cmath>
 
 #include <array>
 #include <cstring>
@@ -30,6 +33,7 @@ EventLoop::EventLoop() {
 }
 
 EventLoop::~EventLoop() {
+  for (auto& [token, fd] : timer_fds_) ::close(fd);
   ::close(wake_fd_);
   ::close(epoll_fd_);
 }
@@ -55,6 +59,57 @@ void EventLoop::Add(int fd, uint64_t token, uint32_t events, bool oneshot,
     throw TransportError(std::string("epoll_ctl(ADD): ") +
                          std::strerror(errno));
   }
+}
+
+void EventLoop::AddTimer(uint64_t token, double interval_seconds,
+                         std::function<void()> callback) {
+  PAFS_CHECK(interval_seconds > 0);
+  int tfd = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (tfd < 0) {
+    throw TransportError(std::string("timerfd_create: ") +
+                         std::strerror(errno));
+  }
+  itimerspec spec{};
+  time_t secs = static_cast<time_t>(interval_seconds);
+  long nanos = static_cast<long>(
+      (interval_seconds - std::floor(interval_seconds)) * 1e9);
+  if (secs == 0 && nanos == 0) nanos = 1;  // timerfd rejects all-zero.
+  spec.it_interval.tv_sec = secs;
+  spec.it_interval.tv_nsec = nanos;
+  spec.it_value = spec.it_interval;
+  if (::timerfd_settime(tfd, 0, &spec, nullptr) != 0) {
+    int err = errno;
+    ::close(tfd);
+    throw TransportError(std::string("timerfd_settime: ") +
+                         std::strerror(err));
+  }
+  try {
+    Add(tfd, token, EPOLLIN, /*oneshot=*/false,
+        [tfd, cb = std::move(callback)](uint32_t) {
+          uint64_t expirations;
+          while (::read(tfd, &expirations, sizeof(expirations)) > 0) {
+          }
+          cb();
+        });
+  } catch (...) {
+    ::close(tfd);
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  timer_fds_.emplace(token, tfd);
+}
+
+void EventLoop::RemoveTimer(uint64_t token) {
+  int tfd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = timer_fds_.find(token);
+    if (it == timer_fds_.end()) return;
+    tfd = it->second;
+    timer_fds_.erase(it);
+  }
+  Remove(tfd, token);
+  ::close(tfd);
 }
 
 void EventLoop::Rearm(int fd, uint64_t token) {

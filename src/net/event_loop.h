@@ -40,6 +40,14 @@ class EventLoop {
   // disarm after one event and need Rearm() to fire again.
   void Add(int fd, uint64_t token, uint32_t events, bool oneshot,
            Handler handler);
+  // Registers a periodic timer (timerfd, CLOCK_MONOTONIC) firing every
+  // `interval_seconds` under `token`. The callback runs on the Run()
+  // thread like any handler; expirations that pile up while the loop is
+  // busy coalesce into one callback. The loop owns the timer fd:
+  // RemoveTimer (or the destructor) closes it.
+  void AddTimer(uint64_t token, double interval_seconds,
+                std::function<void()> callback);
+  void RemoveTimer(uint64_t token);
   // Re-arms a oneshot registration (EPOLL_CTL_MOD with the Add() mask).
   void Rearm(int fd, uint64_t token);
   // Unregisters; a queued event for the token becomes a no-op. The caller
@@ -62,6 +70,7 @@ class EventLoop {
   std::atomic<bool> stop_{false};
   std::mutex mu_;
   std::map<uint64_t, Registration> registrations_;
+  std::map<uint64_t, int> timer_fds_;  // AddTimer-owned fds by token.
 };
 
 }  // namespace pafs

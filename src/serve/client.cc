@@ -1,9 +1,13 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "net/error.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "smc/secure_forest.h"
 #include "smc/secure_tree.h"
@@ -13,32 +17,21 @@
 namespace pafs::serve {
 
 ClassificationClient::ClassificationClient(const ClientConfig& config)
-    : rng_(config.seed) {
-  socket_ = SocketConnect(config.address, config.connect_timeout_seconds);
-  socket_->set_recv_timeout_seconds(config.recv_timeout_seconds);
-  framed_ = std::make_unique<FramedChannel>(*socket_);
-  obs::TraceSpan span("serve.client.handshake");
-  framed_->SendU64(kWireMagic);
-  framed_->SendU64(kWireVersion);
-  if (framed_->RecvU64() != 1) {
-    throw ProtocolError("serve client: server refused the session");
-  }
-  setup_ = RecvSessionSetup(*framed_);
-  std::map<int, int> key_map;
-  for (int f : setup_.plan_features) {
-    if (f < 0 || f >= static_cast<int>(setup_.features.size())) {
-      throw ProtocolError("serve client: plan feature out of schema");
+    : config_(config), rng_(config.seed) {
+  // The injector outlives every reconnect, so a bounded FaultPlan keeps
+  // its budget across sessions: a max_faults=1 plan fires once, the retry
+  // runs clean, and "one fault, zero client-visible failures" is testable.
+  if (config_.fault_plan.enabled()) injector_.emplace(config_.fault_plan);
+  Timer deadline;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      ConnectOnce();
+      return;
+    } catch (const TransportError&) {
+      Abandon();
+      BackoffOrRethrow(attempt, deadline.ElapsedSeconds());
     }
-    key_map.emplace(f, 0);
   }
-  if (setup_.classifier == ClassifierKind::kNaiveBayes) {
-    nb_spec_ = std::make_unique<SecureNbCircuit>(setup_.features,
-                                                 setup_.num_classes, key_map);
-  } else if (setup_.classifier == ClassifierKind::kLinear) {
-    linear_spec_ = std::make_unique<SecureLinearProtocol>(
-        setup_.features, setup_.num_classes, key_map);
-  }
-  open_ = true;
 }
 
 ClassificationClient::~ClassificationClient() {
@@ -49,18 +42,127 @@ ClassificationClient::~ClassificationClient() {
   }
 }
 
+void ClassificationClient::ConnectOnce() {
+  // Tear down in dependency order before rebuilding: framed_ references
+  // faulty_/socket_, faulty_ references socket_.
+  framed_.reset();
+  faulty_.reset();
+  socket_ = SocketConnect(config_.address, config_.connect_timeout_seconds);
+  socket_->set_recv_timeout_seconds(config_.recv_timeout_seconds);
+  Channel* wire = socket_.get();
+  if (injector_.has_value()) {
+    faulty_ = std::make_unique<FaultInjectingChannel>(*socket_, *injector_);
+    wire = faulty_.get();
+  }
+  framed_ = std::make_unique<FramedChannel>(*wire);
+  obs::TraceSpan span("serve.client.handshake");
+  uint64_t status;
+  try {
+    framed_->SendU64(kWireMagic);
+    framed_->SendU64(kWireVersion);
+    status = framed_->RecvU64();
+  } catch (const ChannelError&) {
+    // A reject-and-close can race our hello mid-send. The server's status
+    // frame may already be waiting; read it so a shed surfaces as kBusy
+    // (retryable) instead of "server dead". If the connection is truly
+    // gone this recv throws ChannelError again.
+    status = framed_->RecvU64();
+  }
+  if (status == static_cast<uint64_t>(ReplyStatus::kBusy)) {
+    throw ServerBusyError("serve client: server is saturated, backing off");
+  }
+  if (status != static_cast<uint64_t>(ReplyStatus::kOk)) {
+    throw ProtocolError("serve client: server refused the session");
+  }
+  setup_ = RecvSessionSetup(*framed_);
+  std::map<int, int> key_map;
+  for (int f : setup_.plan_features) {
+    if (f < 0 || f >= static_cast<int>(setup_.features.size())) {
+      throw ProtocolError("serve client: plan feature out of schema");
+    }
+    key_map.emplace(f, 0);
+  }
+  nb_spec_.reset();
+  linear_spec_.reset();
+  if (setup_.classifier == ClassifierKind::kNaiveBayes) {
+    nb_spec_ = std::make_unique<SecureNbCircuit>(setup_.features,
+                                                 setup_.num_classes, key_map);
+  } else if (setup_.classifier == ClassifierKind::kLinear) {
+    linear_spec_ = std::make_unique<SecureLinearProtocol>(
+        setup_.features, setup_.num_classes, key_map);
+  }
+  // A new server session means new base OTs: the old extension state is
+  // bound to the dead session's sender. (Paillier keys are client-local
+  // and survive reconnects.)
+  ot_ = OtExtReceiver();
+  open_ = true;
+}
+
+void ClassificationClient::Abandon() noexcept {
+  open_ = false;
+  if (!socket_) return;
+  try {
+    socket_->Close();
+  } catch (...) {
+    // The session is being discarded; a close fault changes nothing.
+  }
+}
+
+void ClassificationClient::BackoffOrRethrow(int attempt,
+                                            double elapsed_seconds) {
+  // Only callable from a catch handler: the bare `throw` below re-raises
+  // the fault that brought us here once the retry budget is spent.
+  const RetryPolicy& retry = config_.retry;
+  if (attempt >= retry.max_attempts) throw;
+  if (retry.deadline_seconds > 0 && elapsed_seconds >= retry.deadline_seconds) {
+    throw;
+  }
+  double backoff = retry.initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) {
+    backoff = std::min(backoff * 2, retry.max_backoff_seconds);
+  }
+  double jitter = 1.0 + retry.jitter_fraction * (2 * rng_.NextDouble() - 1);
+  double sleep_seconds = std::max(0.0, backoff * jitter);
+  if (retry.deadline_seconds > 0) {
+    sleep_seconds = std::min(
+        sleep_seconds, std::max(0.0, retry.deadline_seconds - elapsed_seconds));
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+}
+
 int ClassificationClient::Classify(const std::vector<int>& row) {
   return ClassifyWithStats(row).predicted_class;
 }
 
 SmcRunStats ClassificationClient::ClassifyWithStats(
     const std::vector<int>& row) {
-  PAFS_CHECK_MSG(open_, "Classify on a closed client");
+  PAFS_CHECK_MSG(!finished_, "Classify on a closed client");
   PAFS_CHECK_EQ(row.size(), setup_.features.size());
   for (size_t f = 0; f < row.size(); ++f) {
     PAFS_CHECK_GE(row[f], 0);
     PAFS_CHECK_LT(row[f], setup_.features[f].cardinality);
   }
+  Timer deadline;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (!open_) {
+        ConnectOnce();
+        ++reconnects_;
+        static obs::Counter& reconnects = obs::GetCounter("serve.reconnects");
+        reconnects.Add();
+      }
+      return QueryOnce(row);
+    } catch (const TransportError&) {
+      Abandon();
+      BackoffOrRethrow(attempt, deadline.ElapsedSeconds());
+      ++retries_;
+      static obs::Counter& retried = obs::GetCounter("serve.client.retries");
+      retried.Add();
+    }
+  }
+}
+
+SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
   obs::TraceSpan span("serve.client.query");
   Timer timer;
   uint64_t bytes_before =
@@ -73,6 +175,16 @@ SmcRunStats ClassificationClient::ClassifyWithStats(
     for (int f : setup_.plan_features) {
       ch.SendU64(static_cast<uint64_t>(row[f]));
     }
+  }
+  // Admission ack: the server read the request and a worker is running it
+  // (kOk), or admission control shed it (kBusy) and the retry loop should
+  // back off and reconnect.
+  uint64_t admitted = ch.RecvU64();
+  if (admitted == static_cast<uint64_t>(ReplyStatus::kBusy)) {
+    throw ServerBusyError("serve client: query shed, server saturated");
+  }
+  if (admitted != static_cast<uint64_t>(ReplyStatus::kOk)) {
+    throw ProtocolError("serve client: malformed admission ack");
   }
   SmcRunStats stats;
   switch (setup_.classifier) {
@@ -107,15 +219,34 @@ SmcRunStats ClassificationClient::ClassifyWithStats(
   return stats;
 }
 
+void ClassificationClient::Ping() {
+  PAFS_CHECK_MSG(!finished_, "Ping on a closed client");
+  if (!open_) {
+    throw ChannelError(ChannelErrorKind::kClosed,
+                       "serve client: ping on a faulted session");
+  }
+  obs::TraceSpan span("serve.client.ping");
+  framed_->SendU64(static_cast<uint64_t>(RequestTag::kPing));
+  uint64_t status = framed_->RecvU64();
+  if (status != static_cast<uint64_t>(ReplyStatus::kPong)) {
+    throw ProtocolError("serve client: malformed pong");
+  }
+}
+
 void ClassificationClient::Close() {
+  finished_ = true;
   if (!open_) return;
   open_ = false;
   try {
     framed_->SendU64(static_cast<uint64_t>(RequestTag::kBye));
-  } catch (const TransportError&) {
+  } catch (...) {
     // The server may already be gone; close is still graceful on our side.
   }
-  socket_->Close();
+  try {
+    socket_->Close();
+  } catch (...) {
+    // Already tearing down.
+  }
 }
 
 }  // namespace pafs::serve

@@ -3,6 +3,14 @@
 // and then runs the client side of the secure protocol once per query over
 // the framed socket. One client = one server session; run several clients
 // (threads or processes) for concurrent load.
+//
+// Resilience: every query runs under the config's RetryPolicy. A session
+// fault (peer died, deadline expired, corrupt frame) or a typed kBusy shed
+// from the server tears the session down, waits a jittered capped
+// exponential backoff, reconnects, re-handshakes (base OTs re-run on the
+// next query), and retries — transparently, up to max_attempts and the
+// overall deadline budget. Queries are pure functions of the row and the
+// model, so a retry can never double-apply anything.
 #ifndef PAFS_SERVE_CLIENT_H_
 #define PAFS_SERVE_CLIENT_H_
 
@@ -11,6 +19,7 @@
 #include <vector>
 
 #include "crypto/paillier.h"
+#include "net/fault.h"
 #include "net/framing.h"
 #include "net/socket.h"
 #include "ot/iknp.h"
@@ -21,6 +30,22 @@
 
 namespace pafs::serve {
 
+// Capped exponential backoff with jitter plus an overall deadline budget,
+// applied per query (and to the constructor's initial connect).
+struct RetryPolicy {
+  // Total tries per operation, the first included; 1 disables retry and
+  // restores fail-on-first-fault semantics.
+  int max_attempts = 4;
+  double initial_backoff_seconds = 0.05;
+  double max_backoff_seconds = 1.0;
+  // Each sleep is scaled by a uniform factor in [1 - jitter, 1 + jitter]
+  // so a shed client herd does not reconnect in lockstep.
+  double jitter_fraction = 0.25;
+  // Budget across all attempts of one operation, backoff included; once
+  // exceeded the last fault is rethrown. 0 = no overall deadline.
+  double deadline_seconds = 30;
+};
+
 struct ClientConfig {
   SocketAddress address;
   double connect_timeout_seconds = 5;
@@ -28,46 +53,85 @@ struct ClientConfig {
   // session's request behind num_threads running protocols.
   double recv_timeout_seconds = 60;
   uint64_t seed = 0xC11E47;
+  RetryPolicy retry;
+  // Chaos hook: when enabled, every send is routed through a
+  // FaultInjectingChannel beneath the CRC framing (the pipeline's
+  // injection stack), so serving tests and benches can prove the retry
+  // path absorbs drops/corruption/disconnects end to end.
+  FaultPlan fault_plan;
 };
 
 class ClassificationClient {
  public:
-  // Connects and completes the handshake; throws TransportError subclasses
-  // when the server is unreachable, full (kClosed during hello), or speaks
-  // a different protocol version.
+  // Connects and completes the handshake under the retry policy; throws
+  // TransportError subclasses when the server stays unreachable, keeps
+  // shedding (ServerBusyError), or speaks a different protocol version.
   explicit ClassificationClient(const ClientConfig& config);
-  ~ClassificationClient();  // Best-effort bye + close.
+  ~ClassificationClient();  // Best-effort bye + close; never throws.
 
   ClassificationClient(const ClassificationClient&) = delete;
   ClassificationClient& operator=(const ClassificationClient&) = delete;
 
-  // Schema, plan, classifier kind, and scheme announced by the server.
+  // Schema, plan, classifier kind, and scheme announced by the server
+  // (refreshed on every reconnect).
   const SessionSetup& setup() const { return setup_; }
 
   // One secure classification. `row` must hold a value in range for every
   // feature of the schema; the plan's features are disclosed in plaintext,
-  // the rest stay hidden inside the protocol. Throws TransportError
-  // subclasses on session faults (the session is then dead — reconnect).
+  // the rest stay hidden inside the protocol. Session faults and kBusy
+  // sheds are absorbed by reconnect + retry; the last TransportError is
+  // rethrown once the policy's attempts or deadline budget is spent.
   int Classify(const std::vector<int>& row);
   SmcRunStats ClassifyWithStats(const std::vector<int>& row);
 
-  // Graceful end: tells the server bye and shuts the socket down.
+  // Keepalive probe: one ping/pong round trip on the current session.
+  // Refreshes the server's idle clock for this session. Not retried —
+  // a TransportError here is the liveness answer; the next Classify will
+  // reconnect transparently.
+  void Ping();
+
+  // Graceful end: tells the server bye and shuts the socket down. Never
+  // throws (a dead socket during teardown is already-handled news).
   // Idempotent; further Classify calls are a programmer error.
   void Close();
   bool open() const { return open_; }
 
+  // Successful re-handshakes performed after construction (mirrored in
+  // the serve.reconnects counter).
+  uint64_t reconnects() const { return reconnects_; }
+  // Query attempts that failed and were retried (serve.client.retries).
+  uint64_t retries() const { return retries_; }
+
   const ChannelStats& wire_stats() const { return socket_->stats(); }
 
  private:
+  // One connect + handshake on a fresh socket; replaces the session state
+  // (socket, framing, OT endpoints, circuit specs) on success.
+  void ConnectOnce();
+  // ConnectOnce under the retry policy, against `deadline` elapsed-seconds
+  // budget tracking. `attempt` counts across the caller's whole operation.
+  // Tears the current session down and marks it closed.
+  void Abandon() noexcept;
+  // Sleeps the jittered backoff for `attempt` (1-based) or rethrows if the
+  // policy's attempts/deadline budget is spent.
+  void BackoffOrRethrow(int attempt, double elapsed_seconds);
+  SmcRunStats QueryOnce(const std::vector<int>& row);
+
+  ClientConfig config_;
   SessionSetup setup_;
+  std::optional<FaultInjector> injector_;  // Engaged iff fault_plan set.
   std::unique_ptr<SocketChannel> socket_;
+  std::unique_ptr<FaultInjectingChannel> faulty_;
   std::unique_ptr<FramedChannel> framed_;
   std::unique_ptr<SecureNbCircuit> nb_spec_;
   std::unique_ptr<SecureLinearProtocol> linear_spec_;
   std::optional<PaillierKeyPair> keys_;  // Lazily generated (kLinear only).
   OtExtReceiver ot_;
   Rng rng_;
-  bool open_ = false;
+  bool open_ = false;      // Current session is live.
+  bool finished_ = false;  // Close() was called; no further queries.
+  uint64_t reconnects_ = 0;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace pafs::serve

@@ -24,14 +24,36 @@
 namespace pafs::serve {
 
 // Protocol magic ("PAFSSERV" little-endian) and version; a server answers a
-// mismatched hello with ok=0 and closes, so stale clients fail typed.
+// mismatched hello with kRejected and closes, so stale clients fail typed.
+// v2 added the per-query admission ack and the ping/pong keepalive frames.
 inline constexpr uint64_t kWireMagic = 0x5652455353464150ull;
-inline constexpr uint64_t kWireVersion = 1;
+inline constexpr uint64_t kWireVersion = 2;
 
 // Client -> server request tags after the handshake.
 enum class RequestTag : uint64_t {
   kQuery = 1,  // Disclosure values follow, then the secure protocol runs.
   kBye = 2,    // Graceful session end.
+  kPing = 3,   // Keepalive probe; the server answers kPong.
+};
+
+// Server -> client status frames: the hello answer, the per-query
+// admission ack, and the keepalive reply. kBusy is the load-shedding
+// signal — the server is alive but saturated (registry full, draining, or
+// worker queue at its bound); clients should back off and reconnect,
+// which RetryPolicy (serve/client.h) does transparently.
+enum class ReplyStatus : uint64_t {
+  kRejected = 0,  // Bad hello (wrong magic/version). Not retryable.
+  kOk = 1,        // Hello accepted / query admitted.
+  kBusy = 2,      // Shed: registry or worker queue saturated, or draining.
+  kPong = 3,      // Answer to RequestTag::kPing.
+};
+
+// Thrown by the client when the server sheds it with ReplyStatus::kBusy —
+// distinguishable from ChannelError{kClosed} (server dead) so callers and
+// RetryPolicy can back off instead of failing over.
+class ServerBusyError : public TransportError {
+ public:
+  using TransportError::TransportError;
 };
 
 // Everything the client learns in the handshake.

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <sys/epoll.h>
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <chrono>
@@ -20,13 +21,44 @@ namespace pafs::serve {
 
 namespace {
 
-// Event-loop token for the listener; sessions use their nonzero ids.
+// Event-loop tokens: the listener, then the reaper tick; sessions use
+// their nonzero ids (which count up from 1 and can never reach the
+// reserved high values — the loop's own wake token is ~0ull).
 constexpr uint64_t kListenerToken = 0;
+constexpr uint64_t kReaperToken = ~0ull - 1;
 
 std::map<int, int> PlaceholderDisclosure(const std::vector<int>& plan) {
   std::map<int, int> key_map;
   for (int f : plan) key_map.emplace(f, 0);
   return key_map;
+}
+
+// Best-effort typed reject: one nonblocking write of a whole CRC frame
+// carrying `status`, straight on the fd. Used from the acceptor/event-loop
+// thread, which must never block on a peer's full socket buffer — if the
+// 16 bytes don't fit (a peer that has stopped reading), the close alone
+// tells the story and the client fails kClosed instead of kBusy.
+void TrySendStatusFrame(int fd, ReplyStatus status) {
+  // Drain whatever the peer already sent (its hello or shed request):
+  // unread bytes at close would turn the close into a TCP RST, which
+  // destroys the status frame in the peer's receive buffer before it can
+  // be read. Nonblocking, so bounded by the kernel receive buffer.
+  uint8_t scratch[512];
+  while (::recv(fd, scratch, sizeof(scratch), MSG_DONTWAIT) > 0) {
+  }
+  uint8_t frame[16];
+  uint8_t* payload = frame + 8;
+  uint64_t value = static_cast<uint64_t>(status);
+  for (int i = 0; i < 8; ++i) {
+    payload[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  uint32_t len = 8;
+  uint32_t crc = Crc32(payload, 8);
+  for (int i = 0; i < 4; ++i) {
+    frame[i] = static_cast<uint8_t>(len >> (8 * i));
+    frame[4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  (void)::send(fd, frame, sizeof(frame), MSG_NOSIGNAL | MSG_DONTWAIT);
 }
 
 }  // namespace
@@ -37,7 +69,8 @@ ClassificationServer::Session::Session(uint64_t id,
     : id(id),
       socket(std::move(sock)),
       framed(std::make_unique<FramedChannel>(*socket)),
-      rng(seed ^ (id * 0x9E3779B97F4A7C15ull)) {}
+      rng(seed ^ (id * 0x9E3779B97F4A7C15ull)),
+      last_activity(std::chrono::steady_clock::now()) {}
 
 ClassificationServer::ClassificationServer(ServingModel model,
                                            ServerConfig config)
@@ -49,6 +82,8 @@ ClassificationServer::ClassificationServer(ServingModel model,
   config_.num_threads = std::max(config_.num_threads, 2);
   config_.max_sessions = std::max(config_.max_sessions, 1);
   config_.recv_timeout_seconds = std::max(config_.recv_timeout_seconds, 1e-3);
+  config_.max_pending_queries = std::max(config_.max_pending_queries, 0);
+  config_.idle_timeout_seconds = std::max(config_.idle_timeout_seconds, 0.0);
   const auto& setup = model_.setup;
   if (setup.classifier == ClassifierKind::kNaiveBayes) {
     nb_spec_ = std::make_unique<SecureNbCircuit>(
@@ -71,6 +106,13 @@ void ClassificationServer::Start() {
   pool_ = std::make_unique<ThreadPool>(config_.num_threads + 1);
   loop_->Add(listener_->fd(), kListenerToken, EPOLLIN, /*oneshot=*/false,
              [this](uint32_t) { OnListenerReadable(); });
+  if (config_.idle_timeout_seconds > 0) {
+    // Tick a few times per timeout so a reap lands within ~1.25x of it;
+    // the tick is bounded below so a tiny test timeout cannot busy-spin
+    // the loop and above so a long timeout still reaps promptly.
+    double tick = std::clamp(config_.idle_timeout_seconds / 4.0, 0.01, 1.0);
+    loop_->AddTimer(kReaperToken, tick, [this] { ReapIdleSessions(); });
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     running_ = true;
@@ -120,6 +162,9 @@ void ClassificationServer::AdmitSession(std::unique_ptr<SocketChannel> socket) {
       static obs::Counter& rejected =
           obs::GetCounter("serve.sessions_rejected");
       rejected.Add();
+      // Typed refusal: the client's hello is answered with kBusy so it can
+      // back off and retry instead of reading "server dead" into the close.
+      TrySendStatusFrame(socket->fd(), ReplyStatus::kBusy);
       socket->Close();  // Destructor closes the fd; the client fails typed.
       return;
     }
@@ -150,10 +195,43 @@ void ClassificationServer::OnSessionReadable(uint64_t id) {
       CloseSessionLocked(session, /*failed=*/false);
       return;
     }
+    // Admission control: shed instead of queueing unboundedly. busy_
+    // counts submit-to-completion, so busy_ - num_threads bounds the
+    // number of tasks waiting for a worker.
+    if (config_.max_pending_queries > 0 &&
+        busy_ >= config_.num_threads + config_.max_pending_queries) {
+      ++stats_.queries_shed;
+      static obs::Counter& shed = obs::GetCounter("serve.queries_shed");
+      shed.Add();
+      // The request bytes stay unread (reading would need the worker we
+      // do not have), so the session cannot be kept: answer kBusy in one
+      // nonblocking write and close. The client reconnects with backoff.
+      TrySendStatusFrame(session->socket->fd(), ReplyStatus::kBusy);
+      CloseSessionLocked(session, /*failed=*/false);
+      return;
+    }
     session->state = SessionState::kBusy;
     ++busy_;
   }
   pool_->Submit([this, session] { ServeSession(session); });
+}
+
+void ClassificationServer::ReapIdleSessions() {
+  std::vector<std::shared_ptr<Session>> victims;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto now = std::chrono::steady_clock::now();
+  auto limit = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.idle_timeout_seconds));
+  for (auto& [id, session] : sessions_) {
+    if (session->state == SessionState::kBusy) continue;  // In flight.
+    if (now - session->last_activity > limit) victims.push_back(session);
+  }
+  for (auto& session : victims) {
+    ++stats_.sessions_reaped;
+    static obs::Counter& reaped = obs::GetCounter("serve.sessions_reaped");
+    reaped.Add();
+    CloseSessionLocked(session, /*failed=*/false);
+  }
 }
 
 void ClassificationServer::ServeSession(const std::shared_ptr<Session>& s) {
@@ -170,6 +248,7 @@ void ClassificationServer::ServeSession(const std::shared_ptr<Session>& s) {
   --busy_;
   if (keep && !draining_ && !s->socket->closed()) {
     s->state = SessionState::kIdle;
+    s->last_activity = std::chrono::steady_clock::now();
     loop_->Rearm(s->socket->fd(), s->id);
   } else {
     CloseSessionLocked(s, failed);
@@ -184,11 +263,12 @@ bool ClassificationServer::ServeOne(Session& s) {
     uint64_t magic = ch.RecvU64();
     uint64_t version = ch.RecvU64();
     if (magic != kWireMagic || version != kWireVersion) {
-      ch.SendU64(0);  // Typed refusal before the close.
+      // Typed refusal before the close.
+      ch.SendU64(static_cast<uint64_t>(ReplyStatus::kRejected));
       throw ProtocolError("serve: bad hello (magic " + std::to_string(magic) +
                           ", version " + std::to_string(version) + ")");
     }
-    ch.SendU64(1);
+    ch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
     SendSessionSetup(ch, model_.setup);
     s.handshaken = true;
     s.state = SessionState::kIdle;
@@ -196,6 +276,17 @@ bool ClassificationServer::ServeOne(Session& s) {
   }
   uint64_t tag = ch.RecvU64();
   if (tag == static_cast<uint64_t>(RequestTag::kBye)) return false;
+  if (tag == static_cast<uint64_t>(RequestTag::kPing)) {
+    // Keepalive: answer and go idle, which refreshes last_activity.
+    ch.SendU64(static_cast<uint64_t>(ReplyStatus::kPong));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.pings_served;
+    }
+    static obs::Counter& pings = obs::GetCounter("serve.pings_served");
+    pings.Add();
+    return true;
+  }
   if (tag != static_cast<uint64_t>(RequestTag::kQuery)) {
     throw ProtocolError("serve: unknown request tag " + std::to_string(tag));
   }
@@ -216,6 +307,10 @@ void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
     }
     disclosed[f] = static_cast<int>(v);
   }
+  // Admission ack: the request was read and a worker is running it. The
+  // shed path answers the same slot in the conversation with kBusy, so a
+  // client always learns its query's fate from this one frame.
+  ch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
   switch (setup.classifier) {
     case ClassifierKind::kNaiveBayes: {
       SecureNbRunServer(ch, *nb_spec_, model_.nb, disclosed, s.ot, s.rng,

@@ -28,6 +28,7 @@
 #ifndef PAFS_SERVE_SERVER_H_
 #define PAFS_SERVE_SERVER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -49,8 +50,9 @@ namespace pafs::serve {
 
 struct ServerConfig {
   SocketAddress address = SocketAddress::Tcp("127.0.0.1", 0);
-  // Bounded session registry: connects beyond this are closed on accept
-  // (the client sees ChannelError{kClosed} during its hello).
+  // Bounded session registry: connects beyond this are answered with a
+  // typed ReplyStatus::kBusy frame and closed, so clients can tell
+  // "server full, back off" (ServerBusyError) from "server dead".
   int max_sessions = 256;
   // Session worker threads (>= 2 enforced); protocol work for at most this
   // many sessions runs concurrently. Distinct from ThreadPool::Global(),
@@ -62,6 +64,18 @@ struct ServerConfig {
   double recv_timeout_seconds = 30;
   // Stop(): how long in-flight queries may run before force-close.
   double drain_timeout_seconds = 5;
+  // Admission control: requests may wait for a worker only while fewer
+  // than this many session tasks are queued beyond the ones running.
+  // Excess readable sessions are shed with ReplyStatus::kBusy and closed
+  // instead of queueing unboundedly (counted in queries_shed /
+  // serve.queries_shed). 0 = unbounded (the pre-resilience behavior).
+  int max_pending_queries = 1024;
+  // Idle reaping: a session (handshaken or not) that stays silent this
+  // long between requests is closed by the reaper tick and counted in
+  // sessions_reaped / serve.sessions_reaped, so slow-loris peers cannot
+  // hold registry slots forever. Clients keep long-lived sessions warm
+  // with RequestTag::kPing. 0 = never reap.
+  double idle_timeout_seconds = 300;
   int listen_backlog = 128;
   uint64_t seed = 0x5AFE5EED;  // Per-session RNG streams derive from this.
 };
@@ -70,10 +84,13 @@ struct ServerConfig {
 // obs telemetry switch; the serve.* counters mirror these when enabled).
 struct ServerStats {
   uint64_t sessions_accepted = 0;
-  uint64_t sessions_rejected = 0;  // Refused: registry full or draining.
+  uint64_t sessions_rejected = 0;  // Refused typed: registry full/draining.
   uint64_t sessions_failed = 0;    // Died on a transport/protocol fault.
   uint64_t sessions_closed = 0;    // All closes, graceful included.
+  uint64_t sessions_reaped = 0;    // Closed by the idle reaper.
   uint64_t queries_served = 0;
+  uint64_t queries_shed = 0;  // Readable sessions shed: worker queue full.
+  uint64_t pings_served = 0;
   int sessions_active = 0;
 };
 
@@ -108,6 +125,9 @@ class ClassificationServer {
     OtExtSender ot;  // Base OTs amortize across the session's queries.
     Rng rng;
     uint64_t queries = 0;
+    // Last time the session finished a request (or was accepted); the
+    // reaper closes non-busy sessions idle past idle_timeout_seconds.
+    std::chrono::steady_clock::time_point last_activity;
 
     Session(uint64_t id, std::unique_ptr<SocketChannel> sock, uint64_t seed);
   };
@@ -115,6 +135,9 @@ class ClassificationServer {
   void OnListenerReadable();
   void AdmitSession(std::unique_ptr<SocketChannel> socket);
   void OnSessionReadable(uint64_t id);
+  // Reaper tick (event-loop thread): closes every non-busy session whose
+  // last_activity is older than idle_timeout_seconds.
+  void ReapIdleSessions();
   // Runs on a pool worker: one handshake or one request, then re-arm or
   // close. Never throws.
   void ServeSession(const std::shared_ptr<Session>& session);

@@ -63,6 +63,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_queued) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PAFS_CHECK_MSG(!workers_.empty(),
+                   "ThreadPool::TrySubmit needs at least one worker");
+    if (tasks_.size() >= max_queued) return false;
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
 void ThreadPool::Run(Job& job) {
   // Register before claiming: the caller's completion predicate reads
   // running == 0, and only a registered participant may invoke fn, so the

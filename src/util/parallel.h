@@ -56,6 +56,16 @@ class ThreadPool {
   // (the serving layer waits for its sessions before teardown).
   void Submit(std::function<void()> task);
 
+  // Bounded Submit for load shedding: enqueues only while fewer than
+  // `max_queued` submitted tasks are waiting to start (running tasks do
+  // not count) and returns whether the task was accepted. Callers that
+  // must not queue unboundedly (the serving layer's admission control)
+  // use this and reject/shed on false instead of wedging the pool.
+  bool TrySubmit(std::function<void()> task, size_t max_queued);
+
+  // Submitted tasks not yet started (instantaneous; racy by nature).
+  size_t queued() const;
+
   // Process-wide pool, or nullptr when the effective size is 1 (callers
   // then take their serial path). Sized once from PAFS_THREADS / hardware
   // concurrency.
@@ -81,7 +91,7 @@ class ThreadPool {
   void WorkerLoop();
   void Run(Job& job);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::shared_ptr<Job> job_;  // Current job; null when idle.

@@ -8,6 +8,8 @@
 // Stack per run: the injecting (client) endpoint is wrapped in
 // FaultInjectingChannel beneath FramedChannel, so one fault mangles one
 // whole CRC frame; the server endpoint runs the matching FramedChannel.
+#include <unistd.h>
+
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -33,6 +35,9 @@
 #include "net/framing.h"
 #include "net/socket.h"
 #include "ot/iknp.h"
+#include "serve/client.h"
+#include "serve/model.h"
+#include "serve/server.h"
 #include "sharing/gmw.h"
 #include "smc/secure_linear.h"
 #include "util/bitvec.h"
@@ -56,6 +61,15 @@ namespace {
 #endif
 #ifndef PAFS_CHAOS_TSAN
 #define PAFS_CHAOS_TSAN 0
+#endif
+
+// Any sanitizer (PAFS_SLOW_SANITIZER comes from CMake when PAFS_SANITIZE
+// is set) slows the serving storm enough that retry deadlines sized for a
+// plain build expire on legitimate load; scale those budgets generically.
+#if PAFS_CHAOS_TSAN || defined(PAFS_SLOW_SANITIZER)
+#define PAFS_CHAOS_SLOW 1
+#else
+#define PAFS_CHAOS_SLOW 0
 #endif
 
 // Generous enough that legitimate compute (base OTs under ASan) never
@@ -552,6 +566,93 @@ TEST(SocketChaosTest, AcceptBacklogOverflowYieldsTypedOutcomes) {
   EXPECT_EQ(connected + typed_failures, kConnects);
   // ...and the kernel queue admitted at least one despite zero accepts.
   EXPECT_GE(connected.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Serving-layer chaos: the full resilience stack end to end. Faulty
+// clients at 4x worker oversubscription, against a server that is killed
+// and restarted mid-storm — RetryPolicy (reconnect + re-handshake + typed
+// kBusy backoff) must absorb all of it with ZERO client-visible query
+// failures and zero wrong answers.
+
+TEST(ServingChaosTest, OverloadedFaultyClientsSurviveServerRestart) {
+  Rng data_rng(77);
+  Dataset data = GenerateWarfarinCohort(600, data_rng);
+  PipelineConfig pc;
+  pc.classifier = ClassifierKind::kNaiveBayes;
+  pc.risk_budget = 0.08;
+  SecureClassificationPipeline pipeline(data, pc);
+  serve::ServingModel model = serve::ServingModel::FromPipeline(pipeline);
+
+  serve::ServerConfig sc;
+  // UDS so the restarted server reappears at the same address.
+  sc.address = SocketAddress::Unix("/tmp/pafs_chaos_serve_" +
+                                   std::to_string(::getpid()) + ".sock");
+  sc.num_threads = 2;  // 8 clients below = 4x oversubscription.
+  sc.recv_timeout_seconds = kRecvTimeout;
+  sc.drain_timeout_seconds = 0.2;
+  sc.max_pending_queries = 4;  // Small bound: the storm must hit sheds.
+  sc.idle_timeout_seconds = 10.0;
+  auto server = std::make_unique<serve::ClassificationServer>(model, sc);
+  server->Start();
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesEach = 3;
+  std::atomic<int> wrong{0};
+  std::vector<std::string> failures(kClients);
+  std::atomic<uint64_t> total_reconnects{0};
+  const FaultKind kKinds[] = {FaultKind::kDrop, FaultKind::kCorrupt,
+                              FaultKind::kDisconnect, FaultKind::kNone};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        serve::ClientConfig cc;
+        cc.address = sc.address;
+        cc.recv_timeout_seconds = kRecvTimeout;
+        cc.seed = 0xFEED + t;
+        // Under sustained overload the deadline is the real budget:
+        // instant kBusy sheds burn attempts far faster than faults do.
+        cc.retry.max_attempts = 64;
+        cc.retry.initial_backoff_seconds = 0.02;
+        cc.retry.max_backoff_seconds = 0.5;
+        cc.retry.deadline_seconds = PAFS_CHAOS_SLOW ? 200 : 25;
+        cc.fault_plan.kind = kKinds[t % 4];
+        cc.fault_plan.seed = 100 + t;
+        cc.fault_plan.first_op = 15 + 3 * static_cast<uint64_t>(t);
+        cc.fault_plan.max_faults = 2;
+        serve::ClassificationClient client(cc);
+        for (int q = 0; q < kQueriesEach; ++q) {
+          const std::vector<int>& row = data.row((t * 97 + q * 31) % 600);
+          if (client.Classify(row) != pipeline.PlaintextPredict(row)) {
+            ++wrong;
+          }
+        }
+        total_reconnects += client.reconnects();
+        client.Close();
+      } catch (const std::exception& e) {
+        failures[t] = e.what();
+      }
+    });
+  }
+
+  // Kill the server mid-storm and resurrect it at the same address; the
+  // gap turns every in-flight query into a reconnect-and-retry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      PAFS_CHAOS_SLOW ? 4000 : 600));
+  server->Stop();
+  server = std::make_unique<serve::ClassificationServer>(model, sc);
+  server->Start();
+
+  for (auto& c : clients) c.join();
+  // The acceptance bar: zero client-visible failures, zero wrong answers.
+  for (int t = 0; t < kClients; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "client " << t << ": " << failures[t];
+  }
+  EXPECT_EQ(wrong.load(), 0);
+  // The restart alone guarantees somebody had to reconnect.
+  EXPECT_GE(total_reconnects.load(), 1u);
+  server->Stop();
 }
 
 }  // namespace

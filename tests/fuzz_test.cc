@@ -3,7 +3,10 @@
 // garbling, classic garbling, the optimizer, GMW, and circuit
 // serialization round-trips. This is the strongest cross-cutting
 // correctness net in the repository.
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -12,6 +15,8 @@
 #include "circuit/serialize.h"
 #include "gc/garble.h"
 #include "net/channel.h"
+#include "net/error.h"
+#include "serve/model.h"
 #include "sharing/gmw.h"
 #include "util/random.h"
 
@@ -194,6 +199,114 @@ TEST(FuzzTest, OptimizedCircuitsRunOnGmw) {
     t.join();
     ASSERT_TRUE(out0 == want);
     ASSERT_TRUE(out1 == want);
+  }
+}
+
+// Single-threaded capture/replay channel for decoder fuzzing: Send
+// records the encoder's bytes, Recv replays (possibly mangled) bytes to
+// the decoder and fails typed when the stream runs dry — the in-memory
+// analogue of a peer hanging up mid-handshake.
+class ReplayChannel : public Channel {
+ public:
+  explicit ReplayChannel(std::vector<uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  void Send(const uint8_t* data, size_t n) override {
+    bytes_.insert(bytes_.end(), data, data + n);
+  }
+  void Recv(uint8_t* data, size_t n) override {
+    if (pos_ + n > bytes_.size()) {
+      throw ChannelError(ChannelErrorKind::kClosed, "replay exhausted");
+    }
+    std::memcpy(data, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+  const ChannelStats& stats() const override { return stats_; }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;
+  ChannelStats stats_;
+};
+
+serve::SessionSetup ReferenceSetup() {
+  serve::SessionSetup setup;
+  setup.classifier = ClassifierKind::kNaiveBayes;
+  setup.scheme = GarblingScheme::kHalfGates;
+  setup.paillier_bits = 512;
+  setup.num_classes = 3;
+  setup.features = {{"age", 4, false},
+                    {"dose", 8, false},
+                    {"vkorc1", 3, true},
+                    {"cyp2c9", 6, true}};
+  setup.plan_features = {0, 1};
+  return setup;
+}
+
+TEST(FuzzTest, SessionSetupDecoderSurvivesTruncation) {
+  // Every proper prefix of a valid handshake must fail typed: the decoder
+  // sees a peer that died mid-setup, never an out-of-range index or hang.
+  ReplayChannel encoder({});
+  serve::SendSessionSetup(encoder, ReferenceSetup());
+  const std::vector<uint8_t> valid = encoder.bytes();
+  ASSERT_GT(valid.size(), 16u);
+
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    ReplayChannel ch(
+        std::vector<uint8_t>(valid.begin(), valid.begin() + cut));
+    EXPECT_THROW(serve::RecvSessionSetup(ch), TransportError)
+        << "prefix of " << cut << " bytes decoded";
+  }
+  // The untruncated stream still round-trips.
+  ReplayChannel full(valid);
+  serve::SessionSetup out = serve::RecvSessionSetup(full);
+  EXPECT_EQ(out.features.size(), 4u);
+  EXPECT_EQ(out.plan_features, std::vector<int>({0, 1}));
+}
+
+TEST(FuzzTest, SessionSetupDecoderSurvivesBitFlips) {
+  ReplayChannel encoder({});
+  serve::SendSessionSetup(encoder, ReferenceSetup());
+  const std::vector<uint8_t> valid = encoder.bytes();
+
+  Rng rng(0x5E55);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<uint8_t> mangled = valid;
+    size_t bit = rng.NextU64Below(mangled.size() * 8);
+    mangled[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    ReplayChannel ch(std::move(mangled));
+    try {
+      serve::SessionSetup out = serve::RecvSessionSetup(ch);
+      // A surviving flip (e.g. inside a feature name) must still satisfy
+      // every decoder invariant the server relies on downstream.
+      EXPECT_GE(out.num_classes, 2);
+      for (int f : out.plan_features) {
+        EXPECT_GE(f, 0);
+        EXPECT_LT(f, static_cast<int>(out.features.size()));
+      }
+      for (const auto& spec : out.features) {
+        EXPECT_GE(spec.cardinality, 1);
+      }
+    } catch (const TransportError&) {
+      // Typed rejection: the expected fate of most flips.
+    }
+  }
+}
+
+TEST(FuzzTest, SessionSetupDecoderSurvivesRandomBytes) {
+  Rng rng(0xD00F);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> junk(rng.NextU64Below(256));
+    rng.FillBytes(junk.data(), junk.size());
+    ReplayChannel ch(std::move(junk));
+    try {
+      serve::RecvSessionSetup(ch);
+      // Astronomically unlikely but legal: random bytes that happen to
+      // decode. The invariant is only "typed error or valid parse".
+    } catch (const TransportError&) {
+    }
   }
 }
 

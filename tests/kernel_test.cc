@@ -4,9 +4,13 @@
 // ParallelFor ranges exactly once. The arm is flipped at runtime through
 // SetForcePortable, so one binary exercises both sides regardless of how
 // the process was launched (including CI's PAFS_FORCE_PORTABLE=1 job).
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -279,6 +283,44 @@ TEST(ThreadPoolTest, FirstExceptionPropagatesToCaller) {
     count.fetch_add(static_cast<int>(e - b));
   });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, TrySubmitShedsBeyondQueueBound) {
+  // The serving layer's admission control: with the lone worker wedged,
+  // TrySubmit accepts up to max_queued waiting tasks and sheds the rest
+  // without ever running them.
+  ThreadPool pool(2);  // One worker; the caller never runs Submit tasks.
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+    ++ran;
+  });
+  // Wait for the worker to pick the blocker up, so the queue is empty.
+  auto spin_until = [&](auto pred) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (!pred() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  };
+  ASSERT_TRUE(spin_until([&] { return pool.queued() == 0; }));
+
+  EXPECT_TRUE(pool.TrySubmit([&] { ++ran; }, 1));   // Fills the bound.
+  EXPECT_FALSE(pool.TrySubmit([&] { ++ran; }, 1));  // Shed, never runs.
+  EXPECT_EQ(pool.queued(), 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  ASSERT_TRUE(spin_until([&] { return ran.load() == 2; }));
+  EXPECT_EQ(pool.queued(), 0u);
 }
 
 TEST(ThreadPoolTest, SerialPoolStillRunsTheLoop) {

@@ -5,6 +5,7 @@
 // peers die typed without taking a worker hostage, and Stop() drains.
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -16,6 +17,7 @@
 #include "core/pipeline.h"
 #include "data/warfarin_gen.h"
 #include "net/error.h"
+#include "net/fault.h"
 #include "net/framing.h"
 #include "net/socket.h"
 #include "serve/client.h"
@@ -356,6 +358,257 @@ TEST_F(ServeTest, StopMidQueryForceClosesAfterGrace) {
   // Grace (0.2s) + force-close unwind, well short of the recv deadline.
   EXPECT_LT(stop_seconds, 5.0 * kTimeScale);
   EXPECT_EQ(server.stats().sessions_active, 0);
+}
+
+TEST_F(ServeTest, IdleSessionsAreReapedAndSlotsFreed) {
+  // Slow loris: peers that connect and say nothing must not hold registry
+  // slots forever — the reaper closes them after idle_timeout_seconds.
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.max_sessions = 3;
+  config.idle_timeout_seconds = 0.4 * kTimeScale;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  std::vector<std::unique_ptr<SocketChannel>> loris;
+  for (int i = 0; i < 3; ++i) {
+    loris.push_back(SocketConnect(server.address(), 2.0 * kTimeScale));
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_active == 3; }));
+  // The registry is now exhausted by silent peers; the reaper must evict
+  // all of them within ~1.25x the idle timeout.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_reaped >= 3; }));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_active == 0; }));
+
+  // The freed slots admit real sessions again.
+  ClientConfig cc = ClientFor(server);
+  cc.retry.max_attempts = 1;  // A reject here should fail the test, loudly.
+  ClassificationClient client(cc);
+  const std::vector<int>& row = data_.row(23);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+}
+
+TEST_F(ServeTest, PingKeepsAnIdleSessionWarm) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.idle_timeout_seconds = 0.4 * kTimeScale;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  ClassificationClient client(ClientFor(server));
+  // Ping through several full idle windows: the keepalive must refresh the
+  // server's idle clock, so the session is never reaped.
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::duration<double>(1.2 * kTimeScale));
+  while (std::chrono::steady_clock::now() < until) {
+    client.Ping();
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        0.1 * kTimeScale));
+  }
+  EXPECT_EQ(server.stats().sessions_reaped, 0u);
+  EXPECT_GE(server.stats().pings_served, 3u);
+
+  // Still the original session: the query needs no reconnect.
+  const std::vector<int>& row = data_.row(31);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  EXPECT_EQ(client.reconnects(), 0u);
+}
+
+TEST_F(ServeTest, RegistryFullSurfacesServerBusyError) {
+  // The typed kBusy reject is distinguishable from "server dead": with
+  // retry disabled the client must surface ServerBusyError specifically.
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.max_sessions = 1;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  ClassificationClient first(ClientFor(server));  // Holds the one slot.
+  ClientConfig cc = ClientFor(server);
+  cc.retry.max_attempts = 1;
+  EXPECT_THROW(ClassificationClient second(cc), serve::ServerBusyError);
+}
+
+TEST_F(ServeTest, SaturatedWorkerQueueShedsQueriesTyped) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.num_threads = 2;
+  config.max_pending_queries = 1;  // Capacity: 2 running + 1 queued.
+  config.recv_timeout_seconds = 5.0 * kTimeScale;  // Wedge lifetime.
+  config.drain_timeout_seconds = 0.2;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  // Five raw sessions, all handshaken up front while workers are free.
+  std::vector<std::unique_ptr<SocketChannel>> sockets;
+  std::vector<std::unique_ptr<FramedChannel>> frames;
+  for (int i = 0; i < 5; ++i) {
+    sockets.push_back(SocketConnect(server.address(), 2.0 * kTimeScale));
+    sockets.back()->set_recv_timeout_seconds(2.0 * kTimeScale);
+    frames.push_back(std::make_unique<FramedChannel>(*sockets.back()));
+    frames.back()->SendU64(serve::kWireMagic);
+    frames.back()->SendU64(serve::kWireVersion);
+    ASSERT_EQ(frames.back()->RecvU64(), 1u);
+    serve::RecvSessionSetup(*frames.back());
+  }
+  // Each now sends a query and goes silent. Arrival order fills the two
+  // workers, queues one, and the rest must be shed with a typed kBusy —
+  // not queued unboundedly, not silently dropped.
+  for (int i = 0; i < 5; ++i) {
+    frames[i]->SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        0.05 * kTimeScale));
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_shed >= 2; }));
+  // A shed session's one reply frame is the kBusy status.
+  int busy_replies = 0;
+  for (int i = 3; i < 5; ++i) {
+    try {
+      if (frames[i]->RecvU64() ==
+          static_cast<uint64_t>(serve::ReplyStatus::kBusy)) {
+        ++busy_replies;
+      }
+    } catch (const TransportError&) {
+      // A wedged (not shed) session times out instead; tolerated.
+    }
+  }
+  EXPECT_GE(busy_replies, 1);
+}
+
+TEST_F(ServeTest, ClientReconnectsAcrossServerRestart) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServingModel model = ServingModel::FromPipeline(*pipeline);
+  ServerConfig config;
+  // UDS: a restarted server reappears at the same address (a TCP restart
+  // on port 0 would move).
+  config.address = SocketAddress::Unix(UdsPath("restart"));
+  auto server = std::make_unique<ClassificationServer>(model, config);
+  server->Start();
+
+  ClientConfig cc;
+  cc.address = config.address;
+  cc.recv_timeout_seconds = 30 * kTimeScale;
+  cc.retry.deadline_seconds = 30 * kTimeScale;
+  ClassificationClient client(cc);
+  const std::vector<int>& row = data_.row(58);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+
+  // Kill and resurrect the server; the client's next query must absorb the
+  // dead session transparently via reconnect + re-handshake + retry.
+  server->Stop();
+  server = std::make_unique<ClassificationServer>(model, config);
+  server->Start();
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_GE(client.retries(), 1u);
+}
+
+TEST_F(ServeTest, ClientRetryAbsorbsInjectedDisconnect) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  ClientConfig cc = ClientFor(server);
+  cc.fault_plan.kind = FaultKind::kDisconnect;
+  cc.fault_plan.seed = 5;
+  cc.fault_plan.first_op = 12;  // Past the handshake, inside query 1.
+  cc.fault_plan.max_faults = 1;
+  ClassificationClient client(cc);
+  const std::vector<int>& row = data_.row(44);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  EXPECT_EQ(client.reconnects(), 1u);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_failed >= 1; }));
+}
+
+TEST_F(ServeTest, ReconnectStormDuringStopDrainEndsTyped) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.num_threads = 4;
+  config.drain_timeout_seconds = 0.2;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  // Clients connect-and-query in a loop while the server goes down: every
+  // one must end each iteration with a result or a TransportError — never
+  // an untyped escape, never a hang past its own retry deadline.
+  constexpr int kClients = 6;
+  std::atomic<bool> go{true};
+  std::vector<std::string> untyped(kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      const std::vector<int>& row = data_.row((t * 53) % 800);
+      while (go.load()) {
+        try {
+          ClientConfig cc = ClientFor(server);
+          cc.seed = 0x57AB + t;
+          cc.retry.max_attempts = 2;
+          cc.retry.initial_backoff_seconds = 0.01;
+          cc.retry.deadline_seconds = 2.0 * kTimeScale;
+          ClassificationClient client(cc);
+          client.Classify(row);
+          client.Close();
+        } catch (const TransportError&) {
+          // Typed refusal/teardown: the expected storm outcome.
+        } catch (const std::exception& e) {
+          untyped[t] = e.what();
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      0.5 * kTimeScale));
+  server.Stop();  // Drain while the storm is still dialing.
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      0.3 * kTimeScale));
+  go.store(false);
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kClients; ++t) {
+    EXPECT_TRUE(untyped[t].empty()) << "client " << t << ": " << untyped[t];
+  }
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.stats().sessions_active, 0);
+}
+
+TEST_F(ServeTest, RandomHelloBytesNeverKillTheServer) {
+  // Handshake fuzz over the live socket: raw junk instead of a framed
+  // hello. Every session must die typed server-side while the listener
+  // keeps serving well-formed peers.
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.recv_timeout_seconds = 0.5 * kTimeScale;  // Junk-wedges die fast.
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  Rng fuzz(0xF422);
+  for (int trial = 0; trial < 25; ++trial) {
+    try {
+      auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+      socket->set_recv_timeout_seconds(0.2 * kTimeScale);
+      size_t n = 1 + fuzz.NextU64Below(64);
+      std::vector<uint8_t> junk(n);
+      fuzz.FillBytes(junk.data(), n);
+      socket->Send(junk.data(), n);
+      if (trial % 2 == 0) {
+        uint8_t byte;
+        socket->Recv(&byte, 1);  // Maybe a reject frame; maybe a timeout.
+      }
+      socket->Close();
+    } catch (const TransportError&) {
+      // Every client-side fate must be typed too.
+    }
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_failed >= 10; },
+                      20.0 * kTimeScale));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_active == 0; },
+                      20.0 * kTimeScale));
+
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(17);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
 }
 
 TEST_F(ServeTest, ServerRestartsOnSameConfig) {
