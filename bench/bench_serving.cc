@@ -33,6 +33,7 @@
 
 #include "bench_common.h"
 #include "net/error.h"
+#include "net/framing.h"
 #include "net/socket.h"
 #include "serve/client.h"
 #include "serve/model.h"
@@ -169,6 +170,10 @@ struct OverloadResult {
   uint64_t queries_shed = 0;     // Server admission-control sheds.
   uint64_t sessions_reaped = 0;  // Idle/loris sessions closed by reaper.
   uint64_t sessions_rejected = 0;
+  uint64_t resumes = 0;          // Client reconnects that presented a ticket.
+  uint64_t resumptions = 0;      // Server-side ticket hits.
+  uint64_t resume_misses = 0;    // Tickets lost to the mid-storm restart.
+  uint64_t replay_hits = 0;      // Retries answered from the replay cache.
   double wall_seconds = 0;
   double qps = 0;
 };
@@ -205,6 +210,7 @@ OverloadResult RunOverload(const SecureClassificationPipeline& pipeline,
   std::atomic<uint64_t> queries{0};
   std::atomic<uint64_t> reconnects{0};
   std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> resumes{0};
   std::vector<std::thread> workers;
   Timer wall;
   for (int t = 0; t < kClients; ++t) {
@@ -232,6 +238,7 @@ OverloadResult RunOverload(const SecureClassificationPipeline& pipeline,
         }
         reconnects += client.reconnects();
         retries += client.retries();
+        resumes += client.resumes();
         client.Close();
       } catch (const TransportError& e) {
         ++failures;
@@ -277,11 +284,116 @@ OverloadResult RunOverload(const SecureClassificationPipeline& pipeline,
   r.queries_shed = first.queries_shed + second.queries_shed;
   r.sessions_reaped = first.sessions_reaped + second.sessions_reaped;
   r.sessions_rejected = first.sessions_rejected + second.sessions_rejected;
+  r.resumes = resumes.load();
+  r.resumptions = first.resumptions + second.resumptions;
+  r.resume_misses = first.resume_misses + second.resume_misses;
+  r.replay_hits = first.replay_hits + second.replay_hits;
   r.wall_seconds = storm_seconds;
   r.qps = storm_seconds > 0
               ? static_cast<double>(r.queries) / storm_seconds
               : 0;
   return r;
+}
+
+struct ResumeResult {
+  double full_ms = 0;     // Mean reconnect+query with a full re-handshake.
+  double resumed_ms = 0;  // Mean reconnect+query via resumption ticket.
+  double speedup = 0;     // full_ms / resumed_ms.
+  uint64_t resumptions = 0;
+  uint64_t resume_misses = 0;
+  uint64_t queries_cancelled = 0;
+};
+
+// Times reconnect-and-query with and without resumption tickets against
+// the same server, then probes the query watchdog with a wedged session.
+// The resumed path restores the session's OT extension state and skips
+// the base OTs entirely, which dominate a cold re-handshake.
+ResumeResult RunResumeBench(const SecureClassificationPipeline& pipeline,
+                            const Dataset& data) {
+  serve::ServerConfig sc;
+  sc.recv_timeout_seconds = 60;
+  serve::ClassificationServer server(
+      serve::ServingModel::FromPipeline(pipeline), sc);
+  server.Start();
+  const std::vector<int>& row = data.row(33);
+  constexpr int kReconnects = 3;
+
+  auto time_reconnects = [&](bool resume) {
+    serve::ClientConfig cc;
+    cc.address = server.address();
+    cc.recv_timeout_seconds = 60;
+    cc.enable_resume = resume;
+    cc.seed = resume ? 0xA11CE : 0xB0B;
+    serve::ClassificationClient client(cc);
+    client.Classify(row);  // Warm up: base OTs, lazy per-session state.
+    double total = 0;
+    for (int i = 0; i < kReconnects; ++i) {
+      client.DropConnection();
+      Timer timer;
+      client.Classify(row);
+      total += timer.ElapsedSeconds();
+    }
+    client.Close();
+    return total / kReconnects * 1e3;
+  };
+  ResumeResult r;
+  r.full_ms = time_reconnects(false);
+  r.resumed_ms = time_reconnects(true);
+  r.speedup = r.resumed_ms > 0 ? r.full_ms / r.resumed_ms : 0;
+
+  server.Stop();
+  serve::ServerStats timing_stats = server.stats();
+  r.resumptions = timing_stats.resumptions;
+  r.resume_misses = timing_stats.resume_misses;
+
+  // Cancellation probe, on its own server: its sessions never run a
+  // legitimate query, so the per-query budget can be far below real query
+  // latency without the watchdog cancelling honest work.
+  serve::ServerConfig wc;
+  wc.recv_timeout_seconds = 60;
+  wc.query_budget_seconds = 0.5;
+  serve::ClassificationServer wedge_server(
+      serve::ServingModel::FromPipeline(pipeline), wc);
+  wedge_server.Start();
+  try {
+    auto socket = SocketConnect(wedge_server.address(), 5.0);
+    socket->set_recv_timeout_seconds(30);
+    FramedChannel framed(*socket);
+    serve::SendClientHello(framed, serve::ClientHello{});
+    if (framed.RecvU64() != static_cast<uint64_t>(serve::ReplyStatus::kOk)) {
+      throw ProtocolError("resume bench: wedge handshake rejected");
+    }
+    serve::RecvSessionSetup(framed);
+    serve::RecvTicketFrame(framed);
+    framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+    framed.SendU64(1);
+    uint64_t status = framed.RecvU64();
+    if (status != static_cast<uint64_t>(serve::ReplyStatus::kCancelled)) {
+      std::fprintf(stderr,
+                   "resume bench: wedged query ended %llu, not kCancelled\n",
+                   static_cast<unsigned long long>(status));
+    }
+  } catch (const TransportError& e) {
+    std::fprintf(stderr, "resume bench: cancellation probe: %s\n", e.what());
+  }
+
+  wedge_server.Stop();
+  r.queries_cancelled = wedge_server.stats().queries_cancelled;
+  return r;
+}
+
+void PrintResume(const ResumeResult& r) {
+  std::printf("  \"resume\": {\n");
+  std::printf("    \"full_reconnect_ms\": %.3f,\n", r.full_ms);
+  std::printf("    \"resumed_reconnect_ms\": %.3f,\n", r.resumed_ms);
+  std::printf("    \"speedup\": %.2f,\n", r.speedup);
+  std::printf("    \"resumptions\": %llu,\n",
+              static_cast<unsigned long long>(r.resumptions));
+  std::printf("    \"resume_misses\": %llu,\n",
+              static_cast<unsigned long long>(r.resume_misses));
+  std::printf("    \"queries_cancelled\": %llu\n",
+              static_cast<unsigned long long>(r.queries_cancelled));
+  std::printf("  }\n");
 }
 
 void PrintOverload(const OverloadResult& r) {
@@ -303,9 +415,17 @@ void PrintOverload(const OverloadResult& r) {
               static_cast<unsigned long long>(r.sessions_reaped));
   std::printf("    \"sessions_rejected\": %llu,\n",
               static_cast<unsigned long long>(r.sessions_rejected));
+  std::printf("    \"resumes\": %llu,\n",
+              static_cast<unsigned long long>(r.resumes));
+  std::printf("    \"resumptions\": %llu,\n",
+              static_cast<unsigned long long>(r.resumptions));
+  std::printf("    \"resume_misses\": %llu,\n",
+              static_cast<unsigned long long>(r.resume_misses));
+  std::printf("    \"replay_hits\": %llu,\n",
+              static_cast<unsigned long long>(r.replay_hits));
   std::printf("    \"wall_seconds\": %.3f,\n", r.wall_seconds);
   std::printf("    \"qps\": %.2f\n", r.qps);
-  std::printf("  }\n");
+  std::printf("  },\n");
 }
 
 void PrintResult(const TransportResult& r, bool last) {
@@ -387,8 +507,10 @@ int Main(int argc, char** argv) {
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
   OverloadResult overload;
+  ResumeResult resume;
   if (opt.overload) {
     overload = RunOverload(pipeline, data, opt);
+    resume = RunResumeBench(pipeline, data);
   }
 
   std::printf("  \"transports\": {\n");
@@ -396,7 +518,10 @@ int Main(int argc, char** argv) {
     PrintResult(results[i], i + 1 == results.size());
   }
   std::printf("  }%s\n", opt.overload ? "," : "");
-  if (opt.overload) PrintOverload(overload);
+  if (opt.overload) {
+    PrintOverload(overload);
+    PrintResume(resume);
+  }
   std::printf("}\n");
   bench::PrintTelemetryBreakdown();
 
@@ -406,6 +531,15 @@ int Main(int argc, char** argv) {
                  "mismatches\n",
                  static_cast<unsigned long long>(overload.failures),
                  static_cast<unsigned long long>(overload.mismatches));
+    return 1;
+  }
+  if (opt.overload &&
+      (resume.resumptions < 3 || resume.queries_cancelled < 1)) {
+    std::fprintf(stderr,
+                 "bench_serving: resume bench engaged %llu resumptions, "
+                 "%llu cancellations\n",
+                 static_cast<unsigned long long>(resume.resumptions),
+                 static_cast<unsigned long long>(resume.queries_cancelled));
     return 1;
   }
   for (const TransportResult& r : results) {

@@ -1,7 +1,7 @@
 // pafs_client — query a running pafs_server over TCP or UDS:
 //
 //   pafs_client --connect=tcp:HOST:PORT|unix:PATH [--row=v1,v2,...]
-//               [--retries=N] [--retry-deadline=SECONDS] [...]
+//               [--retries=N] [--retry-deadline=SECONDS] [--no-resume]
 //
 // Each --row is one feature vector (discretized values in schema order,
 // comma-separated); with no --row flags, rows are read from stdin, one
@@ -12,7 +12,9 @@
 // sees the hidden features. On a transport fault, a BUSY shed, or a
 // server restart the client backs off and reconnects transparently
 // (--retries bounds attempts per operation, --retry-deadline the total
-// wall-clock budget; --retries=1 disables retry).
+// wall-clock budget; --retries=1 disables retry). Reconnects present the
+// server's resumption ticket to skip the base OTs; --no-resume (or
+// PAFS_NO_RESUME=1) forces every reconnect through a full handshake.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -34,6 +36,7 @@ int Usage() {
                "usage: pafs_client --connect=tcp:HOST:PORT|unix:PATH\n"
                "                   [--row=v1,v2,...] [--row=...]\n"
                "                   [--retries=N] [--retry-deadline=SECONDS]\n"
+               "                   [--no-resume]\n"
                "       (no --row: read comma-separated rows from stdin)\n");
   return 2;
 }
@@ -80,6 +83,8 @@ int main(int argc, char** argv) {
       config.retry.max_attempts = std::atoi(arg + 10);
     } else if (std::strncmp(arg, "--retry-deadline=", 17) == 0) {
       config.retry.deadline_seconds = std::strtod(arg + 17, nullptr);
+    } else if (std::strcmp(arg, "--no-resume") == 0) {
+      config.enable_resume = false;
     } else {
       return Usage();
     }
@@ -120,8 +125,9 @@ int main(int argc, char** argv) {
                   stats.wall_seconds * 1e3);
     }
     if (client.reconnects() > 0) {
-      std::fprintf(stderr, "(%llu transparent reconnects)\n",
-                   static_cast<unsigned long long>(client.reconnects()));
+      std::fprintf(stderr, "(%llu transparent reconnects, %llu resumed)\n",
+                   static_cast<unsigned long long>(client.reconnects()),
+                   static_cast<unsigned long long>(client.resumes()));
     }
     client.Close();
   } catch (const TransportError& e) {

@@ -3,7 +3,7 @@
 //   pafs_server <nb|tree|linear|forest> <train.csv> <budget>
 //               [--listen=tcp:HOST:PORT|unix:PATH] [--max-sessions=N]
 //               [--threads=N] [--max-pending=N] [--idle-timeout=SECONDS]
-//               [--breakdown]
+//               [--resume-cache=N] [--query-budget=SECONDS] [--breakdown]
 //
 // Trains the classifier, selects the privacy-aware disclosure plan under
 // the given risk budget, and serves secure classifications to concurrent
@@ -46,7 +46,12 @@ int Usage() {
       "                   [--listen=tcp:HOST:PORT|unix:PATH]\n"
       "                   [--max-sessions=N] [--threads=N]\n"
       "                   [--max-pending=N] [--idle-timeout=SECONDS]\n"
-      "                   [--breakdown]\n");
+      "                   [--resume-cache=N] [--query-budget=SECONDS]\n"
+      "                   [--breakdown]\n"
+      "  --resume-cache=N     suspended-session snapshots kept for ticket\n"
+      "                       resumption (0 disables resume tickets)\n"
+      "  --query-budget=S     watchdog cancels any single query running\n"
+      "                       longer than S seconds (0 = unlimited)\n");
   return 2;
 }
 
@@ -104,6 +109,10 @@ int main(int argc, char** argv) {
       server_config.max_pending_queries = std::atoi(arg + 14);
     } else if (std::strncmp(arg, "--idle-timeout=", 15) == 0) {
       server_config.idle_timeout_seconds = std::strtod(arg + 15, nullptr);
+    } else if (std::strncmp(arg, "--resume-cache=", 15) == 0) {
+      server_config.resume_cache_entries = std::atoi(arg + 15);
+    } else if (std::strncmp(arg, "--query-budget=", 15) == 0) {
+      server_config.query_budget_seconds = std::strtod(arg + 15, nullptr);
     } else if (std::strcmp(arg, "--breakdown") == 0) {
       breakdown = true;
       PafsTelemetry::Enable();
@@ -154,6 +163,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.sessions_failed),
                 static_cast<unsigned long long>(stats.sessions_reaped),
                 static_cast<unsigned long long>(stats.queries_shed));
+    std::printf("recovery: %llu resumptions (%llu ticket misses), "
+                "%llu replayed queries, %llu watchdog cancellations\n",
+                static_cast<unsigned long long>(stats.resumptions),
+                static_cast<unsigned long long>(stats.resume_misses),
+                static_cast<unsigned long long>(stats.replay_hits),
+                static_cast<unsigned long long>(stats.queries_cancelled));
   } catch (const TransportError& e) {
     std::fprintf(stderr, "server error: %s\n", e.what());
     return 1;

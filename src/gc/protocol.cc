@@ -46,6 +46,10 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
                     const BitVec& garbler_bits, OtExtSender& ot, Rng& rng,
                     GarblingScheme scheme, ThreadPool* pool) {
   PAFS_CHECK_EQ(garbler_bits.size(), circuit.garbler_inputs());
+  // Cancellation checkpoints bracket the compute-heavy stretches (base
+  // OTs, garbling): a supervisor's token stops the run before the next
+  // expensive phase even when no socket IO would observe it.
+  channel.ThrowIfCancelled("gc garbler setup");
   if (!ot.is_setup()) ot.Setup(channel, rng);
 
   Prg prg(Block(rng.NextU64(), rng.NextU64()));
@@ -54,6 +58,7 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
   BitVec output_decode;
   // 1. Garble and ship the tables. The SendBlocks never block on the
   // in-process channel, so gc.transfer measures serialization, not waits.
+  channel.ThrowIfCancelled("gc garble");
   if (scheme == GarblingScheme::kHalfGates) {
     GarbledCircuit gc = Garble(circuit, prg, pool);
     input_labels = std::move(gc.input_labels);
@@ -90,6 +95,7 @@ BitVec GcRunGarbler(Channel& channel, const Circuit& circuit,
   }
 
   // 3. Evaluator input labels via OT.
+  channel.ThrowIfCancelled("gc ot send");
   std::vector<std::array<Block, 2>> ot_messages(circuit.evaluator_inputs());
   for (uint32_t i = 0; i < circuit.evaluator_inputs(); ++i) {
     ot_messages[i] = input_labels[circuit.garbler_inputs() + i];

@@ -1,0 +1,33 @@
+// Cooperative cancellation for in-flight protocol runs. A supervisor (the
+// serving watchdog, a test harness) sets the token; the worker observes it
+// at its cancellation points — every SocketChannel Send/Recv slice (the
+// readiness poll wakes at least every 100 ms, bounding the latency) and
+// the explicit Channel::ThrowIfCancelled checkpoints inside compute-heavy
+// smc loops — and unwinds with ChannelError{kCancelled}. Unlike Close(),
+// cancellation leaves the socket usable, so the canceller can still push a
+// typed ReplyStatus::kCancelled frame to the peer before tearing down.
+//
+// Tokens are one-shot: a session that trips its token is closed, never
+// reused. The in-memory MemChannelPair does not poll tokens (its Recv is a
+// pure condvar wait); cancellation is a serving-layer/socket feature.
+#ifndef PAFS_NET_CANCEL_H_
+#define PAFS_NET_CANCEL_H_
+
+#include <atomic>
+
+namespace pafs {
+
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_NET_CANCEL_H_

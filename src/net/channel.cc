@@ -36,6 +36,15 @@ void CheckWireExpected(uint64_t n, uint64_t expected, const char* what) {
 
 }  // namespace
 
+void Channel::ThrowIfCancelled(const char* what) const {
+  const CancellationToken* token = cancellation_token();
+  if (token == nullptr || !token->cancelled()) return;
+  static obs::Counter& cancelled = obs::GetCounter("net.cancelled_errors");
+  cancelled.Add();
+  throw ChannelError(ChannelErrorKind::kCancelled,
+                     std::string(what) + " cancelled by supervisor");
+}
+
 void Channel::SendU64(uint64_t v) {
   uint8_t buf[8];
   for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));

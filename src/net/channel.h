@@ -19,6 +19,7 @@
 
 #include "bignum/bigint.h"
 #include "crypto/block.h"
+#include "net/cancel.h"
 #include "net/error.h"
 
 namespace pafs {
@@ -65,6 +66,19 @@ class Channel {
   // stays blocked past it raises ChannelError{kTimeout}. 0 = wait forever.
   virtual void set_recv_timeout_seconds(double seconds) { (void)seconds; }
 
+  // Attaches a cooperative cancellation token (not owned; must outlive the
+  // channel's use). SocketChannel polls it in every Send/Recv readiness
+  // slice; protocol loops add explicit ThrowIfCancelled checkpoints where
+  // compute dominates IO. Decorators override to forward to their inner
+  // transport as well, so setting the token on the outermost layer arms
+  // the whole stack. nullptr detaches.
+  virtual void set_cancellation_token(const CancellationToken* token) {
+    cancel_token_ = token;
+  }
+  const CancellationToken* cancellation_token() const { return cancel_token_; }
+  // Raises ChannelError{kCancelled} if the attached token has fired.
+  void ThrowIfCancelled(const char* what) const;
+
   // Cap enforced by the length-prefixed decode helpers below.
   void set_max_message_bytes(uint64_t cap) { max_message_bytes_ = cap; }
   uint64_t max_message_bytes() const { return max_message_bytes_; }
@@ -91,6 +105,7 @@ class Channel {
 
  private:
   uint64_t max_message_bytes_ = kDefaultMaxMessageBytes;
+  const CancellationToken* cancel_token_ = nullptr;
 };
 
 // In-memory duplex queue shared by a pair of endpoints.

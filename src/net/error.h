@@ -21,8 +21,9 @@ class TransportError : public std::runtime_error {
 };
 
 enum class ChannelErrorKind {
-  kClosed,   // The peer (or a supervisor) shut the channel down.
-  kTimeout,  // A Recv deadline expired with the peer silent.
+  kClosed,     // The peer (or a supervisor) shut the channel down.
+  kTimeout,    // A Recv deadline expired with the peer silent.
+  kCancelled,  // A CancellationToken fired mid-operation (net/cancel.h).
 };
 
 // The channel itself failed: the peer is gone or stalled. The payload that

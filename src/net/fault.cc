@@ -60,15 +60,19 @@ FaultPlan FaultPlan::FromEnv() {
   plan.first_op = EnvU64("PAFS_FAULT_OP", plan.first_op);
   plan.max_faults = EnvU64("PAFS_FAULT_MAX", plan.max_faults);
   plan.delay_seconds = EnvDouble("PAFS_FAULT_DELAY", plan.delay_seconds);
+  plan.target_len = EnvU64("PAFS_FAULT_LEN", plan.target_len);
   return plan;
 }
 
-FaultKind FaultInjector::NextSendFault() {
+FaultKind FaultInjector::NextSendFault(size_t send_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t op = op_++;
   double draw = rng_.NextDouble();  // Always draw: schedule is seed-only.
   if (!plan_.enabled()) return FaultKind::kNone;
   if (op < plan_.first_op) return FaultKind::kNone;
+  if (plan_.target_len != 0 && send_bytes != plan_.target_len) {
+    return FaultKind::kNone;  // Not the targeted frame; budget untouched.
+  }
   if (plan_.max_faults != 0 && injected_ >= plan_.max_faults) {
     return FaultKind::kNone;
   }
@@ -88,7 +92,7 @@ uint64_t FaultInjector::NextCorruptBit(uint64_t bound) {
 }
 
 void FaultInjectingChannel::Send(const uint8_t* data, size_t n) {
-  FaultKind fault = injector_.NextSendFault();
+  FaultKind fault = injector_.NextSendFault(n);
   if (fault != FaultKind::kNone) {
     static obs::Counter& injected = obs::GetCounter("faults.injected");
     injected.Add();

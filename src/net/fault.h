@@ -45,12 +45,19 @@ struct FaultPlan {
   uint64_t first_op = 0;     // Sends before this index never fault.
   uint64_t max_faults = 1;   // Total budget; 0 = unlimited.
   double delay_seconds = 0.05;  // Sleep for kDelay.
+  // Frame targeting: only sends whose payload is exactly this many bytes
+  // may fault (0 = any length). Distinctive sizes pick out specific frames
+  // — a v3 resumption-ticket frame under CRC framing is 40 bytes (8-byte
+  // length prefix + 32-byte ticket), so target_len=40 aims the fault
+  // matrix straight at the resumption path.
+  uint64_t target_len = 0;
 
   bool enabled() const { return kind != FaultKind::kNone && probability > 0; }
 
   // Reads PAFS_FAULT_KIND, PAFS_FAULT_SEED, PAFS_FAULT_PROB, PAFS_FAULT_OP,
-  // PAFS_FAULT_MAX; unset variables keep the defaults above. Lets any bench
-  // or demo binary run under faults without new flags.
+  // PAFS_FAULT_MAX, PAFS_FAULT_LEN; unset variables keep the defaults
+  // above. Lets any bench or demo binary run under faults without new
+  // flags.
   static FaultPlan FromEnv();
 };
 
@@ -61,10 +68,11 @@ class FaultInjector {
   explicit FaultInjector(const FaultPlan& plan)
       : plan_(plan), rng_(plan.seed) {}
 
-  // Decides the fate of the next Send. Draws from the RNG on *every* op so
-  // the firing schedule depends only on the seed, not on which ops were
-  // past first_op or whether the budget ran out.
-  FaultKind NextSendFault();
+  // Decides the fate of the next Send of `send_bytes` payload bytes. Draws
+  // from the RNG on *every* op so the firing schedule depends only on the
+  // seed, not on which ops were past first_op, matched target_len, or
+  // whether the budget ran out.
+  FaultKind NextSendFault(size_t send_bytes);
 
   uint64_t injected() const;
   const FaultPlan& plan() const { return plan_; }
@@ -92,6 +100,10 @@ class FaultInjectingChannel : public Channel {
   bool closed() const override { return inner_.closed(); }
   void set_recv_timeout_seconds(double seconds) override {
     inner_.set_recv_timeout_seconds(seconds);
+  }
+  void set_cancellation_token(const CancellationToken* token) override {
+    Channel::set_cancellation_token(token);
+    inner_.set_cancellation_token(token);
   }
   const ChannelStats& stats() const override { return inner_.stats(); }
 

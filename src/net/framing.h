@@ -35,6 +35,10 @@ class FramedChannel : public Channel {
   void set_recv_timeout_seconds(double seconds) override {
     inner_.set_recv_timeout_seconds(seconds);
   }
+  void set_cancellation_token(const CancellationToken* token) override {
+    Channel::set_cancellation_token(token);  // For our own checkpoints.
+    inner_.set_cancellation_token(token);    // For the transport's slices.
+  }
   // Stats are the inner channel's and therefore include the 8-byte frame
   // headers; fault-tolerant runs trade that overhead for detection.
   const ChannelStats& stats() const override { return inner_.stats(); }

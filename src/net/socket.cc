@@ -153,6 +153,9 @@ void SocketChannel::WaitReady(short events, double timeout_seconds,
       timeout_seconds > 0 ? MonotonicSeconds() + timeout_seconds : 0;
   for (;;) {
     if (closed()) ThrowClosed(std::string(what) + " on closed channel");
+    // Cancellation point: the ≤100 ms poll slices below bound how long a
+    // blocked operation can outlive its token.
+    ThrowIfCancelled(what.c_str());
     int poll_ms = -1;
     if (deadline > 0) {
       double remain = deadline - MonotonicSeconds();
@@ -178,6 +181,7 @@ void SocketChannel::WaitReady(short events, double timeout_seconds,
 }
 
 void SocketChannel::Send(const uint8_t* data, size_t n) {
+  ThrowIfCancelled("send");
   size_t sent = 0;
   while (sent < n) {
     if (closed()) ThrowClosed("send on closed channel");
@@ -212,6 +216,7 @@ void SocketChannel::Send(const uint8_t* data, size_t n) {
 }
 
 void SocketChannel::Recv(uint8_t* data, size_t n) {
+  ThrowIfCancelled("recv");
   size_t got = 0;
   while (got < n) {
     ssize_t rc = ::recv(fd_, data + got, n - got, 0);

@@ -24,6 +24,8 @@ class OtExtSender {
  public:
   // Runs the base-OT phase (acting as base-OT *receiver* with random
   // choice bits s). Must pair with OtExtReceiver::Setup on the other side.
+  // Counted in ot.base.setups — resumption tests assert this stays flat
+  // across a ticket reconnect.
   void Setup(Channel& channel, Rng& rng);
 
   // Transfers messages[j][0] / messages[j][1]; the receiver's choice bit
@@ -37,6 +39,14 @@ class OtExtSender {
   void SendBits(Channel& channel, const BitVec& bits0, const BitVec& bits1);
 
   bool is_setup() const { return !column_prgs_.empty(); }
+
+  // Full-state checkpoint/restore (choice bits, per-column PRG positions,
+  // hash tweak). A restored sender continues the extension exactly where
+  // its peer's restored receiver does, with no new base OTs — the payload
+  // of serving-layer session resumption. Snapshots are trusted in-process
+  // bytes, never wire data.
+  std::vector<uint8_t> Serialize() const;
+  static OtExtSender Deserialize(const std::vector<uint8_t>& bytes);
 
  private:
   Block s_block_;
@@ -57,6 +67,10 @@ class OtExtReceiver {
   BitVec RecvBits(Channel& channel, const BitVec& choices);
 
   bool is_setup() const { return !column_prgs0_.empty(); }
+
+  // Checkpoint/restore mirroring OtExtSender::Serialize.
+  std::vector<uint8_t> Serialize() const;
+  static OtExtReceiver Deserialize(const std::vector<uint8_t>& bytes);
 
  private:
   std::vector<Prg> column_prgs0_;

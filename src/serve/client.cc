@@ -12,6 +12,7 @@
 #include "smc/secure_forest.h"
 #include "smc/secure_tree.h"
 #include "util/check.h"
+#include "util/serial.h"
 #include "util/timer.h"
 
 namespace pafs::serve {
@@ -22,6 +23,7 @@ ClassificationClient::ClassificationClient(const ClientConfig& config)
   // its budget across sessions: a max_faults=1 plan fires once, the retry
   // runs clean, and "one fault, zero client-visible failures" is testable.
   if (config_.fault_plan.enabled()) injector_.emplace(config_.fault_plan);
+  if (ResumeDisabledByEnv()) config_.enable_resume = false;
   Timer deadline;
   for (int attempt = 1;; ++attempt) {
     try {
@@ -58,8 +60,9 @@ void ClassificationClient::ConnectOnce() {
   obs::TraceSpan span("serve.client.handshake");
   uint64_t status;
   try {
-    framed_->SendU64(kWireMagic);
-    framed_->SendU64(kWireVersion);
+    ClientHello hello;
+    if (config_.enable_resume) hello.ticket = ticket_;
+    SendClientHello(*framed_, hello);
     status = framed_->RecvU64();
   } catch (const ChannelError&) {
     // A reject-and-close can race our hello mid-send. The server's status
@@ -70,6 +73,21 @@ void ClassificationClient::ConnectOnce() {
   }
   if (status == static_cast<uint64_t>(ReplyStatus::kBusy)) {
     throw ServerBusyError("serve client: server is saturated, backing off");
+  }
+  if (status == static_cast<uint64_t>(ReplyStatus::kResumed)) {
+    // Ticket hit: the server restored our session's snapshot, so we rewind
+    // to the matching client state. No setup and no base OTs follow — only
+    // the rotated ticket (the presented one is spent).
+    if (ticket_.empty() || ot_snapshot_.empty()) {
+      throw ProtocolError("serve client: unsolicited resume");
+    }
+    ticket_ = RecvTicketFrame(*framed_);
+    RestoreSnapshot();
+    ++resumes_;
+    static obs::Counter& resumed = obs::GetCounter("serve.client.resumes");
+    resumed.Add();
+    open_ = true;
+    return;
   }
   if (status != static_cast<uint64_t>(ReplyStatus::kOk)) {
     throw ProtocolError("serve client: server refused the session");
@@ -95,8 +113,44 @@ void ClassificationClient::ConnectOnce() {
   // bound to the dead session's sender. (Paillier keys are client-local
   // and survive reconnects.)
   ot_ = OtExtReceiver();
+  // The ticket frame closes the fresh handshake; empty means the server
+  // runs with resumption disabled.
+  ticket_ = RecvTicketFrame(*framed_);
+  if (!config_.enable_resume) ticket_.clear();
+  // Fresh session: query ids restart and the snapshot pairs with the
+  // server's post-handshake cache entry.
+  next_query_id_ = 1;
+  if (ticket_.empty()) {
+    ForgetResumeState();
+  } else {
+    SnapshotState();
+  }
   open_ = true;
 }
+
+void ClassificationClient::SnapshotState() {
+  ot_snapshot_ = ot_.Serialize();
+  rng_snapshot_.clear();
+  ByteWriter writer(&rng_snapshot_);
+  rng_.Serialize(writer);
+  snapshot_next_query_id_ = next_query_id_;
+}
+
+void ClassificationClient::RestoreSnapshot() {
+  ot_ = OtExtReceiver::Deserialize(ot_snapshot_);
+  ByteReader reader(rng_snapshot_);
+  rng_ = Rng::Deserialize(reader);
+  next_query_id_ = snapshot_next_query_id_;
+}
+
+void ClassificationClient::ForgetResumeState() {
+  ticket_.clear();
+  ot_snapshot_.clear();
+  rng_snapshot_.clear();
+  snapshot_next_query_id_ = 1;
+}
+
+void ClassificationClient::DropConnection() noexcept { Abandon(); }
 
 void ClassificationClient::Abandon() noexcept {
   open_ = false;
@@ -170,6 +224,9 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
   uint64_t rounds_before = socket_->stats().direction_flips;
   Channel& ch = *framed_;
   ch.SendU64(static_cast<uint64_t>(RequestTag::kQuery));
+  // The id makes retries idempotent: a resend of an already-executed id is
+  // answered from the server's reply cache, never executed twice.
+  ch.SendU64(next_query_id_);
   {
     obs::TraceSpan disclose("disclose");
     for (int f : setup_.plan_features) {
@@ -182,6 +239,20 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
   uint64_t admitted = ch.RecvU64();
   if (admitted == static_cast<uint64_t>(ReplyStatus::kBusy)) {
     throw ServerBusyError("serve client: query shed, server saturated");
+  }
+  if (admitted == static_cast<uint64_t>(ReplyStatus::kResync)) {
+    // The server executed this id but its replay transcript is gone. Drop
+    // every piece of resume state so the retry builds a fresh session
+    // (query ids restart at 1); queries are pure, so re-running the query
+    // on a fresh session cannot double-apply anything.
+    ForgetResumeState();
+    next_query_id_ = 1;
+    throw ChannelError(ChannelErrorKind::kClosed,
+                       "serve client: replay state lost, resyncing");
+  }
+  if (admitted == static_cast<uint64_t>(ReplyStatus::kCancelled)) {
+    throw ChannelError(ChannelErrorKind::kCancelled,
+                       "serve client: query cancelled by server watchdog");
   }
   if (admitted != static_cast<uint64_t>(ReplyStatus::kOk)) {
     throw ProtocolError("serve client: malformed admission ack");
@@ -201,6 +272,10 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
       if (!keys_.has_value()) {
         obs::TraceSpan keygen("paillier.keygen");
         keys_.emplace(GeneratePaillierKey(rng_, setup_.paillier_bits));
+        // Keygen consumed rng_ draws; refresh the snapshot so a resume of
+        // this very query replays from the post-keygen stream (keys_ is
+        // kept across reconnects and never regenerated).
+        if (!ticket_.empty()) SnapshotState();
       }
       stats = linear_spec_->RunClient(ch, *keys_, row, ot_, rng_,
                                       setup_.scheme);
@@ -212,10 +287,27 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
       break;
     }
   }
+  // Completion ack — the commit point. Until this frame arrives the query
+  // is not done client-side, so a connection lost here leaves the client
+  // one query *behind* the server and the retry of the same id is served
+  // as a replay. (Committing on our final protocol send instead would let
+  // a dropped send commit the client ahead of the server — unresolvable.)
+  uint64_t fin = ch.RecvU64();
+  if (fin == static_cast<uint64_t>(ReplyStatus::kCancelled)) {
+    throw ChannelError(ChannelErrorKind::kCancelled,
+                       "serve client: query cancelled by server watchdog");
+  }
+  if (fin != static_cast<uint64_t>(ReplyStatus::kOk)) {
+    throw ProtocolError("serve client: malformed completion ack");
+  }
   stats.bytes = socket_->stats().bytes_sent +
                 socket_->stats().bytes_received - bytes_before;
   stats.rounds = socket_->stats().direction_flips - rounds_before;
   stats.wall_seconds = timer.ElapsedSeconds();
+  ++next_query_id_;
+  // Checkpoint post-success state: a reconnect-with-ticket rewinds here,
+  // exactly matching the server's refreshed cache entry.
+  if (!ticket_.empty()) SnapshotState();
   return stats;
 }
 

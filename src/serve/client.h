@@ -14,6 +14,7 @@
 #ifndef PAFS_SERVE_CLIENT_H_
 #define PAFS_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -59,6 +60,10 @@ struct ClientConfig {
   // injection stack), so serving tests and benches can prove the retry
   // path absorbs drops/corruption/disconnects end to end.
   FaultPlan fault_plan;
+  // Session resumption: present the server-issued ticket on reconnect and
+  // restore the post-last-success crypto snapshot, skipping the base OTs.
+  // false (or PAFS_NO_RESUME=1) always re-handshakes from scratch.
+  bool enable_resume = true;
 };
 
 class ClassificationClient {
@@ -101,6 +106,14 @@ class ClassificationClient {
   uint64_t reconnects() const { return reconnects_; }
   // Query attempts that failed and were retried (serve.client.retries).
   uint64_t retries() const { return retries_; }
+  // Reconnects answered kResumed: the ticket hit and the base OTs were
+  // skipped (serve.client.resumes).
+  uint64_t resumes() const { return resumes_; }
+
+  // Test/bench hook: severs the connection as a crash would (no bye, no
+  // close handshake). The next Classify reconnects — with the resumption
+  // ticket when one is held. Safe to call at any time.
+  void DropConnection() noexcept;
 
   const ChannelStats& wire_stats() const { return socket_->stats(); }
 
@@ -116,6 +129,13 @@ class ClassificationClient {
   // policy's attempts/deadline budget is spent.
   void BackoffOrRethrow(int attempt, double elapsed_seconds);
   SmcRunStats QueryOnce(const std::vector<int>& row);
+  // Checkpoints ot_/rng_/next_query_id_ so a later kResumed handshake can
+  // rewind to exactly the state the server's cached snapshot pairs with.
+  void SnapshotState();
+  void RestoreSnapshot();
+  // Discards the ticket and snapshots (after kResync or when the server
+  // runs with resumption disabled); the next reconnect is a full handshake.
+  void ForgetResumeState();
 
   ClientConfig config_;
   SessionSetup setup_;
@@ -128,10 +148,18 @@ class ClassificationClient {
   std::optional<PaillierKeyPair> keys_;  // Lazily generated (kLinear only).
   OtExtReceiver ot_;
   Rng rng_;
+  // Resumption state: the live ticket plus the serialized crypto snapshot
+  // taken after the handshake and after every successful query.
+  std::vector<uint8_t> ticket_;
+  std::vector<uint8_t> ot_snapshot_;
+  std::vector<uint8_t> rng_snapshot_;
+  uint64_t snapshot_next_query_id_ = 1;
+  uint64_t next_query_id_ = 1;  // Stamped on the next kQuery frame.
   bool open_ = false;      // Current session is live.
   bool finished_ = false;  // Close() was called; no further queries.
   uint64_t reconnects_ = 0;
   uint64_t retries_ = 0;
+  uint64_t resumes_ = 0;
 };
 
 }  // namespace pafs::serve

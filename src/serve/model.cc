@@ -1,5 +1,6 @@
 #include "serve/model.h"
 
+#include <cstdlib>
 #include <string>
 
 #include "net/error.h"
@@ -102,6 +103,50 @@ SessionSetup RecvSessionSetup(Channel& channel) {
     setup.plan_features.push_back(static_cast<int>(f));
   }
   return setup;
+}
+
+void SendClientHello(Channel& channel, const ClientHello& hello) {
+  channel.SendU64(hello.magic);
+  channel.SendU64(hello.version);
+  channel.SendBytes(hello.ticket);
+}
+
+ClientHello RecvClientHello(Channel& channel) {
+  ClientHello hello;
+  hello.magic = channel.RecvU64();
+  if (hello.magic != kWireMagic) {
+    throw ProtocolError("serve: bad hello magic " +
+                        std::to_string(hello.magic));
+  }
+  hello.version = channel.RecvU64();
+  if (hello.version != kWireVersion) {
+    throw ProtocolError("serve: bad hello version " +
+                        std::to_string(hello.version));
+  }
+  hello.ticket = channel.RecvBytes();
+  if (!hello.ticket.empty() && hello.ticket.size() != kResumeTicketBytes) {
+    throw ProtocolError("serve: hello ticket is " +
+                        std::to_string(hello.ticket.size()) +
+                        " bytes, expected 0 or " +
+                        std::to_string(kResumeTicketBytes));
+  }
+  return hello;
+}
+
+std::vector<uint8_t> RecvTicketFrame(Channel& channel) {
+  std::vector<uint8_t> ticket = channel.RecvBytes();
+  if (!ticket.empty() && ticket.size() != kResumeTicketBytes) {
+    throw ProtocolError("serve: ticket frame is " +
+                        std::to_string(ticket.size()) +
+                        " bytes, expected 0 or " +
+                        std::to_string(kResumeTicketBytes));
+  }
+  return ticket;
+}
+
+bool ResumeDisabledByEnv() {
+  const char* v = std::getenv("PAFS_NO_RESUME");
+  return v != nullptr && std::strtoull(v, nullptr, 10) != 0;
 }
 
 }  // namespace pafs::serve

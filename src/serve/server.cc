@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "smc/secure_forest.h"
 #include "smc/secure_tree.h"
 #include "util/check.h"
+#include "util/serial.h"
 #include "util/timer.h"
 
 namespace pafs::serve {
@@ -26,6 +28,7 @@ namespace {
 // reserved high values — the loop's own wake token is ~0ull).
 constexpr uint64_t kListenerToken = 0;
 constexpr uint64_t kReaperToken = ~0ull - 1;
+constexpr uint64_t kWatchdogToken = ~0ull - 2;
 
 std::map<int, int> PlaceholderDisclosure(const std::vector<int>& plan) {
   std::map<int, int> key_map;
@@ -61,6 +64,56 @@ void TrySendStatusFrame(int fd, ReplyStatus status) {
   (void)::send(fd, frame, sizeof(frame), MSG_NOSIGNAL | MSG_DONTWAIT);
 }
 
+// Decorator that records every payload crossing the session's framed
+// channel during one query into a QueryTranscript, so a retry of that
+// query id can be answered byte-for-byte without re-running the protocol
+// (re-running would advance the session's OT/RNG streams a second time and
+// desynchronize them from the client's). Recording is capped: a query
+// bigger than the cap simply keeps no transcript, and its retry is
+// answered with kResync instead.
+class RecordingChannel final : public Channel {
+ public:
+  RecordingChannel(Channel& inner, QueryTranscript* transcript,
+                   uint64_t max_bytes)
+      : inner_(inner), transcript_(transcript), max_bytes_(max_bytes) {
+    // Protocol code calls ThrowIfCancelled on the channel it was handed
+    // (us), so mirror the session token the framed channel carries.
+    Channel::set_cancellation_token(inner.cancellation_token());
+  }
+
+  void Send(const uint8_t* data, size_t n) override {
+    Record(/*is_send=*/true, data, n);
+    inner_.Send(data, n);
+  }
+  void Recv(uint8_t* data, size_t n) override {
+    inner_.Recv(data, n);
+    Record(/*is_send=*/false, data, n);
+  }
+  void Close() override { inner_.Close(); }
+  bool closed() const override { return inner_.closed(); }
+  const ChannelStats& stats() const override { return inner_.stats(); }
+
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  void Record(bool is_send, const uint8_t* data, size_t n) {
+    if (overflowed_) return;
+    if (transcript_->total_bytes + n > max_bytes_) {
+      overflowed_ = true;
+      transcript_->ops.clear();
+      transcript_->total_bytes = 0;
+      return;
+    }
+    transcript_->ops.push_back({is_send, std::vector<uint8_t>(data, data + n)});
+    transcript_->total_bytes += n;
+  }
+
+  Channel& inner_;
+  QueryTranscript* transcript_;
+  uint64_t max_bytes_;
+  bool overflowed_ = false;
+};
+
 }  // namespace
 
 ClassificationServer::Session::Session(uint64_t id,
@@ -70,7 +123,12 @@ ClassificationServer::Session::Session(uint64_t id,
       socket(std::move(sock)),
       framed(std::make_unique<FramedChannel>(*socket)),
       rng(seed ^ (id * 0x9E3779B97F4A7C15ull)),
-      last_activity(std::chrono::steady_clock::now()) {}
+      last_activity(std::chrono::steady_clock::now()) {
+  // Arm the whole channel stack with this session's token: the watchdog
+  // cancels a wedged worker by firing it, and the socket's readiness
+  // slices observe it within ~100 ms even while blocked.
+  framed->set_cancellation_token(&cancel);
+}
 
 ClassificationServer::ClassificationServer(ServingModel model,
                                            ServerConfig config)
@@ -84,6 +142,22 @@ ClassificationServer::ClassificationServer(ServingModel model,
   config_.recv_timeout_seconds = std::max(config_.recv_timeout_seconds, 1e-3);
   config_.max_pending_queries = std::max(config_.max_pending_queries, 0);
   config_.idle_timeout_seconds = std::max(config_.idle_timeout_seconds, 0.0);
+  config_.resume_cache_entries = std::max(config_.resume_cache_entries, 0);
+  config_.resume_ticket_ttl_seconds =
+      std::max(config_.resume_ticket_ttl_seconds, 0.0);
+  config_.query_budget_seconds = std::max(config_.query_budget_seconds, 0.0);
+  if (config_.resume_cache_entries == 0 || ResumeDisabledByEnv()) {
+    config_.enable_resumption = false;
+  }
+  if (config_.enable_resumption) {
+    // Tickets must be unguessable, so the ticket PRG is seeded from OS
+    // entropy, never from the deterministic config seed.
+    std::random_device rd;
+    auto word = [&rd] {
+      return (static_cast<uint64_t>(rd()) << 32) | static_cast<uint64_t>(rd());
+    };
+    ticket_prg_.emplace(Block(word(), word()));
+  }
   const auto& setup = model_.setup;
   if (setup.classifier == ClassifierKind::kNaiveBayes) {
     nb_spec_ = std::make_unique<SecureNbCircuit>(
@@ -112,6 +186,12 @@ void ClassificationServer::Start() {
     // the loop and above so a long timeout still reaps promptly.
     double tick = std::clamp(config_.idle_timeout_seconds / 4.0, 0.01, 1.0);
     loop_->AddTimer(kReaperToken, tick, [this] { ReapIdleSessions(); });
+  }
+  if (config_.query_budget_seconds > 0) {
+    // Watchdog: same tick rationale as the reaper — a budget overrun is
+    // cancelled within ~1.25x of the budget.
+    double tick = std::clamp(config_.query_budget_seconds / 4.0, 0.01, 1.0);
+    loop_->AddTimer(kWatchdogToken, tick, [this] { CancelOverdueQueries(); });
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -240,11 +320,29 @@ void ClassificationServer::ServeSession(const std::shared_ptr<Session>& s) {
   bool failed = false;
   try {
     keep = ServeOne(*s);
+  } catch (const ChannelError& e) {
+    keep = false;
+    failed = true;
+    if (e.kind() == ChannelErrorKind::kCancelled) {
+      // The watchdog fired this session's token and the worker unwound
+      // mid-protocol. The socket is still healthy (cancellation never
+      // closes it), so the peer gets a typed kCancelled frame before the
+      // close instead of having to read tea leaves from a reset.
+      TrySendStatusFrame(s->socket->fd(), ReplyStatus::kCancelled);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.queries_cancelled;
+      }
+      static obs::Counter& cancelled =
+          obs::GetCounter("serve.queries_cancelled");
+      cancelled.Add();
+    }
   } catch (const TransportError&) {
     keep = false;
     failed = true;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  s->in_query = false;
   --busy_;
   if (keep && !draining_ && !s->socket->closed()) {
     s->state = SessionState::kIdle;
@@ -268,8 +366,26 @@ bool ClassificationServer::ServeOne(Session& s) {
       throw ProtocolError("serve: bad hello (magic " + std::to_string(magic) +
                           ", version " + std::to_string(version) + ")");
     }
-    ch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
-    SendSessionSetup(ch, model_.setup);
+    std::vector<uint8_t> ticket = ch.RecvBytes();
+    if (!ticket.empty() && ticket.size() != kResumeTicketBytes) {
+      ch.SendU64(static_cast<uint64_t>(ReplyStatus::kRejected));
+      throw ProtocolError("serve: hello ticket is " +
+                          std::to_string(ticket.size()) +
+                          " bytes, expected 0 or " +
+                          std::to_string(kResumeTicketBytes));
+    }
+    if (!ticket.empty() && TryResumeSession(s, ticket)) {
+      // Ticket hit: the session's crypto state is restored, so no setup
+      // and no base OTs follow — only a fresh (rotated) ticket.
+      ch.SendU64(static_cast<uint64_t>(ReplyStatus::kResumed));
+      IssueTicket(s, ch);
+    } else {
+      // Fresh session, or a ticket that expired/was evicted/was forged:
+      // transparently degrade to the full handshake.
+      ch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
+      SendSessionSetup(ch, model_.setup);
+      IssueTicket(s, ch);
+    }
     s.handshaken = true;
     s.state = SessionState::kIdle;
     return true;
@@ -296,11 +412,62 @@ bool ClassificationServer::ServeOne(Session& s) {
 
 void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
   obs::TraceSpan span("serve.query");
+  // At-most-once state machine on the client-stamped query id:
+  //   id == next      -> execute live (and record the transcript),
+  //   id == next - 1  -> a retry of the query we already executed; replay
+  //                      the recorded reply, or kResync if it is gone,
+  //   anything else   -> the peer is out of step beyond what retries can
+  //                      produce; fail the session typed.
+  uint64_t query_id = ch.RecvU64();
+  if (query_id == s.next_query_id) {
+    ExecuteQuery(s, ch, query_id);
+    return;
+  }
+  if (query_id + 1 == s.next_query_id) {
+    if (s.transcript != nullptr && s.transcript->query_id == query_id &&
+        !s.transcript->ops.empty()) {
+      ReplayQuery(s, ch, *s.transcript);
+      return;
+    }
+    // The transcript is gone (query overflowed max_replay_bytes). Drain
+    // the retry's disclosures off the wire, then answer kResync in the
+    // admission slot: the client discards its resume state and rebuilds a
+    // fresh session. The current session stays healthy.
+    for (size_t i = 0; i < model_.setup.plan_features.size(); ++i) {
+      (void)ch.RecvU64();
+    }
+    ch.SendU64(static_cast<uint64_t>(ReplyStatus::kResync));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.resyncs;
+    }
+    static obs::Counter& resyncs = obs::GetCounter("serve.resyncs");
+    resyncs.Add();
+    return;
+  }
+  throw ProtocolError("serve: query id " + std::to_string(query_id) +
+                      " out of step (expected " +
+                      std::to_string(s.next_query_id) + ")");
+}
+
+void ClassificationServer::ExecuteQuery(Session& s, Channel& ch,
+                                        uint64_t query_id) {
   Timer timer;
+  {
+    // Arm the watchdog: from here until the final stanza this session is
+    // cancellable if it exceeds query_budget_seconds.
+    std::lock_guard<std::mutex> lock(mu_);
+    s.in_query = true;
+    s.query_start = std::chrono::steady_clock::now();
+  }
+  auto transcript = std::make_shared<QueryTranscript>();
+  transcript->query_id = query_id;
+  RecordingChannel rec(ch, transcript.get(), config_.max_replay_bytes);
+  Channel& qch = rec;
   const SessionSetup& setup = model_.setup;
   std::map<int, int> disclosed;
   for (int f : setup.plan_features) {
-    uint64_t v = ch.RecvU64();
+    uint64_t v = qch.RecvU64();
     if (v >= static_cast<uint64_t>(setup.features[f].cardinality)) {
       throw ProtocolError("serve: disclosed value " + std::to_string(v) +
                           " out of range for " + setup.features[f].name);
@@ -310,10 +477,10 @@ void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
   // Admission ack: the request was read and a worker is running it. The
   // shed path answers the same slot in the conversation with kBusy, so a
   // client always learns its query's fate from this one frame.
-  ch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
+  qch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
   switch (setup.classifier) {
     case ClassifierKind::kNaiveBayes: {
-      SecureNbRunServer(ch, *nb_spec_, model_.nb, disclosed, s.ot, s.rng,
+      SecureNbRunServer(qch, *nb_spec_, model_.nb, disclosed, s.ot, s.rng,
                         setup.scheme);
       break;
     }
@@ -321,11 +488,11 @@ void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
       DecisionTree specialized = model_.tree.Specialize(disclosed);
       SecureTreeCircuit spec(specialized, setup.features, setup.num_classes,
                              disclosed);
-      SecureTreeRunServer(ch, spec, specialized, s.ot, s.rng, setup.scheme);
+      SecureTreeRunServer(qch, spec, specialized, s.ot, s.rng, setup.scheme);
       break;
     }
     case ClassifierKind::kLinear: {
-      linear_spec_->RunServer(ch, model_.linear, disclosed, s.ot, s.rng,
+      linear_spec_->RunServer(qch, model_.linear, disclosed, s.ot, s.rng,
                               setup.scheme);
       break;
     }
@@ -333,19 +500,158 @@ void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
       RandomForest specialized = model_.forest.Specialize(disclosed);
       SecureForestCircuit spec(specialized, setup.features, setup.num_classes,
                                disclosed);
-      SecureForestRunServer(ch, spec, specialized, s.ot, s.rng, setup.scheme);
+      SecureForestRunServer(qch, spec, specialized, s.ot, s.rng, setup.scheme);
       break;
     }
   }
   ++s.queries;
+  s.next_query_id = query_id + 1;
+  s.transcript = rec.overflowed() ? nullptr : transcript;
+  // Refresh the snapshot (covering this query's OT/RNG advancement) before
+  // the completion ack releases the client: an acked client may instantly
+  // reconnect with the ticket and must hit the post-query entry. The entry
+  // shares this transcript object, so the ack recorded below is replayed
+  // too.
+  RefreshResumeEntry(s);
+  // Completion ack — the client's commit point. Because the server commits
+  // strictly first, its state is never *behind* the client's: a lost ack
+  // leaves the server exactly one query ahead, which the retry of the same
+  // id resolves as a replay, never as an out-of-step failure.
+  qch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
   {
     std::lock_guard<std::mutex> lock(mu_);
+    s.in_query = false;
     ++stats_.queries_served;
   }
   static obs::Counter& served = obs::GetCounter("serve.queries_served");
   served.Add();
   static obs::Histogram& latency = obs::GetHistogram("serve.query.seconds");
   latency.Record(timer.ElapsedSeconds());
+}
+
+void ClassificationServer::ReplayQuery(Session& s, Channel& ch,
+                                       const QueryTranscript& transcript) {
+  obs::TraceSpan span("serve.replay");
+  // Drive the recorded conversation: our sends verbatim, the peer's sends
+  // checked byte-for-byte. A retry of the same query from the same client
+  // snapshot is deterministic, so any divergence means the peer is not
+  // replaying what it claims to be — fail the session typed.
+  for (const QueryTranscript::Op& op : transcript.ops) {
+    if (op.is_send) {
+      ch.Send(op.bytes.data(), op.bytes.size());
+      continue;
+    }
+    std::vector<uint8_t> got(op.bytes.size());
+    if (!got.empty()) ch.Recv(got.data(), got.size());
+    if (got != op.bytes) {
+      throw ProtocolError("serve: replay divergence on query " +
+                          std::to_string(transcript.query_id));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.replay_hits;
+  }
+  static obs::Counter& hits = obs::GetCounter("serve.replay_hits");
+  hits.Add();
+}
+
+bool ClassificationServer::TryResumeSession(Session& s,
+                                            const std::vector<uint8_t>& ticket) {
+  std::array<uint8_t, kResumeTicketBytes> key{};
+  std::copy(ticket.begin(), ticket.end(), key.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto miss = [this] {
+    ++stats_.resume_misses;
+    static obs::Counter& misses = obs::GetCounter("serve.resume_misses");
+    misses.Add();
+    return false;
+  };
+  if (!config_.enable_resumption) return miss();
+  auto it = resume_cache_.find(key);
+  if (it == resume_cache_.end()) return miss();  // Evicted, replayed, forged.
+  // Consume-on-use: hit or expired, a presented ticket is spent, so a
+  // later replay of the same bytes cannot touch this state again.
+  ResumeEntry entry = std::move(it->second);
+  resume_cache_.erase(it);
+  if (config_.resume_ticket_ttl_seconds > 0 &&
+      std::chrono::steady_clock::now() - entry.stored_at >
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  config_.resume_ticket_ttl_seconds))) {
+    return miss();
+  }
+  s.ot = OtExtSender::Deserialize(entry.ot_state);
+  ByteReader rng_reader(entry.rng_state);
+  s.rng = Rng::Deserialize(rng_reader);
+  s.next_query_id = entry.next_query_id;
+  s.queries = entry.queries;
+  s.transcript = std::move(entry.transcript);
+  ++stats_.resumptions;
+  static obs::Counter& resumptions = obs::GetCounter("serve.resumptions");
+  resumptions.Add();
+  return true;
+}
+
+void ClassificationServer::IssueTicket(Session& s, Channel& ch) {
+  if (!config_.enable_resumption) {
+    // Empty frame: the client learns resumption is off and never retries
+    // with a ticket.
+    ch.SendBytes({});
+    s.has_ticket = false;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Block lo = ticket_prg_->NextBlock();
+    Block hi = ticket_prg_->NextBlock();
+    lo.ToBytes(s.ticket.data());
+    hi.ToBytes(s.ticket.data() + 16);
+  }
+  s.has_ticket = true;
+  ch.SendBytes(std::vector<uint8_t>(s.ticket.begin(), s.ticket.end()));
+  RefreshResumeEntry(s);
+}
+
+void ClassificationServer::RefreshResumeEntry(Session& s) {
+  if (!s.has_ticket) return;
+  ResumeEntry entry;
+  entry.ot_state = s.ot.Serialize();
+  ByteWriter rng_writer(&entry.rng_state);
+  s.rng.Serialize(rng_writer);
+  entry.next_query_id = s.next_query_id;
+  entry.queries = s.queries;
+  entry.transcript = s.transcript;
+  entry.stored_at = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.lru_seq = ++resume_lru_seq_;
+  resume_cache_[s.ticket] = std::move(entry);
+  // Bounded cache: evict least-recently-refreshed. Linear scan is fine at
+  // the configured sizes (hundreds to a few thousand entries).
+  while (static_cast<int>(resume_cache_.size()) > config_.resume_cache_entries) {
+    auto victim = resume_cache_.begin();
+    for (auto it = resume_cache_.begin(); it != resume_cache_.end(); ++it) {
+      if (it->second.lru_seq < victim->second.lru_seq) victim = it;
+    }
+    resume_cache_.erase(victim);
+  }
+}
+
+void ClassificationServer::CancelOverdueQueries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto now = std::chrono::steady_clock::now();
+  auto budget = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.query_budget_seconds));
+  for (auto& [id, session] : sessions_) {
+    if (!session->in_query) continue;
+    if (now - session->query_start <= budget) continue;
+    if (session->cancel.cancelled()) continue;  // Already signalled.
+    // The worker observes the token at its next channel slice or explicit
+    // checkpoint (<= ~100 ms) and unwinds with ChannelError{kCancelled};
+    // ServeSession then sends the typed kCancelled frame and closes. Other
+    // sessions are untouched — cancellation is per-token, not per-pool.
+    session->cancel.Cancel();
+  }
 }
 
 void ClassificationServer::CloseSessionLocked(
@@ -414,11 +720,15 @@ void ClassificationServer::Stop() {
     }
     running_ = false;
   }
-  // Workers have no queued session tasks left (busy_ == 0 covers submit to
-  // completion), so pool teardown is a plain join.
-  pool_.reset();
+  // Join the loop thread before touching the pool: OnSessionReadable
+  // bumps busy_ under the lock but calls Submit outside it, so the drain
+  // can observe busy_ == 0 (the task already ran) while the loop thread
+  // is still inside Submit signalling the pool's condvar. After the join
+  // no such call can be in flight, and with busy_ == 0 there are no
+  // queued session tasks either, so pool teardown is a plain join.
   loop_->Stop();
   loop_thread_.join();
+  pool_.reset();
   loop_.reset();
   // The (closed) listener stays: address() remains answerable after Stop,
   // and Start() replaces it on a restart.

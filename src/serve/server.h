@@ -28,6 +28,7 @@
 #ifndef PAFS_SERVE_SERVER_H_
 #define PAFS_SERVE_SERVER_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -36,7 +37,10 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <vector>
 
+#include "crypto/prg.h"
+#include "net/cancel.h"
 #include "net/event_loop.h"
 #include "net/framing.h"
 #include "net/socket.h"
@@ -78,6 +82,26 @@ struct ServerConfig {
   double idle_timeout_seconds = 300;
   int listen_backlog = 128;
   uint64_t seed = 0x5AFE5EED;  // Per-session RNG streams derive from this.
+  // Session resumption (wire v3): the server snapshots each session's
+  // crypto state (OT extension + RNG + query cursor) after the handshake
+  // and after every completed query, keyed by an unguessable ticket. A
+  // reconnecting client that presents the ticket restores the snapshot and
+  // skips the base OTs entirely. Force-disabled by PAFS_NO_RESUME=1.
+  bool enable_resumption = true;
+  // Bounded LRU of suspended-session snapshots; 0 disables resumption.
+  int resume_cache_entries = 1024;
+  // Snapshots older than this are expired on lookup/sweep; 0 = no TTL.
+  double resume_ticket_ttl_seconds = 600;
+  // At-most-once replay: the per-session transcript of the last executed
+  // query is kept up to this many bytes so a retried query id replays the
+  // recorded reply instead of re-running the protocol. A query that
+  // overflows the cap simply has no transcript (retry answers kResync and
+  // the client falls back to a full re-handshake).
+  uint64_t max_replay_bytes = 16ull << 20;
+  // Watchdog: a worker still inside one query after this long is
+  // cancelled via its session's CancellationToken (typed kCancelled to
+  // the peer, pool slot freed deterministically). 0 disables.
+  double query_budget_seconds = 0;
 };
 
 // Registry/lifecycle counters, readable at any time (independent of the
@@ -91,7 +115,26 @@ struct ServerStats {
   uint64_t queries_served = 0;
   uint64_t queries_shed = 0;  // Readable sessions shed: worker queue full.
   uint64_t pings_served = 0;
+  uint64_t resumptions = 0;     // Hellos that restored a cached snapshot.
+  uint64_t resume_misses = 0;   // Tickets presented but expired/evicted.
+  uint64_t replay_hits = 0;     // Retried queries served from transcript.
+  uint64_t resyncs = 0;         // Retries whose transcript was gone.
+  uint64_t queries_cancelled = 0;  // Watchdog budget kills.
   int sessions_active = 0;
+};
+
+// Record of one executed query at framed-channel granularity: every Send
+// payload verbatim, every Recv payload for divergence checking. Replaying
+// it answers a retried query id byte-for-byte without re-running the
+// protocol (and therefore without advancing any crypto stream).
+struct QueryTranscript {
+  struct Op {
+    bool is_send = false;
+    std::vector<uint8_t> bytes;
+  };
+  uint64_t query_id = 0;
+  std::vector<Op> ops;
+  uint64_t total_bytes = 0;
 };
 
 class ClassificationServer {
@@ -128,8 +171,35 @@ class ClassificationServer {
     // Last time the session finished a request (or was accepted); the
     // reaper closes non-busy sessions idle past idle_timeout_seconds.
     std::chrono::steady_clock::time_point last_activity;
+    // Resumption: the ticket this session's snapshot is cached under
+    // (rotated on every resume), the id the next query must carry, and
+    // the transcript of the last executed query for replay.
+    std::array<uint8_t, kResumeTicketBytes> ticket{};
+    bool has_ticket = false;
+    uint64_t next_query_id = 1;
+    std::shared_ptr<QueryTranscript> transcript;
+    // Watchdog: set while a worker is inside ServeQuery (mu_-guarded);
+    // Cancel() makes the worker's next channel slice / checkpoint throw
+    // ChannelError{kCancelled}.
+    CancellationToken cancel;
+    bool in_query = false;
+    std::chrono::steady_clock::time_point query_start;
 
     Session(uint64_t id, std::unique_ptr<SocketChannel> sock, uint64_t seed);
+  };
+
+  // A suspended session's restorable state, keyed by its ticket in the
+  // resume cache. Holds serialized crypto state (snapshot taken after the
+  // handshake and refreshed after every executed query) plus the last
+  // query's transcript so a resumed retry can still replay.
+  struct ResumeEntry {
+    std::vector<uint8_t> ot_state;   // OtExtSender::Serialize.
+    std::vector<uint8_t> rng_state;  // Rng::Serialize.
+    uint64_t next_query_id = 1;
+    uint64_t queries = 0;
+    std::shared_ptr<QueryTranscript> transcript;
+    std::chrono::steady_clock::time_point stored_at;
+    uint64_t lru_seq = 0;
   };
 
   void OnListenerReadable();
@@ -145,6 +215,21 @@ class ClassificationServer {
   // gracefully (bye). Throws TransportError subclasses on faults.
   bool ServeOne(Session& session);
   void ServeQuery(Session& session, Channel& channel);
+  // Runs a live query through the protocol while recording the transcript
+  // for at-most-once replay; refreshes the session's resume-cache entry.
+  void ExecuteQuery(Session& session, Channel& channel, uint64_t query_id);
+  // Answers a retried query id byte-for-byte from the recorded transcript.
+  void ReplayQuery(Session& session, Channel& channel,
+                   const QueryTranscript& transcript);
+  // Handshake helpers (caller does not hold mu_).
+  bool TryResumeSession(Session& session, const std::vector<uint8_t>& ticket);
+  void IssueTicket(Session& session, Channel& channel);
+  // Re-snapshots the session's crypto state into the resume cache under its
+  // current ticket; evicts LRU entries beyond resume_cache_entries.
+  void RefreshResumeEntry(Session& session);
+  // Watchdog tick (event-loop thread): cancels sessions whose in-flight
+  // query has exceeded query_budget_seconds.
+  void CancelOverdueQueries();
   // Unregisters, records per-session wire-cost telemetry, shuts the socket
   // down. Caller holds mu_.
   void CloseSessionLocked(const std::shared_ptr<Session>& session,
@@ -171,6 +256,13 @@ class ClassificationServer {
   bool running_ = false;
   bool draining_ = false;
   ServerStats stats_;
+
+  // Resume cache (mu_-guarded): ticket -> suspended-session snapshot.
+  // Tickets come from an entropy-seeded PRG and are consumed on use.
+  std::map<std::array<uint8_t, kResumeTicketBytes>, ResumeEntry>
+      resume_cache_;
+  uint64_t resume_lru_seq_ = 0;
+  std::optional<Prg> ticket_prg_;  // Seeded from std::random_device.
 };
 
 }  // namespace pafs::serve

@@ -52,6 +52,9 @@ SmcRunStats SecureLinearAbyProtocol::RunServer(
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
+  // Cancellation checkpoint before the expensive phases (base OTs, then
+  // the correlated-OT fan-out); see gc/protocol.cc for the idiom.
+  channel.ThrowIfCancelled("linear server setup");
   if (!ot.is_setup()) ot.Setup(channel, rng);
 
   auto fixed_weights = model.FixedWeights(kSmcScale);

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/serial.h"
+
 namespace pafs {
 
 // xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
@@ -33,6 +35,13 @@ class Rng {
   size_t NextCategorical(const std::vector<double>& weights);
   // Fills `out` with uniform bytes (NOT cryptographically secure).
   void FillBytes(uint8_t* out, size_t n);
+
+  // Checkpoint/restore of the full xoshiro256** state (32 bytes); a
+  // Deserialize'd Rng continues the stream exactly. Used by session
+  // resumption to keep both parties' protocol randomness in lockstep
+  // across a reconnect.
+  void Serialize(ByteWriter& w) const;
+  static Rng Deserialize(ByteReader& r);
 
   // In-place Fisher-Yates shuffle of indices/containers.
   template <typename T>

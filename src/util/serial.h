@@ -1,0 +1,80 @@
+// Tiny byte-oriented serialization helpers for snapshotting in-memory
+// state (session resumption, crypto stream checkpoints). This is NOT a
+// wire format: snapshots never leave the process that wrote them, so
+// underruns are programmer errors (PAFS_CHECK), not ProtocolError. Wire
+// decoding stays in net/channel.h and serve/model.cc where untrusted
+// lengths are bounds-checked.
+#ifndef PAFS_UTIL_SERIAL_H_
+#define PAFS_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pafs {
+
+// Appends little-endian scalars and raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void Bytes(const uint8_t* data, size_t n) {
+    out_->insert(out_->end(), data, data + n);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+// Sequential reader over a snapshot produced by ByteWriter.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), end_(data + n) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  uint32_t U32() {
+    Require(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(*data_++) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    Require(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(*data_++) << (8 * i);
+    return v;
+  }
+  void Bytes(uint8_t* out, size_t n) {
+    Require(n);
+    std::memcpy(out, data_, n);
+    data_ += n;
+  }
+
+  size_t remaining() const { return static_cast<size_t>(end_ - data_); }
+  bool done() const { return data_ == end_; }
+
+ private:
+  void Require(size_t n) {
+    PAFS_CHECK_MSG(remaining() >= n, "snapshot underrun");
+  }
+
+  const uint8_t* data_;
+  const uint8_t* end_;
+};
+
+}  // namespace pafs
+
+#endif  // PAFS_UTIL_SERIAL_H_

@@ -15,8 +15,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,12 +36,16 @@
 #include "net/fault.h"
 #include "net/framing.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ot/iknp.h"
 #include "serve/client.h"
 #include "serve/model.h"
 #include "serve/server.h"
 #include "sharing/gmw.h"
 #include "smc/secure_linear.h"
+#include "smc/secure_nb.h"
+#include "util/serial.h"
 #include "util/bitvec.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -612,8 +618,10 @@ TEST(ServingChaosTest, OverloadedFaultyClientsSurviveServerRestart) {
         cc.recv_timeout_seconds = kRecvTimeout;
         cc.seed = 0xFEED + t;
         // Under sustained overload the deadline is the real budget:
-        // instant kBusy sheds burn attempts far faster than faults do.
-        cc.retry.max_attempts = 64;
+        // instant kBusy sheds burn attempts far faster than faults do,
+        // and ticket resumption makes each reconnect nearly free, so the
+        // attempt cap must stay far above what the deadline permits.
+        cc.retry.max_attempts = 512;
         cc.retry.initial_backoff_seconds = 0.02;
         cc.retry.max_backoff_seconds = 0.5;
         cc.retry.deadline_seconds = PAFS_CHAOS_SLOW ? 200 : 25;
@@ -653,6 +661,189 @@ TEST(ServingChaosTest, OverloadedFaultyClientsSurviveServerRestart) {
   // The restart alone guarantees somebody had to reconnect.
   EXPECT_GE(total_reconnects.load(), 1u);
   server->Stop();
+}
+
+// Polls a predicate with a deadline; serving counters land shortly after
+// the wire-level event they describe.
+template <typename Pred>
+bool WaitForStat(Pred pred) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(PAFS_CHAOS_SLOW ? 60 : 10);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+TEST(ServingChaosTest, MidQueryDisconnectsResumeViaTicketWithoutRerun) {
+  // Crash-recovery under injected mid-query kills: every reconnect
+  // presents the resumption ticket, no query is ever executed twice
+  // (counter-exact at-most-once), and once the OT extension is warm a
+  // resumed reconnect re-runs ZERO base OTs.
+  PafsTelemetry::Enable();
+  obs::Counter& base_setups = obs::GetCounter("ot.base.setups");
+  obs::Counter& injected = obs::GetCounter("faults.injected");
+  uint64_t injected_before = injected.value();
+
+  Rng data_rng(78);
+  Dataset data = GenerateWarfarinCohort(600, data_rng);
+  PipelineConfig pc;
+  pc.classifier = ClassifierKind::kNaiveBayes;
+  pc.risk_budget = 0.08;
+  SecureClassificationPipeline pipeline(data, pc);
+  serve::ServingModel model = serve::ServingModel::FromPipeline(pipeline);
+
+  serve::ServerConfig sc;
+  sc.recv_timeout_seconds = kRecvTimeout;
+  serve::ClassificationServer server(model, sc);
+  server.Start();
+
+  serve::ClientConfig cc;
+  cc.address = server.address();
+  cc.recv_timeout_seconds = kRecvTimeout;
+  cc.seed = 0xDEAD;
+  cc.retry.max_attempts = 16;
+  cc.retry.initial_backoff_seconds = 0.01;
+  cc.retry.deadline_seconds = PAFS_CHAOS_SLOW ? 120 : 20;
+  // Both kills land past the handshake's few sends, so every recovery
+  // happens with a ticket in hand; where exactly inside a query they land
+  // is the chaos — the assertions below hold for all landing points.
+  cc.fault_plan.kind = FaultKind::kDisconnect;
+  cc.fault_plan.seed = 11;
+  cc.fault_plan.first_op = 20;
+  cc.fault_plan.max_faults = 2;
+  serve::ClassificationClient client(cc);
+
+  for (int q = 0; q < 3; ++q) {
+    const std::vector<int>& row = data.row(q * 201);
+    EXPECT_EQ(client.Classify(row), pipeline.PlaintextPredict(row));
+  }
+  EXPECT_GE(injected.value() - injected_before, 1u);
+  EXPECT_GE(client.resumes(), 1u);
+  ASSERT_TRUE(
+      WaitForStat([&] { return server.stats().queries_served >= 3; }));
+  // At-most-once: the kills forced retries, but each query id executed
+  // exactly once.
+  EXPECT_EQ(server.stats().queries_served, 3u);
+
+  // Deterministic coda: with the OT extension warm, kill the connection
+  // outright — the resumed reconnect must re-run zero base OTs.
+  uint64_t setups_warm = base_setups.value();
+  uint64_t resumes_before = client.resumes();
+  client.DropConnection();
+  const std::vector<int>& row = data.row(17);
+  EXPECT_EQ(client.Classify(row), pipeline.PlaintextPredict(row));
+  EXPECT_EQ(client.resumes(), resumes_before + 1);
+  EXPECT_EQ(base_setups.value(), setups_warm);  // ZERO base-OT re-runs.
+
+  ASSERT_TRUE(
+      WaitForStat([&] { return server.stats().queries_served >= 4; }));
+  serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries_served, 4u);
+  EXPECT_EQ(stats.resumptions, client.resumes());
+  EXPECT_EQ(stats.resume_misses, 0u);  // Tickets rotate; none went stale.
+  client.Close();
+  server.Stop();
+  PafsTelemetry::Disable();
+}
+
+TEST(ServingChaosTest, CrashInReplyWindowIsAnsweredFromReplayCache) {
+  // The harshest crash point: the server committed the query and sent the
+  // completion ack, but the client died before reading it. On resume the
+  // client is one query behind the server; its retry of the same id must
+  // be answered from the replay cache — byte-for-byte, zero re-execution.
+  // A second crash mid-replay must not burn the cached transcript either.
+  Rng data_rng(79);
+  Dataset data = GenerateWarfarinCohort(500, data_rng);
+  PipelineConfig pc;
+  pc.classifier = ClassifierKind::kNaiveBayes;
+  pc.risk_budget = 0.08;
+  SecureClassificationPipeline pipeline(data, pc);
+  serve::ServingModel model = serve::ServingModel::FromPipeline(pipeline);
+  serve::ClassificationServer server(model, serve::ServerConfig{});
+  server.Start();
+  const std::vector<int>& row = data.row(41);
+
+  // Session 1: full handshake, snapshot the pre-query crypto state (what a
+  // crashed client restores), run query 1 completely except the final
+  // completion-ack read — then die.
+  auto socket = SocketConnect(server.address(), 5.0);
+  socket->set_recv_timeout_seconds(kRecvTimeout * 10);
+  FramedChannel framed(*socket);
+  serve::SendClientHello(framed, serve::ClientHello{});
+  ASSERT_EQ(framed.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+  serve::SessionSetup setup = serve::RecvSessionSetup(framed);
+  std::vector<uint8_t> ticket = serve::RecvTicketFrame(framed);
+  ASSERT_EQ(ticket.size(), serve::kResumeTicketBytes);
+  std::map<int, int> key_map;
+  for (int f : setup.plan_features) key_map.emplace(f, 0);
+  SecureNbCircuit spec(setup.features, setup.num_classes, key_map);
+
+  OtExtReceiver ot;
+  Rng rng(0xC4A5);
+  std::vector<uint8_t> ot_snapshot = ot.Serialize();
+  std::vector<uint8_t> rng_snapshot;
+  {
+    ByteWriter writer(&rng_snapshot);
+    rng.Serialize(writer);
+  }
+  auto send_query_head = [&](FramedChannel& ch) {
+    ch.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+    ch.SendU64(1);  // Every attempt retries "the" query.
+    for (int f : setup.plan_features) {
+      ch.SendU64(static_cast<uint64_t>(row[f]));
+    }
+    EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+  };
+  send_query_head(framed);
+  SmcRunStats first = SecureNbRunClient(framed, spec, row, ot, rng,
+                                        setup.scheme);
+  EXPECT_EQ(first.predicted_class, pipeline.PlaintextPredict(row));
+  ASSERT_TRUE(
+      WaitForStat([&] { return server.stats().queries_served >= 1; }));
+  socket->Close();  // Crash without reading the completion ack.
+
+  auto resume = [&](std::vector<uint8_t>* fresh_ticket) {
+    auto s = SocketConnect(server.address(), 5.0);
+    s->set_recv_timeout_seconds(kRecvTimeout * 10);
+    auto ch = std::make_unique<FramedChannel>(*s);
+    serve::ClientHello hello;
+    hello.ticket = *fresh_ticket;
+    serve::SendClientHello(*ch, hello);
+    EXPECT_EQ(ch->RecvU64(),
+              static_cast<uint64_t>(serve::ReplyStatus::kResumed));
+    *fresh_ticket = serve::RecvTicketFrame(*ch);
+    return std::make_pair(std::move(s), std::move(ch));
+  };
+
+  // Crash 2: resume, replay the retry up to the admission ack, die again
+  // mid-replay. The transcript must survive for the next attempt.
+  {
+    auto [s2, ch2] = resume(&ticket);
+    send_query_head(*ch2);
+    s2->Close();
+  }
+
+  // Final attempt: resume and drive the retry to completion from the
+  // restored snapshot; the whole conversation is replayed.
+  OtExtReceiver ot_retry = OtExtReceiver::Deserialize(ot_snapshot);
+  ByteReader rng_reader(rng_snapshot);
+  Rng rng_retry = Rng::Deserialize(rng_reader);
+  auto [s3, ch3] = resume(&ticket);
+  send_query_head(*ch3);
+  SmcRunStats retry = SecureNbRunClient(*ch3, spec, row, ot_retry, rng_retry,
+                                        setup.scheme);
+  EXPECT_EQ(ch3->RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+  EXPECT_EQ(retry.predicted_class, first.predicted_class);
+
+  ASSERT_TRUE(WaitForStat([&] { return server.stats().replay_hits >= 1; }));
+  serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries_served, 1u);  // Executed exactly once, ever.
+  EXPECT_GE(stats.replay_hits, 1u);
+  EXPECT_EQ(stats.resumptions, 2u);
+  EXPECT_EQ(stats.resume_misses, 0u);
+  server.Stop();
 }
 
 }  // namespace

@@ -406,7 +406,7 @@ TEST(FaultInjectorTest, DeterministicSchedule) {
   // Same seed, same schedule — op-for-op.
   FaultInjector x(plan), y(plan);
   for (int i = 0; i < 200; ++i) {
-    EXPECT_EQ(x.NextSendFault(), y.NextSendFault()) << "op " << i;
+    EXPECT_EQ(x.NextSendFault(64), y.NextSendFault(64)) << "op " << i;
   }
   EXPECT_EQ(x.injected(), y.injected());
   EXPECT_GT(x.injected(), 0u);
@@ -421,13 +421,32 @@ TEST(FaultInjectorTest, HonorsFirstOpAndBudget) {
   plan.max_faults = 2;
   FaultInjector injector(plan);
   std::vector<FaultKind> got;
-  for (int i = 0; i < 8; ++i) got.push_back(injector.NextSendFault());
+  for (int i = 0; i < 8; ++i) got.push_back(injector.NextSendFault(64));
   // Ops 0-2 are protected, ops 3-4 fire, then the budget is exhausted.
   for (int i = 0; i < 3; ++i) EXPECT_EQ(got[i], FaultKind::kNone);
   EXPECT_EQ(got[3], FaultKind::kDrop);
   EXPECT_EQ(got[4], FaultKind::kDrop);
   for (int i = 5; i < 8; ++i) EXPECT_EQ(got[i], FaultKind::kNone);
   EXPECT_EQ(injector.injected(), 2u);
+}
+
+TEST(FaultInjectorTest, TargetLenFiresOnlyOnMatchingSends) {
+  FaultPlan plan;
+  plan.kind = FaultKind::kDrop;
+  plan.seed = 7;
+  plan.probability = 1.0;
+  plan.max_faults = 1;
+  plan.target_len = 40;  // The v3 resumption-ticket frame size.
+  FaultInjector injector(plan);
+  // Non-matching sends never fault and never spend the budget.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(injector.NextSendFault(16), FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.injected(), 0u);
+  EXPECT_EQ(injector.NextSendFault(40), FaultKind::kDrop);
+  EXPECT_EQ(injector.injected(), 1u);
+  // Budget spent: even matching sends pass through now.
+  EXPECT_EQ(injector.NextSendFault(40), FaultKind::kNone);
 }
 
 // ---------------------------------------------------------------------------

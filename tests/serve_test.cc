@@ -20,10 +20,15 @@
 #include "net/fault.h"
 #include "net/framing.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "ot/iknp.h"
 #include "serve/client.h"
 #include "serve/model.h"
 #include "serve/server.h"
+#include "smc/secure_nb.h"
 #include "util/random.h"
+#include "util/serial.h"
 
 namespace pafs {
 namespace {
@@ -44,6 +49,18 @@ namespace {
 #define PAFS_SERVE_TSAN 0
 #endif
 constexpr double kTimeScale = PAFS_SERVE_TSAN ? 10.0 : 1.0;
+// The watchdog budget is the one knob where a *short* value misfires: a
+// legitimate query slowed by any sanitizer (ASan/UBSan, not just TSan)
+// must still finish inside it, or the watchdog cancels honest work. TSan
+// on a small machine stretches a single query past 10s, hence the extra
+// headroom there.
+#if PAFS_SERVE_TSAN
+constexpr double kBudgetScale = 30.0;
+#elif defined(PAFS_SLOW_SANITIZER)
+constexpr double kBudgetScale = 10.0;
+#else
+constexpr double kBudgetScale = 1.0;
+#endif
 
 using serve::ClassificationClient;
 using serve::ClassificationServer;
@@ -55,6 +72,18 @@ using serve::ServingModel;
 std::string UdsPath(const char* tag) {
   return "/tmp/pafs_serve_test_" + std::string(tag) + "_" +
          std::to_string(::getpid()) + ".sock";
+}
+
+// Scripted raw-wire v3 handshake: fresh hello (empty ticket), expect kOk,
+// then the setup and the server's ticket frame.
+serve::SessionSetup RawHandshake(FramedChannel& framed,
+                                 std::vector<uint8_t>* ticket = nullptr) {
+  serve::SendClientHello(framed, serve::ClientHello{});
+  EXPECT_EQ(framed.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+  serve::SessionSetup setup = serve::RecvSessionSetup(framed);
+  std::vector<uint8_t> issued = serve::RecvTicketFrame(framed);
+  if (ticket != nullptr) *ticket = issued;
+  return setup;
 }
 
 // Polls a server-stats predicate; the serving path is asynchronous, so
@@ -260,10 +289,7 @@ TEST_F(ServeTest, SilentPeerMidQueryDiesOnDeadline) {
   auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
   socket->set_recv_timeout_seconds(5.0 * kTimeScale);
   FramedChannel framed(*socket);
-  framed.SendU64(serve::kWireMagic);
-  framed.SendU64(serve::kWireVersion);
-  ASSERT_EQ(framed.RecvU64(), 1u);
-  serve::SessionSetup setup = serve::RecvSessionSetup(framed);
+  serve::SessionSetup setup = RawHandshake(framed);
   framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
   // ... and then say nothing: the worker must be freed by the deadline.
   ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_failed >= 1; },
@@ -285,15 +311,13 @@ TEST_F(ServeTest, OutOfRangeDisclosureRejectedTyped) {
   auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
   socket->set_recv_timeout_seconds(2.0 * kTimeScale);
   FramedChannel framed(*socket);
-  framed.SendU64(serve::kWireMagic);
-  framed.SendU64(serve::kWireVersion);
-  ASSERT_EQ(framed.RecvU64(), 1u);
-  serve::SessionSetup setup = serve::RecvSessionSetup(framed);
+  serve::SessionSetup setup = RawHandshake(framed);
   if (setup.plan_features.empty()) {
     GTEST_SKIP() << "risk budget selected an empty plan";
   }
   try {
     framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+    framed.SendU64(1);  // Query id.
     for (size_t i = 0; i < setup.plan_features.size(); ++i) {
       framed.SendU64(1u << 20);  // Beyond any feature's cardinality.
     }
@@ -343,10 +367,7 @@ TEST_F(ServeTest, StopMidQueryForceClosesAfterGrace) {
   auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
   socket->set_recv_timeout_seconds(10.0 * kTimeScale);
   FramedChannel framed(*socket);
-  framed.SendU64(serve::kWireMagic);
-  framed.SendU64(serve::kWireVersion);
-  ASSERT_EQ(framed.RecvU64(), 1u);
-  serve::RecvSessionSetup(framed);
+  RawHandshake(framed);
   framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
   ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_active == 1; }));
 
@@ -447,10 +468,7 @@ TEST_F(ServeTest, SaturatedWorkerQueueShedsQueriesTyped) {
     sockets.push_back(SocketConnect(server.address(), 2.0 * kTimeScale));
     sockets.back()->set_recv_timeout_seconds(2.0 * kTimeScale);
     frames.push_back(std::make_unique<FramedChannel>(*sockets.back()));
-    frames.back()->SendU64(serve::kWireMagic);
-    frames.back()->SendU64(serve::kWireVersion);
-    ASSERT_EQ(frames.back()->RecvU64(), 1u);
-    serve::RecvSessionSetup(*frames.back());
+    RawHandshake(*frames.back());
   }
   // Each now sends a query and goes silent. Arrival order fills the two
   // workers, queues one, and the rest must be shed with a typed kBusy —
@@ -609,6 +627,229 @@ TEST_F(ServeTest, RandomHelloBytesNeverKillTheServer) {
   ClassificationClient client(ClientFor(server));
   const std::vector<int>& row = data_.row(17);
   EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+}
+
+TEST_F(ServeTest, ResumedReconnectSkipsBaseOts) {
+  // The crash-recovery tentpole, counter-verified: a reconnect that
+  // presents the resumption ticket restores the session's OT extension
+  // state and never re-runs the (expensive) base OTs.
+  PafsTelemetry::Enable();
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(9);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  // Wait until the server has refreshed the resume snapshot (ordered
+  // before the queries_served bump) so the reconnect below must hit it.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 1; }));
+  obs::Counter& setups = obs::GetCounter("ot.base.setups");
+  uint64_t setups_after_first = setups.value();
+  EXPECT_GE(setups_after_first, 2u);  // Query 1 set up both OT endpoints.
+
+  client.DropConnection();  // Crash, as far as both ends can tell.
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(client.resumes(), 1u);
+  EXPECT_EQ(setups.value(), setups_after_first);  // ZERO base-OT re-runs.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 2; }));
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.resumptions, 1u);
+  EXPECT_EQ(stats.resume_misses, 0u);
+  PafsTelemetry::Disable();
+}
+
+TEST_F(ServeTest, RetriedQueryIsReplayedNotReExecuted) {
+  // At-most-once: a client that loses the reply retries the same query id
+  // from its last snapshot; the server answers from the recorded
+  // transcript without executing the query a second time.
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+  const std::vector<int>& row = data_.row(5);
+
+  auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket->set_recv_timeout_seconds(30 * kTimeScale);
+  FramedChannel framed(*socket);
+  std::vector<uint8_t> ticket;
+  serve::SessionSetup setup = RawHandshake(framed, &ticket);
+  ASSERT_EQ(ticket.size(), serve::kResumeTicketBytes);
+  std::map<int, int> key_map;
+  for (int f : setup.plan_features) key_map.emplace(f, 0);
+  SecureNbCircuit spec(setup.features, setup.num_classes, key_map);
+
+  OtExtReceiver ot;
+  Rng rng(0x5EED);
+  // Snapshot the pre-query client state — exactly what a crashed client
+  // would restore before retrying.
+  std::vector<uint8_t> ot_snapshot = ot.Serialize();
+  std::vector<uint8_t> rng_snapshot;
+  {
+    ByteWriter writer(&rng_snapshot);
+    rng.Serialize(writer);
+  }
+
+  auto run_query = [&](FramedChannel& ch, OtExtReceiver& o, Rng& r) {
+    ch.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+    ch.SendU64(1);  // Same id both times: this is "the" query.
+    for (int f : setup.plan_features) {
+      ch.SendU64(static_cast<uint64_t>(row[f]));
+    }
+    EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+    SmcRunStats stats = SecureNbRunClient(ch, spec, row, o, r, setup.scheme);
+    // Completion ack: the client-side commit point for the query.
+    EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+    return stats;
+  };
+
+  SmcRunStats first = run_query(framed, ot, rng);
+  EXPECT_EQ(first.predicted_class, pipeline->PlaintextPredict(row));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 1; }));
+
+  // The reply is "lost": drop the connection, rewind to the snapshot, and
+  // resume with the ticket.
+  socket->Close();
+  OtExtReceiver ot_retry = OtExtReceiver::Deserialize(ot_snapshot);
+  ByteReader rng_reader(rng_snapshot);
+  Rng rng_retry = Rng::Deserialize(rng_reader);
+  auto socket2 = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket2->set_recv_timeout_seconds(30 * kTimeScale);
+  FramedChannel framed2(*socket2);
+  serve::ClientHello hello;
+  hello.ticket = ticket;
+  serve::SendClientHello(framed2, hello);
+  ASSERT_EQ(framed2.RecvU64(),
+            static_cast<uint64_t>(serve::ReplyStatus::kResumed));
+  std::vector<uint8_t> rotated = serve::RecvTicketFrame(framed2);
+  EXPECT_EQ(rotated.size(), serve::kResumeTicketBytes);
+  EXPECT_NE(rotated, ticket);  // Tickets are consumed and rotated.
+
+  SmcRunStats retry = run_query(framed2, ot_retry, rng_retry);
+  EXPECT_EQ(retry.predicted_class, first.predicted_class);
+
+  ASSERT_TRUE(WaitFor([&] { return server.stats().replay_hits >= 1; }));
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.replay_hits, 1u);
+  EXPECT_EQ(stats.queries_served, 1u);  // Executed exactly once.
+  EXPECT_EQ(stats.resumptions, 1u);
+}
+
+TEST_F(ServeTest, WatchdogCancelsWedgedQueryTypedAndServerKeepsServing) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  // The wedge would otherwise hold a worker for the whole recv deadline;
+  // the watchdog must free it at the (much shorter) per-query budget.
+  const double budget = 1.0 * kBudgetScale;
+  config.recv_timeout_seconds = 30 * kTimeScale + budget;
+  config.query_budget_seconds = budget;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  // Wedge: enter a query (tag + id) and then go silent, parking the worker
+  // on the disclosure recv with the watchdog armed.
+  auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket->set_recv_timeout_seconds(15.0 * kTimeScale + budget);
+  FramedChannel framed(*socket);
+  serve::SessionSetup setup = RawHandshake(framed);
+  if (setup.plan_features.empty()) {
+    GTEST_SKIP() << "risk budget selected an empty plan";
+  }
+  framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+  framed.SendU64(1);
+
+  // Other sessions are served while the wedge is pending cancellation.
+  ClassificationClient live(ClientFor(server));
+  const std::vector<int>& row = data_.row(14);
+  EXPECT_EQ(live.Classify(row), pipeline->PlaintextPredict(row));
+
+  // The wedged peer's next frame is the typed kCancelled verdict.
+  EXPECT_EQ(framed.RecvU64(),
+            static_cast<uint64_t>(serve::ReplyStatus::kCancelled));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_cancelled >= 1; }));
+  EXPECT_EQ(server.stats().queries_cancelled, 1u);  // Not the live session.
+
+  // The freed worker and the rest of the server keep serving.
+  EXPECT_EQ(live.Classify(row), pipeline->PlaintextPredict(row));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 2; }));
+}
+
+TEST_F(ServeTest, ForgedOrReplayedTicketFallsBackToFullHandshake) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  auto hello_with = [&](const std::vector<uint8_t>& ticket,
+                        std::unique_ptr<SocketChannel>& socket,
+                        std::unique_ptr<FramedChannel>& framed) {
+    socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+    socket->set_recv_timeout_seconds(5.0 * kTimeScale);
+    framed = std::make_unique<FramedChannel>(*socket);
+    serve::ClientHello hello;
+    hello.ticket = ticket;
+    serve::SendClientHello(*framed, hello);
+    return framed->RecvU64();
+  };
+
+  // A forged ticket (right shape, never issued) must miss and degrade to a
+  // full handshake — never a crash, never someone else's session state.
+  std::unique_ptr<SocketChannel> s1;
+  std::unique_ptr<FramedChannel> f1;
+  std::vector<uint8_t> forged(serve::kResumeTicketBytes, 0xAB);
+  ASSERT_EQ(hello_with(forged, s1, f1),
+            static_cast<uint64_t>(serve::ReplyStatus::kOk));
+  serve::RecvSessionSetup(*f1);
+  std::vector<uint8_t> issued = serve::RecvTicketFrame(*f1);
+  ASSERT_EQ(issued.size(), serve::kResumeTicketBytes);
+  s1->Close();
+  ASSERT_TRUE(WaitFor([&] { return server.stats().resume_misses >= 1; }));
+
+  // A genuine ticket resumes once...
+  std::unique_ptr<SocketChannel> s2;
+  std::unique_ptr<FramedChannel> f2;
+  ASSERT_EQ(hello_with(issued, s2, f2),
+            static_cast<uint64_t>(serve::ReplyStatus::kResumed));
+  serve::RecvTicketFrame(*f2);
+  s2->Close();
+
+  // ...and a replay of the spent ticket misses (consume-on-use rotation).
+  std::unique_ptr<SocketChannel> s3;
+  std::unique_ptr<FramedChannel> f3;
+  ASSERT_EQ(hello_with(issued, s3, f3),
+            static_cast<uint64_t>(serve::ReplyStatus::kOk));
+  serve::RecvSessionSetup(*f3);
+  serve::RecvTicketFrame(*f3);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.resumptions, 1u);
+  EXPECT_EQ(stats.resume_misses, 2u);
+}
+
+TEST_F(ServeTest, ResumeDisabledClientAlwaysFullHandshakes) {
+  // The --no-resume escape hatch: the client ignores tickets and every
+  // reconnect is a full handshake with fresh base OTs.
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  ClientConfig cc = ClientFor(server);
+  cc.enable_resume = false;
+  ClassificationClient client(cc);
+  const std::vector<int>& row = data_.row(27);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 1; }));
+  client.DropConnection();
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(client.resumes(), 0u);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 2; }));
+  EXPECT_EQ(server.stats().resumptions, 0u);
 }
 
 TEST_F(ServeTest, ServerRestartsOnSameConfig) {
