@@ -1,0 +1,328 @@
+// End-to-end offline/online split behind scripts/bench_e2e.sh: measures
+// what a warm session actually pays per query once everything
+// input-independent — Paillier keygen, the 128 base OTs, and the r^n
+// pad pool — has been hoisted into an offline phase. Two protocols:
+//
+//   forest  garbled-circuit only. Offline = base-OT Setup; online = one
+//           warm SecureForest query. cold_query_ms re-times the pre-split
+//           shape (fresh OT session per query, base OTs inside the timed
+//           region) for comparison against the historical
+//           forest_query_ms baseline in BENCH_kernels.json.
+//   linear  Paillier + GC hybrid. Offline = keygen + base OTs + pad
+//           prefill for both parties; online runs pooled (every r^n
+//           modexp served from the pool) and unpooled (every modexp
+//           inline) back to back on the same warm session, with the pool
+//           hit/miss counters proving the pooled path never fell back.
+//
+// Emits one flat JSON object on stdout; the wrapper asserts the gates
+// (warm forest >= 3x the pre-split baseline, zero pool misses) and merges
+// the annotated result into BENCH_e2e.json.
+//
+//   bench_e2e [--reps=5] [--smoke]
+//
+// --smoke shrinks to 2 reps and exits nonzero on any answer mismatch or
+// pool miss, so tier-1 ctest covers the whole split in a few seconds.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "crypto/paillier.h"
+#include "crypto/paillier_pool.h"
+#include "ml/linear_model.h"
+#include "ml/random_forest.h"
+#include "net/channel.h"
+#include "ot/iknp.h"
+#include "smc/secure_forest.h"
+#include "smc/secure_linear.h"
+#include "util/timer.h"
+
+namespace pafs {
+namespace {
+
+struct E2eOptions {
+  int reps = 5;
+  bool smoke = false;
+};
+
+// Base-OT handshake on its own channel pair; both directions run
+// concurrently exactly like a serving-layer session setup.
+double BaseOtSetupMs(OtExtSender& sender, OtExtReceiver& receiver,
+                     MemChannelPair& channel) {
+  Rng rng_s(101), rng_r(102);
+  Timer timer;
+  std::thread server([&] { sender.Setup(channel.endpoint(0), rng_s); });
+  receiver.Setup(channel.endpoint(1), rng_r);
+  server.join();
+  return timer.ElapsedMillis();
+}
+
+struct ForestSplit {
+  double offline_base_ot_ms = 0;
+  double cold_query_ms = 0;    // Fresh OT session inside the timed region.
+  double online_query_ms = 0;  // Warm session: best rep.
+  double online_mean_ms = 0;
+  uint64_t mismatches = 0;
+};
+
+ForestSplit RunForest(const E2eOptions& opt) {
+  // Same shape as bench_kernels ForestQueryMs (9 trees, depth 6, warfarin
+  // cohort) so cold_query_ms lines up with the historical baseline.
+  Rng rng(21);
+  Dataset train = GenerateWarfarinCohort(2000, rng);
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 9;
+  params.tree.max_depth = 6;
+  forest.Train(train, params, rng);
+  SecureForestCircuit spec(forest, train.features(), train.num_classes(), {});
+
+  ForestSplit r;
+
+  // Pre-split shape: every query pays the base OTs. Best of two to damp
+  // scheduler noise without doubling smoke time.
+  int cold_reps = opt.smoke ? 1 : 2;
+  for (int i = 0; i < cold_reps; ++i) {
+    MemChannelPair channel;
+    OtExtSender s;
+    OtExtReceiver recv;
+    Rng rng_g(1), rng_e(2);
+    const std::vector<int>& row = train.row(7);
+    Timer timer;
+    std::thread server([&] {
+      SecureForestRunServer(channel.endpoint(0), spec, forest, s, rng_g);
+    });
+    SmcRunStats stats =
+        SecureForestRunClient(channel.endpoint(1), train.features(),
+                              train.num_classes(), row, recv, rng_e);
+    server.join();
+    double ms = timer.ElapsedMillis();
+    if (i == 0 || ms < r.cold_query_ms) r.cold_query_ms = ms;
+    if (stats.predicted_class != forest.Predict(row)) ++r.mismatches;
+  }
+
+  // Offline once, then only transfer+garble+evaluate per query.
+  MemChannelPair channel;
+  OtExtSender sender;
+  OtExtReceiver receiver;
+  r.offline_base_ot_ms = BaseOtSetupMs(sender, receiver, channel);
+  Rng rng_g(1), rng_e(2);
+  double sum = 0;
+  for (int i = 0; i < opt.reps; ++i) {
+    const std::vector<int>& row = train.row((7 + i * 211) % train.size());
+    Timer timer;
+    std::thread server([&] {
+      SecureForestRunServer(channel.endpoint(0), spec, forest, sender, rng_g);
+    });
+    SmcRunStats stats =
+        SecureForestRunClient(channel.endpoint(1), train.features(),
+                              train.num_classes(), row, receiver, rng_e);
+    server.join();
+    double ms = timer.ElapsedMillis();
+    sum += ms;
+    if (i == 0 || ms < r.online_query_ms) r.online_query_ms = ms;
+    if (stats.predicted_class != forest.Predict(row)) ++r.mismatches;
+  }
+  r.online_mean_ms = sum / opt.reps;
+  return r;
+}
+
+struct LinearSplit {
+  double offline_keygen_ms = 0;
+  double offline_base_ot_ms = 0;
+  double offline_pad_prefill_ms = 0;
+  double offline_total_ms = 0;
+  double online_pooled_ms = 0;  // Warm session + full pools: best rep.
+  double online_pooled_mean_ms = 0;
+  double online_unpooled_ms = 0;  // Warm session, every modexp inline.
+  double online_unpooled_mean_ms = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pads_precomputed = 0;
+  uint64_t mismatches = 0;  // Pooled class != unpooled class on same row.
+};
+
+LinearSplit RunLinear(const E2eOptions& opt) {
+  Rng rng(33);
+  Dataset train = GenerateWarfarinCohort(1200, rng);
+  LinearModel model;
+  model.Train(train, LinearTrainParams());
+  SecureLinearProtocol protocol(train.features(), train.num_classes(), {});
+
+  LinearSplit r;
+
+  // Offline phase, piece by piece. 512-bit keys match the serving-layer
+  // default (core/pipeline.h).
+  Rng key_rng(0x0FF1);
+  Timer keygen_timer;
+  PaillierKeyPair keys = GeneratePaillierKey(key_rng, 512);
+  r.offline_keygen_ms = keygen_timer.ElapsedMillis();
+
+  MemChannelPair channel;
+  OtExtSender sender;
+  OtExtReceiver receiver;
+  r.offline_base_ot_ms = BaseOtSetupMs(sender, receiver, channel);
+
+  // Pools sized for every rep up front, so the online loop never refills:
+  // the client spends NumClientCiphertexts pads per query, the server one
+  // encrypt pad + one rerandomize pad per class.
+  size_t client_per_query = static_cast<size_t>(protocol.NumClientCiphertexts());
+  size_t server_per_query = 2u * static_cast<size_t>(train.num_classes());
+  size_t reps = static_cast<size_t>(opt.reps);
+  PaillierPadPool client_pool(keys.public_key, client_per_query * reps);
+  std::unique_ptr<PaillierPadPool> server_pool;
+  Rng client_fill_rng(61), server_fill_rng(62);
+  Timer prefill_timer;
+  client_pool.Refill(client_fill_rng, client_per_query * reps);
+  server_pool = std::make_unique<PaillierPadPool>(
+      PaillierPublicKey(keys.public_key.n()), server_per_query * reps);
+  server_pool->Refill(server_fill_rng, server_per_query * reps);
+  r.offline_pad_prefill_ms = prefill_timer.ElapsedMillis();
+  r.offline_total_ms =
+      r.offline_keygen_ms + r.offline_base_ot_ms + r.offline_pad_prefill_ms;
+  r.pads_precomputed = client_pool.stats().refilled +
+                       server_pool->stats().refilled;
+  PaillierPoolFn pool_for = [&](const BigInt& n) {
+    return server_pool->MatchesModulus(n) ? server_pool.get() : nullptr;
+  };
+
+  Rng server_rng(42), client_rng(43);
+  std::vector<int> pooled_classes(reps), unpooled_classes(reps);
+
+  // Unpooled first: same warm session, every r^n modexp inline. This is
+  // the online cost before the offline/online split.
+  double sum = 0;
+  for (size_t i = 0; i < reps; ++i) {
+    const std::vector<int>& row = train.row((333 + i * 97) % train.size());
+    SmcRunStats client_stats;
+    Timer timer;
+    std::thread server([&] {
+      protocol.RunServer(channel.endpoint(0), model, {}, sender, server_rng);
+    });
+    client_stats = protocol.RunClient(channel.endpoint(1), keys, row,
+                                      receiver, client_rng);
+    server.join();
+    double ms = timer.ElapsedMillis();
+    sum += ms;
+    if (i == 0 || ms < r.online_unpooled_ms) r.online_unpooled_ms = ms;
+    unpooled_classes[i] = client_stats.predicted_class;
+  }
+  r.online_unpooled_mean_ms = sum / static_cast<double>(reps);
+
+  // Pooled: identical rows, pads from the pools. Every take must hit.
+  sum = 0;
+  for (size_t i = 0; i < reps; ++i) {
+    const std::vector<int>& row = train.row((333 + i * 97) % train.size());
+    SmcRunStats client_stats;
+    Timer timer;
+    std::thread server([&] {
+      protocol.RunServer(channel.endpoint(0), model, {}, sender, server_rng,
+                         GarblingScheme::kHalfGates, pool_for);
+    });
+    client_stats =
+        protocol.RunClient(channel.endpoint(1), keys, row, receiver,
+                           client_rng, GarblingScheme::kHalfGates,
+                           &client_pool);
+    server.join();
+    double ms = timer.ElapsedMillis();
+    sum += ms;
+    if (i == 0 || ms < r.online_pooled_ms) r.online_pooled_ms = ms;
+    pooled_classes[i] = client_stats.predicted_class;
+  }
+  r.online_pooled_mean_ms = sum / static_cast<double>(reps);
+
+  // Masks cancel exactly inside the argmax circuit, so pooled and
+  // unpooled runs of the same row must agree bit for bit on the class.
+  for (size_t i = 0; i < reps; ++i) {
+    if (pooled_classes[i] != unpooled_classes[i]) ++r.mismatches;
+  }
+  r.pool_hits = client_pool.stats().hits + server_pool->stats().hits;
+  r.pool_misses = client_pool.stats().misses + server_pool->stats().misses;
+  return r;
+}
+
+void PrintForest(const ForestSplit& r) {
+  std::printf("  \"forest\": {\n");
+  std::printf("    \"offline_base_ot_ms\": %.3f,\n", r.offline_base_ot_ms);
+  std::printf("    \"cold_query_ms\": %.3f,\n", r.cold_query_ms);
+  std::printf("    \"online_query_ms\": %.3f,\n", r.online_query_ms);
+  std::printf("    \"online_mean_ms\": %.3f,\n", r.online_mean_ms);
+  std::printf("    \"mismatches\": %llu\n",
+              static_cast<unsigned long long>(r.mismatches));
+  std::printf("  },\n");
+}
+
+void PrintLinear(const LinearSplit& r) {
+  std::printf("  \"linear\": {\n");
+  std::printf("    \"offline_keygen_ms\": %.3f,\n", r.offline_keygen_ms);
+  std::printf("    \"offline_base_ot_ms\": %.3f,\n", r.offline_base_ot_ms);
+  std::printf("    \"offline_pad_prefill_ms\": %.3f,\n",
+              r.offline_pad_prefill_ms);
+  std::printf("    \"offline_total_ms\": %.3f,\n", r.offline_total_ms);
+  std::printf("    \"online_pooled_ms\": %.3f,\n", r.online_pooled_ms);
+  std::printf("    \"online_pooled_mean_ms\": %.3f,\n",
+              r.online_pooled_mean_ms);
+  std::printf("    \"online_unpooled_ms\": %.3f,\n", r.online_unpooled_ms);
+  std::printf("    \"online_unpooled_mean_ms\": %.3f,\n",
+              r.online_unpooled_mean_ms);
+  std::printf("    \"pool_hits\": %llu,\n",
+              static_cast<unsigned long long>(r.pool_hits));
+  std::printf("    \"pool_misses\": %llu,\n",
+              static_cast<unsigned long long>(r.pool_misses));
+  std::printf("    \"pads_precomputed\": %llu,\n",
+              static_cast<unsigned long long>(r.pads_precomputed));
+  std::printf("    \"mismatches\": %llu\n",
+              static_cast<unsigned long long>(r.mismatches));
+  std::printf("  }\n");
+}
+
+}  // namespace
+}  // namespace pafs
+
+int main(int argc, char** argv) {
+  using namespace pafs;
+  E2eOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      opt.reps = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    }
+  }
+  if (opt.smoke) opt.reps = 2;
+  if (opt.reps < 1) opt.reps = 1;
+
+  ForestSplit forest = RunForest(opt);
+  LinearSplit linear = RunLinear(opt);
+
+  std::printf("{\n");
+  std::printf("  \"reps\": %d,\n", opt.reps);
+  PrintForest(forest);
+  PrintLinear(linear);
+  std::printf("}\n");
+
+  if (opt.smoke) {
+    if (forest.mismatches > 0 || linear.mismatches > 0) {
+      std::fprintf(stderr, "bench_e2e --smoke: answer mismatches\n");
+      return 1;
+    }
+    if (linear.pool_misses > 0) {
+      std::fprintf(stderr,
+                   "bench_e2e --smoke: pooled run fell back to inline "
+                   "modexps (%llu misses)\n",
+                   static_cast<unsigned long long>(linear.pool_misses));
+      return 1;
+    }
+    if (forest.online_query_ms >= forest.cold_query_ms) {
+      std::fprintf(stderr,
+                   "bench_e2e --smoke: warm query (%.2f ms) not faster "
+                   "than cold (%.2f ms)\n",
+                   forest.online_query_ms, forest.cold_query_ms);
+      return 1;
+    }
+  }
+  return 0;
+}

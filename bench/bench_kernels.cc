@@ -10,9 +10,12 @@
 #include <thread>
 #include <vector>
 
+#include "bignum/modmath.h"
+#include "bignum/prime.h"
 #include "circuit/builder.h"
 #include "crypto/aes128.h"
 #include "crypto/cpu_features.h"
+#include "crypto/paillier.h"
 #include "crypto/prg.h"
 #include "data/warfarin_gen.h"
 #include "gc/garble.h"
@@ -154,6 +157,39 @@ double OtExtRowsPerS() {
   return kReps * static_cast<double>(kRows) / t.ElapsedSeconds();
 }
 
+// 256-bit-exponent modexps per second in the RFC3526 1024-bit group — the
+// base-OT hot shape that dominates session setup (and, scaled, the Paillier
+// r^n pad shape). A serial dependency chain so each rep is a full Exp.
+double ModExpPerS() {
+  const BigInt p = Rfc3526Prime1024();
+  MontgomeryCtx ctx(p);
+  Rng rng(31);
+  BigInt e = BigInt::RandomBits(rng, 256);
+  BigInt acc = Mod(BigInt::RandomBits(rng, 1020), p);
+  constexpr int kReps = 400;
+  Timer t;
+  for (int i = 0; i < kReps; ++i) {
+    acc = ctx.Exp(acc, e);
+    benchmark::DoNotOptimize(acc);
+  }
+  return kReps / t.ElapsedSeconds();
+}
+
+// Online Paillier encryptions per second at the serving key size (256-bit
+// n): each op pays the full r^n mod n^2 modexp.
+double PaillierEncryptPerS() {
+  Rng rng(32);
+  PaillierKeyPair keys = GeneratePaillierKey(rng, 256);
+  constexpr int kReps = 300;
+  Timer t;
+  BigInt ct;
+  for (int i = 0; i < kReps; ++i) {
+    ct = keys.public_key.Encrypt(BigInt(i & 1), rng);
+    benchmark::DoNotOptimize(ct);
+  }
+  return kReps / t.ElapsedSeconds();
+}
+
 // One full secure forest classification (9 trees, depth 6) over an
 // in-memory channel: circuit transfer + OT + garble + evaluate. Reports
 // the best of three runs to damp scheduler noise.
@@ -203,6 +239,8 @@ int main() {
   std::printf("  \"garble_gates_per_s\": %.0f,\n", GarbleGatesPerS());
   std::printf("  \"eval_gates_per_s\": %.0f,\n", EvalGatesPerS());
   std::printf("  \"ot_ext_rows_per_s\": %.0f,\n", OtExtRowsPerS());
+  std::printf("  \"modexp_per_s\": %.1f,\n", ModExpPerS());
+  std::printf("  \"paillier_encrypt_per_s\": %.1f,\n", PaillierEncryptPerS());
   std::printf("  \"forest_query_ms\": %.2f\n", ForestQueryMs());
   std::printf("}\n");
   return 0;

@@ -3,7 +3,9 @@
 //   pafs_server <nb|tree|linear|forest> <train.csv> <budget>
 //               [--listen=tcp:HOST:PORT|unix:PATH] [--max-sessions=N]
 //               [--threads=N] [--max-pending=N] [--idle-timeout=SECONDS]
-//               [--resume-cache=N] [--query-budget=SECONDS] [--breakdown]
+//               [--resume-cache=N] [--query-budget=SECONDS]
+//               [--pool-depth=N] [--pool-refill-batch=N] [--no-pool]
+//               [--breakdown]
 //
 // Trains the classifier, selects the privacy-aware disclosure plan under
 // the given risk budget, and serves secure classifications to concurrent
@@ -47,11 +49,18 @@ int Usage() {
       "                   [--max-sessions=N] [--threads=N]\n"
       "                   [--max-pending=N] [--idle-timeout=SECONDS]\n"
       "                   [--resume-cache=N] [--query-budget=SECONDS]\n"
-      "                   [--breakdown]\n"
+      "                   [--pool-depth=N] [--pool-refill-batch=N]\n"
+      "                   [--no-pool] [--breakdown]\n"
       "  --resume-cache=N     suspended-session snapshots kept for ticket\n"
       "                       resumption (0 disables resume tickets)\n"
       "  --query-budget=S     watchdog cancels any single query running\n"
-      "                       longer than S seconds (0 = unlimited)\n");
+      "                       longer than S seconds (0 = unlimited)\n"
+      "  --pool-depth=N       Paillier pads precomputed per idle session\n"
+      "                       for the linear protocol (0 disables pools)\n"
+      "  --pool-refill-batch=N  pads an idle-time filler step computes\n"
+      "                       before re-checking for foreground work\n"
+      "  --no-pool            serve every query with inline modexps\n"
+      "                       (same as PAFS_NO_POOL=1)\n");
   return 2;
 }
 
@@ -113,6 +122,12 @@ int main(int argc, char** argv) {
       server_config.resume_cache_entries = std::atoi(arg + 15);
     } else if (std::strncmp(arg, "--query-budget=", 15) == 0) {
       server_config.query_budget_seconds = std::strtod(arg + 15, nullptr);
+    } else if (std::strncmp(arg, "--pool-depth=", 13) == 0) {
+      server_config.pool_pad_depth = std::atoi(arg + 13);
+    } else if (std::strncmp(arg, "--pool-refill-batch=", 20) == 0) {
+      server_config.pool_refill_batch = std::atoi(arg + 20);
+    } else if (std::strcmp(arg, "--no-pool") == 0) {
+      server_config.enable_pools = false;
     } else if (std::strcmp(arg, "--breakdown") == 0) {
       breakdown = true;
       PafsTelemetry::Enable();
@@ -169,6 +184,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.resume_misses),
                 static_cast<unsigned long long>(stats.replay_hits),
                 static_cast<unsigned long long>(stats.queries_cancelled));
+    std::printf("offline precompute: %llu Paillier pads filled while idle\n",
+                static_cast<unsigned long long>(stats.pool_pads_precomputed));
   } catch (const TransportError& e) {
     std::fprintf(stderr, "server error: %s\n", e.what());
     return 1;

@@ -43,10 +43,17 @@ out = {
     # scalar transpose, -O2), measured with the same workloads before this
     # kernel layer landed. Kept so the committed file records the true
     # pre-PR baseline, not just the portable arm of the new code.
+    # modexp_per_s / paillier_encrypt_per_s / forest_query_ms were frozen
+    # before the fixed-window Montgomery exponentiation landed (binary
+    # ladder with per-step allocations; base OTs priced into the forest
+    # query).
     "pre_pr_baseline": {
         "aes_single_ns_per_block": 287.19,
         "garble_gates_per_s": 424389,
         "eval_gates_per_s": 1563787,
+        "modexp_per_s": 1190.9,
+        "paillier_encrypt_per_s": 4387.7,
+        "forest_query_ms": 404.63,
     },
     "portable": portable,
     "hardware": hardware,

@@ -40,7 +40,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # parallel kernels, and the end-to-end serving smoke. The numeric/protocol
   # suites are single-threaded and covered by the ASan gate.
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R '^(net_test|serve_test|chaos_test|util_test|obs_test|kernel_test|bench_serving_smoke)$'
+    -R '^(net_test|serve_test|chaos_test|util_test|obs_test|kernel_test|bench_serving_smoke|bench_e2e_smoke)$'
   echo "check.sh: tsan green"
   exit 0
 fi

@@ -79,6 +79,16 @@ uint32_t NegInverseU32(uint32_t m) {
   return ~inv + 1;  // == -inv mod 2^32
 }
 
+// Window width for a sliding-window exponentiation: balances the
+// 2^(w-1)-entry odd-power table build against bits/(w+1) saved multiplies.
+int WindowBitsFor(int exp_bits) {
+  if (exp_bits <= 6) return 1;
+  if (exp_bits <= 24) return 2;
+  if (exp_bits <= 80) return 3;
+  if (exp_bits <= 240) return 4;
+  return 5;
+}
+
 }  // namespace
 
 MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : modulus_(modulus) {
@@ -87,24 +97,32 @@ MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : modulus_(modulus) {
   m_limbs_ = modulus.limbs();
   k_ = m_limbs_.size();
   n0_inv_ = NegInverseU32(m_limbs_[0]);
-  // R = 2^(32k); R mod m computed once via plain division.
+  // R = 2^(32k); R mod m and R^2 mod m computed once via plain division.
   BigInt r = BigInt(1) << static_cast<int>(32 * k_);
-  r_mod_m_ = r % modulus_;
+  one_mont_ = (r % modulus_).limbs();
+  one_mont_.resize(k_, 0);
+  r2_mont_ = ((r * r) % modulus_).limbs();
+  r2_mont_.resize(k_, 0);
+  one_.assign(k_, 0);
+  one_[0] = 1;
 }
 
 std::vector<uint32_t> MontgomeryCtx::ToMont(const BigInt& x) const {
-  BigInt shifted = Mod(x, modulus_) << static_cast<int>(32 * k_);
-  BigInt reduced = shifted % modulus_;
-  std::vector<uint32_t> out = reduced.limbs();
-  out.resize(k_, 0);
+  // x*R = MontMul(x, R^2) — one multiply instead of a shifted division.
+  std::vector<uint32_t> reduced = Mod(x, modulus_).limbs();
+  reduced.resize(k_, 0);
+  std::vector<uint32_t> out(k_);
+  std::vector<uint32_t> scratch(k_ + 2);
+  MontMulInto(reduced.data(), r2_mont_.data(), out.data(), scratch.data());
   return out;
 }
 
 BigInt MontgomeryCtx::FromMont(const std::vector<uint32_t>& x_mont) const {
-  // Multiplying by Montgomery-1 strips the R factor.
-  std::vector<uint32_t> one(k_, 0);
-  one[0] = 1;
-  std::vector<uint32_t> stripped = MontMul(x_mont, one);
+  // Multiplying by literal 1 strips the R factor.
+  PAFS_CHECK_EQ(x_mont.size(), k_);
+  std::vector<uint32_t> stripped(k_);
+  std::vector<uint32_t> scratch(k_ + 2);
+  MontMulInto(x_mont.data(), one_.data(), stripped.data(), scratch.data());
   return BigInt::FromLimbs(std::move(stripped));
 }
 
@@ -112,77 +130,204 @@ std::vector<uint32_t> MontgomeryCtx::MontMul(
     const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) const {
   PAFS_CHECK_EQ(a.size(), k_);
   PAFS_CHECK_EQ(b.size(), k_);
-  // CIOS (coarsely integrated operand scanning), Koç et al. 1996.
-  std::vector<uint32_t> t(k_ + 2, 0);
-  for (size_t i = 0; i < k_; ++i) {
+  std::vector<uint32_t> out(k_);
+  std::vector<uint32_t> scratch(k_ + 2);
+  MontMulInto(a.data(), b.data(), out.data(), scratch.data());
+  return out;
+}
+
+void MontgomeryCtx::MontMulInto(const uint32_t* a, const uint32_t* b,
+                                uint32_t* out, uint32_t* t) const {
+  // CIOS (coarsely integrated operand scanning), Koç et al. 1996. The
+  // product accumulates in t (k+2 limbs), so out may alias a or b.
+  const size_t k = k_;
+  const uint32_t* m = m_limbs_.data();
+  for (size_t i = 0; i < k + 2; ++i) t[i] = 0;
+  for (size_t i = 0; i < k; ++i) {
     uint64_t carry = 0;
     uint64_t a_i = a[i];
-    for (size_t j = 0; j < k_; ++j) {
+    for (size_t j = 0; j < k; ++j) {
       uint64_t cur = t[j] + a_i * b[j] + carry;
       t[j] = static_cast<uint32_t>(cur);
       carry = cur >> 32;
     }
-    uint64_t cur = t[k_] + carry;
-    t[k_] = static_cast<uint32_t>(cur);
-    t[k_ + 1] = static_cast<uint32_t>(cur >> 32);
+    uint64_t cur = t[k] + carry;
+    t[k] = static_cast<uint32_t>(cur);
+    t[k + 1] = static_cast<uint32_t>(cur >> 32);
 
     uint32_t mu = static_cast<uint32_t>(t[0] * n0_inv_);
-    cur = t[0] + static_cast<uint64_t>(mu) * m_limbs_[0];
+    cur = t[0] + static_cast<uint64_t>(mu) * m[0];
     carry = cur >> 32;
-    for (size_t j = 1; j < k_; ++j) {
-      cur = t[j] + static_cast<uint64_t>(mu) * m_limbs_[j] + carry;
+    for (size_t j = 1; j < k; ++j) {
+      cur = t[j] + static_cast<uint64_t>(mu) * m[j] + carry;
       t[j - 1] = static_cast<uint32_t>(cur);
       carry = cur >> 32;
     }
-    cur = t[k_] + carry;
-    t[k_ - 1] = static_cast<uint32_t>(cur);
+    cur = t[k] + carry;
+    t[k - 1] = static_cast<uint32_t>(cur);
     carry = cur >> 32;
-    t[k_] = t[k_ + 1] + static_cast<uint32_t>(carry);
-    t[k_ + 1] = 0;
+    t[k] = t[k + 1] + static_cast<uint32_t>(carry);
+    t[k + 1] = 0;
   }
   // Conditional final subtraction brings the result below m.
-  std::vector<uint32_t> result(t.begin(), t.begin() + k_);
-  bool needs_sub = t[k_] != 0;
+  bool needs_sub = t[k] != 0;
   if (!needs_sub) {
     needs_sub = true;
-    for (size_t i = k_; i-- > 0;) {
-      if (result[i] != m_limbs_[i]) {
-        needs_sub = result[i] > m_limbs_[i];
+    for (size_t i = k; i-- > 0;) {
+      if (t[i] != m[i]) {
+        needs_sub = t[i] > m[i];
         break;
       }
     }
   }
   if (needs_sub) {
     // CIOS guarantees t < 2m, so one subtraction suffices; a borrow out of
-    // the low k limbs cancels against the t[k_] overflow word.
+    // the low k limbs cancels against the t[k] overflow word.
     int64_t borrow = 0;
-    for (size_t i = 0; i < k_; ++i) {
-      int64_t diff = static_cast<int64_t>(result[i]) -
-                     static_cast<int64_t>(m_limbs_[i]) - borrow;
+    for (size_t i = 0; i < k; ++i) {
+      int64_t diff = static_cast<int64_t>(t[i]) - static_cast<int64_t>(m[i]) -
+                     borrow;
       if (diff < 0) {
         diff += 1ll << 32;
         borrow = 1;
       } else {
         borrow = 0;
       }
-      result[i] = static_cast<uint32_t>(diff);
+      out[i] = static_cast<uint32_t>(diff);
     }
-    // Any remaining borrow cancels against the t[k_] overflow word.
+  } else {
+    for (size_t i = 0; i < k; ++i) out[i] = t[i];
   }
-  return result;
 }
 
 BigInt MontgomeryCtx::Exp(const BigInt& a, const BigInt& e) const {
   PAFS_CHECK(!e.is_negative());
   if (e.is_zero()) return Mod(BigInt(1), modulus_);
+  const int bits = e.BitLength();
+  const int w = WindowBitsFor(bits);
+  const size_t npow = size_t{1} << (w - 1);
+
+  // Per-exp scratch, allocated once: the odd-power table pow[i] = a^(2i+1),
+  // the accumulator, one squaring temp, and the CIOS scratch.
   std::vector<uint32_t> base = ToMont(a);
-  std::vector<uint32_t> acc = r_mod_m_.limbs();
-  acc.resize(k_, 0);  // Montgomery form of 1.
+  std::vector<uint32_t> table(npow * k_);
+  std::vector<uint32_t> acc(k_);
+  std::vector<uint32_t> sq(k_);
+  std::vector<uint32_t> scratch(k_ + 2);
+  uint32_t* t = scratch.data();
+
+  for (size_t i = 0; i < k_; ++i) table[i] = base[i];
+  if (npow > 1) {
+    // a^2, then odd powers a^3, a^5, ... by repeated multiplication.
+    MontMulInto(base.data(), base.data(), sq.data(), t);
+    for (size_t i = 1; i < npow; ++i) {
+      MontMulInto(&table[(i - 1) * k_], sq.data(), &table[i * k_], t);
+    }
+  }
+
+  // Sliding window, most-significant bit first: zeros cost one squaring
+  // each; a set bit opens a w-wide window shrunk to end on a set bit, so
+  // every table lookup hits an odd power.
+  bool started = false;
+  int i = bits - 1;
+  while (i >= 0) {
+    if (!e.GetBit(i)) {
+      if (started) MontMulInto(acc.data(), acc.data(), acc.data(), t);
+      --i;
+      continue;
+    }
+    int j = i - w + 1;
+    if (j < 0) j = 0;
+    while (!e.GetBit(j)) ++j;
+    uint32_t window = 0;
+    for (int b = i; b >= j; --b) {
+      window = (window << 1) | (e.GetBit(b) ? 1u : 0u);
+    }
+    const uint32_t* entry = &table[(window >> 1) * k_];
+    if (started) {
+      for (int b = i; b >= j; --b) {
+        MontMulInto(acc.data(), acc.data(), acc.data(), t);
+      }
+      MontMulInto(acc.data(), entry, acc.data(), t);
+    } else {
+      for (size_t l = 0; l < k_; ++l) acc[l] = entry[l];
+      started = true;
+    }
+    i = j - 1;
+  }
+  return FromMont(acc);
+}
+
+BigInt MontgomeryCtx::ExpBinary(const BigInt& a, const BigInt& e) const {
+  PAFS_CHECK(!e.is_negative());
+  if (e.is_zero()) return Mod(BigInt(1), modulus_);
+  std::vector<uint32_t> base = ToMont(a);
+  std::vector<uint32_t> acc = one_mont_;  // Montgomery form of 1.
   for (int i = e.BitLength() - 1; i >= 0; --i) {
     acc = MontMul(acc, acc);
     if (e.GetBit(i)) acc = MontMul(acc, base);
   }
   return FromMont(acc);
+}
+
+MontFixedBasePowers::MontFixedBasePowers(const MontgomeryCtx& ctx,
+                                         const BigInt& base, int max_exp_bits,
+                                         int window_bits)
+    : ctx_(&ctx), window_bits_(window_bits) {
+  PAFS_CHECK(max_exp_bits > 0);
+  PAFS_CHECK(window_bits >= 1 && window_bits <= 8);
+  rows_ = (max_exp_bits + window_bits - 1) / window_bits;
+  const size_t k = ctx.k_;
+  const size_t digits = (size_t{1} << window_bits) - 1;  // Digits 1..2^w-1.
+  table_.resize(static_cast<size_t>(rows_) * digits * k);
+  std::vector<uint32_t> scratch(k + 2);
+  uint32_t* t = scratch.data();
+
+  // cur = base^(2^(w*i)) walks up the rows; within a row, digit d is
+  // cur^d by repeated multiplication.
+  std::vector<uint32_t> cur = ctx.ToMont(base);
+  for (int i = 0; i < rows_; ++i) {
+    uint32_t* row = &table_[static_cast<size_t>(i) * digits * k];
+    for (size_t l = 0; l < k; ++l) row[l] = cur[l];
+    for (size_t d = 2; d <= digits; ++d) {
+      ctx.MontMulInto(&row[(d - 2) * k], cur.data(), &row[(d - 1) * k], t);
+    }
+    if (i + 1 < rows_) {
+      // cur^(2^w) = (cur^(2^(w-1)))^2, one square off the half-way entry.
+      const uint32_t* half = &row[((size_t{1} << (window_bits_ - 1)) - 1) * k];
+      ctx.MontMulInto(half, half, cur.data(), t);
+    }
+  }
+}
+
+BigInt MontFixedBasePowers::Exp(const BigInt& e) const {
+  PAFS_CHECK(!e.is_negative());
+  PAFS_CHECK_MSG(e.BitLength() <= rows_ * window_bits_,
+                 "exponent longer than the fixed-base table");
+  const size_t k = ctx_->k_;
+  const size_t digits = (size_t{1} << window_bits_) - 1;
+  std::vector<uint32_t> acc(k);
+  std::vector<uint32_t> scratch(k + 2);
+  uint32_t* t = scratch.data();
+  bool started = false;
+  for (int i = 0; i < rows_; ++i) {
+    uint32_t digit = 0;
+    for (int b = window_bits_ - 1; b >= 0; --b) {
+      int bit = i * window_bits_ + b;
+      digit = (digit << 1) | (e.GetBit(bit) ? 1u : 0u);
+    }
+    if (digit == 0) continue;
+    const uint32_t* entry =
+        &table_[(static_cast<size_t>(i) * digits + digit - 1) * k];
+    if (started) {
+      ctx_->MontMulInto(acc.data(), entry, acc.data(), t);
+    } else {
+      for (size_t l = 0; l < k; ++l) acc[l] = entry[l];
+      started = true;
+    }
+  }
+  if (!started) return Mod(BigInt(1), ctx_->modulus_);  // e == 0.
+  return ctx_->FromMont(acc);
 }
 
 BigInt ModExp(const BigInt& a, const BigInt& e, const BigInt& m) {

@@ -33,13 +33,19 @@ BigInt CrtCombine(const BigInt& r_p, const BigInt& p, const BigInt& r_q,
 
 // Reusable Montgomery state for a fixed odd modulus. Exposing this lets
 // Paillier amortize the per-modulus setup across thousands of operations.
+//
+// Thread safety: all methods are const and allocate any scratch they need
+// per call, so one context may serve concurrent exponentiations (Paillier
+// keys share theirs through a shared_ptr).
 class MontgomeryCtx {
  public:
   explicit MontgomeryCtx(const BigInt& modulus);
 
   const BigInt& modulus() const { return modulus_; }
+  // Limb count of the modulus; every Montgomery-form vector has this size.
+  size_t limbs() const { return k_; }
 
-  // x -> x*R mod m, with x already reduced mod m.
+  // x -> x*R mod m, with x reduced mod m first.
   std::vector<uint32_t> ToMont(const BigInt& x) const;
   BigInt FromMont(const std::vector<uint32_t>& x_mont) const;
 
@@ -47,15 +53,55 @@ class MontgomeryCtx {
   std::vector<uint32_t> MontMul(const std::vector<uint32_t>& a,
                                 const std::vector<uint32_t>& b) const;
 
-  // a^e mod m (a any sign/size; result in normal form).
+  // Allocation-free core behind MontMul: a, b, out are k limbs, scratch is
+  // k+2 limbs. out may alias a and/or b (the product lands in scratch
+  // before out is written). Expert API for tight exponentiation loops.
+  void MontMulInto(const uint32_t* a, const uint32_t* b, uint32_t* out,
+                   uint32_t* scratch) const;
+
+  // a^e mod m (a any sign/size; result in normal form). Sliding fixed-width
+  // window over a precomputed odd-power table; the window width is picked
+  // from the exponent length and all scratch is allocated once per call.
   BigInt Exp(const BigInt& a, const BigInt& e) const;
 
+  // Plain binary square-and-multiply ladder, kept as the differential-test
+  // reference for Exp. Same contract.
+  BigInt ExpBinary(const BigInt& a, const BigInt& e) const;
+
  private:
+  friend class MontFixedBasePowers;
+
   BigInt modulus_;
   std::vector<uint32_t> m_limbs_;  // Padded to k_ limbs.
   size_t k_;                       // Limb count of the modulus.
   uint32_t n0_inv_;                // -m^{-1} mod 2^32.
-  BigInt r_mod_m_;                 // R mod m (Montgomery form of 1).
+  std::vector<uint32_t> one_mont_;  // R mod m: Montgomery form of 1.
+  std::vector<uint32_t> one_;       // Literal 1, padded; FromMont operand.
+  std::vector<uint32_t> r2_mont_;   // R^2 mod m: ToMont via one MontMul.
+};
+
+// Fixed-base precomputation (radix-2^w comb): pays one table build for a
+// base that is exponentiated many times with bounded-length exponents, then
+// answers each Exp with ~max_exp_bits/w multiplies and no squarings. This
+// is the base-OT shape: hundreds of short-exponent exponentiations of the
+// fixed generator g and the per-session element A.
+class MontFixedBasePowers {
+ public:
+  // `ctx` must outlive this table. Exponents passed to Exp must have
+  // BitLength() <= max_exp_bits.
+  MontFixedBasePowers(const MontgomeryCtx& ctx, const BigInt& base,
+                      int max_exp_bits, int window_bits = 4);
+
+  // base^e mod m for 0 <= e < 2^max_exp_bits.
+  BigInt Exp(const BigInt& e) const;
+
+ private:
+  const MontgomeryCtx* ctx_;
+  int window_bits_;
+  int rows_;
+  // Row i, digit d in [1, 2^w): base^(d * 2^(w*i)) in Montgomery form,
+  // flattened at ((i * (2^w - 1)) + d - 1) * k limbs.
+  std::vector<uint32_t> table_;
 };
 
 }  // namespace pafs

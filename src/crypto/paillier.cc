@@ -43,13 +43,30 @@ BigInt PaillierPublicKey::Encrypt(const BigInt& m, Rng& rng) const {
   obs::TraceSpan span("paillier.encrypt");
   static obs::Counter& ops = obs::GetCounter("paillier.encrypt");
   ops.Add();
+  return EncryptWithPad(m, ComputePad(SamplePadBase(rng)));
+}
+
+BigInt PaillierPublicKey::SamplePadBase(Rng& rng) const {
+  // r uniform in [1, n); with overwhelming probability gcd(r, n) = 1.
+  return BigInt::RandomBelow(rng, n_ - BigInt(1)) + BigInt(1);
+}
+
+BigInt PaillierPublicKey::ComputePad(const BigInt& r) const {
+  obs::TraceSpan span("paillier.pad");
+  return ctx_n2_->Exp(r, n_);
+}
+
+BigInt PaillierPublicKey::EncryptWithPad(const BigInt& m,
+                                         const BigInt& pad) const {
   BigInt encoded = EncodeSigned(m);
   // With g = n+1, g^m = 1 + m*n (mod n^2): one multiplication, no modexp.
   BigInt g_to_m = Mod(BigInt(1) + encoded * n_, n_squared_);
-  // r uniform in [1, n); with overwhelming probability gcd(r, n) = 1.
-  BigInt r = BigInt::RandomBelow(rng, n_ - BigInt(1)) + BigInt(1);
-  BigInt r_to_n = ctx_n2_->Exp(r, n_);
-  return ModMul(g_to_m, r_to_n, n_squared_);
+  return ModMul(g_to_m, pad, n_squared_);
+}
+
+BigInt PaillierPublicKey::RerandomizeWithPad(const BigInt& c,
+                                             const BigInt& pad) const {
+  return ModMul(c, pad, n_squared_);
 }
 
 BigInt PaillierPublicKey::Add(const BigInt& c1, const BigInt& c2) const {
@@ -82,8 +99,7 @@ BigInt PaillierPublicKey::Rerandomize(const BigInt& c, Rng& rng) const {
   obs::TraceSpan span("paillier.rerandomize");
   static obs::Counter& ops = obs::GetCounter("paillier.rerandomize");
   ops.Add();
-  BigInt r = BigInt::RandomBelow(rng, n_ - BigInt(1)) + BigInt(1);
-  return ModMul(c, ctx_n2_->Exp(r, n_), n_squared_);
+  return RerandomizeWithPad(c, ComputePad(SamplePadBase(rng)));
 }
 
 PaillierPrivateKey::PaillierPrivateKey(const BigInt& p, const BigInt& q)

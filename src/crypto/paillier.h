@@ -37,6 +37,16 @@ class PaillierPublicKey {
   // Fresh randomness on an existing ciphertext (unlinkability).
   BigInt Rerandomize(const BigInt& c, Rng& rng) const;
 
+  // Offline/online split (see crypto/paillier_pool.h): the expensive half
+  // of Encrypt/Rerandomize is the input-independent pad r^n mod n^2, so it
+  // can be computed ahead of time and the online op becomes one modular
+  // multiply. SamplePadBase makes exactly the draw Encrypt would, keeping
+  // pooled and inline encryption byte-identical for the same rng stream.
+  BigInt SamplePadBase(Rng& rng) const;          // r uniform in [1, n).
+  BigInt ComputePad(const BigInt& r) const;      // r^n mod n^2.
+  BigInt EncryptWithPad(const BigInt& m, const BigInt& pad) const;
+  BigInt RerandomizeWithPad(const BigInt& c, const BigInt& pad) const;
+
   // Maps a signed value into Z_n.
   BigInt EncodeSigned(const BigInt& m) const;
   // Maps a Z_n residue back to (-n/2, n/2].

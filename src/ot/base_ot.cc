@@ -1,5 +1,7 @@
 #include "ot/base_ot.h"
 
+#include <memory>
+
 #include "bignum/modmath.h"
 #include "bignum/prime.h"
 #include "crypto/sha256.h"
@@ -11,12 +13,20 @@ namespace pafs {
 
 namespace {
 
+// Exponents are 256-bit (short-exponent optimization, see senders below).
+constexpr int kExpBits = 256;
+
 // Group: quadratic residues mod the fixed safe prime p, generator g = 4
 // (a square, hence generates the order-q subgroup with q = (p-1)/2).
+// The Montgomery context and the fixed-base table for g are shared
+// process-wide: both are immutable after construction, so concurrent
+// sessions read them freely.
 struct Group {
   BigInt p;
   BigInt q;
   BigInt g;
+  std::unique_ptr<MontgomeryCtx> ctx;
+  std::unique_ptr<MontFixedBasePowers> g_pow;
 };
 
 const Group& FixedGroup() {
@@ -25,6 +35,8 @@ const Group& FixedGroup() {
     g->p = Rfc3526Prime1024();
     g->q = (g->p - BigInt(1)) >> 1;
     g->g = BigInt(4);
+    g->ctx = std::make_unique<MontgomeryCtx>(g->p);
+    g->g_pow = std::make_unique<MontFixedBasePowers>(*g->ctx, g->g, kExpBits);
     return g;
   }();
   return *kGroup;
@@ -57,11 +69,14 @@ void BaseOtSend(Channel& channel,
   // reply B encodes its choice; k0 = H(B^a), k1 = H((B/A)^a).
   // Short-exponent optimization: 256-bit exponents in the 1024-bit
   // safe-prime group, standard practice for DH-style protocols.
-  BigInt a = BigInt::RandomBits(rng, 256);
-  BigInt big_a = ModExp(grp.g, a, grp.p);
+  BigInt a = BigInt::RandomBits(rng, kExpBits);
+  BigInt big_a = grp.g_pow->Exp(a);
   channel.SendBigInt(big_a);
 
-  BigInt big_a_inv = ModInverse(big_a, grp.p);
+  // k1 = (B/A)^a = B^a * A^{-a}: precomputing A^{-a} once turns the second
+  // per-transfer exponentiation into a single modular multiply, with
+  // bit-identical wire output.
+  BigInt a_corr = grp.ctx->Exp(ModInverse(big_a, grp.p), a);
   for (size_t j = 0; j < messages.size(); ++j) {
     BigInt big_b = channel.RecvBigInt();
     // Range check on untrusted wire data: a rogue element is the peer
@@ -69,8 +84,8 @@ void BaseOtSend(Channel& channel,
     if (!(big_b > BigInt(0)) || !(big_b < grp.p)) {
       throw ProtocolError("base OT: received B outside the group range");
     }
-    BigInt k0_elem = ModExp(big_b, a, grp.p);
-    BigInt k1_elem = ModExp(ModMul(big_b, big_a_inv, grp.p), a, grp.p);
+    BigInt k0_elem = grp.ctx->Exp(big_b, a);
+    BigInt k1_elem = ModMul(k0_elem, a_corr, grp.p);
     Block pad0 = KdfBlock(k0_elem, j);
     Block pad1 = KdfBlock(k1_elem, j);
     channel.SendBlock(messages[j][0] ^ pad0);
@@ -90,13 +105,17 @@ std::vector<Block> BaseOtRecv(Channel& channel, const BitVec& choices,
     throw ProtocolError("base OT: received A outside the group range");
   }
 
+  // Both receiver bases are fixed across the batch: g process-wide, A for
+  // this session. One table build amortizes over 2x128 exponentiations.
+  MontFixedBasePowers a_pow(*grp.ctx, big_a, kExpBits);
+
   std::vector<Block> out(choices.size());
   for (size_t j = 0; j < choices.size(); ++j) {
-    BigInt b = BigInt::RandomBits(rng, 256);  // Short exponent, see sender.
-    BigInt big_b = ModExp(grp.g, b, grp.p);
+    BigInt b = BigInt::RandomBits(rng, kExpBits);  // Short exponent, as sender.
+    BigInt big_b = grp.g_pow->Exp(b);
     if (choices.Get(j)) big_b = ModMul(big_b, big_a, grp.p);
     channel.SendBigInt(big_b);
-    Block pad = KdfBlock(ModExp(big_a, b, grp.p), j);
+    Block pad = KdfBlock(a_pow.Exp(b), j);
     Block c0 = channel.RecvBlock();
     Block c1 = channel.RecvBlock();
     out[j] = (choices.Get(j) ? c1 : c0) ^ pad;

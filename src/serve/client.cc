@@ -9,6 +9,7 @@
 #include "net/error.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/precompute.h"
 #include "smc/secure_forest.h"
 #include "smc/secure_tree.h"
 #include "util/check.h"
@@ -83,6 +84,10 @@ void ClassificationClient::ConnectOnce() {
     }
     ticket_ = RecvTicketFrame(*framed_);
     RestoreSnapshot();
+    // The restored rng sits exactly at the snapshot position, so this
+    // refill makes the same draws a re-run's inline fallback would — a
+    // replayed retry still matches the transcript, pads and all.
+    RefillPadPool();
     ++resumes_;
     static obs::Counter& resumed = obs::GetCounter("serve.client.resumes");
     resumed.Add();
@@ -111,7 +116,9 @@ void ClassificationClient::ConnectOnce() {
   }
   // A new server session means new base OTs: the old extension state is
   // bound to the dead session's sender. (Paillier keys are client-local
-  // and survive reconnects.)
+  // and survive reconnects.) Pooled pads were drawn from a pre-reconnect
+  // rng position, which the snapshot below will not cover — drop them.
+  if (pad_pool_ != nullptr) pad_pool_->Clear();
   ot_ = OtExtReceiver();
   // The ticket frame closes the fresh handshake; empty means the server
   // runs with resumption disabled.
@@ -125,7 +132,26 @@ void ClassificationClient::ConnectOnce() {
   } else {
     SnapshotState();
   }
+  // Offline phase: with the snapshot taken, pad draws are replay-safe, so
+  // the first query on this fresh session already runs pooled.
+  RefillPadPool();
   open_ = true;
+}
+
+void ClassificationClient::RefillPadPool() {
+  if (linear_spec_ == nullptr || !keys_.has_value() || PoolsDisabledByEnv()) {
+    return;
+  }
+  // One query's worth of pads: phase 1 sends NumClientCiphertexts()
+  // ciphertexts, each spending one pad.
+  size_t target = static_cast<size_t>(linear_spec_->NumClientCiphertexts());
+  if (pad_pool_ == nullptr ||
+      !pad_pool_->MatchesModulus(keys_->public_key.n()) ||
+      pad_pool_->target_depth() != target) {
+    pad_pool_ = std::make_unique<PaillierPadPool>(keys_->public_key, target);
+  }
+  obs::TraceSpan span("serve.client.pad_refill");
+  pad_pool_->Refill(rng_, pad_pool_->Deficit());
 }
 
 void ClassificationClient::SnapshotState() {
@@ -137,6 +163,10 @@ void ClassificationClient::SnapshotState() {
 }
 
 void ClassificationClient::RestoreSnapshot() {
+  // Replay determinism: the snapshot's rng position precedes every pooled
+  // pad draw, so the pads must go — the re-run query re-draws the same
+  // bases inline and reproduces its ciphertexts byte for byte.
+  if (pad_pool_ != nullptr) pad_pool_->Clear();
   ot_ = OtExtReceiver::Deserialize(ot_snapshot_);
   ByteReader reader(rng_snapshot_);
   rng_ = Rng::Deserialize(reader);
@@ -276,9 +306,12 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
         // this very query replays from the post-keygen stream (keys_ is
         // kept across reconnects and never regenerated).
         if (!ticket_.empty()) SnapshotState();
+        // Post-snapshot, so the pads below are covered by replay: even the
+        // session's first linear query runs the pooled path.
+        RefillPadPool();
       }
       stats = linear_spec_->RunClient(ch, *keys_, row, ot_, rng_,
-                                      setup_.scheme);
+                                      setup_.scheme, pad_pool_.get());
       break;
     }
     case ClassifierKind::kForest: {
@@ -308,6 +341,9 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
   // Checkpoint post-success state: a reconnect-with-ticket rewinds here,
   // exactly matching the server's refreshed cache entry.
   if (!ticket_.empty()) SnapshotState();
+  // Offline phase for the *next* query, paid now while no reply is being
+  // awaited; only legal right after the snapshot (replay covers the draws).
+  RefillPadPool();
   return stats;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "crypto/paillier.h"
+#include "crypto/paillier_pool.h"
 #include "net/fault.h"
 #include "net/framing.h"
 #include "net/socket.h"
@@ -136,6 +137,11 @@ class ClassificationClient {
   // Discards the ticket and snapshots (after kResync or when the server
   // runs with resumption disabled); the next reconnect is a full handshake.
   void ForgetResumeState();
+  // Tops the Paillier pad pool up from rng_ (offline phase of the next
+  // linear query). Only legal immediately after SnapshotState — pads drawn
+  // before a snapshot but consumed after it would make a replayed retry
+  // diverge from the transcript (crypto/paillier_pool.h contract).
+  void RefillPadPool();
 
   ClientConfig config_;
   SessionSetup setup_;
@@ -146,6 +152,10 @@ class ClassificationClient {
   std::unique_ptr<SecureNbCircuit> nb_spec_;
   std::unique_ptr<SecureLinearProtocol> linear_spec_;
   std::optional<PaillierKeyPair> keys_;  // Lazily generated (kLinear only).
+  // Precomputed Encrypt pads for the next query's phase 1, drawn from rng_
+  // only right after a snapshot and cleared whenever one is restored (or a
+  // fresh session starts) so retried queries stay byte-identical.
+  std::unique_ptr<PaillierPadPool> pad_pool_;
   OtExtReceiver ot_;
   Rng rng_;
   // Resumption state: the live ticket plus the serialized crypto snapshot

@@ -1,0 +1,88 @@
+#include "serve/precompute.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pafs::serve {
+
+bool PoolsDisabledByEnv() {
+  const char* v = std::getenv("PAFS_NO_POOL");
+  return v != nullptr && std::strtoull(v, nullptr, 10) != 0;
+}
+
+SessionPrecompute::SessionPrecompute(const PrecomputeConfig& config,
+                                     uint64_t seed)
+    : config_(config), fill_rng_(seed) {
+  if (PoolsDisabledByEnv()) config_.enabled = false;
+}
+
+PaillierPadPool* SessionPrecompute::PadsFor(const BigInt& n) {
+  if (!config_.enabled) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr || !pool_->MatchesModulus(n)) {
+    pool_ = std::make_unique<PaillierPadPool>(
+        PaillierPublicKey(n), static_cast<size_t>(config_.paillier_pads));
+  }
+  return pool_.get();
+}
+
+bool SessionPrecompute::NeedsRefill() const {
+  if (!config_.enabled) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_ != nullptr && pool_->Deficit() > 0;
+}
+
+size_t SessionPrecompute::RefillStep(const std::atomic<bool>* stop) {
+  PaillierPadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pool = pool_.get();
+  }
+  if (pool == nullptr) return 0;
+  return pool->Refill(fill_rng_, static_cast<size_t>(config_.refill_batch),
+                      stop);
+}
+
+void SessionPrecompute::Serialize(ByteWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr) {
+    w.U32(0);
+    return;
+  }
+  std::vector<uint8_t> n_bytes = pool_->public_key().n().ToBytes();
+  w.U32(static_cast<uint32_t>(n_bytes.size()));
+  w.Bytes(n_bytes.data(), n_bytes.size());
+  pool_->Serialize(w);
+}
+
+void SessionPrecompute::Restore(ByteReader& r) {
+  uint32_t n_len = r.U32();
+  if (n_len == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pool_.reset();
+    return;
+  }
+  std::vector<uint8_t> n_bytes(n_len);
+  r.Bytes(n_bytes.data(), n_len);
+  BigInt n = BigInt::FromBytes(n_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshots only exist for enabled pools, but a PAFS_NO_POOL restart may
+  // restore one: keep the disabled semantics and drop the pads.
+  if (!config_.enabled) {
+    pool_.reset();
+    PaillierPadPool scratch{PaillierPublicKey(n), 0};
+    scratch.Restore(r);  // Consume the reader past the pad block.
+    return;
+  }
+  pool_ = std::make_unique<PaillierPadPool>(
+      PaillierPublicKey(n), static_cast<size_t>(config_.paillier_pads));
+  pool_->Restore(r);
+}
+
+PaillierPadPool::Stats SessionPrecompute::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr) return {};
+  return pool_->stats();
+}
+
+}  // namespace pafs::serve

@@ -1,0 +1,82 @@
+// Per-session precompute pools: the serving half of the offline/online
+// split (DESIGN.md "Offline/online split"). A session owns one
+// SessionPrecompute; idle workers fill it between queries so the online
+// protocol finds its input-independent material ready.
+//
+// Paillier pads are the material pooled today (linear sessions; the pool is
+// keyed by the client-announced modulus, which the session learns in phase
+// 0 of its first linear query). OT-extension pads and pre-garbled forest
+// material are designed to slot behind the same NeedsRefill/RefillStep/
+// Serialize interface when they move offline.
+//
+// Threading contract: the server guarantees at most one filler task per
+// session at a time (Session::filling), so RefillStep never races itself
+// and fill_rng_ needs no lock. Pool contents are internally locked, so an
+// online query taking pads may overlap a filler mid-refill; the pointer to
+// the pool is guarded here because PadsFor (worker) can race RefillStep
+// (filler) on session's first queries.
+#ifndef PAFS_SERVE_PRECOMPUTE_H_
+#define PAFS_SERVE_PRECOMPUTE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "crypto/paillier_pool.h"
+#include "util/random.h"
+#include "util/serial.h"
+
+namespace pafs::serve {
+
+struct PrecomputeConfig {
+  // Master switch; PAFS_NO_POOL=1 force-disables regardless.
+  bool enabled = true;
+  // Target Paillier pads per linear session. Sized so a few queries run
+  // entirely pooled between refills (a warfarin linear query spends
+  // 2 * num_classes server-side pads).
+  int paillier_pads = 24;
+  // Pads computed per filler pass; small so a draining server abandons a
+  // refill within one modexp of the stop flag.
+  int refill_batch = 8;
+};
+
+// True when PAFS_NO_POOL is set to a nonzero value: both ends then run
+// every Encrypt/Rerandomize online, keeping the unpooled path covered.
+bool PoolsDisabledByEnv();
+
+class SessionPrecompute {
+ public:
+  SessionPrecompute(const PrecomputeConfig& config, uint64_t seed);
+
+  bool enabled() const { return config_.enabled; }
+
+  // The Paillier pad pool for client modulus n, created on first use and
+  // rebuilt if the announced modulus ever changes. Null when disabled.
+  PaillierPadPool* PadsFor(const BigInt& n);
+
+  // True when a filler pass would add material.
+  bool NeedsRefill() const;
+  // One bounded refill pass (filler task body); polls `stop` between pads.
+  // Returns the number of pads added.
+  size_t RefillStep(const std::atomic<bool>* stop);
+
+  // Pool contents for the session's resumption snapshot. Serializes the
+  // modulus alongside the pads so Restore can rebuild the pool before the
+  // resumed session re-announces it.
+  void Serialize(ByteWriter& w) const;
+  void Restore(ByteReader& r);
+
+  // Aggregated pool stats (zeroes when no pool exists yet).
+  PaillierPadPool::Stats stats() const;
+
+ private:
+  PrecomputeConfig config_;
+  Rng fill_rng_;  // Dedicated: server pads have no determinism constraint.
+  mutable std::mutex mu_;  // Guards the pool_ pointer, not its contents.
+  std::unique_ptr<PaillierPadPool> pool_;
+};
+
+}  // namespace pafs::serve
+
+#endif  // PAFS_SERVE_PRECOMPUTE_H_

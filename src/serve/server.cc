@@ -118,12 +118,16 @@ class RecordingChannel final : public Channel {
 
 ClassificationServer::Session::Session(uint64_t id,
                                        std::unique_ptr<SocketChannel> sock,
-                                       uint64_t seed)
+                                       uint64_t seed,
+                                       const PrecomputeConfig& pads)
     : id(id),
       socket(std::move(sock)),
       framed(std::make_unique<FramedChannel>(*socket)),
       rng(seed ^ (id * 0x9E3779B97F4A7C15ull)),
-      last_activity(std::chrono::steady_clock::now()) {
+      last_activity(std::chrono::steady_clock::now()),
+      // Distinct stream from the protocol rng: pad bases drawn by fillers
+      // must never perturb the protocol's deterministic draw sequence.
+      precompute(pads, seed ^ (id * 0xA24BAED4963EE407ull)) {
   // Arm the whole channel stack with this session's token: the watchdog
   // cancels a wedged worker by firing it, and the socket's readiness
   // slices observe it within ~100 ms even while blocked.
@@ -148,6 +152,11 @@ ClassificationServer::ClassificationServer(ServingModel model,
   config_.query_budget_seconds = std::max(config_.query_budget_seconds, 0.0);
   if (config_.resume_cache_entries == 0 || ResumeDisabledByEnv()) {
     config_.enable_resumption = false;
+  }
+  config_.pool_pad_depth = std::max(config_.pool_pad_depth, 0);
+  config_.pool_refill_batch = std::max(config_.pool_refill_batch, 1);
+  if (config_.pool_pad_depth == 0 || PoolsDisabledByEnv()) {
+    config_.enable_pools = false;
   }
   if (config_.enable_resumption) {
     // Tickets must be unguessable, so the ticket PRG is seeded from OS
@@ -197,6 +206,7 @@ void ClassificationServer::Start() {
     std::lock_guard<std::mutex> lock(mu_);
     running_ = true;
     draining_ = false;
+    stop_fill_.store(false, std::memory_order_relaxed);
   }
   loop_thread_ = std::thread([this] {
     obs::SetThreadParty("server");
@@ -250,7 +260,12 @@ void ClassificationServer::AdmitSession(std::unique_ptr<SocketChannel> socket) {
     }
     uint64_t id = next_session_id_++;
     socket->set_recv_timeout_seconds(config_.recv_timeout_seconds);
-    session = std::make_shared<Session>(id, std::move(socket), config_.seed);
+    PrecomputeConfig pads;
+    pads.enabled = config_.enable_pools;
+    pads.paillier_pads = config_.pool_pad_depth;
+    pads.refill_batch = config_.pool_refill_batch;
+    session =
+        std::make_shared<Session>(id, std::move(socket), config_.seed, pads);
     sessions_.emplace(id, session);
     ++stats_.sessions_accepted;
     stats_.sessions_active = static_cast<int>(sessions_.size());
@@ -341,17 +356,68 @@ void ClassificationServer::ServeSession(const std::shared_ptr<Session>& s) {
     keep = false;
     failed = true;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  s->in_query = false;
-  --busy_;
-  if (keep && !draining_ && !s->socket->closed()) {
-    s->state = SessionState::kIdle;
-    s->last_activity = std::chrono::steady_clock::now();
-    loop_->Rearm(s->socket->fd(), s->id);
-  } else {
-    CloseSessionLocked(s, failed);
+  bool schedule_fill = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s->in_query = false;
+    --busy_;
+    if (keep && !draining_ && !s->socket->closed()) {
+      s->state = SessionState::kIdle;
+      s->last_activity = std::chrono::steady_clock::now();
+      loop_->Rearm(s->socket->fd(), s->id);
+      // The session just went idle: hand its precompute deficit to a
+      // filler task. fillers_ is bumped in the same critical section that
+      // dropped busy_, so the drain's busy_+fillers_ accounting never has
+      // a gap; the Submit itself happens outside mu_ (same rationale as
+      // OnSessionReadable).
+      if (config_.enable_pools && !s->filling &&
+          !stop_fill_.load(std::memory_order_relaxed) &&
+          s->precompute.NeedsRefill()) {
+        s->filling = true;
+        ++fillers_;
+        schedule_fill = true;
+      }
+    } else {
+      CloseSessionLocked(s, failed);
+    }
+    drain_cv_.notify_all();
   }
-  drain_cv_.notify_all();
+  if (schedule_fill) {
+    pool_->Submit([this, s] { FillerStep(s); });
+  }
+}
+
+void ClassificationServer::FillerStep(const std::shared_ptr<Session>& s) {
+  obs::SetThreadParty("server");
+  // The modexps run outside every lock; the pool's internal lock keeps an
+  // overlapping query's TryTake safe, and the single-filler invariant
+  // (Session::filling) keeps the fill rng race-free.
+  size_t added = s->precompute.RefillStep(&stop_fill_);
+  bool again = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.pool_pads_precomputed += added;
+    // Keep going only while the session is still registered and idle: a
+    // query in flight reschedules its own filler when it finishes, and a
+    // closed or draining session has no future to precompute for.
+    again = added > 0 && !draining_ &&
+            !stop_fill_.load(std::memory_order_relaxed) &&
+            sessions_.count(s->id) > 0 &&
+            s->state == SessionState::kIdle && s->precompute.NeedsRefill();
+    if (!again) {
+      s->filling = false;
+      --fillers_;
+    }
+  }
+  if (added > 0) {
+    static obs::Counter& filled = obs::GetCounter("serve.pool.pads_filled");
+    filled.Add(added);
+  }
+  if (again) {
+    pool_->Submit([this, s] { FillerStep(s); });
+  } else {
+    drain_cv_.notify_all();
+  }
 }
 
 bool ClassificationServer::ServeOne(Session& s) {
@@ -492,8 +558,17 @@ void ClassificationServer::ExecuteQuery(Session& s, Channel& ch,
       break;
     }
     case ClassifierKind::kLinear: {
+      // Wire the session's precompute pool in: the server only learns the
+      // client's modulus inside phase 0, hence the callback. Pads filled
+      // by idle workers make the bias encryption and per-class
+      // rerandomization single multiplies; a dry pool degrades to the
+      // online modexp per op.
+      Session* session = &s;
+      PaillierPoolFn pool_for = [session](const BigInt& n) {
+        return session->precompute.PadsFor(n);
+      };
       linear_spec_->RunServer(qch, model_.linear, disclosed, s.ot, s.rng,
-                              setup.scheme);
+                              setup.scheme, pool_for);
       break;
     }
     case ClassifierKind::kForest: {
@@ -584,6 +659,12 @@ bool ClassificationServer::TryResumeSession(Session& s,
   s.ot = OtExtSender::Deserialize(entry.ot_state);
   ByteReader rng_reader(entry.rng_state);
   s.rng = Rng::Deserialize(rng_reader);
+  if (!entry.precompute_state.empty()) {
+    // Suspended pads come back with the session, so its first query after
+    // resumption is as pooled as its last one before.
+    ByteReader pre_reader(entry.precompute_state);
+    s.precompute.Restore(pre_reader);
+  }
   s.next_query_id = entry.next_query_id;
   s.queries = entry.queries;
   s.transcript = std::move(entry.transcript);
@@ -619,6 +700,12 @@ void ClassificationServer::RefreshResumeEntry(Session& s) {
   entry.ot_state = s.ot.Serialize();
   ByteWriter rng_writer(&entry.rng_state);
   s.rng.Serialize(rng_writer);
+  // Snapshot the precompute pool only from the serving thread (post-query
+  // / post-handshake): a filler may be pushing pads concurrently, which the
+  // pool's lock makes safe — the entry just captures whichever depth the
+  // fill had reached.
+  ByteWriter pre_writer(&entry.precompute_state);
+  s.precompute.Serialize(pre_writer);
   entry.next_query_id = s.next_query_id;
   entry.queries = s.queries;
   entry.transcript = s.transcript;
@@ -690,6 +777,9 @@ void ClassificationServer::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
     draining_ = true;
+    // Fillers poll this between pads, so the longest a drain waits on
+    // background precompute is one modexp.
+    stop_fill_.store(true, std::memory_order_relaxed);
   }
   // Refuse new connects and take the listener out of the loop.
   loop_->Remove(listener_->fd(), kListenerToken);
@@ -708,11 +798,11 @@ void ClassificationServer::Stop() {
         lock,
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(config_.drain_timeout_seconds)),
-        [&] { return busy_ == 0; });
+        [&] { return busy_ == 0 && fillers_ == 0; });
     // Grace expired: force-close stragglers. Their blocking IO unwinds
     // with typed errors and the tasks finish promptly.
     for (auto& [id, session] : sessions_) session->socket->Close();
-    drain_cv_.wait(lock, [&] { return busy_ == 0; });
+    drain_cv_.wait(lock, [&] { return busy_ == 0 && fillers_ == 0; });
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       auto session = it->second;
       ++it;

@@ -46,6 +46,7 @@
 #include "net/socket.h"
 #include "ot/iknp.h"
 #include "serve/model.h"
+#include "serve/precompute.h"
 #include "smc/secure_linear.h"
 #include "smc/secure_nb.h"
 #include "util/parallel.h"
@@ -102,6 +103,15 @@ struct ServerConfig {
   // cancelled via its session's CancellationToken (typed kCancelled to
   // the peer, pool slot freed deterministically). 0 disables.
   double query_budget_seconds = 0;
+  // Offline/online split (DESIGN.md): idle workers precompute per-session
+  // Paillier pads between queries so the online linear protocol spends one
+  // multiply per pad instead of a modexp. PAFS_NO_POOL=1 force-disables.
+  bool enable_pools = true;
+  // Target pad depth per linear session (PrecomputeConfig::paillier_pads).
+  int pool_pad_depth = 24;
+  // Pads per filler pass; small batches keep the drain wait bounded by a
+  // single modexp past the stop flag.
+  int pool_refill_batch = 8;
 };
 
 // Registry/lifecycle counters, readable at any time (independent of the
@@ -120,6 +130,7 @@ struct ServerStats {
   uint64_t replay_hits = 0;     // Retried queries served from transcript.
   uint64_t resyncs = 0;         // Retries whose transcript was gone.
   uint64_t queries_cancelled = 0;  // Watchdog budget kills.
+  uint64_t pool_pads_precomputed = 0;  // Pads filled by idle workers.
   int sessions_active = 0;
 };
 
@@ -184,8 +195,14 @@ class ClassificationServer {
     CancellationToken cancel;
     bool in_query = false;
     std::chrono::steady_clock::time_point query_start;
+    // Offline material filled by idle workers between this session's
+    // queries. `filling` (mu_-guarded) keeps at most one filler task alive
+    // per session, which is what lets precompute's fill rng go lockless.
+    SessionPrecompute precompute;
+    bool filling = false;
 
-    Session(uint64_t id, std::unique_ptr<SocketChannel> sock, uint64_t seed);
+    Session(uint64_t id, std::unique_ptr<SocketChannel> sock, uint64_t seed,
+            const PrecomputeConfig& pads);
   };
 
   // A suspended session's restorable state, keyed by its ticket in the
@@ -195,6 +212,9 @@ class ClassificationServer {
   struct ResumeEntry {
     std::vector<uint8_t> ot_state;   // OtExtSender::Serialize.
     std::vector<uint8_t> rng_state;  // Rng::Serialize.
+    // SessionPrecompute::Serialize — precomputed pads survive suspension,
+    // so a resumed session's first query still runs pooled.
+    std::vector<uint8_t> precompute_state;
     uint64_t next_query_id = 1;
     uint64_t queries = 0;
     std::shared_ptr<QueryTranscript> transcript;
@@ -230,6 +250,10 @@ class ClassificationServer {
   // Watchdog tick (event-loop thread): cancels sessions whose in-flight
   // query has exceeded query_budget_seconds.
   void CancelOverdueQueries();
+  // Filler task body (pool worker): one bounded refill pass on the
+  // session's precompute pool, rescheduling itself while the session stays
+  // idle and the pool has a deficit. Stops on drain via stop_fill_.
+  void FillerStep(const std::shared_ptr<Session>& session);
   // Unregisters, records per-session wire-cost telemetry, shuts the socket
   // down. Caller holds mu_.
   void CloseSessionLocked(const std::shared_ptr<Session>& session,
@@ -253,6 +277,10 @@ class ClassificationServer {
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
   uint64_t next_session_id_ = 1;
   int busy_ = 0;  // Sessions with a submitted/running task.
+  // Live filler tasks. Tracked apart from busy_ so background precompute
+  // never trips admission control; the drain waits for both to hit zero.
+  int fillers_ = 0;
+  std::atomic<bool> stop_fill_{false};  // Drain: fillers abandon mid-batch.
   bool running_ = false;
   bool draining_ = false;
   ServerStats stats_;

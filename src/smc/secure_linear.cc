@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "circuit/builder.h"
+#include "crypto/paillier_pool.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -46,7 +48,8 @@ SmcRunStats SecureLinearProtocol::RunServer(Channel& channel,
                                             const LinearModel& model,
                                             const std::map<int, int>& disclosed,
                                             OtExtSender& ot, Rng& rng,
-                                            GarblingScheme scheme) const {
+                                            GarblingScheme scheme,
+                                            const PaillierPoolFn& pool_for) const {
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
@@ -58,6 +61,25 @@ SmcRunStats SecureLinearProtocol::RunServer(Channel& channel,
     throw ProtocolError("secure linear: degenerate Paillier modulus");
   }
   PaillierPublicKey pk(n);
+
+  // Precomputed pads turn the bias encryption and the per-class
+  // rerandomization below into single multiplies; a dry pool falls back to
+  // the online modexp per op.
+  PaillierPadPool* pool = pool_for ? pool_for(n) : nullptr;
+  auto encrypt = [&](const BigInt& m) {
+    BigInt pad;
+    if (pool != nullptr && pool->TryTake(&pad)) {
+      return pk.EncryptWithPad(m, pad);
+    }
+    return pk.Encrypt(m, rng);
+  };
+  auto rerandomize = [&](const BigInt& c) {
+    BigInt pad;
+    if (pool != nullptr && pool->TryTake(&pad)) {
+      return pk.RerandomizeWithPad(c, pad);
+    }
+    return pk.Rerandomize(c, rng);
+  };
 
   // Phase 1: one ciphertext per (hidden feature, value) one-hot slot.
   // Ciphertexts are residues mod n^2; anything outside is a rogue peer.
@@ -90,7 +112,7 @@ SmcRunStats SecureLinearProtocol::RunServer(Channel& channel,
     }
     bias -= kLinearWeightOffset * layout_.num_hidden();
 
-    BigInt score_ct = pk.Encrypt(BigInt(bias + masks[c]), rng);
+    BigInt score_ct = encrypt(BigInt(bias + masks[c]));
     for (int h = 0; h < layout_.num_hidden(); ++h) {
       int f = layout_.hidden_features()[h];
       for (int v = 0; v < layout_.cardinality(h); ++v) {
@@ -100,7 +122,7 @@ SmcRunStats SecureLinearProtocol::RunServer(Channel& channel,
         score_ct = pk.Add(score_ct, pk.MulPlain(cts[h][v], BigInt(w)));
       }
     }
-    channel.SendBigInt(pk.Rerandomize(score_ct, rng));
+    channel.SendBigInt(rerandomize(score_ct));
   }
 
   // Phase 2: garbled argmax with the masks as garbler inputs.
@@ -123,7 +145,8 @@ SmcRunStats SecureLinearProtocol::RunClient(Channel& channel,
                                             const PaillierKeyPair& keys,
                                             const std::vector<int>& row,
                                             OtExtReceiver& ot, Rng& rng,
-                                            GarblingScheme scheme) const {
+                                            GarblingScheme scheme,
+                                            PaillierPadPool* pool) const {
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
@@ -131,13 +154,21 @@ SmcRunStats SecureLinearProtocol::RunClient(Channel& channel,
   const PaillierPublicKey& pk = keys.public_key;
   channel.SendBigInt(pk.n());
 
-  // Phase 1: one-hot encrypt the hidden features.
+  // Phase 1: one-hot encrypt the hidden features. Batched so pooled pads
+  // (and, where a pool is available, parallel pad computation) replace the
+  // per-slot online modexp; ciphertexts match the former per-slot Encrypt
+  // loop bit for bit on the same rng stream.
+  std::vector<BigInt> indicator_bits;
+  indicator_bits.reserve(NumClientCiphertexts());
   for (int h = 0; h < layout_.num_hidden(); ++h) {
     int value = row[layout_.hidden_features()[h]];
     for (int v = 0; v < layout_.cardinality(h); ++v) {
-      channel.SendBigInt(pk.Encrypt(BigInt(v == value ? 1 : 0), rng));
+      indicator_bits.emplace_back(v == value ? 1 : 0);
     }
   }
+  std::vector<BigInt> cts =
+      EncryptBatch(pk, indicator_bits, rng, pool, ThreadPool::Global());
+  for (const BigInt& ct : cts) channel.SendBigInt(ct);
 
   // Masked scores come back; decrypt them.
   BitVec evaluator_bits(0);

@@ -14,6 +14,7 @@
 #ifndef PAFS_SMC_SECURE_LINEAR_H_
 #define PAFS_SMC_SECURE_LINEAR_H_
 
+#include <functional>
 #include <map>
 
 #include "circuit/circuit.h"
@@ -27,6 +28,12 @@
 namespace pafs {
 
 class Rng;
+class PaillierPadPool;
+
+// Offline/online hook: maps the client-announced modulus to that session's
+// precomputed pad pool (serve/precompute.h), or null to run every modexp
+// online. A callback because the server only learns n in phase 0.
+using PaillierPoolFn = std::function<PaillierPadPool*(const BigInt& n)>;
 
 // Width of the masked-score words in the argmax circuit.
 inline constexpr uint32_t kLinearScoreBits = 32;
@@ -47,14 +54,20 @@ class SecureLinearProtocol {
   // Total ciphertexts the client sends (sum of hidden cardinalities).
   int NumClientCiphertexts() const;
 
+  // `pool_for` / `pool` opt into pooled Paillier randomness: precomputed
+  // pads replace the online r^n modexps when available, with an inline
+  // fallback per op when the pool runs dry (bit-identical client output
+  // for the same rng stream either way; see crypto/paillier_pool.h).
   SmcRunStats RunServer(Channel& channel, const LinearModel& model,
                         const std::map<int, int>& disclosed, OtExtSender& ot,
                         Rng& rng,
-                        GarblingScheme scheme = GarblingScheme::kHalfGates) const;
+                        GarblingScheme scheme = GarblingScheme::kHalfGates,
+                        const PaillierPoolFn& pool_for = nullptr) const;
   SmcRunStats RunClient(Channel& channel, const PaillierKeyPair& keys,
                         const std::vector<int>& row, OtExtReceiver& ot,
                         Rng& rng,
-                        GarblingScheme scheme = GarblingScheme::kHalfGates) const;
+                        GarblingScheme scheme = GarblingScheme::kHalfGates,
+                        PaillierPadPool* pool = nullptr) const;
 
  private:
   HiddenLayout layout_;

@@ -236,6 +236,68 @@ TEST(ModMathTest, MontgomeryExpMatchesSquareMultiplyProperty) {
   }
 }
 
+TEST(ModMathTest, WindowedExpEdgeCases) {
+  Rng rng(7);
+  // Single-limb odd modulus (2^32 - 5, prime): the CIOS loop runs with
+  // k == 1, where off-by-one bounds in the scratch handling would show.
+  BigInt small_m = BigInt::FromDecimal("4294967291");
+  MontgomeryCtx small(small_m);
+  for (int i = 0; i < 8; ++i) {
+    BigInt a = BigInt::RandomBelow(rng, small_m);
+    BigInt e = BigInt::RandomBits(rng, 48);
+    EXPECT_EQ(small.Exp(a, e), small.ExpBinary(a, e));
+  }
+
+  BigInt m = RandomPrime(rng, 160) * RandomPrime(rng, 160);
+  MontgomeryCtx ctx(m);
+  BigInt a = BigInt::RandomBelow(rng, m);
+  // e = 0: the empty window loop must still yield the identity.
+  EXPECT_EQ(ctx.Exp(a, BigInt(0)), BigInt(1));
+  EXPECT_EQ(ctx.ExpBinary(a, BigInt(0)), BigInt(1));
+  EXPECT_EQ(ctx.Exp(BigInt(0), BigInt(0)), BigInt(1));
+  // Base at and above the modulus: ToMont must reduce first.
+  EXPECT_EQ(ctx.Exp(m, BigInt(5)), BigInt(0));
+  BigInt e = BigInt::RandomBits(rng, 100);
+  EXPECT_EQ(ctx.Exp(a + m, e), ctx.Exp(a, e));
+  EXPECT_EQ(ctx.Exp(a + m * BigInt(3), e), ctx.Exp(a, e));
+}
+
+TEST(ModMathTest, WindowedExpMatchesBinaryLadderSweep) {
+  // Differential sweep: the fixed-window path (all window sizes, selected
+  // by exponent length) against the reference square-and-multiply ladder,
+  // across modulus widths from one limb to RSA-sized.
+  Rng rng(8);
+  for (int mod_bits : {34, 64, 96, 256, 512, 1024}) {
+    BigInt m = BigInt::RandomBits(rng, mod_bits);
+    if (!m.GetBit(0)) m = m + BigInt(1);  // Montgomery needs odd.
+    MontgomeryCtx ctx(m);
+    for (int exp_bits : {1, 5, 17, 40, 130, 300}) {
+      BigInt a = BigInt::RandomBelow(rng, m);
+      BigInt e = BigInt::RandomBits(rng, exp_bits);
+      EXPECT_EQ(ctx.Exp(a, e), ctx.ExpBinary(a, e))
+          << "mod_bits=" << mod_bits << " exp_bits=" << exp_bits;
+    }
+  }
+}
+
+TEST(ModMathTest, FixedBasePowersMatchGeneralExp) {
+  Rng rng(9);
+  BigInt m = RandomPrime(rng, 256);
+  MontgomeryCtx ctx(m);
+  BigInt g = BigInt::RandomBelow(rng, m);
+  constexpr int kExpBits = 192;
+  MontFixedBasePowers table(ctx, g, kExpBits);
+  EXPECT_EQ(table.Exp(BigInt(0)), BigInt(1));
+  EXPECT_EQ(table.Exp(BigInt(1)), g % m);
+  for (int bits : {3, 30, 64, 191, kExpBits}) {
+    BigInt e = BigInt::RandomBits(rng, bits);
+    EXPECT_EQ(table.Exp(e), ctx.Exp(g, e)) << "exp bits " << bits;
+  }
+  // All-ones exponent exercises every table row's top digit.
+  BigInt ones = (BigInt(1) << kExpBits) - BigInt(1);
+  EXPECT_EQ(table.Exp(ones), ctx.Exp(g, ones));
+}
+
 TEST(ModMathTest, CrtCombineReconstructs) {
   Rng rng(99);
   BigInt p = RandomPrime(rng, 96);

@@ -1,6 +1,7 @@
 // Unit tests for src/crypto: AES-128 against FIPS-197 vectors, SHA-256
 // against FIPS 180-4 vectors, PRG determinism, garbling hash properties,
 // Paillier homomorphic identities, and commitments.
+#include <atomic>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -13,9 +14,11 @@
 #include "crypto/commit.h"
 #include "crypto/key_io.h"
 #include "crypto/paillier.h"
+#include "crypto/paillier_pool.h"
 #include "crypto/prg.h"
 #include "crypto/sha256.h"
 #include "util/random.h"
+#include "util/serial.h"
 
 namespace pafs {
 namespace {
@@ -311,6 +314,101 @@ TEST(CommitTest, HidingAcrossRandomness) {
   Commitment c1 = Commit(value, rng, &o1);
   Commitment c2 = Commit(value, rng, &o2);
   EXPECT_NE(DigestToHex(c1.digest), DigestToHex(c2.digest));
+}
+
+class PaillierPoolTest : public ::testing::Test {
+ protected:
+  PaillierPoolTest() : rng_(404), keys_(GeneratePaillierKey(rng_, 256)) {}
+
+  Rng rng_;
+  PaillierKeyPair keys_;
+};
+
+TEST_F(PaillierPoolTest, PooledEncryptionBitIdenticalToSerialLoop) {
+  // The determinism contract end to end: a pool refilled from rng position
+  // P, drained FIFO by EncryptBatch, must produce the exact ciphertexts a
+  // serial Encrypt loop produces from the same position — that is what
+  // lets a serving client replay retried queries byte for byte.
+  std::vector<BigInt> ms;
+  for (int i = 0; i < 12; ++i) ms.emplace_back(i % 2);
+
+  for (size_t prefill : {size_t{0}, size_t{5}, size_t{12}}) {
+    Rng pooled_rng(9090);
+    PaillierPadPool pool(keys_.public_key, ms.size());
+    EXPECT_EQ(pool.Refill(pooled_rng, prefill), prefill);
+    std::vector<BigInt> pooled =
+        EncryptBatch(keys_.public_key, ms, pooled_rng, &pool);
+
+    Rng serial_rng(9090);
+    for (size_t i = 0; i < ms.size(); ++i) {
+      BigInt expected = keys_.public_key.Encrypt(ms[i], serial_rng);
+      EXPECT_EQ(pooled[i], expected) << "prefill=" << prefill << " slot " << i;
+    }
+  }
+}
+
+TEST_F(PaillierPoolTest, PooledOpsDecryptCorrectly) {
+  PaillierPadPool pool(keys_.public_key, 8);
+  pool.Refill(rng_, 8);
+  BigInt pad;
+  ASSERT_TRUE(pool.TryTake(&pad));
+  BigInt ct = keys_.public_key.EncryptWithPad(BigInt(1234), pad);
+  EXPECT_EQ(keys_.private_key.Decrypt(ct).ToI64(), 1234);
+
+  ASSERT_TRUE(pool.TryTake(&pad));
+  BigInt rerand = keys_.public_key.RerandomizeWithPad(ct, pad);
+  EXPECT_NE(rerand, ct);
+  EXPECT_EQ(keys_.private_key.Decrypt(rerand).ToI64(), 1234);
+
+  PaillierPadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.refilled, 8u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(pool.depth(), 6u);
+  EXPECT_EQ(pool.Deficit(), 2u);
+}
+
+TEST_F(PaillierPoolTest, DryPoolMissesAndBatchFallsBack) {
+  PaillierPadPool pool(keys_.public_key, 4);
+  BigInt pad;
+  EXPECT_FALSE(pool.TryTake(&pad));
+  EXPECT_EQ(pool.stats().misses, 1u);
+  // EncryptBatch over a dry pool must still produce valid ciphertexts.
+  std::vector<BigInt> ms{BigInt(0), BigInt(1), BigInt(7)};
+  std::vector<BigInt> cts = EncryptBatch(keys_.public_key, ms, rng_, &pool);
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(keys_.private_key.Decrypt(cts[i]), ms[i]);
+  }
+}
+
+TEST_F(PaillierPoolTest, SerializeRestoreKeepsPadsAndOrder) {
+  PaillierPadPool pool(keys_.public_key, 6);
+  pool.Refill(rng_, 6);
+  std::vector<uint8_t> bytes;
+  ByteWriter writer(&bytes);
+  pool.Serialize(writer);
+
+  PaillierPadPool restored(keys_.public_key, 6);
+  ByteReader reader(bytes);
+  restored.Restore(reader);
+  EXPECT_EQ(restored.depth(), 6u);
+  // FIFO order must survive the round trip — it is the rng-stream order
+  // the determinism contract depends on.
+  for (int i = 0; i < 6; ++i) {
+    BigInt a, b;
+    ASSERT_TRUE(pool.TryTake(&a));
+    ASSERT_TRUE(restored.TryTake(&b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(PaillierPoolTest, RefillRespectsTargetAndStopFlag) {
+  PaillierPadPool pool(keys_.public_key, 3);
+  EXPECT_EQ(pool.Refill(rng_, 10), 3u);  // Never grows past target.
+  EXPECT_EQ(pool.depth(), 3u);
+  pool.Clear();
+  EXPECT_EQ(pool.depth(), 0u);
+  std::atomic<bool> stop{true};
+  EXPECT_EQ(pool.Refill(rng_, 10, &stop), 0u);  // Stop beats the batch.
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.h"
+#include "crypto/paillier_pool.h"
 #include "data/warfarin_gen.h"
 #include "net/error.h"
 #include "net/fault.h"
@@ -26,6 +27,7 @@
 #include "serve/client.h"
 #include "serve/model.h"
 #include "serve/server.h"
+#include "smc/secure_linear.h"
 #include "smc/secure_nb.h"
 #include "util/random.h"
 #include "util/serial.h"
@@ -850,6 +852,197 @@ TEST_F(ServeTest, ResumeDisabledClientAlwaysFullHandshakes) {
   EXPECT_EQ(client.resumes(), 0u);
   ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 2; }));
   EXPECT_EQ(server.stats().resumptions, 0u);
+}
+
+TEST_F(ServeTest, PooledLinearServingHitsPoolAndStaysCorrect) {
+  // Offline/online split through the whole serving stack: query 1 creates
+  // the session's pad pool (the modulus arrives in phase 0), idle workers
+  // fill it between queries, and query 2's Paillier randomness comes out
+  // of the pool on both ends — verified by the telemetry counters.
+  PafsTelemetry::Enable();
+  auto pipeline = MakePipeline(ClassifierKind::kLinear);
+  ServerConfig config;
+  config.pool_pad_depth = 16;
+  config.pool_refill_batch = 4;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(7);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.stats().pool_pads_precomputed >= 16; }));
+
+  obs::Counter& hits = obs::GetCounter("paillier.pool.hit");
+  uint64_t hits_before = hits.value();
+  const std::vector<int>& row2 = data_.row(207);
+  EXPECT_EQ(client.Classify(row2), pipeline->PlaintextPredict(row2));
+  // Server pads for query 2: one encrypt + one rerandomize per class (the
+  // client's own pooled phase-1 hits land on top of these).
+  uint64_t server_pads = 2u * static_cast<uint64_t>(client.setup().num_classes);
+  EXPECT_GE(hits.value(), hits_before + server_pads);
+
+  client.Close();
+  server.Stop();
+  EXPECT_EQ(server.stats().sessions_failed, 0u);
+  PafsTelemetry::Disable();
+}
+
+TEST_F(ServeTest, PoolsDisabledByConfigStillServes) {
+  auto pipeline = MakePipeline(ClassifierKind::kLinear);
+  ServerConfig config;
+  config.enable_pools = false;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(55);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  client.Close();
+  server.Stop();
+  EXPECT_EQ(server.stats().pool_pads_precomputed, 0u);
+  EXPECT_EQ(server.stats().sessions_failed, 0u);
+}
+
+TEST_F(ServeTest, StopMidRefillDrainsCleanly) {
+  // Drain vs. background filler (the TSan target): a pad target far past
+  // what one inter-query gap can fill guarantees a refill is in flight
+  // when Stop() lands. The stop flag is polled between pads, so the drain
+  // must come back without waiting for the full target.
+  auto pipeline = MakePipeline(ClassifierKind::kLinear);
+  ServerConfig config;
+  config.pool_pad_depth = 4096;
+  config.pool_refill_batch = 64;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(3);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  // The filler kicked off when the session went idle; stop under it.
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_LT(server.stats().pool_pads_precomputed, 4096u);
+  client.Close();
+}
+
+TEST_F(ServeTest, PooledLinearRetryReplaysByteIdentical) {
+  // The pool determinism contract, enforced by the server itself: the
+  // original query runs POOLED (pads drawn right after the snapshot), the
+  // retry reruns it UNPOOLED from the restored snapshot. The server
+  // replays the recorded transcript and fails the session on the first
+  // diverging byte — so this passes only if pooled and inline encryption
+  // are bit-identical over the same rng stream.
+  auto pipeline = MakePipeline(ClassifierKind::kLinear);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+  const std::vector<int>& row = data_.row(5);
+
+  auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket->set_recv_timeout_seconds(30 * kTimeScale);
+  FramedChannel framed(*socket);
+  std::vector<uint8_t> ticket;
+  serve::SessionSetup setup = RawHandshake(framed, &ticket);
+  ASSERT_EQ(ticket.size(), serve::kResumeTicketBytes);
+  std::map<int, int> key_map;
+  for (int f : setup.plan_features) key_map.emplace(f, 0);
+  SecureLinearProtocol spec(setup.features, setup.num_classes, key_map);
+  Rng key_rng(0x4E75);
+  PaillierKeyPair keys = GeneratePaillierKey(key_rng, setup.paillier_bits);
+
+  OtExtReceiver ot;
+  Rng rng(0xABCD);
+  std::vector<uint8_t> ot_snapshot = ot.Serialize();
+  std::vector<uint8_t> rng_snapshot;
+  {
+    ByteWriter writer(&rng_snapshot);
+    rng.Serialize(writer);
+  }
+
+  auto run_query = [&](FramedChannel& ch, OtExtReceiver& o, Rng& r,
+                       PaillierPadPool* pool) {
+    ch.SendU64(static_cast<uint64_t>(serve::RequestTag::kQuery));
+    ch.SendU64(1);  // Same id both times: this is "the" query.
+    for (int f : setup.plan_features) {
+      ch.SendU64(static_cast<uint64_t>(row[f]));
+    }
+    EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+    SmcRunStats stats =
+        spec.RunClient(ch, keys, row, o, r, setup.scheme, pool);
+    EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+    return stats;
+  };
+
+  // Original: pooled, pads drawn post-snapshot in FIFO order.
+  PaillierPadPool pool(keys.public_key,
+                       static_cast<size_t>(spec.NumClientCiphertexts()));
+  pool.Refill(rng, static_cast<size_t>(spec.NumClientCiphertexts()));
+  SmcRunStats first = run_query(framed, ot, rng, &pool);
+  EXPECT_EQ(pool.stats().misses, 0u);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 1; }));
+
+  // "Crash": rewind to the snapshot and retry the same id with the ticket,
+  // this time with no pool — every pad base is drawn inline.
+  socket->Close();
+  OtExtReceiver ot_retry = OtExtReceiver::Deserialize(ot_snapshot);
+  ByteReader rng_reader(rng_snapshot);
+  Rng rng_retry = Rng::Deserialize(rng_reader);
+  auto socket2 = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket2->set_recv_timeout_seconds(30 * kTimeScale);
+  FramedChannel framed2(*socket2);
+  serve::ClientHello hello;
+  hello.ticket = ticket;
+  serve::SendClientHello(framed2, hello);
+  ASSERT_EQ(framed2.RecvU64(),
+            static_cast<uint64_t>(serve::ReplyStatus::kResumed));
+  (void)serve::RecvTicketFrame(framed2);
+
+  SmcRunStats retry = run_query(framed2, ot_retry, rng_retry, nullptr);
+  EXPECT_EQ(retry.predicted_class, first.predicted_class);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().replay_hits >= 1; }));
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.replay_hits, 1u);
+  // Executed exactly once; a divergence would have failed the retry's
+  // recvs above instead of replaying to completion.
+  EXPECT_EQ(stats.queries_served, 1u);
+}
+
+TEST_F(ServeTest, ResumedSessionCarriesPrecomputedPads) {
+  // The pool snapshot rides the resumption ticket: after a crash-like
+  // reconnect, the restored session's first query still finds the pads
+  // the fillers computed before the drop.
+  PafsTelemetry::Enable();
+  auto pipeline = MakePipeline(ClassifierKind::kLinear);
+  ServerConfig config;
+  config.pool_pad_depth = 12;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(42);
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  // Wait for the filler to stock the pool, then one more query so the
+  // resume snapshot (refreshed post-query) includes a non-empty pool.
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.stats().pool_pads_precomputed >= 12; }));
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 2; }));
+
+  client.DropConnection();
+  obs::Counter& hits = obs::GetCounter("paillier.pool.hit");
+  obs::Counter& misses = obs::GetCounter("paillier.pool.miss");
+  uint64_t hits_before = hits.value();
+  uint64_t misses_before = misses.value();
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  EXPECT_EQ(client.resumes(), 1u);
+  // The resumed query's server pads came from the restored pool — enough
+  // pads survived the snapshot on both ends that nothing ran online.
+  uint64_t server_pads = 2u * static_cast<uint64_t>(client.setup().num_classes);
+  EXPECT_GE(hits.value(), hits_before + server_pads);
+  EXPECT_EQ(misses.value(), misses_before);
+  client.Close();
+  server.Stop();
+  PafsTelemetry::Disable();
 }
 
 TEST_F(ServeTest, ServerRestartsOnSameConfig) {

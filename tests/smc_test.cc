@@ -2,6 +2,7 @@
 // plaintext model on every tested row, under any disclosure set, and
 // disclosure must shrink the protocol cost.
 #include <map>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -9,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/paillier.h"
+#include "crypto/paillier_pool.h"
 #include "data/warfarin_gen.h"
 #include "ml/decision_tree.h"
 #include "ml/linear_model.h"
@@ -214,6 +216,67 @@ TEST_F(SmcTest, SecureLinearMatchesPlaintext) {
     }
   }
   EXPECT_LE(fixed_point_flips, 1);
+}
+
+TEST_F(SmcTest, SecureLinearPooledMatchesUnpooledAndPlaintext) {
+  // The offline/online split at protocol level: both ends draw their
+  // Paillier randomness from precomputed pad pools. The pooled run must
+  // agree with the plaintext model exactly like the unpooled path, and
+  // every pad must actually come from the pools (all hits, no misses).
+  Rng key_rng(11);
+  PaillierKeyPair keys = GeneratePaillierKey(key_rng, 256);
+  SecureLinearProtocol protocol(data_.features(), data_.num_classes(), {});
+
+  Rng server_fill_rng(71);
+  std::unique_ptr<PaillierPadPool> server_pool;
+  PaillierPoolFn pool_for = [&](const BigInt& n) {
+    if (server_pool == nullptr || !server_pool->MatchesModulus(n)) {
+      server_pool = std::make_unique<PaillierPadPool>(
+          PaillierPublicKey(n), 2u * data_.num_classes());
+      server_pool->Refill(server_fill_rng, 2u * data_.num_classes());
+    }
+    return server_pool.get();
+  };
+  size_t client_pads = static_cast<size_t>(protocol.NumClientCiphertexts());
+  PaillierPadPool client_pool(keys.public_key, client_pads);
+  Rng client_fill_rng(72);
+  client_pool.Refill(client_fill_rng, client_pads);
+
+  const std::vector<int>& row = data_.row(333);
+  // Unpooled baseline on the same row: masks cancel exactly inside the
+  // argmax circuit, so the predicted class is a deterministic function of
+  // (row, model) that the pooled run must reproduce.
+  SmcRunStats base_stats;
+  {
+    std::thread server([&] {
+      protocol.RunServer(channel_.endpoint(0), linear_, {}, ot_sender_,
+                         server_rng_);
+    });
+    base_stats = protocol.RunClient(channel_.endpoint(1), keys, row,
+                                    ot_receiver_, client_rng_);
+    server.join();
+  }
+
+  SmcRunStats server_stats, client_stats;
+  std::thread server([&] {
+    server_stats = protocol.RunServer(channel_.endpoint(0), linear_, {},
+                                      ot_sender_, server_rng_,
+                                      GarblingScheme::kHalfGates, pool_for);
+  });
+  client_stats =
+      protocol.RunClient(channel_.endpoint(1), keys, row, ot_receiver_,
+                         client_rng_, GarblingScheme::kHalfGates, &client_pool);
+  server.join();
+
+  EXPECT_EQ(server_stats.predicted_class, client_stats.predicted_class);
+  EXPECT_EQ(client_stats.predicted_class, base_stats.predicted_class);
+  EXPECT_EQ(client_pool.stats().hits, static_cast<uint64_t>(client_pads));
+  EXPECT_EQ(client_pool.stats().misses, 0u);
+  ASSERT_NE(server_pool, nullptr);
+  // Server spends one encrypt pad + one rerandomize pad per class.
+  EXPECT_EQ(server_pool->stats().hits,
+            2u * static_cast<uint64_t>(data_.num_classes()));
+  EXPECT_EQ(server_pool->stats().misses, 0u);
 }
 
 TEST_F(SmcTest, SecureLinearWithDisclosure) {
