@@ -173,11 +173,11 @@ LinearSplit RunLinear(const E2eOptions& opt) {
   size_t server_per_query = 2u * static_cast<size_t>(train.num_classes());
   size_t reps = static_cast<size_t>(opt.reps);
   PaillierPadPool client_pool(keys.public_key, client_per_query * reps);
-  std::unique_ptr<PaillierPadPool> server_pool;
+  std::shared_ptr<PaillierPadPool> server_pool;
   Rng client_fill_rng(61), server_fill_rng(62);
   Timer prefill_timer;
   client_pool.Refill(client_fill_rng, client_per_query * reps);
-  server_pool = std::make_unique<PaillierPadPool>(
+  server_pool = std::make_shared<PaillierPadPool>(
       PaillierPublicKey(keys.public_key.n()), server_per_query * reps);
   server_pool->Refill(server_fill_rng, server_per_query * reps);
   r.offline_pad_prefill_ms = prefill_timer.ElapsedMillis();
@@ -186,7 +186,7 @@ LinearSplit RunLinear(const E2eOptions& opt) {
   r.pads_precomputed = client_pool.stats().refilled +
                        server_pool->stats().refilled;
   PaillierPoolFn pool_for = [&](const BigInt& n) {
-    return server_pool->MatchesModulus(n) ? server_pool.get() : nullptr;
+    return server_pool->MatchesModulus(n) ? server_pool : nullptr;
   };
 
   Rng server_rng(42), client_rng(43);

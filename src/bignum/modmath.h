@@ -62,10 +62,21 @@ class MontgomeryCtx {
   // a^e mod m (a any sign/size; result in normal form). Sliding fixed-width
   // window over a precomputed odd-power table; the window width is picked
   // from the exponent length and all scratch is allocated once per call.
+  //
+  // NOT constant-time in the exponent: the window scan branches on
+  // exponent bits and the table lookup address depends on exponent digits,
+  // so a local or cross-VM adversary timing caches could learn bits of e.
+  // (ExpBinary branches per bit too — the window widens the profile, it
+  // does not introduce it.) This matches the project threat model of
+  // semi-honest *network* peers (DESIGN.md): secret-exponent callers —
+  // Paillier pad r, base-OT a/b — accept it. If co-residency ever enters
+  // the threat model, switch these lookups to a constant-time full-table
+  // scan before reusing this code.
   BigInt Exp(const BigInt& a, const BigInt& e) const;
 
   // Plain binary square-and-multiply ladder, kept as the differential-test
-  // reference for Exp. Same contract.
+  // reference for Exp. Same contract, including non-constant-time (the
+  // multiply happens only on set exponent bits).
   BigInt ExpBinary(const BigInt& a, const BigInt& e) const;
 
  private:
@@ -92,7 +103,9 @@ class MontFixedBasePowers {
   MontFixedBasePowers(const MontgomeryCtx& ctx, const BigInt& base,
                       int max_exp_bits, int window_bits = 4);
 
-  // base^e mod m for 0 <= e < 2^max_exp_bits.
+  // base^e mod m for 0 <= e < 2^max_exp_bits. Same non-constant-time
+  // contract as MontgomeryCtx::Exp: comb digits index the table and select
+  // whether to multiply, so exponent bits shape the cache/branch profile.
   BigInt Exp(const BigInt& e) const;
 
  private:

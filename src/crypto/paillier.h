@@ -15,6 +15,12 @@ namespace pafs {
 
 class Rng;
 
+// Floor on a peer-announced modulus before key/pool state is built from
+// it. Well below any real deployment size (512-2048 bits) but enough to
+// reject trivially degenerate n; protocol servers must also check the
+// modulus is odd, since MontgomeryCtx aborts on an even one.
+inline constexpr int kMinPaillierModulusBits = 128;
+
 // Public key plus cached Montgomery state for ciphertext-space arithmetic.
 class PaillierPublicKey {
  public:

@@ -57,7 +57,11 @@ size_t PaillierPadPool::Refill(Rng& rng, size_t count,
     }
     BigInt pad = pk_.ComputePad(base);
     {
+      // Recheck the bound: another refiller (or a Restore) may have filled
+      // the pool while the modexp ran unlocked. Dropping the pad wastes
+      // one modexp but keeps depth <= target_ an invariant.
       std::lock_guard<std::mutex> lock(mu_);
+      if (pads_.size() >= target_) break;
       pads_.push_back(std::move(pad));
       ++stats_.refilled;
       RecordDepth(pads_.size());
@@ -101,7 +105,11 @@ void PaillierPadPool::Restore(ByteReader& r) {
     uint32_t len = r.U32();
     std::vector<uint8_t> bytes(len);
     r.Bytes(bytes.data(), len);
-    pads_.push_back(BigInt::FromBytes(bytes));
+    // Clamp to this pool's target: a snapshot taken under a larger
+    // --pool-depth must not leave a smaller restarted pool permanently
+    // over target. The whole pad block is still consumed so the reader
+    // lands on the next snapshot field. FIFO order keeps the oldest pads.
+    if (pads_.size() < target_) pads_.push_back(BigInt::FromBytes(bytes));
   }
 }
 

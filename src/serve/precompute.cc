@@ -16,14 +16,17 @@ SessionPrecompute::SessionPrecompute(const PrecomputeConfig& config,
   if (PoolsDisabledByEnv()) config_.enabled = false;
 }
 
-PaillierPadPool* SessionPrecompute::PadsFor(const BigInt& n) {
+std::shared_ptr<PaillierPadPool> SessionPrecompute::PadsFor(const BigInt& n) {
   if (!config_.enabled) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   if (pool_ == nullptr || !pool_->MatchesModulus(n)) {
-    pool_ = std::make_unique<PaillierPadPool>(
+    // A filler may be mid-Refill on the displaced pool; its shared_ptr
+    // copy keeps that pool alive until the refill pass finishes, and the
+    // stale pads die with it.
+    pool_ = std::make_shared<PaillierPadPool>(
         PaillierPublicKey(n), static_cast<size_t>(config_.paillier_pads));
   }
-  return pool_.get();
+  return pool_;
 }
 
 bool SessionPrecompute::NeedsRefill() const {
@@ -33,10 +36,13 @@ bool SessionPrecompute::NeedsRefill() const {
 }
 
 size_t SessionPrecompute::RefillStep(const std::atomic<bool>* stop) {
-  PaillierPadPool* pool = nullptr;
+  std::shared_ptr<PaillierPadPool> pool;
   {
+    // Copy the shared_ptr, not the raw pointer: PadsFor may replace pool_
+    // for a new client modulus while the long modexps below run, and this
+    // copy is what keeps the pool we fill alive through that.
     std::lock_guard<std::mutex> lock(mu_);
-    pool = pool_.get();
+    pool = pool_;
   }
   if (pool == nullptr) return 0;
   return pool->Refill(fill_rng_, static_cast<size_t>(config_.refill_batch),
@@ -74,7 +80,7 @@ void SessionPrecompute::Restore(ByteReader& r) {
     scratch.Restore(r);  // Consume the reader past the pad block.
     return;
   }
-  pool_ = std::make_unique<PaillierPadPool>(
+  pool_ = std::make_shared<PaillierPadPool>(
       PaillierPublicKey(n), static_cast<size_t>(config_.paillier_pads));
   pool_->Restore(r);
 }

@@ -12,9 +12,12 @@
 // Threading contract: the server guarantees at most one filler task per
 // session at a time (Session::filling), so RefillStep never races itself
 // and fill_rng_ needs no lock. Pool contents are internally locked, so an
-// online query taking pads may overlap a filler mid-refill; the pointer to
-// the pool is guarded here because PadsFor (worker) can race RefillStep
-// (filler) on session's first queries.
+// online query taking pads may overlap a filler mid-refill. The pool
+// itself is held through a shared_ptr guarded by mu_: PadsFor (worker) can
+// replace the pool when the client announces a new modulus while
+// RefillStep (filler) is mid-refill on the old one, so both copy the
+// shared_ptr under the lock and the displaced pool stays alive until the
+// last holder drops it.
 #ifndef PAFS_SERVE_PRECOMPUTE_H_
 #define PAFS_SERVE_PRECOMPUTE_H_
 
@@ -53,7 +56,10 @@ class SessionPrecompute {
 
   // The Paillier pad pool for client modulus n, created on first use and
   // rebuilt if the announced modulus ever changes. Null when disabled.
-  PaillierPadPool* PadsFor(const BigInt& n);
+  // Returned by shared_ptr so the caller's pool survives a concurrent
+  // rebuild for a different modulus (the caller must not assume the pool
+  // is still the session's current one).
+  std::shared_ptr<PaillierPadPool> PadsFor(const BigInt& n);
 
   // True when a filler pass would add material.
   bool NeedsRefill() const;
@@ -74,7 +80,7 @@ class SessionPrecompute {
   PrecomputeConfig config_;
   Rng fill_rng_;  // Dedicated: server pads have no determinism constraint.
   mutable std::mutex mu_;  // Guards the pool_ pointer, not its contents.
-  std::unique_ptr<PaillierPadPool> pool_;
+  std::shared_ptr<PaillierPadPool> pool_;
 };
 
 }  // namespace pafs::serve

@@ -1,5 +1,7 @@
 #include "smc/secure_linear.h"
 
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "circuit/builder.h"
@@ -54,18 +56,26 @@ SmcRunStats SecureLinearProtocol::RunServer(Channel& channel,
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
 
-  // Phase 0: the client's Paillier public key. The modulus is untrusted:
-  // a degenerate n would make every homomorphic op below misbehave.
+  // Phase 0: the client's Paillier public key. The modulus is untrusted
+  // wire data: reject anything PaillierPublicKey's MontgomeryCtx would
+  // PAFS_CHECK-abort on (an even n) or that is too small to be a real
+  // Paillier key, *before* building key or pool state from it — a
+  // ProtocolError fails this query; an abort would kill the process.
   BigInt n = channel.RecvBigInt();
-  if (!(n > BigInt(1))) {
+  if (!(n > BigInt(1)) || !n.is_odd()) {
     throw ProtocolError("secure linear: degenerate Paillier modulus");
+  }
+  if (n.BitLength() < kMinPaillierModulusBits) {
+    throw ProtocolError("secure linear: Paillier modulus below " +
+                        std::to_string(kMinPaillierModulusBits) + " bits");
   }
   PaillierPublicKey pk(n);
 
   // Precomputed pads turn the bias encryption and the per-class
   // rerandomization below into single multiplies; a dry pool falls back to
-  // the online modexp per op.
-  PaillierPadPool* pool = pool_for ? pool_for(n) : nullptr;
+  // the online modexp per op. The shared_ptr keeps this query's pool alive
+  // even if the session rebuilds it for another modulus concurrently.
+  std::shared_ptr<PaillierPadPool> pool = pool_for ? pool_for(n) : nullptr;
   auto encrypt = [&](const BigInt& m) {
     BigInt pad;
     if (pool != nullptr && pool->TryTake(&pad)) {

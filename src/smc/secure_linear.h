@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "circuit/circuit.h"
 #include "crypto/paillier.h"
@@ -32,8 +33,11 @@ class PaillierPadPool;
 
 // Offline/online hook: maps the client-announced modulus to that session's
 // precomputed pad pool (serve/precompute.h), or null to run every modexp
-// online. A callback because the server only learns n in phase 0.
-using PaillierPoolFn = std::function<PaillierPadPool*(const BigInt& n)>;
+// online. A callback because the server only learns n in phase 0. Returns
+// a shared_ptr so the query keeps its pool alive even if the owning
+// session rebuilds it for a different modulus mid-query.
+using PaillierPoolFn =
+    std::function<std::shared_ptr<PaillierPadPool>(const BigInt& n)>;
 
 // Width of the masked-score words in the argmax circuit.
 inline constexpr uint32_t kLinearScoreBits = 32;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -409,6 +410,46 @@ TEST_F(PaillierPoolTest, RefillRespectsTargetAndStopFlag) {
   EXPECT_EQ(pool.depth(), 0u);
   std::atomic<bool> stop{true};
   EXPECT_EQ(pool.Refill(rng_, 10, &stop), 0u);  // Stop beats the batch.
+}
+
+TEST_F(PaillierPoolTest, RestoreClampsToSmallerTarget) {
+  // A snapshot taken under a larger --pool-depth restored after a restart
+  // with a smaller depth must not leave the pool permanently over target.
+  PaillierPadPool pool(keys_.public_key, 6);
+  pool.Refill(rng_, 6);
+  std::vector<uint8_t> bytes;
+  ByteWriter writer(&bytes);
+  pool.Serialize(writer);
+
+  PaillierPadPool shrunk(keys_.public_key, 2);
+  ByteReader reader(bytes);
+  shrunk.Restore(reader);
+  EXPECT_EQ(shrunk.depth(), 2u);
+  EXPECT_EQ(shrunk.Deficit(), 0u);
+  // The kept pads are the oldest two, in FIFO order.
+  for (int i = 0; i < 2; ++i) {
+    BigInt a, b;
+    ASSERT_TRUE(pool.TryTake(&a));
+    ASSERT_TRUE(shrunk.TryTake(&b));
+    EXPECT_EQ(a, b);
+  }
+  BigInt extra;
+  EXPECT_FALSE(shrunk.TryTake(&extra));
+}
+
+TEST_F(PaillierPoolTest, ConcurrentRefillersNeverOvershootTarget) {
+  // Two refillers racing on one pool: the unlocked modexp means both can
+  // pass the draw-time bound check, so the push must recheck under the
+  // lock and discard rather than grow past target.
+  PaillierPadPool pool(keys_.public_key, 4);
+  Rng rng_a(111), rng_b(222);
+  size_t added_a = 0, added_b = 0;
+  std::thread t([&] { added_a = pool.Refill(rng_a, 4); });
+  added_b = pool.Refill(rng_b, 4);
+  t.join();
+  EXPECT_EQ(pool.depth(), 4u);
+  EXPECT_EQ(added_a + added_b, 4u);
+  EXPECT_EQ(pool.stats().refilled, 4u);
 }
 
 }  // namespace

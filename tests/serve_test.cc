@@ -26,6 +26,7 @@
 #include "ot/iknp.h"
 #include "serve/client.h"
 #include "serve/model.h"
+#include "serve/precompute.h"
 #include "serve/server.h"
 #include "smc/secure_linear.h"
 #include "smc/secure_nb.h"
@@ -923,6 +924,38 @@ TEST_F(ServeTest, StopMidRefillDrainsCleanly) {
   EXPECT_FALSE(server.running());
   EXPECT_LT(server.stats().pool_pads_precomputed, 4096u);
   client.Close();
+}
+
+TEST(SessionPrecomputeTest, ModulusSwapDuringRefillKeepsOldPoolAlive) {
+  // Regression: RefillStep runs the long Refill outside the session lock,
+  // and a query announcing a different modulus (untrusted wire data, e.g.
+  // a key-rotating client) replaces the pool concurrently. The filler's
+  // shared_ptr copy must keep the displaced pool alive for the rest of its
+  // pass — the old raw-pointer copy was a use-after-free under this loop
+  // (caught by ASan/TSan).
+  Rng rng(5);
+  PaillierKeyPair k1 = GeneratePaillierKey(rng, 256);
+  PaillierKeyPair k2 = GeneratePaillierKey(rng, 256);
+  serve::PrecomputeConfig config;
+  config.paillier_pads = 64;
+  config.refill_batch = 64;
+  serve::SessionPrecompute pre(config, 77);
+  if (!pre.enabled()) GTEST_SKIP() << "PAFS_NO_POOL set";
+  pre.PadsFor(k1.public_key.n());
+
+  std::atomic<bool> stop{false};
+  std::thread filler([&] {
+    while (!stop.load(std::memory_order_relaxed)) pre.RefillStep(&stop);
+  });
+  for (int i = 0; i < 24; ++i) {
+    std::shared_ptr<PaillierPadPool> pool =
+        pre.PadsFor(i % 2 ? k2.public_key.n() : k1.public_key.n());
+    ASSERT_NE(pool, nullptr);
+    BigInt pad;
+    pool->TryTake(&pad);  // The query-side pointer must stay valid too.
+  }
+  stop.store(true);
+  filler.join();
 }
 
 TEST_F(ServeTest, PooledLinearRetryReplaysByteIdentical) {

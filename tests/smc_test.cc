@@ -228,14 +228,14 @@ TEST_F(SmcTest, SecureLinearPooledMatchesUnpooledAndPlaintext) {
   SecureLinearProtocol protocol(data_.features(), data_.num_classes(), {});
 
   Rng server_fill_rng(71);
-  std::unique_ptr<PaillierPadPool> server_pool;
+  std::shared_ptr<PaillierPadPool> server_pool;
   PaillierPoolFn pool_for = [&](const BigInt& n) {
     if (server_pool == nullptr || !server_pool->MatchesModulus(n)) {
-      server_pool = std::make_unique<PaillierPadPool>(
+      server_pool = std::make_shared<PaillierPadPool>(
           PaillierPublicKey(n), 2u * data_.num_classes());
       server_pool->Refill(server_fill_rng, 2u * data_.num_classes());
     }
-    return server_pool.get();
+    return server_pool;
   };
   size_t client_pads = static_cast<size_t>(protocol.NumClientCiphertexts());
   PaillierPadPool client_pool(keys.public_key, client_pads);
@@ -277,6 +277,26 @@ TEST_F(SmcTest, SecureLinearPooledMatchesUnpooledAndPlaintext) {
   EXPECT_EQ(server_pool->stats().hits,
             2u * static_cast<uint64_t>(data_.num_classes()));
   EXPECT_EQ(server_pool->stats().misses, 0u);
+}
+
+TEST_F(SmcTest, SecureLinearServerRejectsBadModulus) {
+  // The announced modulus is untrusted wire data: an even or undersized n
+  // must fail the query as a ProtocolError before any key/pool state is
+  // built from it — not abort the process inside MontgomeryCtx.
+  SecureLinearProtocol protocol(data_.features(), data_.num_classes(), {});
+  Rng key_rng(12);
+  PaillierKeyPair keys = GeneratePaillierKey(key_rng, 256);
+
+  BigInt even_n = keys.public_key.n() + BigInt(1);  // n odd, so n+1 even.
+  channel_.endpoint(1).SendBigInt(even_n);
+  EXPECT_THROW(protocol.RunServer(channel_.endpoint(0), linear_, {},
+                                  ot_sender_, server_rng_),
+               ProtocolError);
+
+  channel_.endpoint(1).SendBigInt(BigInt(12345));  // Odd but tiny.
+  EXPECT_THROW(protocol.RunServer(channel_.endpoint(0), linear_, {},
+                                  ot_sender_, server_rng_),
+               ProtocolError);
 }
 
 TEST_F(SmcTest, SecureLinearWithDisclosure) {
