@@ -6,7 +6,7 @@
 //
 //   bench_serving [--clients=64] [--queries=4] [--transport=tcp|uds|both]
 //                 [--classifier=nb|tree|linear|forest] [--smoke]
-//                 [--overload]
+//                 [--overload] [--batch] [--batch-records=16]
 //
 // --smoke shrinks the run (4 clients x 2 queries, TCP only) and exits
 // nonzero on any protocol failure or answer mismatch, so tier-1 ctest and
@@ -50,6 +50,8 @@ struct ServingOptions {
   bool uds = true;
   bool smoke = false;
   bool overload = false;
+  bool batch = false;
+  int batch_records = 16;  // Records per ClassifyBatch in the --batch run.
   ClassifierKind classifier = ClassifierKind::kNaiveBayes;
 };
 
@@ -157,6 +159,108 @@ TransportResult RunLoad(const SecureClassificationPipeline& pipeline,
     // retried its way to an answer.
     r.failures += stats.sessions_failed;
   }
+  return r;
+}
+
+struct BatchLoadResult {
+  int sessions = 0;
+  int records_per_batch = 0;
+  uint64_t batches = 0;         // ClassifyBatch calls completed by clients.
+  uint64_t records = 0;         // Classifications delivered.
+  uint64_t failures = 0;
+  uint64_t mismatches = 0;
+  uint64_t batches_served = 0;  // Server-side wire batches (incl. chunks).
+  uint64_t batch_records = 0;   // Server-side per-record admissions.
+  double wall_seconds = 0;
+  double qps = 0;               // Records per second — comparable to the
+                                // per-query transports' qps directly.
+  double per_record_ms = 0;     // Mean client-side batch wall / records.
+};
+
+// The cross-query batching scenario: the same concurrent-session shape as
+// RunLoad, but every client submits its rows through ClassifyBatch so the
+// whole batch shares one wire round, one OT-extension matrix, and circuits
+// drawn from the server's GC pool. QPS here counts records, making the
+// figure directly comparable to the per-query transports' qps.
+BatchLoadResult RunBatchLoad(const SecureClassificationPipeline& pipeline,
+                             const Dataset& data, const ServingOptions& opt) {
+  serve::ServerConfig server_config;
+  server_config.address = SocketAddress::Tcp("127.0.0.1", 0);
+  server_config.max_sessions = opt.clients + 8;
+  server_config.recv_timeout_seconds = 600;
+  serve::ClassificationServer server(
+      serve::ServingModel::FromPipeline(pipeline), server_config);
+  server.Start();
+
+  std::vector<std::vector<int>> rows;
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    rows.push_back(data.row((i * 131) % data.size()));
+    expected.push_back(pipeline.PlaintextPredict(rows.back()));
+  }
+
+  std::vector<std::vector<double>> batch_seconds(opt.clients);
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> records{0};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> workers;
+  Timer wall;
+  for (int t = 0; t < opt.clients; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        serve::ClientConfig cc;
+        cc.address = server.address();
+        cc.recv_timeout_seconds = 600;
+        cc.seed = 0xBA7C4 + t;
+        serve::ClassificationClient client(cc);
+        for (int q = 0; q < opt.queries; ++q) {
+          std::vector<std::vector<int>> batch(opt.batch_records);
+          std::vector<size_t> idx(opt.batch_records);
+          for (int i = 0; i < opt.batch_records; ++i) {
+            idx[i] = (t * 7 + q * opt.batch_records + i) % rows.size();
+            batch[i] = rows[idx[i]];
+          }
+          Timer timer;
+          std::vector<int> got = client.ClassifyBatch(batch);
+          batch_seconds[t].push_back(timer.ElapsedSeconds());
+          ++batches;
+          records += got.size();
+          for (int i = 0; i < opt.batch_records; ++i) {
+            if (got[i] != expected[idx[i]]) ++mismatches;
+          }
+        }
+        client.Close();
+      } catch (const TransportError& e) {
+        ++failures;
+        std::fprintf(stderr, "batch client %d failed: %s\n", t, e.what());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  BatchLoadResult r;
+  r.sessions = opt.clients;
+  r.records_per_batch = opt.batch_records;
+  r.wall_seconds = wall.ElapsedSeconds();
+  r.batches = batches.load();
+  r.records = records.load();
+  r.failures = failures.load();
+  r.mismatches = mismatches.load();
+  double batch_sum = 0;
+  for (const auto& per_client : batch_seconds) {
+    for (double s : per_client) batch_sum += s;
+  }
+  if (r.records > 0) {
+    r.qps = static_cast<double>(r.records) / r.wall_seconds;
+    r.per_record_ms = batch_sum / static_cast<double>(r.records) * 1e3;
+  }
+
+  server.Stop();
+  serve::ServerStats stats = server.stats();
+  r.batches_served = stats.batches_served;
+  r.batch_records = stats.batch_records;
+  if (stats.sessions_failed > 0) r.failures += stats.sessions_failed;
   return r;
 }
 
@@ -396,6 +500,28 @@ void PrintResume(const ResumeResult& r) {
   std::printf("  }\n");
 }
 
+void PrintBatch(const BatchLoadResult& r, bool last) {
+  std::printf("  \"batched\": {\n");
+  std::printf("    \"sessions\": %d,\n", r.sessions);
+  std::printf("    \"records_per_batch\": %d,\n", r.records_per_batch);
+  std::printf("    \"batches\": %llu,\n",
+              static_cast<unsigned long long>(r.batches));
+  std::printf("    \"records\": %llu,\n",
+              static_cast<unsigned long long>(r.records));
+  std::printf("    \"failures\": %llu,\n",
+              static_cast<unsigned long long>(r.failures));
+  std::printf("    \"mismatches\": %llu,\n",
+              static_cast<unsigned long long>(r.mismatches));
+  std::printf("    \"batches_served\": %llu,\n",
+              static_cast<unsigned long long>(r.batches_served));
+  std::printf("    \"batch_records\": %llu,\n",
+              static_cast<unsigned long long>(r.batch_records));
+  std::printf("    \"wall_seconds\": %.3f,\n", r.wall_seconds);
+  std::printf("    \"qps\": %.2f,\n", r.qps);
+  std::printf("    \"per_record_ms\": %.3f\n", r.per_record_ms);
+  std::printf("  }%s\n", last ? "" : ",");
+}
+
 void PrintOverload(const OverloadResult& r) {
   std::printf("  \"overload\": {\n");
   std::printf("    \"sessions\": %d,\n", r.sessions);
@@ -459,11 +585,17 @@ int Main(int argc, char** argv) {
       opt.uds = std::strcmp(arg + 12, "tcp") != 0;
     } else if (std::strcmp(arg, "--overload") == 0) {
       opt.overload = true;
+    } else if (std::strcmp(arg, "--batch") == 0) {
+      opt.batch = true;
+    } else if (std::strncmp(arg, "--batch-records=", 16) == 0) {
+      opt.batch_records = std::atoi(arg + 16);
     } else if (std::strcmp(arg, "--smoke") == 0) {
       opt.smoke = true;
       opt.clients = 4;
       opt.queries = 2;
       opt.uds = false;
+      opt.batch = true;  // Smoke covers the batched wire path too.
+      opt.batch_records = 4;
     } else if (std::strncmp(arg, "--classifier=", 13) == 0) {
       const char* name = arg + 13;
       if (std::strcmp(name, "nb") == 0) {
@@ -506,8 +638,12 @@ int Main(int argc, char** argv) {
   std::printf("  \"queries_per_client\": %d,\n", opt.queries);
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
+  BatchLoadResult batch;
   OverloadResult overload;
   ResumeResult resume;
+  if (opt.batch) {
+    batch = RunBatchLoad(pipeline, data, opt);
+  }
   if (opt.overload) {
     overload = RunOverload(pipeline, data, opt);
     resume = RunResumeBench(pipeline, data);
@@ -517,7 +653,8 @@ int Main(int argc, char** argv) {
   for (size_t i = 0; i < results.size(); ++i) {
     PrintResult(results[i], i + 1 == results.size());
   }
-  std::printf("  }%s\n", opt.overload ? "," : "");
+  std::printf("  }%s\n", (opt.batch || opt.overload) ? "," : "");
+  if (opt.batch) PrintBatch(batch, /*last=*/!opt.overload);
   if (opt.overload) {
     PrintOverload(overload);
     PrintResume(resume);
@@ -525,6 +662,21 @@ int Main(int argc, char** argv) {
   std::printf("}\n");
   bench::PrintTelemetryBreakdown();
 
+  if (opt.batch) {
+    uint64_t want = static_cast<uint64_t>(opt.clients) *
+                    static_cast<uint64_t>(opt.queries) *
+                    static_cast<uint64_t>(opt.batch_records);
+    if (batch.failures > 0 || batch.mismatches > 0 || batch.records != want) {
+      std::fprintf(stderr,
+                   "bench_serving: batch saw %llu failures, %llu mismatches, "
+                   "%llu of %llu records\n",
+                   static_cast<unsigned long long>(batch.failures),
+                   static_cast<unsigned long long>(batch.mismatches),
+                   static_cast<unsigned long long>(batch.records),
+                   static_cast<unsigned long long>(want));
+      return 1;
+    }
+  }
   if (opt.overload && (overload.failures > 0 || overload.mismatches > 0)) {
     std::fprintf(stderr,
                  "bench_serving: overload saw %llu failures, %llu "

@@ -4,8 +4,9 @@
 //               [--listen=tcp:HOST:PORT|unix:PATH] [--max-sessions=N]
 //               [--threads=N] [--max-pending=N] [--idle-timeout=SECONDS]
 //               [--resume-cache=N] [--query-budget=SECONDS]
-//               [--pool-depth=N] [--pool-refill-batch=N] [--no-pool]
-//               [--breakdown]
+//               [--pool-depth=N] [--pool-refill-batch=N]
+//               [--gc-pool-depth=N] [--ot-pool-depth=N]
+//               [--batch-max-records=N] [--no-pool] [--breakdown]
 //
 // Trains the classifier, selects the privacy-aware disclosure plan under
 // the given risk budget, and serves secure classifications to concurrent
@@ -50,7 +51,9 @@ int Usage() {
       "                   [--max-pending=N] [--idle-timeout=SECONDS]\n"
       "                   [--resume-cache=N] [--query-budget=SECONDS]\n"
       "                   [--pool-depth=N] [--pool-refill-batch=N]\n"
-      "                   [--no-pool] [--breakdown]\n"
+      "                   [--gc-pool-depth=N] [--ot-pool-depth=N]\n"
+      "                   [--batch-max-records=N] [--no-pool]\n"
+      "                   [--breakdown]\n"
       "  --resume-cache=N     suspended-session snapshots kept for ticket\n"
       "                       resumption (0 disables resume tickets)\n"
       "  --query-budget=S     watchdog cancels any single query running\n"
@@ -59,7 +62,14 @@ int Usage() {
       "                       for the linear protocol (0 disables pools)\n"
       "  --pool-refill-batch=N  pads an idle-time filler step computes\n"
       "                       before re-checking for foreground work\n"
-      "  --no-pool            serve every query with inline modexps\n"
+      "  --gc-pool-depth=N    circuits pre-garbled per disclosure key\n"
+      "                       between queries (0 disables the GC pool)\n"
+      "  --ot-pool-depth=N    random-OT pads precomputed per idle session\n"
+      "                       for label transfer (0 disables the pad pool)\n"
+      "  --batch-max-records=N  largest ClassifyBatch a session may submit\n"
+      "                       in one wire batch\n"
+      "  --no-pool            serve every query with inline modexps,\n"
+      "                       online garbling, and online OT extension\n"
       "                       (same as PAFS_NO_POOL=1)\n");
   return 2;
 }
@@ -126,6 +136,12 @@ int main(int argc, char** argv) {
       server_config.pool_pad_depth = std::atoi(arg + 13);
     } else if (std::strncmp(arg, "--pool-refill-batch=", 20) == 0) {
       server_config.pool_refill_batch = std::atoi(arg + 20);
+    } else if (std::strncmp(arg, "--gc-pool-depth=", 16) == 0) {
+      server_config.gc_pool_depth = std::atoi(arg + 16);
+    } else if (std::strncmp(arg, "--ot-pool-depth=", 16) == 0) {
+      server_config.ot_pool_depth = std::atoi(arg + 16);
+    } else if (std::strncmp(arg, "--batch-max-records=", 20) == 0) {
+      server_config.batch_max_records = std::atoi(arg + 20);
     } else if (std::strcmp(arg, "--no-pool") == 0) {
       server_config.enable_pools = false;
     } else if (std::strcmp(arg, "--breakdown") == 0) {
@@ -184,8 +200,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.resume_misses),
                 static_cast<unsigned long long>(stats.replay_hits),
                 static_cast<unsigned long long>(stats.queries_cancelled));
-    std::printf("offline precompute: %llu Paillier pads filled while idle\n",
-                static_cast<unsigned long long>(stats.pool_pads_precomputed));
+    std::printf("offline precompute: %llu Paillier pads, %llu pre-garbled "
+                "circuits, %llu OT pads filled while idle\n",
+                static_cast<unsigned long long>(stats.pool_pads_precomputed),
+                static_cast<unsigned long long>(stats.gc_pregarbled),
+                static_cast<unsigned long long>(stats.ot_pads_precomputed));
+    std::printf("batching: %llu wire batches covering %llu records\n",
+                static_cast<unsigned long long>(stats.batches_served),
+                static_cast<unsigned long long>(stats.batch_records));
   } catch (const TransportError& e) {
     std::fprintf(stderr, "server error: %s\n", e.what());
     return 1;

@@ -21,7 +21,7 @@ cmake --build build -j "$(nproc)" --target bench_serving
 
 echo "bench_serving.sh: 64-session load over loopback TCP + UDS..." >&2
 ./build/bench/bench_serving --clients=64 --queries=4 --transport=both \
-  --overload "${ARGS[@]+"${ARGS[@]}"}" > /tmp/pafs_serving.json
+  --overload --batch "${ARGS[@]+"${ARGS[@]}"}" > /tmp/pafs_serving.json
 
 python3 - <<'PY'
 import json
@@ -30,6 +30,14 @@ result = json.load(open("/tmp/pafs_serving.json"))
 for name, t in result["transports"].items():
     assert t["failures"] == 0, f"{name}: {t['failures']} protocol failures"
     assert t["mismatches"] == 0, f"{name}: wrong answers under load"
+bt = result["batched"]
+assert bt["failures"] == 0, f"batched: {bt['failures']} protocol failures"
+assert bt["mismatches"] == 0, "batched: wrong answers under load"
+assert bt["batches_served"] >= bt["batches"], (
+    "batched: server saw fewer wire batches than clients completed")
+assert bt["qps"] > result["transports"]["tcp"]["qps"], (
+    f"batched: {bt['qps']} records/s does not beat the per-query "
+    f"{result['transports']['tcp']['qps']} qps on the same machine")
 ov = result["overload"]
 assert ov["failures"] == 0, f"overload: {ov['failures']} visible failures"
 assert ov["mismatches"] == 0, "overload: wrong answers under chaos"
@@ -61,7 +69,12 @@ out = {
                    "state and skips the base OTs, so it must be >= 5x "
                    "faster than a full re-handshake; queries_cancelled "
                    "proves the per-query watchdog fired on a wedged "
-                   "session.",
+                   "session. The batched block reruns the same "
+                   "concurrent-session load through ClassifyBatch (wire "
+                   "v4): each batch shares one round of wire framing, one "
+                   "OT-extension matrix, and GC-pool circuits, and its "
+                   "qps counts records so it reads against the per-query "
+                   "transports' qps directly.",
     "result": result,
 }
 with open("BENCH_serving.json", "w") as f:

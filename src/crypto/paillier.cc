@@ -109,7 +109,8 @@ PaillierPrivateKey::PaillierPrivateKey(const BigInt& p, const BigInt& q)
       p_squared_(p * p),
       q_squared_(q * q),
       ctx_p2_(std::make_shared<MontgomeryCtx>(p_squared_)),
-      ctx_q2_(std::make_shared<MontgomeryCtx>(q_squared_)) {
+      ctx_q2_(std::make_shared<MontgomeryCtx>(q_squared_)),
+      ctx_n2_(std::make_shared<MontgomeryCtx>(public_key_.n_squared())) {
   PAFS_CHECK(p != q);
   const BigInt& n = public_key_.n();
   // h_p = L_p(g^{p-1} mod p^2)^{-1} mod p with g = n+1.
@@ -118,6 +119,9 @@ PaillierPrivateKey::PaillierPrivateKey(const BigInt& p, const BigInt& q)
   h_p_ = ModInverse(LFunction(gp, p_), p_);
   BigInt gq = ctx_q2_->Exp(g, q_ - BigInt(1));
   h_q_ = ModInverse(LFunction(gq, q_), q_);
+  // Full-width secrets for the reference DecryptFullWidth path.
+  lambda_ = (p_ - BigInt(1)) * (q_ - BigInt(1));
+  mu_ = ModInverse(LFunction(ctx_n2_->Exp(g, lambda_), n), n);
 }
 
 BigInt PaillierPrivateKey::Decrypt(const BigInt& c) const {
@@ -132,6 +136,19 @@ BigInt PaillierPrivateKey::Decrypt(const BigInt& c) const {
   BigInt cq = ctx_q2_->Exp(c, q_ - BigInt(1));
   BigInt m_q = ModMul(LFunction(cq, q_), h_q_, q_);
   BigInt m = CrtCombine(m_p, p_, m_q, q_);
+  return public_key_.DecodeSigned(m);
+}
+
+BigInt PaillierPrivateKey::DecryptFullWidth(const BigInt& c) const {
+  obs::TraceSpan span("paillier.decrypt_full");
+  PAFS_CHECK(!c.is_negative());
+  PAFS_CHECK(c < public_key_.n_squared());
+  // One exponentiation at n^2 width with a lambda-sized exponent — roughly
+  // 4x the modular-multiply cost of each half-width CRT exponentiation,
+  // which is exactly the gap bench_e2e reports.
+  BigInt c_lambda = ctx_n2_->Exp(c, lambda_);
+  BigInt m = ModMul(LFunction(c_lambda, public_key_.n()), mu_,
+                    public_key_.n());
   return public_key_.DecodeSigned(m);
 }
 

@@ -79,6 +79,13 @@ class PaillierPrivateKey {
   // CRT decryption; returns the signed decoding in (-n/2, n/2].
   BigInt Decrypt(const BigInt& c) const;
 
+  // Textbook decryption m = L(c^lambda mod n^2) * mu mod n, working at the
+  // full n^2 width instead of splitting through p^2 / q^2. Kept as the
+  // differential-testing reference for Decrypt (and the baseline the CRT
+  // speedup in bench_e2e is measured against) — not used on any protocol
+  // path.
+  BigInt DecryptFullWidth(const BigInt& c) const;
+
   // Prime factors, exposed for key serialization (key_io.h).
   const BigInt& p() const { return p_; }
   const BigInt& q() const { return q_; }
@@ -88,7 +95,8 @@ class PaillierPrivateKey {
   BigInt p_, q_;
   BigInt p_squared_, q_squared_;
   BigInt h_p_, h_q_;  // Precomputed L_p(g^{p-1} mod p^2)^{-1} mod p, ditto q.
-  std::shared_ptr<MontgomeryCtx> ctx_p2_, ctx_q2_;
+  BigInt lambda_, mu_;  // Full-width secrets: (p-1)(q-1) and L(g^lambda)^-1.
+  std::shared_ptr<MontgomeryCtx> ctx_p2_, ctx_q2_, ctx_n2_;
 };
 
 struct PaillierKeyPair {

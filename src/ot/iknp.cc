@@ -15,15 +15,6 @@ namespace {
 // their per-column streams stay aligned.
 size_t ColumnBytes(size_t num_transfers) { return (num_transfers + 7) / 8; }
 
-// Packs a BitVec into LSB-first bytes.
-std::vector<uint8_t> PackBits(const BitVec& bits) {
-  std::vector<uint8_t> out((bits.size() + 7) / 8, 0);
-  for (size_t i = 0; i < bits.size(); ++i) {
-    if (bits.Get(i)) out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
-  }
-  return out;
-}
-
 // Transposes the 128-column bit matrix into per-transfer row blocks; the
 // span isolates the transpose cost from the rest of the extension.
 std::vector<Block> TransposeRows(
@@ -97,7 +88,7 @@ std::vector<Block> OtExtReceiver::Recv(Channel& channel,
   PAFS_CHECK_MSG(is_setup(), "Recv before Setup");
   const size_t m = choices.size();
   const size_t col_bytes = ColumnBytes(m);
-  std::vector<uint8_t> r_bytes = PackBits(choices);
+  std::vector<uint8_t> r_bytes = choices.ToBytes();
 
   // T columns from PRG0; U = T ^ PRG1 ^ r goes to the sender. The matrix
   // generation plus transpose is this side's compute; the masked-pair
@@ -134,7 +125,7 @@ BitVec OtExtReceiver::RecvBits(Channel& channel, const BitVec& choices) {
   PAFS_CHECK_MSG(is_setup(), "RecvBits before Setup");
   const size_t m = choices.size();
   const size_t col_bytes = ColumnBytes(m);
-  std::vector<uint8_t> r_bytes = PackBits(choices);
+  std::vector<uint8_t> r_bytes = choices.ToBytes();
 
   std::vector<Block> t_rows;
   {
@@ -165,6 +156,41 @@ BitVec OtExtReceiver::RecvBits(Channel& channel, const BitVec& choices) {
   }
   tweak_ += m;
   return out;
+}
+
+RandomOtBatch OtExtReceiver::RecvRandom(Channel& channel, Rng& rng,
+                                        size_t count) {
+  PAFS_CHECK_MSG(is_setup(), "RecvRandom before Setup");
+  const size_t m = count;
+  const size_t col_bytes = ColumnBytes(m);
+  BitVec choices(m);
+  for (size_t j = 0; j < m; ++j) choices.Set(j, rng.NextBool());
+  std::vector<uint8_t> r_bytes = choices.ToBytes();
+
+  // Same column exchange as Recv, but no masked pairs follow: the hash
+  // pads themselves are the output, consumed later by the derandomized
+  // transfer in ot/ot_pool.h.
+  std::vector<Block> t_rows;
+  {
+    obs::TraceSpan span("ot.ext.random");
+    span.AddAttr("transfers", static_cast<double>(m));
+    std::vector<std::vector<uint8_t>> t_columns(kOtExtensionWidth);
+    for (int i = 0; i < kOtExtensionWidth; ++i) {
+      t_columns[i] = column_prgs0_[i].Bytes(col_bytes);
+      std::vector<uint8_t> u = column_prgs1_[i].Bytes(col_bytes);
+      for (size_t b = 0; b < col_bytes; ++b) {
+        u[b] ^= t_columns[i][b] ^ r_bytes[b];
+      }
+      channel.SendBytes(u);
+    }
+    t_rows = TransposeRows(t_columns, m);
+  }
+
+  RandomOtBatch batch;
+  batch.choices = std::move(choices);
+  batch.pads = RowPads(t_rows, tweak_);
+  tweak_ += m;
+  return batch;
 }
 
 void OtExtSender::Send(Channel& channel,
@@ -236,6 +262,54 @@ void OtExtSender::SendBits(Channel& channel, const BitVec& bits0,
   }
   channel.SendBytes(packed);
   tweak_ += m;
+}
+
+std::vector<std::array<Block, 2>> OtExtSender::SendRandom(Channel& channel,
+                                                          size_t count) {
+  return ExpandRandomColumns(ReceiveRandomColumns(channel, count), count);
+}
+
+std::vector<std::vector<uint8_t>> OtExtSender::ReceiveRandomColumns(
+    Channel& channel, size_t count) {
+  PAFS_CHECK_MSG(is_setup(), "SendRandom before Setup");
+  const size_t col_bytes = ColumnBytes(count);
+  std::vector<std::vector<uint8_t>> u_columns(kOtExtensionWidth);
+  for (int i = 0; i < kOtExtensionWidth; ++i) {
+    u_columns[i] = channel.RecvBytesExpected(col_bytes);
+  }
+  return u_columns;
+}
+
+std::vector<std::array<Block, 2>> OtExtSender::ExpandRandomColumns(
+    const std::vector<std::vector<uint8_t>>& u_columns, size_t count) {
+  PAFS_CHECK_MSG(is_setup(), "ExpandRandomColumns before Setup");
+  PAFS_CHECK_EQ(u_columns.size(), static_cast<size_t>(kOtExtensionWidth));
+  const size_t m = count;
+  const size_t col_bytes = ColumnBytes(m);
+  obs::TraceSpan span("ot.ext.random");
+  if (obs::Enabled()) {
+    span.AddAttr("transfers", static_cast<double>(m));
+    static obs::Counter& transfers = obs::GetCounter("ot.ext.transfers");
+    transfers.Add(m);
+  }
+
+  std::vector<std::vector<uint8_t>> q_columns(kOtExtensionWidth);
+  for (int i = 0; i < kOtExtensionWidth; ++i) {
+    PAFS_CHECK_EQ(u_columns[i].size(), col_bytes);
+    q_columns[i] = column_prgs_[i].Bytes(col_bytes);
+    if (s_bits_.Get(i)) {
+      for (size_t b = 0; b < col_bytes; ++b) q_columns[i][b] ^= u_columns[i][b];
+    }
+  }
+
+  std::vector<Block> q_rows = TransposeRows(q_columns, m);
+  std::vector<Block> pads = RowPadPairs(q_rows, s_block_, tweak_);
+  std::vector<std::array<Block, 2>> out(m);
+  for (size_t j = 0; j < m; ++j) {
+    out[j] = {pads[2 * j], pads[2 * j + 1]};
+  }
+  tweak_ += m;
+  return out;
 }
 
 // Snapshot layout (all little-endian): a u32 setup flag, then — when set —

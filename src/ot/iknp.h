@@ -20,6 +20,14 @@ class Rng;
 
 inline constexpr int kOtExtensionWidth = 128;
 
+// One batch of random OTs generated offline for the pad pool (see
+// ot/ot_pool.h): the receiver's random choice bits plus the pad it holds
+// for each transfer. pads[j] is the sender's pad for index choices[j].
+struct RandomOtBatch {
+  BitVec choices;
+  std::vector<Block> pads;
+};
+
 class OtExtSender {
  public:
   // Runs the base-OT phase (acting as base-OT *receiver* with random
@@ -37,6 +45,25 @@ class OtExtSender {
   // GMW triple generation wants — Block-sized messages would inflate its
   // bandwidth 128x.
   void SendBits(Channel& channel, const BitVec& bits0, const BitVec& bits1);
+
+  // Offline random-OT generation (the pad-pool refill): one extension pass
+  // with no message masking — both parties keep only the hash pads, and a
+  // later derandomized transfer (ot/ot_pool.h) turns each pad pair into a
+  // real OT with one correction bit and two XORs. Returns
+  // pads[j] = {H(q_j), H(q_j ^ s)}. Equivalent to ReceiveRandomColumns
+  // followed immediately by ExpandRandomColumns.
+  std::vector<std::array<Block, 2>> SendRandom(Channel& channel, size_t count);
+
+  // Split form for idle-worker precompute: the interactive half (draining
+  // the receiver's u columns off the wire) is cheap and runs in the online
+  // tail; the PRG expansion + transpose + hashing can then run on an idle
+  // worker via ExpandRandomColumns. No other extension op may run between
+  // the two calls — ExpandRandomColumns advances the column-PRG and tweak
+  // state the peer's matching RecvRandom already advanced on its side.
+  std::vector<std::vector<uint8_t>> ReceiveRandomColumns(Channel& channel,
+                                                         size_t count);
+  std::vector<std::array<Block, 2>> ExpandRandomColumns(
+      const std::vector<std::vector<uint8_t>>& u_columns, size_t count);
 
   bool is_setup() const { return !column_prgs_.empty(); }
 
@@ -65,6 +92,12 @@ class OtExtReceiver {
 
   // Bit-message variant pairing OtExtSender::SendBits.
   BitVec RecvBits(Channel& channel, const BitVec& choices);
+
+  // Offline random-OT generation pairing OtExtSender::SendRandom: draws
+  // `count` uniform choice bits from `rng`, sends the masked columns, and
+  // keeps one pad per transfer (pads[j] = H(t_j), the sender's pad for
+  // index choices[j]).
+  RandomOtBatch RecvRandom(Channel& channel, Rng& rng, size_t count);
 
   bool is_setup() const { return !column_prgs0_.empty(); }
 

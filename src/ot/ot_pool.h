@@ -1,0 +1,168 @@
+// Offline/online split for OT extension: bounded pools of precomputed
+// random OTs (ot/iknp.h SendRandom/RecvRandom) plus the Beaver-style
+// derandomized transfer that spends them. Generating a random OT costs the
+// full IKNP machinery — PRG column expansion, a 128-wide transpose, and two
+// hashes per transfer — but spending one online costs a single correction
+// bit and two XORs, so a warm pool collapses the per-query OT cost the way
+// PaillierPadPool collapsed the r^n exponentiations.
+//
+// The two pools are position-synchronized streams, not independent caches:
+// pad j on the sender is only usable against pad j on the receiver, because
+// the receiver's pad is H(t_j) = the sender's H(q_j ^ c_j·s). Both sides
+// therefore consume strictly FIFO and carry a running sequence number; the
+// derandomized transfer sends the receiver's start sequence on the wire and
+// the sender refuses a mismatch (ProtocolError "ot pad pool desync") rather
+// than silently producing garbage labels.
+//
+// Refill determinism (serving-layer resumption): a refill is an extension
+// pass over the column PRGs, so pads are a pure function of OT-stream state
+// the resumption snapshot already covers. The client refills only inside a
+// query (after its snapshot point), clears nothing on restore — the
+// snapshot *includes* the pool — and a replayed retry regenerates the same
+// columns byte-for-byte. The sender side may defer the expensive expansion
+// (AddPending → Materialize) to an idle worker; pending batches serialize
+// as raw column bytes since their PRG state has not advanced yet.
+//
+// Thread safety: all pool methods lock internally. Materialize additionally
+// requires the caller to hold whatever exclusivity guards the OtExtSender
+// stream itself (serve/server.cc's per-session ot_mu) — the expansion
+// advances shared PRG/tweak state that live transfers also touch.
+// Telemetry: ot.pool.hit / .miss / .refill counters and an ot.pool.depth
+// histogram, mirroring the Paillier pool.
+#ifndef PAFS_OT_OT_POOL_H_
+#define PAFS_OT_OT_POOL_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "crypto/block.h"
+#include "net/channel.h"
+#include "ot/iknp.h"
+#include "util/bitvec.h"
+#include "util/serial.h"
+
+namespace pafs {
+
+// Sender-side pool: pad pairs {H(q_j), H(q_j ^ s)} awaiting derandomized
+// sends, plus not-yet-expanded column batches parked for an idle worker.
+class OtSenderPadPool {
+ public:
+  explicit OtSenderPadPool(size_t target_depth) : target_(target_depth) {}
+
+  size_t target_depth() const { return target_; }
+
+  // Appends freshly expanded pad pairs (from SendRandom or Materialize).
+  void Append(std::vector<std::array<Block, 2>> pads);
+
+  // Parks a received-but-unexpanded batch (ReceiveRandomColumns output).
+  // Counts toward Deficit immediately; Materialize turns it into pads.
+  void AddPending(size_t count, std::vector<std::vector<uint8_t>> u_columns);
+  bool HasPending() const;
+  // Expands every pending batch through `ot` (advancing its PRG/tweak
+  // state). Caller must hold the OT stream's exclusivity — see file
+  // comment. Returns pads materialized.
+  size_t Materialize(OtExtSender& ot);
+
+  // All-or-nothing take of `count` consecutive pads; *start_seq gets the
+  // stream position of the first one. False (a pool miss) when fewer than
+  // `count` ready pads remain — partial spends would desync the streams.
+  bool TryTake(size_t count, std::vector<std::array<Block, 2>>* pads,
+               uint64_t* start_seq);
+
+  // Pads (ready + pending) short of target_depth.
+  size_t Deficit() const;
+  size_t depth() const;
+  void Clear();
+
+  // Snapshot/restore for serving-layer resumption (trusted in-process
+  // bytes). Pending batches serialize as raw columns: their expansion
+  // state lives in the OtExtSender snapshot taken alongside.
+  void Serialize(ByteWriter& w) const;
+  void Restore(ByteReader& r);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t refilled = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct PendingBatch {
+    size_t count;
+    std::vector<std::vector<uint8_t>> u_columns;
+  };
+
+  size_t target_;
+  mutable std::mutex mu_;
+  std::deque<std::array<Block, 2>> pads_;
+  std::deque<PendingBatch> pending_;
+  size_t pending_count_ = 0;
+  uint64_t head_seq_ = 0;  // Stream position of pads_.front().
+  Stats stats_;
+};
+
+// Receiver-side pool: random choice bits c_j with their pads H(t_j).
+class OtReceiverPadPool {
+ public:
+  explicit OtReceiverPadPool(size_t target_depth) : target_(target_depth) {}
+
+  size_t target_depth() const { return target_; }
+
+  // Appends a RecvRandom batch.
+  void Append(const RandomOtBatch& batch);
+
+  // All-or-nothing take mirroring OtSenderPadPool::TryTake.
+  bool TryTake(size_t count, BitVec* choices, std::vector<Block>* pads,
+               uint64_t* start_seq);
+
+  size_t Deficit() const;
+  size_t depth() const;
+  void Clear();
+
+  void Serialize(ByteWriter& w) const;
+  void Restore(ByteReader& r);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t refilled = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    bool choice;
+    Block pad;
+  };
+
+  size_t target_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+  uint64_t head_seq_ = 0;
+  Stats stats_;
+};
+
+// Derandomized OT pair: equivalent to ot.Send/ot.Recv but spends pooled
+// pads when both sides have them. The receiver announces how many pooled
+// transfers it will use (0 or all — the receiver decides, since only it
+// knows its pool depth) followed by, when pooled, its start sequence and
+// the word-packed correction bits e_j = b_j ^ c_j; the sender answers with
+// the 2m masked messages y_{j,i} = m_{j,i} ^ pad_{j, i ^ e_j} in one flat
+// frame. On announce 0 both sides fall back to the online extension. The
+// sender treats a pooled announcement it cannot honor (no pool, wrong
+// count, wrong sequence) as a protocol error: the streams are lockstep, so
+// any mismatch means desync, not a benign miss.
+void PooledOtSend(Channel& channel, OtExtSender& ot,
+                  const std::vector<std::array<Block, 2>>& messages,
+                  OtSenderPadPool* pool);
+std::vector<Block> PooledOtRecv(Channel& channel, OtExtReceiver& ot,
+                                const BitVec& choices,
+                                OtReceiverPadPool* pool);
+
+}  // namespace pafs
+
+#endif  // PAFS_OT_OT_POOL_H_

@@ -13,6 +13,7 @@
 #include "smc/secure_forest.h"
 #include "smc/secure_tree.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/serial.h"
 #include "util/timer.h"
 
@@ -120,6 +121,15 @@ void ClassificationClient::ConnectOnce() {
   // rng position, which the snapshot below will not cover — drop them.
   if (pad_pool_ != nullptr) pad_pool_->Clear();
   ot_ = OtExtReceiver();
+  // Same reasoning for OT pads: the pool's entries pair with the dead
+  // session's sender stream, so a fresh session starts from an empty pool
+  // (the first query's refill tail warms it).
+  if (config_.ot_pool_depth > 0 && !PoolsDisabledByEnv()) {
+    ot_pads_ = std::make_unique<OtReceiverPadPool>(
+        static_cast<size_t>(config_.ot_pool_depth));
+  } else {
+    ot_pads_.reset();
+  }
   // The ticket frame closes the fresh handshake; empty means the server
   // runs with resumption disabled.
   ticket_ = RecvTicketFrame(*framed_);
@@ -159,6 +169,10 @@ void ClassificationClient::SnapshotState() {
   rng_snapshot_.clear();
   ByteWriter writer(&rng_snapshot_);
   rng_.Serialize(writer);
+  ot_pads_snapshot_.clear();
+  ByteWriter pads_writer(&ot_pads_snapshot_);
+  pads_writer.U32(ot_pads_ != nullptr ? 1 : 0);
+  if (ot_pads_ != nullptr) ot_pads_->Serialize(pads_writer);
   snapshot_next_query_id_ = next_query_id_;
 }
 
@@ -170,6 +184,19 @@ void ClassificationClient::RestoreSnapshot() {
   ot_ = OtExtReceiver::Deserialize(ot_snapshot_);
   ByteReader reader(rng_snapshot_);
   rng_ = Rng::Deserialize(reader);
+  // OT pads, unlike Paillier pads, ARE covered by the snapshot (the pool
+  // was serialized post-refill-tail), so a replayed retry re-spends the
+  // exact pads the transcript's corrections were computed from.
+  ByteReader pads_reader(ot_pads_snapshot_);
+  if (pads_reader.U32() == 1) {
+    if (ot_pads_ == nullptr) {
+      ot_pads_ = std::make_unique<OtReceiverPadPool>(
+          static_cast<size_t>(std::max(config_.ot_pool_depth, 1)));
+    }
+    ot_pads_->Restore(pads_reader);
+  } else {
+    ot_pads_.reset();
+  }
   next_query_id_ = snapshot_next_query_id_;
 }
 
@@ -177,6 +204,7 @@ void ClassificationClient::ForgetResumeState() {
   ticket_.clear();
   ot_snapshot_.clear();
   rng_snapshot_.clear();
+  ot_pads_snapshot_.clear();
   snapshot_next_query_id_ = 1;
 }
 
@@ -290,12 +318,14 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
   SmcRunStats stats;
   switch (setup_.classifier) {
     case ClassifierKind::kNaiveBayes: {
-      stats = SecureNbRunClient(ch, *nb_spec_, row, ot_, rng_, setup_.scheme);
+      stats = SecureNbRunClient(ch, *nb_spec_, row, ot_, rng_, setup_.scheme,
+                                ot_pads_.get());
       break;
     }
     case ClassifierKind::kDecisionTree: {
       stats = SecureTreeRunClient(ch, setup_.features, setup_.num_classes,
-                                  row, ot_, rng_, setup_.scheme);
+                                  row, ot_, rng_, setup_.scheme,
+                                  ot_pads_.get());
       break;
     }
     case ClassifierKind::kLinear: {
@@ -316,10 +346,15 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
     }
     case ClassifierKind::kForest: {
       stats = SecureForestRunClient(ch, setup_.features, setup_.num_classes,
-                                    row, ot_, rng_, setup_.scheme);
+                                    row, ot_, rng_, setup_.scheme,
+                                    ot_pads_.get());
       break;
     }
   }
+  // Refill tail (v4): top the receiver pad pool up while the round trip is
+  // already paid, before the commit point so the snapshot below covers the
+  // refilled pool.
+  ClientOtRefillTail(ch);
   // Completion ack — the commit point. Until this frame arrives the query
   // is not done client-side, so a connection lost here leaves the client
   // one query *behind* the server and the retry of the same id is served
@@ -345,6 +380,205 @@ SmcRunStats ClassificationClient::QueryOnce(const std::vector<int>& row) {
   // awaited; only legal right after the snapshot (replay covers the draws).
   RefillPadPool();
   return stats;
+}
+
+void ClassificationClient::ClientOtRefillTail(Channel& ch) {
+  // Receiver-driven: ask for the pool's deficit (0 when pooling is off or
+  // the OT stream is not yet set up — the server answers 0 in kind, so the
+  // tail costs two u64 frames on a cold session). The server may grant
+  // less, never more.
+  uint64_t wanted = 0;
+  if (ot_pads_ != nullptr && ot_.is_setup()) {
+    wanted = ot_pads_->Deficit();
+  }
+  ch.SendU64(wanted);
+  uint64_t granted = ch.RecvU64();
+  if (granted > wanted) {
+    throw ProtocolError("serve client: OT refill grant " +
+                        std::to_string(granted) + " exceeds request " +
+                        std::to_string(wanted));
+  }
+  if (granted > 0) {
+    obs::TraceSpan span("serve.client.ot_refill");
+    ot_pads_->Append(ot_.RecvRandom(ch, rng_, static_cast<size_t>(granted)));
+  }
+}
+
+std::vector<int> ClassificationClient::ClassifyBatch(
+    const std::vector<std::vector<int>>& rows, SmcRunStats* stats) {
+  PAFS_CHECK_MSG(!finished_, "ClassifyBatch on a closed client");
+  if (stats != nullptr) *stats = SmcRunStats{};
+  std::vector<int> preds;
+  preds.reserve(rows.size());
+  if (rows.empty()) return preds;
+  for (const std::vector<int>& row : rows) {
+    PAFS_CHECK_EQ(row.size(), setup_.features.size());
+    for (size_t f = 0; f < row.size(); ++f) {
+      PAFS_CHECK_GE(row[f], 0);
+      PAFS_CHECK_LT(row[f], setup_.features[f].cardinality);
+    }
+  }
+  if (setup_.classifier == ClassifierKind::kLinear) {
+    // The Paillier protocol has no single-exchange batched shape; run the
+    // rows as ordinary queries so the caller still gets one answer vector.
+    for (const std::vector<int>& row : rows) {
+      SmcRunStats one = ClassifyWithStats(row);
+      preds.push_back(one.predicted_class);
+      if (stats != nullptr) {
+        stats->bytes += one.bytes;
+        stats->rounds += one.rounds;
+        stats->wall_seconds += one.wall_seconds;
+        stats->predicted_class = one.predicted_class;
+      }
+    }
+    return preds;
+  }
+  const size_t chunk_max =
+      static_cast<size_t>(std::max(config_.batch_max_records, 1));
+  for (size_t begin = 0; begin < rows.size(); begin += chunk_max) {
+    size_t end = std::min(rows.size(), begin + chunk_max);
+    std::vector<std::vector<int>> chunk(rows.begin() + begin,
+                                        rows.begin() + end);
+    Timer deadline;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        if (!open_) {
+          ConnectOnce();
+          ++reconnects_;
+          static obs::Counter& reconnects =
+              obs::GetCounter("serve.reconnects");
+          reconnects.Add();
+        }
+        BatchOnce(chunk, &preds, stats);
+        break;
+      } catch (const TransportError&) {
+        Abandon();
+        BackoffOrRethrow(attempt, deadline.ElapsedSeconds());
+        ++retries_;
+        static obs::Counter& retried =
+            obs::GetCounter("serve.client.retries");
+        retried.Add();
+      }
+    }
+  }
+  return preds;
+}
+
+void ClassificationClient::BatchOnce(const std::vector<std::vector<int>>& rows,
+                                     std::vector<int>* out,
+                                     SmcRunStats* stats) {
+  obs::TraceSpan span("serve.client.batch");
+  Timer timer;
+  uint64_t bytes_before =
+      socket_->stats().bytes_sent + socket_->stats().bytes_received;
+  uint64_t rounds_before = socket_->stats().direction_flips;
+  const size_t n = rows.size();
+  Channel& ch = *framed_;
+  ch.SendU64(static_cast<uint64_t>(RequestTag::kBatch));
+  ch.SendU64(next_query_id_);
+  ch.SendU64(static_cast<uint64_t>(n));
+  {
+    obs::TraceSpan disclose("disclose");
+    for (const std::vector<int>& row : rows) {
+      for (int f : setup_.plan_features) {
+        ch.SendU64(static_cast<uint64_t>(row[f]));
+      }
+    }
+  }
+  uint64_t admitted = ch.RecvU64();
+  if (admitted == static_cast<uint64_t>(ReplyStatus::kBusy)) {
+    throw ServerBusyError("serve client: batch shed, server saturated");
+  }
+  if (admitted == static_cast<uint64_t>(ReplyStatus::kResync)) {
+    ForgetResumeState();
+    next_query_id_ = 1;
+    throw ChannelError(ChannelErrorKind::kClosed,
+                       "serve client: replay state lost, resyncing");
+  }
+  if (admitted == static_cast<uint64_t>(ReplyStatus::kCancelled)) {
+    throw ChannelError(ChannelErrorKind::kCancelled,
+                       "serve client: batch cancelled by server watchdog");
+  }
+  if (admitted != static_cast<uint64_t>(ReplyStatus::kOk)) {
+    throw ProtocolError("serve client: malformed admission ack");
+  }
+  // Per-record eval items. Tree/forest records sharing a disclosure set
+  // share one circuit prelude — the server sends one per distinct set in
+  // first-occurrence order, which both sides derive independently from the
+  // rows, so the wire carries no index frames.
+  std::vector<GcEvalItem> items(n);
+  std::vector<BitVec> evaluator_bits(n);
+  std::vector<std::unique_ptr<CircuitPrelude>> preludes;
+  std::vector<size_t> which(n, 0);
+  const char* what = setup_.classifier == ClassifierKind::kForest
+                         ? "secure forest"
+                         : "secure tree";
+  if (setup_.classifier == ClassifierKind::kNaiveBayes) {
+    for (size_t i = 0; i < n; ++i) {
+      evaluator_bits[i] = nb_spec_->EncodeRow(rows[i]);
+      items[i].circuit = &nb_spec_->circuit();
+      items[i].evaluator_bits = &evaluator_bits[i];
+    }
+  } else {
+    std::vector<std::vector<int>> seen;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<int> key;
+      key.reserve(setup_.plan_features.size());
+      for (int f : setup_.plan_features) key.push_back(rows[i][f]);
+      auto it = std::find(seen.begin(), seen.end(), key);
+      if (it == seen.end()) {
+        seen.push_back(key);
+        preludes.push_back(std::make_unique<CircuitPrelude>(
+            RecvCircuitPrelude(ch, setup_.features, what)));
+        which[i] = preludes.size() - 1;
+      } else {
+        which[i] = static_cast<size_t>(it - seen.begin());
+      }
+      evaluator_bits[i] = preludes[which[i]]->layout.EncodeRow(rows[i]);
+      items[i].circuit = &preludes[which[i]]->circuit;
+      items[i].evaluator_bits = &evaluator_bits[i];
+    }
+  }
+  std::vector<BitVec> outputs =
+      GcRunEvaluatorBatch(ch, items, ot_, rng_, setup_.scheme,
+                          ThreadPool::Global(), ot_pads_.get());
+  std::vector<int> preds(n);
+  uint32_t label_bits = static_cast<uint32_t>(BitsFor(setup_.num_classes));
+  for (size_t i = 0; i < n; ++i) {
+    if (setup_.classifier == ClassifierKind::kNaiveBayes) {
+      preds[i] = nb_spec_->DecodeOutput(outputs[i]);
+      continue;
+    }
+    if (outputs[i].size() != label_bits) {
+      throw ProtocolError(std::string(what) + ": circuit produced " +
+                          std::to_string(outputs[i].size()) +
+                          " label bits, want " + std::to_string(label_bits));
+    }
+    preds[i] = static_cast<int>(outputs[i].ToU64(0, label_bits));
+    if (preds[i] >= setup_.num_classes) {
+      throw ProtocolError(std::string(what) + ": decoded class " +
+                          std::to_string(preds[i]) + " out of range");
+    }
+  }
+  ClientOtRefillTail(ch);
+  uint64_t fin = ch.RecvU64();
+  if (fin == static_cast<uint64_t>(ReplyStatus::kCancelled)) {
+    throw ChannelError(ChannelErrorKind::kCancelled,
+                       "serve client: batch cancelled by server watchdog");
+  }
+  if (fin != static_cast<uint64_t>(ReplyStatus::kOk)) {
+    throw ProtocolError("serve client: malformed completion ack");
+  }
+  if (stats != nullptr) {
+    stats->bytes += socket_->stats().bytes_sent +
+                    socket_->stats().bytes_received - bytes_before;
+    stats->rounds += socket_->stats().direction_flips - rounds_before;
+    stats->wall_seconds += timer.ElapsedSeconds();
+    stats->predicted_class = preds.back();
+  }
+  ++next_query_id_;
+  if (!ticket_.empty()) SnapshotState();
+  out->insert(out->end(), preds.begin(), preds.end());
 }
 
 void ClassificationClient::Ping() {

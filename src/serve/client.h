@@ -25,6 +25,7 @@
 #include "net/framing.h"
 #include "net/socket.h"
 #include "ot/iknp.h"
+#include "ot/ot_pool.h"
 #include "serve/model.h"
 #include "smc/secure_linear.h"
 #include "smc/secure_nb.h"
@@ -65,6 +66,13 @@ struct ClientConfig {
   // restore the post-last-success crypto snapshot, skipping the base OTs.
   // false (or PAFS_NO_RESUME=1) always re-handshakes from scratch.
   bool enable_resume = true;
+  // Target depth of the receiver-side OT pad pool, refilled by the v4
+  // in-query tail (the server grants up to its own pool's deficit). 0 (or
+  // PAFS_NO_POOL=1) disables pooling; label OTs then run fully online.
+  int ot_pool_depth = 4096;
+  // Largest batch sent on the wire per ClassifyBatch chunk; must not
+  // exceed the server's --batch-max-records or the session faults typed.
+  int batch_max_records = 64;
 };
 
 class ClassificationClient {
@@ -89,6 +97,16 @@ class ClassificationClient {
   // rethrown once the policy's attempts or deadline budget is spent.
   int Classify(const std::vector<int>& row);
   SmcRunStats ClassifyWithStats(const std::vector<int>& row);
+
+  // Cross-query batching (wire v4): classifies every row through one GC
+  // protocol exchange per chunk of config.batch_max_records — one shared
+  // OT-extension matrix, one circuit prelude per distinct disclosure set.
+  // Linear sessions fall back to per-row Classify (the Paillier protocol
+  // has no batched shape). `stats`, when non-null, accumulates wire bytes,
+  // rounds, and wall time across the whole call. Retries chunk-at-a-time
+  // with the same at-most-once semantics as Classify.
+  std::vector<int> ClassifyBatch(const std::vector<std::vector<int>>& rows,
+                                 SmcRunStats* stats = nullptr);
 
   // Keepalive probe: one ping/pong round trip on the current session.
   // Refreshes the server's idle clock for this session. Not retried —
@@ -130,6 +148,14 @@ class ClassificationClient {
   // policy's attempts/deadline budget is spent.
   void BackoffOrRethrow(int attempt, double elapsed_seconds);
   SmcRunStats QueryOnce(const std::vector<int>& row);
+  // One wire batch (RequestTag::kBatch) for `rows`; appends predictions
+  // and accumulates into `stats` when non-null. Caller validated rows.
+  void BatchOnce(const std::vector<std::vector<int>>& rows,
+                 std::vector<int>* out, SmcRunStats* stats);
+  // The v4 refill tail, run between the protocol and the completion ack:
+  // asks the server for the receiver pool's deficit in random OTs and
+  // absorbs whatever it grants.
+  void ClientOtRefillTail(Channel& ch);
   // Checkpoints ot_/rng_/next_query_id_ so a later kResumed handshake can
   // rewind to exactly the state the server's cached snapshot pairs with.
   void SnapshotState();
@@ -156,6 +182,11 @@ class ClassificationClient {
   // only right after a snapshot and cleared whenever one is restored (or a
   // fresh session starts) so retried queries stay byte-identical.
   std::unique_ptr<PaillierPadPool> pad_pool_;
+  // Receiver-side OT pad pool (v4 refill tail). Rebuilt on every fresh
+  // handshake (pads are bound to the dead session's sender state) and
+  // covered by the resumption snapshot so replayed retries re-spend the
+  // same pads.
+  std::unique_ptr<OtReceiverPadPool> ot_pads_;
   OtExtReceiver ot_;
   Rng rng_;
   // Resumption state: the live ticket plus the serialized crypto snapshot
@@ -163,6 +194,7 @@ class ClassificationClient {
   std::vector<uint8_t> ticket_;
   std::vector<uint8_t> ot_snapshot_;
   std::vector<uint8_t> rng_snapshot_;
+  std::vector<uint8_t> ot_pads_snapshot_;
   uint64_t snapshot_next_query_id_ = 1;
   uint64_t next_query_id_ = 1;  // Stamped on the next kQuery frame.
   bool open_ = false;      // Current session is live.

@@ -3,30 +3,39 @@
 // SessionPrecompute; idle workers fill it between queries so the online
 // protocol finds its input-independent material ready.
 //
-// Paillier pads are the material pooled today (linear sessions; the pool is
-// keyed by the client-announced modulus, which the session learns in phase
-// 0 of its first linear query). OT-extension pads and pre-garbled forest
-// material are designed to slot behind the same NeedsRefill/RefillStep/
-// Serialize interface when they move offline.
+// Three kinds of material are pooled: Paillier encryption pads (linear
+// sessions; keyed by the client-announced modulus, which the session
+// learns in phase 0 of its first linear query), pre-garbled circuits
+// (GcPool — forest/tree/NB sessions, keyed by the disclosure set), and
+// sender-side OT-extension pads (ot/ot_pool.h; the expansion itself is
+// driven by the server task because it needs the session's OT stream
+// exclusivity).
 //
 // Threading contract: the server guarantees at most one filler task per
 // session at a time (Session::filling), so RefillStep never races itself
 // and fill_rng_ needs no lock. Pool contents are internally locked, so an
-// online query taking pads may overlap a filler mid-refill. The pool
-// itself is held through a shared_ptr guarded by mu_: PadsFor (worker) can
-// replace the pool when the client announces a new modulus while
-// RefillStep (filler) is mid-refill on the old one, so both copy the
+// online query taking material may overlap a filler mid-refill. The
+// Paillier pool is held through a shared_ptr guarded by mu_: PadsFor
+// (worker) can replace the pool when the client announces a new modulus
+// while RefillStep (filler) is mid-refill on the old one, so both copy the
 // shared_ptr under the lock and the displaced pool stays alive until the
-// last holder drops it.
+// last holder drops it. The GC and OT pools are created once in the
+// constructor and never replaced, so their raw accessors are safe without
+// the lock.
 #ifndef PAFS_SERVE_PRECOMPUTE_H_
 #define PAFS_SERVE_PRECOMPUTE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "crypto/paillier_pool.h"
+#include "gc/garble.h"
+#include "ot/ot_pool.h"
 #include "util/random.h"
 #include "util/serial.h"
 
@@ -42,6 +51,78 @@ struct PrecomputeConfig {
   // Pads computed per filler pass; small so a draining server abandons a
   // refill within one modexp of the stop flag.
   int refill_batch = 8;
+  // Pre-garbled circuits kept per disclosure key, and how many distinct
+  // keys the GC pool tracks before LRU eviction. Depth 0 disables the
+  // pool.
+  int gc_depth = 2;
+  int gc_max_keys = 8;
+  // Target depth of the sender-side OT pad pool (random OTs, each one
+  // label transfer). 0 disables. Sized to cover a few forest queries'
+  // evaluator bits between refill exchanges.
+  int ot_pads = 4096;
+};
+
+// A pool of pre-garbled circuits, keyed by the disclosure set that shaped
+// the circuit (the GC protocol's only query-dependent input — garbling
+// randomness is input-independent). Entries are single-use: TryTake pops,
+// because reusing garbled material across evaluations leaks wire labels.
+// Keys are registered by the serving layer when it first builds a circuit
+// for a disclosure set; the filler then keeps each registered key's queue
+// topped up to `depth`, garbling one circuit per pass so a draining server
+// stops quickly. Bounded to `max_keys` disclosure sets, evicting the least
+// recently used.
+//
+// Restore (session resumption) brings back the garbled material but not
+// the circuits, which live in the serving layer's spec cache; a restored
+// key serves TryTake immediately and resumes refilling once RegisterKey
+// re-attaches its circuit. Telemetry: gc.pool.hit / .miss / .refill
+// counters and a gc.pool.depth histogram.
+class GcPool {
+ public:
+  GcPool(size_t depth, size_t max_keys);
+
+  // Registers (or re-attaches) the circuit for a key and bumps its LRU
+  // stamp. The circuit must stay alive while registered — the serving
+  // layer's spec cache and the pool evict in lockstep via shared_ptr.
+  void RegisterKey(const std::vector<int>& key,
+                   std::shared_ptr<const Circuit> circuit);
+
+  // Pops one pre-garbled circuit for `key`. False (a miss — caller garbles
+  // online) when the key is unknown or its queue is empty.
+  bool TryTake(const std::vector<int>& key, GarbledCircuit* out);
+
+  // Garbled circuits short of depth, summed over keys with a circuit.
+  size_t Deficit() const;
+  // Garbles one circuit for the neediest key (most recently used first).
+  // Returns false when nothing needs refilling.
+  bool RefillOne(Rng& rng);
+
+  void Clear();
+  void Serialize(ByteWriter& w) const;
+  void Restore(ByteReader& r);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t refilled = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Circuit> circuit;  // Null until RegisterKey.
+    std::deque<GarbledCircuit> ready;
+    uint64_t last_used = 0;
+  };
+
+  void EvictOverCapLocked();
+
+  size_t depth_;
+  size_t max_keys_;
+  mutable std::mutex mu_;
+  std::map<std::vector<int>, Entry> entries_;
+  uint64_t clock_ = 0;
+  Stats stats_;
 };
 
 // True when PAFS_NO_POOL is set to a nonzero value: both ends then run
@@ -61,19 +142,33 @@ class SessionPrecompute {
   // is still the session's current one).
   std::shared_ptr<PaillierPadPool> PadsFor(const BigInt& n);
 
-  // True when a filler pass would add material.
+  // The GC and OT pools, created once at construction. Null when disabled
+  // (master switch, PAFS_NO_POOL, or zero depth).
+  GcPool* gc_pool() { return gc_pool_.get(); }
+  OtSenderPadPool* ot_pads() { return ot_pads_.get(); }
+
+  // Per-pass counts, split by material kind (ServerStats attribution).
+  struct RefillCounts {
+    size_t paillier = 0;
+    size_t gc = 0;
+  };
+
+  // True when a filler pass would add material (Paillier or GC; OT
+  // materialization is the server task's job — it needs the OT stream).
   bool NeedsRefill() const;
-  // One bounded refill pass (filler task body); polls `stop` between pads.
-  // Returns the number of pads added.
-  size_t RefillStep(const std::atomic<bool>* stop);
+  // One bounded refill pass (filler task body); polls `stop` between
+  // Paillier pads and garbles at most one circuit. Returns the number of
+  // items added; `counts`, when non-null, gets the per-kind split.
+  size_t RefillStep(const std::atomic<bool>* stop,
+                    RefillCounts* counts = nullptr);
 
   // Pool contents for the session's resumption snapshot. Serializes the
   // modulus alongside the pads so Restore can rebuild the pool before the
-  // resumed session re-announces it.
+  // resumed session re-announces it; GC and OT pool contents follow.
   void Serialize(ByteWriter& w) const;
   void Restore(ByteReader& r);
 
-  // Aggregated pool stats (zeroes when no pool exists yet).
+  // Aggregated Paillier pool stats (zeroes when no pool exists yet).
   PaillierPadPool::Stats stats() const;
 
  private:
@@ -81,6 +176,8 @@ class SessionPrecompute {
   Rng fill_rng_;  // Dedicated: server pads have no determinism constraint.
   mutable std::mutex mu_;  // Guards the pool_ pointer, not its contents.
   std::shared_ptr<PaillierPadPool> pool_;
+  std::unique_ptr<GcPool> gc_pool_;
+  std::unique_ptr<OtSenderPadPool> ot_pads_;
 };
 
 }  // namespace pafs::serve

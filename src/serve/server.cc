@@ -16,6 +16,7 @@
 #include "smc/secure_forest.h"
 #include "smc/secure_tree.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/serial.h"
 #include "util/timer.h"
 
@@ -155,7 +156,13 @@ ClassificationServer::ClassificationServer(ServingModel model,
   }
   config_.pool_pad_depth = std::max(config_.pool_pad_depth, 0);
   config_.pool_refill_batch = std::max(config_.pool_refill_batch, 1);
-  if (config_.pool_pad_depth == 0 || PoolsDisabledByEnv()) {
+  config_.gc_pool_depth = std::max(config_.gc_pool_depth, 0);
+  config_.gc_pool_max_keys = std::max(config_.gc_pool_max_keys, 1);
+  config_.ot_pool_depth = std::max(config_.ot_pool_depth, 0);
+  config_.batch_max_records = std::max(config_.batch_max_records, 1);
+  if ((config_.pool_pad_depth == 0 && config_.gc_pool_depth == 0 &&
+       config_.ot_pool_depth == 0) ||
+      PoolsDisabledByEnv()) {
     config_.enable_pools = false;
   }
   if (config_.enable_resumption) {
@@ -264,6 +271,13 @@ void ClassificationServer::AdmitSession(std::unique_ptr<SocketChannel> socket) {
     pads.enabled = config_.enable_pools;
     pads.paillier_pads = config_.pool_pad_depth;
     pads.refill_batch = config_.pool_refill_batch;
+    // Pre-garbled material is half-gates-shaped; a classic-scheme model
+    // would never take from the pool, so don't fill it either.
+    pads.gc_depth = model_.setup.scheme == GarblingScheme::kHalfGates
+                        ? config_.gc_pool_depth
+                        : 0;
+    pads.gc_max_keys = config_.gc_pool_max_keys;
+    pads.ot_pads = config_.ot_pool_depth;
     session =
         std::make_shared<Session>(id, std::move(socket), config_.seed, pads);
     sessions_.emplace(id, session);
@@ -370,9 +384,11 @@ void ClassificationServer::ServeSession(const std::shared_ptr<Session>& s) {
       // dropped busy_, so the drain's busy_+fillers_ accounting never has
       // a gap; the Submit itself happens outside mu_ (same rationale as
       // OnSessionReadable).
+      OtSenderPadPool* ot_pads = s->precompute.ot_pads();
       if (config_.enable_pools && !s->filling &&
           !stop_fill_.load(std::memory_order_relaxed) &&
-          s->precompute.NeedsRefill()) {
+          (s->precompute.NeedsRefill() ||
+           (ot_pads != nullptr && ot_pads->HasPending()))) {
         s->filling = true;
         ++fillers_;
         schedule_fill = true;
@@ -389,18 +405,33 @@ void ClassificationServer::ServeSession(const std::shared_ptr<Session>& s) {
 
 void ClassificationServer::FillerStep(const std::shared_ptr<Session>& s) {
   obs::SetThreadParty("server");
-  // The modexps run outside every lock; the pool's internal lock keeps an
-  // overlapping query's TryTake safe, and the single-filler invariant
-  // (Session::filling) keeps the fill rng race-free.
-  size_t added = s->precompute.RefillStep(&stop_fill_);
+  // The modexps/garbles run outside every lock; the pools' internal locks
+  // keep an overlapping query's TryTake safe, and the single-filler
+  // invariant (Session::filling) keeps the fill rng race-free.
+  SessionPrecompute::RefillCounts counts;
+  size_t added = s->precompute.RefillStep(&stop_fill_, &counts);
+  // Materialize parked OT columns — the other half of the offline work.
+  // try_lock only: the OT stream belongs to a live query when ot_mu is
+  // held, and that query materializes at its own start anyway.
+  size_t ot_added = 0;
+  OtSenderPadPool* ot_pads = s->precompute.ot_pads();
+  if (ot_pads != nullptr && ot_pads->HasPending() &&
+      !stop_fill_.load(std::memory_order_relaxed)) {
+    std::unique_lock<std::mutex> ot_lock(s->ot_mu, std::try_to_lock);
+    if (ot_lock.owns_lock() && s->ot.is_setup()) {
+      ot_added = ot_pads->Materialize(s->ot);
+    }
+  }
   bool again = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats_.pool_pads_precomputed += added;
+    stats_.pool_pads_precomputed += counts.paillier;
+    stats_.gc_pregarbled += counts.gc;
+    stats_.ot_pads_precomputed += ot_added;
     // Keep going only while the session is still registered and idle: a
     // query in flight reschedules its own filler when it finishes, and a
     // closed or draining session has no future to precompute for.
-    again = added > 0 && !draining_ &&
+    again = (added + ot_added) > 0 && !draining_ &&
             !stop_fill_.load(std::memory_order_relaxed) &&
             sessions_.count(s->id) > 0 &&
             s->state == SessionState::kIdle && s->precompute.NeedsRefill();
@@ -409,9 +440,9 @@ void ClassificationServer::FillerStep(const std::shared_ptr<Session>& s) {
       --fillers_;
     }
   }
-  if (added > 0) {
+  if (added + ot_added > 0) {
     static obs::Counter& filled = obs::GetCounter("serve.pool.pads_filled");
-    filled.Add(added);
+    filled.Add(added + ot_added);
   }
   if (again) {
     pool_->Submit([this, s] { FillerStep(s); });
@@ -469,14 +500,15 @@ bool ClassificationServer::ServeOne(Session& s) {
     pings.Add();
     return true;
   }
-  if (tag != static_cast<uint64_t>(RequestTag::kQuery)) {
+  if (tag != static_cast<uint64_t>(RequestTag::kQuery) &&
+      tag != static_cast<uint64_t>(RequestTag::kBatch)) {
     throw ProtocolError("serve: unknown request tag " + std::to_string(tag));
   }
-  ServeQuery(s, ch);
+  ServeQuery(s, ch, tag == static_cast<uint64_t>(RequestTag::kBatch));
   return true;
 }
 
-void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
+void ClassificationServer::ServeQuery(Session& s, Channel& ch, bool batch) {
   obs::TraceSpan span("serve.query");
   // At-most-once state machine on the client-stamped query id:
   //   id == next      -> execute live (and record the transcript),
@@ -486,7 +518,11 @@ void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
   //                      produce; fail the session typed.
   uint64_t query_id = ch.RecvU64();
   if (query_id == s.next_query_id) {
-    ExecuteQuery(s, ch, query_id);
+    if (batch) {
+      ExecuteBatch(s, ch, query_id);
+    } else {
+      ExecuteQuery(s, ch, query_id);
+    }
     return;
   }
   if (query_id + 1 == s.next_query_id) {
@@ -496,11 +532,22 @@ void ClassificationServer::ServeQuery(Session& s, Channel& ch) {
       return;
     }
     // The transcript is gone (query overflowed max_replay_bytes). Drain
-    // the retry's disclosures off the wire, then answer kResync in the
+    // the retry's request header off the wire, then answer kResync in the
     // admission slot: the client discards its resume state and rebuilds a
     // fresh session. The current session stays healthy.
-    for (size_t i = 0; i < model_.setup.plan_features.size(); ++i) {
-      (void)ch.RecvU64();
+    uint64_t rows = 1;
+    if (batch) {
+      rows = ch.RecvU64();
+      if (rows == 0 ||
+          rows > static_cast<uint64_t>(config_.batch_max_records)) {
+        throw ProtocolError("serve: resync batch count " +
+                            std::to_string(rows) + " out of range");
+      }
+    }
+    for (uint64_t row = 0; row < rows; ++row) {
+      for (size_t i = 0; i < model_.setup.plan_features.size(); ++i) {
+        (void)ch.RecvU64();
+      }
     }
     ch.SendU64(static_cast<uint64_t>(ReplyStatus::kResync));
     {
@@ -532,6 +579,7 @@ void ClassificationServer::ExecuteQuery(Session& s, Channel& ch,
   Channel& qch = rec;
   const SessionSetup& setup = model_.setup;
   std::map<int, int> disclosed;
+  std::vector<int> key;  // Disclosure values in plan order: the pool key.
   for (int f : setup.plan_features) {
     uint64_t v = qch.RecvU64();
     if (v >= static_cast<uint64_t>(setup.features[f].cardinality)) {
@@ -539,45 +587,83 @@ void ClassificationServer::ExecuteQuery(Session& s, Channel& ch,
                           " out of range for " + setup.features[f].name);
     }
     disclosed[f] = static_cast<int>(v);
+    key.push_back(static_cast<int>(v));
   }
   // Admission ack: the request was read and a worker is running it. The
   // shed path answers the same slot in the conversation with kBusy, so a
   // client always learns its query's fate from this one frame.
   qch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
-  switch (setup.classifier) {
-    case ClassifierKind::kNaiveBayes: {
-      SecureNbRunServer(qch, *nb_spec_, model_.nb, disclosed, s.ot, s.rng,
-                        setup.scheme);
-      break;
+  {
+    // The protocol region owns the OT stream end to end (transfers plus
+    // the refill tail); any columns parked by a previous refill must
+    // expand before the next transfer advances the stream past them.
+    std::lock_guard<std::mutex> ot_lock(s.ot_mu);
+    OtSenderPadPool* ot_pads = s.precompute.ot_pads();
+    if (ot_pads != nullptr && s.ot.is_setup() && ot_pads->HasPending()) {
+      size_t n = ot_pads->Materialize(s.ot);
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.ot_pads_precomputed += n;
     }
-    case ClassifierKind::kDecisionTree: {
-      DecisionTree specialized = model_.tree.Specialize(disclosed);
-      SecureTreeCircuit spec(specialized, setup.features, setup.num_classes,
-                             disclosed);
-      SecureTreeRunServer(qch, spec, specialized, s.ot, s.rng, setup.scheme);
-      break;
+    GcPool* gc_pool = setup.scheme == GarblingScheme::kHalfGates
+                          ? s.precompute.gc_pool()
+                          : nullptr;
+    switch (setup.classifier) {
+      case ClassifierKind::kNaiveBayes: {
+        // The NB circuit ignores disclosure values (they fold into garbler
+        // bits), so every query shares one pool key.
+        GarbledCircuit pre;
+        bool have = false;
+        if (gc_pool != nullptr) {
+          gc_pool->RegisterKey({}, std::shared_ptr<const Circuit>(
+                                       std::shared_ptr<const Circuit>(),
+                                       &nb_spec_->circuit()));
+          have = gc_pool->TryTake({}, &pre);
+        }
+        SecureNbRunServer(qch, *nb_spec_, model_.nb, disclosed, s.ot, s.rng,
+                          setup.scheme, have ? &pre : nullptr, ot_pads);
+        break;
+      }
+      case ClassifierKind::kDecisionTree: {
+        auto data = SpecFor(s, key, disclosed);
+        GarbledCircuit pre;
+        bool have = gc_pool != nullptr && gc_pool->TryTake(key, &pre);
+        SendCircuitPrelude(qch, data->tree->layout(), data->tree->circuit());
+        BitVec out = GcRunGarbler(qch, data->tree->circuit(),
+                                  data->garbler_bits, s.ot, s.rng,
+                                  setup.scheme, /*pool=*/nullptr,
+                                  have ? &pre : nullptr, ot_pads);
+        data->tree->DecodeOutput(out);
+        break;
+      }
+      case ClassifierKind::kLinear: {
+        // Wire the session's precompute pool in: the server only learns
+        // the client's modulus inside phase 0, hence the callback. Pads
+        // filled by idle workers make the bias encryption and per-class
+        // rerandomization single multiplies; a dry pool degrades to the
+        // online modexp per op.
+        Session* session = &s;
+        PaillierPoolFn pool_for = [session](const BigInt& n) {
+          return session->precompute.PadsFor(n);
+        };
+        linear_spec_->RunServer(qch, model_.linear, disclosed, s.ot, s.rng,
+                                setup.scheme, pool_for);
+        break;
+      }
+      case ClassifierKind::kForest: {
+        auto data = SpecFor(s, key, disclosed);
+        GarbledCircuit pre;
+        bool have = gc_pool != nullptr && gc_pool->TryTake(key, &pre);
+        SendCircuitPrelude(qch, data->forest->layout(),
+                           data->forest->circuit());
+        BitVec out = GcRunGarbler(qch, data->forest->circuit(),
+                                  data->garbler_bits, s.ot, s.rng,
+                                  setup.scheme, ThreadPool::Global(),
+                                  have ? &pre : nullptr, ot_pads);
+        data->forest->DecodeOutput(out);
+        break;
+      }
     }
-    case ClassifierKind::kLinear: {
-      // Wire the session's precompute pool in: the server only learns the
-      // client's modulus inside phase 0, hence the callback. Pads filled
-      // by idle workers make the bias encryption and per-class
-      // rerandomization single multiplies; a dry pool degrades to the
-      // online modexp per op.
-      Session* session = &s;
-      PaillierPoolFn pool_for = [session](const BigInt& n) {
-        return session->precompute.PadsFor(n);
-      };
-      linear_spec_->RunServer(qch, model_.linear, disclosed, s.ot, s.rng,
-                              setup.scheme, pool_for);
-      break;
-    }
-    case ClassifierKind::kForest: {
-      RandomForest specialized = model_.forest.Specialize(disclosed);
-      SecureForestCircuit spec(specialized, setup.features, setup.num_classes,
-                               disclosed);
-      SecureForestRunServer(qch, spec, specialized, s.ot, s.rng, setup.scheme);
-      break;
-    }
+    ServerOtRefillTail(s, qch);
   }
   ++s.queries;
   s.next_query_id = query_id + 1;
@@ -602,6 +688,222 @@ void ClassificationServer::ExecuteQuery(Session& s, Channel& ch,
   served.Add();
   static obs::Histogram& latency = obs::GetHistogram("serve.query.seconds");
   latency.Record(timer.ElapsedSeconds());
+}
+
+void ClassificationServer::ExecuteBatch(Session& s, Channel& ch,
+                                        uint64_t query_id) {
+  obs::TraceSpan span("serve.batch");
+  Timer timer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.in_query = true;
+    s.query_start = std::chrono::steady_clock::now();
+  }
+  auto transcript = std::make_shared<QueryTranscript>();
+  transcript->query_id = query_id;
+  RecordingChannel rec(ch, transcript.get(), config_.max_replay_bytes);
+  Channel& qch = rec;
+  const SessionSetup& setup = model_.setup;
+  uint64_t count = qch.RecvU64();
+  if (count == 0 || count > static_cast<uint64_t>(config_.batch_max_records)) {
+    throw ProtocolError("serve: batch count " + std::to_string(count) +
+                        " out of range (max " +
+                        std::to_string(config_.batch_max_records) + ")");
+  }
+  std::vector<std::map<int, int>> disclosed(count);
+  std::vector<std::vector<int>> keys(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    for (int f : setup.plan_features) {
+      uint64_t v = qch.RecvU64();
+      if (v >= static_cast<uint64_t>(setup.features[f].cardinality)) {
+        throw ProtocolError("serve: disclosed value " + std::to_string(v) +
+                            " out of range for " + setup.features[f].name);
+      }
+      disclosed[i][f] = static_cast<int>(v);
+      keys[i].push_back(static_cast<int>(v));
+    }
+  }
+  // The linear protocol is Paillier-phase-driven, not a single GC exchange;
+  // batching it is a different (additively parallel) shape, so the server
+  // declines and the client's ClassifyBatch falls back to per-row queries.
+  if (setup.classifier == ClassifierKind::kLinear) {
+    throw ProtocolError("serve: batch not supported for linear sessions");
+  }
+  qch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
+  {
+    std::lock_guard<std::mutex> ot_lock(s.ot_mu);
+    OtSenderPadPool* ot_pads = s.precompute.ot_pads();
+    if (ot_pads != nullptr && s.ot.is_setup() && ot_pads->HasPending()) {
+      size_t n = ot_pads->Materialize(s.ot);
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.ot_pads_precomputed += n;
+    }
+    GcPool* gc_pool = setup.scheme == GarblingScheme::kHalfGates
+                          ? s.precompute.gc_pool()
+                          : nullptr;
+    // Resolve each record's circuit. Tree/forest records with the same
+    // disclosure key share one SpecData (one circuit, one garbler-bits
+    // encoding, one prelude on the wire); the client derives the identical
+    // first-occurrence order from its own rows, so no index frames are
+    // needed. NB records share the session-wide circuit but each fold
+    // their disclosure values into their own garbler bits.
+    std::vector<std::shared_ptr<Session::SpecData>> specs(count);
+    std::vector<BitVec> nb_bits;
+    std::vector<GcGarbleItem> items(count);
+    std::vector<GarbledCircuit> pre(count);
+    if (setup.classifier == ClassifierKind::kNaiveBayes) {
+      if (gc_pool != nullptr) {
+        gc_pool->RegisterKey({}, std::shared_ptr<const Circuit>(
+                                     std::shared_ptr<const Circuit>(),
+                                     &nb_spec_->circuit()));
+      }
+      nb_bits.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        nb_bits.push_back(nb_spec_->EncodeModel(model_.nb, disclosed[i]));
+        items[i].circuit = &nb_spec_->circuit();
+        items[i].garbler_bits = &nb_bits[i];
+        if (gc_pool != nullptr && gc_pool->TryTake({}, &pre[i])) {
+          items[i].pregarbled = &pre[i];
+        }
+      }
+    } else {
+      std::vector<std::vector<int>> seen;  // First-occurrence key order.
+      for (uint64_t i = 0; i < count; ++i) {
+        specs[i] = SpecFor(s, keys[i], disclosed[i]);
+        const bool first =
+            std::find(seen.begin(), seen.end(), keys[i]) == seen.end();
+        if (first) {
+          seen.push_back(keys[i]);
+          const auto& data = *specs[i];
+          if (setup.classifier == ClassifierKind::kForest) {
+            SendCircuitPrelude(qch, data.forest->layout(),
+                               data.forest->circuit());
+          } else {
+            SendCircuitPrelude(qch, data.tree->layout(),
+                               data.tree->circuit());
+          }
+        }
+        items[i].circuit = setup.classifier == ClassifierKind::kForest
+                               ? &specs[i]->forest->circuit()
+                               : &specs[i]->tree->circuit();
+        items[i].garbler_bits = &specs[i]->garbler_bits;
+        if (gc_pool != nullptr && gc_pool->TryTake(keys[i], &pre[i])) {
+          items[i].pregarbled = &pre[i];
+        }
+      }
+    }
+    std::vector<BitVec> outputs =
+        GcRunGarblerBatch(qch, items, s.ot, s.rng, setup.scheme,
+                          ThreadPool::Global(), ot_pads);
+    for (uint64_t i = 0; i < count; ++i) {
+      switch (setup.classifier) {
+        case ClassifierKind::kNaiveBayes:
+          nb_spec_->DecodeOutput(outputs[i]);
+          break;
+        case ClassifierKind::kDecisionTree:
+          specs[i]->tree->DecodeOutput(outputs[i]);
+          break;
+        default:
+          specs[i]->forest->DecodeOutput(outputs[i]);
+          break;
+      }
+    }
+    ServerOtRefillTail(s, qch);
+  }
+  ++s.queries;
+  s.next_query_id = query_id + 1;
+  s.transcript = rec.overflowed() ? nullptr : transcript;
+  RefreshResumeEntry(s);
+  // Completion ack: same commit ordering as ExecuteQuery — the server
+  // commits first, so a lost ack resolves as a replayed batch.
+  qch.SendU64(static_cast<uint64_t>(ReplyStatus::kOk));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.in_query = false;
+    ++stats_.queries_served;
+    ++stats_.batches_served;
+    stats_.batch_records += count;
+  }
+  static obs::Counter& served = obs::GetCounter("serve.queries_served");
+  served.Add();
+  static obs::Counter& batches = obs::GetCounter("serve.batches_served");
+  batches.Add();
+  static obs::Histogram& latency = obs::GetHistogram("serve.batch.seconds");
+  latency.Record(timer.ElapsedSeconds());
+}
+
+std::shared_ptr<ClassificationServer::Session::SpecData>
+ClassificationServer::SpecFor(Session& s, const std::vector<int>& key,
+                              const std::map<int, int>& disclosed) {
+  const SessionSetup& setup = model_.setup;
+  std::shared_ptr<Session::SpecData> data;
+  auto it = s.spec_cache.find(key);
+  if (it != s.spec_cache.end()) {
+    data = it->second;
+  } else {
+    data = std::make_shared<Session::SpecData>();
+    if (setup.classifier == ClassifierKind::kForest) {
+      RandomForest specialized = model_.forest.Specialize(disclosed);
+      data->forest = std::make_shared<SecureForestCircuit>(
+          specialized, setup.features, setup.num_classes, disclosed);
+      data->garbler_bits = data->forest->EncodeModel(specialized);
+    } else {
+      DecisionTree specialized = model_.tree.Specialize(disclosed);
+      data->tree = std::make_shared<SecureTreeCircuit>(
+          specialized, setup.features, setup.num_classes, disclosed);
+      data->garbler_bits = data->tree->EncodeModel(specialized);
+    }
+    s.spec_cache[key] = data;
+    // LRU-bound the cache to the GC pool's key budget so the two track the
+    // same working set. Callers hold SpecData by shared_ptr, so a batch
+    // with more distinct keys than the budget survives mid-call eviction.
+    while (s.spec_cache.size() >
+           static_cast<size_t>(config_.gc_pool_max_keys)) {
+      auto victim = s.spec_cache.begin();
+      for (auto jt = s.spec_cache.begin(); jt != s.spec_cache.end(); ++jt) {
+        if (jt->second->last_used < victim->second->last_used) victim = jt;
+      }
+      s.spec_cache.erase(victim);
+    }
+  }
+  data->last_used = ++s.spec_clock;
+  // (Re-)register with the GC pool on every lookup: the bump keeps the
+  // pool's LRU in step with the spec cache, and re-attaches the circuit if
+  // the pool restored this key's material from a resumption snapshot. The
+  // aliasing shared_ptr keeps the circuit alive while the pool holds it.
+  GcPool* gc_pool = setup.scheme == GarblingScheme::kHalfGates
+                        ? s.precompute.gc_pool()
+                        : nullptr;
+  if (gc_pool != nullptr) {
+    const Circuit* circuit = setup.classifier == ClassifierKind::kForest
+                                 ? &data->forest->circuit()
+                                 : &data->tree->circuit();
+    gc_pool->RegisterKey(key,
+                         std::shared_ptr<const Circuit>(data, circuit));
+  }
+  return data;
+}
+
+void ClassificationServer::ServerOtRefillTail(Session& s, Channel& ch) {
+  // Every query/batch ends with a receiver-driven refill negotiation: the
+  // client asks for `wanted` random OTs, the server grants what its own
+  // pad pool can absorb (both pools must grow in lockstep for the pooled
+  // transfer to stay aligned). The grant only *receives* the IKNP columns
+  // here — the expensive PRG expansion and transpose are parked for an
+  // idle filler (OtSenderPadPool::Materialize). Caller holds s.ot_mu.
+  uint64_t wanted = ch.RecvU64();
+  OtSenderPadPool* pool = s.precompute.ot_pads();
+  uint64_t granted = 0;
+  if (wanted > 0 && pool != nullptr && s.ot.is_setup()) {
+    granted = std::min<uint64_t>(wanted, pool->Deficit());
+    granted = std::min<uint64_t>(granted, uint64_t{1} << 16);
+  }
+  ch.SendU64(granted);
+  if (granted > 0) {
+    pool->AddPending(
+        static_cast<size_t>(granted),
+        s.ot.ReceiveRandomColumns(ch, static_cast<size_t>(granted)));
+  }
 }
 
 void ClassificationServer::ReplayQuery(Session& s, Channel& ch,

@@ -47,8 +47,10 @@
 #include "ot/iknp.h"
 #include "serve/model.h"
 #include "serve/precompute.h"
+#include "smc/secure_forest.h"
 #include "smc/secure_linear.h"
 #include "smc/secure_nb.h"
+#include "smc/secure_tree.h"
 #include "util/parallel.h"
 
 namespace pafs::serve {
@@ -112,6 +114,19 @@ struct ServerConfig {
   // Pads per filler pass; small batches keep the drain wait bounded by a
   // single modexp past the stop flag.
   int pool_refill_batch = 8;
+  // Pre-garbled circuits kept per disclosure set per session (GcPool); a
+  // warm entry removes the whole online Garble from a query's critical
+  // path. 0 disables (falls back to online garbling). Half-gates only —
+  // classic-scheme sessions always garble online.
+  int gc_pool_depth = 2;
+  // Distinct disclosure sets tracked per session (GcPool + spec cache).
+  int gc_pool_max_keys = 8;
+  // Target depth of the per-session sender-side OT pad pool. Clients top
+  // it up through the in-query refill tail; 0 disables.
+  int ot_pool_depth = 4096;
+  // Upper bound on records per RequestTag::kBatch request; larger batch
+  // headers fail the session typed.
+  int batch_max_records = 64;
 };
 
 // Registry/lifecycle counters, readable at any time (independent of the
@@ -130,7 +145,11 @@ struct ServerStats {
   uint64_t replay_hits = 0;     // Retried queries served from transcript.
   uint64_t resyncs = 0;         // Retries whose transcript was gone.
   uint64_t queries_cancelled = 0;  // Watchdog budget kills.
-  uint64_t pool_pads_precomputed = 0;  // Pads filled by idle workers.
+  uint64_t pool_pads_precomputed = 0;  // Paillier pads filled by fillers.
+  uint64_t gc_pregarbled = 0;       // Circuits garbled offline by fillers.
+  uint64_t ot_pads_precomputed = 0;  // Random OTs materialized offline.
+  uint64_t batches_served = 0;       // kBatch requests executed live.
+  uint64_t batch_records = 0;        // Records across those batches.
   int sessions_active = 0;
 };
 
@@ -200,6 +219,23 @@ class ClassificationServer {
     // per session, which is what lets precompute's fill rng go lockless.
     SessionPrecompute precompute;
     bool filling = false;
+    // OT stream exclusivity: the query task holds this for the whole
+    // protocol region (every ot use plus the refill tail); the filler only
+    // try_locks it to materialize pending pad batches, so background
+    // expansion never interleaves with a live transfer.
+    std::mutex ot_mu;
+    // Per-disclosure-set circuit specs with their encoded garbler bits
+    // (tree/forest sessions). Only the session's single in-flight task
+    // touches this, so it needs no lock; entries are shared_ptr so a batch
+    // holding several outlives an LRU eviction mid-call.
+    struct SpecData {
+      std::shared_ptr<SecureForestCircuit> forest;
+      std::shared_ptr<SecureTreeCircuit> tree;
+      BitVec garbler_bits;  // EncodeModel of the specialized model.
+      uint64_t last_used = 0;
+    };
+    std::map<std::vector<int>, std::shared_ptr<SpecData>> spec_cache;
+    uint64_t spec_clock = 0;
 
     Session(uint64_t id, std::unique_ptr<SocketChannel> sock, uint64_t seed,
             const PrecomputeConfig& pads);
@@ -234,10 +270,25 @@ class ClassificationServer {
   // One protocol exchange. Returns false when the session should close
   // gracefully (bye). Throws TransportError subclasses on faults.
   bool ServeOne(Session& session);
-  void ServeQuery(Session& session, Channel& channel);
+  // `batch` selects the kBatch body (one id covering N records) over the
+  // single-query body; the id state machine is shared.
+  void ServeQuery(Session& session, Channel& channel, bool batch);
   // Runs a live query through the protocol while recording the transcript
   // for at-most-once replay; refreshes the session's resume-cache entry.
   void ExecuteQuery(Session& session, Channel& channel, uint64_t query_id);
+  // Runs a live batch: N records through one GC protocol exchange (one OT
+  // extension matrix for the whole batch, one circuit prelude per distinct
+  // disclosure set, pre-garbled circuits from the GC pool when warm).
+  void ExecuteBatch(Session& session, Channel& channel, uint64_t query_id);
+  // The session's cached spec for a disclosure set (tree/forest), built on
+  // first use and registered with the GC pool so fillers garble for it.
+  std::shared_ptr<Session::SpecData> SpecFor(
+      Session& session, const std::vector<int>& key,
+      const std::map<int, int>& disclosed);
+  // In-query OT pad refill (caller holds ot_mu, channel is the recording
+  // channel): answers the client's `wanted` announcement with a grant and
+  // parks the received columns for idle materialization.
+  void ServerOtRefillTail(Session& session, Channel& channel);
   // Answers a retried query id byte-for-byte from the recorded transcript.
   void ReplayQuery(Session& session, Channel& channel,
                    const QueryTranscript& transcript);

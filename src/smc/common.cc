@@ -1,5 +1,13 @@
 #include "smc/common.h"
 
+#include <set>
+#include <string>
+#include <utility>
+
+#include "circuit/serialize.h"
+#include "net/channel.h"
+#include "net/error.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pafs {
@@ -54,6 +62,51 @@ int64_t DecodeSigned(const BitVec& bits, size_t offset, uint32_t width) {
     raw |= ~((1ull << width) - 1);
   }
   return static_cast<int64_t>(raw);
+}
+
+void SendCircuitPrelude(Channel& channel, const HiddenLayout& layout,
+                        const Circuit& circuit) {
+  obs::TraceSpan transfer("gc.transfer");
+  channel.SendU64(static_cast<uint64_t>(layout.num_hidden()));
+  for (int f : layout.hidden_features()) {
+    channel.SendU64(static_cast<uint64_t>(f));
+  }
+  SendCircuit(channel, circuit);
+}
+
+CircuitPrelude RecvCircuitPrelude(Channel& channel,
+                                  const std::vector<FeatureSpec>& features,
+                                  const std::string& what) {
+  uint64_t num_hidden = channel.RecvU64();
+  if (num_hidden > features.size()) {
+    throw ProtocolError(what + ": server announced " +
+                        std::to_string(num_hidden) + " hidden features of " +
+                        std::to_string(features.size()));
+  }
+  std::set<int> hidden_ids;
+  for (uint64_t i = 0; i < num_hidden; ++i) {
+    uint64_t id = channel.RecvU64();
+    if (id >= features.size()) {
+      throw ProtocolError(what + ": hidden feature id " + std::to_string(id) +
+                          " out of range");
+    }
+    hidden_ids.insert(static_cast<int>(id));
+  }
+  std::map<int, int> exclusions;
+  for (int f = 0; f < static_cast<int>(features.size()); ++f) {
+    if (!hidden_ids.count(f)) exclusions.emplace(f, 0);
+  }
+  CircuitPrelude prelude;
+  prelude.layout = HiddenLayout::Make(features, exclusions);
+  prelude.circuit = RecvCircuit(channel);
+  if (prelude.circuit.evaluator_inputs() !=
+      static_cast<uint32_t>(prelude.layout.total_value_bits())) {
+    throw ProtocolError(what + ": received circuit wants " +
+                        std::to_string(prelude.circuit.evaluator_inputs()) +
+                        " evaluator bits, layout encodes " +
+                        std::to_string(prelude.layout.total_value_bits()));
+  }
+  return prelude;
 }
 
 }  // namespace pafs

@@ -9,12 +9,16 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "circuit/circuit.h"
 #include "ml/dataset.h"
 #include "util/bitvec.h"
 
 namespace pafs {
+
+class Channel;
 
 // Fixed-point scale for model parameters inside circuits.
 inline constexpr int64_t kSmcScale = 256;
@@ -60,6 +64,28 @@ void AppendSigned(BitVec& bits, int64_t value, uint32_t width);
 
 // Decodes little-endian two's complement from `bits[offset, offset+width)`.
 int64_t DecodeSigned(const BitVec& bits, size_t offset, uint32_t width);
+
+// The public circuit description the server ships before a tree or forest
+// run: which features stay hidden (so the client can rebuild the layout)
+// followed by the gate list. Factored out of the single-query runners so
+// the serving layer's batch path can send one prelude per distinct
+// disclosure set and share it across records.
+struct CircuitPrelude {
+  HiddenLayout layout;
+  Circuit circuit;
+};
+
+void SendCircuitPrelude(Channel& channel, const HiddenLayout& layout,
+                        const Circuit& circuit);
+
+// Receives and validates a prelude. The announcement is untrusted wire
+// data: the hidden count is bounded by the schema and every id must name a
+// real feature before any of it shapes the layout; the circuit's evaluator
+// width must match the layout it came with. `what` prefixes error messages
+// (e.g. "secure forest").
+CircuitPrelude RecvCircuitPrelude(Channel& channel,
+                                  const std::vector<FeatureSpec>& features,
+                                  const std::string& what);
 
 // Outcome of one secure classification, with the traffic it consumed.
 struct SmcRunStats {

@@ -98,17 +98,14 @@ int SecureForestCircuit::DecodeOutput(const BitVec& output) const {
 SmcRunStats SecureForestRunServer(Channel& channel,
                                   const SecureForestCircuit& spec,
                                   const RandomForest& forest, OtExtSender& ot,
-                                  Rng& rng, GarblingScheme scheme) {
+                                  Rng& rng, GarblingScheme scheme,
+                                  GarbledCircuit* pregarbled,
+                                  OtSenderPadPool* ot_pads) {
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
 
-  const HiddenLayout& layout = spec.layout();
-  channel.SendU64(layout.num_hidden());
-  for (int f : layout.hidden_features()) {
-    channel.SendU64(static_cast<uint64_t>(f));
-  }
-  SendCircuit(channel, spec.circuit());
+  SendCircuitPrelude(channel, spec.layout(), spec.circuit());
 
   BitVec garbler_bits;
   {
@@ -118,7 +115,7 @@ SmcRunStats SecureForestRunServer(Channel& channel,
   // Forest circuits are wide — member trees are independent until the vote
   // aggregation — so their gate levels fan out well across the worker pool.
   BitVec out = GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng,
-                            scheme, ThreadPool::Global());
+                            scheme, ThreadPool::Global(), pregarbled, ot_pads);
   SmcRunStats stats;
   stats.predicted_class = spec.DecodeOutput(out);
   stats.bytes = channel.stats().bytes_sent - bytes_before;
@@ -133,49 +130,22 @@ SmcRunStats SecureForestRunClient(Channel& channel,
                                   int num_classes,
                                   const std::vector<int>& row,
                                   OtExtReceiver& ot, Rng& rng,
-                                  GarblingScheme scheme) {
+                                  GarblingScheme scheme,
+                                  OtReceiverPadPool* ot_pads) {
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
 
-  // Untrusted announcement — see SecureTreeRunClient for the rationale.
-  uint64_t num_hidden = channel.RecvU64();
-  if (num_hidden > features.size()) {
-    throw ProtocolError("secure forest: server announced " +
-                        std::to_string(num_hidden) + " hidden features of " +
-                        std::to_string(features.size()));
-  }
-  std::set<int> hidden_ids;
-  for (uint64_t i = 0; i < num_hidden; ++i) {
-    uint64_t id = channel.RecvU64();
-    if (id >= features.size()) {
-      throw ProtocolError("secure forest: hidden feature id " +
-                          std::to_string(id) + " out of range");
-    }
-    hidden_ids.insert(static_cast<int>(id));
-  }
-  std::map<int, int> exclusions;
-  for (int f = 0; f < static_cast<int>(features.size()); ++f) {
-    if (!hidden_ids.count(f)) exclusions.emplace(f, 0);
-  }
-  HiddenLayout layout = HiddenLayout::Make(features, exclusions);
-  Circuit circuit = RecvCircuit(channel);
-  if (circuit.evaluator_inputs() !=
-      static_cast<uint32_t>(layout.total_value_bits())) {
-    throw ProtocolError(
-        "secure forest: received circuit wants " +
-        std::to_string(circuit.evaluator_inputs()) +
-        " evaluator bits, layout encodes " +
-        std::to_string(layout.total_value_bits()));
-  }
+  CircuitPrelude prelude =
+      RecvCircuitPrelude(channel, features, "secure forest");
 
   BitVec evaluator_bits;
   {
     obs::TraceSpan encode("smc.encode");
-    evaluator_bits = layout.EncodeRow(row);
+    evaluator_bits = prelude.layout.EncodeRow(row);
   }
-  BitVec out = GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng,
-                              scheme, ThreadPool::Global());
+  BitVec out = GcRunEvaluator(channel, prelude.circuit, evaluator_bits, ot,
+                              rng, scheme, ThreadPool::Global(), ot_pads);
   uint32_t index_bits = static_cast<uint32_t>(BitsFor(num_classes));
   if (out.size() != index_bits) {
     throw ProtocolError("secure forest: circuit produced " +
@@ -193,7 +163,7 @@ SmcRunStats SecureForestRunClient(Channel& channel,
   stats.bytes = channel.stats().bytes_sent - bytes_before;
   stats.rounds = channel.stats().direction_flips - rounds_before;
   stats.wall_seconds = timer.ElapsedSeconds();
-  stats.and_gates = circuit.Stats().and_gates;
+  stats.and_gates = prelude.circuit.Stats().and_gates;
   return stats;
 }
 

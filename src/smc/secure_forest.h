@@ -46,17 +46,22 @@ class SecureForestCircuit {
 };
 
 // Same wire protocol shape as the secure tree: the server ships the
-// (specialized, value-dependent) circuit description first.
+// (specialized, value-dependent) circuit description first. `pregarbled`
+// (single-use, from serve/precompute's GcPool) and `ot_pads` plug in the
+// offline/online split; nullptr keeps the fully online behavior.
 SmcRunStats SecureForestRunServer(Channel& channel,
                                   const SecureForestCircuit& spec,
                                   const RandomForest& forest, OtExtSender& ot,
                                   Rng& rng,
-                                  GarblingScheme scheme = GarblingScheme::kHalfGates);
+                                  GarblingScheme scheme = GarblingScheme::kHalfGates,
+                                  GarbledCircuit* pregarbled = nullptr,
+                                  OtSenderPadPool* ot_pads = nullptr);
 SmcRunStats SecureForestRunClient(Channel& channel,
                                   const std::vector<FeatureSpec>& features,
                                   int num_classes, const std::vector<int>& row,
                                   OtExtReceiver& ot, Rng& rng,
-                                  GarblingScheme scheme = GarblingScheme::kHalfGates);
+                                  GarblingScheme scheme = GarblingScheme::kHalfGates,
+                                  OtReceiverPadPool* ot_pads = nullptr);
 
 }  // namespace pafs
 

@@ -102,7 +102,8 @@ SmcRunStats SecureNbRunServer(Channel& channel, const SecureNbCircuit& spec,
                               const NaiveBayes& model,
                               const std::map<int, int>& disclosed,
                               OtExtSender& ot, Rng& rng,
-                              GarblingScheme scheme) {
+                              GarblingScheme scheme, GarbledCircuit* pregarbled,
+                              OtSenderPadPool* ot_pads) {
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
@@ -112,7 +113,7 @@ SmcRunStats SecureNbRunServer(Channel& channel, const SecureNbCircuit& spec,
     garbler_bits = spec.EncodeModel(model, disclosed);
   }
   BitVec out = GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng,
-                            scheme);
+                            scheme, /*pool=*/nullptr, pregarbled, ot_pads);
   SmcRunStats stats;
   stats.predicted_class = spec.DecodeOutput(out);
   stats.bytes = channel.stats().bytes_sent - bytes_before;
@@ -124,7 +125,8 @@ SmcRunStats SecureNbRunServer(Channel& channel, const SecureNbCircuit& spec,
 
 SmcRunStats SecureNbRunClient(Channel& channel, const SecureNbCircuit& spec,
                               const std::vector<int>& row, OtExtReceiver& ot,
-                              Rng& rng, GarblingScheme scheme) {
+                              Rng& rng, GarblingScheme scheme,
+                              OtReceiverPadPool* ot_pads) {
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
@@ -134,7 +136,7 @@ SmcRunStats SecureNbRunClient(Channel& channel, const SecureNbCircuit& spec,
     evaluator_bits = spec.EncodeRow(row);
   }
   BitVec out = GcRunEvaluator(channel, spec.circuit(), evaluator_bits, ot,
-                              rng, scheme);
+                              rng, scheme, /*pool=*/nullptr, ot_pads);
   SmcRunStats stats;
   stats.predicted_class = spec.DecodeOutput(out);
   stats.bytes = channel.stats().bytes_sent - bytes_before;

@@ -56,15 +56,20 @@ class SecureNbCircuit {
 
 // One end-to-end secure classification (blocking; run the two calls on two
 // threads sharing a channel pair). Both return the predicted class.
+// `pregarbled` (single-use, from serve/precompute's GcPool) and `ot_pads`
+// plug in the offline/online split; nullptr keeps the online behavior.
 SmcRunStats SecureNbRunServer(Channel& channel, const SecureNbCircuit& spec,
                               const NaiveBayes& model,
                               const std::map<int, int>& disclosed,
                               OtExtSender& ot, Rng& rng,
-                              GarblingScheme scheme = GarblingScheme::kHalfGates);
+                              GarblingScheme scheme = GarblingScheme::kHalfGates,
+                              GarbledCircuit* pregarbled = nullptr,
+                              OtSenderPadPool* ot_pads = nullptr);
 SmcRunStats SecureNbRunClient(Channel& channel, const SecureNbCircuit& spec,
                               const std::vector<int>& row, OtExtReceiver& ot,
                               Rng& rng,
-                              GarblingScheme scheme = GarblingScheme::kHalfGates);
+                              GarblingScheme scheme = GarblingScheme::kHalfGates,
+                              OtReceiverPadPool* ot_pads = nullptr);
 
 }  // namespace pafs
 

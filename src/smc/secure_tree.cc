@@ -151,30 +151,24 @@ int SecureTreeCircuit::DecodeOutput(const BitVec& output) const {
 SmcRunStats SecureTreeRunServer(Channel& channel,
                                 const SecureTreeCircuit& spec,
                                 const DecisionTree& tree, OtExtSender& ot,
-                                Rng& rng, GarblingScheme scheme) {
+                                Rng& rng, GarblingScheme scheme,
+                                GarbledCircuit* pregarbled,
+                                OtSenderPadPool* ot_pads) {
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
 
   // Ship the public circuit description: which hidden features it reads,
   // then the gate list.
-  {
-    obs::TraceSpan transfer("gc.transfer");
-    const HiddenLayout& layout = spec.layout();
-    channel.SendU64(layout.num_hidden());
-    for (int f : layout.hidden_features()) {
-      channel.SendU64(static_cast<uint64_t>(f));
-    }
-    SendCircuit(channel, spec.circuit());
-  }
+  SendCircuitPrelude(channel, spec.layout(), spec.circuit());
 
   BitVec garbler_bits;
   {
     obs::TraceSpan encode("smc.encode");
     garbler_bits = spec.EncodeModel(tree);
   }
-  BitVec out =
-      GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng, scheme);
+  BitVec out = GcRunGarbler(channel, spec.circuit(), garbler_bits, ot, rng,
+                            scheme, /*pool=*/nullptr, pregarbled, ot_pads);
   SmcRunStats stats;
   stats.predicted_class = spec.DecodeOutput(out);
   stats.bytes = channel.stats().bytes_sent - bytes_before;
@@ -188,51 +182,23 @@ SmcRunStats SecureTreeRunClient(Channel& channel,
                                 const std::vector<FeatureSpec>& features,
                                 int num_classes, const std::vector<int>& row,
                                 OtExtReceiver& ot, Rng& rng,
-                                GarblingScheme scheme) {
+                                GarblingScheme scheme,
+                                OtReceiverPadPool* ot_pads) {
   Timer timer;
   uint64_t bytes_before = channel.stats().bytes_sent;
   uint64_t rounds_before = channel.stats().direction_flips;
 
-  // Reconstruct the evaluator-input layout from the announced feature ids.
-  // The announcement is untrusted wire data: bound the count, and demand
-  // every id name an actual feature, before any of it shapes the layout.
-  uint64_t num_hidden = channel.RecvU64();
-  if (num_hidden > features.size()) {
-    throw ProtocolError("secure tree: server announced " +
-                        std::to_string(num_hidden) + " hidden features of " +
-                        std::to_string(features.size()));
-  }
-  std::set<int> hidden_ids;
-  for (uint64_t i = 0; i < num_hidden; ++i) {
-    uint64_t id = channel.RecvU64();
-    if (id >= features.size()) {
-      throw ProtocolError("secure tree: hidden feature id " +
-                          std::to_string(id) + " out of range");
-    }
-    hidden_ids.insert(static_cast<int>(id));
-  }
-  std::map<int, int> exclusions;
-  for (int f = 0; f < static_cast<int>(features.size()); ++f) {
-    if (!hidden_ids.count(f)) exclusions.emplace(f, 0);
-  }
-  HiddenLayout layout = HiddenLayout::Make(features, exclusions);
-  Circuit circuit = RecvCircuit(channel);
-  if (circuit.evaluator_inputs() !=
-      static_cast<uint32_t>(layout.total_value_bits())) {
-    throw ProtocolError(
-        "secure tree: received circuit wants " +
-        std::to_string(circuit.evaluator_inputs()) +
-        " evaluator bits, layout encodes " +
-        std::to_string(layout.total_value_bits()));
-  }
+  // Reconstruct the evaluator-input layout from the announced feature ids;
+  // RecvCircuitPrelude validates the untrusted announcement.
+  CircuitPrelude prelude = RecvCircuitPrelude(channel, features, "secure tree");
 
   BitVec evaluator_bits;
   {
     obs::TraceSpan encode("smc.encode");
-    evaluator_bits = layout.EncodeRow(row);
+    evaluator_bits = prelude.layout.EncodeRow(row);
   }
-  BitVec out =
-      GcRunEvaluator(channel, circuit, evaluator_bits, ot, rng, scheme);
+  BitVec out = GcRunEvaluator(channel, prelude.circuit, evaluator_bits, ot,
+                              rng, scheme, /*pool=*/nullptr, ot_pads);
   uint32_t label_bits = static_cast<uint32_t>(BitsFor(num_classes));
   if (out.size() != label_bits) {
     throw ProtocolError("secure tree: circuit produced " +
@@ -250,7 +216,7 @@ SmcRunStats SecureTreeRunClient(Channel& channel,
   stats.bytes = channel.stats().bytes_sent - bytes_before;
   stats.rounds = channel.stats().direction_flips - rounds_before;
   stats.wall_seconds = timer.ElapsedSeconds();
-  stats.and_gates = circuit.Stats().and_gates;
+  stats.and_gates = prelude.circuit.Stats().and_gates;
   return stats;
 }
 

@@ -80,16 +80,21 @@ class SecureTreeCircuit {
 
 // The server derives the (value-dependent) specialized circuit and ships
 // its public description to the client first; the client therefore only
-// needs the schema, not the tree.
+// needs the schema, not the tree. `pregarbled` (single-use, from
+// serve/precompute's GcPool) and `ot_pads` plug in the offline/online
+// split; nullptr keeps the fully online behavior.
 SmcRunStats SecureTreeRunServer(Channel& channel, const SecureTreeCircuit& spec,
                                 const DecisionTree& tree, OtExtSender& ot,
                                 Rng& rng,
-                                GarblingScheme scheme = GarblingScheme::kHalfGates);
+                                GarblingScheme scheme = GarblingScheme::kHalfGates,
+                                GarbledCircuit* pregarbled = nullptr,
+                                OtSenderPadPool* ot_pads = nullptr);
 SmcRunStats SecureTreeRunClient(Channel& channel,
                                 const std::vector<FeatureSpec>& features,
                                 int num_classes, const std::vector<int>& row,
                                 OtExtReceiver& ot, Rng& rng,
-                                GarblingScheme scheme = GarblingScheme::kHalfGates);
+                                GarblingScheme scheme = GarblingScheme::kHalfGates,
+                                OtReceiverPadPool* ot_pads = nullptr);
 
 }  // namespace pafs
 

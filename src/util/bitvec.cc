@@ -30,6 +30,28 @@ uint64_t BitVec::ToU64(size_t offset, size_t n) const {
   return out;
 }
 
+std::vector<uint8_t> BitVec::ToBytes() const {
+  std::vector<uint8_t> out((size_ + 7) / 8);
+  size_t b = 0;
+  for (size_t w = 0; w < words_.size() && b < out.size(); ++w) {
+    uint64_t word = words_[w];
+    for (int k = 0; k < 8 && b < out.size(); ++k, ++b) {
+      out[b] = static_cast<uint8_t>(word >> (8 * k));
+    }
+  }
+  return out;
+}
+
+BitVec BitVec::FromBytes(const uint8_t* bytes, size_t n) {
+  BitVec v(n);
+  size_t num_bytes = (n + 7) / 8;
+  for (size_t b = 0; b < num_bytes; ++b) {
+    v.words_[b >> 3] |= static_cast<uint64_t>(bytes[b]) << (8 * (b & 7));
+  }
+  v.TrimLastWord();
+  return v;
+}
+
 size_t BitVec::CountOnes() const {
   size_t total = 0;
   for (uint64_t w : words_) total += std::popcount(w);

@@ -50,6 +50,13 @@ class BitVec {
   // Interprets bits [offset, offset+n) as an unsigned little-endian integer.
   uint64_t ToU64(size_t offset = 0, size_t n = 64) const;
 
+  // Packs the bits into (size()+7)/8 LSB-first bytes, a word at a time —
+  // the wire format SendBits/RecvBits and the OT correction frames share.
+  std::vector<uint8_t> ToBytes() const;
+  // Rebuilds `n` bits from LSB-first packed bytes (at least (n+7)/8 of
+  // them); stray high bits in the last byte are ignored.
+  static BitVec FromBytes(const uint8_t* bytes, size_t n);
+
   size_t CountOnes() const;
   std::string ToString() const;
 

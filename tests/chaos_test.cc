@@ -799,10 +799,11 @@ TEST(ServingChaosTest, CrashInReplyWindowIsAnsweredFromReplayCache) {
   send_query_head(framed);
   SmcRunStats first = SecureNbRunClient(framed, spec, row, ot, rng,
                                         setup.scheme);
+  framed.SendU64(0);  // v4 refill tail request (unpooled raw client).
   EXPECT_EQ(first.predicted_class, pipeline.PlaintextPredict(row));
   ASSERT_TRUE(
       WaitForStat([&] { return server.stats().queries_served >= 1; }));
-  socket->Close();  // Crash without reading the completion ack.
+  socket->Close();  // Crash without reading the grant or completion ack.
 
   auto resume = [&](std::vector<uint8_t>* fresh_ticket) {
     auto s = SocketConnect(server.address(), 5.0);
@@ -834,6 +835,8 @@ TEST(ServingChaosTest, CrashInReplyWindowIsAnsweredFromReplayCache) {
   send_query_head(*ch3);
   SmcRunStats retry = SecureNbRunClient(*ch3, spec, row, ot_retry, rng_retry,
                                         setup.scheme);
+  ch3->SendU64(0);  // Replayed v4 refill tail: same request, same grant.
+  EXPECT_EQ(ch3->RecvU64(), 0u);
   EXPECT_EQ(ch3->RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
   EXPECT_EQ(retry.predicted_class, first.predicted_class);
 

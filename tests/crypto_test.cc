@@ -185,6 +185,30 @@ TEST_F(PaillierTest, EncryptionIsRandomized) {
   EXPECT_EQ(keys_.private_key.Decrypt(c1), keys_.private_key.Decrypt(c2));
 }
 
+TEST_F(PaillierTest, CrtDecryptMatchesFullWidthReference) {
+  // Decrypt runs the CRT-split fast path; DecryptFullWidth is the
+  // textbook L(c^lambda mod n^2) * mu mod n reference. Differential-test
+  // them across positive, negative, zero, and homomorphically-derived
+  // ciphertexts — any divergence means the CRT recombination is wrong.
+  std::vector<BigInt> ciphertexts;
+  for (int64_t m : {0ll, 1ll, -1ll, 424242ll, -987654321ll}) {
+    ciphertexts.push_back(keys_.public_key.Encrypt(BigInt(m), rng_));
+  }
+  ciphertexts.push_back(
+      keys_.public_key.Add(ciphertexts[3], ciphertexts[4]));
+  ciphertexts.push_back(keys_.public_key.MulPlain(ciphertexts[3], BigInt(17)));
+  for (int trial = 0; trial < 16; ++trial) {
+    BigInt m = BigInt::RandomBits(rng_, 60);
+    if (trial % 2 == 1) m = BigInt(0) - m;
+    ciphertexts.push_back(keys_.public_key.Encrypt(m, rng_));
+  }
+  for (size_t i = 0; i < ciphertexts.size(); ++i) {
+    EXPECT_EQ(keys_.private_key.Decrypt(ciphertexts[i]),
+              keys_.private_key.DecryptFullWidth(ciphertexts[i]))
+        << "ciphertext " << i;
+  }
+}
+
 TEST_F(PaillierTest, HomomorphicAddition) {
   BigInt c1 = keys_.public_key.Encrypt(BigInt(1234), rng_);
   BigInt c2 = keys_.public_key.Encrypt(BigInt(-234), rng_);

@@ -12,6 +12,7 @@
 #include "gc/protocol.h"
 #include "net/channel.h"
 #include "ot/iknp.h"
+#include "ot/ot_pool.h"
 #include "util/parallel.h"
 #include "util/random.h"
 
@@ -311,6 +312,170 @@ INSTANTIATE_TEST_SUITE_P(Schemes, GcProtocolTest,
                                       ? "HalfGates"
                                       : "Classic";
                          });
+
+// Records every byte one party sends — the probe for wire bit-identity.
+class TapChannel : public Channel {
+ public:
+  explicit TapChannel(Channel& inner) : inner_(inner) {}
+  void Send(const uint8_t* data, size_t n) override {
+    sent_.insert(sent_.end(), data, data + n);
+    inner_.Send(data, n);
+  }
+  void Recv(uint8_t* data, size_t n) override { inner_.Recv(data, n); }
+  const ChannelStats& stats() const override { return inner_.stats(); }
+  const std::vector<uint8_t>& sent() const { return sent_; }
+
+ private:
+  Channel& inner_;
+  std::vector<uint8_t> sent_;
+};
+
+TEST_P(GcProtocolTest, BatchMatchesPerItemPlaintext) {
+  // One wire batch, heterogeneous items — different widths, one item with
+  // no evaluator inputs at all (exercises the bit-concatenation offsets).
+  Circuit adder4 = BuildAdderCircuit(4);
+  Circuit adder8 = BuildAdderCircuit(8);
+  CircuitBuilder nb(4, 0);
+  nb.AddOutputWord(nb.NotW(nb.GarblerWord(0, 4)));
+  Circuit notc = nb.Build();
+
+  std::vector<BitVec> garbler_bits = {
+      BitVec::FromU64(3, 4), BitVec::FromU64(200, 8), BitVec::FromU64(0b0110, 4),
+      BitVec::FromU64(9, 4)};
+  std::vector<BitVec> evaluator_bits = {
+      BitVec::FromU64(11, 4), BitVec::FromU64(55, 8), BitVec(0),
+      BitVec::FromU64(6, 4)};
+  std::vector<const Circuit*> circuits = {&adder4, &adder8, &notc, &adder4};
+
+  std::vector<GcGarbleItem> gitems(circuits.size());
+  std::vector<GcEvalItem> eitems(circuits.size());
+  for (size_t i = 0; i < circuits.size(); ++i) {
+    gitems[i] = {circuits[i], &garbler_bits[i], nullptr};
+    eitems[i] = {circuits[i], &evaluator_bits[i]};
+  }
+
+  std::vector<BitVec> garbler_out, evaluator_out;
+  std::thread garbler([&] {
+    garbler_out = GcRunGarblerBatch(pair_.endpoint(0), gitems, ot_sender_,
+                                    garbler_rng_, GetParam());
+  });
+  evaluator_out = GcRunEvaluatorBatch(pair_.endpoint(1), eitems, ot_receiver_,
+                                      evaluator_rng_, GetParam());
+  garbler.join();
+
+  ASSERT_EQ(garbler_out.size(), circuits.size());
+  ASSERT_EQ(evaluator_out.size(), circuits.size());
+  for (size_t i = 0; i < circuits.size(); ++i) {
+    BitVec expected = circuits[i]->Evaluate(garbler_bits[i], evaluator_bits[i]);
+    EXPECT_TRUE(garbler_out[i] == expected) << "item " << i;
+    EXPECT_TRUE(evaluator_out[i] == expected) << "item " << i;
+  }
+}
+
+TEST_P(GcProtocolTest, BatchThenSingleSharesTheOtSession) {
+  // The combined-OT batch must leave the extension streams aligned for
+  // whatever runs next on the session.
+  Circuit adder = BuildAdderCircuit(6);
+  BitVec g0 = BitVec::FromU64(12, 6), e0 = BitVec::FromU64(30, 6);
+  std::vector<GcGarbleItem> gitems = {{&adder, &g0, nullptr}};
+  std::vector<GcEvalItem> eitems = {{&adder, &e0}};
+  std::thread garbler([&] {
+    GcRunGarblerBatch(pair_.endpoint(0), gitems, ot_sender_, garbler_rng_,
+                      GetParam());
+  });
+  GcRunEvaluatorBatch(pair_.endpoint(1), eitems, ot_receiver_, evaluator_rng_,
+                      GetParam());
+  garbler.join();
+  BitVec out = RunProtocol(adder, BitVec::FromU64(7, 6), BitVec::FromU64(8, 6));
+  EXPECT_EQ(out.ToU64(0, 6), 15u);
+}
+
+TEST(GcBatchTest, PregarbledWireIsBitIdenticalToFresh) {
+  // The offline/online contract: a pre-garbled circuit whose seed came
+  // from the same rng position produces the *exact same bytes on the wire*
+  // as the fresh-garbling run — pooling must be invisible to the peer.
+  Circuit c = BuildAdderCircuit(16);
+  BitVec gbits = BitVec::FromU64(40000, 16);
+  BitVec ebits = BitVec::FromU64(25000, 16);
+
+  auto run = [&](bool pregarble) {
+    MemChannelPair pair;
+    TapChannel tap(pair.endpoint(0));
+    OtExtSender s;
+    OtExtReceiver r;
+    Rng rng_g(909), rng_e(808);
+    GarbledCircuit pre;
+    std::vector<GcGarbleItem> gitems = {{&c, &gbits, nullptr}};
+    if (pregarble) {
+      // Draw the seed exactly where the fresh path would (after OT setup
+      // it reads the same stream: setup precedes garbling in both runs).
+      Rng seed_rng(909);
+      OtExtSender scratch_sender;
+      MemChannelPair scratch;
+      std::thread peer([&] {
+        OtExtReceiver scratch_receiver;
+        Rng scratch_rng(808);
+        scratch_receiver.Setup(scratch.endpoint(1), scratch_rng);
+      });
+      scratch_sender.Setup(scratch.endpoint(0), seed_rng);
+      peer.join();
+      Prg prg(Block(seed_rng.NextU64(), seed_rng.NextU64()));
+      pre = Garble(c, prg);
+      gitems[0].pregarbled = &pre;
+    }
+    std::vector<BitVec> out;
+    std::thread garbler([&] {
+      out = GcRunGarblerBatch(tap, gitems, s, rng_g,
+                              GarblingScheme::kHalfGates);
+    });
+    std::vector<GcEvalItem> eitems = {{&c, &ebits}};
+    std::vector<BitVec> eval_out =
+        GcRunEvaluatorBatch(pair.endpoint(1), eitems, r, rng_e,
+                            GarblingScheme::kHalfGates);
+    garbler.join();
+    EXPECT_EQ(eval_out[0].ToU64(0, 16), (40000 + 25000) & 0xFFFF);
+    return tap.sent();
+  };
+
+  std::vector<uint8_t> fresh_bytes = run(false);
+  std::vector<uint8_t> pooled_bytes = run(true);
+  EXPECT_EQ(fresh_bytes, pooled_bytes);
+}
+
+TEST(GcBatchTest, PooledOtBatchMatchesPlaintext) {
+  // A batch whose label OT runs fully derandomized from warm pools.
+  Circuit c = BuildAdderCircuit(8);
+  MemChannelPair pair;
+  OtExtSender s;
+  OtExtReceiver r;
+  Rng rng_g(31), rng_e(32), choice_rng(33);
+  std::thread setup([&] { s.Setup(pair.endpoint(0), rng_g); });
+  r.Setup(pair.endpoint(1), rng_e);
+  setup.join();
+  OtSenderPadPool spool(64);
+  OtReceiverPadPool rpool(64);
+  std::thread fill([&] { spool.Append(s.SendRandom(pair.endpoint(0), 64)); });
+  rpool.Append(r.RecvRandom(pair.endpoint(1), choice_rng, 64));
+  fill.join();
+
+  BitVec g0 = BitVec::FromU64(99, 8), g1 = BitVec::FromU64(4, 8);
+  BitVec e0 = BitVec::FromU64(101, 8), e1 = BitVec::FromU64(250, 8);
+  std::vector<GcGarbleItem> gitems = {{&c, &g0, nullptr}, {&c, &g1, nullptr}};
+  std::vector<GcEvalItem> eitems = {{&c, &e0}, {&c, &e1}};
+  std::vector<BitVec> out;
+  std::thread garbler([&] {
+    GcRunGarblerBatch(pair.endpoint(0), gitems, s, rng_g,
+                      GarblingScheme::kHalfGates, nullptr, &spool);
+  });
+  out = GcRunEvaluatorBatch(pair.endpoint(1), eitems, r, rng_e,
+                            GarblingScheme::kHalfGates, nullptr, &rpool);
+  garbler.join();
+  EXPECT_EQ(out[0].ToU64(0, 8), (99 + 101) & 255);
+  EXPECT_EQ(out[1].ToU64(0, 8), (4 + 250) & 255);
+  // The two items' 16 evaluator bits ran as ONE pooled OT.
+  EXPECT_EQ(rpool.stats().hits, 16u);
+  EXPECT_EQ(spool.stats().hits, 16u);
+}
 
 TEST(GcTrafficTest, HalfGatesHalvesTableTraffic) {
   Circuit c = BuildAdderCircuit(32);

@@ -8,10 +8,13 @@
 #include <gtest/gtest.h>
 
 #include "net/channel.h"
+#include "net/error.h"
 #include "ot/base_ot.h"
 #include "ot/iknp.h"
+#include "ot/ot_pool.h"
 #include "util/bitvec.h"
 #include "util/random.h"
+#include "util/serial.h"
 
 namespace pafs {
 namespace {
@@ -123,6 +126,166 @@ TEST_F(IknpTest, SetupCostIsAmortized) {
   // transfer plus column traffic. The extension batch must be far cheaper
   // than setup.
   EXPECT_LT(batch_bytes, bytes_after_setup);
+}
+
+// ---------------------------------------------------------------------------
+// Random OTs and the pad pools (the offline half of the OT split).
+
+class OtPoolTest : public IknpTest {
+ protected:
+  // One SendRandom/RecvRandom exchange of `count`, appended to the pools.
+  void FillPools(OtSenderPadPool& spool, OtReceiverPadPool& rpool,
+                 size_t count) {
+    std::thread sender_thread(
+        [&] { spool.Append(sender_.SendRandom(pair_.endpoint(0), count)); });
+    rpool.Append(receiver_.RecvRandom(pair_.endpoint(1), choice_rng_, count));
+    sender_thread.join();
+  }
+
+  // One derandomized transfer of `m` tagged messages through the pools;
+  // checks the receiver learns exactly messages[choices].
+  void RunPooled(size_t m, uint64_t tag, OtSenderPadPool* spool,
+                 OtReceiverPadPool* rpool) {
+    std::vector<std::array<Block, 2>> messages(m);
+    for (size_t i = 0; i < m; ++i) {
+      messages[i] = {Block(tag * 1000 + i, 0), Block(tag * 1000 + i, 1)};
+    }
+    BitVec choices(m);
+    for (size_t i = 0; i < m; ++i) choices.Set(i, choice_rng_.NextBool());
+    std::vector<Block> received;
+    std::thread sender_thread([&] {
+      PooledOtSend(pair_.endpoint(0), sender_, messages, spool);
+    });
+    received = PooledOtRecv(pair_.endpoint(1), receiver_, choices, rpool);
+    sender_thread.join();
+    ASSERT_EQ(received.size(), m);
+    for (size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(received[i], messages[i][choices.Get(i) ? 1 : 0])
+          << "pooled batch " << tag << " index " << i;
+    }
+  }
+};
+
+TEST_F(OtPoolTest, RandomOtPadsMatchChoices) {
+  // The random-OT invariant everything else builds on: the receiver's one
+  // pad equals the sender's pad for the receiver's choice bit.
+  SetUpSessions();
+  std::vector<std::array<Block, 2>> sent;
+  RandomOtBatch batch;
+  std::thread sender_thread(
+      [&] { sent = sender_.SendRandom(pair_.endpoint(0), 77); });
+  batch = receiver_.RecvRandom(pair_.endpoint(1), choice_rng_, 77);
+  sender_thread.join();
+  ASSERT_EQ(sent.size(), 77u);
+  ASSERT_EQ(batch.pads.size(), 77u);
+  for (size_t j = 0; j < 77; ++j) {
+    EXPECT_EQ(batch.pads[j], sent[j][batch.choices.Get(j) ? 1 : 0]) << j;
+  }
+}
+
+TEST_F(OtPoolTest, PooledTransferEqualsDirectAndFallsBackWhenDry) {
+  SetUpSessions();
+  OtSenderPadPool spool(64);
+  OtReceiverPadPool rpool(64);
+  FillPools(spool, rpool, 64);
+  RunPooled(50, 1, &spool, &rpool);  // Warm: spends 50 pads per side.
+  EXPECT_EQ(spool.stats().hits, 50u);
+  EXPECT_EQ(rpool.stats().hits, 50u);
+  // 30 > the 14 remaining: the receiver announces 0 and both sides fall
+  // back to the online extension — still correct, counted as misses.
+  RunPooled(30, 2, &spool, &rpool);
+  EXPECT_EQ(rpool.stats().misses, 30u);
+  EXPECT_EQ(spool.depth(), 14u);  // Fallback spends no sender pads.
+  // The streams stay aligned across the mix: pooled again afterwards.
+  RunPooled(14, 3, &spool, &rpool);
+  EXPECT_EQ(rpool.stats().hits, 64u);
+}
+
+TEST_F(OtPoolTest, SplitReceiveThenMaterializeMatchesEagerExpansion) {
+  // The idle-worker split: park raw u columns, expand later. The pads must
+  // land exactly where an eager SendRandom would have put the stream.
+  SetUpSessions();
+  OtSenderPadPool spool(32);
+  OtReceiverPadPool rpool(32);
+  std::thread sender_thread([&] {
+    spool.AddPending(32, sender_.ReceiveRandomColumns(pair_.endpoint(0), 32));
+  });
+  rpool.Append(receiver_.RecvRandom(pair_.endpoint(1), choice_rng_, 32));
+  sender_thread.join();
+  EXPECT_TRUE(spool.HasPending());
+  EXPECT_EQ(spool.depth(), 0u);
+  EXPECT_EQ(spool.Deficit(), 0u);  // Pending counts toward the target.
+  EXPECT_EQ(spool.Materialize(sender_), 32u);
+  EXPECT_EQ(spool.depth(), 32u);
+  RunPooled(32, 1, &spool, &rpool);
+}
+
+TEST_F(OtPoolTest, PoolsResumeFromSnapshotsMidStream) {
+  // Serving-layer resumption shape: pools and OT endpoints are serialized
+  // together mid-stream (pending columns still raw) and the restored pair
+  // continues the derandomized stream with zero new base OTs.
+  SetUpSessions();
+  OtSenderPadPool spool(48);
+  OtReceiverPadPool rpool(48);
+  FillPools(spool, rpool, 24);
+  std::thread sender_thread([&] {
+    spool.AddPending(24, sender_.ReceiveRandomColumns(pair_.endpoint(0), 24));
+  });
+  rpool.Append(receiver_.RecvRandom(pair_.endpoint(1), choice_rng_, 24));
+  sender_thread.join();
+  RunPooled(10, 1, &spool, &rpool);  // Advance head_seq past zero.
+
+  std::vector<uint8_t> sender_bytes = sender_.Serialize();
+  std::vector<uint8_t> receiver_bytes = receiver_.Serialize();
+  std::vector<uint8_t> spool_bytes, rpool_bytes;
+  ByteWriter sw(&spool_bytes);
+  spool.Serialize(sw);
+  ByteWriter rw(&rpool_bytes);
+  rpool.Serialize(rw);
+
+  sender_ = OtExtSender::Deserialize(sender_bytes);
+  receiver_ = OtExtReceiver::Deserialize(receiver_bytes);
+  OtSenderPadPool spool2(48);
+  OtReceiverPadPool rpool2(48);
+  ByteReader sr(spool_bytes);
+  spool2.Restore(sr);
+  ByteReader rr(rpool_bytes);
+  rpool2.Restore(rr);
+  EXPECT_TRUE(spool2.HasPending());
+  EXPECT_EQ(spool2.Materialize(sender_), 24u);
+  RunPooled(38, 2, &spool2, &rpool2);  // 14 ready + 24 materialized.
+  EXPECT_EQ(spool2.depth(), 0u);
+  EXPECT_EQ(rpool2.depth(), 0u);
+}
+
+TEST_F(OtPoolTest, SequenceSkewIsATypedDesync) {
+  SetUpSessions();
+  OtSenderPadPool spool(8);
+  OtReceiverPadPool rpool(8);
+  FillPools(spool, rpool, 8);
+  // Hand-craft a receiver announcement whose start sequence the sender's
+  // pool is not at: lockstep streams make this corruption, not a miss.
+  Channel& rch = pair_.endpoint(1);
+  rch.SendU64(4);                          // pooled count
+  rch.SendU64(5);                          // skewed start_seq (pool is at 0)
+  rch.SendBytes(std::vector<uint8_t>{0});  // packed corrections
+  std::vector<std::array<Block, 2>> messages(
+      4, std::array<Block, 2>{Block(1, 2), Block(3, 4)});
+  EXPECT_THROW(PooledOtSend(pair_.endpoint(0), sender_, messages, &spool),
+               ProtocolError);
+}
+
+TEST_F(OtPoolTest, CountMismatchIsATypedError) {
+  SetUpSessions();
+  OtSenderPadPool spool(8);
+  OtReceiverPadPool rpool(8);
+  FillPools(spool, rpool, 8);
+  Channel& rch = pair_.endpoint(1);
+  rch.SendU64(3);  // Announces 3 pooled transfers; the sender expects 4.
+  std::vector<std::array<Block, 2>> messages(
+      4, std::array<Block, 2>{Block(1, 2), Block(3, 4)});
+  EXPECT_THROW(PooledOtSend(pair_.endpoint(0), sender_, messages, &spool),
+               ProtocolError);
 }
 
 }  // namespace

@@ -14,9 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/builder.h"
 #include "core/pipeline.h"
 #include "crypto/paillier_pool.h"
 #include "data/warfarin_gen.h"
+#include "gc/garble.h"
+#include "gc/protocol.h"
 #include "net/error.h"
 #include "net/fault.h"
 #include "net/framing.h"
@@ -704,6 +707,10 @@ TEST_F(ServeTest, RetriedQueryIsReplayedNotReExecuted) {
     }
     EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
     SmcRunStats stats = SecureNbRunClient(ch, spec, row, o, r, setup.scheme);
+    // The v4 refill tail: this raw client runs unpooled, so it asks for 0
+    // and the server must grant 0.
+    ch.SendU64(0);
+    EXPECT_EQ(ch.RecvU64(), 0u);
     // Completion ack: the client-side commit point for the query.
     EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
     return stats;
@@ -860,6 +867,7 @@ TEST_F(ServeTest, PooledLinearServingHitsPoolAndStaysCorrect) {
   // the session's pad pool (the modulus arrives in phase 0), idle workers
   // fill it between queries, and query 2's Paillier randomness comes out
   // of the pool on both ends — verified by the telemetry counters.
+  if (serve::PoolsDisabledByEnv()) GTEST_SKIP() << "PAFS_NO_POOL set";
   PafsTelemetry::Enable();
   auto pipeline = MakePipeline(ClassifierKind::kLinear);
   ServerConfig config;
@@ -1002,6 +1010,9 @@ TEST_F(ServeTest, PooledLinearRetryReplaysByteIdentical) {
     EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
     SmcRunStats stats =
         spec.RunClient(ch, keys, row, o, r, setup.scheme, pool);
+    // The v4 refill tail (unpooled raw client: ask 0, granted 0).
+    ch.SendU64(0);
+    EXPECT_EQ(ch.RecvU64(), 0u);
     EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
     return stats;
   };
@@ -1044,6 +1055,7 @@ TEST_F(ServeTest, ResumedSessionCarriesPrecomputedPads) {
   // The pool snapshot rides the resumption ticket: after a crash-like
   // reconnect, the restored session's first query still finds the pads
   // the fillers computed before the drop.
+  if (serve::PoolsDisabledByEnv()) GTEST_SKIP() << "PAFS_NO_POOL set";
   PafsTelemetry::Enable();
   auto pipeline = MakePipeline(ClassifierKind::kLinear);
   ServerConfig config;
@@ -1090,6 +1102,390 @@ TEST_F(ServeTest, ServerRestartsOnSameConfig) {
     client.Close();
     server.Stop();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-query batching (wire v4) and the GC/OT precompute pools.
+
+TEST_F(ServeTest, BatchMatchesPlaintextAcrossClassifiers) {
+  for (ClassifierKind kind :
+       {ClassifierKind::kNaiveBayes, ClassifierKind::kDecisionTree,
+        ClassifierKind::kForest}) {
+    auto pipeline = MakePipeline(kind);
+    ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                                ServerConfig{});
+    server.Start();
+    ClassificationClient client(ClientFor(server));
+
+    std::vector<std::vector<int>> rows;
+    for (int i = 0; i < 6; ++i) rows.push_back(data_.row(i * 119 + 3));
+    rows.push_back(rows.front());  // Repeated disclosure: shared prelude.
+    SmcRunStats stats;
+    std::vector<int> preds = client.ClassifyBatch(rows, &stats);
+    ASSERT_EQ(preds.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(preds[i], pipeline->PlaintextPredict(rows[i]))
+          << ClassifierName(kind) << " record " << i;
+    }
+    EXPECT_GT(stats.bytes, 0u);
+
+    // One kBatch request carried all seven records.
+    ASSERT_TRUE(WaitFor([&] { return server.stats().batches_served >= 1; }));
+    ServerStats ss = server.stats();
+    EXPECT_EQ(ss.batches_served, 1u);
+    EXPECT_EQ(ss.batch_records, rows.size());
+    client.Close();
+    server.Stop();
+    EXPECT_EQ(server.stats().sessions_failed, 0u);
+  }
+}
+
+TEST_F(ServeTest, BatchChunksAtClientCap) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+  ClientConfig cc = ClientFor(server);
+  cc.batch_max_records = 2;
+  ClassificationClient client(cc);
+
+  std::vector<std::vector<int>> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back(data_.row(i * 77 + 11));
+  std::vector<int> preds = client.ClassifyBatch(rows);
+  ASSERT_EQ(preds.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(preds[i], pipeline->PlaintextPredict(rows[i]));
+  }
+  // 5 records at cap 2 → chunks of 2 + 2 + 1.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().batches_served >= 3; }));
+  ServerStats ss = server.stats();
+  EXPECT_EQ(ss.batches_served, 3u);
+  EXPECT_EQ(ss.batch_records, rows.size());
+  client.Close();
+  server.Stop();
+  EXPECT_EQ(server.stats().sessions_failed, 0u);
+}
+
+TEST_F(ServeTest, LinearBatchFallsBackPerRow) {
+  // The Paillier protocol has no batched shape; ClassifyBatch on a linear
+  // session must transparently run per-row queries instead.
+  auto pipeline = MakePipeline(ClassifierKind::kLinear);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+  ClassificationClient client(ClientFor(server));
+
+  std::vector<std::vector<int>> rows;
+  for (int i = 0; i < 3; ++i) rows.push_back(data_.row(i * 201 + 5));
+  SmcRunStats stats;
+  std::vector<int> preds = client.ClassifyBatch(rows, &stats);
+  ASSERT_EQ(preds.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(preds[i], pipeline->PlaintextPredict(rows[i]));
+  }
+  EXPECT_GT(stats.bytes, 0u);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 3; }));
+  EXPECT_EQ(server.stats().batches_served, 0u);
+  client.Close();
+  server.Stop();
+}
+
+TEST_F(ServeTest, OversizedBatchHeaderFailsTyped) {
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ServerConfig config;
+  config.batch_max_records = 4;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket->set_recv_timeout_seconds(5.0 * kTimeScale);
+  FramedChannel framed(*socket);
+  RawHandshake(framed);
+  framed.SendU64(static_cast<uint64_t>(serve::RequestTag::kBatch));
+  framed.SendU64(1);  // Query id.
+  framed.SendU64(5);  // One past the server's cap: refused before any work.
+  EXPECT_THROW(framed.RecvU64(), ChannelError);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().sessions_failed >= 1; }));
+  server.Stop();
+}
+
+TEST_F(ServeTest, ResumedSessionRestoresGcAndOtPools) {
+  // Satellite (c), public-client half: the resumption snapshot carries the
+  // GC pool (pre-garbled circuits) and both OT pad pools. A post-crash
+  // reconnect resumes with ZERO base-OT re-runs and its first query still
+  // runs fully pooled — no GC garble on the critical path, no online OT
+  // fallback.
+  if (serve::PoolsDisabledByEnv()) GTEST_SKIP() << "PAFS_NO_POOL set";
+  PafsTelemetry::Enable();
+  auto pipeline = MakePipeline(ClassifierKind::kDecisionTree);
+  ServerConfig config;
+  config.gc_pool_depth = 2;
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline), config);
+  server.Start();
+
+  ClassificationClient client(ClientFor(server));
+  const std::vector<int>& row = data_.row(31);
+  // Query 1 registers the disclosure key (a GC miss) and, through the v4
+  // refill tail, stocks both ends' OT pad pools.
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  ASSERT_TRUE(WaitFor([&] {
+    return server.stats().gc_pregarbled >= 2 &&
+           server.stats().ot_pads_precomputed >= 1;
+  }));
+  // Query 2 runs pooled and refreshes the snapshot with one garbled
+  // circuit still ready and both OT pools deep.
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queries_served >= 2; }));
+
+  obs::Counter& setups = obs::GetCounter("ot.base.setups");
+  obs::Counter& gc_hits = obs::GetCounter("gc.pool.hit");
+  obs::Counter& gc_misses = obs::GetCounter("gc.pool.miss");
+  obs::Counter& ot_hits = obs::GetCounter("ot.pool.hit");
+  obs::Counter& ot_misses = obs::GetCounter("ot.pool.miss");
+  uint64_t setups_before = setups.value();
+  uint64_t gc_hits_before = gc_hits.value();
+  uint64_t gc_misses_before = gc_misses.value();
+  uint64_t ot_hits_before = ot_hits.value();
+  uint64_t ot_misses_before = ot_misses.value();
+
+  client.DropConnection();  // Crash, as far as both ends can tell.
+  EXPECT_EQ(client.Classify(row), pipeline->PlaintextPredict(row));
+  EXPECT_EQ(client.resumes(), 1u);
+  EXPECT_EQ(setups.value(), setups_before);  // Zero base-OT re-runs.
+  // The resumed query's garbled circuit and label OTs all came out of the
+  // restored pools: hits advanced, not a single miss.
+  EXPECT_GT(gc_hits.value(), gc_hits_before);
+  EXPECT_EQ(gc_misses.value(), gc_misses_before);
+  EXPECT_GT(ot_hits.value(), ot_hits_before);
+  EXPECT_EQ(ot_misses.value(), ot_misses_before);
+
+  // And the resumed session still batches.
+  std::vector<std::vector<int>> rows = {row, data_.row(301)};
+  std::vector<int> preds = client.ClassifyBatch(rows);
+  ASSERT_EQ(preds.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(preds[i], pipeline->PlaintextPredict(rows[i]));
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.stats().batches_served >= 1; }));
+  EXPECT_EQ(server.stats().resumptions, 1u);
+  client.Close();
+  server.Stop();
+  PafsTelemetry::Disable();
+}
+
+TEST_F(ServeTest, RetriedBatchIsReplayedNotReExecuted) {
+  // Satellite (c), raw-wire half: a batch whose completion ack is lost is
+  // retried from the client's snapshot; the server answers the whole batch
+  // from the recorded transcript, byte for byte — it fails the session on
+  // the first diverging client byte, so this passes only if the retried
+  // batch's sends are bit-identical to the originals.
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+  std::vector<std::vector<int>> rows = {data_.row(5), data_.row(123),
+                                        data_.row(612)};
+
+  auto socket = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket->set_recv_timeout_seconds(30 * kTimeScale);
+  FramedChannel framed(*socket);
+  std::vector<uint8_t> ticket;
+  serve::SessionSetup setup = RawHandshake(framed, &ticket);
+  ASSERT_EQ(ticket.size(), serve::kResumeTicketBytes);
+  std::map<int, int> key_map;
+  for (int f : setup.plan_features) key_map.emplace(f, 0);
+  SecureNbCircuit spec(setup.features, setup.num_classes, key_map);
+
+  OtExtReceiver ot;
+  Rng rng(0xBA7C);
+  std::vector<uint8_t> ot_snapshot = ot.Serialize();
+  std::vector<uint8_t> rng_snapshot;
+  {
+    ByteWriter writer(&rng_snapshot);
+    rng.Serialize(writer);
+  }
+
+  auto run_batch = [&](FramedChannel& ch, OtExtReceiver& o, Rng& r) {
+    ch.SendU64(static_cast<uint64_t>(serve::RequestTag::kBatch));
+    ch.SendU64(1);  // Same id both times: this is "the" batch.
+    ch.SendU64(rows.size());
+    for (const std::vector<int>& row : rows) {
+      for (int f : setup.plan_features) {
+        ch.SendU64(static_cast<uint64_t>(row[f]));
+      }
+    }
+    EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+    std::vector<BitVec> evaluator_bits(rows.size());
+    std::vector<GcEvalItem> items(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      evaluator_bits[i] = spec.EncodeRow(rows[i]);
+      items[i].circuit = &spec.circuit();
+      items[i].evaluator_bits = &evaluator_bits[i];
+    }
+    std::vector<BitVec> outputs =
+        GcRunEvaluatorBatch(ch, items, o, r, setup.scheme);
+    std::vector<int> preds(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      preds[i] = spec.DecodeOutput(outputs[i]);
+    }
+    // The v4 refill tail (unpooled raw client: ask 0, granted 0).
+    ch.SendU64(0);
+    EXPECT_EQ(ch.RecvU64(), 0u);
+    EXPECT_EQ(ch.RecvU64(), static_cast<uint64_t>(serve::ReplyStatus::kOk));
+    return preds;
+  };
+
+  std::vector<int> first = run_batch(framed, ot, rng);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(first[i], pipeline->PlaintextPredict(rows[i]));
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.stats().batches_served >= 1; }));
+
+  // The ack is "lost": drop the connection, rewind to the snapshot, and
+  // resume with the ticket.
+  socket->Close();
+  OtExtReceiver ot_retry = OtExtReceiver::Deserialize(ot_snapshot);
+  ByteReader rng_reader(rng_snapshot);
+  Rng rng_retry = Rng::Deserialize(rng_reader);
+  auto socket2 = SocketConnect(server.address(), 2.0 * kTimeScale);
+  socket2->set_recv_timeout_seconds(30 * kTimeScale);
+  FramedChannel framed2(*socket2);
+  serve::ClientHello hello;
+  hello.ticket = ticket;
+  serve::SendClientHello(framed2, hello);
+  ASSERT_EQ(framed2.RecvU64(),
+            static_cast<uint64_t>(serve::ReplyStatus::kResumed));
+  (void)serve::RecvTicketFrame(framed2);
+
+  std::vector<int> retry = run_batch(framed2, ot_retry, rng_retry);
+  EXPECT_EQ(retry, first);
+  ASSERT_TRUE(WaitFor([&] { return server.stats().replay_hits >= 1; }));
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.replay_hits, 1u);
+  // Executed exactly once: the batch counters did not move on the replay.
+  EXPECT_EQ(stats.batches_served, 1u);
+  EXPECT_EQ(stats.batch_records, rows.size());
+}
+
+TEST_F(ServeTest, BatchRetryAbsorbsInjectedDisconnect) {
+  // At-most-once through the public client: a disconnect injected inside
+  // the batch exchange is absorbed by reconnect + retry, and however the
+  // fault lands relative to the server's commit point, each record is
+  // executed (or replayed) exactly once.
+  auto pipeline = MakePipeline(ClassifierKind::kNaiveBayes);
+  ClassificationServer server(ServingModel::FromPipeline(*pipeline),
+                              ServerConfig{});
+  server.Start();
+
+  ClientConfig cc = ClientFor(server);
+  cc.fault_plan.kind = FaultKind::kDisconnect;
+  cc.fault_plan.seed = 7;
+  cc.fault_plan.first_op = 14;  // Past the handshake, inside the batch.
+  cc.fault_plan.max_faults = 1;
+  ClassificationClient client(cc);
+
+  std::vector<std::vector<int>> rows = {data_.row(8), data_.row(415)};
+  std::vector<int> preds = client.ClassifyBatch(rows);
+  ASSERT_EQ(preds.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(preds[i], pipeline->PlaintextPredict(rows[i]));
+  }
+  EXPECT_GE(client.reconnects(), 1u);
+  ASSERT_TRUE(WaitFor([&] {
+    return server.stats().batch_records >= rows.size();
+  }));
+  EXPECT_EQ(server.stats().batch_records, rows.size());
+}
+
+TEST(GcPoolTest, TakesAreSingleUseAndRefillRestocks) {
+  CircuitBuilder b(4, 4);
+  b.AddOutputWord(b.AddW(b.GarblerWord(0, 4), b.EvaluatorWord(0, 4)));
+  auto circuit = std::make_shared<const Circuit>(b.Build());
+  serve::GcPool pool(/*depth=*/2, /*max_keys=*/4);
+  Rng rng(41);
+
+  const std::vector<int> key = {1, 2};
+  GarbledCircuit taken;
+  EXPECT_FALSE(pool.TryTake(key, &taken));  // Unknown key: a miss.
+  pool.RegisterKey(key, circuit);
+  EXPECT_EQ(pool.Deficit(), 2u);
+  EXPECT_TRUE(pool.RefillOne(rng));
+  EXPECT_TRUE(pool.RefillOne(rng));
+  EXPECT_EQ(pool.Deficit(), 0u);
+  EXPECT_FALSE(pool.RefillOne(rng));  // Full: nothing to do.
+
+  // Entries are single-use: two takes drain the queue, the third misses.
+  EXPECT_TRUE(pool.TryTake(key, &taken));
+  EXPECT_EQ(taken.input_labels.size(),
+            circuit->garbler_inputs() + circuit->evaluator_inputs());
+  EXPECT_TRUE(pool.TryTake(key, &taken));
+  EXPECT_FALSE(pool.TryTake(key, &taken));
+  serve::GcPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.refilled, 2u);
+}
+
+TEST(GcPoolTest, EvictsLeastRecentlyUsedKeyAtCap) {
+  CircuitBuilder b(2, 2);
+  b.AddOutputWord(b.XorW(b.GarblerWord(0, 2), b.EvaluatorWord(0, 2)));
+  auto circuit = std::make_shared<const Circuit>(b.Build());
+  serve::GcPool pool(/*depth=*/1, /*max_keys=*/2);
+  Rng rng(43);
+
+  pool.RegisterKey({1}, circuit);
+  EXPECT_TRUE(pool.RefillOne(rng));
+  pool.RegisterKey({2}, circuit);
+  pool.RegisterKey({3}, circuit);  // Over cap: {1} is LRU and falls out.
+
+  GarbledCircuit taken;
+  EXPECT_FALSE(pool.TryTake({1}, &taken));  // Evicted with its material.
+  EXPECT_TRUE(pool.RefillOne(rng));
+  EXPECT_TRUE(pool.RefillOne(rng));
+  EXPECT_TRUE(pool.TryTake({2}, &taken));
+  EXPECT_TRUE(pool.TryTake({3}, &taken));
+}
+
+TEST(GcPoolTest, RestoreServesMaterialAndDropsMismatchedShapes) {
+  CircuitBuilder b(4, 4);
+  b.AddOutputWord(b.AddW(b.GarblerWord(0, 4), b.EvaluatorWord(0, 4)));
+  auto circuit = std::make_shared<const Circuit>(b.Build());
+  serve::GcPool pool(/*depth=*/2, /*max_keys=*/4);
+  Rng rng(47);
+  const std::vector<int> key = {7};
+  pool.RegisterKey(key, circuit);
+  ASSERT_TRUE(pool.RefillOne(rng));
+  ASSERT_TRUE(pool.RefillOne(rng));
+
+  std::vector<uint8_t> snapshot;
+  {
+    ByteWriter w(&snapshot);
+    pool.Serialize(w);
+  }
+  // A restored key serves TryTake before any circuit is re-attached (the
+  // material is self-contained; the circuit is only needed to refill).
+  serve::GcPool restored(/*depth=*/2, /*max_keys=*/4);
+  {
+    ByteReader r(snapshot);
+    restored.Restore(r);
+  }
+  GarbledCircuit taken;
+  EXPECT_TRUE(restored.TryTake(key, &taken));
+  EXPECT_EQ(taken.input_labels.size(),
+            circuit->garbler_inputs() + circuit->evaluator_inputs());
+  // Re-attaching a circuit of a different shape (snapshot/model mismatch)
+  // must drop the stale material rather than hand out unusable labels.
+  serve::GcPool mismatched(/*depth=*/2, /*max_keys=*/4);
+  {
+    ByteReader r(snapshot);
+    mismatched.Restore(r);
+  }
+  CircuitBuilder b2(2, 2);
+  b2.AddOutputWord(b2.XorW(b2.GarblerWord(0, 2), b2.EvaluatorWord(0, 2)));
+  auto other = std::make_shared<const Circuit>(b2.Build());
+  mismatched.RegisterKey(key, other);
+  EXPECT_FALSE(mismatched.TryTake(key, &taken));
+  EXPECT_EQ(mismatched.Deficit(), 2u);  // And it refills for the new shape.
 }
 
 }  // namespace
